@@ -1,0 +1,61 @@
+"""Fig. 5: probability density of the relative elongation delta.
+
+Regenerates the histogram of the 12 measured elongations and the fitted
+normal pdf N(0.17, 0.048^2), asserts the published fit parameters, and
+benchmarks the measurement-to-distribution pipeline.
+"""
+
+import numpy as np
+
+from repro.package3d.measurements import date16_xray_measurements
+from repro.reporting.figures import fig5_data
+from repro.reporting.series import write_csv
+
+from .conftest import artifact_path, write_artifact
+
+
+def test_fig5_regeneration(benchmark):
+    data = benchmark(fig5_data)
+
+    # The published fit (Section IV-B): mu = 0.17, sigma = 0.048.
+    assert abs(data["mu"] - 0.17) < 1e-3
+    assert abs(data["sigma"] - 0.048) < 1e-3
+
+    # Export the two curves of the figure.
+    csv_pdf = write_csv(
+        artifact_path("fig5_pdf.csv"),
+        ["delta", "pdf"],
+        [data["pdf_x"], data["pdf_y"]],
+    )
+    centers = 0.5 * (data["bin_edges"][:-1] + data["bin_edges"][1:])
+    csv_hist = write_csv(
+        artifact_path("fig5_histogram.csv"),
+        ["delta_bin_center", "density"],
+        [centers, data["bin_density"]],
+    )
+
+    lines = [
+        "FIG. 5: PDF OF THE RELATIVE ELONGATION delta",
+        f"fitted normal: mu = {data['mu']:.4f}, sigma = {data['sigma']:.4f}",
+        f"paper:         mu = 0.17,   sigma = 0.048",
+        f"peak density:  {np.max(data['pdf_y']):.2f} (paper figure: ~8.3)",
+        "",
+        "histogram (12 samples after the paper's imputation):",
+    ]
+    for center, density in zip(centers, data["bin_density"]):
+        bar = "#" * int(round(density * 4))
+        lines.append(f"  delta={center:.3f}  density={density:5.2f}  {bar}")
+    text = "\n".join(lines)
+    path = write_artifact("fig5_elongation_pdf.txt", text)
+    print("\n" + text)
+    print(f"\n[artifacts] {path}, {csv_pdf}, {csv_hist}")
+
+
+def test_fig5_pipeline(benchmark):
+    """Benchmark the raw-measurements -> fitted-distribution pipeline."""
+    def pipeline():
+        dataset = date16_xray_measurements()
+        return dataset.fit_elongation_distribution()
+
+    fit = benchmark(pipeline)
+    assert 0.0 < fit.sigma < 0.1

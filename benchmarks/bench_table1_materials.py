@@ -1,0 +1,45 @@
+"""Table I: material properties at 300 K.
+
+Regenerates the paper's Table I from the material library and benchmarks
+the property evaluation path (the per-cell conductivity evaluation that
+the assembly performs on every nonlinear iteration).
+"""
+
+import numpy as np
+
+from repro.constants import T_REFERENCE
+from repro.materials.library import copper, epoxy_resin
+from repro.reporting.tables import format_table1
+
+from .conftest import write_artifact
+
+#: (region, material factory, paper lambda [W/K/m], paper sigma [S/m])
+PAPER_TABLE1 = [
+    ("Compound", epoxy_resin, 0.87, 1.0e-6),
+    ("Contact pad", copper, 398.0, 5.80e7),
+    ("Chip", copper, 398.0, 5.80e7),
+    ("Bonding wire", copper, 398.0, 5.80e7),
+]
+
+
+def test_table1_regeneration(benchmark):
+    """Regenerate Table I and check every entry against the paper."""
+    text = benchmark(format_table1)
+    path = write_artifact("table1_materials.txt", text)
+    print("\n" + text)
+    print(f"\n[artifact] {path}")
+
+    for region, factory, lam, sigma in PAPER_TABLE1:
+        material = factory()
+        assert material.thermal_conductivity(T_REFERENCE) == lam
+        assert material.electrical_conductivity(T_REFERENCE) == sigma
+
+
+def test_table1_vectorized_evaluation(benchmark):
+    """Benchmark the hot path: sigma(T) over 100k cells at once."""
+    material = copper()
+    temperatures = np.linspace(300.0, 500.0, 100_000)
+
+    sigma = benchmark(material.electrical_conductivity, temperatures)
+    assert sigma.shape == temperatures.shape
+    assert np.all(np.diff(sigma) < 0.0)

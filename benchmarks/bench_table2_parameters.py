@@ -1,0 +1,53 @@
+"""Table II: simulation parameters.
+
+Regenerates the parameter table (including the derived average wire
+length) and benchmarks the full problem-assembly path that consumes it.
+"""
+
+import numpy as np
+
+from repro.package3d.chip_example import Date16Parameters, build_date16_problem
+from repro.reporting.tables import format_table2
+
+from .conftest import bench_resolution, write_artifact
+
+#: The paper's Table II rows we must reproduce verbatim.
+PAPER_TABLE2 = {
+    "Bonding wire voltage Vbw": "40 mV",
+    "End time": "50 s",
+    "No. of time steps": "51",
+    "No. of MC samples": "1000",
+    "Wires' diameter": "25.4 um",
+    "Ambient temperature": "300 K",
+    "Heat transfer coefficient": "25 W/m^2/K",
+    "Emissivity": "0.2475",
+}
+
+
+def test_table2_regeneration(benchmark):
+    text = benchmark(format_table2)
+    path = write_artifact("table2_parameters.txt", text)
+    print("\n" + text)
+    print(f"\n[artifact] {path}")
+
+    rows = dict(Date16Parameters().as_table())
+    for key, value in PAPER_TABLE2.items():
+        assert rows[key] == value, key
+
+    # Derived quantity: the average wire length of Table II (1.55 mm).
+    from repro.package3d.chip_example import date16_layout
+
+    layout = date16_layout()
+    mean_length = float(np.mean(layout.all_direct_distances() / 0.83))
+    assert abs(mean_length - 1.55e-3) < 0.02e-3
+
+
+def test_problem_assembly(benchmark):
+    """Benchmark building the full package problem from the parameters."""
+    def build():
+        problem, mesh = build_date16_problem(resolution=bench_resolution())
+        return problem
+
+    problem = benchmark(build)
+    assert len(problem.wires) == 12
+    assert len(problem.electrical_dirichlet) == 12

@@ -1,0 +1,55 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper: it benchmarks
+the computation with pytest-benchmark and writes the reproduced artifact
+(text table / CSV series) to ``benchmarks/artifacts/``.
+
+Sample counts and mesh resolutions are chosen so the full suite runs in a
+few minutes; environment variables scale them up towards the paper's
+numbers:
+
+    REPRO_FIG7_SAMPLES   Monte Carlo samples for Fig. 7 (default 40,
+                         paper: 1000)
+    REPRO_BENCH_RESOLUTION  mesh preset for the field benches
+                         (default "coarse")
+"""
+
+import os
+
+import pytest
+
+ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
+
+
+def artifact_path(name):
+    """Absolute path for a named artifact file (directory auto-created)."""
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    return os.path.join(ARTIFACT_DIR, name)
+
+
+def write_artifact(name, text):
+    """Write a text artifact and return its path."""
+    path = artifact_path(name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")
+    return path
+
+
+def fig7_samples():
+    """Monte Carlo sample count for the Fig. 7 bench."""
+    return int(os.environ.get("REPRO_FIG7_SAMPLES", "40"))
+
+
+def bench_resolution():
+    """Mesh preset for the field benches."""
+    return os.environ.get("REPRO_BENCH_RESOLUTION", "coarse")
+
+
+@pytest.fixture(scope="session")
+def uq_study():
+    """One solver/mesh shared by every bench that runs the package model."""
+    from repro.package3d.uq_study import Date16UncertaintyStudy
+
+    return Date16UncertaintyStudy(
+        resolution=bench_resolution(), tolerance=1e-3
+    )

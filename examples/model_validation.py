@@ -1,0 +1,87 @@
+"""Closing the loop: compare the UQ prediction against a 'measurement'.
+
+The paper's conclusion names "a comparison to bonding wire measurements"
+as future research.  This example runs that comparison end to end with a
+*synthetic* measurement standing in for the physical chip:
+
+1. the "true chip" is a simulation with wire lengths drawn from the
+   elongation distribution (unknown to the predictor) plus sensor
+   sampling, noise and lag;
+2. the predictor is the Monte Carlo study: expected trace E(t) and band
+   sigma(t) of the hottest wire;
+3. the comparison metrics report RMSE, bias and band calibration --
+   exactly what one would compute against a thermocouple trace.
+
+Run with:  python examples/model_validation.py
+"""
+
+import numpy as np
+
+from repro.package3d.uq_study import Date16UncertaintyStudy
+from repro.reporting.tables import format_table
+from repro.validation.comparison import compare_traces
+from repro.validation.synthetic import synthesize_measurement
+
+
+def main():
+    study = Date16UncertaintyStudy(resolution="coarse", tolerance=1e-3)
+
+    print("Simulating the 'true chip' (hidden random wire lengths)...")
+    rng = np.random.default_rng(2026)
+    true_deltas = study.elongation_distribution.ppf(
+        rng.uniform(1e-6, 1 - 1e-6, study.num_wires)
+    )
+    true_traces = study.evaluate_traces(true_deltas)
+    times = study.time_grid.times
+
+    print("Predicting with the Monte Carlo study (M = 24)...")
+    prediction = study.run_monte_carlo(num_samples=24, seed=7)
+    hottest = prediction.hottest_wire_index
+    mean, std = prediction.hottest_wire_traces()
+    true_trace = true_traces[:, hottest]
+
+    # Sensor model: 1 Hz sampling, 0.3 K noise, 0.5 s probe lag.
+    measurement = synthesize_measurement(
+        times,
+        true_trace,
+        sample_period=1.0,
+        noise_std=0.3,
+        sensor_time_constant=0.5,
+        seed=11,
+        description="synthetic thermocouple on the hottest wire",
+    )
+    print(f"measurement: {measurement}\n")
+
+    # The honest uncertainty of the band is the geometric spread plus the
+    # sensor noise.
+    total_std = np.sqrt(std**2 + 0.3**2)
+    report = compare_traces(
+        times, mean, total_std, measurement,
+        label=prediction.wire_names[hottest],
+    )
+
+    rows = [
+        ("RMSE", f"{report.rmse:.3f} K"),
+        ("Max error", f"{report.max_error:.3f} K"),
+        ("Bias (model - measured)", f"{report.bias:+.3f} K"),
+        ("2-sigma band coverage", f"{report.coverage_2sigma:.2f}"),
+        ("6-sigma band coverage", f"{report.coverage_6sigma:.2f}"),
+        ("Verdict", "acceptable" if report.acceptable() else "REJECTED"),
+    ]
+    print(
+        format_table(
+            ["Metric", "Value"], rows,
+            title=f"Prediction vs. measurement "
+                  f"({prediction.wire_names[hottest]})",
+        )
+    )
+    print(
+        "\nBecause the 'chip' was drawn from the same elongation "
+        "distribution the study samples, a calibrated pipeline shows "
+        "near-nominal band coverage; a geometry or material bias in the "
+        "model would collapse the coverage long before RMSE looks bad."
+    )
+
+
+if __name__ == "__main__":
+    main()

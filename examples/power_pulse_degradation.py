@@ -1,0 +1,96 @@
+"""Pulsed load + kinetic degradation: beyond the paper's static criterion.
+
+The paper marks failure with a static 523 K threshold and announces "more
+sophisticated bonding wire models" as future work.  This example combines
+two of this library's extensions:
+
+* a duty-cycled drive waveform (the package sees ON/OFF power pulses),
+* the Arrhenius damage-accumulation model, which integrates thermal
+  degradation over the whole temperature history instead of checking a
+  threshold.
+
+It compares three load profiles at equal *average* drive power and shows
+that the constant load is the gentlest -- pulsed loads spend time at
+higher peak temperatures, and damage is exponential in temperature.
+
+Run with:  python examples/power_pulse_degradation.py
+"""
+
+import numpy as np
+
+from repro import CoupledSolver, TimeGrid, build_date16_problem
+from repro.bondwire.degradation import (
+    ArrheniusDegradationModel,
+    CycleCountingModel,
+)
+from repro.coupled.excitation import ConstantWaveform, PulseTrainWaveform
+from repro.package3d.chip_example import Date16Parameters
+from repro.reporting.tables import format_table
+
+
+def main():
+    # Stress drive so temperatures reach the degradation-relevant regime.
+    parameters = Date16Parameters(pair_voltage=0.118)
+    problem, _ = build_date16_problem(
+        parameters=parameters, resolution="coarse"
+    )
+    time_grid = TimeGrid.from_num_points(100.0, 201)
+
+    # Equal mean-square drive: constant at scale s vs. pulses at
+    # s / sqrt(duty) (power ~ scale^2 * duty).
+    profiles = {
+        "constant": ConstantWaveform(np.sqrt(0.5)),
+        "pulse 50% @ 20 s": PulseTrainWaveform(period=20.0, duty=0.5),
+        "pulse 50% @ 50 s": PulseTrainWaveform(period=50.0, duty=0.5),
+    }
+
+    degradation = ArrheniusDegradationModel(
+        activation_energy=0.8,
+        reference_temperature=parameters.t_critical,
+        reference_lifetime=100.0,   # one lifetime per 100 s at 523 K
+    )
+    cycling = CycleCountingModel(
+        coefficient=5.0e5, exponent=2.0, minimum_swing=2.0
+    )
+
+    rows = []
+    for name, waveform in profiles.items():
+        solver = CoupledSolver(problem, mode="fast", tolerance=1e-3)
+        result = solver.solve_transient(time_grid, waveform=waveform)
+        hottest = result.hottest_wire_index()
+        trace = result.wire_trace(hottest)
+        damage = degradation.accumulate(result.times, trace)
+        ttf = degradation.time_to_failure(result.times, trace)
+        rows.append(
+            (
+                name,
+                f"{np.max(trace):.1f}",
+                f"{trace[-1]:.1f}",
+                f"{damage[-1]:.4f}",
+                "none" if ttf is None else f"{ttf:.1f} s",
+                f"{cycling.damage(trace):.2e}",
+            )
+        )
+        print(f"{name}: peak {np.max(trace):.1f} K, "
+              f"Arrhenius damage {damage[-1]:.4f}")
+
+    print()
+    print(
+        format_table(
+            ["load profile", "T_peak [K]", "T(end) [K]",
+             "Arrhenius damage", "time to D=1", "cycling damage"],
+            rows,
+            title="Hottest wire over 100 s at equal mean-square drive",
+        )
+    )
+    print(
+        "\nThe Arrhenius model integrates exp(-Ea/kT) over the trace: the "
+        "profiles with higher peaks accumulate disproportionate damage "
+        "even at identical average electrical power, and slow pulsing "
+        "additionally pays thermal-cycling damage -- neither effect is "
+        "visible to the paper's static 523 K criterion."
+    )
+
+
+if __name__ == "__main__":
+    main()

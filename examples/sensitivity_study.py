@@ -1,0 +1,66 @@
+"""Global sensitivity: which wire's length uncertainty matters most?
+
+The paper's introduction frames the study as "the global sensitivity of
+the bonding wires' temperatures w.r.t. their geometric parameters".  This
+example quantifies it with a degree-1 polynomial chaos surrogate (about 26
+coupled solves) and reports per-wire Sobol indices of the hottest-wire end
+temperature.
+
+Run with:  python examples/sensitivity_study.py
+"""
+
+import numpy as np
+
+from repro.package3d.chip_example import date16_layout
+from repro.package3d.uq_study import Date16UncertaintyStudy
+from repro.reporting.tables import format_table
+
+
+def main():
+    study = Date16UncertaintyStudy(resolution="coarse", tolerance=1e-3)
+    print("Fitting a degree-1 PCE surrogate of the hottest-wire end "
+          "temperature (26 coupled solves)...")
+    pce = study.run_pce(degree=1, seed=0)
+    first, total = pce.sobol_indices()
+    first = first[:, 0]
+    total = total[:, 0]
+
+    print(f"\nsurrogate mean: {pce.mean[0]:.2f} K, std: {pce.std[0]:.3f} K\n")
+
+    directs = date16_layout().all_direct_distances()
+    order = np.argsort(-total)
+    rows = []
+    for rank, wire in enumerate(order, start=1):
+        rows.append(
+            (
+                str(rank),
+                f"wire{wire:02d}",
+                f"{directs[wire] * 1e3:.3f}",
+                f"{first[wire]:.3f}",
+                f"{total[wire]:.3f}",
+            )
+        )
+    print(
+        format_table(
+            ["rank", "wire", "d [mm]", "S_i", "S_T,i"],
+            rows,
+            title="Sobol indices of the hottest-wire end temperature",
+        )
+    )
+
+    short = total[directs < 1.2e-3]
+    long_ = total[directs > 1.2e-3]
+    print(
+        f"\nshort (central) wires carry {np.sum(short):.2f} of the total "
+        f"index mass, long wires {np.sum(long_):.2f}."
+    )
+    print(
+        "The short central wires dominate: they run hottest, so their "
+        "length uncertainty drives the variance of the failure-relevant "
+        "temperature -- a quantitative version of the paper's Fig. 8 "
+        "observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` uses pyproject.toml metadata; this file additionally
+enables `python setup.py develop` for fully offline environments.
+"""
+from setuptools import setup
+
+setup()

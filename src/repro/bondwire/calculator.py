@@ -1,0 +1,175 @@
+"""Bonding wire sizing calculator.
+
+Section I of the paper: "When designing bonding wires ... the designer is
+left with the choice of its material and its thickness. ... Bonding wire
+calculators allow to estimate appropriate parameters by simulation."
+
+This module is that calculator, built on the analytic steady-state model:
+given material, length and a maximum allowed wire temperature it computes
+the allowable current for a diameter or the minimum diameter for a current.
+"""
+
+import numpy as np
+
+from ..constants import T_CRITICAL_DEFAULT
+from ..errors import BondWireError
+from .models import AnalyticWireModel
+
+
+class SizingResult:
+    """Result of one sizing query."""
+
+    def __init__(self, diameter, current, peak_temperature, limit, satisfied):
+        self.diameter = diameter
+        self.current = current
+        self.peak_temperature = peak_temperature
+        self.limit = limit
+        self.satisfied = satisfied
+
+    def __repr__(self):
+        status = "OK" if self.satisfied else "EXCEEDS LIMIT"
+        return (
+            f"SizingResult(d={self.diameter * 1e6:.1f} um, "
+            f"I={self.current:.3f} A, Tpeak={self.peak_temperature:.1f} K, "
+            f"limit={self.limit:.1f} K, {status})"
+        )
+
+
+class BondWireCalculator:
+    """Sizing queries for one material / length / environment combination.
+
+    Parameters
+    ----------
+    material:
+        Wire material.
+    length:
+        Wire length [m].
+    t_contact:
+        Temperature of the two contacts [K] (chip operating temperature).
+    t_limit:
+        Maximum allowed wire temperature [K] (default: the paper's 523 K).
+    heat_transfer_coefficient:
+        Lateral convective coefficient; zero for molded wires.
+    """
+
+    def __init__(
+        self,
+        material,
+        length,
+        t_contact=300.0,
+        t_limit=T_CRITICAL_DEFAULT,
+        heat_transfer_coefficient=0.0,
+        t_ambient=300.0,
+    ):
+        if float(length) <= 0.0:
+            raise BondWireError(f"length must be positive, got {length!r}")
+        if float(t_limit) <= float(t_contact):
+            raise BondWireError(
+                f"temperature limit {t_limit} must exceed the contact "
+                f"temperature {t_contact}"
+            )
+        self.material = material
+        self.length = float(length)
+        self.t_contact = float(t_contact)
+        self.t_limit = float(t_limit)
+        self.h = float(heat_transfer_coefficient)
+        self.t_ambient = float(t_ambient)
+
+    def _model(self, diameter):
+        return AnalyticWireModel(
+            self.material,
+            diameter,
+            self.length,
+            heat_transfer_coefficient=self.h,
+            t_ambient=self.t_ambient,
+        )
+
+    def peak_temperature(self, diameter, current):
+        """Steady-state peak wire temperature for one (d, I) pair [K].
+
+        Thermal runaway (no steady state below the fusing regime) is
+        reported as ``inf`` so that bisection treats it as a violated
+        limit rather than an error.
+        """
+        from ..errors import ConvergenceError
+
+        try:
+            solution = self._model(diameter).solve_current_driven(
+                current, self.t_contact
+            )
+        except ConvergenceError:
+            return np.inf
+        return solution.peak_temperature
+
+    def check(self, diameter, current):
+        """Evaluate one design point against the temperature limit."""
+        peak = self.peak_temperature(diameter, current)
+        return SizingResult(
+            diameter=float(diameter),
+            current=float(current),
+            peak_temperature=peak,
+            limit=self.t_limit,
+            satisfied=peak <= self.t_limit,
+        )
+
+    def allowable_current(self, diameter, tolerance=1.0e-4, max_iterations=200):
+        """Largest current keeping the peak below the limit (bisection) [A].
+
+        The peak temperature is monotone increasing in the current, so
+        bisection on [0, I_hi] is robust; the upper bracket is grown until
+        it violates the limit.
+        """
+        diameter = float(diameter)
+        lo = 0.0
+        hi = 1.0e-3
+        for _ in range(200):
+            if self.peak_temperature(diameter, hi) > self.t_limit:
+                break
+            lo = hi
+            hi *= 2.0
+        else:
+            raise BondWireError(
+                "failed to bracket the allowable current; the limit seems "
+                "unreachable for this configuration"
+            )
+        for _ in range(max_iterations):
+            mid = 0.5 * (lo + hi)
+            if hi - lo < tolerance * max(hi, 1.0e-12):
+                break
+            if self.peak_temperature(diameter, mid) > self.t_limit:
+                hi = mid
+            else:
+                lo = mid
+        return 0.5 * (lo + hi)
+
+    def required_diameter(
+        self, current, d_min=1.0e-6, d_max=1.0e-3, tolerance=1.0e-4
+    ):
+        """Smallest diameter keeping the peak below the limit (bisection) [m].
+
+        Raises when even ``d_max`` cannot carry the current within the
+        limit (the caller should then change material or shorten the wire,
+        exactly the design trade-off the paper's introduction discusses).
+        """
+        current = float(current)
+        if self.peak_temperature(d_max, current) > self.t_limit:
+            raise BondWireError(
+                f"even diameter {d_max} m exceeds the temperature limit at "
+                f"{current} A"
+            )
+        if self.peak_temperature(d_min, current) <= self.t_limit:
+            return d_min
+        lo, hi = d_min, d_max
+        for _ in range(200):
+            mid = np.sqrt(lo * hi)  # geometric bisection across decades
+            if hi / lo - 1.0 < tolerance:
+                break
+            if self.peak_temperature(mid, current) > self.t_limit:
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+    def sweep_diameters(self, diameters, current):
+        """Peak temperatures over a diameter sweep (for tables/plots)."""
+        return [self.check(d, current) for d in diameters]

@@ -1,0 +1,207 @@
+"""Thermal degradation dynamics of bonding wires.
+
+The paper's failure criterion is a static threshold: "a bonding wire fails
+mainly due to the degradation of the surrounding mold", marked by
+``T_critical = 523 K``.  Its conclusion announces "more sophisticated
+bonding wire models" as future work.  This module provides that next step:
+a kinetic damage-accumulation model on top of the simulated temperature
+traces.
+
+Model
+-----
+Mold/interface degradation is a thermally activated process, so the local
+damage rate follows an Arrhenius law
+
+``dD/dt = A exp(-E_a / (k_B T(t)))``
+
+normalized such that holding the wire at the critical temperature
+``T_ref`` consumes one lifetime in ``t_ref`` seconds.  Damage accumulates
+monotonically (Miner's rule); the wire is considered failed when
+``D >= 1``.  The classic static criterion is recovered in the limit of a
+steep activation energy.
+
+This stays a *model*: the constants are normalized to the paper's
+threshold semantics, not fitted to proprietary reliability data (none is
+published).  The API is deliberately trace-based so measured temperature
+traces can be fed in unchanged -- the "comparison to bonding wire
+measurements" hook of the paper's conclusion.
+"""
+
+import numpy as np
+
+from ..constants import T_CRITICAL_DEFAULT
+from ..errors import BondWireError
+
+#: Boltzmann constant [eV/K].
+BOLTZMANN_EV = 8.617333262e-5
+
+
+class ArrheniusDegradationModel:
+    """Arrhenius damage accumulation over a temperature trace.
+
+    Parameters
+    ----------
+    activation_energy:
+        ``E_a`` in eV.  Epoxy mold compounds degrade with activation
+        energies around 0.7-1.2 eV; the default 0.8 eV is mid-range.
+    reference_temperature:
+        Temperature at which one lifetime is consumed in
+        ``reference_lifetime`` seconds (default: the paper's 523 K).
+    reference_lifetime:
+        Lifetime at the reference temperature [s].
+    """
+
+    def __init__(
+        self,
+        activation_energy=0.8,
+        reference_temperature=T_CRITICAL_DEFAULT,
+        reference_lifetime=1.0,
+    ):
+        activation_energy = float(activation_energy)
+        reference_temperature = float(reference_temperature)
+        reference_lifetime = float(reference_lifetime)
+        if activation_energy <= 0.0:
+            raise BondWireError(
+                f"activation energy must be positive, got {activation_energy!r}"
+            )
+        if reference_temperature <= 0.0:
+            raise BondWireError("reference temperature must be positive")
+        if reference_lifetime <= 0.0:
+            raise BondWireError("reference lifetime must be positive")
+        self.activation_energy = activation_energy
+        self.reference_temperature = reference_temperature
+        self.reference_lifetime = reference_lifetime
+        # Prefactor normalized so rate(T_ref) = 1 / t_ref.
+        self._prefactor = (
+            np.exp(
+                activation_energy
+                / (BOLTZMANN_EV * reference_temperature)
+            )
+            / reference_lifetime
+        )
+
+    def damage_rate(self, temperature):
+        """Instantaneous damage rate [1/s] at the given temperature(s)."""
+        temperature = np.asarray(temperature, dtype=float)
+        if np.any(temperature <= 0.0):
+            raise BondWireError("temperatures must be positive")
+        rate = self._prefactor * np.exp(
+            -self.activation_energy / (BOLTZMANN_EV * temperature)
+        )
+        if temperature.ndim == 0:
+            return float(rate)
+        return rate
+
+    def acceleration_factor(self, temperature, baseline=None):
+        """Rate ratio vs. a baseline temperature (default: T_ref)."""
+        if baseline is None:
+            baseline = self.reference_temperature
+        return self.damage_rate(temperature) / self.damage_rate(baseline)
+
+    def accumulate(self, times, temperatures, initial_damage=0.0):
+        """Integrate the damage over a temperature trace (trapezoid rule).
+
+        Returns the damage trace ``D(t)`` (same length as ``times``),
+        starting at ``initial_damage``.
+        """
+        times = np.asarray(times, dtype=float)
+        temperatures = np.asarray(temperatures, dtype=float)
+        if times.shape != temperatures.shape:
+            raise BondWireError("times and temperatures must share a shape")
+        if times.size < 1:
+            raise BondWireError("need at least one time point")
+        if np.any(np.diff(times) <= 0.0):
+            raise BondWireError("times must be strictly increasing")
+        rates = self.damage_rate(temperatures)
+        damage = np.empty_like(times)
+        damage[0] = float(initial_damage)
+        if times.size > 1:
+            increments = 0.5 * (rates[1:] + rates[:-1]) * np.diff(times)
+            damage[1:] = damage[0] + np.cumsum(increments)
+        return damage
+
+    def time_to_failure(self, times, temperatures, threshold=1.0):
+        """First time ``D(t)`` reaches ``threshold`` (None if never).
+
+        Linear interpolation between trace points, mirroring the
+        first-crossing semantics of the static criterion.
+        """
+        damage = self.accumulate(times, temperatures)
+        from .failure import first_crossing_time
+
+        return first_crossing_time(times, damage, float(threshold))
+
+    def constant_temperature_lifetime(self, temperature):
+        """Closed-form lifetime [s] when held at a constant temperature."""
+        return 1.0 / self.damage_rate(temperature)
+
+    def __repr__(self):
+        return (
+            f"ArrheniusDegradationModel(Ea={self.activation_energy!r} eV, "
+            f"Tref={self.reference_temperature!r} K, "
+            f"tref={self.reference_lifetime!r} s)"
+        )
+
+
+class CycleCountingModel:
+    """Thermal-cycling damage via rainflow-free peak/valley counting.
+
+    Wire-bond lifetime under cycling is commonly modeled with a
+    Coffin-Manson law ``N_f = C * dT^(-m)``: the number of cycles to
+    failure falls as a power of the temperature swing.  This class
+    extracts swings from a temperature trace (successive local extrema)
+    and accumulates ``sum 1/N_f(dT_i)``.
+    """
+
+    def __init__(self, coefficient=1.0e7, exponent=2.0, minimum_swing=1.0):
+        coefficient = float(coefficient)
+        exponent = float(exponent)
+        minimum_swing = float(minimum_swing)
+        if coefficient <= 0.0 or exponent <= 0.0:
+            raise BondWireError(
+                "Coffin-Manson coefficient and exponent must be positive"
+            )
+        if minimum_swing <= 0.0:
+            raise BondWireError("minimum swing must be positive")
+        self.coefficient = coefficient
+        self.exponent = exponent
+        self.minimum_swing = minimum_swing
+
+    def cycles_to_failure(self, swing):
+        """Coffin-Manson ``N_f = C * dT^-m`` for one swing [K]."""
+        swing = float(swing)
+        if swing <= 0.0:
+            raise BondWireError(f"swing must be positive, got {swing!r}")
+        return self.coefficient * swing ** (-self.exponent)
+
+    def extract_swings(self, temperatures):
+        """Temperature swings between successive local extrema.
+
+        Swings below ``minimum_swing`` are ignored (measurement noise).
+        """
+        temperatures = np.asarray(temperatures, dtype=float).ravel()
+        if temperatures.size < 2:
+            return np.empty(0)
+        extrema = [temperatures[0]]
+        for index in range(1, temperatures.size - 1):
+            left = temperatures[index] - temperatures[index - 1]
+            right = temperatures[index + 1] - temperatures[index]
+            if left * right < 0.0:
+                extrema.append(temperatures[index])
+        extrema.append(temperatures[-1])
+        swings = np.abs(np.diff(extrema))
+        return swings[swings >= self.minimum_swing]
+
+    def damage(self, temperatures):
+        """Accumulated cycling damage of one trace (Miner's rule)."""
+        swings = self.extract_swings(temperatures)
+        if swings.size == 0:
+            return 0.0
+        cycles = self.coefficient * swings ** (-self.exponent)
+        return float(np.sum(1.0 / cycles))
+
+    def __repr__(self):
+        return (
+            f"CycleCountingModel(C={self.coefficient!r}, "
+            f"m={self.exponent!r})"
+        )

@@ -1,0 +1,134 @@
+"""Wire failure/degradation assessment (Section V-D of the paper).
+
+The paper's criterion: a bonding wire fails mainly through degradation of
+the surrounding mold, so a critical temperature ``T_critical = 523 K``
+marks the design-validity threshold.  This module evaluates temperature
+traces against that threshold and adds the classic fusing-current estimates
+used by wire-sizing practice.
+"""
+
+import numpy as np
+
+from ..constants import T_CRITICAL_DEFAULT
+from ..errors import BondWireError
+
+#: Melting points [K] of the common bonding wire materials.
+MELTING_POINTS = {
+    "copper": 1357.8,
+    "gold": 1337.3,
+    "aluminium": 933.5,
+    "aluminum": 933.5,
+}
+
+#: Preece constants K in ``I_fuse = K * d^1.5`` with d in metres, I in
+#: amperes.  Converted from the traditional d-in-mm form
+#: (``K_m = K_mm * 1000^1.5``); K_mm for copper is 80.
+_MM_TO_M = 1000.0**1.5
+PREECE_CONSTANTS = {
+    "copper": 80.0 * _MM_TO_M,
+    "gold": 61.0 * _MM_TO_M,
+    "aluminium": 59.2 * _MM_TO_M,
+    "aluminum": 59.2 * _MM_TO_M,
+}
+
+
+def first_crossing_time(times, temperatures, threshold):
+    """First time at which ``temperatures`` reaches ``threshold``.
+
+    Linear interpolation between samples; returns ``None`` when the trace
+    never reaches the threshold.  This is how the paper's statement "the
+    error bars cross the critical temperature for t > 26 s" is quantified.
+    """
+    times = np.asarray(times, dtype=float)
+    temperatures = np.asarray(temperatures, dtype=float)
+    if times.shape != temperatures.shape:
+        raise BondWireError("times and temperatures must have equal shape")
+    if times.size == 0:
+        return None
+    above = temperatures >= threshold
+    if not np.any(above):
+        return None
+    first = int(np.argmax(above))
+    if first == 0:
+        return float(times[0])
+    t0, t1 = times[first - 1], times[first]
+    y0, y1 = temperatures[first - 1], temperatures[first]
+    if y1 == y0:
+        return float(t1)
+    return float(t0 + (threshold - y0) / (y1 - y0) * (t1 - t0))
+
+
+class FailureAssessment:
+    """Verdict of a temperature trace against the critical temperature."""
+
+    def __init__(
+        self,
+        max_temperature,
+        threshold,
+        crossing_time,
+        margin,
+        label="",
+    ):
+        self.max_temperature = max_temperature
+        self.threshold = threshold
+        #: ``None`` when the trace never crosses.
+        self.crossing_time = crossing_time
+        #: ``threshold - max_temperature`` [K]; negative means failure.
+        self.margin = margin
+        self.label = label
+
+    @property
+    def fails(self):
+        """``True`` when the trace reached the critical temperature."""
+        return self.crossing_time is not None
+
+    def __repr__(self):
+        verdict = (
+            f"FAILS at t={self.crossing_time:.3f} s"
+            if self.fails
+            else f"ok (margin {self.margin:.2f} K)"
+        )
+        return f"FailureAssessment({self.label or 'trace'}: {verdict})"
+
+
+def assess_failure(times, temperatures, threshold=T_CRITICAL_DEFAULT, label=""):
+    """Assess one temperature trace against ``threshold`` (default 523 K)."""
+    temperatures = np.asarray(temperatures, dtype=float)
+    max_temperature = float(np.max(temperatures))
+    crossing = first_crossing_time(times, temperatures, threshold)
+    return FailureAssessment(
+        max_temperature=max_temperature,
+        threshold=float(threshold),
+        crossing_time=crossing,
+        margin=float(threshold) - max_temperature,
+        label=label,
+    )
+
+
+def preece_fusing_current(diameter, material_name="copper"):
+    """Preece fusing current ``I = K d^1.5`` [A] for ``diameter`` in metres.
+
+    Empirical free-air estimate; real packaged wires fuse at lower
+    currents, so this is an upper bound used for sanity checks.
+    """
+    key = str(material_name).strip().lower()
+    if key not in PREECE_CONSTANTS:
+        known = ", ".join(sorted(set(PREECE_CONSTANTS)))
+        raise BondWireError(
+            f"no Preece constant for {material_name!r}; known: {known}"
+        )
+    diameter = float(diameter)
+    if diameter <= 0.0:
+        raise BondWireError(f"diameter must be positive, got {diameter!r}")
+    return PREECE_CONSTANTS[key] * diameter**1.5
+
+
+def melting_point(material_name):
+    """Melting point [K] of a bonding wire material."""
+    key = str(material_name).strip().lower()
+    if key not in MELTING_POINTS:
+        known = ", ".join(sorted(set(MELTING_POINTS)))
+        raise BondWireError(
+            f"no melting point for {material_name!r}; known: {known}"
+        )
+    return MELTING_POINTS[key]

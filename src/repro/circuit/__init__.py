@@ -1,0 +1,16 @@
+"""Lumped electrothermal network (circuit) substrate.
+
+The bonding wire model of the paper is a field-*circuit* coupling: each
+wire is a two-terminal network element stamped into the field matrices.
+This package provides a small standalone nodal-analysis solver for such
+networks.  It serves two purposes:
+
+* cross-verification: a wire chain solved as a pure network must agree
+  with the same chain stamped into a (trivial) field problem,
+* standalone studies: the analytic wire models can be compared against
+  a discrete N-segment network without running a 3D field solve.
+"""
+
+from .netlist import Conductance, CurrentSource, Netlist, NodalSolution
+
+__all__ = ["Netlist", "Conductance", "CurrentSource", "NodalSolution"]

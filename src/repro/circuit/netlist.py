@@ -1,0 +1,208 @@
+"""Minimal nodal analysis for conductance networks.
+
+Supports named nodes, two-terminal conductances (temperature-controlled if
+desired), nodal current injections and fixed-potential (Dirichlet) nodes.
+Solving assembles the standard nodal conductance matrix ``sum g P P^T`` --
+the same stamps the field coupling uses -- and eliminates the fixed nodes.
+
+The same class doubles as a *thermal* network solver: conductances become
+thermal conductances [W/K], potentials temperatures [K] and current sources
+heat flows [W].
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import CircuitError
+
+
+class Conductance:
+    """Two-terminal conductance element ``g`` between nodes ``a`` and ``b``.
+
+    ``value`` is either a number [S or W/K] or a callable ``g(state)``
+    evaluated with the controlling state (e.g. element temperature) at
+    solve time.
+    """
+
+    def __init__(self, node_a, node_b, value, name=""):
+        if node_a == node_b:
+            raise CircuitError("conductance must connect two distinct nodes")
+        self.node_a = node_a
+        self.node_b = node_b
+        self.value = value
+        self.name = name
+
+    def conductance(self, state=None):
+        """Numeric conductance for the given controlling state."""
+        if callable(self.value):
+            result = float(self.value(state))
+        else:
+            result = float(self.value)
+        if result < 0.0:
+            raise CircuitError(
+                f"conductance {self.name!r} evaluated to negative value "
+                f"{result!r}"
+            )
+        return result
+
+
+class CurrentSource:
+    """Current (or heat flow) injected into one node."""
+
+    def __init__(self, node, value, name=""):
+        self.node = node
+        self.value = float(value)
+        self.name = name
+
+
+class NodalSolution:
+    """Solved node potentials plus element bookkeeping."""
+
+    def __init__(self, potentials_by_node, element_currents, element_powers):
+        self.potentials = potentials_by_node
+        self.element_currents = element_currents
+        self.element_powers = element_powers
+
+    def potential(self, node):
+        """Potential (or temperature) of one node."""
+        if node not in self.potentials:
+            raise CircuitError(f"unknown node {node!r}")
+        return self.potentials[node]
+
+    def total_power(self):
+        """Sum of element dissipations [W]."""
+        return float(sum(self.element_powers.values()))
+
+
+class Netlist:
+    """A conductance network with fixed-potential nodes.
+
+    Nodes are created implicitly by the elements that reference them; any
+    hashable can serve as a node name.
+    """
+
+    def __init__(self):
+        self._conductances = []
+        self._sources = []
+        self._fixed = {}
+
+    def add_conductance(self, node_a, node_b, value, name=""):
+        """Add a conductance element and return it."""
+        element = Conductance(node_a, node_b, value, name=name)
+        self._conductances.append(element)
+        return element
+
+    def add_resistor(self, node_a, node_b, resistance, name=""):
+        """Convenience: add a resistor as its reciprocal conductance."""
+        resistance = float(resistance)
+        if resistance <= 0.0:
+            raise CircuitError(f"resistance must be positive, got {resistance!r}")
+        return self.add_conductance(node_a, node_b, 1.0 / resistance, name=name)
+
+    def add_current_source(self, node, value, name=""):
+        """Inject ``value`` amperes (or watts) into ``node``."""
+        source = CurrentSource(node, value, name=name)
+        self._sources.append(source)
+        return source
+
+    def fix_potential(self, node, value):
+        """Pin a node to a fixed potential (voltage source to ground)."""
+        value = float(value)
+        if node in self._fixed and self._fixed[node] != value:
+            raise CircuitError(
+                f"node {node!r} already fixed to {self._fixed[node]!r}"
+            )
+        self._fixed[node] = value
+
+    def nodes(self):
+        """All nodes referenced by elements, in deterministic order."""
+        seen = {}
+        for element in self._conductances:
+            seen.setdefault(element.node_a, None)
+            seen.setdefault(element.node_b, None)
+        for source in self._sources:
+            seen.setdefault(source.node, None)
+        for node in self._fixed:
+            seen.setdefault(node, None)
+        return list(seen)
+
+    def solve(self, state=None):
+        """Solve the network; returns a :class:`NodalSolution`.
+
+        ``state`` is forwarded to callable conductances.  Raises
+        :class:`CircuitError` when no potential is fixed (floating network)
+        or the reduced matrix is singular (disconnected islands).
+        """
+        nodes = self.nodes()
+        if not nodes:
+            raise CircuitError("empty netlist")
+        if not self._fixed:
+            raise CircuitError(
+                "no fixed potential; nodal analysis needs a reference"
+            )
+        index = {node: i for i, node in enumerate(nodes)}
+        n = len(nodes)
+
+        rows, cols, vals = [], [], []
+        values = {}
+        for element in self._conductances:
+            g = element.conductance(state)
+            values[id(element)] = g
+            a, b = index[element.node_a], index[element.node_b]
+            rows.extend([a, a, b, b])
+            cols.extend([a, b, a, b])
+            vals.extend([g, -g, -g, g])
+        matrix = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+
+        rhs = np.zeros(n)
+        for source in self._sources:
+            rhs[index[source.node]] += source.value
+
+        fixed_idx = np.asarray(
+            sorted(index[node] for node in self._fixed), dtype=np.int64
+        )
+        fixed_vals = np.asarray(
+            [self._fixed[nodes[i]] for i in fixed_idx], dtype=float
+        )
+        mask = np.ones(n, dtype=bool)
+        mask[fixed_idx] = False
+        free = np.nonzero(mask)[0]
+
+        solution = np.empty(n)
+        solution[fixed_idx] = fixed_vals
+        if free.size:
+            a_ff = matrix[free][:, free].tocsc()
+            a_fc = matrix[free][:, fixed_idx]
+            reduced_rhs = rhs[free] - a_fc @ fixed_vals
+            try:
+                import warnings
+
+                with warnings.catch_warnings():
+                    # A singular matrix is reported through the non-finite
+                    # solution check below; the warning is redundant noise.
+                    warnings.simplefilter(
+                        "ignore", sp.linalg.MatrixRankWarning
+                    )
+                    free_solution = sp.linalg.spsolve(a_ff, reduced_rhs)
+            except RuntimeError as exc:
+                raise CircuitError(f"singular network: {exc}") from exc
+            free_solution = np.atleast_1d(free_solution)
+            if not np.all(np.isfinite(free_solution)):
+                raise CircuitError(
+                    "singular network (non-finite solution); check for "
+                    "floating islands"
+                )
+            solution[free] = free_solution
+
+        potentials = {node: float(solution[index[node]]) for node in nodes}
+        currents = {}
+        powers = {}
+        for element in self._conductances:
+            g = values[id(element)]
+            drop = (
+                potentials[element.node_a] - potentials[element.node_b]
+            )
+            key = element.name or f"g{len(currents)}"
+            currents[key] = g * drop
+            powers[key] = g * drop * drop
+        return NodalSolution(potentials, currents, powers)

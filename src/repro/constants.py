@@ -1,0 +1,43 @@
+"""Physical constants and reference values used throughout the library.
+
+All quantities are in SI units unless stated otherwise.  The values mirror
+those used in the paper (Casper et al., DATE 2016): the Stefan-Boltzmann
+constant enters the radiative boundary condition, and ``T_REFERENCE`` is the
+300 K reference at which Table I of the paper states the material properties.
+"""
+
+#: Stefan-Boltzmann constant [W / m^2 / K^4].
+STEFAN_BOLTZMANN = 5.670374419e-8
+
+#: Reference temperature for material properties [K] (Table I of the paper).
+T_REFERENCE = 300.0
+
+#: Ambient temperature used in the paper's study [K] (Table II).
+T_AMBIENT_DEFAULT = 300.0
+
+#: Critical (failure) temperature of the wire surroundings [K] (Section V-D).
+T_CRITICAL_DEFAULT = 523.0
+
+#: Absolute zero in kelvin; temperatures below this are rejected as invalid.
+T_ABSOLUTE_ZERO = 0.0
+
+#: Default heat transfer coefficient [W / m^2 / K] (Table II).
+HEAT_TRANSFER_COEFFICIENT_DEFAULT = 25.0
+
+#: Default emissivity (dimensionless) (Table II).
+EMISSIVITY_DEFAULT = 0.2475
+
+#: Temperature coefficient of resistivity for annealed copper [1/K].
+ALPHA_COPPER = 3.93e-3
+
+#: Electrical conductivity of copper at 300 K [S/m] (Table I).
+SIGMA_COPPER_300K = 5.80e7
+
+#: Thermal conductivity of copper at 300 K [W/K/m] (Table I).
+LAMBDA_COPPER_300K = 398.0
+
+#: Thermal conductivity of epoxy resin [W/K/m] (Table I).
+LAMBDA_EPOXY = 0.87
+
+#: Electrical conductivity of epoxy resin [S/m] (Table I).
+SIGMA_EPOXY = 1.0e-6

@@ -1,0 +1,113 @@
+"""The stationary current sub-problem (Section II-A, eq. (3)).
+
+``S_dual M_sigma(T) S_dual^T Phi + sum_j P_j G_el,j(T_bw,j) P_j^T Phi = 0``
+with Dirichlet values on the PEC contact nodes.  The same assembly is used
+standalone (this module) and inside the coupled loop.
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..bondwire.lumped import stamp_conductance_matrix
+from ..errors import AssemblyError
+from ..fit.assembly import FITDiscretization
+from ..fit.boundary import apply_dirichlet
+from ..fit.material_matrices import conductance_diagonal
+from ..solvers.linear import solve_sparse
+
+
+def embed_grid_matrix(matrix, total_size):
+    """Pad a grid-sized sparse matrix with zero rows/cols for extra nodes."""
+    n = matrix.shape[0]
+    if n == total_size:
+        return matrix.tocsr()
+    if n > total_size:
+        raise AssemblyError(
+            f"matrix of size {n} cannot be embedded into {total_size}"
+        )
+    matrix = matrix.tocoo()
+    return sp.csr_matrix(
+        (matrix.data, (matrix.row, matrix.col)), shape=(total_size, total_size)
+    )
+
+
+def embed_grid_vector(vector, total_size):
+    """Pad a grid-sized dense vector with zeros for the extra nodes."""
+    vector = np.asarray(vector, dtype=float)
+    if vector.size == total_size:
+        return vector
+    padded = np.zeros(total_size)
+    padded[: vector.size] = vector
+    return padded
+
+
+def assemble_electrical_matrix(discretization, topology, temperatures):
+    """Full electrical system matrix ``K_el(T) + sum g_el P P^T``.
+
+    ``temperatures`` is the full unknown vector (grid + internal wire
+    nodes); pass the uniform initial vector for a linear solve.
+    """
+    temperatures = np.asarray(temperatures, dtype=float)
+    grid_temperatures = temperatures[: discretization.grid.num_nodes]
+    cell_t = discretization.cell_temperatures(grid_temperatures)
+    sigma = discretization.materials.sigma_cells(cell_t)
+    stiffness = discretization.stiffness_from_diagonal(
+        conductance_diagonal(discretization.dual, sigma)
+    )
+    matrix = embed_grid_matrix(stiffness, topology.total_size)
+    if topology.num_segments_total:
+        conductances = topology.segment_electrical_conductances(temperatures)
+        stamps = [stamp for _, stamp in topology.flat_segments]
+        matrix = matrix + stamp_conductance_matrix(
+            topology.total_size, stamps, conductances
+        )
+    return matrix.tocsr()
+
+
+def solve_stationary_current(problem, temperatures=None, discretization=None):
+    """Solve eq. (3) for the potentials at the given temperature state.
+
+    Parameters
+    ----------
+    problem:
+        The :class:`~repro.coupled.problem.ElectrothermalProblem`.
+    temperatures:
+        Full temperature vector; defaults to the uniform initial state.
+    discretization:
+        Optional pre-built :class:`~repro.fit.assembly.FITDiscretization`
+        (the coupled solver passes its cached one).
+
+    Returns
+    -------
+    (potentials, matrix):
+        The full potential vector (grid + internal wire nodes) and the
+        assembled system matrix (useful for current extraction).
+    """
+    if not problem.electrical_dirichlet:
+        raise AssemblyError(
+            "the stationary current problem needs at least one Dirichlet "
+            "(PEC) boundary condition"
+        )
+    if discretization is None:
+        discretization = FITDiscretization(problem.grid, problem.materials)
+    if temperatures is None:
+        temperatures = problem.initial_temperatures()
+    matrix = assemble_electrical_matrix(
+        discretization, problem.topology, temperatures
+    )
+    rhs = np.zeros(problem.total_size)
+    reduced = apply_dirichlet(matrix, rhs, problem.electrical_dirichlet)
+    solution = solve_sparse(reduced.matrix, reduced.rhs)
+    return reduced.expand(solution), matrix
+
+
+def terminal_currents(matrix, potentials, dirichlet_bcs):
+    """Net current injected through each Dirichlet group [A].
+
+    The residual ``(A Phi)_i`` at a fixed node equals the current the
+    voltage source feeds into that node; summing over a contact's nodes
+    gives the terminal current.  Kirchhoff demands the currents over all
+    groups to sum to ~0, which the tests assert.
+    """
+    residual = matrix @ np.asarray(potentials, dtype=float)
+    return [float(np.sum(residual[bc.nodes])) for bc in dirichlet_bcs]

@@ -1,0 +1,541 @@
+"""The coupled nonlinear transient electrothermal solver.
+
+Implements the paper's scheme: implicit Euler in time, successive
+substitution (fixed point) over the two-directional nonlinear coupling in
+every step:
+
+1. freeze the temperature iterate ``T*``;
+2. assemble ``sigma(T*)``, ``lambda(T*)`` and the wire conductances
+   ``G_el(T_bw*)``, ``G_th(T_bw*)``;
+3. solve the stationary current problem for ``Phi``;
+4. compute the Joule sources (field cells + wire elements);
+5. solve the thermal step for the new ``T``;
+6. repeat until no node moves by more than the tolerance.
+
+Two execution modes:
+
+* ``mode="full"`` -- everything reassembled from the current iterate
+  (the reference scheme);
+* ``mode="fast"`` -- field material matrices frozen at the initial
+  temperature so both base matrices can be LU-factorized *once*; the only
+  matrix changes left are the rank-``n_segments`` bonding wire stamps,
+  handled by Sherman-Morrison-Woodbury updates, and the radiation
+  nonlinearity, which converges through the fixed point on the right-hand
+  side.  This is the Monte Carlo fast path: the wire nonlinearities (the
+  dominant electrothermal feedback of this application) are retained
+  exactly.
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import AssemblyError, SolverError
+from ..fit.assembly import FITDiscretization
+from ..fit.boundary import apply_dirichlet, combine_dirichlet
+from ..fit.joule import joule_cell_power_density
+from ..fit.material_matrices import conductance_diagonal
+from ..solvers.linear import LinearSolver
+from ..solvers.newton import fixed_point
+from ..solvers.time_integration import TimeGrid
+from ..solvers.woodbury import WoodburySolver
+from .electrical import embed_grid_matrix
+from .quantities import StationaryResult, TransientResult
+
+_MODES = ("full", "fast")
+
+
+class CoupledSolver:
+    """Transient/stationary solver bound to one problem instance.
+
+    Parameters
+    ----------
+    problem:
+        The :class:`~repro.coupled.problem.ElectrothermalProblem`.
+    mode:
+        ``"full"`` (reference) or ``"fast"`` (frozen field materials +
+        Woodbury wire updates; see module docstring).
+    tolerance:
+        Fixed-point tolerance on the temperature update [K].
+    max_iterations:
+        Fixed-point iteration budget per time step.
+    damping:
+        Fixed-point relaxation factor.
+    """
+
+    def __init__(
+        self,
+        problem,
+        mode="full",
+        tolerance=1.0e-6,
+        max_iterations=40,
+        damping=1.0,
+    ):
+        if mode not in _MODES:
+            raise SolverError(f"unknown mode {mode!r}; expected one of {_MODES}")
+        self.problem = problem
+        self.mode = mode
+        self.tolerance = float(tolerance)
+        self.max_iterations = int(max_iterations)
+        self.damping = float(damping)
+
+        self.discretization = FITDiscretization(problem.grid, problem.materials)
+        self.topology = problem.topology
+        n_grid = problem.grid.num_nodes
+        self.n_grid = n_grid
+        self.total_size = problem.total_size
+
+        # Heat capacitance over all unknowns (grid + internal wire nodes).
+        capacitance = np.zeros(self.total_size)
+        capacitance[:n_grid] = self.discretization.thermal_capacitance()
+        if self.topology.num_extra_nodes:
+            capacitance[n_grid:] = self.topology.extra_heat_capacities()
+        self.capacitance = capacitance
+
+        # Thermal boundary structures (grid block only).
+        dual = self.discretization.dual
+        self.conv_diag = np.zeros(self.total_size)
+        self.conv_rhs = np.zeros(self.total_size)
+        if problem.convection is not None:
+            diag, rhs = problem.convection.contributions(dual)
+            self.conv_diag[:n_grid] = diag
+            self.conv_rhs[:n_grid] = rhs
+        self.rad_coeff = np.zeros(self.total_size)
+        if problem.radiation is not None:
+            self.rad_coeff[:n_grid] = problem.radiation.node_coefficients(dual)
+        self.t_ambient_rad = (
+            problem.radiation.t_ambient if problem.radiation is not None else 0.0
+        )
+
+        # Electrical Dirichlet reduction pattern (constant across solves).
+        if not problem.electrical_dirichlet:
+            raise AssemblyError(
+                "the coupled problem needs electrical Dirichlet (PEC) nodes"
+            )
+        fixed, fixed_values = combine_dirichlet(
+            problem.electrical_dirichlet, self.total_size
+        )
+        mask = np.ones(self.total_size, dtype=bool)
+        mask[fixed] = False
+        self.el_fixed = fixed
+        self.el_fixed_values = fixed_values
+        self.el_free = np.nonzero(mask)[0]
+
+        self._linear_el = LinearSolver()
+        self._linear_th = LinearSolver()
+        #: Drive scale of the current time level (waveform support).
+        self._el_scale = 1.0
+        self._fast_state = None
+        if self.mode == "fast":
+            self._setup_fast()
+
+    # ------------------------------------------------------------------
+    # Monte Carlo support
+    # ------------------------------------------------------------------
+    def set_wire_lengths(self, lengths):
+        """Rebind the wire lengths without rebuilding any factorization.
+
+        The wire stamps (and therefore both Woodbury bases, the Dirichlet
+        reduction and the FIT operators) are length-independent -- only the
+        conductances fed into the solves change.  This makes the per-sample
+        cost of a Monte Carlo study a pure solve cost.
+
+        For multi-segment wires the internal node heat capacities scale
+        with the segment length, so the thermal base is invalidated in
+        that case.
+        """
+        lengths = np.asarray(lengths, dtype=float).ravel()
+        if lengths.size != len(self.topology.wires):
+            raise SolverError(
+                f"expected {len(self.topology.wires)} wire lengths, got "
+                f"{lengths.size}"
+            )
+        new_wires = [
+            wire.with_length(length)
+            for wire, length in zip(self.topology.wires, lengths)
+        ]
+        self.topology.wires = new_wires
+        self.problem.wires = new_wires
+        if self.topology.num_extra_nodes:
+            self.capacitance[self.n_grid:] = (
+                self.topology.extra_heat_capacities()
+            )
+            if self.mode == "fast":
+                self._fast_th = None
+                self._fast_th_dt = None
+
+    # ------------------------------------------------------------------
+    # Assembly helpers
+    # ------------------------------------------------------------------
+    def _field_diagonals(self, grid_temperatures):
+        """Per-edge sigma and lambda conductance diagonals at the iterate."""
+        cell_t = self.discretization.cell_temperatures(grid_temperatures)
+        sigma = self.discretization.materials.sigma_cells(cell_t)
+        lam = self.discretization.materials.lambda_cells(cell_t)
+        dual = self.discretization.dual
+        return (
+            conductance_diagonal(dual, sigma),
+            conductance_diagonal(dual, lam),
+            cell_t,
+        )
+
+    def _wire_stamp_matrix(self, conductances):
+        """Sparse sum of all segment stamps with the given conductances."""
+        from ..bondwire.lumped import stamp_conductance_matrix
+
+        stamps = [stamp for _, stamp in self.topology.flat_segments]
+        return stamp_conductance_matrix(self.total_size, stamps, conductances)
+
+    def _reduce_electrical(self, matrix):
+        """Apply the (precomputed) electrical Dirichlet reduction.
+
+        The contact values are scaled by the current drive waveform value
+        (``1.0`` for the paper's constant drive).
+        """
+        matrix = matrix.tocsr()
+        a_ff = matrix[self.el_free][:, self.el_free]
+        a_fc = matrix[self.el_free][:, self.el_fixed]
+        rhs = -(a_fc @ (self.el_fixed_values * self._el_scale))
+        return a_ff.tocsc(), rhs
+
+    def _expand_electrical(self, free_solution):
+        full = np.empty(self.total_size)
+        full[self.el_free] = free_solution
+        full[self.el_fixed] = self.el_fixed_values * self._el_scale
+        return full
+
+    # ------------------------------------------------------------------
+    # Fast-path setup
+    # ------------------------------------------------------------------
+    def _setup_fast(self):
+        problem = self.problem
+        if problem.thermal_dirichlet:
+            raise SolverError(
+                "fast mode does not support thermal Dirichlet conditions; "
+                "use mode='full'"
+            )
+        wire_nodes = set()
+        for chain in self.topology.wire_nodes:
+            wire_nodes.update(chain)
+        if wire_nodes.intersection(self.el_fixed.tolist()):
+            raise SolverError(
+                "fast mode requires wire contact nodes to be free (not PEC "
+                "Dirichlet); use mode='full'"
+            )
+        freeze = np.full(self.n_grid, problem.t_initial)
+        sigma_diag, lambda_diag, cell_t = self._field_diagonals(freeze)
+        self._fast_sigma_cells = self.discretization.materials.sigma_cells(cell_t)
+
+        k_el = embed_grid_matrix(
+            self.discretization.stiffness_from_diagonal(sigma_diag),
+            self.total_size,
+        )
+        if self.topology.num_extra_nodes:
+            # The wire-free base matrix has zero rows at the internal wire
+            # nodes (their only coupling is through the stamps handled by
+            # the Woodbury update).  A shunt ~10 orders of magnitude below
+            # the segment conductances keeps the base factorizable while
+            # perturbing the solution far below the solver tolerance.
+            shunt = np.zeros(self.total_size)
+            scale = float(np.max(k_el.diagonal())) if k_el.nnz else 1.0
+            shunt[self.n_grid:] = 1.0e-12 * scale
+            k_el = k_el + sp.diags(shunt)
+        a_el, rhs_el = self._reduce_electrical(k_el)
+        u_full = self.topology.segment_incidence_matrix()
+        u_el = u_full[self.el_free]
+        self._fast_el = WoodburySolver(a_el, u_el)
+        self._fast_el_rhs = rhs_el
+
+        k_th = embed_grid_matrix(
+            self.discretization.stiffness_from_diagonal(lambda_diag),
+            self.total_size,
+        )
+        self._fast_state = "ready"
+        self._fast_u = u_full
+        self._fast_k_th = k_th
+        self._fast_th = None  # built per dt in solve_transient
+        self._fast_th_dt = None
+
+    def _fast_thermal_solver(self, dt):
+        if self._fast_th is not None and self._fast_th_dt == dt:
+            return self._fast_th
+        base = (
+            sp.diags(self.capacitance / dt)
+            + self._fast_k_th
+            + sp.diags(self.conv_diag)
+        ).tocsc()
+        self._fast_th = WoodburySolver(base, self._fast_u)
+        self._fast_th_dt = dt
+        return self._fast_th
+
+    # ------------------------------------------------------------------
+    # Single-iterate physics evaluation
+    # ------------------------------------------------------------------
+    def _solve_electrical_full(self, t_star):
+        sigma_diag, lambda_diag, cell_t = self._field_diagonals(
+            t_star[: self.n_grid]
+        )
+        k_el = embed_grid_matrix(
+            self.discretization.stiffness_from_diagonal(sigma_diag),
+            self.total_size,
+        )
+        g_el = self.topology.segment_electrical_conductances(t_star)
+        matrix = k_el + self._wire_stamp_matrix(g_el)
+        a_ff, rhs = self._reduce_electrical(matrix)
+        phi = self._expand_electrical(self._linear_el.solve(a_ff, rhs))
+        return phi, cell_t, lambda_diag, g_el
+
+    def _solve_electrical_fast(self, t_star):
+        g_el = self.topology.segment_electrical_conductances(t_star)
+        phi_free = self._fast_el.solve(
+            g_el, self._fast_el_rhs * self._el_scale
+        )
+        return self._expand_electrical(phi_free), g_el
+
+    def _joule_sources(self, phi, t_star, cell_t=None, fast=False):
+        """Field + wire Joule node powers at the iterate."""
+        grid_phi = phi[: self.n_grid]
+        if fast:
+            ex, ey, ez = self.discretization.cell_field_components(grid_phi)
+            density = self._fast_sigma_cells * (ex * ex + ey * ey + ez * ez)
+        else:
+            density = joule_cell_power_density(
+                self.discretization, grid_phi, cell_t
+            )
+        q = np.zeros(self.total_size)
+        q[: self.n_grid] = self.discretization.node_power_from_cells(density)
+        field_power = float(np.dot(density, self.discretization.cell_volumes))
+        q_wire, wire_powers = self.topology.joule_powers(phi, t_star)
+        return q + q_wire, wire_powers, field_power
+
+    def _radiation_rhs_explicit(self, t_star):
+        """Radiative source evaluated at the iterate (fast mode)."""
+        if self.problem.radiation is None:
+            return 0.0
+        return self.rad_coeff * (self.t_ambient_rad**4 - t_star**4)
+
+    # ------------------------------------------------------------------
+    # Time stepping
+    # ------------------------------------------------------------------
+    def _step_full(self, t_old, dt):
+        """One implicit Euler step in full mode; returns (T_new, diag)."""
+        cache = {}
+
+        def advance(t_star):
+            phi, cell_t, lambda_diag, _ = self._solve_electrical_full(t_star)
+            q, wire_powers, field_power = self._joule_sources(
+                phi, t_star, cell_t=cell_t
+            )
+            k_th = embed_grid_matrix(
+                self.discretization.stiffness_from_diagonal(lambda_diag),
+                self.total_size,
+            )
+            g_th = self.topology.segment_thermal_conductances(t_star)
+            k_th = k_th + self._wire_stamp_matrix(g_th)
+            diagonal = self.conv_diag.copy()
+            rhs_bc = self.conv_rhs.copy()
+            if self.problem.radiation is not None:
+                rad_diag, rad_rhs = self.problem.radiation.linearized_contributions(
+                    self.discretization.dual, t_star[: self.n_grid]
+                )
+                diagonal[: self.n_grid] += rad_diag
+                rhs_bc[: self.n_grid] += rad_rhs
+            matrix = (
+                sp.diags(self.capacitance / dt) + k_th + sp.diags(diagonal)
+            ).tocsr()
+            rhs = self.capacitance / dt * t_old + q + rhs_bc
+            if self.problem.thermal_dirichlet:
+                reduced = apply_dirichlet(
+                    matrix, rhs, self.problem.thermal_dirichlet
+                )
+                t_new = reduced.expand(
+                    self._linear_th.solve(reduced.matrix, reduced.rhs)
+                )
+            else:
+                t_new = self._linear_th.solve(matrix.tocsc(), rhs)
+            cache["phi"] = phi
+            cache["wire_powers"] = wire_powers
+            cache["field_power"] = field_power
+            return t_new
+
+        result = fixed_point(
+            advance,
+            t_old,
+            tolerance=self.tolerance,
+            max_iterations=self.max_iterations,
+            damping=self.damping,
+        )
+        return result.solution, result.iterations, cache
+
+    def _step_fast(self, t_old, dt):
+        """One implicit Euler step in fast (Woodbury) mode."""
+        thermal = self._fast_thermal_solver(dt)
+        cache = {}
+
+        def advance(t_star):
+            phi, _ = self._solve_electrical_fast(t_star)
+            q, wire_powers, field_power = self._joule_sources(
+                phi, t_star, fast=True
+            )
+            g_th = self.topology.segment_thermal_conductances(t_star)
+            rhs = (
+                self.capacitance / dt * t_old
+                + q
+                + self.conv_rhs
+                + self._radiation_rhs_explicit(t_star)
+            )
+            t_new = thermal.solve(g_th, rhs)
+            cache["phi"] = phi
+            cache["wire_powers"] = wire_powers
+            cache["field_power"] = field_power
+            return t_new
+
+        result = fixed_point(
+            advance,
+            t_old,
+            tolerance=self.tolerance,
+            max_iterations=self.max_iterations,
+            damping=self.damping,
+        )
+        return result.solution, result.iterations, cache
+
+    def solve_transient(self, time_grid, store_fields=False, waveform=None):
+        """Integrate the coupled system over a :class:`TimeGrid`.
+
+        Parameters
+        ----------
+        time_grid:
+            The time axis (paper: 50 s, 51 points).
+        store_fields:
+            When ``True``, the full temperature field at every time point
+            is kept on the result object (``result.fields``).
+        waveform:
+            Optional drive waveform (a number, callable ``w(t)`` or
+            :class:`~repro.coupled.excitation.Waveform`) scaling the
+            contact potentials over time; evaluated at the *new* time
+            level of each implicit Euler step.  ``None`` is the paper's
+            constant drive.
+
+        Returns
+        -------
+        :class:`~repro.coupled.quantities.TransientResult`
+        """
+        from .excitation import as_waveform
+
+        if not isinstance(time_grid, TimeGrid):
+            raise SolverError("time_grid must be a TimeGrid")
+        drive = as_waveform(waveform)
+        temperatures = self.problem.initial_temperatures()
+        dt = time_grid.dt
+        num_wires = len(self.problem.wires)
+
+        wire_t = [self.topology.wire_temperatures(temperatures)]
+        wire_peak = [self.topology.wire_peak_temperatures(temperatures)]
+        wire_p = [np.zeros(num_wires)]
+        field_p = [0.0]
+        iterations = []
+        fields = [temperatures.copy()] if store_fields else None
+        phi = np.zeros(self.total_size)
+
+        step = self._step_fast if self.mode == "fast" else self._step_full
+        times = time_grid.times
+        for step_index in range(time_grid.num_steps):
+            self._el_scale = float(drive(times[step_index + 1]))
+            temperatures, n_iter, cache = step(temperatures, dt)
+            iterations.append(n_iter)
+            phi = cache["phi"]
+            wire_t.append(self.topology.wire_temperatures(temperatures))
+            wire_peak.append(self.topology.wire_peak_temperatures(temperatures))
+            wire_p.append(cache["wire_powers"])
+            field_p.append(cache["field_power"])
+            if store_fields:
+                fields.append(temperatures.copy())
+        # Restore the constant drive for any later stationary solve.
+        self._el_scale = 1.0
+
+        result = TransientResult(
+            times=time_grid.times,
+            wire_temperatures=np.vstack(wire_t) if num_wires else
+            np.zeros((time_grid.num_points, 0)),
+            wire_peak_temperatures=np.vstack(wire_peak) if num_wires else
+            np.zeros((time_grid.num_points, 0)),
+            wire_powers=np.vstack(wire_p) if num_wires else
+            np.zeros((time_grid.num_points, 0)),
+            field_joule_power=np.asarray(field_p),
+            final_temperatures=temperatures,
+            final_potentials=phi,
+            iterations_per_step=iterations,
+            wire_names=self.problem.wire_names(),
+        )
+        if store_fields:
+            result.fields = fields
+        return result
+
+    def solve_stationary(self, max_iterations=200, damping=0.8):
+        """Steady state of the coupled system (d/dt = 0).
+
+        Requires a heat escape path (convection, radiation or thermal
+        Dirichlet), otherwise the thermal operator is singular.
+        """
+        problem = self.problem
+        if (
+            problem.convection is None
+            and problem.radiation is None
+            and not problem.thermal_dirichlet
+        ):
+            raise SolverError(
+                "steady state needs convection, radiation or a thermal "
+                "Dirichlet condition to be well-posed"
+            )
+        t_old = problem.initial_temperatures()
+        cache = {}
+
+        def advance(t_star):
+            phi, cell_t, lambda_diag, _ = self._solve_electrical_full(t_star)
+            q, wire_powers, field_power = self._joule_sources(
+                phi, t_star, cell_t=cell_t
+            )
+            k_th = embed_grid_matrix(
+                self.discretization.stiffness_from_diagonal(lambda_diag),
+                self.total_size,
+            )
+            g_th = self.topology.segment_thermal_conductances(t_star)
+            k_th = k_th + self._wire_stamp_matrix(g_th)
+            diagonal = self.conv_diag.copy()
+            rhs_bc = self.conv_rhs.copy()
+            if problem.radiation is not None:
+                rad_diag, rad_rhs = problem.radiation.linearized_contributions(
+                    self.discretization.dual, t_star[: self.n_grid]
+                )
+                diagonal[: self.n_grid] += rad_diag
+                rhs_bc[: self.n_grid] += rad_rhs
+            matrix = (k_th + sp.diags(diagonal)).tocsr()
+            rhs = q + rhs_bc
+            if problem.thermal_dirichlet:
+                reduced = apply_dirichlet(matrix, rhs, problem.thermal_dirichlet)
+                t_new = reduced.expand(
+                    self._linear_th.solve(reduced.matrix, reduced.rhs)
+                )
+            else:
+                t_new = self._linear_th.solve(matrix.tocsc(), rhs)
+            cache["phi"] = phi
+            cache["wire_powers"] = wire_powers
+            cache["field_power"] = field_power
+            return t_new
+
+        result = fixed_point(
+            advance,
+            t_old,
+            tolerance=self.tolerance,
+            max_iterations=max_iterations,
+            damping=damping,
+        )
+        temperatures = result.solution
+        return StationaryResult(
+            temperatures=temperatures,
+            potentials=cache["phi"],
+            wire_temperatures=self.topology.wire_temperatures(temperatures),
+            wire_powers=cache["wire_powers"],
+            field_joule_power=cache["field_power"],
+            iterations=result.iterations,
+            wire_names=problem.wire_names(),
+        )

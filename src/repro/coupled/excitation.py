@@ -1,0 +1,133 @@
+"""Time-dependent drive waveforms for the coupled solver.
+
+The paper drives the contacts with a constant voltage.  Real parts see
+pulses and duty-cycled loads, and the lumped wire model handles them
+without change: the stationary current problem (capacitive effects
+neglected, Section II-A) is re-solved at each time level with the scaled
+contact potentials.
+
+A waveform is a callable ``w(t) -> float`` scaling every Dirichlet contact
+value; the electrical problem is linear in the potentials at a frozen
+temperature, so scaling the contacts scales the whole field and quadruples
+rules apply to the Joule power automatically.
+"""
+
+import numpy as np
+
+from ..errors import SolverError
+
+
+class Waveform:
+    """Base class: a scalar scale factor as a function of time [s]."""
+
+    def __call__(self, time):
+        raise NotImplementedError
+
+    def sample(self, times):
+        """Vectorized evaluation (loops by default)."""
+        return np.asarray([float(self(t)) for t in np.asarray(times)])
+
+
+class ConstantWaveform(Waveform):
+    """The paper's case: always-on drive (scale 1)."""
+
+    def __init__(self, scale=1.0):
+        self.scale = float(scale)
+
+    def __call__(self, time):
+        return self.scale
+
+    def __repr__(self):
+        return f"ConstantWaveform({self.scale!r})"
+
+
+class StepWaveform(Waveform):
+    """Drive switched on at ``t_on`` and off at ``t_off``."""
+
+    def __init__(self, t_on=0.0, t_off=np.inf, scale=1.0):
+        t_on = float(t_on)
+        t_off = float(t_off)
+        if not t_off > t_on:
+            raise SolverError(
+                f"t_off ({t_off}) must exceed t_on ({t_on})"
+            )
+        self.t_on = t_on
+        self.t_off = t_off
+        self.scale = float(scale)
+
+    def __call__(self, time):
+        return self.scale if self.t_on <= time < self.t_off else 0.0
+
+    def __repr__(self):
+        return (
+            f"StepWaveform(t_on={self.t_on!r}, t_off={self.t_off!r}, "
+            f"scale={self.scale!r})"
+        )
+
+
+class PulseTrainWaveform(Waveform):
+    """Periodic on/off pulses (duty-cycled load)."""
+
+    def __init__(self, period, duty=0.5, scale=1.0, phase=0.0):
+        period = float(period)
+        duty = float(duty)
+        if period <= 0.0:
+            raise SolverError(f"period must be positive, got {period!r}")
+        if not 0.0 < duty <= 1.0:
+            raise SolverError(f"duty must be in (0, 1], got {duty!r}")
+        self.period = period
+        self.duty = duty
+        self.scale = float(scale)
+        self.phase = float(phase)
+
+    def __call__(self, time):
+        local = (float(time) - self.phase) % self.period
+        return self.scale if local < self.duty * self.period else 0.0
+
+    def __repr__(self):
+        return (
+            f"PulseTrainWaveform(period={self.period!r}, duty={self.duty!r}, "
+            f"scale={self.scale!r})"
+        )
+
+
+class RampWaveform(Waveform):
+    """Linear soft-start from 0 to ``scale`` over ``rise_time``."""
+
+    def __init__(self, rise_time, scale=1.0):
+        rise_time = float(rise_time)
+        if rise_time <= 0.0:
+            raise SolverError(f"rise_time must be positive, got {rise_time!r}")
+        self.rise_time = rise_time
+        self.scale = float(scale)
+
+    def __call__(self, time):
+        return self.scale * min(max(float(time) / self.rise_time, 0.0), 1.0)
+
+    def __repr__(self):
+        return f"RampWaveform(rise_time={self.rise_time!r}, scale={self.scale!r})"
+
+
+def as_waveform(value):
+    """Coerce ``None`` / numbers / callables into a :class:`Waveform`."""
+    if value is None:
+        return ConstantWaveform(1.0)
+    if isinstance(value, Waveform):
+        return value
+    if callable(value):
+        wrapped = value
+
+        class _Callable(Waveform):
+            def __call__(self, time):
+                return float(wrapped(time))
+
+            def __repr__(self):
+                return f"Waveform({wrapped!r})"
+
+        return _Callable()
+    try:
+        return ConstantWaveform(float(value))
+    except (TypeError, ValueError) as exc:
+        raise SolverError(
+            f"cannot interpret {value!r} as a waveform"
+        ) from exc

@@ -1,0 +1,161 @@
+"""Result containers and the paper's quantities of interest.
+
+The study's QoI (Section V-C) is the representative temperature of every
+wire over time, ``T_bw,j(t) = X_j^T T(t)``, and derived statistics such as
+the trace of the hottest wire.  :class:`TransientResult` stores exactly
+these per-wire traces (plus the final field for Fig. 8-style exports).
+"""
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+class TransientResult:
+    """Outcome of one coupled transient simulation.
+
+    Attributes
+    ----------
+    times:
+        Time points [s], length ``P`` (including t = 0).
+    wire_temperatures:
+        Array ``(P, W)``: per-wire end-point average temperatures (eq. (5)).
+    wire_peak_temperatures:
+        Array ``(P, W)``: per-wire maxima over chain nodes (differs from
+        the above only for multi-segment wires).
+    wire_powers:
+        Array ``(P, W)``: per-wire Joule powers [W].
+    field_joule_power:
+        Array ``(P,)``: total Joule power dissipated in the field [W].
+    final_temperatures:
+        Full temperature vector at the end time (grid + internal nodes).
+    final_potentials:
+        Full potential vector at the end time.
+    iterations_per_step:
+        Fixed-point iteration counts, length ``P - 1``.
+    wire_names:
+        Labels aligned with the wire axis.
+    """
+
+    def __init__(
+        self,
+        times,
+        wire_temperatures,
+        wire_peak_temperatures,
+        wire_powers,
+        field_joule_power,
+        final_temperatures,
+        final_potentials,
+        iterations_per_step,
+        wire_names,
+    ):
+        self.times = np.asarray(times, dtype=float)
+        self.wire_temperatures = np.asarray(wire_temperatures, dtype=float)
+        self.wire_peak_temperatures = np.asarray(
+            wire_peak_temperatures, dtype=float
+        )
+        self.wire_powers = np.asarray(wire_powers, dtype=float)
+        self.field_joule_power = np.asarray(field_joule_power, dtype=float)
+        self.final_temperatures = np.asarray(final_temperatures, dtype=float)
+        self.final_potentials = np.asarray(final_potentials, dtype=float)
+        self.iterations_per_step = list(iterations_per_step)
+        self.wire_names = list(wire_names)
+
+    @property
+    def num_wires(self):
+        """Number of wires ``W``."""
+        return self.wire_temperatures.shape[1]
+
+    def wire_trace(self, wire):
+        """Temperature trace of one wire (by index or name)."""
+        index = self._wire_index(wire)
+        return self.wire_temperatures[:, index]
+
+    def _wire_index(self, wire):
+        if isinstance(wire, str):
+            try:
+                return self.wire_names.index(wire)
+            except ValueError as exc:
+                raise ReproError(
+                    f"unknown wire {wire!r}; known: {self.wire_names}"
+                ) from exc
+        index = int(wire)
+        if not 0 <= index < self.num_wires:
+            raise ReproError(f"wire index {index} out of range")
+        return index
+
+    def hottest_wire_index(self):
+        """Index of the wire with the highest temperature at any time."""
+        return int(
+            np.unravel_index(
+                np.argmax(self.wire_temperatures), self.wire_temperatures.shape
+            )[1]
+        )
+
+    def max_over_wires(self):
+        """``max_j T_bw,j(t)``: the per-time maximum over all wires.
+
+        This is the per-sample analog of the paper's ``E_max(t)`` (eq. (7)
+        takes the max of the *expected* traces; the Monte Carlo layer does
+        that over samples).
+        """
+        return np.max(self.wire_temperatures, axis=1)
+
+    def final_wire_temperatures(self):
+        """Per-wire temperatures at the end time."""
+        return self.wire_temperatures[-1]
+
+    def total_power_trace(self):
+        """Field plus wire Joule power over time [W]."""
+        return self.field_joule_power + np.sum(self.wire_powers, axis=1)
+
+    def summary(self):
+        """Human-readable one-paragraph summary."""
+        hottest = self.hottest_wire_index()
+        return (
+            f"transient over {self.times[-1]:g} s, {self.times.size} points; "
+            f"hottest wire {self.wire_names[hottest]} reaches "
+            f"{float(np.max(self.wire_temperatures[:, hottest])):.2f} K; "
+            f"total Joule power at end {self.total_power_trace()[-1]:.4e} W"
+        )
+
+    def __repr__(self):
+        return f"TransientResult({self.summary()})"
+
+
+class StationaryResult:
+    """Outcome of a steady-state coupled solve."""
+
+    def __init__(
+        self,
+        temperatures,
+        potentials,
+        wire_temperatures,
+        wire_powers,
+        field_joule_power,
+        iterations,
+        wire_names,
+    ):
+        self.temperatures = np.asarray(temperatures, dtype=float)
+        self.potentials = np.asarray(potentials, dtype=float)
+        self.wire_temperatures = np.asarray(wire_temperatures, dtype=float)
+        self.wire_powers = np.asarray(wire_powers, dtype=float)
+        self.field_joule_power = float(field_joule_power)
+        self.iterations = int(iterations)
+        self.wire_names = list(wire_names)
+
+    def hottest_wire_index(self):
+        """Index of the hottest wire."""
+        return int(np.argmax(self.wire_temperatures))
+
+    def total_power(self):
+        """Total dissipated power [W]."""
+        return self.field_joule_power + float(np.sum(self.wire_powers))
+
+    def __repr__(self):
+        hottest = self.hottest_wire_index()
+        return (
+            f"StationaryResult(hottest {self.wire_names[hottest]} at "
+            f"{self.wire_temperatures[hottest]:.2f} K, "
+            f"P={self.total_power():.4e} W, {self.iterations} iterations)"
+        )

@@ -1,0 +1,139 @@
+"""Standalone transient thermal solves (verification substrate).
+
+The coupled solver embeds its own thermal stepping; this module exposes the
+pure thermal problem -- eq. (4) without the electrical coupling -- so tests
+can compare against analytic solutions (lumped cooling, 1D conduction).
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import AssemblyError
+from ..fit.assembly import FITDiscretization
+from ..fit.boundary import apply_dirichlet
+from ..solvers.linear import LinearSolver
+from ..solvers.newton import fixed_point
+from ..solvers.time_integration import ThetaMethod
+
+
+def solve_thermal_transient(
+    grid,
+    materials,
+    time_grid,
+    t_initial=300.0,
+    node_power=None,
+    convection=None,
+    radiation=None,
+    thermal_dirichlet=(),
+    theta=1.0,
+    tolerance=1.0e-8,
+    max_iterations=30,
+    store_all=False,
+):
+    """Integrate ``M_rhoc dT/dt + K_lambda(T) T = Q`` over a time grid.
+
+    Parameters
+    ----------
+    node_power:
+        Constant external node power vector [W] (``None`` = no sources).
+    theta:
+        Theta-method parameter; 1.0 is the paper's implicit Euler.
+    store_all:
+        When ``True`` the full temperature field at every time point is
+        returned (memory permitting); otherwise only the final field.
+
+    Returns
+    -------
+    dict with keys ``times``, ``final`` and (with ``store_all``)
+    ``fields``, plus ``mean_trace`` (volume-averaged temperature per time
+    point, handy for lumped-model comparisons).
+    """
+    discretization = FITDiscretization(grid, materials)
+    n = grid.num_nodes
+    if node_power is None:
+        node_power = np.zeros(n)
+    node_power = np.asarray(node_power, dtype=float)
+    if node_power.size != n:
+        raise AssemblyError(
+            f"node_power has {node_power.size} entries, grid has {n} nodes"
+        )
+
+    capacitance = discretization.thermal_capacitance()
+    stepper = ThetaMethod(theta)
+    solver = LinearSolver()
+    dual = discretization.dual
+
+    conv_diag = np.zeros(n)
+    conv_rhs = np.zeros(n)
+    if convection is not None:
+        conv_diag, conv_rhs = convection.contributions(dual)
+
+    temperatures = np.full(n, float(t_initial))
+    times = time_grid.times
+    dt = time_grid.dt
+    fields = [temperatures.copy()] if store_all else None
+    dual_volumes = dual.dual_volumes()
+    total_volume = float(np.sum(dual_volumes))
+    mean_trace = [float(np.dot(dual_volumes, temperatures)) / total_volume]
+
+    for _ in range(time_grid.num_steps):
+        t_old = temperatures
+
+        def advance(t_star):
+            cell_t = discretization.cell_temperatures(t_star)
+            stiffness = discretization.stiffness_from_diagonal(
+                _lambda_diag(discretization, cell_t)
+            )
+            diagonal = conv_diag.copy()
+            rhs_bc = conv_rhs.copy()
+            if radiation is not None:
+                rad_diag, rad_rhs = radiation.linearized_contributions(
+                    dual, t_star
+                )
+                diagonal = diagonal + rad_diag
+                rhs_bc = rhs_bc + rad_rhs
+            matrix = stepper.step_matrix(
+                capacitance, stiffness + sp.diags(diagonal), dt
+            )
+            rhs = stepper.step_rhs(
+                capacitance,
+                stiffness + sp.diags(diagonal),
+                t_old,
+                node_power + rhs_bc,
+                node_power + rhs_bc,
+                dt,
+            )
+            if thermal_dirichlet:
+                reduced = apply_dirichlet(matrix, rhs, thermal_dirichlet)
+                return reduced.expand(solver.solve(reduced.matrix, reduced.rhs))
+            return solver.solve(matrix, rhs)
+
+        result = fixed_point(
+            advance,
+            t_old,
+            tolerance=tolerance,
+            max_iterations=max_iterations,
+        )
+        temperatures = result.solution
+        if store_all:
+            fields.append(temperatures.copy())
+        mean_trace.append(
+            float(np.dot(dual_volumes, temperatures)) / total_volume
+        )
+
+    output = {
+        "times": times,
+        "final": temperatures,
+        "mean_trace": np.asarray(mean_trace),
+    }
+    if store_all:
+        output["fields"] = fields
+    return output
+
+
+def _lambda_diag(discretization, cell_temperatures):
+    """Per-edge thermal conductance diagonal at the given cell temperatures."""
+    from ..fit.material_matrices import conductance_diagonal
+
+    lam = discretization.materials.lambda_cells(cell_temperatures)
+    return conductance_diagonal(discretization.dual, lam)

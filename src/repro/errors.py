@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError` so that callers can catch library errors without also
+swallowing programming mistakes such as ``TypeError``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GridError(ReproError):
+    """Invalid grid definition (non-monotone coordinates, too few nodes...)."""
+
+
+class MaterialError(ReproError):
+    """Invalid material definition or property evaluation failure."""
+
+
+class AssemblyError(ReproError):
+    """System assembly failed (shape mismatch, unknown region, ...)."""
+
+
+class BoundaryConditionError(ReproError):
+    """Inconsistent or conflicting boundary conditions."""
+
+
+class SolverError(ReproError):
+    """A linear or nonlinear solve failed to produce a usable solution."""
+
+
+class ConvergenceError(SolverError):
+    """An iterative method exhausted its iteration budget without converging."""
+
+    def __init__(self, message, iterations=None, residual=None):
+        super().__init__(message)
+        #: Number of iterations performed before giving up (may be ``None``).
+        self.iterations = iterations
+        #: Last residual norm observed (may be ``None``).
+        self.residual = residual
+
+
+class BondWireError(ReproError):
+    """Invalid bonding wire definition (non-positive length, bad nodes...)."""
+
+
+class CircuitError(ReproError):
+    """Invalid netlist or a singular circuit system."""
+
+
+class DistributionError(ReproError):
+    """Invalid probability distribution parameters or fitting failure."""
+
+
+class SamplingError(ReproError):
+    """Invalid sampling request (non-positive sample count, dimension...)."""
+
+
+class PackageLayoutError(ReproError):
+    """Invalid chip package layout description."""
+
+
+class MeasurementError(ReproError):
+    """Invalid measurement dataset."""

@@ -1,0 +1,44 @@
+"""Finite Integration Technique discretization (Section III of the paper).
+
+This package turns a :class:`~repro.grid.tensor_grid.TensorGrid` plus a
+cell-wise material assignment into the discrete operators of eqs. (3)-(4):
+
+* diagonal material matrices ``M_sigma(T)``, ``M_lambda(T)`` (edge based)
+  and ``M_rhoc`` (dual-cell based) -- :mod:`repro.fit.material_matrices`,
+* stiffness assembly ``K = S_dual M S_dual^T`` -- :mod:`repro.fit.assembly`,
+* boundary conditions: Dirichlet (PEC contacts), adiabatic Neumann,
+  convection and radiation -- :mod:`repro.fit.boundary`,
+* the Joule heating bridge from the electrical to the thermal side --
+  :mod:`repro.fit.joule`.
+"""
+
+from .assembly import FITDiscretization
+from .boundary import (
+    ConvectionBC,
+    DirichletBC,
+    RadiationBC,
+    ReducedSystem,
+    apply_dirichlet,
+)
+from .joule import joule_cell_power_density, joule_node_power
+from .material_field import MaterialField
+from .material_matrices import (
+    electrical_conductance_diagonal,
+    thermal_capacitance_diagonal,
+    thermal_conductance_diagonal,
+)
+
+__all__ = [
+    "FITDiscretization",
+    "MaterialField",
+    "DirichletBC",
+    "ConvectionBC",
+    "RadiationBC",
+    "ReducedSystem",
+    "apply_dirichlet",
+    "electrical_conductance_diagonal",
+    "thermal_conductance_diagonal",
+    "thermal_capacitance_diagonal",
+    "joule_cell_power_density",
+    "joule_node_power",
+]

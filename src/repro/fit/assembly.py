@@ -1,0 +1,148 @@
+"""System assembly: the discretization object tying everything together.
+
+:class:`FITDiscretization` caches the topological operators and metric
+weights of a grid so that the per-iteration work of the nonlinear coupled
+loop reduces to two sparse matrix-vector products (property averaging) and
+one triple product (stiffness).
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import AssemblyError
+from ..grid.dual import DualGeometry
+from ..grid.operators import build_gradient, directional_gradients, edge_lengths
+from .material_matrices import conductance_diagonal
+
+
+class FITDiscretization:
+    """Precomputed FIT operators for one grid + material field.
+
+    Parameters
+    ----------
+    grid:
+        The primary :class:`~repro.grid.tensor_grid.TensorGrid`.
+    material_field:
+        The :class:`~repro.fit.material_field.MaterialField` with the cell
+        material assignment.
+    """
+
+    def __init__(self, grid, material_field):
+        if material_field.grid is not grid and material_field.grid != grid:
+            raise AssemblyError("material field was built for a different grid")
+        self.grid = grid
+        self.materials = material_field
+        self.dual = DualGeometry(grid)
+        self.gradient = build_gradient(grid)
+        self.gradient_blocks = directional_gradients(grid)
+        self.edge_lengths = edge_lengths(grid)
+        self.cell_volumes = grid.cell_volumes()
+        self._overlap = self.dual.node_cell_overlap()
+        # Row-normalized transpose of the overlap operator: averages a node
+        # quantity to cells with weights proportional to the shared volume.
+        overlap_t = self._overlap.T.tocsr()
+        inv_cell_volumes = 1.0 / self.cell_volumes
+        self._node_to_cell = sp.diags(inv_cell_volumes) @ overlap_t
+
+    # ------------------------------------------------------------------
+    # Field transfer operators
+    # ------------------------------------------------------------------
+    def cell_temperatures(self, node_temperatures):
+        """Volume-weighted average of node temperatures onto cells."""
+        node_temperatures = np.asarray(node_temperatures, dtype=float)
+        if node_temperatures.size != self.grid.num_nodes:
+            raise AssemblyError(
+                f"expected {self.grid.num_nodes} node temperatures, got "
+                f"{node_temperatures.size}"
+            )
+        return self._node_to_cell @ node_temperatures
+
+    def node_power_from_cells(self, cell_power_density):
+        """Conservative lumping of a cell power density [W/m^3] to nodes [W].
+
+        ``P_node = O @ q_cells`` with the overlap-volume operator, so the
+        total lumped power equals ``sum(q_k * V_k)`` exactly.
+        """
+        return self._overlap @ np.asarray(cell_power_density, dtype=float)
+
+    # ------------------------------------------------------------------
+    # Matrix assembly
+    # ------------------------------------------------------------------
+    def stiffness_from_diagonal(self, edge_diagonal):
+        """Assemble ``K = G^T diag(m) G`` from a per-edge conductance diagonal.
+
+        With the duality ``S_dual = -G^T`` this equals the paper's
+        ``S_dual M S_dual^T`` and is symmetric positive semi-definite.
+        """
+        edge_diagonal = np.asarray(edge_diagonal, dtype=float)
+        if edge_diagonal.size != self.grid.num_edges:
+            raise AssemblyError(
+                f"expected {self.grid.num_edges} edge values, got "
+                f"{edge_diagonal.size}"
+            )
+        weighted = self.gradient.multiply(edge_diagonal[:, None]).tocsr()
+        return (self.gradient.T @ weighted).tocsr()
+
+    def electrical_stiffness(self, node_temperatures=None):
+        """``K_el(T) = S_dual M_sigma(T) S_dual^T`` [S]."""
+        cell_t = None
+        if node_temperatures is not None:
+            cell_t = self.cell_temperatures(node_temperatures)
+        sigma = self.materials.sigma_cells(cell_t)
+        return self.stiffness_from_diagonal(
+            conductance_diagonal(self.dual, sigma)
+        )
+
+    def thermal_stiffness(self, node_temperatures=None):
+        """``K_th(T) = S_dual M_lambda(T) S_dual^T`` [W/K]."""
+        cell_t = None
+        if node_temperatures is not None:
+            cell_t = self.cell_temperatures(node_temperatures)
+        lam = self.materials.lambda_cells(cell_t)
+        return self.stiffness_from_diagonal(
+            conductance_diagonal(self.dual, lam)
+        )
+
+    def thermal_capacitance(self):
+        """Diagonal heat capacitance vector ``M_rhoc`` [J/K] (per node)."""
+        return self._overlap @ self.materials.rhoc_cells()
+
+    # ------------------------------------------------------------------
+    # Electric field reconstruction (needed by the Joule term)
+    # ------------------------------------------------------------------
+    def cell_field_components(self, potentials):
+        """Cell-centred electric field components ``(Ex, Ey, Ez)`` [V/m].
+
+        Voltages along primary edges are ``e = -G Phi``; each Cartesian
+        component at a cell center is the mean of the four parallel edge
+        fields ``e / l`` of that cell.
+        """
+        potentials = np.asarray(potentials, dtype=float)
+        gx, gy, gz = self.gradient_blocks
+        nx, ny, nz = self.grid.shape
+        n_ex, n_ey, n_ez = self.grid.num_edges_per_direction
+        lengths = self.edge_lengths
+        ex_edges = -(gx @ potentials) / lengths[:n_ex]
+        ey_edges = -(gy @ potentials) / lengths[n_ex:n_ex + n_ey]
+        ez_edges = -(gz @ potentials) / lengths[n_ex + n_ey:]
+
+        ex = ex_edges.reshape(nz, ny, nx - 1)
+        ey = ey_edges.reshape(nz, ny - 1, nx)
+        ez = ez_edges.reshape(nz - 1, ny, nx)
+        # Average the 4 parallel edges of each cell.
+        ex_cells = 0.25 * (
+            ex[:-1, :-1, :] + ex[:-1, 1:, :] + ex[1:, :-1, :] + ex[1:, 1:, :]
+        )
+        ey_cells = 0.25 * (
+            ey[:-1, :, :-1] + ey[:-1, :, 1:] + ey[1:, :, :-1] + ey[1:, :, 1:]
+        )
+        ez_cells = 0.25 * (
+            ez[:, :-1, :-1] + ez[:, :-1, 1:] + ez[:, 1:, :-1] + ez[:, 1:, 1:]
+        )
+        return ex_cells.ravel(), ey_cells.ravel(), ez_cells.ravel()
+
+    def __repr__(self):
+        return (
+            f"FITDiscretization(nodes={self.grid.num_nodes}, "
+            f"edges={self.grid.num_edges}, cells={self.grid.num_cells})"
+        )

@@ -1,0 +1,219 @@
+"""Boundary conditions for the electrical and thermal sub-problems.
+
+The paper's model uses
+
+* **Dirichlet** conditions on the PEC contact nodes (electrical) -- handled
+  by row/column elimination that keeps the reduced system symmetric,
+* homogeneous **Neumann** (no flux) everywhere else -- the natural boundary
+  condition of the FIT assembly, nothing to do,
+* **convection** ``q = h (T - T_inf)`` and **radiation**
+  ``q = eps sigma_SB (T^4 - T_inf^4)`` on all thermal boundaries
+  (Section V-B: h = 25 W/m^2/K, eps = 0.2475).
+
+Convection is linear and contributes ``h A`` to the matrix diagonal and
+``h A T_inf`` to the right-hand side.  Radiation is linearized around the
+latest temperature iterate ``T*``:
+
+``T^4 ~ 4 T*^3 T - 3 T*^4``  =>  diagonal ``4 eps sigma A T*^3`` and
+right-hand side ``eps sigma A (3 T*^4 + T_inf^4)``.
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..constants import STEFAN_BOLTZMANN
+from ..errors import BoundaryConditionError
+
+ALL_FACES = ("x-", "x+", "y-", "y+", "z-", "z+")
+
+
+class DirichletBC:
+    """Fixed value (potential or temperature) at a set of nodes."""
+
+    def __init__(self, nodes, value, label=""):
+        nodes = np.asarray(nodes, dtype=np.int64).ravel()
+        if nodes.size == 0:
+            raise BoundaryConditionError(
+                f"Dirichlet BC {label!r} selects no nodes"
+            )
+        if np.unique(nodes).size != nodes.size:
+            nodes = np.unique(nodes)
+        self.nodes = nodes
+        self.value = float(value)
+        self.label = label
+
+    def __repr__(self):
+        return (
+            f"DirichletBC(nodes={self.nodes.size}, value={self.value!r}, "
+            f"label={self.label!r})"
+        )
+
+
+class ReducedSystem:
+    """A Dirichlet-reduced linear system ``A_ff x_f = b_f``.
+
+    Attributes
+    ----------
+    matrix, rhs:
+        The reduced operator and right-hand side over the free nodes.
+    free, fixed:
+        Flat node index arrays.
+    fixed_values:
+        Values imposed on the fixed nodes (aligned with ``fixed``).
+    """
+
+    def __init__(self, matrix, rhs, free, fixed, fixed_values, size):
+        self.matrix = matrix
+        self.rhs = rhs
+        self.free = free
+        self.fixed = fixed
+        self.fixed_values = fixed_values
+        self.size = size
+
+    def expand(self, free_solution):
+        """Scatter a free-node solution back to the full node vector."""
+        full = np.empty(self.size)
+        full[self.free] = free_solution
+        full[self.fixed] = self.fixed_values
+        return full
+
+    def restrict(self, full_vector):
+        """Extract the free-node part of a full node vector."""
+        return np.asarray(full_vector)[self.free]
+
+
+def combine_dirichlet(bcs, size):
+    """Merge Dirichlet BCs into ``(fixed_nodes, fixed_values)``.
+
+    Overlapping node sets with conflicting values raise; overlapping sets
+    with identical values are merged silently (adjacent PEC pads may share
+    corner nodes).
+    """
+    value_by_node = {}
+    for bc in bcs:
+        for node in bc.nodes:
+            node = int(node)
+            if node < 0 or node >= size:
+                raise BoundaryConditionError(
+                    f"Dirichlet node {node} out of range for {size} nodes"
+                )
+            if node in value_by_node and value_by_node[node] != bc.value:
+                raise BoundaryConditionError(
+                    f"conflicting Dirichlet values at node {node}: "
+                    f"{value_by_node[node]} vs {bc.value}"
+                )
+            value_by_node[node] = bc.value
+    if not value_by_node:
+        return np.empty(0, dtype=np.int64), np.empty(0)
+    fixed = np.asarray(sorted(value_by_node), dtype=np.int64)
+    values = np.asarray([value_by_node[int(n)] for n in fixed])
+    return fixed, values
+
+
+def apply_dirichlet(matrix, rhs, bcs):
+    """Eliminate Dirichlet nodes from ``matrix @ x = rhs``.
+
+    Returns a :class:`ReducedSystem`.  The reduced matrix is the free-free
+    block; the right-hand side is corrected by ``-A_fc x_c`` so symmetry
+    (and positive definiteness, if present) is preserved.
+    """
+    size = matrix.shape[0]
+    rhs = np.asarray(rhs, dtype=float)
+    if rhs.size != size:
+        raise BoundaryConditionError(
+            f"rhs has {rhs.size} entries, matrix is {size}x{size}"
+        )
+    fixed, fixed_values = combine_dirichlet(bcs, size)
+    mask = np.ones(size, dtype=bool)
+    mask[fixed] = False
+    free = np.nonzero(mask)[0]
+    matrix = matrix.tocsr()
+    a_ff = matrix[free][:, free]
+    a_fc = matrix[free][:, fixed]
+    reduced_rhs = rhs[free] - a_fc @ fixed_values
+    return ReducedSystem(a_ff.tocsr(), reduced_rhs, free, fixed, fixed_values, size)
+
+
+class ConvectionBC:
+    """Convective heat exchange ``q = h (T - T_inf)`` on boundary faces."""
+
+    def __init__(self, heat_transfer_coefficient, t_ambient, faces=ALL_FACES):
+        if heat_transfer_coefficient < 0.0:
+            raise BoundaryConditionError(
+                "heat transfer coefficient must be non-negative, got "
+                f"{heat_transfer_coefficient!r}"
+            )
+        self.h = float(heat_transfer_coefficient)
+        self.t_ambient = float(t_ambient)
+        self.faces = tuple(faces)
+        for face in self.faces:
+            if face not in ALL_FACES:
+                raise BoundaryConditionError(f"unknown face {face!r}")
+
+    def node_conductances(self, dual_geometry):
+        """Per-node convective conductance ``h A`` [W/K] (dense vector)."""
+        total = np.zeros(dual_geometry.grid.num_nodes)
+        for face in self.faces:
+            nodes, areas = dual_geometry.boundary_areas(face)
+            np.add.at(total, nodes, self.h * areas)
+        return total
+
+    def contributions(self, dual_geometry):
+        """``(diagonal, rhs)`` pair to add to the thermal system.
+
+        Moving ``h A T`` to the left and ``h A T_inf`` to the right makes
+        the scheme unconditionally stable for this term.
+        """
+        conductance = self.node_conductances(dual_geometry)
+        return conductance, conductance * self.t_ambient
+
+    def power(self, dual_geometry, temperatures):
+        """Instantaneous convective power leaving the model [W]."""
+        conductance = self.node_conductances(dual_geometry)
+        return float(np.sum(conductance * (temperatures - self.t_ambient)))
+
+
+class RadiationBC:
+    """Radiative heat exchange ``q = eps sigma_SB (T^4 - T_inf^4)``."""
+
+    def __init__(self, emissivity, t_ambient, faces=ALL_FACES):
+        if not 0.0 <= float(emissivity) <= 1.0:
+            raise BoundaryConditionError(
+                f"emissivity must be in [0, 1], got {emissivity!r}"
+            )
+        self.emissivity = float(emissivity)
+        self.t_ambient = float(t_ambient)
+        self.faces = tuple(faces)
+        for face in self.faces:
+            if face not in ALL_FACES:
+                raise BoundaryConditionError(f"unknown face {face!r}")
+
+    def node_coefficients(self, dual_geometry):
+        """Per-node radiative coefficient ``eps sigma_SB A`` [W/K^4]."""
+        total = np.zeros(dual_geometry.grid.num_nodes)
+        for face in self.faces:
+            nodes, areas = dual_geometry.boundary_areas(face)
+            np.add.at(total, nodes, self.emissivity * STEFAN_BOLTZMANN * areas)
+        return total
+
+    def linearized_contributions(self, dual_geometry, t_star):
+        """``(diagonal, rhs)`` from linearizing ``T^4`` around ``t_star``.
+
+        ``T^4 ~ 4 T*^3 T - 3 T*^4`` gives diagonal ``4 c T*^3`` and
+        right-hand side ``c (3 T*^4 + T_inf^4)`` with ``c = eps sigma A``.
+        Repeating the linearization inside the nonlinear loop recovers the
+        exact quartic law at convergence.
+        """
+        t_star = np.asarray(t_star, dtype=float)
+        coefficient = self.node_coefficients(dual_geometry)
+        diagonal = 4.0 * coefficient * t_star**3
+        rhs = coefficient * (3.0 * t_star**4 + self.t_ambient**4)
+        return diagonal, rhs
+
+    def power(self, dual_geometry, temperatures):
+        """Instantaneous radiative power leaving the model [W]."""
+        temperatures = np.asarray(temperatures, dtype=float)
+        coefficient = self.node_coefficients(dual_geometry)
+        return float(
+            np.sum(coefficient * (temperatures**4 - self.t_ambient**4))
+        )

@@ -1,0 +1,38 @@
+"""Structured tensor-product hexahedral grids and FIT topological operators.
+
+The Finite Integration Technique (Section III of the paper) lives on a
+staggered pair of grids: the *primary* grid carries potentials and
+temperatures at its nodes, voltages and temperature drops on its edges; the
+*dual* grid carries currents and heat fluxes through its facets.  For a
+tensor-product primary grid the dual grid is again tensor-product and all
+metric information reduces to per-direction half-widths, which is what
+:mod:`repro.grid.dual` computes.
+
+Flattening convention: x varies fastest, then y, then z (Fortran-like for
+the (i, j, k) triple); edge sets are ordered x-edges, then y-edges, then
+z-edges.
+"""
+
+from .dual import DualGeometry
+from .indexing import GridIndexing
+from .operators import (
+    build_divergence,
+    build_gradient,
+    check_house_duality,
+    directional_gradients,
+)
+from .refinement import geometric_spacing, refine_coordinates, snap_coordinates
+from .tensor_grid import TensorGrid
+
+__all__ = [
+    "TensorGrid",
+    "GridIndexing",
+    "DualGeometry",
+    "build_gradient",
+    "build_divergence",
+    "directional_gradients",
+    "check_house_duality",
+    "refine_coordinates",
+    "snap_coordinates",
+    "geometric_spacing",
+]

@@ -1,0 +1,188 @@
+"""Dual-grid metric quantities for a tensor-product primary grid.
+
+For a mutually orthogonal staggered grid pair every primary edge pierces
+exactly one dual facet and every primary node owns one dual cell.  All dual
+metrics factorize into per-direction *half-width overlaps*:
+
+* ``overlap_1d`` is the ``(n, n - 1)`` matrix whose entry ``(i, c)`` is the
+  length of the overlap between node i's dual interval and primary cell c
+  (half the cell width when c is adjacent to i, zero otherwise);
+* row sums of ``overlap_1d`` are the dual interval widths;
+* column sums recover the primary cell widths, which is the discrete
+  partition-of-unity property that makes volume and power bookkeeping
+  exactly conservative.
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import GridError
+
+
+def overlap_1d(coordinates):
+    """Node-cell overlap matrix for one coordinate direction.
+
+    Shape ``(n, n - 1)``; entry ``(i, c)`` is ``dx_c / 2`` if ``c`` is the
+    cell left (``c = i - 1``) or right (``c = i``) of node ``i``.
+    """
+    coordinates = np.asarray(coordinates, dtype=float)
+    n = coordinates.size
+    if n < 2:
+        raise GridError("overlap matrix needs at least 2 nodes")
+    widths = np.diff(coordinates)
+    rows = []
+    cols = []
+    vals = []
+    for i in range(n):
+        if i - 1 >= 0:
+            rows.append(i)
+            cols.append(i - 1)
+            vals.append(0.5 * widths[i - 1])
+        if i <= n - 2:
+            rows.append(i)
+            cols.append(i)
+            vals.append(0.5 * widths[i])
+    return sp.csr_matrix((vals, (rows, cols)), shape=(n, n - 1))
+
+
+def dual_widths(coordinates):
+    """Dual interval widths per node (half-cell at each boundary node)."""
+    coordinates = np.asarray(coordinates, dtype=float)
+    widths = np.diff(coordinates)
+    dual = np.zeros(coordinates.size)
+    dual[:-1] += 0.5 * widths
+    dual[1:] += 0.5 * widths
+    return dual
+
+
+class DualGeometry:
+    """All dual-grid metrics of a :class:`~repro.grid.tensor_grid.TensorGrid`.
+
+    The constructor precomputes the per-direction overlap matrices; the 3D
+    operators (node-cell overlap volumes, edge-facet weights) are cached on
+    first use because they are the building blocks of every material matrix.
+    """
+
+    def __init__(self, grid):
+        self.grid = grid
+        self.overlap_x = overlap_1d(grid.x)
+        self.overlap_y = overlap_1d(grid.y)
+        self.overlap_z = overlap_1d(grid.z)
+        self.dual_dx = dual_widths(grid.x)
+        self.dual_dy = dual_widths(grid.y)
+        self.dual_dz = dual_widths(grid.z)
+        self._node_cell_overlap = None
+        self._facet_weights = None
+
+    # ------------------------------------------------------------------
+    # Dual cell volumes
+    # ------------------------------------------------------------------
+    def dual_volumes(self):
+        """Dual cell volume per node, shape ``(num_nodes,)``.
+
+        Sums to the total grid volume exactly.
+        """
+        vol = (
+            self.dual_dz[:, None, None]
+            * self.dual_dy[None, :, None]
+            * self.dual_dx[None, None, :]
+        )
+        return vol.ravel()
+
+    def node_cell_overlap(self):
+        """Sparse node-by-cell overlap-volume operator ``O``.
+
+        ``O[j, k]`` is the volume shared by node j's dual cell and primary
+        cell k.  Column sums equal primary cell volumes; row sums equal dual
+        cell volumes.  ``O @ q_cells`` therefore distributes a cell quantity
+        to nodes conservatively, which is how both the heat capacitance
+        matrix and the Joule power lumping are built.
+        """
+        if self._node_cell_overlap is None:
+            self._node_cell_overlap = sp.kron(
+                self.overlap_z, sp.kron(self.overlap_y, self.overlap_x)
+            ).tocsr()
+        return self._node_cell_overlap
+
+    # ------------------------------------------------------------------
+    # Dual facet areas and edge weights
+    # ------------------------------------------------------------------
+    def dual_facet_areas(self):
+        """Dual facet area per primary edge, ordered like the gradient rows."""
+        nx, ny, nz = self.grid.shape
+        area_x = (
+            self.dual_dz[:, None, None]
+            * self.dual_dy[None, :, None]
+            * np.ones((1, 1, nx - 1))
+        ).ravel()
+        area_y = (
+            self.dual_dz[:, None, None]
+            * np.ones((1, ny - 1, 1))
+            * self.dual_dx[None, None, :]
+        ).ravel()
+        area_z = (
+            np.ones((nz - 1, 1, 1))
+            * self.dual_dy[None, :, None]
+            * self.dual_dx[None, None, :]
+        ).ravel()
+        return np.concatenate([area_x, area_y, area_z])
+
+    def facet_weight_operators(self):
+        """Per-direction edge-by-cell area-overlap operators ``(W_x, W_y, W_z)``.
+
+        ``W_x[e, k]`` is the area that primary cell k contributes to the
+        dual facet of x-edge e; row sums equal the dual facet areas.  The
+        conductivity seen by an edge is then the area-weighted average
+        ``(W @ sigma_cells) / area``, exactly the "volumetric averaging of
+        the primary cells touching the considered primary edge" of the
+        paper.
+        """
+        if self._facet_weights is None:
+            nx, ny, nz = self.grid.shape
+            ix_cells = sp.identity(nx - 1, format="csr")
+            iy_cells = sp.identity(ny - 1, format="csr")
+            iz_cells = sp.identity(nz - 1, format="csr")
+            w_x = sp.kron(self.overlap_z, sp.kron(self.overlap_y, ix_cells)).tocsr()
+            w_y = sp.kron(self.overlap_z, sp.kron(iy_cells, self.overlap_x)).tocsr()
+            w_z = sp.kron(iz_cells, sp.kron(self.overlap_y, self.overlap_x)).tocsr()
+            self._facet_weights = (w_x, w_y, w_z)
+        return self._facet_weights
+
+    # ------------------------------------------------------------------
+    # Boundary areas (for convection / radiation)
+    # ------------------------------------------------------------------
+    def boundary_areas(self, face):
+        """Exposed dual areas of the nodes on one boundary face.
+
+        Returns ``(node_indices, areas)``.  For face ``"z+"`` for example,
+        the exposed area of a node is the product of its dual widths in x
+        and y; corner nodes therefore get quarter areas automatically, and
+        the per-face areas sum exactly to the face area.
+        """
+        from .indexing import GridIndexing
+
+        indexing = GridIndexing(self.grid)
+        nodes = indexing.boundary_nodes(face)
+        i, j, k = indexing.node_ijk(nodes)
+        axis = face[0]
+        if axis == "x":
+            areas = self.dual_dy[j] * self.dual_dz[k]
+        elif axis == "y":
+            areas = self.dual_dx[i] * self.dual_dz[k]
+        else:
+            areas = self.dual_dx[i] * self.dual_dy[j]
+        return nodes, areas
+
+    def all_boundary_areas(self):
+        """Total exposed area per node over all six faces.
+
+        Returns a dense array of length ``num_nodes``; interior nodes are
+        zero, edge/corner nodes accumulate the areas of every face they lie
+        on.  This is the area vector used by the convective and radiative
+        boundary terms ``Q_bnd`` of the paper.
+        """
+        total = np.zeros(self.grid.num_nodes)
+        for face in ("x-", "x+", "y-", "y+", "z-", "z+"):
+            nodes, areas = self.boundary_areas(face)
+            np.add.at(total, nodes, areas)
+        return total

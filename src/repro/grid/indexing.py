@@ -1,0 +1,170 @@
+"""Flat-index arithmetic for nodes, edges and cells of a tensor grid.
+
+The flattening convention (x fastest, then y, then z) is fixed here and
+shared by every operator builder.  Keeping the arithmetic in a single class
+means the rest of the library never manipulates raw strides.
+"""
+
+import numpy as np
+
+from ..errors import GridError
+
+
+class GridIndexing:
+    """Index helper bound to a :class:`~repro.grid.tensor_grid.TensorGrid`."""
+
+    def __init__(self, grid):
+        self.grid = grid
+        self.nx, self.ny, self.nz = grid.shape
+
+    # ------------------------------------------------------------------
+    # Nodes
+    # ------------------------------------------------------------------
+    def node_index(self, i, j, k):
+        """Flat node index of integer coordinates ``(i, j, k)``.
+
+        Accepts scalars or arrays; negative indices are rejected (they would
+        silently wrap, which is never intended for grid arithmetic).
+        """
+        i = np.asarray(i)
+        j = np.asarray(j)
+        k = np.asarray(k)
+        if (
+            np.any(i < 0)
+            or np.any(j < 0)
+            or np.any(k < 0)
+            or np.any(i >= self.nx)
+            or np.any(j >= self.ny)
+            or np.any(k >= self.nz)
+        ):
+            raise GridError(
+                f"node index out of range: ({i}, {j}, {k}) for shape "
+                f"({self.nx}, {self.ny}, {self.nz})"
+            )
+        result = i + self.nx * (j + self.ny * k)
+        if result.ndim == 0:
+            return int(result)
+        return result.astype(np.int64)
+
+    def node_ijk(self, flat):
+        """Inverse of :meth:`node_index`."""
+        flat = np.asarray(flat)
+        if np.any(flat < 0) or np.any(flat >= self.grid.num_nodes):
+            raise GridError(f"flat node index out of range: {flat}")
+        k, rem = np.divmod(flat, self.nx * self.ny)
+        j, i = np.divmod(rem, self.nx)
+        if flat.ndim == 0:
+            return (int(i), int(j), int(k))
+        return i.astype(np.int64), j.astype(np.int64), k.astype(np.int64)
+
+    def nearest_node(self, point):
+        """Flat index of the grid node closest to ``point = (x, y, z)``."""
+        x, y, z = point
+        i = int(np.argmin(np.abs(self.grid.x - float(x))))
+        j = int(np.argmin(np.abs(self.grid.y - float(y))))
+        k = int(np.argmin(np.abs(self.grid.z - float(z))))
+        return self.node_index(i, j, k)
+
+    def nodes_in_box(self, box):
+        """Flat indices of all nodes inside an axis-aligned box.
+
+        ``box = ((x0, x1), (y0, y1), (z0, z1))``; boundaries are inclusive
+        up to a relative tolerance so that nodes snapped exactly onto a
+        material interface are found reliably.
+        """
+        (x0, x1), (y0, y1), (z0, z1) = box
+        tol_x = 1.0e-9 * max(abs(x0), abs(x1), 1.0e-30)
+        tol_y = 1.0e-9 * max(abs(y0), abs(y1), 1.0e-30)
+        tol_z = 1.0e-9 * max(abs(z0), abs(z1), 1.0e-30)
+        sel_x = np.nonzero(
+            (self.grid.x >= x0 - tol_x) & (self.grid.x <= x1 + tol_x)
+        )[0]
+        sel_y = np.nonzero(
+            (self.grid.y >= y0 - tol_y) & (self.grid.y <= y1 + tol_y)
+        )[0]
+        sel_z = np.nonzero(
+            (self.grid.z >= z0 - tol_z) & (self.grid.z <= z1 + tol_z)
+        )[0]
+        if sel_x.size == 0 or sel_y.size == 0 or sel_z.size == 0:
+            return np.empty(0, dtype=np.int64)
+        ii, jj, kk = np.meshgrid(sel_x, sel_y, sel_z, indexing="ij")
+        return self.node_index(ii.ravel(), jj.ravel(), kk.ravel())
+
+    def boundary_nodes(self, face):
+        """Flat node indices of one of the six boundary faces.
+
+        ``face`` is one of ``"x-"``, ``"x+"``, ``"y-"``, ``"y+"``, ``"z-"``,
+        ``"z+"``.
+        """
+        faces = {"x-", "x+", "y-", "y+", "z-", "z+"}
+        if face not in faces:
+            raise GridError(f"unknown face {face!r}; expected one of {sorted(faces)}")
+        axis = face[0]
+        side = face[1]
+        ranges = {
+            "x": np.arange(self.nx),
+            "y": np.arange(self.ny),
+            "z": np.arange(self.nz),
+        }
+        fixed = {"x": self.nx - 1, "y": self.ny - 1, "z": self.nz - 1}
+        if side == "-":
+            ranges[axis] = np.array([0])
+        else:
+            ranges[axis] = np.array([fixed[axis]])
+        ii, jj, kk = np.meshgrid(ranges["x"], ranges["y"], ranges["z"], indexing="ij")
+        return self.node_index(ii.ravel(), jj.ravel(), kk.ravel())
+
+    def all_boundary_nodes(self):
+        """Flat indices of every node on the grid boundary (deduplicated)."""
+        faces = ["x-", "x+", "y-", "y+", "z-", "z+"]
+        indices = np.concatenate([self.boundary_nodes(face) for face in faces])
+        return np.unique(indices)
+
+    # ------------------------------------------------------------------
+    # Cells
+    # ------------------------------------------------------------------
+    def cell_index(self, i, j, k):
+        """Flat cell index of the cell with lowest corner ``(i, j, k)``."""
+        cx, cy, cz = self.grid.cell_shape
+        i = np.asarray(i)
+        j = np.asarray(j)
+        k = np.asarray(k)
+        if (
+            np.any(i < 0)
+            or np.any(j < 0)
+            or np.any(k < 0)
+            or np.any(i >= cx)
+            or np.any(j >= cy)
+            or np.any(k >= cz)
+        ):
+            raise GridError(
+                f"cell index out of range: ({i}, {j}, {k}) for cell shape "
+                f"({cx}, {cy}, {cz})"
+            )
+        result = i + cx * (j + cy * k)
+        if result.ndim == 0:
+            return int(result)
+        return result.astype(np.int64)
+
+    def cells_in_box(self, box):
+        """Flat indices of all cells whose *center* lies inside the box."""
+        (x0, x1), (y0, y1), (z0, z1) = box
+        cx = 0.5 * (self.grid.x[:-1] + self.grid.x[1:])
+        cy = 0.5 * (self.grid.y[:-1] + self.grid.y[1:])
+        cz = 0.5 * (self.grid.z[:-1] + self.grid.z[1:])
+        sel_x = np.nonzero((cx >= x0) & (cx <= x1))[0]
+        sel_y = np.nonzero((cy >= y0) & (cy <= y1))[0]
+        sel_z = np.nonzero((cz >= z0) & (cz <= z1))[0]
+        if sel_x.size == 0 or sel_y.size == 0 or sel_z.size == 0:
+            return np.empty(0, dtype=np.int64)
+        ii, jj, kk = np.meshgrid(sel_x, sel_y, sel_z, indexing="ij")
+        return self.cell_index(ii.ravel(), jj.ravel(), kk.ravel())
+
+    def node_field_as_array(self, values):
+        """Reshape a flat node field to ``(nx, ny, nz)`` (index order i,j,k)."""
+        values = np.asarray(values)
+        if values.size != self.grid.num_nodes:
+            raise GridError(
+                f"field has {values.size} entries, expected {self.grid.num_nodes}"
+            )
+        return values.reshape(self.nz, self.ny, self.nx).transpose(2, 1, 0)

@@ -1,0 +1,101 @@
+"""Coordinate-array construction helpers: snapping, refinement, grading.
+
+The package mesher needs grid lines that hit material interfaces exactly
+(the FIT staircase approximation is exact for axis-aligned boxes only if
+box faces coincide with grid planes).  These helpers build such coordinate
+arrays.
+"""
+
+import numpy as np
+
+from ..errors import GridError
+
+
+def snap_coordinates(required, target_spacing, extent=None):
+    """Build a 1D coordinate array containing all ``required`` positions.
+
+    Between consecutive required positions the interval is subdivided
+    uniformly so that no spacing exceeds ``target_spacing``.
+
+    Parameters
+    ----------
+    required:
+        Iterable of coordinates that must appear exactly in the result
+        (material interfaces, contact positions).
+    target_spacing:
+        Upper bound for the spacing between neighbouring grid lines.
+    extent:
+        Optional ``(lo, hi)``; when given, ``lo`` and ``hi`` are added to
+        the required set and values outside are rejected.
+    """
+    required = np.asarray(sorted(set(float(v) for v in required)), dtype=float)
+    if target_spacing <= 0.0:
+        raise GridError(f"target_spacing must be positive, got {target_spacing!r}")
+    if extent is not None:
+        lo, hi = float(extent[0]), float(extent[1])
+        if np.any(required < lo - 1e-15) or np.any(required > hi + 1e-15):
+            raise GridError(
+                f"required coordinates {required} exceed extent ({lo}, {hi})"
+            )
+        required = np.asarray(sorted(set(required.tolist() + [lo, hi])))
+    if required.size < 2:
+        raise GridError("need at least two distinct coordinates to build an axis")
+    # Merge positions closer than a ppm of the span; duplicated interfaces
+    # (e.g. chip edge == pad edge) must not create zero-width cells.
+    span = required[-1] - required[0]
+    merged = [required[0]]
+    for value in required[1:]:
+        if value - merged[-1] > 1.0e-9 * span:
+            merged.append(value)
+    required = np.asarray(merged)
+
+    pieces = []
+    for left, right in zip(required[:-1], required[1:]):
+        subdivisions = max(1, int(np.ceil((right - left) / target_spacing)))
+        pieces.append(np.linspace(left, right, subdivisions + 1)[:-1])
+    pieces.append(required[-1:])
+    return np.concatenate(pieces)
+
+
+def refine_coordinates(coordinates, factor=2):
+    """Uniformly refine a coordinate array by splitting every interval.
+
+    ``factor = 2`` inserts one midpoint per interval, etc.  Used by the
+    mesh-convergence ablation.
+    """
+    coordinates = np.asarray(coordinates, dtype=float)
+    factor = int(factor)
+    if factor < 1:
+        raise GridError(f"refinement factor must be >= 1, got {factor}")
+    if factor == 1:
+        return coordinates.copy()
+    pieces = []
+    for left, right in zip(coordinates[:-1], coordinates[1:]):
+        pieces.append(np.linspace(left, right, factor + 1)[:-1])
+    pieces.append(coordinates[-1:])
+    return np.concatenate(pieces)
+
+
+def geometric_spacing(start, stop, first_step, ratio, max_points=10_000):
+    """Geometrically graded coordinates from ``start`` towards ``stop``.
+
+    Each interval is ``ratio`` times the previous one; the last interval is
+    shortened to land exactly on ``stop``.  Useful for boundary layers near
+    heat sources.
+    """
+    start = float(start)
+    stop = float(stop)
+    if stop <= start:
+        raise GridError("geometric_spacing needs stop > start")
+    if first_step <= 0.0 or ratio <= 0.0:
+        raise GridError("first_step and ratio must be positive")
+    points = [start]
+    step = float(first_step)
+    for _ in range(max_points):
+        nxt = points[-1] + step
+        if nxt >= stop - 1e-12 * (stop - start):
+            break
+        points.append(nxt)
+        step *= ratio
+    points.append(stop)
+    return np.asarray(points)

@@ -1,0 +1,161 @@
+"""The tensor-product hexahedral primary grid."""
+
+import numpy as np
+
+from ..errors import GridError
+
+
+def _validate_axis(name, coordinates):
+    coordinates = np.asarray(coordinates, dtype=float)
+    if coordinates.ndim != 1:
+        raise GridError(f"{name}-coordinates must be a 1D array")
+    if coordinates.size < 2:
+        raise GridError(f"{name}-axis needs at least 2 nodes, got {coordinates.size}")
+    if not np.all(np.isfinite(coordinates)):
+        raise GridError(f"{name}-coordinates contain non-finite values")
+    if not np.all(np.diff(coordinates) > 0.0):
+        raise GridError(f"{name}-coordinates must be strictly increasing")
+    return coordinates
+
+
+class TensorGrid:
+    """A 3D tensor-product grid defined by three monotone coordinate arrays.
+
+    Nodes are the Cartesian product of the coordinate arrays.  The node with
+    integer coordinates ``(i, j, k)`` has the flat index
+    ``i + nx * j + nx * ny * k`` (x fastest).
+
+    Attributes
+    ----------
+    x, y, z:
+        The 1D coordinate arrays (metres).
+    shape:
+        ``(nx, ny, nz)`` node counts per direction.
+    """
+
+    def __init__(self, x, y, z):
+        self.x = _validate_axis("x", x)
+        self.y = _validate_axis("y", y)
+        self.z = _validate_axis("z", z)
+
+    # ------------------------------------------------------------------
+    # Counts
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        """Node counts ``(nx, ny, nz)``."""
+        return (self.x.size, self.y.size, self.z.size)
+
+    @property
+    def cell_shape(self):
+        """Cell counts ``(nx - 1, ny - 1, nz - 1)``."""
+        return (self.x.size - 1, self.y.size - 1, self.z.size - 1)
+
+    @property
+    def num_nodes(self):
+        """Total number of primary nodes."""
+        nx, ny, nz = self.shape
+        return nx * ny * nz
+
+    @property
+    def num_cells(self):
+        """Total number of primary cells."""
+        cx, cy, cz = self.cell_shape
+        return cx * cy * cz
+
+    @property
+    def num_edges_per_direction(self):
+        """Edge counts ``(n_ex, n_ey, n_ez)`` for the three directions."""
+        nx, ny, nz = self.shape
+        return ((nx - 1) * ny * nz, nx * (ny - 1) * nz, nx * ny * (nz - 1))
+
+    @property
+    def num_edges(self):
+        """Total number of primary edges."""
+        return sum(self.num_edges_per_direction)
+
+    # ------------------------------------------------------------------
+    # Spacings and coordinates
+    # ------------------------------------------------------------------
+    @property
+    def dx(self):
+        """Cell widths along x, shape ``(nx - 1,)``."""
+        return np.diff(self.x)
+
+    @property
+    def dy(self):
+        """Cell widths along y, shape ``(ny - 1,)``."""
+        return np.diff(self.y)
+
+    @property
+    def dz(self):
+        """Cell widths along z, shape ``(nz - 1,)``."""
+        return np.diff(self.z)
+
+    def node_coordinates(self):
+        """All node coordinates, shape ``(num_nodes, 3)``, x fastest."""
+        zz, yy, xx = np.meshgrid(self.z, self.y, self.x, indexing="ij")
+        return np.column_stack([xx.ravel(), yy.ravel(), zz.ravel()])
+
+    def cell_centers(self):
+        """All cell-center coordinates, shape ``(num_cells, 3)``."""
+        cx = 0.5 * (self.x[:-1] + self.x[1:])
+        cy = 0.5 * (self.y[:-1] + self.y[1:])
+        cz = 0.5 * (self.z[:-1] + self.z[1:])
+        zz, yy, xx = np.meshgrid(cz, cy, cx, indexing="ij")
+        return np.column_stack([xx.ravel(), yy.ravel(), zz.ravel()])
+
+    def cell_volumes(self):
+        """Primary cell volumes, shape ``(num_cells,)``."""
+        vol = (
+            self.dz[:, None, None] * self.dy[None, :, None] * self.dx[None, None, :]
+        )
+        return vol.ravel()
+
+    @property
+    def extent(self):
+        """Bounding box ``((x0, x1), (y0, y1), (z0, z1))``."""
+        return (
+            (float(self.x[0]), float(self.x[-1])),
+            (float(self.y[0]), float(self.y[-1])),
+            (float(self.z[0]), float(self.z[-1])),
+        )
+
+    @property
+    def total_volume(self):
+        """Volume of the bounding box (equals the sum of cell volumes)."""
+        (x0, x1), (y0, y1), (z0, z1) = self.extent
+        return (x1 - x0) * (y1 - y0) * (z1 - z0)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, extent, shape):
+        """Uniform grid over ``extent = ((x0, x1), (y0, y1), (z0, z1))``.
+
+        ``shape`` is the node count per direction.
+        """
+        (x0, x1), (y0, y1), (z0, z1) = extent
+        nx, ny, nz = shape
+        return cls(
+            np.linspace(x0, x1, int(nx)),
+            np.linspace(y0, y1, int(ny)),
+            np.linspace(z0, z1, int(nz)),
+        )
+
+    def __repr__(self):
+        nx, ny, nz = self.shape
+        return (
+            f"TensorGrid(shape=({nx}, {ny}, {nz}), nodes={self.num_nodes}, "
+            f"cells={self.num_cells})"
+        )
+
+    def __eq__(self, other):
+        if not isinstance(other, TensorGrid):
+            return NotImplemented
+        return (
+            np.array_equal(self.x, other.x)
+            and np.array_equal(self.y, other.y)
+            and np.array_equal(self.z, other.z)
+        )

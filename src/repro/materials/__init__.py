@@ -1,0 +1,55 @@
+"""Temperature-dependent material models and a library of common materials.
+
+The electrothermal coupling of the paper enters through the temperature
+dependence of the electrical conductivity ``sigma(T)`` and the thermal
+conductivity ``lambda(T)`` (Section II).  This package provides
+
+* :mod:`repro.materials.temperature_models` -- small composable models for a
+  scalar property as a function of temperature (constant, linear-in-T
+  resistivity, polynomial, tabulated),
+* :mod:`repro.materials.base` -- the :class:`Material` aggregate combining
+  electrical conductivity, thermal conductivity and volumetric heat capacity,
+* :mod:`repro.materials.library` -- ready-made materials matching Table I of
+  the paper (copper, epoxy resin) plus common alternatives (gold, aluminium,
+  silicon, FR-4, air).
+"""
+
+from .base import Material
+from .library import (
+    MATERIAL_LIBRARY,
+    air,
+    aluminium,
+    copper,
+    epoxy_resin,
+    fr4,
+    get_material,
+    gold,
+    silicon,
+)
+from .temperature_models import (
+    ConstantModel,
+    InverseLinearModel,
+    LinearModel,
+    PolynomialModel,
+    PropertyModel,
+    TabulatedModel,
+)
+
+__all__ = [
+    "Material",
+    "MATERIAL_LIBRARY",
+    "get_material",
+    "copper",
+    "gold",
+    "aluminium",
+    "epoxy_resin",
+    "silicon",
+    "fr4",
+    "air",
+    "PropertyModel",
+    "ConstantModel",
+    "LinearModel",
+    "InverseLinearModel",
+    "PolynomialModel",
+    "TabulatedModel",
+]

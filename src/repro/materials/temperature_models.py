@@ -1,0 +1,216 @@
+"""Scalar material property models as functions of temperature.
+
+Each model maps an absolute temperature (kelvin, scalar or ``numpy`` array)
+to a property value.  Models are immutable and vectorized: evaluating with an
+array of temperatures returns an array of the same shape, which the FIT
+assembly relies on when it evaluates conductivities for every cell at once.
+"""
+
+import numpy as np
+
+from ..constants import T_REFERENCE
+from ..errors import MaterialError
+
+
+class PropertyModel:
+    """Abstract base class of a scalar property as a function of temperature.
+
+    Subclasses implement :meth:`__call__`.  The optional :meth:`derivative`
+    returns the sensitivity d(property)/dT used by Newton-type couplings; the
+    default implementation uses a central finite difference.
+    """
+
+    def __call__(self, temperature):
+        raise NotImplementedError
+
+    def derivative(self, temperature, step=1.0e-3):
+        """Derivative with respect to temperature via central differences."""
+        temperature = np.asarray(temperature, dtype=float)
+        upper = self(temperature + step)
+        lower = self(temperature - step)
+        return (upper - lower) / (2.0 * step)
+
+    def at_reference(self):
+        """Property value at the 300 K reference temperature."""
+        return self(T_REFERENCE)
+
+
+class ConstantModel(PropertyModel):
+    """Temperature-independent property: ``p(T) = value``."""
+
+    def __init__(self, value):
+        value = float(value)
+        if not np.isfinite(value):
+            raise MaterialError(f"constant property must be finite, got {value!r}")
+        self.value = value
+
+    def __call__(self, temperature):
+        temperature = np.asarray(temperature, dtype=float)
+        if temperature.ndim == 0:
+            return self.value
+        return np.full(temperature.shape, self.value)
+
+    def derivative(self, temperature, step=1.0e-3):
+        temperature = np.asarray(temperature, dtype=float)
+        if temperature.ndim == 0:
+            return 0.0
+        return np.zeros(temperature.shape)
+
+    def __repr__(self):
+        return f"ConstantModel({self.value!r})"
+
+
+class LinearModel(PropertyModel):
+    """Linear-in-temperature property.
+
+    ``p(T) = p0 * (1 + alpha * (T - T0))``, clipped at ``floor`` to keep the
+    property physically positive outside the fitted range.
+    """
+
+    def __init__(self, value_at_reference, alpha, reference=T_REFERENCE, floor=0.0):
+        self.value_at_reference = float(value_at_reference)
+        self.alpha = float(alpha)
+        self.reference = float(reference)
+        self.floor = float(floor)
+        if self.value_at_reference <= 0.0:
+            raise MaterialError(
+                "LinearModel reference value must be positive, "
+                f"got {value_at_reference!r}"
+            )
+
+    def __call__(self, temperature):
+        temperature = np.asarray(temperature, dtype=float)
+        value = self.value_at_reference * (
+            1.0 + self.alpha * (temperature - self.reference)
+        )
+        result = np.maximum(value, self.floor)
+        if temperature.ndim == 0:
+            return float(result)
+        return result
+
+    def __repr__(self):
+        return (
+            f"LinearModel({self.value_at_reference!r}, alpha={self.alpha!r}, "
+            f"reference={self.reference!r})"
+        )
+
+
+class InverseLinearModel(PropertyModel):
+    """Conductivity of a metal whose *resistivity* grows linearly with T.
+
+    ``p(T) = p0 / (1 + alpha * (T - T0))``.  This is the standard model for
+    the electrical conductivity of copper and the one through which the
+    electrothermal feedback loop of the paper closes: hotter wire -> lower
+    sigma -> (for voltage-driven wires) lower Joule power.
+    """
+
+    def __init__(self, value_at_reference, alpha, reference=T_REFERENCE):
+        self.value_at_reference = float(value_at_reference)
+        self.alpha = float(alpha)
+        self.reference = float(reference)
+        if self.value_at_reference <= 0.0:
+            raise MaterialError(
+                "InverseLinearModel reference value must be positive, "
+                f"got {value_at_reference!r}"
+            )
+        if self.alpha < 0.0:
+            raise MaterialError(
+                f"InverseLinearModel alpha must be non-negative, got {alpha!r}"
+            )
+
+    def __call__(self, temperature):
+        temperature = np.asarray(temperature, dtype=float)
+        denominator = 1.0 + self.alpha * (temperature - self.reference)
+        # Below T0 - 1/alpha the linear resistivity law extrapolates to a
+        # non-physical non-positive resistivity; clamp the denominator.
+        denominator = np.maximum(denominator, 1.0e-6)
+        result = self.value_at_reference / denominator
+        if temperature.ndim == 0:
+            return float(result)
+        return result
+
+    def derivative(self, temperature, step=1.0e-3):
+        temperature = np.asarray(temperature, dtype=float)
+        denominator = 1.0 + self.alpha * (temperature - self.reference)
+        denominator = np.maximum(denominator, 1.0e-6)
+        result = -self.value_at_reference * self.alpha / denominator**2
+        if temperature.ndim == 0:
+            return float(result)
+        return result
+
+    def __repr__(self):
+        return (
+            f"InverseLinearModel({self.value_at_reference!r}, "
+            f"alpha={self.alpha!r}, reference={self.reference!r})"
+        )
+
+
+class PolynomialModel(PropertyModel):
+    """Polynomial in ``(T - T0)`` with coefficients in ascending order.
+
+    ``p(T) = c0 + c1 (T - T0) + c2 (T - T0)^2 + ...``
+    """
+
+    def __init__(self, coefficients, reference=T_REFERENCE, floor=None):
+        coefficients = [float(c) for c in coefficients]
+        if not coefficients:
+            raise MaterialError("PolynomialModel needs at least one coefficient")
+        self.coefficients = tuple(coefficients)
+        self.reference = float(reference)
+        self.floor = None if floor is None else float(floor)
+
+    def __call__(self, temperature):
+        temperature = np.asarray(temperature, dtype=float)
+        delta = temperature - self.reference
+        result = np.zeros_like(delta)
+        for power, coefficient in enumerate(self.coefficients):
+            result = result + coefficient * delta**power
+        if self.floor is not None:
+            result = np.maximum(result, self.floor)
+        if temperature.ndim == 0:
+            return float(result)
+        return result
+
+    def __repr__(self):
+        return (
+            f"PolynomialModel({list(self.coefficients)!r}, "
+            f"reference={self.reference!r})"
+        )
+
+
+class TabulatedModel(PropertyModel):
+    """Piecewise-linear interpolation of tabulated (T, value) pairs.
+
+    Values outside the tabulated range are clamped to the end points, which
+    is the conservative choice for extrapolating measured material data.
+    """
+
+    def __init__(self, temperatures, values):
+        temperatures = np.asarray(temperatures, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if temperatures.ndim != 1 or values.ndim != 1:
+            raise MaterialError("TabulatedModel expects 1D arrays")
+        if temperatures.size != values.size:
+            raise MaterialError(
+                "TabulatedModel temperature and value arrays must have equal "
+                f"length, got {temperatures.size} and {values.size}"
+            )
+        if temperatures.size < 2:
+            raise MaterialError("TabulatedModel needs at least two points")
+        if not np.all(np.diff(temperatures) > 0.0):
+            raise MaterialError("TabulatedModel temperatures must be increasing")
+        self.temperatures = temperatures
+        self.values = values
+
+    def __call__(self, temperature):
+        temperature = np.asarray(temperature, dtype=float)
+        result = np.interp(temperature, self.temperatures, self.values)
+        if temperature.ndim == 0:
+            return float(result)
+        return result
+
+    def __repr__(self):
+        return (
+            f"TabulatedModel({self.temperatures.tolist()!r}, "
+            f"{self.values.tolist()!r})"
+        )

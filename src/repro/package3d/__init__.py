@@ -1,0 +1,44 @@
+"""The chip package model of the paper's application example (Section IV-A).
+
+* :mod:`repro.package3d.layout` -- parametric QFP-like package layout: 28
+  contact pads around the perimeter, a central chip, epoxy mold compound,
+* :mod:`repro.package3d.measurements` -- the (synthetic, statistics-matched)
+  X-ray measurement dataset of the 12 bonding wires,
+* :mod:`repro.package3d.meshing` -- layout -> snapped tensor grid with cell
+  material assignment (the paper's Fig. 6 mesh),
+* :mod:`repro.package3d.chip_example` -- the full DATE'16 study assembly:
+  Table I materials, Table II parameters, PEC contacts, 12 wires.
+"""
+
+from .chip_example import (
+    Date16Parameters,
+    build_date16_problem,
+    date16_layout,
+    wire_lengths_from_deltas,
+)
+from .layout import ChipDie, ContactPad, PackageLayout, WireAttachment
+from .measurements import (
+    MeasurementDataset,
+    WireMeasurement,
+    date16_xray_measurements,
+)
+from .meshing import PackageMesh, build_package_mesh
+from .uq_study import Date16StudyResult, Date16UncertaintyStudy
+
+__all__ = [
+    "PackageLayout",
+    "ContactPad",
+    "ChipDie",
+    "WireAttachment",
+    "MeasurementDataset",
+    "WireMeasurement",
+    "date16_xray_measurements",
+    "PackageMesh",
+    "build_package_mesh",
+    "Date16Parameters",
+    "date16_layout",
+    "build_date16_problem",
+    "wire_lengths_from_deltas",
+    "Date16UncertaintyStudy",
+    "Date16StudyResult",
+]

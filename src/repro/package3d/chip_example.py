@@ -1,0 +1,305 @@
+"""The DATE'16 application example, assembled end to end (Sections IV-V).
+
+``build_date16_problem`` returns a ready-to-solve
+:class:`~repro.coupled.problem.ElectrothermalProblem` configured with
+
+* the 28-pad / 12-wire package layout (Section V-A dimensions: pad width
+  0.311 mm, 24 pads of 1.01 mm, 4 long pads of 1.261 mm, copper
+  everywhere conducting, epoxy mold),
+* Table II parameters: V_bw = 40 mV over each wire pair, wire diameter
+  25.4 um, ambient 300 K, h = 25 W/m^2/K, emissivity 0.2475,
+* PEC Dirichlet contacts at +-20 mV on the outer pad ends,
+* convection + radiation on all boundaries.
+
+The body height and pad/chip thicknesses are not stated in the paper; the
+values chosen here are typical for such packages and recorded in
+EXPERIMENTS.md together with their effect on absolute temperatures.
+"""
+
+import numpy as np
+
+from ..bondwire.geometry import length_from_elongation
+from ..bondwire.lumped import LumpedBondWire
+from ..constants import (
+    EMISSIVITY_DEFAULT,
+    HEAT_TRANSFER_COEFFICIENT_DEFAULT,
+    T_AMBIENT_DEFAULT,
+    T_CRITICAL_DEFAULT,
+)
+from ..coupled.problem import ElectrothermalProblem
+from ..errors import PackageLayoutError
+from ..fit.boundary import ConvectionBC, DirichletBC, RadiationBC
+from ..materials.library import copper
+from .layout import ChipDie, ContactPad, PackageLayout, WireAttachment
+from .meshing import build_package_mesh
+
+MM = 1.0e-3
+UM = 1.0e-6
+
+
+class Date16Parameters:
+    """Table II of the paper plus the geometry constants of Section V-A.
+
+    Instances are plain parameter records; ``build_date16_problem``
+    consumes one.  Defaults reproduce the paper exactly where stated.
+    """
+
+    def __init__(
+        self,
+        pair_voltage=0.040,
+        end_time=50.0,
+        num_time_points=51,
+        num_mc_samples=1000,
+        wire_diameter=25.4 * UM,
+        t_ambient=T_AMBIENT_DEFAULT,
+        heat_transfer_coefficient=HEAT_TRANSFER_COEFFICIENT_DEFAULT,
+        emissivity=EMISSIVITY_DEFAULT,
+        t_critical=T_CRITICAL_DEFAULT,
+        elongation_mean=0.17,
+        elongation_std=0.048,
+        # --- geometry not stated in the paper (recorded assumptions) ---
+        body_side=5.4 * MM,
+        body_height=0.8 * MM,
+        pad_width=0.311 * MM,
+        pad_length=1.01 * MM,
+        pad_length_long=1.261 * MM,
+        pad_thickness=0.05 * MM,
+        pad_pitch=0.5 * MM,
+        pads_per_side=7,
+        chip_size=0.8 * MM,
+        chip_thickness=0.1 * MM,
+        metal_z_bottom=0.25 * MM,
+    ):
+        self.pair_voltage = float(pair_voltage)
+        self.end_time = float(end_time)
+        self.num_time_points = int(num_time_points)
+        self.num_mc_samples = int(num_mc_samples)
+        self.wire_diameter = float(wire_diameter)
+        self.t_ambient = float(t_ambient)
+        self.heat_transfer_coefficient = float(heat_transfer_coefficient)
+        self.emissivity = float(emissivity)
+        self.t_critical = float(t_critical)
+        self.elongation_mean = float(elongation_mean)
+        self.elongation_std = float(elongation_std)
+        self.body_side = float(body_side)
+        self.body_height = float(body_height)
+        self.pad_width = float(pad_width)
+        self.pad_length = float(pad_length)
+        self.pad_length_long = float(pad_length_long)
+        self.pad_thickness = float(pad_thickness)
+        self.pad_pitch = float(pad_pitch)
+        self.pads_per_side = int(pads_per_side)
+        self.chip_size = float(chip_size)
+        self.chip_thickness = float(chip_thickness)
+        self.metal_z_bottom = float(metal_z_bottom)
+
+    @property
+    def contact_voltage(self):
+        """Per-contact PEC potential: +-V_bw / 2 (Section V-B)."""
+        return 0.5 * self.pair_voltage
+
+    def as_table(self):
+        """(parameter, value) rows mirroring Table II of the paper."""
+        return [
+            ("Bonding wire voltage Vbw", f"{self.pair_voltage * 1e3:g} mV"),
+            ("End time", f"{self.end_time:g} s"),
+            ("No. of time steps", f"{self.num_time_points}"),
+            ("No. of MC samples", f"{self.num_mc_samples}"),
+            ("Wires' diameter", f"{self.wire_diameter * 1e6:g} um"),
+            ("Ambient temperature", f"{self.t_ambient:g} K"),
+            (
+                "Heat transfer coefficient",
+                f"{self.heat_transfer_coefficient:g} W/m^2/K",
+            ),
+            ("Emissivity", f"{self.emissivity:g}"),
+        ]
+
+
+#: Wires sit on pads 1, 3 and 5 of every side (pad 3 is the long one).
+WIRE_PAD_SLOTS = (1, 3, 5)
+
+
+def date16_layout(parameters=None):
+    """The 28-pad / 12-wire package layout of the paper's example."""
+    p = parameters if parameters is not None else Date16Parameters()
+    if p.pads_per_side * 4 != 28:
+        # The paper's chip has exactly 28 contacts; other counts are
+        # allowed for parameter studies but flagged for the default.
+        pass
+    center = 0.5 * p.body_side
+    span_start = center - 0.5 * (p.pads_per_side - 1) * p.pad_pitch
+    pads = []
+    for side in ("x-", "x+", "y-", "y+"):
+        for slot in range(p.pads_per_side):
+            is_long = slot == p.pads_per_side // 2
+            pads.append(
+                ContactPad(
+                    side=side,
+                    lateral_center=span_start + slot * p.pad_pitch,
+                    width=p.pad_width,
+                    length=p.pad_length_long if is_long else p.pad_length,
+                    thickness=p.pad_thickness,
+                    z_bottom=p.metal_z_bottom,
+                    name=f"pad-{side}-{slot}",
+                )
+            )
+    chip = ChipDie(
+        center_x=center,
+        center_y=center,
+        size_x=p.chip_size,
+        size_y=p.chip_size,
+        thickness=p.chip_thickness,
+        z_bottom=p.metal_z_bottom,
+    )
+    wires = []
+    wire_index = 0
+    for side_index, side in enumerate(("x-", "x+", "y-", "y+")):
+        for slot in WIRE_PAD_SLOTS:
+            pad_index = side_index * p.pads_per_side + slot
+            polarity = +1 if wire_index % 2 == 0 else -1
+            wires.append(
+                WireAttachment(
+                    pad_index=pad_index,
+                    polarity=polarity,
+                    name=f"wire{wire_index:02d}",
+                )
+            )
+            wire_index += 1
+    return PackageLayout(
+        body_x=p.body_side,
+        body_y=p.body_side,
+        height=p.body_height,
+        pads=pads,
+        chip=chip,
+        wires=wires,
+    )
+
+
+def wire_lengths_from_deltas(deltas, layout=None):
+    """Map relative elongations to wire lengths via ``L = d / (1 - delta)``.
+
+    This is the Monte Carlo input mapping: sampled deltas plus the layout's
+    direct distances give the per-sample wire lengths.
+    """
+    if layout is None:
+        layout = date16_layout()
+    deltas = np.asarray(deltas, dtype=float).ravel()
+    directs = layout.all_direct_distances()
+    if deltas.size != directs.size:
+        raise PackageLayoutError(
+            f"expected {directs.size} deltas, got {deltas.size}"
+        )
+    return np.asarray(
+        [
+            length_from_elongation(d, delta)
+            for d, delta in zip(directs, deltas)
+        ]
+    )
+
+
+def build_date16_problem(
+    parameters=None,
+    resolution="default",
+    wire_lengths=None,
+    wire_deltas=None,
+    num_segments=1,
+    mold_material=None,
+    conductor_material=None,
+    mesh=None,
+):
+    """Assemble the paper's coupled problem.
+
+    Parameters
+    ----------
+    parameters:
+        A :class:`Date16Parameters` record (defaults to Table II).
+    resolution:
+        Mesh preset or ``(lateral, vertical)`` spacing tuple.
+    wire_lengths:
+        Explicit wire lengths [m]; default: nominal lengths from the mean
+        elongation (``delta = 0.17`` for every wire).
+    wire_deltas:
+        Alternative to ``wire_lengths``: per-wire relative elongations.
+    num_segments:
+        Lumped elements per wire (1 = the paper's model).
+    mesh:
+        Optional pre-built :class:`~repro.package3d.meshing.PackageMesh`
+        to reuse across Monte Carlo samples (grid and materials are
+        sample-independent).
+
+    Returns
+    -------
+    (problem, mesh):
+        The :class:`~repro.coupled.problem.ElectrothermalProblem` and the
+        mesh it lives on (pass the mesh back in for the next sample).
+    """
+    p = parameters if parameters is not None else Date16Parameters()
+    layout = mesh.layout if mesh is not None else date16_layout(p)
+    if mesh is None:
+        mesh = build_package_mesh(
+            layout,
+            resolution=resolution,
+            mold_material=mold_material,
+            conductor_material=conductor_material,
+        )
+
+    if wire_lengths is not None and wire_deltas is not None:
+        raise PackageLayoutError(
+            "pass either wire_lengths or wire_deltas, not both"
+        )
+    if wire_deltas is not None:
+        wire_lengths = wire_lengths_from_deltas(wire_deltas, layout)
+    if wire_lengths is None:
+        wire_lengths = wire_lengths_from_deltas(
+            np.full(layout.num_wires, p.elongation_mean), layout
+        )
+    wire_lengths = np.asarray(wire_lengths, dtype=float).ravel()
+    if wire_lengths.size != layout.num_wires:
+        raise PackageLayoutError(
+            f"expected {layout.num_wires} wire lengths, got {wire_lengths.size}"
+        )
+
+    wire_material = (
+        conductor_material if conductor_material is not None else copper()
+    )
+    wires = []
+    for index, (attachment, (pad_node, chip_node)) in enumerate(
+        zip(layout.wires, mesh.wire_nodes)
+    ):
+        wires.append(
+            LumpedBondWire(
+                start_node=pad_node,
+                end_node=chip_node,
+                material=wire_material,
+                diameter=p.wire_diameter,
+                length=wire_lengths[index],
+                num_segments=num_segments,
+                name=attachment.name,
+            )
+        )
+
+    dirichlet = []
+    for attachment in layout.wires:
+        nodes = mesh.pad_contact_nodes[attachment.pad_index]
+        dirichlet.append(
+            DirichletBC(
+                nodes,
+                attachment.polarity * p.contact_voltage,
+                label=f"PEC-{attachment.name}",
+            )
+        )
+
+    convection = ConvectionBC(p.heat_transfer_coefficient, p.t_ambient)
+    radiation = RadiationBC(p.emissivity, p.t_ambient)
+
+    problem = ElectrothermalProblem(
+        grid=mesh.grid,
+        materials=mesh.materials,
+        wires=wires,
+        electrical_dirichlet=dirichlet,
+        convection=convection,
+        radiation=radiation,
+        t_initial=p.t_ambient,
+        name="date16-package",
+    )
+    return problem, mesh

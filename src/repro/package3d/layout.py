@@ -1,0 +1,271 @@
+"""Parametric chip-package layout (the paper's example, Section IV-A/V-A).
+
+All structures are axis-aligned boxes (the paper: "all structures are
+approximated using rectangular shapes").  The layout knows nothing about
+grids; :mod:`repro.package3d.meshing` turns it into a mesh.
+
+Coordinate convention: the package body spans ``[0, body_x] x [0, body_y]``
+laterally and ``[0, height]`` vertically; pads and chip float inside.
+"""
+
+import numpy as np
+
+from ..errors import PackageLayoutError
+
+_SIDES = ("x-", "x+", "y-", "y+")
+
+
+class ContactPad:
+    """One contact pad: a copper box reaching in from a package side.
+
+    Parameters
+    ----------
+    side:
+        Which package side the pad's outer end touches.
+    lateral_center:
+        Absolute coordinate of the pad center along the side direction.
+    width:
+        Lateral width (paper: 0.311 mm for all 28 pads).
+    length:
+        How far the pad reaches inward (paper: 1.01 mm, 4 pads 1.261 mm).
+    thickness, z_bottom:
+        Vertical extent.
+    """
+
+    def __init__(self, side, lateral_center, width, length, thickness, z_bottom,
+                 name=""):
+        if side not in _SIDES:
+            raise PackageLayoutError(
+                f"side must be one of {_SIDES}, got {side!r}"
+            )
+        for label, value in (
+            ("width", width),
+            ("length", length),
+            ("thickness", thickness),
+        ):
+            if float(value) <= 0.0:
+                raise PackageLayoutError(f"pad {label} must be positive")
+        self.side = side
+        self.lateral_center = float(lateral_center)
+        self.width = float(width)
+        self.length = float(length)
+        self.thickness = float(thickness)
+        self.z_bottom = float(z_bottom)
+        self.name = name
+
+    def box(self, layout):
+        """Axis-aligned bounding box ``((x0,x1),(y0,y1),(z0,z1))``."""
+        half = 0.5 * self.width
+        z = (self.z_bottom, self.z_bottom + self.thickness)
+        lo = self.lateral_center - half
+        hi = self.lateral_center + half
+        if self.side == "x-":
+            return ((0.0, self.length), (lo, hi), z)
+        if self.side == "x+":
+            return ((layout.body_x - self.length, layout.body_x), (lo, hi), z)
+        if self.side == "y-":
+            return ((lo, hi), (0.0, self.length), z)
+        return ((lo, hi), (layout.body_y - self.length, layout.body_y), z)
+
+    def inner_tip(self, layout):
+        """Bond point on the pad: inner-end center, top surface."""
+        z = self.z_bottom + self.thickness
+        if self.side == "x-":
+            return (self.length, self.lateral_center, z)
+        if self.side == "x+":
+            return (layout.body_x - self.length, self.lateral_center, z)
+        if self.side == "y-":
+            return (self.lateral_center, self.length, z)
+        return (self.lateral_center, layout.body_y - self.length, z)
+
+    def outer_face_box(self, layout):
+        """Thin box on the package boundary face: the PEC contact region."""
+        (x0, x1), (y0, y1), z = self.box(layout)
+        if self.side == "x-":
+            return ((0.0, 0.0), (y0, y1), z)
+        if self.side == "x+":
+            return ((layout.body_x, layout.body_x), (y0, y1), z)
+        if self.side == "y-":
+            return ((x0, x1), (0.0, 0.0), z)
+        return ((x0, x1), (layout.body_y, layout.body_y), z)
+
+
+class ChipDie:
+    """The central chip die (copper in the paper's Table I)."""
+
+    def __init__(self, center_x, center_y, size_x, size_y, thickness, z_bottom):
+        for label, value in (
+            ("size_x", size_x),
+            ("size_y", size_y),
+            ("thickness", thickness),
+        ):
+            if float(value) <= 0.0:
+                raise PackageLayoutError(f"chip {label} must be positive")
+        self.center_x = float(center_x)
+        self.center_y = float(center_y)
+        self.size_x = float(size_x)
+        self.size_y = float(size_y)
+        self.thickness = float(thickness)
+        self.z_bottom = float(z_bottom)
+
+    def box(self):
+        """Axis-aligned bounding box of the die."""
+        hx = 0.5 * self.size_x
+        hy = 0.5 * self.size_y
+        return (
+            (self.center_x - hx, self.center_x + hx),
+            (self.center_y - hy, self.center_y + hy),
+            (self.z_bottom, self.z_bottom + self.thickness),
+        )
+
+    def edge_point_towards(self, x, y):
+        """Nearest point on the die's top-face boundary to ``(x, y)``.
+
+        This is where a wire coming from that direction lands on the chip.
+        """
+        (x0, x1), (y0, y1), (_, z1) = self.box()
+        px = min(max(float(x), x0), x1)
+        py = min(max(float(y), y0), y1)
+        # Project onto the nearest edge of the rectangle (a wire lands on
+        # the rim of the die, not in its middle).
+        distances = {
+            "x0": abs(px - x0),
+            "x1": abs(px - x1),
+            "y0": abs(py - y0),
+            "y1": abs(py - y1),
+        }
+        nearest = min(distances, key=distances.get)
+        if nearest == "x0":
+            px = x0
+        elif nearest == "x1":
+            px = x1
+        elif nearest == "y0":
+            py = y0
+        else:
+            py = y1
+        return (px, py, z1)
+
+
+class WireAttachment:
+    """Declares one bonding wire: which pad it connects to the chip."""
+
+    def __init__(self, pad_index, polarity, name=""):
+        self.pad_index = int(pad_index)
+        polarity = int(polarity)
+        if polarity not in (-1, +1):
+            raise PackageLayoutError(
+                f"polarity must be +1 or -1, got {polarity!r}"
+            )
+        self.polarity = polarity
+        self.name = name
+
+
+class PackageLayout:
+    """The complete package: body, pads, chip, wire attachments.
+
+    Parameters
+    ----------
+    body_x, body_y, height:
+        Outer mold dimensions [m].
+    pads:
+        List of :class:`ContactPad` (paper: 28).
+    chip:
+        The :class:`ChipDie`.
+    wires:
+        List of :class:`WireAttachment` (paper: 12).
+    """
+
+    def __init__(self, body_x, body_y, height, pads, chip, wires):
+        for label, value in (
+            ("body_x", body_x),
+            ("body_y", body_y),
+            ("height", height),
+        ):
+            if float(value) <= 0.0:
+                raise PackageLayoutError(f"{label} must be positive")
+        self.body_x = float(body_x)
+        self.body_y = float(body_y)
+        self.height = float(height)
+        self.pads = list(pads)
+        self.chip = chip
+        self.wires = list(wires)
+        self._validate()
+
+    def _validate(self):
+        for pad in self.pads:
+            (x0, x1), (y0, y1), (z0, z1) = pad.box(self)
+            if x0 < -1e-12 or y0 < -1e-12 or z0 < -1e-12:
+                raise PackageLayoutError(f"pad {pad.name!r} leaves the body")
+            if (
+                x1 > self.body_x + 1e-12
+                or y1 > self.body_y + 1e-12
+                or z1 > self.height + 1e-12
+            ):
+                raise PackageLayoutError(f"pad {pad.name!r} leaves the body")
+        (cx0, cx1), (cy0, cy1), (cz0, cz1) = self.chip.box()
+        if cx0 < 0 or cy0 < 0 or cz0 < 0:
+            raise PackageLayoutError("chip leaves the body")
+        if cx1 > self.body_x or cy1 > self.body_y or cz1 > self.height:
+            raise PackageLayoutError("chip leaves the body")
+        for wire in self.wires:
+            if not 0 <= wire.pad_index < len(self.pads):
+                raise PackageLayoutError(
+                    f"wire {wire.name!r} references pad {wire.pad_index}, "
+                    f"but only {len(self.pads)} pads exist"
+                )
+        for pad, box in self._pad_boxes():
+            if _boxes_overlap(box, self.chip.box()):
+                raise PackageLayoutError(
+                    f"pad {pad.name!r} overlaps the chip"
+                )
+
+    def _pad_boxes(self):
+        return [(pad, pad.box(self)) for pad in self.pads]
+
+    # ------------------------------------------------------------------
+    # Wire geometry
+    # ------------------------------------------------------------------
+    def wire_endpoints(self, wire):
+        """``(pad_point, chip_point)`` of one wire attachment."""
+        pad = self.pads[wire.pad_index]
+        pad_point = pad.inner_tip(self)
+        chip_point = self.chip.edge_point_towards(pad_point[0], pad_point[1])
+        return pad_point, chip_point
+
+    def wire_direct_distance(self, wire):
+        """Straight pad-to-chip distance ``d`` (Fig. 4a of the paper) [m]."""
+        pad_point, chip_point = self.wire_endpoints(wire)
+        return float(
+            np.linalg.norm(np.subtract(pad_point, chip_point))
+        )
+
+    def all_direct_distances(self):
+        """``d_j`` for every declared wire."""
+        return np.asarray(
+            [self.wire_direct_distance(wire) for wire in self.wires]
+        )
+
+    @property
+    def num_pads(self):
+        """Number of contact pads (paper: 28)."""
+        return len(self.pads)
+
+    @property
+    def num_wires(self):
+        """Number of bonding wires (paper: 12)."""
+        return len(self.wires)
+
+    def __repr__(self):
+        return (
+            f"PackageLayout({self.body_x * 1e3:.2f} x {self.body_y * 1e3:.2f}"
+            f" x {self.height * 1e3:.2f} mm, {self.num_pads} pads, "
+            f"{self.num_wires} wires)"
+        )
+
+
+def _boxes_overlap(box_a, box_b):
+    """True when two axis-aligned boxes share interior volume."""
+    for (a0, a1), (b0, b1) in zip(box_a, box_b):
+        if a1 <= b0 + 1e-15 or b1 <= a0 + 1e-15:
+            return False
+    return True

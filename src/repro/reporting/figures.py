@@ -1,0 +1,128 @@
+"""Figure-data generators: the arrays behind Figs. 5, 7 and 8."""
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def fig5_data(dataset=None, num_bins=6, num_pdf_points=200):
+    """Data behind Fig. 5: elongation histogram plus fitted normal pdf.
+
+    Returns a dict with ``bin_edges``, ``bin_density``, ``pdf_x``,
+    ``pdf_y``, ``mu`` and ``sigma``.
+    """
+    from ..package3d.measurements import date16_xray_measurements
+
+    if dataset is None:
+        dataset = date16_xray_measurements()
+    edges, density = dataset.elongation_histogram(num_bins=num_bins)
+    fit = dataset.fit_elongation_distribution()
+    x = np.linspace(0.0, 0.4, int(num_pdf_points))
+    return {
+        "bin_edges": edges,
+        "bin_density": density,
+        "pdf_x": x,
+        "pdf_y": fit.pdf(x),
+        "mu": fit.mu,
+        "sigma": fit.sigma,
+        "deltas": dataset.deltas(),
+    }
+
+
+def fig7_data(times, mean_trace, std_trace, num_samples, t_critical=523.0,
+              band_multiple=6.0):
+    """Data behind Fig. 7: E(t) of the hottest wire with the 6-sigma band.
+
+    Also computes the scalar results quoted in Section V-D: sigma_MC at the
+    end time, error_MC = sigma_MC / sqrt(M), and the first time the upper
+    band crosses the critical temperature (None if never).
+    """
+    from ..bondwire.failure import first_crossing_time
+
+    times = np.asarray(times, dtype=float)
+    mean_trace = np.asarray(mean_trace, dtype=float)
+    std_trace = np.asarray(std_trace, dtype=float)
+    if not times.shape == mean_trace.shape == std_trace.shape:
+        raise ReproError("times/mean/std must share a shape")
+    upper = mean_trace + band_multiple * std_trace
+    lower = mean_trace - band_multiple * std_trace
+    sigma_end = float(std_trace[-1])
+    return {
+        "times": times,
+        "mean": mean_trace,
+        "upper": upper,
+        "lower": lower,
+        "sigma_mc": sigma_end,
+        "error_mc": sigma_end / np.sqrt(int(num_samples)),
+        "t_critical": float(t_critical),
+        "band_crossing_time": first_crossing_time(times, upper, t_critical),
+        "mean_crossing_time": first_crossing_time(times, mean_trace, t_critical),
+    }
+
+
+def field_slice(grid, node_values, axis="z", position=None):
+    """Extract a 2D slice of a node field for Fig. 8-style heat maps.
+
+    Returns ``(coords_a, coords_b, values_2d)`` where the 2D array is
+    indexed ``[a, b]`` over the two remaining axes.
+    """
+    from ..grid.indexing import GridIndexing
+
+    indexing = GridIndexing(grid)
+    field = indexing.node_field_as_array(node_values)
+    axes = {"x": 0, "y": 1, "z": 2}
+    if axis not in axes:
+        raise ReproError(f"axis must be x, y or z, got {axis!r}")
+    coordinates = {"x": grid.x, "y": grid.y, "z": grid.z}[axis]
+    if position is None:
+        index = coordinates.size // 2
+    else:
+        index = int(np.argmin(np.abs(coordinates - float(position))))
+    slicer = [slice(None)] * 3
+    slicer[axes[axis]] = index
+    values = field[tuple(slicer)]
+    remaining = [name for name in ("x", "y", "z") if name != axis]
+    coords = [getattr(grid, name) for name in remaining]
+    return coords[0], coords[1], values
+
+
+def fig8_data(grid, final_temperatures, z_position=None):
+    """Data behind Fig. 8: the temperature field slice at the metal layer.
+
+    Returns the slice plus hot-spot metadata (location and value).
+    """
+    grid_values = np.asarray(final_temperatures, dtype=float)[: grid.num_nodes]
+    xs, ys, values = field_slice(grid, grid_values, axis="z",
+                                 position=z_position)
+    hot_flat = int(np.argmax(grid_values))
+    from ..grid.indexing import GridIndexing
+
+    indexing = GridIndexing(grid)
+    i, j, k = indexing.node_ijk(hot_flat)
+    return {
+        "x": xs,
+        "y": ys,
+        "temperature": values,
+        "t_max": float(np.max(grid_values)),
+        "t_min": float(np.min(grid_values)),
+        "hot_spot": (float(grid.x[i]), float(grid.y[j]), float(grid.z[k])),
+    }
+
+
+def ascii_heatmap(values, levels=" .:-=+*#%@"):
+    """Render a 2D array as a coarse ASCII heat map (bench stdout)."""
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise ReproError("heatmap expects a 2D array")
+    lo = float(np.min(values))
+    hi = float(np.max(values))
+    span = hi - lo if hi > lo else 1.0
+    normalized = (values - lo) / span
+    indices = np.minimum(
+        (normalized * len(levels)).astype(int), len(levels) - 1
+    )
+    rows = []
+    # Transpose so x runs horizontally; flip so y increases upward.
+    for row in indices.T[::-1]:
+        rows.append("".join(levels[i] for i in row))
+    return "\n".join(rows)

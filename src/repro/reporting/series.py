@@ -1,0 +1,54 @@
+"""CSV/series export helpers."""
+
+import os
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def write_csv(path, headers, columns):
+    """Write named columns to a CSV file; returns the path.
+
+    Creates parent directories as needed.  All columns must share a
+    length.
+    """
+    columns = [np.asarray(column).ravel() for column in columns]
+    if len(headers) != len(columns):
+        raise ReproError(
+            f"{len(headers)} headers for {len(columns)} columns"
+        )
+    lengths = {column.size for column in columns}
+    if len(lengths) > 1:
+        raise ReproError(f"columns have mixed lengths: {sorted(lengths)}")
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(",".join(str(h) for h in headers) + "\n")
+        for row in zip(*columns):
+            handle.write(",".join(f"{value:.10g}" for value in row) + "\n")
+    return path
+
+
+def write_series(path, times, values, value_name="value"):
+    """Write a single (t, value) series to CSV."""
+    return write_csv(path, ["time_s", value_name], [times, values])
+
+
+def format_series(times, values, max_rows=12, time_name="t [s]",
+                  value_name="value"):
+    """Compact textual preview of a time series (for bench stdout)."""
+    times = np.asarray(times, dtype=float).ravel()
+    values = np.asarray(values, dtype=float).ravel()
+    if times.size != values.size:
+        raise ReproError("times and values must have the same length")
+    if times.size <= max_rows:
+        indices = np.arange(times.size)
+    else:
+        indices = np.unique(
+            np.linspace(0, times.size - 1, max_rows).astype(int)
+        )
+    lines = [f"{time_name:>10}  {value_name}"]
+    for index in indices:
+        lines.append(f"{times[index]:>10.3f}  {values[index]:.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Plain-text table formatting for benchmark output."""
+
+from ..constants import T_REFERENCE
+
+
+def format_table(headers, rows, title=None):
+    """Fixed-width ASCII table from header strings and row tuples."""
+    headers = [str(h) for h in headers]
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_table1(materials_by_region=None):
+    """Regenerate Table I: material properties at 300 K.
+
+    ``materials_by_region`` maps region name -> Material; defaults to the
+    paper's assignment (epoxy compound, copper everywhere else).
+    """
+    from ..materials.library import copper, epoxy_resin
+
+    if materials_by_region is None:
+        materials_by_region = {
+            "Compound": epoxy_resin(),
+            "Contact pad": copper(),
+            "Chip": copper(),
+            "Bonding wire": copper(),
+        }
+    rows = []
+    for region, material in materials_by_region.items():
+        rows.append(
+            (
+                region,
+                material.name.replace("_", " "),
+                f"{material.thermal_conductivity(T_REFERENCE):.4g}",
+                f"{material.electrical_conductivity(T_REFERENCE):.3e}",
+            )
+        )
+    return format_table(
+        ["Region", "Material", "lambda [W/K/m]", "sigma [S/m]"],
+        rows,
+        title=f"TABLE I: MATERIAL PROPERTIES @ T = {T_REFERENCE:g} K",
+    )
+
+
+def format_table2(parameters=None):
+    """Regenerate Table II: simulation parameters."""
+    from ..package3d.chip_example import Date16Parameters, date16_layout
+    import numpy as np
+
+    p = parameters if parameters is not None else Date16Parameters()
+    rows = list(p.as_table())
+    layout = date16_layout(p)
+    directs = layout.all_direct_distances()
+    mean_length = float(
+        np.mean(directs / (1.0 - p.elongation_mean))
+    )
+    rows.insert(5, ("Average wires' length L", f"{mean_length * 1e3:.3g} mm"))
+    return format_table(
+        ["Parameter", "Value"],
+        rows,
+        title="TABLE II: SIMULATION PARAMETERS",
+    )

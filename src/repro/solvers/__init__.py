@@ -1,0 +1,33 @@
+"""Linear and nonlinear solver utilities.
+
+* :mod:`repro.solvers.linear` -- sparse direct/iterative solves with
+  factorization caching (the coupled loop re-solves with the same matrix
+  whenever the nonlinearity has stagnated),
+* :mod:`repro.solvers.woodbury` -- Sherman-Morrison-Woodbury updates for
+  matrices that differ from a factorized base only by the low-rank bonding
+  wire stamps (the Monte Carlo fast path),
+* :mod:`repro.solvers.newton` -- fixed-point (successive substitution) and
+  Newton iterations with damping,
+* :mod:`repro.solvers.time_integration` -- implicit Euler / theta-method
+  steppers for the transient heat equation.
+"""
+
+from .adaptive import AdaptiveStepResult, adaptive_implicit_euler
+from .linear import LinearSolver, solve_sparse
+from .newton import FixedPointResult, fixed_point, newton_raphson
+from .time_integration import ImplicitEuler, ThetaMethod, TimeGrid
+from .woodbury import WoodburySolver
+
+__all__ = [
+    "LinearSolver",
+    "solve_sparse",
+    "fixed_point",
+    "newton_raphson",
+    "FixedPointResult",
+    "ImplicitEuler",
+    "ThetaMethod",
+    "TimeGrid",
+    "WoodburySolver",
+    "adaptive_implicit_euler",
+    "AdaptiveStepResult",
+]

@@ -1,0 +1,128 @@
+"""Nonlinear iterations: fixed point (successive substitution) and Newton.
+
+The coupled electrothermal step of the paper is solved by successive
+substitution: freeze the temperature, assemble the temperature-dependent
+matrices, solve, repeat.  :func:`fixed_point` implements that pattern with
+optional damping; :func:`newton_raphson` is provided for scalar/small dense
+problems (e.g. the analytic bonding wire steady state).
+"""
+
+import numpy as np
+
+from ..errors import ConvergenceError
+
+
+class FixedPointResult:
+    """Outcome of a fixed-point iteration."""
+
+    def __init__(self, solution, iterations, residual, converged, history=None):
+        self.solution = solution
+        self.iterations = iterations
+        self.residual = residual
+        self.converged = converged
+        #: Residual norm after each iteration (diagnostic).
+        self.history = history if history is not None else []
+
+    def __repr__(self):
+        status = "converged" if self.converged else "NOT converged"
+        return (
+            f"FixedPointResult({status} in {self.iterations} iterations, "
+            f"residual={self.residual:.3e})"
+        )
+
+
+def fixed_point(
+    update,
+    initial,
+    tolerance=1.0e-8,
+    max_iterations=50,
+    damping=1.0,
+    norm=None,
+    raise_on_failure=True,
+):
+    """Iterate ``x <- (1 - w) x + w update(x)`` until ``|dx| < tolerance``.
+
+    Parameters
+    ----------
+    update:
+        Callable mapping the current iterate to the next one.
+    initial:
+        Starting vector (copied).
+    tolerance:
+        Convergence threshold on the chosen norm of the update step.
+    damping:
+        Relaxation factor ``w`` in (0, 1]; values below 1 stabilize
+        strongly nonlinear steps at the cost of extra iterations.
+    norm:
+        Step-norm callable; defaults to the max norm, which for
+        temperature vectors reads "no node moved by more than tol kelvin".
+    raise_on_failure:
+        When ``True`` a non-converged iteration raises
+        :class:`~repro.errors.ConvergenceError`; otherwise the last iterate
+        is returned with ``converged = False``.
+    """
+    if not 0.0 < damping <= 1.0:
+        raise ValueError(f"damping must be in (0, 1], got {damping!r}")
+    if norm is None:
+        norm = lambda v: float(np.max(np.abs(v))) if np.size(v) else 0.0
+    current = np.array(initial, dtype=float, copy=True)
+    history = []
+    residual = np.inf
+    for iteration in range(1, max_iterations + 1):
+        proposed = np.asarray(update(current), dtype=float)
+        step = proposed - current
+        current = current + damping * step
+        residual = norm(damping * step)
+        history.append(residual)
+        if residual < tolerance:
+            return FixedPointResult(current, iteration, residual, True, history)
+    if raise_on_failure:
+        raise ConvergenceError(
+            f"fixed-point iteration did not converge within {max_iterations} "
+            f"iterations (last step norm {residual:.3e}, tol {tolerance:.3e})",
+            iterations=max_iterations,
+            residual=residual,
+        )
+    return FixedPointResult(current, max_iterations, residual, False, history)
+
+
+def newton_raphson(
+    residual,
+    jacobian,
+    initial,
+    tolerance=1.0e-10,
+    max_iterations=50,
+    damping=1.0,
+):
+    """Dense Newton-Raphson for small systems ``residual(x) = 0``.
+
+    ``jacobian(x)`` must return a dense matrix (or scalar for 1D problems).
+    Used by the analytic wire model where the unknown is the wire
+    temperature itself.
+    """
+    current = np.atleast_1d(np.array(initial, dtype=float, copy=True))
+    for iteration in range(1, max_iterations + 1):
+        res = np.atleast_1d(np.asarray(residual(current), dtype=float))
+        if float(np.max(np.abs(res))) < tolerance:
+            return FixedPointResult(
+                current if current.size > 1 else float(current[0]),
+                iteration - 1,
+                float(np.max(np.abs(res))),
+                True,
+            )
+        jac = np.atleast_2d(np.asarray(jacobian(current), dtype=float))
+        try:
+            step = np.linalg.solve(jac, res)
+        except np.linalg.LinAlgError as exc:
+            raise ConvergenceError(
+                f"singular Jacobian in Newton iteration {iteration}: {exc}",
+                iterations=iteration,
+            ) from exc
+        current = current - damping * step
+    final_res = float(np.max(np.abs(np.atleast_1d(residual(current)))))
+    raise ConvergenceError(
+        f"Newton iteration did not converge within {max_iterations} "
+        f"iterations (residual {final_res:.3e})",
+        iterations=max_iterations,
+        residual=final_res,
+    )

@@ -1,0 +1,85 @@
+"""Sherman-Morrison-Woodbury solver for low-rank matrix updates.
+
+Between Monte Carlo samples only the bonding wire conductances change, and
+each wire stamps a rank-1 update ``g_j p_j p_j^T`` into the system matrix
+(Section III-B of the paper).  With ``A = A_base + U diag(g) U^T`` and a
+factorized ``A_base``, the Woodbury identity
+
+``A^-1 b = A0^-1 b - A0^-1 U (diag(g)^-1 + U^T A0^-1 U)^-1 U^T A0^-1 b``
+
+solves each sample with one small dense solve instead of a fresh sparse LU.
+This is the fast path benchmarked by ``bench_ablation_woodbury``.
+"""
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+from ..errors import SolverError
+
+
+class WoodburySolver:
+    """Solver for ``(A_base + U diag(g) U^T) x = b`` with varying ``g``.
+
+    Parameters
+    ----------
+    base_matrix:
+        Sparse base matrix ``A_base`` (factorized once).
+    update_vectors:
+        Dense ``(n, k)`` matrix ``U`` whose columns are the stamp vectors
+        ``p_j`` (entries +1/-1 at the wire end nodes, after Dirichlet
+        reduction).
+    """
+
+    def __init__(self, base_matrix, update_vectors):
+        base_matrix = base_matrix.tocsc()
+        update_vectors = np.asarray(update_vectors, dtype=float)
+        if update_vectors.ndim != 2:
+            raise SolverError("update_vectors must be a 2D (n, k) array")
+        if update_vectors.shape[0] != base_matrix.shape[0]:
+            raise SolverError(
+                f"update vectors have {update_vectors.shape[0]} rows, matrix "
+                f"is {base_matrix.shape[0]}x{base_matrix.shape[1]}"
+            )
+        self.rank = update_vectors.shape[1]
+        self.update_vectors = update_vectors
+        try:
+            self._lu = spla.splu(base_matrix)
+        except RuntimeError as exc:
+            raise SolverError(f"base LU factorization failed: {exc}") from exc
+        # Precompute A0^-1 U and the capacitance-free core U^T A0^-1 U.
+        self._base_inverse_u = np.column_stack(
+            [self._lu.solve(update_vectors[:, j]) for j in range(self.rank)]
+        )
+        self._core = update_vectors.T @ self._base_inverse_u
+
+    def solve(self, conductances, rhs):
+        """Solve for the given per-stamp conductances ``g`` (length k).
+
+        Zero conductances are supported (the corresponding stamp simply
+        drops out); negative conductances are rejected as non-physical.
+        """
+        conductances = np.asarray(conductances, dtype=float).ravel()
+        if conductances.size != self.rank:
+            raise SolverError(
+                f"expected {self.rank} conductances, got {conductances.size}"
+            )
+        if np.any(conductances < 0.0):
+            raise SolverError("wire conductances must be non-negative")
+        rhs = np.asarray(rhs, dtype=float)
+        base_solution = self._lu.solve(rhs)
+
+        active = conductances > 0.0
+        if not np.any(active):
+            return base_solution
+        u_active = self.update_vectors[:, active]
+        base_inv_u = self._base_inverse_u[:, active]
+        core = self._core[np.ix_(active, active)].copy()
+        core[np.diag_indices_from(core)] += 1.0 / conductances[active]
+        try:
+            coefficients = np.linalg.solve(core, u_active.T @ base_solution)
+        except np.linalg.LinAlgError as exc:
+            raise SolverError(f"Woodbury core solve failed: {exc}") from exc
+        solution = base_solution - base_inv_u @ coefficients
+        if not np.all(np.isfinite(solution)):
+            raise SolverError("Woodbury solve produced non-finite values")
+        return solution

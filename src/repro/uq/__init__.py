@@ -1,0 +1,63 @@
+"""Uncertainty quantification stack (Section IV of the paper).
+
+The paper propagates the uncertain relative wire elongation -- fitted as
+N(0.17, 0.048^2) from 12 X-ray samples -- through the coupled solver with
+plain Monte Carlo (M = 1000) and reports the expectation, standard
+deviation and the sigma/sqrt(M) error estimator (eq. (6)).
+
+Beyond the paper's MC this package provides Latin hypercube and Halton /
+Sobol quasi-Monte Carlo sampling, Smolyak sparse-grid stochastic
+collocation with Gauss-Hermite nodes, and Saltelli/Sobol sensitivity
+indices -- "the application of other methods is straightforward"
+(Section IV-C), and these are exactly the methods one would apply.
+"""
+
+from .distributions import (
+    LogNormalDistribution,
+    NormalDistribution,
+    TruncatedNormalDistribution,
+    UniformDistribution,
+    fit_normal,
+)
+from .monte_carlo import MonteCarloResult, MonteCarloStudy, monte_carlo_error
+from .collocation import (
+    CollocationResult,
+    StochasticCollocation,
+    gauss_hermite_rule,
+    smolyak_nodes,
+)
+from .sampling import (
+    halton_sequence,
+    latin_hypercube,
+    random_sampler,
+    sobol_sequence,
+)
+from .pce import PolynomialChaosExpansion, total_degree_multi_indices
+from .sensitivity import SobolIndices, saltelli_sample, sobol_indices
+from .statistics import RunningStatistics, histogram_data
+
+__all__ = [
+    "NormalDistribution",
+    "LogNormalDistribution",
+    "UniformDistribution",
+    "TruncatedNormalDistribution",
+    "fit_normal",
+    "MonteCarloStudy",
+    "MonteCarloResult",
+    "monte_carlo_error",
+    "StochasticCollocation",
+    "CollocationResult",
+    "gauss_hermite_rule",
+    "smolyak_nodes",
+    "latin_hypercube",
+    "halton_sequence",
+    "sobol_sequence",
+    "random_sampler",
+    "sobol_indices",
+    "saltelli_sample",
+    "SobolIndices",
+    "RunningStatistics",
+    "histogram_data",
+    "PolynomialChaosExpansion",
+    "total_degree_multi_indices",
+]

@@ -1,0 +1,247 @@
+"""Probability distributions for uncertain inputs.
+
+The paper identifies a normal distribution for the relative elongation
+(Fig. 5); this module provides that plus the common alternatives, each with
+pdf/cdf/ppf, sampling and moment-based fitting.  The ppf is the bridge from
+uniform (quasi-)random streams to distribution samples, which keeps every
+sampler (MC, LHS, QMC) reusable for every distribution.
+"""
+
+import numpy as np
+from scipy import special
+
+from ..errors import DistributionError
+
+_SQRT2 = np.sqrt(2.0)
+
+
+class Distribution:
+    """Abstract base: continuous scalar distribution."""
+
+    def pdf(self, x):
+        raise NotImplementedError
+
+    def cdf(self, x):
+        raise NotImplementedError
+
+    def ppf(self, q):
+        raise NotImplementedError
+
+    @property
+    def mean(self):
+        raise NotImplementedError
+
+    @property
+    def std(self):
+        raise NotImplementedError
+
+    def sample(self, size, rng=None):
+        """Draw pseudo-random samples through the inverse CDF."""
+        if rng is None:
+            rng = np.random.default_rng()
+        return self.ppf(rng.uniform(size=size))
+
+
+class NormalDistribution(Distribution):
+    """Gaussian N(mu, sigma^2) -- the paper's elongation model."""
+
+    def __init__(self, mu, sigma):
+        sigma = float(sigma)
+        if sigma <= 0.0:
+            raise DistributionError(f"sigma must be positive, got {sigma!r}")
+        self.mu = float(mu)
+        self.sigma = sigma
+
+    @property
+    def mean(self):
+        return self.mu
+
+    @property
+    def std(self):
+        return self.sigma
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        z = (x - self.mu) / self.sigma
+        return np.exp(-0.5 * z * z) / (self.sigma * np.sqrt(2.0 * np.pi))
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        return 0.5 * (1.0 + special.erf((x - self.mu) / (self.sigma * _SQRT2)))
+
+    def ppf(self, q):
+        q = np.asarray(q, dtype=float)
+        if np.any((q <= 0.0) | (q >= 1.0)):
+            raise DistributionError("ppf argument must lie strictly in (0, 1)")
+        return self.mu + self.sigma * _SQRT2 * special.erfinv(2.0 * q - 1.0)
+
+    def __repr__(self):
+        return f"NormalDistribution(mu={self.mu!r}, sigma={self.sigma!r})"
+
+
+class TruncatedNormalDistribution(Distribution):
+    """Normal restricted to [lower, upper] (renormalized).
+
+    Physically safer variant of the elongation model: delta below 0 or
+    above 1 is geometrically impossible, and the truncation removes the
+    tiny but non-physical tail mass of the plain normal.
+    """
+
+    def __init__(self, mu, sigma, lower, upper):
+        if not lower < upper:
+            raise DistributionError(
+                f"need lower < upper, got {lower!r}, {upper!r}"
+            )
+        self.base = NormalDistribution(mu, sigma)
+        self.lower = float(lower)
+        self.upper = float(upper)
+        self._cdf_lower = float(self.base.cdf(self.lower))
+        self._cdf_upper = float(self.base.cdf(self.upper))
+        self._mass = self._cdf_upper - self._cdf_lower
+        if self._mass <= 0.0:
+            raise DistributionError("truncation interval has zero mass")
+
+    @property
+    def mean(self):
+        # Standard truncated-normal mean formula.
+        a = (self.lower - self.base.mu) / self.base.sigma
+        b = (self.upper - self.base.mu) / self.base.sigma
+        phi = lambda z: np.exp(-0.5 * z * z) / np.sqrt(2.0 * np.pi)
+        return self.base.mu + self.base.sigma * (phi(a) - phi(b)) / self._mass
+
+    @property
+    def std(self):
+        a = (self.lower - self.base.mu) / self.base.sigma
+        b = (self.upper - self.base.mu) / self.base.sigma
+        phi = lambda z: np.exp(-0.5 * z * z) / np.sqrt(2.0 * np.pi)
+        term = (a * phi(a) - b * phi(b)) / self._mass
+        correction = ((phi(a) - phi(b)) / self._mass) ** 2
+        return self.base.sigma * np.sqrt(max(1.0 + term - correction, 0.0))
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        inside = (x >= self.lower) & (x <= self.upper)
+        return np.where(inside, self.base.pdf(x) / self._mass, 0.0)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        raw = (self.base.cdf(x) - self._cdf_lower) / self._mass
+        return np.clip(raw, 0.0, 1.0)
+
+    def ppf(self, q):
+        q = np.asarray(q, dtype=float)
+        if np.any((q <= 0.0) | (q >= 1.0)):
+            raise DistributionError("ppf argument must lie strictly in (0, 1)")
+        return self.base.ppf(self._cdf_lower + q * self._mass)
+
+    def __repr__(self):
+        return (
+            f"TruncatedNormalDistribution(mu={self.base.mu!r}, "
+            f"sigma={self.base.sigma!r}, lower={self.lower!r}, "
+            f"upper={self.upper!r})"
+        )
+
+
+class UniformDistribution(Distribution):
+    """Uniform on [lower, upper]."""
+
+    def __init__(self, lower, upper):
+        if not float(lower) < float(upper):
+            raise DistributionError(
+                f"need lower < upper, got {lower!r}, {upper!r}"
+            )
+        self.lower = float(lower)
+        self.upper = float(upper)
+
+    @property
+    def mean(self):
+        return 0.5 * (self.lower + self.upper)
+
+    @property
+    def std(self):
+        return (self.upper - self.lower) / np.sqrt(12.0)
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        inside = (x >= self.lower) & (x <= self.upper)
+        return np.where(inside, 1.0 / (self.upper - self.lower), 0.0)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        return np.clip((x - self.lower) / (self.upper - self.lower), 0.0, 1.0)
+
+    def ppf(self, q):
+        q = np.asarray(q, dtype=float)
+        if np.any((q < 0.0) | (q > 1.0)):
+            raise DistributionError("ppf argument must lie in [0, 1]")
+        return self.lower + q * (self.upper - self.lower)
+
+    def __repr__(self):
+        return f"UniformDistribution({self.lower!r}, {self.upper!r})"
+
+
+class LogNormalDistribution(Distribution):
+    """Log-normal: ln X ~ N(mu_log, sigma_log^2).
+
+    Candidate alternative for strictly positive elongations.
+    """
+
+    def __init__(self, mu_log, sigma_log):
+        sigma_log = float(sigma_log)
+        if sigma_log <= 0.0:
+            raise DistributionError(
+                f"sigma_log must be positive, got {sigma_log!r}"
+            )
+        self.mu_log = float(mu_log)
+        self.sigma_log = sigma_log
+        self._base = NormalDistribution(self.mu_log, self.sigma_log)
+
+    @property
+    def mean(self):
+        return np.exp(self.mu_log + 0.5 * self.sigma_log**2)
+
+    @property
+    def std(self):
+        variance = (np.exp(self.sigma_log**2) - 1.0) * np.exp(
+            2.0 * self.mu_log + self.sigma_log**2
+        )
+        return np.sqrt(variance)
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        positive = x > 0.0
+        safe = np.where(positive, x, 1.0)
+        return np.where(positive, self._base.pdf(np.log(safe)) / safe, 0.0)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        positive = x > 0.0
+        safe = np.where(positive, x, 1.0)
+        return np.where(positive, self._base.cdf(np.log(safe)), 0.0)
+
+    def ppf(self, q):
+        return np.exp(self._base.ppf(q))
+
+    def __repr__(self):
+        return (
+            f"LogNormalDistribution(mu_log={self.mu_log!r}, "
+            f"sigma_log={self.sigma_log!r})"
+        )
+
+
+def fit_normal(samples, ddof=1):
+    """Moment fit of a normal distribution (the paper's Fig. 5 step).
+
+    Uses the unbiased sample standard deviation by default; the paper's 12
+    measurements yield mu = 0.17, sigma = 0.048.
+    """
+    samples = np.asarray(samples, dtype=float).ravel()
+    if samples.size < 2:
+        raise DistributionError(
+            f"need at least 2 samples to fit a normal, got {samples.size}"
+        )
+    mu = float(np.mean(samples))
+    sigma = float(np.std(samples, ddof=ddof))
+    if sigma <= 0.0:
+        raise DistributionError("samples are degenerate (zero spread)")
+    return NormalDistribution(mu, sigma)

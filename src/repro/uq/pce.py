@@ -1,0 +1,255 @@
+"""Polynomial chaos expansion (PCE) surrogates by least-squares regression.
+
+A PCE approximates the model response as a series in orthonormal
+polynomials of the random inputs,
+
+``f(x) ~ sum_alpha c_alpha Psi_alpha(z)``,
+
+with probabilists' Hermite polynomials on the standard-normal germ ``z``
+(non-normal marginals map through ``x = ppf(Phi(z))``).  The coefficients
+carry the statistics for free: the mean is ``c_0``, the variance is the
+sum of the remaining squared coefficients, and Sobol indices are partial
+sums -- a cheap global sensitivity analysis once the surrogate is built.
+
+This complements the stochastic collocation module: collocation prescribes
+quadrature nodes, regression PCE works with *any* sample set (e.g. the
+Monte Carlo samples already paid for).
+"""
+
+import itertools
+import math
+
+import numpy as np
+from scipy import special
+
+from ..errors import SamplingError
+from .distributions import NormalDistribution
+from .sampling import random_sampler
+
+
+def total_degree_multi_indices(dimension, degree):
+    """All multi-indices with total degree <= ``degree``.
+
+    Ordered by total degree, then lexicographically; the zero index comes
+    first (its coefficient is the mean).
+    """
+    dimension = int(dimension)
+    degree = int(degree)
+    if dimension < 1 or degree < 0:
+        raise SamplingError("dimension must be >= 1 and degree >= 0")
+    indices = []
+    for total in range(degree + 1):
+        for combo in itertools.combinations_with_replacement(
+            range(dimension), total
+        ):
+            alpha = [0] * dimension
+            for position in combo:
+                alpha[position] += 1
+            indices.append(tuple(alpha))
+    # Deduplicate while preserving order (combinations generate unique
+    # multisets already, so this is a no-op safeguard).
+    seen = set()
+    unique = []
+    for alpha in indices:
+        if alpha not in seen:
+            seen.add(alpha)
+            unique.append(alpha)
+    return unique
+
+
+def hermite_normalized(order, points):
+    """Orthonormal probabilists' Hermite polynomial He_n / sqrt(n!)."""
+    points = np.asarray(points, dtype=float)
+    coefficients = np.zeros(order + 1)
+    coefficients[order] = 1.0
+    values = np.polynomial.hermite_e.hermeval(points, coefficients)
+    return values / np.sqrt(math.factorial(order))
+
+
+class PolynomialChaosExpansion:
+    """Least-squares PCE surrogate of a scalar or vector model.
+
+    Parameters
+    ----------
+    model:
+        Callable ``model(parameters) -> array`` (consistent output shape).
+    distributions:
+        One distribution (iid) or a per-dimension list.
+    dimension:
+        Number of random inputs.
+    degree:
+        Total polynomial degree of the expansion.
+    """
+
+    def __init__(self, model, distributions, dimension, degree=2):
+        self.model = model
+        self.dimension = int(dimension)
+        self.degree = int(degree)
+        if not isinstance(distributions, (list, tuple)):
+            distributions = [distributions] * self.dimension
+        if len(distributions) != self.dimension:
+            raise SamplingError(
+                f"{len(distributions)} distributions for {self.dimension} "
+                "dimensions"
+            )
+        self.distributions = list(distributions)
+        self.multi_indices = total_degree_multi_indices(
+            self.dimension, self.degree
+        )
+        self._coefficients = None
+        self._output_shape = None
+
+    @property
+    def num_terms(self):
+        """Number of basis polynomials (binomial(d + p, p))."""
+        return len(self.multi_indices)
+
+    # ------------------------------------------------------------------
+    # Basis evaluation
+    # ------------------------------------------------------------------
+    def design_matrix(self, germ_points):
+        """Basis values ``Psi_alpha(z)`` for each sample, ``(M, terms)``."""
+        germ_points = np.asarray(germ_points, dtype=float)
+        if germ_points.ndim != 2 or germ_points.shape[1] != self.dimension:
+            raise SamplingError(
+                f"germ_points must be (M, {self.dimension}), got "
+                f"{germ_points.shape}"
+            )
+        # Precompute 1D polynomials up to the max order per dimension.
+        columns = []
+        one_d = {}
+        for order in range(self.degree + 1):
+            one_d[order] = np.column_stack(
+                [
+                    hermite_normalized(order, germ_points[:, d])
+                    for d in range(self.dimension)
+                ]
+            )
+        for alpha in self.multi_indices:
+            term = np.ones(germ_points.shape[0])
+            for d, order in enumerate(alpha):
+                if order:
+                    term = term * one_d[order][:, d]
+            columns.append(term)
+        return np.column_stack(columns)
+
+    def _map_germ(self, germ_points):
+        mapped = np.empty_like(np.asarray(germ_points, dtype=float))
+        germ_points = np.asarray(germ_points, dtype=float)
+        for d, dist in enumerate(self.distributions):
+            if isinstance(dist, NormalDistribution):
+                mapped[:, d] = dist.mu + dist.sigma * germ_points[:, d]
+            else:
+                cdf = 0.5 * (1.0 + special.erf(
+                    germ_points[:, d] / np.sqrt(2.0)
+                ))
+                cdf = np.clip(cdf, 1e-12, 1.0 - 1e-12)
+                mapped[:, d] = dist.ppf(cdf)
+        return mapped
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, num_samples=None, seed=0, oversampling=2.0):
+        """Fit the coefficients on fresh Gaussian germ samples.
+
+        ``num_samples`` defaults to ``oversampling * num_terms`` (the
+        usual 2x rule for stable least squares).
+        """
+        if num_samples is None:
+            num_samples = int(np.ceil(oversampling * self.num_terms))
+        if num_samples < self.num_terms:
+            raise SamplingError(
+                f"need at least {self.num_terms} samples for "
+                f"{self.num_terms} terms, got {num_samples}"
+            )
+        uniform = random_sampler(num_samples, self.dimension, seed)
+        germ = NormalDistribution(0.0, 1.0).ppf(
+            np.clip(uniform, 1e-12, 1.0 - 1e-12)
+        )
+        parameters = self._map_germ(germ)
+        outputs = np.stack(
+            [
+                np.asarray(self.model(parameters[i]), dtype=float)
+                for i in range(num_samples)
+            ]
+        )
+        self._output_shape = outputs.shape[1:]
+        flat = outputs.reshape(num_samples, -1)
+        design = self.design_matrix(germ)
+        coefficients, *_ = np.linalg.lstsq(design, flat, rcond=None)
+        self._coefficients = coefficients
+        return self
+
+    def _require_fit(self):
+        if self._coefficients is None:
+            raise SamplingError("PCE not fitted; call fit() first")
+
+    # ------------------------------------------------------------------
+    # Statistics from coefficients
+    # ------------------------------------------------------------------
+    @property
+    def mean(self):
+        """Mean = coefficient of the constant polynomial."""
+        self._require_fit()
+        return self._coefficients[0].reshape(self._output_shape)
+
+    @property
+    def variance(self):
+        """Variance = sum of squared non-constant coefficients."""
+        self._require_fit()
+        return (
+            np.sum(self._coefficients[1:] ** 2, axis=0)
+            .reshape(self._output_shape)
+        )
+
+    @property
+    def std(self):
+        """Standard deviation of the surrogate."""
+        return np.sqrt(self.variance)
+
+    def sobol_indices(self):
+        """First-order and total Sobol indices from the coefficients.
+
+        Returns ``(first, total)`` arrays of shape
+        ``(dimension, *output_shape)``; zero-variance outputs yield zeros.
+        """
+        self._require_fit()
+        squared = self._coefficients**2
+        variance = np.sum(squared[1:], axis=0)
+        safe_variance = np.where(variance > 0.0, variance, 1.0)
+        first = np.zeros((self.dimension,) + squared.shape[1:])
+        total = np.zeros_like(first)
+        for index, alpha in enumerate(self.multi_indices):
+            if index == 0:
+                continue
+            active = [d for d, order in enumerate(alpha) if order]
+            for d in active:
+                total[d] += squared[index]
+            if len(active) == 1:
+                first[active[0]] += squared[index]
+        first = first / safe_variance
+        total = total / safe_variance
+        shape = (self.dimension,) + self._output_shape
+        return first.reshape(shape), total.reshape(shape)
+
+    # ------------------------------------------------------------------
+    # Surrogate evaluation
+    # ------------------------------------------------------------------
+    def __call__(self, parameters):
+        """Evaluate the surrogate at physical parameter vector(s)."""
+        self._require_fit()
+        parameters = np.atleast_2d(np.asarray(parameters, dtype=float))
+        germ = np.empty_like(parameters)
+        for d, dist in enumerate(self.distributions):
+            if isinstance(dist, NormalDistribution):
+                germ[:, d] = (parameters[:, d] - dist.mu) / dist.sigma
+            else:
+                cdf = np.clip(dist.cdf(parameters[:, d]), 1e-12, 1 - 1e-12)
+                germ[:, d] = NormalDistribution(0.0, 1.0).ppf(cdf)
+        design = self.design_matrix(germ)
+        flat = design @ self._coefficients
+        result = flat.reshape((parameters.shape[0],) + self._output_shape)
+        if result.shape[0] == 1:
+            return result[0]
+        return result

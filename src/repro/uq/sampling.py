@@ -1,0 +1,120 @@
+"""Sample-stream generators: pseudo-random, LHS, Halton and Sobol QMC.
+
+All generators produce points in the unit hypercube ``[0, 1)^d``; the
+distributions' inverse CDFs map them to physical parameters.  Keeping the
+streams uniform makes Monte Carlo, Latin hypercube and quasi-Monte Carlo
+interchangeable in the study driver (the sampling-strategy ablation).
+"""
+
+import numpy as np
+
+from ..errors import SamplingError
+
+_FIRST_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131,
+)
+
+
+def _validate(num_samples, dimension):
+    num_samples = int(num_samples)
+    dimension = int(dimension)
+    if num_samples < 1:
+        raise SamplingError(f"num_samples must be >= 1, got {num_samples}")
+    if dimension < 1:
+        raise SamplingError(f"dimension must be >= 1, got {dimension}")
+    return num_samples, dimension
+
+
+def random_sampler(num_samples, dimension, seed=None):
+    """Plain pseudo-random uniform points (the paper's MC stream)."""
+    num_samples, dimension = _validate(num_samples, dimension)
+    rng = np.random.default_rng(seed)
+    return rng.uniform(size=(num_samples, dimension))
+
+
+def latin_hypercube(num_samples, dimension, seed=None):
+    """Latin hypercube: one sample per row-stratum in every dimension."""
+    num_samples, dimension = _validate(num_samples, dimension)
+    rng = np.random.default_rng(seed)
+    points = np.empty((num_samples, dimension))
+    for d in range(dimension):
+        permutation = rng.permutation(num_samples)
+        points[:, d] = (permutation + rng.uniform(size=num_samples)) / num_samples
+    return points
+
+
+def _van_der_corput(count, base, skip):
+    """Van der Corput sequence in the given base (radical inverse)."""
+    sequence = np.zeros(count)
+    for i in range(count):
+        n = i + skip
+        value = 0.0
+        denominator = 1.0
+        while n > 0:
+            denominator *= base
+            n, remainder = divmod(n, base)
+            value += remainder / denominator
+        sequence[i] = value
+    return sequence
+
+
+def halton_sequence(num_samples, dimension, skip=20):
+    """Halton QMC points (one prime base per dimension).
+
+    ``skip`` drops the first points, which are strongly correlated across
+    dimensions for larger primes.
+    """
+    num_samples, dimension = _validate(num_samples, dimension)
+    if dimension > len(_FIRST_PRIMES):
+        raise SamplingError(
+            f"Halton supports up to {len(_FIRST_PRIMES)} dimensions, "
+            f"got {dimension}"
+        )
+    points = np.empty((num_samples, dimension))
+    for d in range(dimension):
+        points[:, d] = _van_der_corput(num_samples, _FIRST_PRIMES[d], skip + 1)
+    return points
+
+
+def sobol_sequence(num_samples, dimension, seed=0):
+    """Scrambled Sobol points via scipy's generator.
+
+    Falls back to Halton if scipy's ``qmc`` module is unavailable (very old
+    scipy); the interface stays identical.
+    """
+    num_samples, dimension = _validate(num_samples, dimension)
+    try:
+        from scipy.stats import qmc
+    except ImportError:  # pragma: no cover - depends on scipy version
+        return halton_sequence(num_samples, dimension)
+    sampler = qmc.Sobol(d=dimension, scramble=True, seed=seed)
+    return sampler.random(num_samples)
+
+
+def map_to_distributions(uniform_points, distributions):
+    """Map unit-cube points column-wise through ``ppf`` of each distribution.
+
+    ``distributions`` is either a single distribution (applied to every
+    column -- the iid case of the paper's 12 wire elongations) or a list of
+    per-dimension distributions.
+    """
+    uniform_points = np.asarray(uniform_points, dtype=float)
+    if uniform_points.ndim != 2:
+        raise SamplingError("uniform_points must be a 2D (samples, dim) array")
+    dimension = uniform_points.shape[1]
+    if not isinstance(distributions, (list, tuple)):
+        distributions = [distributions] * dimension
+    if len(distributions) != dimension:
+        raise SamplingError(
+            f"{len(distributions)} distributions for {dimension} dimensions"
+        )
+    # ppf(0) / ppf(1) are infinite for unbounded distributions; nudge the
+    # stream into the open interval.
+    eps = 1.0e-12
+    clipped = np.clip(uniform_points, eps, 1.0 - eps)
+    columns = [
+        np.asarray(dist.ppf(clipped[:, d]))
+        for d, dist in enumerate(distributions)
+    ]
+    return np.column_stack(columns)

@@ -1,0 +1,95 @@
+"""Variance-based global sensitivity analysis (Sobol indices).
+
+The paper investigates "the global sensitivity of the bonding wires'
+temperatures w.r.t. their geometric parameters" (Section I).  This module
+computes first-order and total Sobol indices with the Saltelli sampling
+scheme and Jansen's estimators, answering which wire's length uncertainty
+drives the hottest-wire temperature variance.
+"""
+
+import numpy as np
+
+from ..errors import SamplingError
+from .sampling import map_to_distributions, random_sampler
+
+
+def saltelli_sample(num_base_samples, dimension, seed=None):
+    """Saltelli design: matrices ``A``, ``B`` and the ``AB_i`` hybrids.
+
+    Returns ``(a, b, ab)`` with ``ab`` shaped ``(d, M, d)``.  Total model
+    cost of a Sobol analysis is ``M (d + 2)`` evaluations.
+    """
+    num_base_samples = int(num_base_samples)
+    dimension = int(dimension)
+    if num_base_samples < 2:
+        raise SamplingError("need at least 2 base samples")
+    stream = random_sampler(2 * num_base_samples, dimension, seed)
+    a = stream[:num_base_samples]
+    b = stream[num_base_samples:]
+    ab = np.empty((dimension, num_base_samples, dimension))
+    for i in range(dimension):
+        ab[i] = a.copy()
+        ab[i][:, i] = b[:, i]
+    return a, b, ab
+
+
+class SobolIndices:
+    """First-order and total Sobol indices per input dimension."""
+
+    def __init__(self, first_order, total, variance, num_evaluations):
+        self.first_order = np.asarray(first_order, dtype=float)
+        self.total = np.asarray(total, dtype=float)
+        self.variance = float(variance)
+        self.num_evaluations = int(num_evaluations)
+
+    def ranking(self):
+        """Input dimensions ordered by decreasing total index."""
+        return list(np.argsort(-self.total))
+
+    def __repr__(self):
+        return (
+            f"SobolIndices(S={np.round(self.first_order, 3).tolist()}, "
+            f"ST={np.round(self.total, 3).tolist()})"
+        )
+
+
+def sobol_indices(model, distributions, dimension, num_base_samples=256, seed=None):
+    """Estimate Sobol indices of a scalar model output.
+
+    Uses Jansen's estimators:
+
+    ``S_i  = (V - mean((f_B - f_ABi)^2) / 2) / V``
+    ``ST_i = mean((f_A - f_ABi)^2) / (2 V)``
+
+    Negative first-order estimates (possible at finite M for weak inputs)
+    are clipped at zero.
+    """
+    a_unit, b_unit, ab_unit = saltelli_sample(num_base_samples, dimension, seed)
+    a = map_to_distributions(a_unit, distributions)
+    b = map_to_distributions(b_unit, distributions)
+
+    def evaluate(matrix):
+        return np.asarray(
+            [float(model(matrix[row])) for row in range(matrix.shape[0])]
+        )
+
+    f_a = evaluate(a)
+    f_b = evaluate(b)
+    combined = np.concatenate([f_a, f_b])
+    variance = float(np.var(combined, ddof=1))
+    if variance <= 0.0:
+        raise SamplingError(
+            "model output has zero variance; Sobol indices are undefined"
+        )
+
+    first = np.empty(dimension)
+    total = np.empty(dimension)
+    evaluations = 2 * num_base_samples
+    for i in range(dimension):
+        ab = map_to_distributions(ab_unit[i], distributions)
+        f_ab = evaluate(ab)
+        evaluations += num_base_samples
+        first[i] = (variance - 0.5 * float(np.mean((f_b - f_ab) ** 2))) / variance
+        total[i] = 0.5 * float(np.mean((f_a - f_ab) ** 2)) / variance
+    first = np.clip(first, 0.0, None)
+    return SobolIndices(first, total, variance, evaluations)

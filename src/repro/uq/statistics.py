@@ -1,0 +1,92 @@
+"""Streaming statistics and histogram helpers.
+
+:class:`RunningStatistics` implements Welford's numerically stable online
+mean/variance over vector-valued samples, so a Monte Carlo study never has
+to hold all samples in memory (it optionally can, for quantiles).
+"""
+
+import numpy as np
+
+from ..errors import SamplingError
+
+
+class RunningStatistics:
+    """Welford online mean/variance over equally shaped arrays."""
+
+    def __init__(self):
+        self.count = 0
+        self._mean = None
+        self._m2 = None
+        self._min = None
+        self._max = None
+
+    def update(self, sample):
+        """Fold one sample (scalar or array) into the statistics."""
+        sample = np.asarray(sample, dtype=float)
+        if self._mean is None:
+            self._mean = np.zeros_like(sample)
+            self._m2 = np.zeros_like(sample)
+            self._min = np.full_like(sample, np.inf)
+            self._max = np.full_like(sample, -np.inf)
+        elif sample.shape != self._mean.shape:
+            raise SamplingError(
+                f"sample shape {sample.shape} does not match previous "
+                f"{self._mean.shape}"
+            )
+        self.count += 1
+        delta = sample - self._mean
+        self._mean = self._mean + delta / self.count
+        delta2 = sample - self._mean
+        self._m2 = self._m2 + delta * delta2
+        self._min = np.minimum(self._min, sample)
+        self._max = np.maximum(self._max, sample)
+
+    @property
+    def mean(self):
+        """Running mean (same shape as the samples)."""
+        if self.count == 0:
+            raise SamplingError("no samples accumulated")
+        return self._mean.copy()
+
+    def variance(self, ddof=1):
+        """Running variance with the chosen degrees-of-freedom correction."""
+        if self.count <= ddof:
+            raise SamplingError(
+                f"need more than {ddof} samples, have {self.count}"
+            )
+        return self._m2 / (self.count - ddof)
+
+    def std(self, ddof=1):
+        """Running standard deviation."""
+        return np.sqrt(self.variance(ddof=ddof))
+
+    @property
+    def minimum(self):
+        """Element-wise minimum over samples."""
+        if self.count == 0:
+            raise SamplingError("no samples accumulated")
+        return self._min.copy()
+
+    @property
+    def maximum(self):
+        """Element-wise maximum over samples."""
+        if self.count == 0:
+            raise SamplingError("no samples accumulated")
+        return self._max.copy()
+
+    def standard_error(self):
+        """``std / sqrt(count)``: the paper's MC error estimator (eq. (6))."""
+        return self.std() / np.sqrt(self.count)
+
+
+def histogram_data(samples, num_bins=8, density=True):
+    """Histogram as plain arrays ``(bin_edges, heights)`` for reporting.
+
+    Matches the presentation of Fig. 5 of the paper (probability density
+    over relative elongation).
+    """
+    samples = np.asarray(samples, dtype=float).ravel()
+    if samples.size == 0:
+        raise SamplingError("cannot histogram zero samples")
+    heights, edges = np.histogram(samples, bins=int(num_bins), density=density)
+    return edges, heights

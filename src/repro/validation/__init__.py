@@ -1,0 +1,28 @@
+"""Model-vs-measurement comparison harness.
+
+The paper's conclusion announces "a comparison to bonding wire
+measurements" as future work.  This package provides the harness for that
+comparison: a synthetic measurement generator (sensor sampling, noise,
+offset -- standing in for a thermocouple/IR trace until real data exists)
+and the metrics that quantify agreement, including the calibration of the
+predicted Monte Carlo uncertainty band.
+"""
+
+from .comparison import (
+    ComparisonReport,
+    band_coverage,
+    compare_traces,
+    max_absolute_error,
+    root_mean_square_error,
+)
+from .synthetic import SyntheticMeasurement, synthesize_measurement
+
+__all__ = [
+    "compare_traces",
+    "ComparisonReport",
+    "root_mean_square_error",
+    "max_absolute_error",
+    "band_coverage",
+    "synthesize_measurement",
+    "SyntheticMeasurement",
+]

@@ -1,0 +1,105 @@
+"""Metrics comparing a simulated trace against a measurement.
+
+Beyond point errors (RMSE, max error), the scientifically interesting
+question for the paper's UQ pipeline is *calibration*: does the predicted
+``E(t) +- k sigma(t)`` band actually contain the measured trace with the
+advertised probability?  ``band_coverage`` answers that.
+"""
+
+import numpy as np
+
+from ..errors import MeasurementError
+
+
+def _align(model_times, model_values, measured_times):
+    """Interpolate the model trace onto the measurement's time base."""
+    model_times = np.asarray(model_times, dtype=float)
+    model_values = np.asarray(model_values, dtype=float)
+    measured_times = np.asarray(measured_times, dtype=float)
+    if model_times.shape != model_values.shape:
+        raise MeasurementError("model times and values must share a shape")
+    if measured_times.min() < model_times.min() - 1e-12 or (
+        measured_times.max() > model_times.max() + 1e-12
+    ):
+        raise MeasurementError(
+            "measurement time base extends beyond the model trace"
+        )
+    return np.interp(measured_times, model_times, model_values)
+
+
+def root_mean_square_error(model_times, model_values, measurement):
+    """RMSE between the model and a measurement [same unit as values]."""
+    aligned = _align(model_times, model_values, measurement.times)
+    return float(np.sqrt(np.mean((aligned - measurement.values) ** 2)))
+
+
+def max_absolute_error(model_times, model_values, measurement):
+    """Maximum pointwise deviation."""
+    aligned = _align(model_times, model_values, measurement.times)
+    return float(np.max(np.abs(aligned - measurement.values)))
+
+
+def band_coverage(model_times, mean_values, std_values, measurement,
+                  multiple=2.0):
+    """Fraction of measured samples inside ``mean +- multiple * std``.
+
+    For a calibrated predictor and Gaussian errors, a 2-sigma band should
+    cover ~95 % of samples; systematic model bias shows up as coverage far
+    below the nominal value even when RMSE looks acceptable.
+    """
+    mean = _align(model_times, mean_values, measurement.times)
+    std = _align(model_times, std_values, measurement.times)
+    lower = mean - float(multiple) * std
+    upper = mean + float(multiple) * std
+    inside = (measurement.values >= lower) & (measurement.values <= upper)
+    return float(np.mean(inside))
+
+
+class ComparisonReport:
+    """Bundle of all comparison metrics for one wire trace."""
+
+    def __init__(self, rmse, max_error, bias, coverage_2sigma,
+                 coverage_6sigma, label=""):
+        self.rmse = rmse
+        self.max_error = max_error
+        #: Mean signed deviation (model minus measurement) [K].
+        self.bias = bias
+        self.coverage_2sigma = coverage_2sigma
+        self.coverage_6sigma = coverage_6sigma
+        self.label = label
+
+    def acceptable(self, rmse_limit=5.0, coverage_floor=0.8):
+        """Simple pass/fail: RMSE below limit and 2-sigma band honest."""
+        return self.rmse <= rmse_limit and (
+            self.coverage_2sigma >= coverage_floor
+        )
+
+    def __repr__(self):
+        return (
+            f"ComparisonReport({self.label or 'trace'}: "
+            f"RMSE={self.rmse:.3f} K, max={self.max_error:.3f} K, "
+            f"bias={self.bias:+.3f} K, "
+            f"coverage 2s={self.coverage_2sigma:.2f} / "
+            f"6s={self.coverage_6sigma:.2f})"
+        )
+
+
+def compare_traces(model_times, mean_values, std_values, measurement,
+                   label=""):
+    """Full comparison of a predicted (mean, std) trace vs. a measurement."""
+    mean_values = np.asarray(mean_values, dtype=float)
+    std_values = np.asarray(std_values, dtype=float)
+    aligned = _align(model_times, mean_values, measurement.times)
+    bias = float(np.mean(aligned - measurement.values))
+    return ComparisonReport(
+        rmse=root_mean_square_error(model_times, mean_values, measurement),
+        max_error=max_absolute_error(model_times, mean_values, measurement),
+        bias=bias,
+        coverage_2sigma=band_coverage(
+            model_times, mean_values, std_values, measurement, 2.0
+        ),
+        coverage_6sigma=band_coverage(
+            model_times, mean_values, std_values, measurement, 6.0
+        ),
+        label=label,
+    )

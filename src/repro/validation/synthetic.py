@@ -1,0 +1,106 @@
+"""Synthetic measurement traces from simulated temperature histories.
+
+A real wire-temperature measurement differs from the simulated trace by
+
+* sensor sampling (its own time base, usually coarser),
+* additive noise (thermocouple/IR sensor noise),
+* a calibration offset and gain error,
+* a first-order sensor lag (the probe's own thermal time constant).
+
+``synthesize_measurement`` applies all four with a seeded generator, so a
+validation pipeline can be exercised end-to-end (and its metrics
+unit-tested against known distortions) before physical data exists.
+"""
+
+import numpy as np
+
+from ..errors import MeasurementError
+
+
+class SyntheticMeasurement:
+    """A sampled, noisy measurement trace."""
+
+    def __init__(self, times, values, description=""):
+        self.times = np.asarray(times, dtype=float)
+        self.values = np.asarray(values, dtype=float)
+        if self.times.shape != self.values.shape:
+            raise MeasurementError("times and values must share a shape")
+        if self.times.size < 2:
+            raise MeasurementError("a measurement needs at least 2 samples")
+        self.description = description
+
+    def __repr__(self):
+        return (
+            f"SyntheticMeasurement({self.times.size} samples over "
+            f"{self.times[-1] - self.times[0]:g} s, {self.description!r})"
+        )
+
+
+def _first_order_lag(times, values, time_constant):
+    """Discrete first-order sensor response (exact exponential update)."""
+    if time_constant <= 0.0:
+        return values.copy()
+    lagged = np.empty_like(values)
+    lagged[0] = values[0]
+    for index in range(1, values.size):
+        dt = times[index] - times[index - 1]
+        alpha = 1.0 - np.exp(-dt / time_constant)
+        lagged[index] = lagged[index - 1] + alpha * (
+            values[index] - lagged[index - 1]
+        )
+    return lagged
+
+
+def synthesize_measurement(
+    times,
+    temperatures,
+    sample_period=None,
+    noise_std=0.5,
+    offset=0.0,
+    gain=1.0,
+    sensor_time_constant=0.0,
+    seed=0,
+    description="synthetic",
+):
+    """Turn a simulated trace into a synthetic measurement.
+
+    Parameters
+    ----------
+    times, temperatures:
+        The simulated trace (dense time base).
+    sample_period:
+        Sensor sampling period [s]; ``None`` keeps the simulation base.
+    noise_std:
+        Additive Gaussian noise [K].
+    offset, gain:
+        Calibration error: ``measured = gain * true + offset``.
+    sensor_time_constant:
+        First-order probe lag [s] applied before sampling.
+    seed:
+        Noise seed (reproducible).
+    """
+    times = np.asarray(times, dtype=float)
+    temperatures = np.asarray(temperatures, dtype=float)
+    if times.shape != temperatures.shape:
+        raise MeasurementError("times and temperatures must share a shape")
+    if times.size < 2:
+        raise MeasurementError("need at least 2 trace points")
+    if noise_std < 0.0:
+        raise MeasurementError("noise_std must be non-negative")
+
+    lagged = _first_order_lag(times, temperatures, float(sensor_time_constant))
+
+    if sample_period is None:
+        sample_times = times.copy()
+    else:
+        sample_period = float(sample_period)
+        if sample_period <= 0.0:
+            raise MeasurementError("sample_period must be positive")
+        sample_times = np.arange(times[0], times[-1] + 1e-12, sample_period)
+    sampled = np.interp(sample_times, times, lagged)
+
+    rng = np.random.default_rng(seed)
+    noisy = float(gain) * sampled + float(offset)
+    if noise_std > 0.0:
+        noisy = noisy + rng.normal(0.0, noise_std, sampled.size)
+    return SyntheticMeasurement(sample_times, noisy, description=description)

@@ -1,0 +1,96 @@
+"""Tests for the wire-sizing calculator."""
+
+import pytest
+
+from repro.bondwire.calculator import BondWireCalculator
+from repro.errors import BondWireError
+from repro.materials.library import copper, gold
+
+
+@pytest.fixture
+def calculator():
+    """Paper-like configuration: copper, 1.55 mm, limit 523 K."""
+    return BondWireCalculator(copper(), 1.55e-3)
+
+
+class TestCheck:
+    def test_small_current_ok(self, calculator):
+        result = calculator.check(25.4e-6, 0.05)
+        assert result.satisfied
+        assert result.peak_temperature < 523.0
+
+    def test_large_current_fails(self, calculator):
+        result = calculator.check(25.4e-6, 2.0)
+        assert not result.satisfied
+
+    def test_monotone_in_current(self, calculator):
+        temps = [
+            calculator.peak_temperature(25.4e-6, i)
+            for i in (0.05, 0.1, 0.2, 0.4)
+        ]
+        assert all(b > a for a, b in zip(temps, temps[1:]))
+
+    def test_monotone_in_diameter(self, calculator):
+        """Thicker wire stays cooler at fixed current."""
+        temps = [
+            calculator.peak_temperature(d, 0.3)
+            for d in (20e-6, 25.4e-6, 50e-6)
+        ]
+        assert all(b < a for a, b in zip(temps, temps[1:]))
+
+
+class TestAllowableCurrent:
+    def test_bracketing_and_bisection(self, calculator):
+        allowable = calculator.allowable_current(25.4e-6)
+        # At the allowable current the limit is met...
+        assert calculator.peak_temperature(
+            25.4e-6, allowable * 0.999
+        ) <= 523.0
+        # ... and 5 % above it is violated.
+        assert calculator.peak_temperature(25.4e-6, allowable * 1.05) > 523.0
+
+    def test_thicker_wire_allows_more(self, calculator):
+        assert calculator.allowable_current(50e-6) > (
+            calculator.allowable_current(25.4e-6)
+        )
+
+
+class TestRequiredDiameter:
+    def test_roundtrip_with_allowable(self, calculator):
+        current = calculator.allowable_current(25.4e-6)
+        required = calculator.required_diameter(current * 0.98)
+        assert required <= 25.4e-6 * 1.05
+
+    def test_impossible_current_raises(self, calculator):
+        with pytest.raises(BondWireError):
+            calculator.required_diameter(1e4, d_max=1e-4)
+
+    def test_tiny_current_returns_minimum(self, calculator):
+        assert calculator.required_diameter(1e-6) == pytest.approx(1e-6)
+
+
+class TestMaterialTradeoff:
+    def test_copper_beats_gold(self):
+        """Intro of the paper: material choice is a design trade-off.
+
+        Copper's higher sigma*lambda product allows more current at equal
+        geometry.
+        """
+        cu = BondWireCalculator(copper(), 1.55e-3)
+        au = BondWireCalculator(gold(), 1.55e-3)
+        assert cu.allowable_current(25.4e-6) > au.allowable_current(25.4e-6)
+
+
+class TestValidation:
+    def test_limit_below_contact_rejected(self):
+        with pytest.raises(BondWireError):
+            BondWireCalculator(copper(), 1e-3, t_contact=600.0, t_limit=523.0)
+
+    def test_bad_length(self):
+        with pytest.raises(BondWireError):
+            BondWireCalculator(copper(), 0.0)
+
+    def test_sweep(self, calculator):
+        results = calculator.sweep_diameters([20e-6, 30e-6], 0.2)
+        assert len(results) == 2
+        assert results[0].peak_temperature > results[1].peak_temperature

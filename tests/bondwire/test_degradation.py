@@ -1,0 +1,145 @@
+"""Tests for the kinetic degradation models."""
+
+import numpy as np
+import pytest
+
+from repro.bondwire.degradation import (
+    ArrheniusDegradationModel,
+    CycleCountingModel,
+)
+from repro.errors import BondWireError
+
+
+class TestArrheniusRates:
+    def test_reference_normalization(self):
+        """Held at T_ref, the wire consumes one lifetime in t_ref."""
+        model = ArrheniusDegradationModel(
+            reference_temperature=523.0, reference_lifetime=100.0
+        )
+        assert model.constant_temperature_lifetime(523.0) == pytest.approx(
+            100.0
+        )
+        assert model.damage_rate(523.0) == pytest.approx(0.01)
+
+    def test_rate_increases_with_temperature(self):
+        model = ArrheniusDegradationModel()
+        rates = model.damage_rate(np.array([400.0, 450.0, 500.0, 550.0]))
+        assert np.all(np.diff(rates) > 0.0)
+
+    def test_acceleration_factor_10k_rule(self):
+        """0.8 eV near 523 K: roughly 1.3-1.6x per 10 K -- the classic
+        reliability rule-of-thumb territory."""
+        model = ArrheniusDegradationModel(activation_energy=0.8)
+        factor = model.acceleration_factor(533.0, baseline=523.0)
+        assert 1.2 < factor < 1.8
+
+    def test_invalid_parameters(self):
+        with pytest.raises(BondWireError):
+            ArrheniusDegradationModel(activation_energy=0.0)
+        with pytest.raises(BondWireError):
+            ArrheniusDegradationModel(reference_lifetime=-1.0)
+        with pytest.raises(BondWireError):
+            ArrheniusDegradationModel().damage_rate(-5.0)
+
+
+class TestDamageAccumulation:
+    def test_constant_trace_linear_damage(self):
+        model = ArrheniusDegradationModel(
+            reference_temperature=523.0, reference_lifetime=50.0
+        )
+        times = np.linspace(0.0, 50.0, 101)
+        temps = np.full(101, 523.0)
+        damage = model.accumulate(times, temps)
+        assert damage[0] == 0.0
+        assert damage[-1] == pytest.approx(1.0)
+        assert np.allclose(np.diff(damage), np.diff(damage)[0])
+
+    def test_damage_monotone(self):
+        model = ArrheniusDegradationModel()
+        times = np.linspace(0.0, 50.0, 51)
+        temps = 300.0 + 150.0 * (1.0 - np.exp(-times / 10.0))
+        damage = model.accumulate(times, temps)
+        assert np.all(np.diff(damage) > 0.0)
+
+    def test_time_to_failure_interpolated(self):
+        model = ArrheniusDegradationModel(
+            reference_temperature=500.0, reference_lifetime=10.0
+        )
+        times = np.linspace(0.0, 40.0, 401)
+        temps = np.full(401, 500.0)
+        ttf = model.time_to_failure(times, temps)
+        assert ttf == pytest.approx(10.0, rel=1e-6)
+
+    def test_cool_trace_never_fails(self):
+        model = ArrheniusDegradationModel(
+            reference_temperature=523.0, reference_lifetime=1.0
+        )
+        times = np.linspace(0.0, 50.0, 51)
+        temps = np.full(51, 310.0)
+        assert model.time_to_failure(times, temps) is None
+
+    def test_hotter_trace_fails_earlier(self):
+        model = ArrheniusDegradationModel(
+            reference_temperature=450.0, reference_lifetime=20.0
+        )
+        times = np.linspace(0.0, 100.0, 1001)
+        ttf_cool = model.time_to_failure(times, np.full(1001, 450.0))
+        ttf_hot = model.time_to_failure(times, np.full(1001, 470.0))
+        assert ttf_hot < ttf_cool
+
+    def test_initial_damage_offsets(self):
+        model = ArrheniusDegradationModel(
+            reference_temperature=500.0, reference_lifetime=10.0
+        )
+        times = np.linspace(0.0, 10.0, 11)
+        temps = np.full(11, 500.0)
+        damage = model.accumulate(times, temps, initial_damage=0.5)
+        assert damage[0] == 0.5
+        assert damage[-1] == pytest.approx(1.5)
+
+    def test_validation(self):
+        model = ArrheniusDegradationModel()
+        with pytest.raises(BondWireError):
+            model.accumulate([0.0, 1.0], [300.0])
+        with pytest.raises(BondWireError):
+            model.accumulate([1.0, 0.5], [300.0, 300.0])
+
+
+class TestCycleCounting:
+    def test_coffin_manson_scaling(self):
+        model = CycleCountingModel(coefficient=1e7, exponent=2.0)
+        assert model.cycles_to_failure(100.0) == pytest.approx(1e3)
+        assert model.cycles_to_failure(10.0) == pytest.approx(1e5)
+
+    def test_extract_swings_triangle_wave(self):
+        model = CycleCountingModel(minimum_swing=1.0)
+        trace = np.array([300.0, 350.0, 300.0, 350.0, 300.0])
+        swings = model.extract_swings(trace)
+        assert np.allclose(swings, 50.0)
+        assert swings.size == 4
+
+    def test_small_ripple_ignored(self):
+        model = CycleCountingModel(minimum_swing=5.0)
+        trace = np.array([300.0, 300.5, 300.0, 300.5, 300.0])
+        assert model.extract_swings(trace).size == 0
+        assert model.damage(trace) == 0.0
+
+    def test_damage_accumulates_miner(self):
+        model = CycleCountingModel(coefficient=1e4, exponent=2.0)
+        # Each 100 K swing costs 1/N_f = 1/(1e4 * 1e-4) = 1e-4... compute:
+        # N_f(100) = 1e4 * 100^-2 = 1.  One swing = full damage.
+        trace = np.array([300.0, 400.0, 300.0])
+        assert model.damage(trace) == pytest.approx(2.0)
+
+    def test_monotone_trace_single_swing(self):
+        model = CycleCountingModel()
+        trace = np.linspace(300.0, 400.0, 50)
+        swings = model.extract_swings(trace)
+        assert swings.size == 1
+        assert swings[0] == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(BondWireError):
+            CycleCountingModel(coefficient=0.0)
+        with pytest.raises(BondWireError):
+            CycleCountingModel().cycles_to_failure(0.0)

@@ -1,0 +1,101 @@
+"""Tests for failure assessment and fusing estimates."""
+
+import numpy as np
+import pytest
+
+from repro.bondwire.failure import (
+    assess_failure,
+    first_crossing_time,
+    melting_point,
+    preece_fusing_current,
+)
+from repro.errors import BondWireError
+
+
+class TestFirstCrossing:
+    def test_simple_crossing_interpolated(self):
+        times = np.array([0.0, 1.0, 2.0])
+        temps = np.array([300.0, 400.0, 500.0])
+        # Crosses 450 halfway through the second interval.
+        assert first_crossing_time(times, temps, 450.0) == pytest.approx(1.5)
+
+    def test_never_crosses(self):
+        times = np.array([0.0, 1.0])
+        temps = np.array([300.0, 310.0])
+        assert first_crossing_time(times, temps, 523.0) is None
+
+    def test_starts_above(self):
+        times = np.array([0.0, 1.0])
+        temps = np.array([600.0, 650.0])
+        assert first_crossing_time(times, temps, 523.0) == 0.0
+
+    def test_exact_hit_at_sample(self):
+        times = np.array([0.0, 1.0, 2.0])
+        temps = np.array([300.0, 523.0, 600.0])
+        assert first_crossing_time(times, temps, 523.0) == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(BondWireError):
+            first_crossing_time([0.0, 1.0], [300.0], 400.0)
+
+
+class TestAssessment:
+    def test_paper_threshold_default(self):
+        times = np.linspace(0.0, 50.0, 51)
+        temps = 300.0 + 4.0 * times  # reaches 500 K, stays below 523
+        verdict = assess_failure(times, temps)
+        assert not verdict.fails
+        assert verdict.threshold == 523.0
+        assert verdict.margin == pytest.approx(23.0)
+
+    def test_failing_trace(self):
+        times = np.linspace(0.0, 50.0, 51)
+        temps = 300.0 + 5.0 * times  # reaches 550 K
+        verdict = assess_failure(times, temps)
+        assert verdict.fails
+        assert verdict.crossing_time == pytest.approx(44.6)
+        assert verdict.margin < 0.0
+
+    def test_repr_mentions_verdict(self):
+        verdict = assess_failure([0.0, 1.0], [300.0, 310.0], label="w3")
+        assert "w3" in repr(verdict)
+        assert "ok" in repr(verdict)
+
+
+class TestFusing:
+    def test_preece_copper_25um(self):
+        """25.4 um copper: the classic ~0.32 A free-air fusing current."""
+        current = preece_fusing_current(25.4e-6, "copper")
+        assert current == pytest.approx(0.324, rel=0.02)
+
+    def test_preece_scales_with_d_to_1_5(self):
+        i1 = preece_fusing_current(25.0e-6)
+        i2 = preece_fusing_current(50.0e-6)
+        assert i2 / i1 == pytest.approx(2.0**1.5)
+
+    def test_material_ordering(self):
+        """Copper fuses at higher current than gold and aluminium."""
+        d = 25.4e-6
+        assert preece_fusing_current(d, "copper") > preece_fusing_current(
+            d, "gold"
+        )
+
+    def test_unknown_material(self):
+        with pytest.raises(BondWireError):
+            preece_fusing_current(25e-6, "mithril")
+
+    def test_invalid_diameter(self):
+        with pytest.raises(BondWireError):
+            preece_fusing_current(0.0)
+
+
+class TestMeltingPoints:
+    def test_copper(self):
+        assert melting_point("copper") == pytest.approx(1357.8)
+
+    def test_alias(self):
+        assert melting_point("aluminum") == melting_point("aluminium")
+
+    def test_unknown(self):
+        with pytest.raises(BondWireError):
+            melting_point("wood")

@@ -1,0 +1,142 @@
+"""Tests for the wire length geometry (Fig. 4 of the paper)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bondwire.geometry import (
+    WireLengthModel,
+    bending_elongation_arc,
+    bending_elongation_triangle,
+    length_from_elongation,
+    misplacement_elongation,
+    relative_elongation,
+    total_length,
+)
+from repro.errors import BondWireError
+
+
+class TestTotalLength:
+    def test_sum(self):
+        assert total_length(1.0e-3, 0.1e-3, 0.2e-3) == pytest.approx(1.3e-3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(BondWireError):
+            total_length(1.0e-3, -0.1e-3)
+        with pytest.raises(BondWireError):
+            total_length(-1.0e-3)
+
+
+class TestRelativeElongation:
+    def test_paper_mean_case(self):
+        """delta = 0.17 corresponds to L = d / 0.83."""
+        d = 1.29e-3
+        length = d / (1.0 - 0.17)
+        assert relative_elongation(d, length) == pytest.approx(0.17)
+
+    def test_no_elongation(self):
+        assert relative_elongation(1.0e-3, 1.0e-3) == 0.0
+
+    def test_shorter_than_direct_rejected(self):
+        with pytest.raises(BondWireError):
+            relative_elongation(1.0e-3, 0.9e-3)
+
+    def test_roundtrip_with_inverse(self):
+        d = 1.5e-3
+        for delta in (0.0, 0.1, 0.17, 0.4):
+            length = length_from_elongation(d, delta)
+            assert relative_elongation(d, length) == pytest.approx(delta)
+
+    def test_inverse_clips_negative_delta(self):
+        """Geometrically impossible negative deltas map to L = d."""
+        assert length_from_elongation(1.0e-3, -0.2) == pytest.approx(1.0e-3)
+
+    def test_inverse_rejects_delta_one(self):
+        with pytest.raises(BondWireError):
+            length_from_elongation(1.0e-3, 1.0)
+
+
+class TestMisplacement:
+    def test_zero_offset(self):
+        assert misplacement_elongation(1.0e-3, 0.0) == 0.0
+
+    def test_pythagoras(self):
+        """3-4-5 triangle: d=3, offset=4 -> elongation 2."""
+        assert misplacement_elongation(3.0, 4.0) == pytest.approx(2.0)
+
+    def test_small_offset_quadratic(self):
+        """For small offsets: delta_s ~ offset^2 / (2 d)."""
+        d, offset = 1.0e-3, 1.0e-5
+        assert misplacement_elongation(d, offset) == pytest.approx(
+            offset**2 / (2 * d), rel=1e-3
+        )
+
+
+class TestBending:
+    def test_triangle_zero_height(self):
+        assert bending_elongation_triangle(1.0e-3, 0.0) == 0.0
+
+    def test_triangle_345(self):
+        """Span 6, height 4 -> two 5-legs -> elongation 4."""
+        assert bending_elongation_triangle(6.0, 4.0) == pytest.approx(4.0)
+
+    def test_arc_zero_height(self):
+        assert bending_elongation_arc(1.0e-3, 0.0) == 0.0
+
+    def test_arc_semicircle(self):
+        """Height = half span: semicircle, length pi R over span 2 R."""
+        span = 2.0
+        elongation = bending_elongation_arc(span, 1.0)
+        assert elongation == pytest.approx(np.pi - 2.0)
+
+    def test_arc_above_triangle(self):
+        """The tent is the shortest path through the apex, so the smooth
+        arc through the same three points is strictly longer."""
+        span, height = 1.0e-3, 0.3e-3
+        assert bending_elongation_arc(span, height) > (
+            bending_elongation_triangle(span, height)
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(BondWireError):
+            bending_elongation_arc(0.0, 1.0)
+        with pytest.raises(BondWireError):
+            bending_elongation_triangle(1.0, -1.0)
+
+
+class TestWireLengthModel:
+    def test_composition(self):
+        model = WireLengthModel(1.0e-3, 0.05e-3, 0.15e-3, name="w")
+        assert model.length == pytest.approx(1.2e-3)
+        assert model.delta == pytest.approx(0.2e-3 / 1.2e-3)
+
+    def test_with_delta_overrides_length(self):
+        model = WireLengthModel(1.0e-3, 0.05e-3, 0.15e-3)
+        resampled = model.with_delta(0.3)
+        assert resampled.delta == pytest.approx(0.3)
+        assert resampled.direct_distance == model.direct_distance
+
+
+@given(
+    d=st.floats(min_value=1e-4, max_value=1e-2),
+    delta=st.floats(min_value=0.0, max_value=0.9),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_elongation_roundtrip(d, delta):
+    length = length_from_elongation(d, delta)
+    assert length >= d
+    assert relative_elongation(d, length) == pytest.approx(delta, abs=1e-12)
+
+
+@given(
+    span=st.floats(min_value=1e-4, max_value=1e-2),
+    height=st.floats(min_value=0.0, max_value=5e-3),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_bending_non_negative_monotone(span, height):
+    """Bending elongation is non-negative and grows with loop height."""
+    low = bending_elongation_arc(span, height)
+    high = bending_elongation_arc(span, height + 1e-4)
+    assert low >= 0.0
+    assert high >= low

@@ -1,0 +1,133 @@
+"""Tests for the analytic steady-state wire models."""
+
+import numpy as np
+import pytest
+
+from repro.bondwire.models import AnalyticWireModel
+from repro.errors import BondWireError
+from repro.materials.base import Material
+from repro.materials.library import copper
+
+
+@pytest.fixture
+def linear_material():
+    """Temperature-independent material for closed-form checks."""
+    return Material("lin", 5.8e7, 398.0, 3.4e6)
+
+
+class TestParabolicProfile:
+    def test_peak_matches_closed_form(self, linear_material):
+        """No lateral loss, equal ends: peak rise = I^2 L^2 / (8 s l A^2)."""
+        model = AnalyticWireModel(linear_material, 25.4e-6, 1.55e-3)
+        current = 0.2
+        solution = model.solve_current_driven(current, 300.0)
+        expected_rise = model.peak_temperature_rise_linear(current)
+        assert solution.peak_temperature - 300.0 == pytest.approx(
+            expected_rise, rel=1e-6
+        )
+
+    def test_profile_symmetric(self, linear_material):
+        model = AnalyticWireModel(linear_material, 25.4e-6, 1.0e-3)
+        solution = model.solve_current_driven(0.1, 300.0)
+        x = np.linspace(0.0, 1.0e-3, 21)
+        t = solution.temperature(x)
+        assert np.allclose(t, t[::-1], rtol=1e-10)
+
+    def test_ends_clamped(self, linear_material):
+        model = AnalyticWireModel(linear_material, 25.4e-6, 1.0e-3)
+        solution = model.solve_current_driven(0.15, 320.0, 360.0)
+        assert solution.temperature(0.0) == pytest.approx(320.0)
+        assert solution.temperature(1.0e-3) == pytest.approx(360.0)
+
+    def test_zero_current_linear_profile(self, linear_material):
+        model = AnalyticWireModel(linear_material, 25.4e-6, 1.0e-3)
+        solution = model.solve_current_driven(0.0, 300.0, 400.0)
+        assert solution.temperature(0.5e-3) == pytest.approx(350.0)
+        assert solution.dissipated_power == 0.0
+
+    def test_power_is_i_squared_r(self, linear_material):
+        model = AnalyticWireModel(linear_material, 25.4e-6, 1.55e-3)
+        solution = model.solve_current_driven(0.3, 300.0)
+        assert solution.dissipated_power == pytest.approx(
+            0.3**2 * solution.resistance
+        )
+
+
+class TestFinSolution:
+    def test_lateral_loss_cools_the_wire(self, linear_material):
+        bare = AnalyticWireModel(linear_material, 25.4e-6, 1.55e-3)
+        cooled = AnalyticWireModel(
+            linear_material, 25.4e-6, 1.55e-3, heat_transfer_coefficient=250.0
+        )
+        hot = bare.solve_current_driven(0.3, 300.0)
+        cool = cooled.solve_current_driven(0.3, 300.0)
+        assert cool.peak_temperature < hot.peak_temperature
+
+    def test_long_fin_approaches_free_air_limit(self, linear_material):
+        """Far from the ends a long fin sits at T_inf + q' / (h p)."""
+        model = AnalyticWireModel(
+            linear_material, 100e-6, 0.1,  # 10 cm: effectively infinite
+            heat_transfer_coefficient=100.0,
+        )
+        current = 1.0
+        solution = model.solve_current_driven(current, 300.0)
+        area = model.area
+        q_per_length = current**2 / (5.8e7 * area)
+        limit = 300.0 + q_per_length / (100.0 * model.perimeter)
+        # End effects decay as exp(-m x); at mid-span of a 10/m-length
+        # fin they still leave a ~1 K residue, hence the 0.5 % tolerance.
+        assert solution.temperature(0.05) == pytest.approx(limit, rel=5e-3)
+
+
+class TestNonlinearFeedback:
+    def test_voltage_driven_current_drops(self):
+        """Hot copper wire under fixed voltage carries less current."""
+        model = AnalyticWireModel(copper(), 25.4e-6, 1.55e-3)
+        cold_resistance = 1.55e-3 / (5.8e7 * model.area)
+        solution = model.solve_voltage_driven(0.1, 300.0)
+        assert solution.current < 0.1 / cold_resistance
+        assert solution.resistance > cold_resistance
+
+    def test_current_driven_nonlinear_hotter_than_linear(self):
+        """With sigma(T) falling, fixed current dissipates more power."""
+        nonlinear = AnalyticWireModel(copper(), 25.4e-6, 1.55e-3)
+        linear = AnalyticWireModel(
+            copper().frozen(300.0), 25.4e-6, 1.55e-3
+        )
+        i = 0.3
+        assert (
+            nonlinear.solve_current_driven(i, 300.0).peak_temperature
+            > linear.solve_current_driven(i, 300.0).peak_temperature
+        )
+
+    def test_consistency_voltage_vs_current(self):
+        """Solving with U then re-solving with the resulting I agrees."""
+        model = AnalyticWireModel(copper(), 25.4e-6, 1.55e-3)
+        by_voltage = model.solve_voltage_driven(0.05, 300.0)
+        by_current = model.solve_current_driven(by_voltage.current, 300.0)
+        assert by_current.peak_temperature == pytest.approx(
+            by_voltage.peak_temperature, rel=1e-6
+        )
+
+
+class TestValidation:
+    def test_invalid_geometry(self, linear_material):
+        with pytest.raises(BondWireError):
+            AnalyticWireModel(linear_material, -1e-6, 1e-3)
+        with pytest.raises(BondWireError):
+            AnalyticWireModel(linear_material, 1e-6, 0.0)
+        with pytest.raises(BondWireError):
+            AnalyticWireModel(linear_material, 1e-6, 1e-3,
+                              heat_transfer_coefficient=-1.0)
+
+    def test_position_outside_wire(self, linear_material):
+        model = AnalyticWireModel(linear_material, 25.4e-6, 1.0e-3)
+        solution = model.solve_current_driven(0.1, 300.0)
+        with pytest.raises(BondWireError):
+            solution.temperature(2.0e-3)
+
+    def test_sample_shape(self, linear_material):
+        model = AnalyticWireModel(linear_material, 25.4e-6, 1.0e-3)
+        solution = model.solve_current_driven(0.1, 300.0)
+        x, t = solution.sample(51)
+        assert x.shape == t.shape == (51,)

@@ -1,0 +1,137 @@
+"""Tests for the nodal-analysis circuit substrate."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.netlist import Netlist
+from repro.errors import CircuitError
+
+
+class TestBasicNetworks:
+    def test_voltage_divider(self):
+        netlist = Netlist()
+        netlist.add_resistor("top", "mid", 1.0e3, name="r1")
+        netlist.add_resistor("mid", "gnd", 3.0e3, name="r2")
+        netlist.fix_potential("top", 4.0)
+        netlist.fix_potential("gnd", 0.0)
+        solution = netlist.solve()
+        assert solution.potential("mid") == pytest.approx(3.0)
+
+    def test_current_source_into_resistor(self):
+        netlist = Netlist()
+        netlist.add_conductance("n", "gnd", 0.5)
+        netlist.add_current_source("n", 2.0)
+        netlist.fix_potential("gnd", 0.0)
+        solution = netlist.solve()
+        assert solution.potential("n") == pytest.approx(4.0)
+
+    def test_wheatstone_bridge_balanced(self):
+        netlist = Netlist()
+        netlist.add_resistor("vp", "a", 100.0)
+        netlist.add_resistor("a", "gnd", 200.0)
+        netlist.add_resistor("vp", "b", 50.0)
+        netlist.add_resistor("b", "gnd", 100.0)
+        netlist.add_resistor("a", "b", 123.0, name="bridge")
+        netlist.fix_potential("vp", 3.0)
+        netlist.fix_potential("gnd", 0.0)
+        solution = netlist.solve()
+        # Balanced: both midpoints at 2 V, no bridge current.
+        assert solution.potential("a") == pytest.approx(2.0)
+        assert solution.potential("b") == pytest.approx(2.0)
+        assert solution.element_currents["bridge"] == pytest.approx(0.0)
+
+    def test_element_power(self):
+        netlist = Netlist()
+        netlist.add_conductance("a", "b", 2.0, name="g")
+        netlist.fix_potential("a", 1.0)
+        netlist.fix_potential("b", 0.0)
+        solution = netlist.solve()
+        assert solution.element_powers["g"] == pytest.approx(2.0)
+        assert solution.total_power() == pytest.approx(2.0)
+
+
+class TestThermalNetwork:
+    def test_heat_flow_through_chain(self):
+        """Thermal interpretation: W/K conductances, K potentials."""
+        netlist = Netlist()
+        netlist.add_conductance("wire", "chip", 1.3e-4, name="gth")
+        netlist.fix_potential("chip", 300.0)
+        netlist.add_current_source("wire", 7.5e-3)  # 7.5 mW into the wire
+        solution = netlist.solve()
+        rise = solution.potential("wire") - 300.0
+        assert rise == pytest.approx(7.5e-3 / 1.3e-4)
+
+
+class TestControlledConductance:
+    def test_callable_conductance(self):
+        netlist = Netlist()
+        netlist.add_conductance(
+            "a", "gnd", lambda temperature: 1.0 / (1.0 + 0.01 * (temperature - 300.0))
+        )
+        netlist.add_current_source("a", 1.0)
+        netlist.fix_potential("gnd", 0.0)
+        cold = netlist.solve(state=300.0).potential("a")
+        hot = netlist.solve(state=400.0).potential("a")
+        assert hot == pytest.approx(2.0 * cold)
+
+    def test_negative_conductance_rejected(self):
+        netlist = Netlist()
+        netlist.add_conductance("a", "gnd", lambda state: -1.0, name="bad")
+        netlist.fix_potential("gnd", 0.0)
+        with pytest.raises(CircuitError):
+            netlist.solve()
+
+
+class TestValidation:
+    def test_empty_netlist(self):
+        with pytest.raises(CircuitError):
+            Netlist().solve()
+
+    def test_floating_network(self):
+        netlist = Netlist()
+        netlist.add_conductance("a", "b", 1.0)
+        with pytest.raises(CircuitError):
+            netlist.solve()
+
+    def test_disconnected_island(self):
+        netlist = Netlist()
+        netlist.add_conductance("a", "b", 1.0)
+        netlist.add_conductance("c", "d", 1.0)  # floating island
+        netlist.fix_potential("a", 1.0)
+        with pytest.raises(CircuitError):
+            netlist.solve()
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(CircuitError):
+            Netlist().add_conductance("a", "a", 1.0)
+
+    def test_conflicting_fixed_potential(self):
+        netlist = Netlist()
+        netlist.fix_potential("a", 1.0)
+        with pytest.raises(CircuitError):
+            netlist.fix_potential("a", 2.0)
+
+    def test_zero_resistance_rejected(self):
+        with pytest.raises(CircuitError):
+            Netlist().add_resistor("a", "b", 0.0)
+
+
+class TestWireChainEquivalence:
+    def test_segmented_wire_matches_single_element_resistance(self):
+        """N equal segments in series equal one element electrically."""
+        g_total = 19.0
+        single = Netlist()
+        single.add_conductance("a", "b", g_total)
+        single.fix_potential("a", 0.02)
+        single.fix_potential("b", -0.02)
+        p_single = single.solve().total_power()
+
+        chain = Netlist()
+        segments = 5
+        nodes = ["a"] + [f"m{i}" for i in range(segments - 1)] + ["b"]
+        for left, right in zip(nodes[:-1], nodes[1:]):
+            chain.add_conductance(left, right, g_total * segments)
+        chain.fix_potential("a", 0.02)
+        chain.fix_potential("b", -0.02)
+        p_chain = chain.solve().total_power()
+        assert p_chain == pytest.approx(p_single)

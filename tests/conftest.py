@@ -1,0 +1,48 @@
+"""Shared fixtures for the repro test suite."""
+
+import numpy as np
+import pytest
+
+from repro.fit.material_field import MaterialField
+from repro.grid.tensor_grid import TensorGrid
+from repro.materials.library import copper, epoxy_resin
+
+
+@pytest.fixture
+def small_grid():
+    """A 4x3x3 uniform grid over a 2 x 1 x 1 mm box."""
+    return TensorGrid.uniform(
+        ((0.0, 2.0e-3), (0.0, 1.0e-3), (0.0, 1.0e-3)), (4, 3, 3)
+    )
+
+
+@pytest.fixture
+def nonuniform_grid():
+    """A grid with uneven spacing in every direction."""
+    return TensorGrid(
+        np.array([0.0, 0.4e-3, 0.9e-3, 2.0e-3]),
+        np.array([0.0, 0.3e-3, 1.0e-3]),
+        np.array([0.0, 0.5e-3, 0.7e-3, 1.0e-3]),
+    )
+
+
+@pytest.fixture
+def copper_field(small_grid):
+    """A homogeneous copper material field on the small grid."""
+    return MaterialField(small_grid, copper())
+
+
+@pytest.fixture
+def mixed_field(small_grid):
+    """Epoxy background with a copper bar through the middle."""
+    field = MaterialField(small_grid, epoxy_resin())
+    field.fill_box(
+        ((0.0, 2.0e-3), (0.0, 1.0e-3), (0.0, 0.5e-3)), copper()
+    )
+    return field
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for reproducible tests."""
+    return np.random.default_rng(42)

@@ -1,0 +1,85 @@
+"""Fixtures: small coupled problems with known physics."""
+
+import numpy as np
+import pytest
+
+from repro.bondwire.lumped import LumpedBondWire
+from repro.coupled.problem import ElectrothermalProblem
+from repro.fit.boundary import ConvectionBC, DirichletBC, RadiationBC
+from repro.fit.material_field import MaterialField
+from repro.grid.indexing import GridIndexing
+from repro.grid.tensor_grid import TensorGrid
+from repro.materials.base import Material
+from repro.materials.library import copper, epoxy_resin
+
+MM = 1.0e-3
+
+
+@pytest.fixture
+def copper_bar_problem():
+    """A plain copper bar with both x-faces as PEC contacts.
+
+    2 x 1 x 1 mm, sigma of Table I copper, 20 mV across -> the resistance
+    and terminal currents have closed forms.
+    """
+    grid = TensorGrid.uniform(
+        ((0.0, 2.0 * MM), (0.0, 1.0 * MM), (0.0, 1.0 * MM)), (9, 5, 5)
+    )
+    field = MaterialField(grid, copper())
+    indexing = GridIndexing(grid)
+    left = DirichletBC(indexing.boundary_nodes("x-"), 0.01, label="left")
+    right = DirichletBC(indexing.boundary_nodes("x+"), -0.01, label="right")
+    return ElectrothermalProblem(
+        grid=grid,
+        materials=field,
+        wires=(),
+        electrical_dirichlet=[left, right],
+        convection=ConvectionBC(25.0, 300.0),
+        t_initial=300.0,
+        name="copper-bar",
+    )
+
+
+def build_wire_bridge_problem(num_segments=1, voltage=0.04,
+                              wire_length=1.55 * MM, radiation=False,
+                              nonlinear=True):
+    """Two copper electrodes in epoxy, bridged by one bonding wire.
+
+    The electrodes are thick (negligible resistance), so the wire sees
+    almost the full applied voltage: I ~ V * G_wire.  This is the minimal
+    configuration exercising the full field-circuit coupling.
+    """
+    grid = TensorGrid.uniform(
+        ((0.0, 2.0 * MM), (0.0, 1.0 * MM), (0.0, 0.5 * MM)), (11, 5, 4)
+    )
+    conductor = copper() if nonlinear else copper().frozen(300.0)
+    mold = epoxy_resin()
+    field = MaterialField(grid, mold)
+    field.fill_box(((0.0, 0.8 * MM), (0.0, 1.0 * MM), (0.0, 0.5 * MM)),
+                   conductor)
+    field.fill_box(((1.2 * MM, 2.0 * MM), (0.0, 1.0 * MM), (0.0, 0.5 * MM)),
+                   conductor)
+    indexing = GridIndexing(grid)
+    node_a = indexing.nearest_node((0.8 * MM, 0.5 * MM, 0.25 * MM))
+    node_b = indexing.nearest_node((1.2 * MM, 0.5 * MM, 0.25 * MM))
+    wire = LumpedBondWire(
+        node_a, node_b, conductor, 25.4e-6, wire_length,
+        num_segments=num_segments, name="bridge",
+    )
+    left = DirichletBC(indexing.boundary_nodes("x-"), 0.5 * voltage, "left")
+    right = DirichletBC(indexing.boundary_nodes("x+"), -0.5 * voltage, "right")
+    return ElectrothermalProblem(
+        grid=grid,
+        materials=field,
+        wires=[wire],
+        electrical_dirichlet=[left, right],
+        convection=ConvectionBC(25.0, 300.0),
+        radiation=RadiationBC(0.2475, 300.0) if radiation else None,
+        t_initial=300.0,
+        name="wire-bridge",
+    )
+
+
+@pytest.fixture
+def wire_bridge_problem():
+    return build_wire_bridge_problem()

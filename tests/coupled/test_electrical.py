@@ -1,0 +1,121 @@
+"""Verification of the stationary current sub-problem (eq. (3))."""
+
+import numpy as np
+import pytest
+
+from repro.coupled.electrical import solve_stationary_current, terminal_currents
+from repro.errors import AssemblyError
+
+MM = 1.0e-3
+
+
+class TestCopperBar:
+    def test_linear_potential(self, copper_bar_problem):
+        phi, _ = solve_stationary_current(copper_bar_problem)
+        coords = copper_bar_problem.grid.node_coordinates()
+        expected = 0.01 - 0.01 * coords[:, 0] / MM
+        assert np.allclose(phi, expected, atol=1e-12)
+
+    def test_terminal_current_matches_ohm(self, copper_bar_problem):
+        """I = V sigma A / L for the uniform bar, exactly on this mesh."""
+        phi, matrix = solve_stationary_current(copper_bar_problem)
+        currents = terminal_currents(
+            matrix, phi, copper_bar_problem.electrical_dirichlet
+        )
+        sigma = 5.8e7
+        area = 1.0 * MM * 1.0 * MM
+        expected = 0.02 * sigma * area / (2.0 * MM)
+        assert currents[0] == pytest.approx(expected, rel=1e-10)
+
+    def test_kirchhoff_current_sum(self, copper_bar_problem):
+        phi, matrix = solve_stationary_current(copper_bar_problem)
+        currents = terminal_currents(
+            matrix, phi, copper_bar_problem.electrical_dirichlet
+        )
+        assert sum(currents) == pytest.approx(0.0, abs=1e-9 * abs(currents[0]))
+
+    def test_hot_bar_carries_less_current(self, copper_bar_problem):
+        cold = np.full(copper_bar_problem.total_size, 300.0)
+        hot = np.full(copper_bar_problem.total_size, 400.0)
+        phi_c, m_c = solve_stationary_current(copper_bar_problem, cold)
+        phi_h, m_h = solve_stationary_current(copper_bar_problem, hot)
+        i_cold = terminal_currents(
+            m_c, phi_c, copper_bar_problem.electrical_dirichlet
+        )[0]
+        i_hot = terminal_currents(
+            m_h, phi_h, copper_bar_problem.electrical_dirichlet
+        )[0]
+        assert i_hot < i_cold
+        assert i_hot == pytest.approx(i_cold / 1.393, rel=1e-3)
+
+
+class TestWireBridge:
+    def test_wire_carries_expected_current(self, wire_bridge_problem):
+        """Thick electrodes: wire sees nearly the full 40 mV."""
+        problem = wire_bridge_problem
+        phi, matrix = solve_stationary_current(problem)
+        wire = problem.wires[0]
+        stamp = problem.topology.endpoint_stamps[0]
+        drop = stamp.potential_drop(phi)
+        assert drop == pytest.approx(0.04, rel=0.05)
+        current = drop * wire.electrical_conductance(300.0)
+        terminal = terminal_currents(
+            matrix, phi, problem.electrical_dirichlet
+        )[0]
+        # Essentially all terminal current flows through the wire (the
+        # epoxy leakage path is ~13 orders of magnitude weaker).
+        assert current == pytest.approx(terminal, rel=1e-6)
+
+    def test_epoxy_leakage_negligible(self, wire_bridge_problem):
+        """Removing the wire leaves only the ~1e-6 S/m epoxy path."""
+        problem = wire_bridge_problem
+        no_wire = problem.with_wire_lengths([1.55e-3])
+        no_wire.wires = []
+        from repro.coupled.problem import ElectrothermalProblem, WireTopology
+
+        no_wire.topology = WireTopology([], problem.grid.num_nodes)
+        phi, matrix = solve_stationary_current(no_wire)
+        leakage = terminal_currents(
+            matrix, phi, no_wire.electrical_dirichlet
+        )[0]
+        phi_w, matrix_w = solve_stationary_current(problem)
+        with_wire = terminal_currents(
+            matrix_w, phi_w, problem.electrical_dirichlet
+        )[0]
+        assert abs(leakage) < 1e-8 * abs(with_wire)
+
+    def test_longer_wire_less_current(self, wire_bridge_problem):
+        short = wire_bridge_problem
+        longer = short.with_wire_lengths([3.1e-3])
+        phi_s, m_s = solve_stationary_current(short)
+        phi_l, m_l = solve_stationary_current(longer)
+        i_short = terminal_currents(m_s, phi_s, short.electrical_dirichlet)[0]
+        i_long = terminal_currents(m_l, phi_l, longer.electrical_dirichlet)[0]
+        assert i_long == pytest.approx(i_short / 2.0, rel=0.02)
+
+    def test_multi_segment_same_dc_solution(self):
+        """Segmenting the wire must not change the DC operating point."""
+        from .conftest import build_wire_bridge_problem
+
+        single = build_wire_bridge_problem(num_segments=1)
+        chain = build_wire_bridge_problem(num_segments=4)
+        phi_1, m_1 = solve_stationary_current(single)
+        phi_4, m_4 = solve_stationary_current(chain)
+        i_1 = terminal_currents(m_1, phi_1, single.electrical_dirichlet)[0]
+        i_4 = terminal_currents(m_4, phi_4, chain.electrical_dirichlet)[0]
+        assert i_4 == pytest.approx(i_1, rel=1e-9)
+        # Internal chain nodes interpolate the drop linearly.
+        internal = phi_4[single.grid.num_nodes:]
+        drops = np.diff(
+            np.concatenate([[phi_4[chain.wires[0].start_node]], internal,
+                            [phi_4[chain.wires[0].end_node]]])
+        )
+        assert np.allclose(drops, drops[0], rtol=1e-9)
+
+
+class TestValidation:
+    def test_requires_dirichlet(self, copper_bar_problem):
+        problem = copper_bar_problem
+        problem.electrical_dirichlet = []
+        with pytest.raises(AssemblyError):
+            solve_stationary_current(problem)

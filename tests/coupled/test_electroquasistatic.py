@@ -1,0 +1,166 @@
+"""Tests for the electroquasistatic extension."""
+
+import numpy as np
+import pytest
+
+from repro.coupled.electroquasistatic import (
+    charge_relaxation_time,
+    solve_electroquasistatic,
+)
+from repro.coupled.problem import ElectrothermalProblem
+from repro.errors import AssemblyError, SolverError
+from repro.fit.boundary import DirichletBC
+from repro.fit.material_field import MaterialField
+from repro.grid.indexing import GridIndexing
+from repro.grid.tensor_grid import TensorGrid
+from repro.materials.base import Material
+from repro.solvers.time_integration import TimeGrid
+
+from .conftest import build_wire_bridge_problem
+
+
+def _dielectric_bar(sigma=1.0e-6, eps_r=4.0):
+    """Homogeneous lossy dielectric between two PEC faces."""
+    grid = TensorGrid.uniform(
+        ((0.0, 1.0e-3), (0.0, 0.5e-3), (0.0, 0.5e-3)), (6, 3, 3)
+    )
+    material = Material("lossy", sigma, 1.0, 1.0e6,
+                        relative_permittivity=eps_r)
+    field = MaterialField(grid, material)
+    indexing = GridIndexing(grid)
+    problem = ElectrothermalProblem(
+        grid=grid,
+        materials=field,
+        electrical_dirichlet=[
+            DirichletBC(indexing.boundary_nodes("x-"), 1.0, "hot"),
+            DirichletBC(indexing.boundary_nodes("x+"), 0.0, "gnd"),
+        ],
+    )
+    return problem, material
+
+
+class TestChargeRelaxation:
+    def test_tau_formula(self):
+        _, material = _dielectric_bar()
+        tau = charge_relaxation_time(material)
+        assert tau == pytest.approx(
+            4.0 * Material.EPSILON_0 / 1.0e-6
+        )
+        # Epoxy-like: a few tens of microseconds.
+        assert 1e-5 < tau < 1e-4
+
+    def test_homogeneous_bar_has_no_relaxation(self):
+        """With sigma and eps proportional everywhere, the static field
+        appears instantly: no Maxwell-Wagner transient exists."""
+        problem, material = _dielectric_bar()
+        tau = charge_relaxation_time(material)
+        result = solve_electroquasistatic(problem, TimeGrid(6.0 * tau, 120))
+        coords = problem.grid.node_coordinates()
+        expected = 1.0 - coords[:, 0] / 1.0e-3
+        # Already at the static solution after the first step.
+        assert np.allclose(result.potentials[1], expected, atol=1e-9)
+
+    def test_two_layer_maxwell_wagner_relaxation(self):
+        """Heterogeneous eps/sigma ratios relax with
+        tau = (eps1 + eps2) / (sigma1 + sigma2) (equal-thickness layers)."""
+        grid = TensorGrid.uniform(
+            ((0.0, 1.0e-3), (0.0, 0.5e-3), (0.0, 0.5e-3)), (9, 3, 3)
+        )
+        # Deliberately mismatched eps/sigma ratios (equal ratios would be
+        # relaxation-free, as the homogeneous test above shows).
+        mat_a = Material("a", 1.0e-6, 1.0, 1.0e6, relative_permittivity=2.0)
+        mat_b = Material("b", 4.0e-6, 1.0, 1.0e6, relative_permittivity=6.0)
+        field = MaterialField(grid, mat_a)
+        field.fill_box(
+            ((0.5e-3, 1.0e-3), (0.0, 0.5e-3), (0.0, 0.5e-3)), mat_b
+        )
+        indexing = GridIndexing(grid)
+        problem = ElectrothermalProblem(
+            grid=grid,
+            materials=field,
+            electrical_dirichlet=[
+                DirichletBC(indexing.boundary_nodes("x-"), 1.0, "hot"),
+                DirichletBC(indexing.boundary_nodes("x+"), 0.0, "gnd"),
+            ],
+        )
+        eps_a = mat_a.permittivity()
+        eps_b = mat_b.permittivity()
+        tau = (eps_a + eps_b) / (1.0e-6 + 4.0e-6)
+        result = solve_electroquasistatic(problem, TimeGrid(8.0 * tau, 800))
+        measured = result.relaxation_time_estimate(terminal=0)
+        assert measured == pytest.approx(tau, rel=0.15)
+
+    def test_final_state_is_stationary_solution(self):
+        """After many tau the EQS potential equals the DC solution."""
+        problem, material = _dielectric_bar()
+        tau = charge_relaxation_time(material)
+        result = solve_electroquasistatic(problem, TimeGrid(20.0 * tau, 400))
+        coords = problem.grid.node_coordinates()
+        expected = 1.0 - coords[:, 0] / 1.0e-3
+        assert np.allclose(result.final, expected, atol=1e-3)
+
+    def test_initial_displacement_current_exceeds_final(self):
+        """The charging spike: displacement current dominates at t ~ 0."""
+        problem, material = _dielectric_bar()
+        tau = charge_relaxation_time(problem.materials.materials[0])
+        result = solve_electroquasistatic(problem, TimeGrid(10.0 * tau, 200))
+        hot = result.terminal_currents[:, 0]
+        assert abs(hot[1]) > 2.0 * abs(hot[-1])
+
+    def test_terminal_currents_balance(self):
+        problem, _ = _dielectric_bar()
+        tau = charge_relaxation_time(problem.materials.materials[0])
+        result = solve_electroquasistatic(problem, TimeGrid(5.0 * tau, 100))
+        totals = np.sum(result.terminal_currents, axis=1)
+        scale = np.max(np.abs(result.terminal_currents))
+        assert np.allclose(totals, 0.0, atol=1e-9 * scale)
+
+
+class TestAgainstStationary:
+    def test_eqs_justifies_stationary_model(self):
+        """On the thermal time scale the EQS transient is invisible.
+
+        The paper's stationary-current model is valid because the charge
+        relaxation (~3.5e-5 s for epoxy) is ~6 orders of magnitude faster
+        than the 1 s thermal steps.
+        """
+        problem = build_wire_bridge_problem(nonlinear=False)
+        from repro.coupled.electrical import solve_stationary_current
+
+        phi_dc, _ = solve_stationary_current(problem)
+        # EQS over one thermal step (1 s) with 50 sub-steps.
+        result = solve_electroquasistatic(problem, TimeGrid(1.0, 50))
+        assert np.allclose(result.final, phi_dc, atol=1e-6)
+
+    def test_wire_stamps_included(self):
+        problem = build_wire_bridge_problem(nonlinear=False)
+        result = solve_electroquasistatic(problem, TimeGrid(1.0, 20))
+        stamp = problem.topology.endpoint_stamps[0]
+        drop = stamp.potential_drop(result.final)
+        assert drop == pytest.approx(0.04, rel=0.05)
+
+
+class TestValidation:
+    def test_requires_terminals(self, small_grid, copper_field):
+        problem = ElectrothermalProblem(
+            grid=small_grid, materials=copper_field
+        )
+        with pytest.raises(AssemblyError):
+            solve_electroquasistatic(problem, TimeGrid(1.0, 10))
+
+    def test_bad_time_grid(self):
+        problem, _ = _dielectric_bar()
+        with pytest.raises(SolverError):
+            solve_electroquasistatic(problem, "soon")
+
+    def test_bad_initial_potentials(self):
+        problem, _ = _dielectric_bar()
+        with pytest.raises(AssemblyError):
+            solve_electroquasistatic(
+                problem, TimeGrid(1.0, 5), initial_potentials=np.zeros(3)
+            )
+
+    def test_relaxation_time_needs_conductor(self):
+        insulator = Material("ins", 0.0, 1.0, 1.0e6)
+        with pytest.raises(SolverError):
+            charge_relaxation_time(insulator)

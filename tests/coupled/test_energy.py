@@ -1,0 +1,67 @@
+"""Energy-balance verification of the coupled solver."""
+
+import numpy as np
+import pytest
+
+from repro.coupled.electrothermal import CoupledSolver
+from repro.coupled.energy import audit_energy
+from repro.errors import ReproError
+from repro.solvers.time_integration import TimeGrid
+
+from .conftest import build_wire_bridge_problem
+
+
+class TestEnergyBalance:
+    def test_balance_closes_with_convection(self):
+        problem = build_wire_bridge_problem()
+        solver = CoupledSolver(problem, mode="full", tolerance=1e-7)
+        result = solver.solve_transient(TimeGrid(20.0, 80), store_fields=True)
+        audit = audit_energy(solver, result)
+        # Trapezoid-vs-implicit-Euler mismatch is O(dt); with dt = 0.25 s
+        # on a ~20 s transient the relative residual sits at the per cent
+        # level and shrinks with dt (next test).
+        assert audit.relative_residual < 0.05
+        assert audit.injected_energy > 0.0
+        assert audit.convective_loss > 0.0
+        assert audit.radiative_loss == 0.0
+
+    def test_residual_shrinks_with_dt(self):
+        problem = build_wire_bridge_problem()
+        residuals = []
+        for steps in (20, 80):
+            solver = CoupledSolver(problem, mode="full", tolerance=1e-8)
+            result = solver.solve_transient(
+                TimeGrid(10.0, steps), store_fields=True
+            )
+            residuals.append(audit_energy(solver, result).relative_residual)
+        assert residuals[1] < residuals[0]
+
+    def test_balance_with_radiation(self):
+        problem = build_wire_bridge_problem(radiation=True)
+        solver = CoupledSolver(problem, mode="full", tolerance=1e-7)
+        result = solver.solve_transient(TimeGrid(10.0, 40), store_fields=True)
+        audit = audit_energy(solver, result)
+        assert audit.radiative_loss > 0.0
+        assert audit.relative_residual < 0.05
+
+    def test_fast_mode_audits_too(self):
+        problem = build_wire_bridge_problem(nonlinear=False)
+        solver = CoupledSolver(problem, mode="fast", tolerance=1e-7)
+        result = solver.solve_transient(TimeGrid(10.0, 40), store_fields=True)
+        audit = audit_energy(solver, result)
+        assert audit.relative_residual < 0.05
+
+    def test_requires_stored_fields(self):
+        problem = build_wire_bridge_problem()
+        solver = CoupledSolver(problem, mode="fast", tolerance=1e-4)
+        result = solver.solve_transient(TimeGrid(1.0, 2))
+        with pytest.raises(ReproError):
+            audit_energy(solver, result)
+
+    def test_stored_energy_dominated_by_injection_early(self):
+        """Early in the transient almost nothing has leaked yet."""
+        problem = build_wire_bridge_problem()
+        solver = CoupledSolver(problem, mode="full", tolerance=1e-7)
+        result = solver.solve_transient(TimeGrid(0.5, 10), store_fields=True)
+        audit = audit_energy(solver, result)
+        assert audit.convective_loss < 0.2 * audit.injected_energy

@@ -1,0 +1,140 @@
+"""Tests for drive waveforms and their coupling into the solver."""
+
+import numpy as np
+import pytest
+
+from repro.coupled.electrothermal import CoupledSolver
+from repro.coupled.excitation import (
+    ConstantWaveform,
+    PulseTrainWaveform,
+    RampWaveform,
+    StepWaveform,
+    as_waveform,
+)
+from repro.errors import SolverError
+from repro.solvers.time_integration import TimeGrid
+
+from .conftest import build_wire_bridge_problem
+
+
+class TestWaveformShapes:
+    def test_constant(self):
+        w = ConstantWaveform(0.5)
+        assert w(0.0) == 0.5
+        assert w(1e9) == 0.5
+
+    def test_step(self):
+        w = StepWaveform(t_on=1.0, t_off=3.0)
+        assert w(0.5) == 0.0
+        assert w(1.0) == 1.0
+        assert w(2.9) == 1.0
+        assert w(3.0) == 0.0
+
+    def test_step_validation(self):
+        with pytest.raises(SolverError):
+            StepWaveform(t_on=2.0, t_off=1.0)
+
+    def test_pulse_train(self):
+        w = PulseTrainWaveform(period=2.0, duty=0.25)
+        assert w(0.1) == 1.0
+        assert w(0.6) == 0.0
+        assert w(2.1) == 1.0
+
+    def test_pulse_validation(self):
+        with pytest.raises(SolverError):
+            PulseTrainWaveform(period=0.0)
+        with pytest.raises(SolverError):
+            PulseTrainWaveform(period=1.0, duty=0.0)
+
+    def test_ramp(self):
+        w = RampWaveform(rise_time=10.0, scale=2.0)
+        assert w(0.0) == 0.0
+        assert w(5.0) == 1.0
+        assert w(20.0) == 2.0
+
+    def test_sample(self):
+        w = RampWaveform(rise_time=2.0)
+        assert np.allclose(w.sample([0.0, 1.0, 2.0, 4.0]),
+                           [0.0, 0.5, 1.0, 1.0])
+
+
+class TestCoercion:
+    def test_none_is_unit_constant(self):
+        assert as_waveform(None)(123.0) == 1.0
+
+    def test_number(self):
+        assert as_waveform(0.7)(0.0) == 0.7
+
+    def test_callable(self):
+        assert as_waveform(lambda t: t * 2.0)(3.0) == 6.0
+
+    def test_waveform_passthrough(self):
+        w = StepWaveform(0.0, 1.0)
+        assert as_waveform(w) is w
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SolverError):
+            as_waveform("full blast")
+
+
+class TestDrivenSolver:
+    def test_zero_drive_stays_cold(self):
+        problem = build_wire_bridge_problem()
+        solver = CoupledSolver(problem, mode="fast", tolerance=1e-5)
+        result = solver.solve_transient(
+            TimeGrid(5.0, 10), waveform=ConstantWaveform(0.0)
+        )
+        assert np.allclose(result.wire_temperatures, 300.0, atol=1e-6)
+        assert np.allclose(result.wire_powers, 0.0)
+
+    def test_half_drive_quarter_power(self):
+        """Power scales with the square of the drive (linear electrics)."""
+        problem = build_wire_bridge_problem(nonlinear=False)
+        time_grid = TimeGrid(2.0, 4)
+        full = CoupledSolver(problem, mode="fast",
+                             tolerance=1e-7).solve_transient(time_grid)
+        half = CoupledSolver(problem, mode="fast",
+                             tolerance=1e-7).solve_transient(
+            time_grid, waveform=ConstantWaveform(0.5)
+        )
+        ratio = half.wire_powers[1, 0] / full.wire_powers[1, 0]
+        assert ratio == pytest.approx(0.25, rel=1e-3)
+
+    def test_pulse_heats_then_cools(self):
+        problem = build_wire_bridge_problem()
+        solver = CoupledSolver(problem, mode="fast", tolerance=1e-5)
+        result = solver.solve_transient(
+            TimeGrid(20.0, 40), waveform=StepWaveform(0.0, 5.0)
+        )
+        trace = result.wire_trace(0)
+        peak_index = int(np.argmax(trace))
+        # Heats while on (first 5 s = 10 steps), cools afterwards.
+        assert 8 <= peak_index <= 14
+        assert trace[-1] < trace[peak_index]
+        assert trace[-1] > 299.9
+
+    def test_full_and_fast_agree_under_pulse(self):
+        problem = build_wire_bridge_problem(nonlinear=False)
+        time_grid = TimeGrid(6.0, 12)
+        waveform = StepWaveform(0.0, 3.0)
+        r_full = CoupledSolver(problem, mode="full",
+                               tolerance=1e-7).solve_transient(
+            time_grid, waveform=waveform
+        )
+        r_fast = CoupledSolver(problem, mode="fast",
+                               tolerance=1e-7).solve_transient(
+            time_grid, waveform=waveform
+        )
+        assert np.allclose(
+            r_fast.wire_temperatures, r_full.wire_temperatures, atol=1e-4
+        )
+
+    def test_scale_restored_after_transient(self):
+        problem = build_wire_bridge_problem()
+        solver = CoupledSolver(problem, mode="full", tolerance=1e-5)
+        solver.solve_transient(
+            TimeGrid(1.0, 2), waveform=ConstantWaveform(0.0)
+        )
+        stationary = solver.solve_stationary()
+        # The stationary solve runs at full drive again.
+        assert stationary.total_power() > 0.0

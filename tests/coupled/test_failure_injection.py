@@ -1,0 +1,75 @@
+"""Failure-injection tests: the solver fails loudly, not silently."""
+
+import numpy as np
+import pytest
+
+from repro.coupled.electrothermal import CoupledSolver
+from repro.errors import ConvergenceError, ReproError, SolverError
+from repro.solvers.time_integration import TimeGrid
+
+from .conftest import build_wire_bridge_problem
+
+
+class TestNonConvergence:
+    def test_iteration_budget_exhaustion_raises(self):
+        """A one-iteration budget on a nonlinear step must raise."""
+        problem = build_wire_bridge_problem()
+        solver = CoupledSolver(
+            problem, mode="full", tolerance=1e-12, max_iterations=1
+        )
+        with pytest.raises(ConvergenceError) as excinfo:
+            solver.solve_transient(TimeGrid(10.0, 5))
+        assert excinfo.value.iterations == 1
+
+    def test_convergence_error_carries_residual(self):
+        problem = build_wire_bridge_problem()
+        solver = CoupledSolver(
+            problem, mode="fast", tolerance=1e-14, max_iterations=2
+        )
+        with pytest.raises(ConvergenceError) as excinfo:
+            solver.solve_transient(TimeGrid(10.0, 5))
+        assert excinfo.value.residual is not None
+        assert excinfo.value.residual > 0.0
+
+
+class TestBadInputs:
+    def test_time_grid_type_checked(self):
+        problem = build_wire_bridge_problem()
+        solver = CoupledSolver(problem, mode="fast")
+        with pytest.raises(SolverError):
+            solver.solve_transient(50.0)
+
+    def test_waveform_garbage_rejected_before_solving(self):
+        problem = build_wire_bridge_problem()
+        solver = CoupledSolver(problem, mode="fast")
+        with pytest.raises(SolverError):
+            solver.solve_transient(TimeGrid(1.0, 2), waveform="eleven")
+
+    def test_negative_wire_length_rejected_on_rebind(self):
+        problem = build_wire_bridge_problem()
+        solver = CoupledSolver(problem, mode="fast")
+        from repro.errors import BondWireError
+
+        with pytest.raises(BondWireError):
+            solver.set_wire_lengths([-1.0e-3])
+
+
+class TestRobustRecovery:
+    def test_solver_reusable_after_convergence_failure(self):
+        """A failed solve must not poison the solver's cached state."""
+        problem = build_wire_bridge_problem()
+        solver = CoupledSolver(
+            problem, mode="fast", tolerance=1e-14, max_iterations=2
+        )
+        with pytest.raises(ConvergenceError):
+            solver.solve_transient(TimeGrid(10.0, 5))
+        # Loosen and retry on the same solver instance.
+        solver.tolerance = 1e-3
+        solver.max_iterations = 40
+        result = solver.solve_transient(TimeGrid(10.0, 5))
+        assert np.all(np.isfinite(result.wire_temperatures))
+
+    def test_all_errors_are_repro_errors(self):
+        """Intentional failures derive from ReproError (catchable API)."""
+        assert issubclass(ConvergenceError, ReproError)
+        assert issubclass(SolverError, ReproError)

@@ -1,0 +1,75 @@
+"""Tests for the result containers."""
+
+import numpy as np
+import pytest
+
+from repro.coupled.quantities import StationaryResult, TransientResult
+from repro.errors import ReproError
+
+
+def _result():
+    times = np.linspace(0.0, 10.0, 6)
+    wire_t = np.column_stack([
+        300.0 + 5.0 * times,   # cooler wire
+        300.0 + 8.0 * times,   # hottest wire
+    ])
+    return TransientResult(
+        times=times,
+        wire_temperatures=wire_t,
+        wire_peak_temperatures=wire_t + 1.0,
+        wire_powers=np.full((6, 2), 0.01),
+        field_joule_power=np.full(6, 0.001),
+        final_temperatures=np.full(10, 350.0),
+        final_potentials=np.zeros(10),
+        iterations_per_step=[2] * 5,
+        wire_names=["w0", "w1"],
+    )
+
+
+class TestTransientResult:
+    def test_num_wires(self):
+        assert _result().num_wires == 2
+
+    def test_trace_by_index_and_name(self):
+        result = _result()
+        assert np.allclose(result.wire_trace(1), result.wire_trace("w1"))
+
+    def test_unknown_wire(self):
+        with pytest.raises(ReproError):
+            _result().wire_trace("nope")
+        with pytest.raises(ReproError):
+            _result().wire_trace(5)
+
+    def test_hottest_wire(self):
+        assert _result().hottest_wire_index() == 1
+
+    def test_max_over_wires(self):
+        result = _result()
+        assert np.allclose(result.max_over_wires(), result.wire_trace(1))
+
+    def test_final_wire_temperatures(self):
+        result = _result()
+        assert result.final_wire_temperatures()[1] == pytest.approx(380.0)
+
+    def test_total_power_trace(self):
+        result = _result()
+        assert np.allclose(result.total_power_trace(), 0.021)
+
+    def test_summary_mentions_hottest(self):
+        assert "w1" in _result().summary()
+
+
+class TestStationaryResult:
+    def test_basics(self):
+        result = StationaryResult(
+            temperatures=np.full(10, 340.0),
+            potentials=np.zeros(10),
+            wire_temperatures=np.array([340.0, 345.0]),
+            wire_powers=np.array([0.01, 0.02]),
+            field_joule_power=0.001,
+            iterations=7,
+            wire_names=["a", "b"],
+        )
+        assert result.hottest_wire_index() == 1
+        assert result.total_power() == pytest.approx(0.031)
+        assert "b" in repr(result)

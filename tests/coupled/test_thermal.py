@@ -1,0 +1,164 @@
+"""Verification of the standalone thermal solver against closed forms."""
+
+import numpy as np
+import pytest
+
+from repro.coupled.thermal import solve_thermal_transient
+from repro.fit.boundary import ConvectionBC, DirichletBC, RadiationBC
+from repro.fit.material_field import MaterialField
+from repro.grid.indexing import GridIndexing
+from repro.grid.tensor_grid import TensorGrid
+from repro.materials.base import Material
+from repro.solvers.time_integration import TimeGrid
+
+MM = 1.0e-3
+
+
+def _block(rhoc=1.0e6, lam=400.0):
+    """A small, highly conductive (lumped-limit) block."""
+    grid = TensorGrid.uniform(
+        ((0, 1 * MM), (0, 1 * MM), (0, 1 * MM)), (4, 4, 4)
+    )
+    field = MaterialField(grid, Material("blk", 1.0, lam, rhoc))
+    return grid, field
+
+
+class TestLumpedCooling:
+    def test_exponential_decay(self):
+        """High-conductivity block: T(t) = T_inf + dT exp(-t h A / C).
+
+        Biot number ~ h L / lambda ~ 6e-8, so the block is isothermal and
+        the exact lumped solution applies.
+        """
+        grid, field = _block()
+        h = 50.0
+        t_inf = 300.0
+        t0 = 400.0
+        volume = grid.total_volume
+        area = 6.0 * (1 * MM) ** 2
+        tau = 1.0e6 * volume / (h * area)
+        time_grid = TimeGrid(tau, 400)  # fine steps for accuracy
+        result = solve_thermal_transient(
+            grid, field, time_grid,
+            t_initial=t0,
+            convection=ConvectionBC(h, t_inf),
+        )
+        expected = t_inf + (t0 - t_inf) * np.exp(-1.0)
+        assert result["mean_trace"][-1] == pytest.approx(expected, rel=2e-3)
+
+    def test_steady_rise_under_power(self):
+        """Constant power P: steady dT = P / (h A)."""
+        grid, field = _block()
+        h = 50.0
+        power_total = 1.0e-3
+        n = grid.num_nodes
+        node_power = np.full(n, power_total / n)
+        area = 6.0 * (1 * MM) ** 2
+        tau = 1.0e6 * grid.total_volume / (h * area)
+        time_grid = TimeGrid(20.0 * tau, 400)
+        result = solve_thermal_transient(
+            grid, field, time_grid,
+            t_initial=300.0,
+            node_power=node_power,
+            convection=ConvectionBC(h, 300.0),
+        )
+        expected = 300.0 + power_total / (h * area)
+        assert result["mean_trace"][-1] == pytest.approx(expected, rel=1e-3)
+
+    def test_adiabatic_heating_rate(self):
+        """No losses: dT/dt = P / C exactly (implicit Euler is exact for
+        constant forcing of a pure capacitance)."""
+        grid, field = _block()
+        power_total = 2.0e-3
+        n = grid.num_nodes
+        node_power = np.full(n, power_total / n)
+        time_grid = TimeGrid(10.0, 10)
+        result = solve_thermal_transient(
+            grid, field, time_grid, t_initial=300.0, node_power=node_power
+        )
+        capacity = 1.0e6 * grid.total_volume
+        expected = 300.0 + power_total * 10.0 / capacity
+        # Exact up to the fixed-point tolerance of the inner loop.
+        assert result["mean_trace"][-1] == pytest.approx(expected, rel=1e-8)
+
+    def test_energy_conserved_without_bcs(self):
+        """Adiabatic, no sources: the volume-weighted mean is constant."""
+        grid, field = _block()
+        time_grid = TimeGrid(5.0, 20)
+        # Non-uniform start: hot corner.
+        result = solve_thermal_transient(
+            grid, field, time_grid, t_initial=350.0, store_all=True
+        )
+        assert np.allclose(result["mean_trace"], 350.0)
+
+
+class TestDirichletSlab:
+    def test_linear_steady_profile(self):
+        """Fixed 300 K / 400 K faces: steady profile linear in x."""
+        grid = TensorGrid.uniform(
+            ((0, 2 * MM), (0, 1 * MM), (0, 1 * MM)), (9, 3, 3)
+        )
+        field = MaterialField(grid, Material("s", 1.0, 10.0, 1.0e4))
+        indexing = GridIndexing(grid)
+        bcs = [
+            DirichletBC(indexing.boundary_nodes("x-"), 300.0),
+            DirichletBC(indexing.boundary_nodes("x+"), 400.0),
+        ]
+        time_grid = TimeGrid(1000.0, 60)
+        result = solve_thermal_transient(
+            grid, field, time_grid, t_initial=300.0, thermal_dirichlet=bcs
+        )
+        coords = grid.node_coordinates()
+        expected = 300.0 + 100.0 * coords[:, 0] / (2 * MM)
+        assert np.allclose(result["final"], expected, atol=0.2)
+
+
+class TestRadiationEquilibrium:
+    def test_stefan_boltzmann_balance(self):
+        """Source power balances radiation: P = eps sigma A (T^4 - T_inf^4)."""
+        from repro.constants import STEFAN_BOLTZMANN
+
+        grid, field = _block()
+        power_total = 5.0e-4
+        emissivity = 0.5
+        n = grid.num_nodes
+        area = 6.0 * (1 * MM) ** 2
+        time_grid = TimeGrid(2.0e4, 300)
+        result = solve_thermal_transient(
+            grid, field, time_grid,
+            t_initial=300.0,
+            node_power=np.full(n, power_total / n),
+            radiation=RadiationBC(emissivity, 300.0),
+        )
+        t_end = result["mean_trace"][-1]
+        balance = emissivity * STEFAN_BOLTZMANN * area * (
+            t_end**4 - 300.0**4
+        )
+        assert balance == pytest.approx(power_total, rel=5e-3)
+
+
+class TestThetaMethods:
+    def test_cn_and_ie_agree_at_steady_state(self):
+        grid, field = _block()
+        h = 50.0
+        node_power = np.full(grid.num_nodes, 1.0e-5)
+        time_grid = TimeGrid(2000.0, 100)
+        kwargs = dict(
+            t_initial=300.0,
+            node_power=node_power,
+            convection=ConvectionBC(h, 300.0),
+        )
+        ie = solve_thermal_transient(grid, field, time_grid, theta=1.0, **kwargs)
+        cn = solve_thermal_transient(grid, field, time_grid, theta=0.5, **kwargs)
+        assert ie["mean_trace"][-1] == pytest.approx(
+            cn["mean_trace"][-1], rel=1e-4
+        )
+
+    def test_store_all_shapes(self):
+        grid, field = _block()
+        time_grid = TimeGrid(1.0, 5)
+        result = solve_thermal_transient(
+            grid, field, time_grid, t_initial=300.0, store_all=True
+        )
+        assert len(result["fields"]) == 6
+        assert result["times"].shape == (6,)

@@ -1,0 +1,102 @@
+"""Tests for the FITDiscretization assembly object."""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro.errors import AssemblyError
+from repro.fit.assembly import FITDiscretization
+from repro.fit.material_field import MaterialField
+from repro.grid.tensor_grid import TensorGrid
+from repro.materials.base import Material
+
+
+@pytest.fixture
+def unit_disc(small_grid):
+    field = MaterialField(small_grid, Material("unit", 1.0, 1.0, 1.0))
+    return FITDiscretization(small_grid, field)
+
+
+class TestStiffness:
+    def test_symmetric(self, unit_disc):
+        k = unit_disc.electrical_stiffness()
+        assert abs(k - k.T).max() < 1e-14
+
+    def test_positive_semidefinite_with_constant_kernel(self, unit_disc):
+        k = unit_disc.electrical_stiffness().toarray()
+        eigenvalues = np.linalg.eigvalsh(k)
+        assert eigenvalues[0] > -1e-10
+        constant = np.ones(k.shape[0])
+        assert np.allclose(k @ constant, 0.0)
+
+    def test_wrong_diagonal_size_rejected(self, unit_disc):
+        with pytest.raises(AssemblyError):
+            unit_disc.stiffness_from_diagonal(np.ones(3))
+
+    def test_laplacian_of_linear_field_zero_inside(self, unit_disc):
+        """K applied to a linear potential vanishes at interior nodes."""
+        grid = unit_disc.grid
+        coords = grid.node_coordinates()
+        field = 2.0 * coords[:, 0] + 1.0 * coords[:, 1]
+        residual = unit_disc.electrical_stiffness() @ field
+        from repro.grid.indexing import GridIndexing
+
+        indexing = GridIndexing(grid)
+        interior = indexing.node_index(1, 1, 1)
+        assert abs(residual[interior]) < 1e-12
+
+
+class TestTransfer:
+    def test_cell_temperatures_of_constant(self, unit_disc):
+        t = np.full(unit_disc.grid.num_nodes, 321.0)
+        assert np.allclose(unit_disc.cell_temperatures(t), 321.0)
+
+    def test_cell_temperatures_of_linear(self, unit_disc):
+        """Linear nodal field -> exact cell-center values."""
+        grid = unit_disc.grid
+        coords = grid.node_coordinates()
+        t = 5.0 * coords[:, 0]
+        cell_t = unit_disc.cell_temperatures(t)
+        centers = grid.cell_centers()
+        assert np.allclose(cell_t, 5.0 * centers[:, 0])
+
+    def test_node_power_conservation(self, unit_disc, rng):
+        density = rng.uniform(0.5, 2.0, unit_disc.grid.num_cells)
+        node_power = unit_disc.node_power_from_cells(density)
+        assert np.isclose(
+            np.sum(node_power), np.dot(density, unit_disc.cell_volumes)
+        )
+
+    def test_wrong_size_rejected(self, unit_disc):
+        with pytest.raises(AssemblyError):
+            unit_disc.cell_temperatures(np.zeros(3))
+
+
+class TestFieldReconstruction:
+    def test_uniform_field_exact(self, unit_disc):
+        """Phi = -E0 x reproduces E = (E0, 0, 0) in every cell."""
+        grid = unit_disc.grid
+        coords = grid.node_coordinates()
+        e0 = 123.0
+        phi = -e0 * coords[:, 0]
+        ex, ey, ez = unit_disc.cell_field_components(phi)
+        assert np.allclose(ex, e0)
+        assert np.allclose(ey, 0.0, atol=1e-9)
+        assert np.allclose(ez, 0.0, atol=1e-9)
+
+    def test_oblique_uniform_field(self, unit_disc):
+        grid = unit_disc.grid
+        coords = grid.node_coordinates()
+        phi = -(1.0 * coords[:, 0] + 2.0 * coords[:, 1] + 3.0 * coords[:, 2])
+        ex, ey, ez = unit_disc.cell_field_components(phi)
+        assert np.allclose(ex, 1.0)
+        assert np.allclose(ey, 2.0)
+        assert np.allclose(ez, 3.0)
+
+
+class TestMismatchedField:
+    def test_foreign_grid_rejected(self, small_grid):
+        other = TensorGrid.uniform(((0, 1), (0, 1), (0, 1)), (3, 3, 3))
+        field = MaterialField(other, Material("unit", 1.0, 1.0, 1.0))
+        with pytest.raises(AssemblyError):
+            FITDiscretization(small_grid, field)

@@ -1,0 +1,164 @@
+"""Tests for Dirichlet reduction, convection and radiation BCs."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.constants import STEFAN_BOLTZMANN
+from repro.errors import BoundaryConditionError
+from repro.fit.boundary import (
+    ConvectionBC,
+    DirichletBC,
+    RadiationBC,
+    apply_dirichlet,
+    combine_dirichlet,
+)
+from repro.grid.dual import DualGeometry
+
+
+class TestDirichletBC:
+    def test_deduplicates_nodes(self):
+        bc = DirichletBC([3, 1, 3], 1.0)
+        assert np.array_equal(bc.nodes, [1, 3])
+
+    def test_empty_rejected(self):
+        with pytest.raises(BoundaryConditionError):
+            DirichletBC([], 1.0)
+
+    def test_conflicting_values_rejected(self):
+        bcs = [DirichletBC([0], 1.0), DirichletBC([0], 2.0)]
+        with pytest.raises(BoundaryConditionError):
+            combine_dirichlet(bcs, 5)
+
+    def test_agreeing_overlap_merged(self):
+        bcs = [DirichletBC([0, 1], 1.0), DirichletBC([1, 2], 1.0)]
+        fixed, values = combine_dirichlet(bcs, 5)
+        assert np.array_equal(fixed, [0, 1, 2])
+        assert np.allclose(values, 1.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(BoundaryConditionError):
+            combine_dirichlet([DirichletBC([10], 1.0)], 5)
+
+
+class TestApplyDirichlet:
+    def test_1d_laplace_linear_solution(self):
+        """Five-node 1D Laplacian with ends fixed -> linear interior."""
+        n = 5
+        main = 2.0 * np.ones(n)
+        off = -np.ones(n - 1)
+        matrix = sp.diags([off, main, off], [-1, 0, 1]).tocsr()
+        rhs = np.zeros(n)
+        bcs = [DirichletBC([0], 0.0), DirichletBC([n - 1], 4.0)]
+        reduced = apply_dirichlet(matrix, rhs, bcs)
+        import scipy.sparse.linalg as spla
+
+        solution = reduced.expand(
+            spla.spsolve(reduced.matrix.tocsc(), reduced.rhs)
+        )
+        assert np.allclose(solution, [0.0, 1.0, 2.0, 3.0, 4.0])
+
+    def test_reduction_preserves_symmetry(self, rng):
+        n = 8
+        raw = rng.standard_normal((n, n))
+        symmetric = sp.csr_matrix(raw + raw.T + 10 * np.eye(n))
+        reduced = apply_dirichlet(
+            symmetric, np.zeros(n), [DirichletBC([0, 3], 1.0)]
+        )
+        dense = reduced.matrix.toarray()
+        assert np.allclose(dense, dense.T)
+
+    def test_expand_restrict_roundtrip(self):
+        matrix = sp.identity(4, format="csr")
+        reduced = apply_dirichlet(
+            matrix, np.zeros(4), [DirichletBC([1], 7.0)]
+        )
+        full = reduced.expand(np.array([1.0, 2.0, 3.0]))
+        assert full[1] == 7.0
+        assert np.allclose(reduced.restrict(full), [1.0, 2.0, 3.0])
+
+    def test_wrong_rhs_size(self):
+        matrix = sp.identity(4, format="csr")
+        with pytest.raises(BoundaryConditionError):
+            apply_dirichlet(matrix, np.zeros(3), [DirichletBC([0], 1.0)])
+
+
+class TestConvection:
+    def test_total_conductance(self, small_grid):
+        dual = DualGeometry(small_grid)
+        bc = ConvectionBC(25.0, 300.0)
+        conductance = bc.node_conductances(dual)
+        (x0, x1), (y0, y1), (z0, z1) = small_grid.extent
+        lx, ly, lz = x1 - x0, y1 - y0, z1 - z0
+        surface = 2.0 * (lx * ly + ly * lz + lx * lz)
+        assert np.isclose(np.sum(conductance), 25.0 * surface)
+
+    def test_rhs_is_conductance_times_ambient(self, small_grid):
+        dual = DualGeometry(small_grid)
+        bc = ConvectionBC(25.0, 300.0)
+        diag, rhs = bc.contributions(dual)
+        assert np.allclose(rhs, diag * 300.0)
+
+    def test_power_at_ambient_is_zero(self, small_grid):
+        dual = DualGeometry(small_grid)
+        bc = ConvectionBC(25.0, 300.0)
+        t = np.full(small_grid.num_nodes, 300.0)
+        assert bc.power(dual, t) == pytest.approx(0.0)
+
+    def test_power_sign(self, small_grid):
+        dual = DualGeometry(small_grid)
+        bc = ConvectionBC(25.0, 300.0)
+        hot = np.full(small_grid.num_nodes, 350.0)
+        assert bc.power(dual, hot) > 0.0
+
+    def test_selected_faces_only(self, small_grid):
+        dual = DualGeometry(small_grid)
+        bc = ConvectionBC(25.0, 300.0, faces=("z+",))
+        conductance = bc.node_conductances(dual)
+        (x0, x1), (y0, y1), _ = small_grid.extent
+        assert np.isclose(
+            np.sum(conductance), 25.0 * (x1 - x0) * (y1 - y0)
+        )
+
+    def test_negative_h_rejected(self):
+        with pytest.raises(BoundaryConditionError):
+            ConvectionBC(-1.0, 300.0)
+
+    def test_unknown_face_rejected(self):
+        with pytest.raises(BoundaryConditionError):
+            ConvectionBC(1.0, 300.0, faces=("q-",))
+
+
+class TestRadiation:
+    def test_emissivity_range(self):
+        with pytest.raises(BoundaryConditionError):
+            RadiationBC(1.5, 300.0)
+        with pytest.raises(BoundaryConditionError):
+            RadiationBC(-0.1, 300.0)
+
+    def test_linearization_consistent_at_expansion_point(self, small_grid):
+        """Linearized flux equals the exact quartic at T = T*."""
+        dual = DualGeometry(small_grid)
+        bc = RadiationBC(0.2475, 300.0)
+        t_star = np.full(small_grid.num_nodes, 380.0)
+        diag, rhs = bc.linearized_contributions(dual, t_star)
+        linear_out = diag * t_star - rhs
+        coefficient = bc.node_coefficients(dual)
+        exact_out = coefficient * (t_star**4 - 300.0**4)
+        assert np.allclose(linear_out, exact_out)
+
+    def test_power_stefan_boltzmann(self, small_grid):
+        dual = DualGeometry(small_grid)
+        bc = RadiationBC(1.0, 0.0)  # black body into 0 K background
+        t = np.full(small_grid.num_nodes, 400.0)
+        (x0, x1), (y0, y1), (z0, z1) = small_grid.extent
+        lx, ly, lz = x1 - x0, y1 - y0, z1 - z0
+        surface = 2.0 * (lx * ly + ly * lz + lx * lz)
+        expected = STEFAN_BOLTZMANN * surface * 400.0**4
+        assert np.isclose(bc.power(dual, t), expected, rtol=1e-12)
+
+    def test_equilibrium_power_zero(self, small_grid):
+        dual = DualGeometry(small_grid)
+        bc = RadiationBC(0.5, 350.0)
+        t = np.full(small_grid.num_nodes, 350.0)
+        assert bc.power(dual, t) == pytest.approx(0.0)

@@ -1,0 +1,108 @@
+"""Tests for the Joule heating bridge (field power bookkeeping)."""
+
+import numpy as np
+import pytest
+
+from repro.fit.assembly import FITDiscretization
+from repro.fit.joule import (
+    exact_discrete_power,
+    joule_cell_power_density,
+    joule_node_power,
+    total_joule_power,
+)
+from repro.fit.material_field import MaterialField
+from repro.grid.tensor_grid import TensorGrid
+from repro.materials.base import Material
+
+
+@pytest.fixture
+def bar():
+    """Unit-conductivity 2 x 1 x 1 bar with a few cells."""
+    grid = TensorGrid.uniform(((0, 2.0), (0, 1.0), (0, 1.0)), (5, 3, 3))
+    field = MaterialField(grid, Material("unit", 1.0, 1.0, 1.0))
+    return FITDiscretization(grid, field)
+
+
+class TestUniformField:
+    def test_density_of_uniform_field(self, bar):
+        """Phi = -E0 x gives sigma E0^2 everywhere."""
+        coords = bar.grid.node_coordinates()
+        e0 = 10.0
+        phi = -e0 * coords[:, 0]
+        density = joule_cell_power_density(bar, phi)
+        assert np.allclose(density, e0 * e0)
+
+    def test_total_power_uniform(self, bar):
+        coords = bar.grid.node_coordinates()
+        phi = -10.0 * coords[:, 0]
+        total = total_joule_power(bar, phi)
+        # P = sigma E^2 V = 1 * 100 * 2
+        assert np.isclose(total, 200.0)
+
+    def test_node_power_sums_to_total(self, bar):
+        coords = bar.grid.node_coordinates()
+        phi = -10.0 * coords[:, 0]
+        node_power = joule_node_power(bar, phi)
+        assert np.isclose(np.sum(node_power), total_joule_power(bar, phi))
+
+    def test_exact_discrete_power_matches_on_uniform_field(self, bar):
+        coords = bar.grid.node_coordinates()
+        phi = -10.0 * coords[:, 0]
+        assert np.isclose(
+            exact_discrete_power(bar, phi), total_joule_power(bar, phi)
+        )
+
+
+class TestNonuniformField:
+    def test_reconstruction_bounded_by_exact(self, bar, rng):
+        """The averaged reconstruction never exceeds the energy-exact form.
+
+        The 4-edge mean satisfies (mean e)^2 <= mean(e^2) (Jensen), so the
+        reconstructed power is a lower bound; for rough random fields the
+        gap is large, which is fine -- smooth fields are covered below.
+        """
+        phi = rng.standard_normal(bar.grid.num_nodes)
+        reconstructed = total_joule_power(bar, phi)
+        exact = exact_discrete_power(bar, phi)
+        assert 0.0 < reconstructed <= exact + 1e-12
+
+    def test_reconstruction_accurate_for_smooth_field(self, bar):
+        """For a smooth quadratic potential the two forms agree to a few %."""
+        coords = bar.grid.node_coordinates()
+        phi = coords[:, 0] ** 2 + 0.5 * coords[:, 1] * coords[:, 0]
+        reconstructed = total_joule_power(bar, phi)
+        exact = exact_discrete_power(bar, phi)
+        assert reconstructed == pytest.approx(exact, rel=0.05)
+
+    def test_convergence_under_refinement(self):
+        """The two power expressions converge under mesh refinement.
+
+        Potential phi = x^2 on a unit-conductivity cube; the continuous
+        dissipation integral over (0,1)^3 is int 4 x^2 = 4/3.
+        """
+        errors = []
+        for n in (3, 5, 9):
+            grid = TensorGrid.uniform(((0, 1), (0, 1), (0, 1)), (n, n, n))
+            field = MaterialField(grid, Material("unit", 1.0, 1.0, 1.0))
+            disc = FITDiscretization(grid, field)
+            coords = grid.node_coordinates()
+            phi = coords[:, 0] ** 2
+            errors.append(abs(total_joule_power(disc, phi) - 4.0 / 3.0))
+        assert errors[2] < errors[0]
+        assert errors[2] < 0.05
+
+
+class TestTemperatureDependentJoule:
+    def test_hot_copper_dissipates_less_at_fixed_field(self):
+        from repro.materials.library import copper
+
+        grid = TensorGrid.uniform(((0, 1e-3), (0, 1e-3), (0, 1e-3)), (3, 3, 3))
+        field = MaterialField(grid, copper())
+        disc = FITDiscretization(grid, field)
+        coords = grid.node_coordinates()
+        phi = -1.0 * coords[:, 0]
+        cold = np.full(grid.num_cells, 300.0)
+        hot = np.full(grid.num_cells, 500.0)
+        p_cold = total_joule_power(disc, phi, cold)
+        p_hot = total_joule_power(disc, phi, hot)
+        assert p_hot < p_cold

@@ -1,0 +1,105 @@
+"""Tests for the cell material assignment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AssemblyError, MaterialError
+from repro.fit.material_field import MaterialField
+from repro.materials.library import copper, epoxy_resin, gold
+
+
+class TestFill:
+    def test_background_everywhere(self, small_grid):
+        field = MaterialField(small_grid, epoxy_resin())
+        assert field.volume_fractions()["epoxy_resin"] == pytest.approx(1.0)
+
+    def test_fill_box_claims_cells(self, small_grid):
+        field = MaterialField(small_grid, epoxy_resin())
+        claimed = field.fill_box(
+            ((0.0, 2.0e-3), (0.0, 1.0e-3), (0.0, 0.5e-3)), copper()
+        )
+        assert claimed == small_grid.num_cells // 2
+        fractions = field.volume_fractions()
+        assert fractions["copper"] == pytest.approx(0.5)
+        assert fractions["epoxy_resin"] == pytest.approx(0.5)
+
+    def test_fill_missing_box_claims_nothing(self, small_grid):
+        field = MaterialField(small_grid, epoxy_resin())
+        claimed = field.fill_box(
+            ((10.0, 11.0), (10.0, 11.0), (10.0, 11.0)), copper()
+        )
+        assert claimed == 0
+
+    def test_fill_cells_out_of_range(self, small_grid):
+        field = MaterialField(small_grid, epoxy_resin())
+        with pytest.raises(AssemblyError):
+            field.fill_cells([10**6], copper())
+
+    def test_same_material_not_duplicated(self, small_grid):
+        field = MaterialField(small_grid, epoxy_resin())
+        field.fill_cells([0], copper())
+        field.fill_cells([1], copper())
+        assert field.material_names().count("copper") == 1
+
+    def test_rejects_non_material_background(self, small_grid):
+        with pytest.raises(MaterialError):
+            MaterialField(small_grid, "copper")
+
+
+class TestEvaluation:
+    def test_sigma_without_temperature(self, mixed_field):
+        sigma = mixed_field.sigma_cells()
+        assert sigma.shape == (mixed_field.grid.num_cells,)
+        assert np.max(sigma) == pytest.approx(5.8e7)
+        assert np.min(sigma) == pytest.approx(1.0e-6)
+
+    def test_sigma_with_temperature(self, mixed_field):
+        hot = np.full(mixed_field.grid.num_cells, 400.0)
+        cold = np.full(mixed_field.grid.num_cells, 300.0)
+        sigma_hot = mixed_field.sigma_cells(hot)
+        sigma_cold = mixed_field.sigma_cells(cold)
+        copper_mask = sigma_cold > 1.0
+        assert np.all(sigma_hot[copper_mask] < sigma_cold[copper_mask])
+        epoxy_mask = ~copper_mask
+        assert np.allclose(sigma_hot[epoxy_mask], sigma_cold[epoxy_mask])
+
+    def test_mixed_cell_temperatures(self, mixed_field):
+        """Per-cell temperatures are routed to the right material."""
+        temps = np.linspace(300.0, 500.0, mixed_field.grid.num_cells)
+        sigma = mixed_field.sigma_cells(temps)
+        assert sigma.shape == temps.shape
+
+    def test_rhoc_positive(self, mixed_field):
+        assert np.all(mixed_field.rhoc_cells() > 0.0)
+
+
+class TestFrozen:
+    def test_frozen_field(self, mixed_field):
+        frozen = mixed_field.frozen(450.0)
+        hot = np.full(mixed_field.grid.num_cells, 450.0)
+        assert np.allclose(
+            frozen.sigma_cells(), mixed_field.sigma_cells(hot)
+        )
+        # And the frozen field ignores temperature entirely.
+        arbitrary = np.full(mixed_field.grid.num_cells, 900.0)
+        assert np.allclose(
+            frozen.sigma_cells(arbitrary), frozen.sigma_cells()
+        )
+
+    def test_frozen_preserves_assignment(self, mixed_field):
+        frozen = mixed_field.frozen(450.0)
+        assert np.array_equal(frozen.cell_material, mixed_field.cell_material)
+
+
+class TestThreeMaterials:
+    def test_three_way_split(self, small_grid):
+        field = MaterialField(small_grid, epoxy_resin())
+        field.fill_box(
+            ((0.0, 1.0e-3), (0.0, 1.0e-3), (0.0, 1.0e-3)), copper()
+        )
+        field.fill_box(
+            ((1.0e-3, 2.0e-3), (0.0, 1.0e-3), (0.0, 0.5e-3)), gold()
+        )
+        fractions = field.volume_fractions()
+        assert set(fractions) == {"epoxy_resin", "copper", "gold"}
+        assert sum(fractions.values()) == pytest.approx(1.0)

@@ -1,0 +1,127 @@
+"""Hypothesis property tests on the discretized physics.
+
+These run the assembly on randomized grids and material layouts and check
+structural properties that must hold regardless of the configuration:
+symmetry, positive (semi-)definiteness, conservation, and boundedness.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fit.assembly import FITDiscretization
+from repro.fit.boundary import DirichletBC, apply_dirichlet
+from repro.fit.material_field import MaterialField
+from repro.grid.indexing import GridIndexing
+from repro.grid.tensor_grid import TensorGrid
+from repro.materials.base import Material
+
+
+def _random_setup(seed, nx, ny, nz):
+    rng = np.random.default_rng(seed)
+
+    def axis(n):
+        return np.concatenate(
+            [[0.0], np.cumsum(rng.uniform(0.2, 1.5, n - 1))]
+        ) * 1e-3
+
+    grid = TensorGrid(axis(nx), axis(ny), axis(nz))
+    background = Material("bg", 10.0 ** rng.uniform(-6, 0), 1.0, 1e6)
+    field = MaterialField(grid, background)
+    # Claim a random sub-box with a second material.
+    inclusion = Material("inc", 10.0 ** rng.uniform(2, 7), 100.0, 3e6)
+    (x0, x1), (y0, y1), (z0, z1) = grid.extent
+    lo = rng.uniform(0.0, 0.5)
+    hi = rng.uniform(0.5, 1.0)
+    field.fill_box(
+        (
+            (x0 + lo * (x1 - x0), x0 + hi * (x1 - x0)),
+            (y0, y1),
+            (z0, z1),
+        ),
+        inclusion,
+    )
+    return grid, field
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=200),
+    nx=st.integers(min_value=3, max_value=5),
+    ny=st.integers(min_value=2, max_value=4),
+    nz=st.integers(min_value=2, max_value=4),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_stiffness_spsd_any_materials(seed, nx, ny, nz):
+    """K is symmetric positive semi-definite for any material layout."""
+    grid, field = _random_setup(seed, nx, ny, nz)
+    disc = FITDiscretization(grid, field)
+    k = disc.electrical_stiffness().toarray()
+    assert np.allclose(k, k.T, atol=1e-10 * np.max(np.abs(k)))
+    eigenvalues = np.linalg.eigvalsh(k)
+    assert eigenvalues[0] > -1e-9 * max(eigenvalues[-1], 1.0)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=200),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_dirichlet_solution_bounded(seed):
+    """Discrete maximum principle: solution within the contact values."""
+    grid, field = _random_setup(seed, 4, 3, 3)
+    disc = FITDiscretization(grid, field)
+    indexing = GridIndexing(grid)
+    matrix = disc.electrical_stiffness()
+    bcs = [
+        DirichletBC(indexing.boundary_nodes("x-"), 1.0),
+        DirichletBC(indexing.boundary_nodes("x+"), -1.0),
+    ]
+    reduced = apply_dirichlet(matrix, np.zeros(grid.num_nodes), bcs)
+    solution = reduced.expand(
+        spla.spsolve(reduced.matrix.tocsc(), reduced.rhs)
+    )
+    assert np.max(solution) <= 1.0 + 1e-9
+    assert np.min(solution) >= -1.0 - 1e-9
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=200),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_current_conservation(seed):
+    """Total injected current vanishes for any layout (Kirchhoff)."""
+    grid, field = _random_setup(seed, 4, 3, 3)
+    disc = FITDiscretization(grid, field)
+    indexing = GridIndexing(grid)
+    matrix = disc.electrical_stiffness()
+    bcs = [
+        DirichletBC(indexing.boundary_nodes("y-"), 0.5),
+        DirichletBC(indexing.boundary_nodes("y+"), -0.5),
+    ]
+    reduced = apply_dirichlet(matrix, np.zeros(grid.num_nodes), bcs)
+    solution = reduced.expand(
+        spla.spsolve(reduced.matrix.tocsc(), reduced.rhs)
+    )
+    residual = matrix @ solution
+    injected = sum(float(np.sum(residual[bc.nodes])) for bc in bcs)
+    scale = float(np.max(np.abs(residual))) or 1.0
+    assert abs(injected) < 1e-8 * scale
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=100),
+    power=st.floats(min_value=1e-6, max_value=1e-2),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_capacitance_partition(seed, power):
+    """Lumping any cell power to nodes conserves the total exactly."""
+    grid, field = _random_setup(seed, 4, 3, 3)
+    disc = FITDiscretization(grid, field)
+    rng = np.random.default_rng(seed)
+    density = rng.uniform(0.0, power, grid.num_cells)
+    node_power = disc.node_power_from_cells(density)
+    assert np.sum(node_power) == pytest.approx(
+        np.dot(density, disc.cell_volumes), rel=1e-12
+    )
+    assert np.all(node_power >= 0.0)

@@ -1,0 +1,144 @@
+"""Property tests for the dual-grid metrics (conservation structure)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GridError
+from repro.grid.dual import DualGeometry, dual_widths, overlap_1d
+from repro.grid.operators import edge_lengths
+from repro.grid.tensor_grid import TensorGrid
+
+
+class TestOverlap1D:
+    def test_column_sums_are_cell_widths(self):
+        x = np.array([0.0, 1.0, 3.0, 4.5])
+        overlap = overlap_1d(x).toarray()
+        assert np.allclose(overlap.sum(axis=0), np.diff(x))
+
+    def test_row_sums_are_dual_widths(self):
+        x = np.array([0.0, 1.0, 3.0, 4.5])
+        overlap = overlap_1d(x).toarray()
+        assert np.allclose(overlap.sum(axis=1), dual_widths(x))
+
+    def test_dual_widths_sum_to_span(self):
+        x = np.array([0.0, 0.2, 0.9, 1.4, 2.0])
+        assert np.isclose(np.sum(dual_widths(x)), 2.0)
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(GridError):
+            overlap_1d([1.0])
+
+
+class TestDualVolumes:
+    def test_partition_of_unity(self, nonuniform_grid):
+        dual = DualGeometry(nonuniform_grid)
+        assert np.isclose(
+            np.sum(dual.dual_volumes()), nonuniform_grid.total_volume
+        )
+
+    def test_overlap_operator_conserves_volume(self, nonuniform_grid):
+        dual = DualGeometry(nonuniform_grid)
+        overlap = dual.node_cell_overlap()
+        col_sums = np.asarray(overlap.sum(axis=0)).ravel()
+        row_sums = np.asarray(overlap.sum(axis=1)).ravel()
+        assert np.allclose(col_sums, nonuniform_grid.cell_volumes())
+        assert np.allclose(row_sums, dual.dual_volumes())
+
+    def test_uniform_interior_volume(self):
+        grid = TensorGrid.uniform(((0, 3), (0, 3), (0, 3)), (4, 4, 4))
+        dual = DualGeometry(grid)
+        volumes = dual.dual_volumes()
+        # Interior node of a unit-spacing grid owns a unit dual cell.
+        from repro.grid.indexing import GridIndexing
+
+        indexing = GridIndexing(grid)
+        interior = indexing.node_index(1, 1, 1)
+        corner = indexing.node_index(0, 0, 0)
+        assert np.isclose(volumes[interior], 1.0)
+        assert np.isclose(volumes[corner], 0.125)
+
+
+class TestFacetAreas:
+    def test_facet_weight_row_sums(self, nonuniform_grid):
+        dual = DualGeometry(nonuniform_grid)
+        w_x, w_y, w_z = dual.facet_weight_operators()
+        areas = dual.dual_facet_areas()
+        n_ex, n_ey, n_ez = nonuniform_grid.num_edges_per_direction
+        assert np.allclose(np.asarray(w_x.sum(axis=1)).ravel(), areas[:n_ex])
+        assert np.allclose(
+            np.asarray(w_y.sum(axis=1)).ravel(), areas[n_ex:n_ex + n_ey]
+        )
+        assert np.allclose(
+            np.asarray(w_z.sum(axis=1)).ravel(), areas[n_ex + n_ey:]
+        )
+
+    def test_edge_volume_identity(self, nonuniform_grid):
+        """sum(l_i * A_i) over each direction's edges = total volume."""
+        dual = DualGeometry(nonuniform_grid)
+        areas = dual.dual_facet_areas()
+        lengths = edge_lengths(nonuniform_grid)
+        n_ex, n_ey, n_ez = nonuniform_grid.num_edges_per_direction
+        volume = nonuniform_grid.total_volume
+        assert np.isclose(np.sum((areas * lengths)[:n_ex]), volume)
+        assert np.isclose(
+            np.sum((areas * lengths)[n_ex:n_ex + n_ey]), volume
+        )
+        assert np.isclose(np.sum((areas * lengths)[n_ex + n_ey:]), volume)
+
+
+class TestBoundaryAreas:
+    def test_face_area_sums(self, nonuniform_grid):
+        dual = DualGeometry(nonuniform_grid)
+        (x0, x1), (y0, y1), (z0, z1) = nonuniform_grid.extent
+        expected = {
+            "x-": (y1 - y0) * (z1 - z0),
+            "x+": (y1 - y0) * (z1 - z0),
+            "y-": (x1 - x0) * (z1 - z0),
+            "y+": (x1 - x0) * (z1 - z0),
+            "z-": (x1 - x0) * (y1 - y0),
+            "z+": (x1 - x0) * (y1 - y0),
+        }
+        for face, area in expected.items():
+            _, areas = dual.boundary_areas(face)
+            assert np.isclose(np.sum(areas), area), face
+
+    def test_total_surface(self, nonuniform_grid):
+        dual = DualGeometry(nonuniform_grid)
+        total = dual.all_boundary_areas()
+        (x0, x1), (y0, y1), (z0, z1) = nonuniform_grid.extent
+        lx, ly, lz = x1 - x0, y1 - y0, z1 - z0
+        surface = 2.0 * (lx * ly + ly * lz + lx * lz)
+        assert np.isclose(np.sum(total), surface)
+
+    def test_interior_nodes_have_zero_area(self, small_grid):
+        dual = DualGeometry(small_grid)
+        total = dual.all_boundary_areas()
+        from repro.grid.indexing import GridIndexing
+
+        indexing = GridIndexing(small_grid)
+        interior = indexing.node_index(1, 1, 1)
+        assert total[interior] == 0.0
+
+
+@given(
+    widths_x=st.lists(
+        st.floats(min_value=0.05, max_value=3.0), min_size=1, max_size=5
+    ),
+    widths_y=st.lists(
+        st.floats(min_value=0.05, max_value=3.0), min_size=1, max_size=4
+    ),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_conservation_any_spacing(widths_x, widths_y):
+    """Volume partition and surface sums hold for arbitrary grids."""
+    x = np.concatenate([[0.0], np.cumsum(widths_x)])
+    y = np.concatenate([[0.0], np.cumsum(widths_y)])
+    grid = TensorGrid(x, y, [0.0, 0.7, 1.3])
+    dual = DualGeometry(grid)
+    assert np.isclose(np.sum(dual.dual_volumes()), grid.total_volume)
+    overlap = dual.node_cell_overlap()
+    assert np.allclose(
+        np.asarray(overlap.sum(axis=0)).ravel(), grid.cell_volumes()
+    )

@@ -1,0 +1,133 @@
+"""Tests for flat-index arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GridError
+from repro.grid.indexing import GridIndexing
+from repro.grid.tensor_grid import TensorGrid
+
+
+@pytest.fixture
+def indexing(small_grid):
+    return GridIndexing(small_grid)
+
+
+class TestNodeIndex:
+    def test_origin(self, indexing):
+        assert indexing.node_index(0, 0, 0) == 0
+
+    def test_x_fastest(self, indexing):
+        assert indexing.node_index(1, 0, 0) == 1
+        nx = indexing.nx
+        assert indexing.node_index(0, 1, 0) == nx
+        assert indexing.node_index(0, 0, 1) == nx * indexing.ny
+
+    def test_roundtrip_scalar(self, indexing):
+        flat = indexing.node_index(2, 1, 2)
+        assert indexing.node_ijk(flat) == (2, 1, 2)
+
+    def test_roundtrip_arrays(self, indexing):
+        i = np.array([0, 1, 3])
+        j = np.array([0, 2, 1])
+        k = np.array([0, 1, 2])
+        flat = indexing.node_index(i, j, k)
+        ri, rj, rk = indexing.node_ijk(flat)
+        assert np.array_equal(ri, i)
+        assert np.array_equal(rj, j)
+        assert np.array_equal(rk, k)
+
+    def test_out_of_range_rejected(self, indexing):
+        with pytest.raises(GridError):
+            indexing.node_index(99, 0, 0)
+        with pytest.raises(GridError):
+            indexing.node_index(-1, 0, 0)
+        with pytest.raises(GridError):
+            indexing.node_ijk(10_000)
+
+
+class TestNearestNode:
+    def test_exact_hit(self, small_grid, indexing):
+        point = (small_grid.x[2], small_grid.y[1], small_grid.z[2])
+        flat = indexing.nearest_node(point)
+        assert indexing.node_ijk(flat) == (2, 1, 2)
+
+    def test_off_grid_point(self, indexing, small_grid):
+        # Slightly off the node: still snaps to the nearest one.
+        point = (small_grid.x[1] + 1e-6, small_grid.y[0], small_grid.z[0])
+        assert indexing.node_ijk(indexing.nearest_node(point))[0] == 1
+
+
+class TestBoxQueries:
+    def test_nodes_in_full_box(self, indexing, small_grid):
+        nodes = indexing.nodes_in_box(small_grid.extent)
+        assert nodes.size == small_grid.num_nodes
+
+    def test_nodes_in_corner(self, indexing, small_grid):
+        box = ((0.0, 0.0), (0.0, 0.0), (0.0, 0.0))
+        nodes = indexing.nodes_in_box(box)
+        assert nodes.size == 1
+        assert nodes[0] == 0
+
+    def test_nodes_in_empty_slot(self, indexing):
+        # A box strictly between grid lines contains no nodes.
+        box = ((1.0e-4, 2.0e-4), (1.0e-4, 2.0e-4), (1.0e-4, 2.0e-4))
+        assert indexing.nodes_in_box(box).size == 0
+
+    def test_cells_in_box(self, indexing, small_grid):
+        cells = indexing.cells_in_box(small_grid.extent)
+        assert cells.size == small_grid.num_cells
+
+    def test_cells_in_half_box(self, indexing, small_grid):
+        (x0, x1), (y0, y1), (z0, z1) = small_grid.extent
+        half = ((x0, x1), (y0, y1), (z0, 0.5 * (z0 + z1)))
+        cells = indexing.cells_in_box(half)
+        assert cells.size == small_grid.num_cells // 2
+
+
+class TestBoundary:
+    def test_face_sizes(self, indexing, small_grid):
+        nx, ny, nz = small_grid.shape
+        assert indexing.boundary_nodes("x-").size == ny * nz
+        assert indexing.boundary_nodes("x+").size == ny * nz
+        assert indexing.boundary_nodes("y-").size == nx * nz
+        assert indexing.boundary_nodes("z+").size == nx * ny
+
+    def test_unknown_face(self, indexing):
+        with pytest.raises(GridError):
+            indexing.boundary_nodes("w+")
+
+    def test_all_boundary_count(self, indexing, small_grid):
+        nx, ny, nz = small_grid.shape
+        interior = max(nx - 2, 0) * max(ny - 2, 0) * max(nz - 2, 0)
+        boundary = indexing.all_boundary_nodes()
+        assert boundary.size == small_grid.num_nodes - interior
+        assert np.unique(boundary).size == boundary.size
+
+
+class TestFieldReshape:
+    def test_roundtrip(self, indexing, small_grid):
+        values = np.arange(small_grid.num_nodes, dtype=float)
+        array = indexing.node_field_as_array(values)
+        assert array.shape == small_grid.shape
+        assert array[1, 0, 0] == indexing.node_index(1, 0, 0)
+        assert array[0, 1, 0] == indexing.node_index(0, 1, 0)
+        assert array[0, 0, 1] == indexing.node_index(0, 0, 1)
+
+    def test_wrong_size_rejected(self, indexing):
+        with pytest.raises(GridError):
+            indexing.node_field_as_array(np.zeros(5))
+
+
+@given(
+    i=st.integers(min_value=0, max_value=3),
+    j=st.integers(min_value=0, max_value=2),
+    k=st.integers(min_value=0, max_value=2),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_index_roundtrip(i, j, k):
+    grid = TensorGrid.uniform(((0, 1), (0, 1), (0, 1)), (4, 3, 3))
+    indexing = GridIndexing(grid)
+    assert indexing.node_ijk(indexing.node_index(i, j, k)) == (i, j, k)

@@ -1,0 +1,142 @@
+"""Property tests for the FIT topological operators (the Fig. 1 house)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.operators import (
+    build_divergence,
+    build_gradient,
+    check_house_duality,
+    directional_gradients,
+    edge_directions,
+    edge_lengths,
+    gradient_row_sums,
+)
+from repro.grid.tensor_grid import TensorGrid
+
+
+def _random_grid(nx, ny, nz, seed=0):
+    rng = np.random.default_rng(seed)
+    def axis(n):
+        return np.concatenate([[0.0], np.cumsum(rng.uniform(0.1, 2.0, n - 1))])
+    return TensorGrid(axis(nx), axis(ny), axis(nz))
+
+
+class TestGradientStructure:
+    def test_shape(self, small_grid):
+        g = build_gradient(small_grid)
+        assert g.shape == (small_grid.num_edges, small_grid.num_nodes)
+
+    def test_entries_are_plus_minus_one(self, small_grid):
+        g = build_gradient(small_grid).tocoo()
+        assert set(np.unique(g.data)) == {-1.0, 1.0}
+
+    def test_two_entries_per_row(self, small_grid):
+        g = build_gradient(small_grid).tocsr()
+        nnz_per_row = np.diff(g.indptr)
+        assert np.all(nnz_per_row == 2)
+
+    def test_constant_in_kernel(self, small_grid):
+        g = build_gradient(small_grid)
+        constant = np.ones(small_grid.num_nodes)
+        assert np.allclose(g @ constant, 0.0)
+
+    def test_row_sums_zero(self, small_grid):
+        assert np.allclose(gradient_row_sums(small_grid), 0.0)
+
+    def test_directional_blocks_stack(self, small_grid):
+        gx, gy, gz = directional_gradients(small_grid)
+        g = build_gradient(small_grid)
+        n_ex, n_ey, n_ez = small_grid.num_edges_per_direction
+        assert gx.shape[0] == n_ex
+        assert gy.shape[0] == n_ey
+        assert gz.shape[0] == n_ez
+        assert (g[:n_ex] - gx).nnz == 0
+
+
+class TestLinearExactness:
+    def test_gradient_of_linear_function(self, nonuniform_grid):
+        """G applied to a linear nodal field gives exact edge differences."""
+        grid = nonuniform_grid
+        coords = grid.node_coordinates()
+        field = 2.0 * coords[:, 0] - 3.0 * coords[:, 1] + 0.5 * coords[:, 2]
+        differences = build_gradient(grid) @ field
+        lengths = edge_lengths(grid)
+        directions = edge_directions(grid)
+        slopes = np.array([2.0, -3.0, 0.5])
+        assert np.allclose(differences, slopes[directions] * lengths)
+
+
+class TestHouseDuality:
+    def test_duality_exact(self, small_grid):
+        assert check_house_duality(small_grid) == 0.0
+
+    def test_duality_nonuniform(self, nonuniform_grid):
+        assert check_house_duality(nonuniform_grid) == 0.0
+
+    def test_divergence_shape(self, small_grid):
+        s = build_divergence(small_grid)
+        assert s.shape == (small_grid.num_nodes, small_grid.num_edges)
+
+    def test_divergence_of_gradient_symmetric(self, small_grid):
+        """-S G = G^T G is the (SPSD) combinatorial Laplacian."""
+        g = build_gradient(small_grid)
+        s = build_divergence(small_grid)
+        laplacian = (-(s @ g)).toarray()
+        assert np.allclose(laplacian, laplacian.T)
+        eigenvalues = np.linalg.eigvalsh(laplacian)
+        assert eigenvalues[0] > -1e-12
+        # Exactly one zero eigenvalue: the connected-grid constant mode.
+        assert np.sum(np.abs(eigenvalues) < 1e-9) == 1
+
+
+class TestEdgeMetrics:
+    def test_edge_lengths_positive(self, nonuniform_grid):
+        lengths = edge_lengths(nonuniform_grid)
+        assert lengths.shape == (nonuniform_grid.num_edges,)
+        assert np.all(lengths > 0.0)
+
+    def test_edge_lengths_values(self):
+        grid = TensorGrid([0.0, 1.0, 3.0], [0.0, 5.0], [0.0, 7.0])
+        lengths = edge_lengths(grid)
+        n_ex, n_ey, n_ez = grid.num_edges_per_direction
+        assert np.allclose(np.unique(lengths[:n_ex]), [1.0, 2.0])
+        assert np.allclose(lengths[n_ex:n_ex + n_ey], 5.0)
+        assert np.allclose(lengths[n_ex + n_ey:], 7.0)
+
+    def test_edge_directions_counts(self, small_grid):
+        directions = edge_directions(small_grid)
+        n_ex, n_ey, n_ez = small_grid.num_edges_per_direction
+        assert np.sum(directions == 0) == n_ex
+        assert np.sum(directions == 1) == n_ey
+        assert np.sum(directions == 2) == n_ez
+
+
+@given(
+    nx=st.integers(min_value=2, max_value=5),
+    ny=st.integers(min_value=2, max_value=5),
+    nz=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_house_duality_any_grid(nx, ny, nz, seed):
+    """G = -S_dual^T holds exactly for arbitrary non-uniform grids."""
+    grid = _random_grid(nx, ny, nz, seed)
+    assert check_house_duality(grid) == 0.0
+
+
+@given(
+    nx=st.integers(min_value=2, max_value=5),
+    ny=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_gradient_kernel_is_constants(nx, ny, seed):
+    """The only kernel vector of G is the constant field."""
+    grid = _random_grid(nx, ny, 3, seed)
+    g = build_gradient(grid).toarray()
+    _, singular_values, _ = np.linalg.svd(g)
+    # rank = num_nodes - 1 for a connected grid
+    assert np.sum(singular_values > 1e-10) == grid.num_nodes - 1

@@ -1,0 +1,87 @@
+"""Tests for coordinate snapping, refinement and grading."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.grid.refinement import (
+    geometric_spacing,
+    refine_coordinates,
+    snap_coordinates,
+)
+
+
+class TestSnapCoordinates:
+    def test_required_points_present(self):
+        coords = snap_coordinates([0.0, 0.31, 1.0], target_spacing=0.3)
+        for required in (0.0, 0.31, 1.0):
+            assert np.any(np.isclose(coords, required))
+
+    def test_spacing_bound_respected(self):
+        coords = snap_coordinates([0.0, 1.0], target_spacing=0.24)
+        assert np.max(np.diff(coords)) <= 0.24 + 1e-12
+
+    def test_monotone(self):
+        coords = snap_coordinates([0.0, 0.5, 0.500000001, 1.0], 0.2)
+        assert np.all(np.diff(coords) > 0.0)
+
+    def test_near_duplicates_merged(self):
+        coords = snap_coordinates([0.0, 0.5, 0.5 + 1e-15, 1.0], 0.5)
+        assert np.all(np.diff(coords) > 1e-12)
+
+    def test_extent_enforced(self):
+        with pytest.raises(GridError):
+            snap_coordinates([0.0, 2.0], 0.5, extent=(0.0, 1.0))
+
+    def test_extent_added(self):
+        coords = snap_coordinates([0.5], 1.0, extent=(0.0, 1.0))
+        assert coords[0] == 0.0
+        assert coords[-1] == 1.0
+
+    def test_invalid_spacing(self):
+        with pytest.raises(GridError):
+            snap_coordinates([0.0, 1.0], 0.0)
+
+    def test_single_point_rejected(self):
+        with pytest.raises(GridError):
+            snap_coordinates([0.5], 0.1)
+
+
+class TestRefine:
+    def test_factor_two_doubles_intervals(self):
+        coords = np.array([0.0, 1.0, 3.0])
+        refined = refine_coordinates(coords, 2)
+        assert np.allclose(refined, [0.0, 0.5, 1.0, 2.0, 3.0])
+
+    def test_factor_one_is_identity(self):
+        coords = np.array([0.0, 0.4, 1.0])
+        assert np.allclose(refine_coordinates(coords, 1), coords)
+
+    def test_original_points_preserved(self):
+        coords = np.array([0.0, 0.3, 0.7, 1.0])
+        refined = refine_coordinates(coords, 3)
+        for value in coords:
+            assert np.any(np.isclose(refined, value))
+
+    def test_invalid_factor(self):
+        with pytest.raises(GridError):
+            refine_coordinates([0.0, 1.0], 0)
+
+
+class TestGeometricSpacing:
+    def test_end_points(self):
+        coords = geometric_spacing(0.0, 1.0, 0.1, 1.3)
+        assert coords[0] == 0.0
+        assert coords[-1] == 1.0
+
+    def test_growing_intervals(self):
+        coords = geometric_spacing(0.0, 10.0, 0.1, 1.5)
+        diffs = np.diff(coords)
+        # All but the trimmed last interval grow by the ratio.
+        assert np.all(np.diff(diffs[:-1]) > 0.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(GridError):
+            geometric_spacing(1.0, 0.0, 0.1, 1.2)
+        with pytest.raises(GridError):
+            geometric_spacing(0.0, 1.0, -0.1, 1.2)

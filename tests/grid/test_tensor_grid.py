@@ -1,0 +1,131 @@
+"""Tests for the tensor-product grid container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GridError
+from repro.grid.tensor_grid import TensorGrid
+
+
+class TestValidation:
+    def test_rejects_non_monotone_axis(self):
+        with pytest.raises(GridError):
+            TensorGrid([0.0, 1.0, 0.5], [0.0, 1.0], [0.0, 1.0])
+
+    def test_rejects_duplicate_coordinates(self):
+        with pytest.raises(GridError):
+            TensorGrid([0.0, 1.0, 1.0], [0.0, 1.0], [0.0, 1.0])
+
+    def test_rejects_single_node_axis(self):
+        with pytest.raises(GridError):
+            TensorGrid([0.0], [0.0, 1.0], [0.0, 1.0])
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(GridError):
+            TensorGrid([0.0, np.nan], [0.0, 1.0], [0.0, 1.0])
+
+    def test_rejects_2d_axis(self):
+        with pytest.raises(GridError):
+            TensorGrid([[0.0, 1.0]], [0.0, 1.0], [0.0, 1.0])
+
+
+class TestCounts:
+    def test_shape_and_counts(self):
+        grid = TensorGrid.uniform(((0, 1), (0, 1), (0, 1)), (4, 3, 2))
+        assert grid.shape == (4, 3, 2)
+        assert grid.num_nodes == 24
+        assert grid.cell_shape == (3, 2, 1)
+        assert grid.num_cells == 6
+
+    def test_edge_counts(self):
+        grid = TensorGrid.uniform(((0, 1), (0, 1), (0, 1)), (4, 3, 2))
+        n_ex, n_ey, n_ez = grid.num_edges_per_direction
+        assert n_ex == 3 * 3 * 2
+        assert n_ey == 4 * 2 * 2
+        assert n_ez == 4 * 3 * 1
+        assert grid.num_edges == n_ex + n_ey + n_ez
+
+    def test_minimal_grid(self):
+        grid = TensorGrid.uniform(((0, 1), (0, 1), (0, 1)), (2, 2, 2))
+        assert grid.num_nodes == 8
+        assert grid.num_cells == 1
+        assert grid.num_edges == 12
+
+
+class TestGeometry:
+    def test_spacings(self):
+        grid = TensorGrid([0.0, 1.0, 3.0], [0.0, 2.0], [0.0, 1.0, 2.0])
+        assert np.allclose(grid.dx, [1.0, 2.0])
+        assert np.allclose(grid.dy, [2.0])
+        assert np.allclose(grid.dz, [1.0, 1.0])
+
+    def test_cell_volumes_sum_to_total(self, nonuniform_grid):
+        volumes = nonuniform_grid.cell_volumes()
+        assert volumes.shape == (nonuniform_grid.num_cells,)
+        assert np.all(volumes > 0.0)
+        assert np.isclose(np.sum(volumes), nonuniform_grid.total_volume)
+
+    def test_node_coordinates_order(self):
+        grid = TensorGrid([0.0, 1.0], [0.0, 2.0], [0.0, 3.0])
+        coords = grid.node_coordinates()
+        # x varies fastest
+        assert np.allclose(coords[0], [0.0, 0.0, 0.0])
+        assert np.allclose(coords[1], [1.0, 0.0, 0.0])
+        assert np.allclose(coords[2], [0.0, 2.0, 0.0])
+        assert np.allclose(coords[4], [0.0, 0.0, 3.0])
+
+    def test_cell_centers(self):
+        grid = TensorGrid([0.0, 2.0], [0.0, 4.0], [0.0, 6.0])
+        centers = grid.cell_centers()
+        assert centers.shape == (1, 3)
+        assert np.allclose(centers[0], [1.0, 2.0, 3.0])
+
+    def test_extent(self, nonuniform_grid):
+        (x0, x1), (y0, y1), (z0, z1) = nonuniform_grid.extent
+        assert (x0, x1) == (0.0, 2.0e-3)
+        assert (y0, y1) == (0.0, 1.0e-3)
+        assert (z0, z1) == (0.0, 1.0e-3)
+
+
+class TestEquality:
+    def test_equal_grids(self):
+        a = TensorGrid.uniform(((0, 1), (0, 1), (0, 1)), (3, 3, 3))
+        b = TensorGrid.uniform(((0, 1), (0, 1), (0, 1)), (3, 3, 3))
+        assert a == b
+
+    def test_unequal_grids(self):
+        a = TensorGrid.uniform(((0, 1), (0, 1), (0, 1)), (3, 3, 3))
+        b = TensorGrid.uniform(((0, 1), (0, 1), (0, 1)), (3, 3, 4))
+        assert a != b
+
+
+@given(
+    nx=st.integers(min_value=2, max_value=6),
+    ny=st.integers(min_value=2, max_value=6),
+    nz=st.integers(min_value=2, max_value=6),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_counts_consistent(nx, ny, nz):
+    """Node/edge/cell counts satisfy the Euler-style identities."""
+    grid = TensorGrid.uniform(((0, 1), (0, 2), (0, 3)), (nx, ny, nz))
+    assert grid.num_nodes == nx * ny * nz
+    assert grid.num_cells == (nx - 1) * (ny - 1) * (nz - 1)
+    n_ex, n_ey, n_ez = grid.num_edges_per_direction
+    assert n_ex == (nx - 1) * ny * nz
+    assert n_ey == nx * (ny - 1) * nz
+    assert n_ez == nx * ny * (nz - 1)
+
+
+@given(
+    widths=st.lists(
+        st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=8
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_property_volume_additivity(widths):
+    """Sum of cell volumes equals the bounding-box volume for any spacing."""
+    x = np.concatenate([[0.0], np.cumsum(widths)])
+    grid = TensorGrid(x, [0.0, 1.0, 2.0], [0.0, 0.5])
+    assert np.isclose(np.sum(grid.cell_volumes()), grid.total_volume)

@@ -1,0 +1,145 @@
+"""Cross-verification between independent solution paths.
+
+Each test solves the same physics through two code paths that share no
+implementation (field solver vs. nodal circuit, lumped wire vs. analytic
+model) and requires agreement -- the strongest internal evidence that the
+discretization and the stamps are right.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.netlist import Netlist
+from repro.coupled.electrical import solve_stationary_current, terminal_currents
+from repro.coupled.electrothermal import CoupledSolver
+from repro.solvers.time_integration import TimeGrid
+
+from ..coupled.conftest import build_wire_bridge_problem
+
+
+class TestFieldVsCircuit:
+    def test_bridge_operating_point_matches_netlist(self):
+        """Field solution of electrode-wire-electrode equals the network.
+
+        The network model: the wire conductance between two ideal
+        electrodes (their field resistance is negligible), driven by
+        +-20 mV.
+        """
+        problem = build_wire_bridge_problem()
+        phi, matrix = solve_stationary_current(problem)
+        field_current = terminal_currents(
+            matrix, phi, problem.electrical_dirichlet
+        )[0]
+        wire = problem.wires[0]
+
+        netlist = Netlist()
+        netlist.add_conductance(
+            "left", "right", wire.electrical_conductance(300.0), name="wire"
+        )
+        netlist.fix_potential("left", 0.02)
+        netlist.fix_potential("right", -0.02)
+        circuit_current = netlist.solve().element_currents["wire"]
+
+        # The electrodes add a little series resistance, so the field
+        # current is slightly below the ideal-electrode network current.
+        assert field_current == pytest.approx(circuit_current, rel=0.03)
+        assert field_current < circuit_current
+
+    def test_wire_power_matches_circuit_power(self):
+        problem = build_wire_bridge_problem()
+        solver = CoupledSolver(problem, mode="full", tolerance=1e-6)
+        result = solver.solve_transient(TimeGrid(1.0, 2))
+        wire = problem.wires[0]
+        stamp = problem.topology.endpoint_stamps[0]
+        drop = stamp.potential_drop(result.final_potentials)
+        t_bw = stamp.average_value(result.final_temperatures)
+
+        netlist = Netlist()
+        netlist.add_conductance(
+            "a", "b",
+            lambda temperature: wire.electrical_conductance(temperature),
+            name="wire",
+        )
+        netlist.fix_potential("a", 0.5 * drop)
+        netlist.fix_potential("b", -0.5 * drop)
+        circuit_power = netlist.solve(state=t_bw).element_powers["wire"]
+        # The recorded power used the conductance of the last fixed-point
+        # iterate, which differs from the converged state by the solver
+        # tolerance; hence the relaxed relative bound.
+        assert result.wire_powers[-1, 0] == pytest.approx(
+            circuit_power, rel=1e-6
+        )
+
+
+class TestReciprocity:
+    def test_terminal_current_reciprocity(self):
+        """Swapping drive and ground mirrors the terminal currents.
+
+        The conductance matrix is symmetric, so driving terminal A and
+        measuring at B equals driving B and measuring at A.
+        """
+        problem = build_wire_bridge_problem()
+        phi, matrix = solve_stationary_current(problem)
+        currents_forward = terminal_currents(
+            matrix, phi, problem.electrical_dirichlet
+        )
+
+        # Swap the two contact potentials.
+        swapped = build_wire_bridge_problem()
+        for bc in swapped.electrical_dirichlet:
+            bc.value = -bc.value
+        phi_b, matrix_b = solve_stationary_current(swapped)
+        currents_backward = terminal_currents(
+            matrix_b, phi_b, swapped.electrical_dirichlet
+        )
+        assert currents_forward[0] == pytest.approx(-currents_backward[0])
+        assert currents_forward[1] == pytest.approx(-currents_backward[1])
+
+
+class TestMaximumPrinciple:
+    def test_potential_bounded_by_contacts(self):
+        """No interior potential exceeds the Dirichlet extremes."""
+        problem = build_wire_bridge_problem()
+        phi, _ = solve_stationary_current(problem)
+        assert np.max(phi) <= 0.02 + 1e-12
+        assert np.min(phi) >= -0.02 - 1e-12
+
+    def test_temperature_bounded_below_by_ambient(self):
+        """Heating only: no node cools below the ambient/initial 300 K."""
+        problem = build_wire_bridge_problem()
+        solver = CoupledSolver(problem, mode="full", tolerance=1e-6)
+        result = solver.solve_transient(TimeGrid(10.0, 20),
+                                        store_fields=True)
+        for field in result.fields:
+            assert np.min(field) >= 300.0 - 1e-9
+
+
+class TestLumpedVsAnalyticEndToEnd:
+    def test_segmented_field_wire_matches_parabola(self):
+        """The 6-segment field wire reproduces the closed-form profile.
+
+        Same cross-check as examples/analytic_vs_field.py, asserted with
+        a tight bound.
+        """
+        from repro.bondwire.models import AnalyticWireModel
+
+        problem = build_wire_bridge_problem(num_segments=6)
+        solver = CoupledSolver(problem, mode="full", tolerance=1e-6)
+        result = solver.solve_transient(TimeGrid(200.0, 100))
+        wire = problem.wires[0]
+        chain = problem.topology.wire_nodes[0]
+        chain_temps = result.final_temperatures[chain]
+
+        current = np.sqrt(
+            result.wire_powers[-1, 0]
+            / wire.resistance(0.5 * (chain_temps[0] + chain_temps[-1]))
+        )
+        analytic = AnalyticWireModel(
+            wire.material, wire.diameter, wire.length
+        ).solve_current_driven(current, chain_temps[0], chain_temps[-1])
+        positions = np.linspace(0.0, wire.length, len(chain))
+        deviation = np.max(
+            np.abs(chain_temps - analytic.temperature(positions))
+        )
+        rise = np.max(chain_temps) - 300.0
+        assert deviation < 0.02 * rise

@@ -1,0 +1,96 @@
+"""Tests for the Material aggregate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MaterialError
+from repro.materials.base import Material
+from repro.materials.temperature_models import InverseLinearModel
+
+
+class TestConstruction:
+    def test_numbers_become_constant_models(self):
+        material = Material("m", 1.0e6, 100.0, 1.0e6)
+        assert material.electrical_conductivity(999.0) == 1.0e6
+        assert material.thermal_conductivity(999.0) == 100.0
+        assert material.volumetric_heat_capacity() == 1.0e6
+
+    def test_model_accepted(self):
+        material = Material(
+            "m", InverseLinearModel(1.0e6, 1e-3), 100.0, 1.0e6
+        )
+        assert material.electrical_conductivity(300.0) == pytest.approx(1.0e6)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(MaterialError):
+            Material("", 1.0, 1.0, 1.0)
+
+    def test_rejects_negative_property(self):
+        with pytest.raises(MaterialError):
+            Material("m", -1.0, 1.0, 1.0)
+
+    def test_rejects_garbage_property(self):
+        with pytest.raises(MaterialError):
+            Material("m", "not-a-number", 1.0, 1.0)
+
+
+class TestDerivatives:
+    def test_constant_derivative_zero(self):
+        material = Material("m", 1.0, 1.0, 1.0)
+        assert material.electrical_conductivity_derivative(300.0) == 0.0
+
+    def test_inverse_linear_derivative_negative(self):
+        material = Material(
+            "m", InverseLinearModel(1.0e6, 1e-3), 100.0, 1.0e6
+        )
+        assert material.electrical_conductivity_derivative(350.0) < 0.0
+
+
+class TestFrozen:
+    def test_frozen_removes_temperature_dependence(self):
+        material = Material(
+            "m", InverseLinearModel(1.0e6, 3.9e-3), 100.0, 1.0e6
+        )
+        frozen = material.frozen(400.0)
+        value_at_400 = material.electrical_conductivity(400.0)
+        assert frozen.electrical_conductivity(300.0) == pytest.approx(value_at_400)
+        assert frozen.electrical_conductivity(800.0) == pytest.approx(value_at_400)
+
+    def test_frozen_name_annotated(self):
+        material = Material("m", 1.0, 1.0, 1.0)
+        assert "400" in material.frozen(400.0).name
+
+
+class TestEquality:
+    def test_equal_materials(self):
+        a = Material("m", 1.0, 2.0, 3.0)
+        b = Material("m", 1.0, 2.0, 3.0)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_materials(self):
+        a = Material("m", 1.0, 2.0, 3.0)
+        b = Material("m", 1.5, 2.0, 3.0)
+        assert a != b
+
+    def test_usable_in_sets(self):
+        a = Material("m", 1.0, 2.0, 3.0)
+        b = Material("m", 1.0, 2.0, 3.0)
+        assert len({a, b}) == 1
+
+
+class TestVectorized:
+    def test_array_temperatures(self):
+        material = Material(
+            "m", InverseLinearModel(1.0e6, 1e-3), 100.0, 1.0e6
+        )
+        temps = np.array([300.0, 400.0, 500.0])
+        sigma = material.electrical_conductivity(temps)
+        assert sigma.shape == (3,)
+        assert np.all(np.diff(sigma) < 0.0)
+
+    def test_is_electrically_conducting(self):
+        metal = Material("metal", 1e7, 100.0, 1e6)
+        insulator = Material("ins", 1e-6, 1.0, 1e6)
+        assert metal.is_electrically_conducting()
+        assert not insulator.is_electrically_conducting()

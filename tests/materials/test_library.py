@@ -1,0 +1,97 @@
+"""Tests for the material library, pinned to Table I of the paper."""
+
+import numpy as np
+import pytest
+
+from repro.constants import T_REFERENCE
+from repro.errors import MaterialError
+from repro.materials.library import (
+    MATERIAL_LIBRARY,
+    air,
+    aluminium,
+    copper,
+    epoxy_resin,
+    get_material,
+    gold,
+    silicon,
+)
+
+
+class TestTable1Values:
+    """The paper's Table I at 300 K, exactly."""
+
+    def test_copper_sigma(self):
+        assert copper().electrical_conductivity(T_REFERENCE) == pytest.approx(
+            5.80e7
+        )
+
+    def test_copper_lambda(self):
+        assert copper().thermal_conductivity(T_REFERENCE) == pytest.approx(398.0)
+
+    def test_epoxy_sigma(self):
+        assert epoxy_resin().electrical_conductivity(
+            T_REFERENCE
+        ) == pytest.approx(1.0e-6)
+
+    def test_epoxy_lambda(self):
+        assert epoxy_resin().thermal_conductivity(
+            T_REFERENCE
+        ) == pytest.approx(0.87)
+
+
+class TestTemperatureBehaviour:
+    def test_copper_sigma_decreases(self):
+        material = copper()
+        assert material.electrical_conductivity(400.0) < 5.80e7
+
+    def test_copper_lambda_mildly_decreases(self):
+        material = copper()
+        assert material.thermal_conductivity(500.0) < 398.0
+        assert material.thermal_conductivity(500.0) > 350.0
+
+    def test_epoxy_constant(self):
+        material = epoxy_resin()
+        assert material.thermal_conductivity(500.0) == pytest.approx(0.87)
+
+    def test_metal_ordering(self):
+        """Conductivity order Cu > Au > Al as in handbooks."""
+        sigma = [
+            m.electrical_conductivity(T_REFERENCE)
+            for m in (copper(), gold(), aluminium())
+        ]
+        assert sigma[0] > sigma[1] > sigma[2]
+
+
+class TestLookup:
+    def test_all_library_entries_construct(self):
+        for name in MATERIAL_LIBRARY:
+            material = get_material(name)
+            assert material.thermal_conductivity(T_REFERENCE) > 0.0
+
+    def test_case_insensitive(self):
+        assert get_material("Copper").name == "copper"
+
+    def test_aliases(self):
+        assert get_material("aluminum").name == "aluminium"
+        assert get_material("epoxy").name == "epoxy_resin"
+
+    def test_unknown_material(self):
+        with pytest.raises(MaterialError):
+            get_material("unobtanium")
+
+
+class TestPlausibility:
+    def test_heat_capacities_physical(self):
+        """rho*c within the usual solid-state range 1e3..4e6 J/K/m^3."""
+        for factory in (copper, gold, aluminium, epoxy_resin, silicon):
+            rhoc = factory().volumetric_heat_capacity()
+            assert 1.0e5 < rhoc < 5.0e6
+
+    def test_air_weakly_conducting(self):
+        assert air().thermal_conductivity(T_REFERENCE) < 0.1
+        assert not air().is_electrically_conducting()
+
+    def test_fresh_instances(self):
+        """Factories return independent objects (no shared mutable state)."""
+        assert copper() is not copper()
+        assert copper() == copper()

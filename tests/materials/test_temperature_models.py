@@ -1,0 +1,133 @@
+"""Tests for the scalar temperature-dependent property models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MaterialError
+from repro.materials.temperature_models import (
+    ConstantModel,
+    InverseLinearModel,
+    LinearModel,
+    PolynomialModel,
+    TabulatedModel,
+)
+
+
+class TestConstantModel:
+    def test_scalar_and_array(self):
+        model = ConstantModel(5.0)
+        assert model(300.0) == 5.0
+        values = model(np.array([300.0, 400.0]))
+        assert values.shape == (2,)
+        assert np.all(values == 5.0)
+
+    def test_zero_derivative(self):
+        model = ConstantModel(5.0)
+        assert model.derivative(300.0) == 0.0
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(MaterialError):
+            ConstantModel(np.inf)
+
+
+class TestLinearModel:
+    def test_reference_value(self):
+        model = LinearModel(100.0, 0.01, reference=300.0)
+        assert model(300.0) == 100.0
+
+    def test_slope(self):
+        model = LinearModel(100.0, 0.01, reference=300.0)
+        assert np.isclose(model(400.0), 200.0)
+
+    def test_floor_applied(self):
+        model = LinearModel(100.0, -0.01, reference=300.0, floor=10.0)
+        assert model(5000.0) == 10.0
+
+    def test_rejects_non_positive_reference_value(self):
+        with pytest.raises(MaterialError):
+            LinearModel(0.0, 0.01)
+
+
+class TestInverseLinearModel:
+    def test_reference_value(self):
+        model = InverseLinearModel(5.8e7, 3.93e-3)
+        assert np.isclose(model(300.0), 5.8e7)
+
+    def test_decreases_with_temperature(self):
+        """The key electrothermal feedback: hotter -> less conductive."""
+        model = InverseLinearModel(5.8e7, 3.93e-3)
+        assert model(400.0) < model(300.0)
+        # At 100 K above reference: sigma0 / (1 + 0.393)
+        assert np.isclose(model(400.0), 5.8e7 / 1.393)
+
+    def test_analytic_derivative_matches_fd(self):
+        model = InverseLinearModel(5.8e7, 3.93e-3)
+        analytic = model.derivative(350.0)
+        fd = (model(350.0 + 1e-3) - model(350.0 - 1e-3)) / 2e-3
+        assert np.isclose(analytic, fd, rtol=1e-6)
+
+    def test_clamps_below_singularity(self):
+        model = InverseLinearModel(1.0, 0.01, reference=300.0)
+        # 1 + 0.01 (T - 300) = 0 at T = 200; below, clamp keeps it finite.
+        assert np.isfinite(model(100.0))
+        assert model(100.0) > 0.0
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(MaterialError):
+            InverseLinearModel(1.0, -0.1)
+
+
+class TestPolynomialModel:
+    def test_quadratic(self):
+        model = PolynomialModel([1.0, 2.0, 3.0], reference=0.0)
+        assert np.isclose(model(2.0), 1.0 + 4.0 + 12.0)
+
+    def test_floor(self):
+        model = PolynomialModel([1.0, -1.0], reference=0.0, floor=0.5)
+        assert model(10.0) == 0.5
+
+    def test_empty_coefficients_rejected(self):
+        with pytest.raises(MaterialError):
+            PolynomialModel([])
+
+
+class TestTabulatedModel:
+    def test_interpolation(self):
+        model = TabulatedModel([300.0, 400.0], [1.0, 2.0])
+        assert np.isclose(model(350.0), 1.5)
+
+    def test_clamped_extrapolation(self):
+        model = TabulatedModel([300.0, 400.0], [1.0, 2.0])
+        assert model(200.0) == 1.0
+        assert model(500.0) == 2.0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(MaterialError):
+            TabulatedModel([300.0, 400.0], [1.0])
+
+    def test_rejects_non_increasing(self):
+        with pytest.raises(MaterialError):
+            TabulatedModel([400.0, 300.0], [1.0, 2.0])
+
+
+@given(
+    sigma0=st.floats(min_value=1.0, max_value=1e8),
+    alpha=st.floats(min_value=0.0, max_value=0.01),
+    t=st.floats(min_value=250.0, max_value=1000.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_inverse_linear_positive(sigma0, alpha, t):
+    """Conductivity stays positive over the physical temperature range."""
+    model = InverseLinearModel(sigma0, alpha)
+    assert model(t) > 0.0
+
+
+@given(t=st.floats(min_value=250.0, max_value=1500.0))
+@settings(max_examples=50, deadline=None)
+def test_property_tabulated_within_range(t):
+    """Interpolated values never leave the tabulated value range."""
+    model = TabulatedModel([300.0, 600.0, 1200.0], [5.0, 3.0, 4.0])
+    value = model(t)
+    assert 3.0 <= value <= 5.0

@@ -1,0 +1,103 @@
+"""Tests for the assembled DATE'16 problem."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PackageLayoutError
+from repro.package3d.chip_example import (
+    Date16Parameters,
+    build_date16_problem,
+    date16_layout,
+    wire_lengths_from_deltas,
+)
+
+
+@pytest.fixture(scope="module")
+def assembled():
+    return build_date16_problem(resolution="coarse")
+
+
+class TestTable2Defaults:
+    def test_parameters(self):
+        p = Date16Parameters()
+        assert p.pair_voltage == pytest.approx(0.040)
+        assert p.contact_voltage == pytest.approx(0.020)
+        assert p.end_time == 50.0
+        assert p.num_time_points == 51
+        assert p.num_mc_samples == 1000
+        assert p.wire_diameter == pytest.approx(25.4e-6)
+        assert p.t_ambient == 300.0
+        assert p.heat_transfer_coefficient == 25.0
+        assert p.emissivity == pytest.approx(0.2475)
+
+    def test_as_table_rows(self):
+        rows = dict(Date16Parameters().as_table())
+        assert rows["Bonding wire voltage Vbw"] == "40 mV"
+        assert rows["Emissivity"] == "0.2475"
+
+
+class TestAssembledProblem:
+    def test_wire_count_and_materials(self, assembled):
+        problem, mesh = assembled
+        assert len(problem.wires) == 12
+        assert all(w.material.name == "copper" for w in problem.wires)
+        assert all(w.diameter == pytest.approx(25.4e-6) for w in problem.wires)
+
+    def test_nominal_lengths(self, assembled):
+        problem, _ = assembled
+        lengths = np.array([w.length for w in problem.wires])
+        directs = date16_layout().all_direct_distances()
+        assert np.allclose(lengths, directs / 0.83, rtol=1e-6)
+
+    def test_pec_voltages_balanced(self, assembled):
+        problem, _ = assembled
+        values = [bc.value for bc in problem.electrical_dirichlet]
+        assert sorted(set(values)) == [-0.02, 0.02]
+        assert values.count(0.02) == 6
+        assert values.count(-0.02) == 6
+
+    def test_boundary_conditions_present(self, assembled):
+        problem, _ = assembled
+        assert problem.convection is not None
+        assert problem.convection.h == 25.0
+        assert problem.radiation is not None
+        assert problem.radiation.emissivity == pytest.approx(0.2475)
+
+    def test_mesh_reuse(self, assembled):
+        """Passing the mesh back in skips remeshing and shares the grid."""
+        problem, mesh = assembled
+        problem2, mesh2 = build_date16_problem(
+            mesh=mesh, wire_deltas=np.full(12, 0.2)
+        )
+        assert mesh2 is mesh
+        assert problem2.grid is problem.grid
+        assert problem2.wires[0].length > problem.wires[0].length
+
+
+class TestWireLengthMapping:
+    def test_mean_delta_gives_155(self):
+        lengths = wire_lengths_from_deltas(np.full(12, 0.17))
+        assert np.mean(lengths) == pytest.approx(1.55e-3, rel=0.01)
+
+    def test_zero_delta_gives_direct(self):
+        layout = date16_layout()
+        lengths = wire_lengths_from_deltas(np.zeros(12), layout)
+        assert np.allclose(lengths, layout.all_direct_distances())
+
+    def test_wrong_count(self):
+        with pytest.raises(PackageLayoutError):
+            wire_lengths_from_deltas([0.17, 0.17])
+
+    def test_both_lengths_and_deltas_rejected(self):
+        with pytest.raises(PackageLayoutError):
+            build_date16_problem(
+                resolution="coarse",
+                wire_lengths=np.full(12, 1.5e-3),
+                wire_deltas=np.full(12, 0.17),
+            )
+
+    def test_segmented_build(self):
+        problem, _ = build_date16_problem(
+            resolution="coarse", num_segments=3
+        )
+        assert problem.topology.num_extra_nodes == 24

@@ -1,0 +1,147 @@
+"""Tests for the parametric package layout."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PackageLayoutError
+from repro.package3d.chip_example import Date16Parameters, date16_layout
+from repro.package3d.layout import (
+    ChipDie,
+    ContactPad,
+    PackageLayout,
+    WireAttachment,
+)
+
+MM = 1.0e-3
+
+
+class TestContactPad:
+    def test_box_on_each_side(self):
+        layout = date16_layout()
+        for pad in layout.pads:
+            (x0, x1), (y0, y1), (z0, z1) = pad.box(layout)
+            assert x1 > x0 and y1 > y0 and z1 > z0
+
+    def test_inner_tip_inside_body(self):
+        layout = date16_layout()
+        for pad in layout.pads:
+            x, y, z = pad.inner_tip(layout)
+            assert 0.0 < x < layout.body_x
+            assert 0.0 < y < layout.body_y
+
+    def test_outer_face_on_boundary(self):
+        layout = date16_layout()
+        for pad in layout.pads:
+            (x0, x1), (y0, y1), _ = pad.outer_face_box(layout)
+            on_x = x0 == x1 and x0 in (0.0, layout.body_x)
+            on_y = y0 == y1 and y0 in (0.0, layout.body_y)
+            assert on_x or on_y
+
+    def test_invalid_side(self):
+        with pytest.raises(PackageLayoutError):
+            ContactPad("q-", 1.0, 1.0, 1.0, 1.0, 0.0)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(PackageLayoutError):
+            ContactPad("x-", 1.0, -1.0, 1.0, 1.0, 0.0)
+
+
+class TestChipDie:
+    def test_edge_point_clamps_to_rim(self):
+        chip = ChipDie(0.0, 0.0, 2.0, 2.0, 0.1, 0.0)
+        # A point far to the left maps onto the left edge.
+        x, y, z = chip.edge_point_towards(-5.0, 0.3)
+        assert x == -1.0
+        assert y == pytest.approx(0.3)
+        assert z == pytest.approx(0.1)
+
+    def test_diagonal_point_maps_to_nearest_edge(self):
+        chip = ChipDie(0.0, 0.0, 2.0, 2.0, 0.1, 0.0)
+        x, y, _ = chip.edge_point_towards(-5.0, -4.0)
+        # Clamped to the corner region, then projected to the nearer edge.
+        assert (x, y) == (-1.0, -1.0)
+
+    def test_interior_point_projected_out(self):
+        chip = ChipDie(0.0, 0.0, 2.0, 2.0, 0.1, 0.0)
+        x, y, _ = chip.edge_point_towards(0.9, 0.1)
+        assert x == 1.0  # nearest edge is x = +1
+
+
+class TestDate16Layout:
+    def test_paper_counts(self):
+        layout = date16_layout()
+        assert layout.num_pads == 28
+        assert layout.num_wires == 12
+
+    def test_pad_dimensions_match_section5a(self):
+        layout = date16_layout()
+        widths = np.array([pad.width for pad in layout.pads])
+        assert np.allclose(widths, 0.311 * MM)
+        lengths = np.array(sorted({round(pad.length, 9) for pad in layout.pads}))
+        assert np.allclose(lengths, [1.01 * MM, 1.261 * MM])
+        long_pads = [p for p in layout.pads if p.length > 1.1 * MM]
+        assert len(long_pads) == 4
+
+    def test_wire_direct_distances(self):
+        """Short central wires, longer outer wires; mean ~1.3 mm."""
+        layout = date16_layout()
+        directs = layout.all_direct_distances()
+        assert directs.shape == (12,)
+        assert directs.min() == pytest.approx(1.0402 * MM, rel=1e-3)
+        assert directs.max() == pytest.approx(1.4236 * MM, rel=1e-3)
+
+    def test_mean_nominal_length_matches_table2(self):
+        """d / (1 - 0.17) averages to Table II's 1.55 mm."""
+        layout = date16_layout()
+        lengths = layout.all_direct_distances() / (1.0 - 0.17)
+        assert np.mean(lengths) == pytest.approx(1.55e-3, rel=0.01)
+
+    def test_polarity_alternates(self):
+        layout = date16_layout()
+        polarities = [wire.polarity for wire in layout.wires]
+        assert polarities == [+1, -1] * 6
+
+    def test_wire_endpoints_distinct(self):
+        layout = date16_layout()
+        for wire in layout.wires:
+            pad_point, chip_point = layout.wire_endpoints(wire)
+            assert not np.allclose(pad_point, chip_point)
+
+
+class TestValidation:
+    def test_pad_leaving_body_rejected(self):
+        pads = [ContactPad("x-", 0.1 * MM, 0.3 * MM, 3.0 * MM, 0.05 * MM,
+                           0.2 * MM)]
+        chip = ChipDie(1.0 * MM, 1.0 * MM, 0.5 * MM, 0.5 * MM, 0.1 * MM,
+                       0.2 * MM)
+        with pytest.raises(PackageLayoutError):
+            PackageLayout(2.0 * MM, 2.0 * MM, 0.5 * MM, pads, chip, [])
+
+    def test_pad_chip_overlap_rejected(self):
+        pads = [ContactPad("x-", 1.0 * MM, 0.3 * MM, 1.5 * MM, 0.05 * MM,
+                           0.2 * MM)]
+        chip = ChipDie(1.0 * MM, 1.0 * MM, 0.8 * MM, 0.8 * MM, 0.1 * MM,
+                       0.2 * MM)
+        with pytest.raises(PackageLayoutError):
+            PackageLayout(2.0 * MM, 2.0 * MM, 0.5 * MM, pads, chip, [])
+
+    def test_wire_pad_reference_checked(self):
+        layout = date16_layout()
+        with pytest.raises(PackageLayoutError):
+            PackageLayout(
+                layout.body_x, layout.body_y, layout.height,
+                layout.pads, layout.chip,
+                [WireAttachment(99, +1)],
+            )
+
+    def test_bad_polarity(self):
+        with pytest.raises(PackageLayoutError):
+            WireAttachment(0, 2)
+
+
+class TestParameterVariants:
+    def test_smaller_package_still_valid(self):
+        p = Date16Parameters(body_side=5.0 * MM, chip_size=0.6 * MM)
+        layout = date16_layout(p)
+        assert layout.num_pads == 28
+        assert layout.all_direct_distances().min() > 0.5 * MM

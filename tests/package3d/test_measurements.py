@@ -1,0 +1,108 @@
+"""Tests for the X-ray measurement dataset (Fig. 5 statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.package3d.measurements import (
+    MeasurementDataset,
+    WireMeasurement,
+    date16_xray_measurements,
+)
+
+
+class TestDate16Dataset:
+    def test_counts_match_paper(self):
+        dataset = date16_xray_measurements()
+        assert dataset.num_wires == 12
+        assert dataset.num_bending_measured == 6
+
+    def test_fitted_distribution_matches_fig5(self):
+        """The published fit: N(0.17, 0.048^2)."""
+        fit = date16_xray_measurements().fit_elongation_distribution()
+        assert fit.mu == pytest.approx(0.17, abs=5e-4)
+        assert fit.sigma == pytest.approx(0.048, abs=5e-4)
+
+    def test_mean_length_matches_table2(self):
+        """Table II: average wire length 1.55 mm."""
+        lengths = date16_xray_measurements().lengths()
+        assert np.mean(lengths) == pytest.approx(1.55e-3, rel=0.01)
+
+    def test_deltas_in_plausible_range(self):
+        deltas = date16_xray_measurements().deltas()
+        assert np.all(deltas > 0.0)
+        assert np.all(deltas < 0.4)
+
+    def test_direct_distances_match_layout(self):
+        """Dataset distances are consistent with the reproduced layout."""
+        from repro.package3d.chip_example import date16_layout
+
+        dataset = date16_xray_measurements()
+        layout_d = np.sort(date16_layout().all_direct_distances())
+        dataset_d = np.sort(dataset.direct_distances())
+        assert np.allclose(layout_d, dataset_d, rtol=1e-3)
+
+    def test_histogram_covers_fig5_range(self):
+        edges, density = date16_xray_measurements().elongation_histogram()
+        assert edges[0] >= 0.0
+        assert edges[-1] <= 0.4
+        assert np.max(density) > 0.0
+
+
+class TestImputation:
+    def test_unmeasured_get_mean_bending(self):
+        dataset = date16_xray_measurements()
+        models = dataset.imputed_length_models()
+        fallback = dataset.mean_measured_bending()
+        for measurement, model in zip(dataset.measurements, models):
+            if not measurement.has_bending_measurement:
+                assert model.bending == pytest.approx(fallback)
+            else:
+                assert model.bending == pytest.approx(
+                    measurement.bending_elongation
+                )
+
+    def test_misplacement_derived_from_offset(self):
+        dataset = date16_xray_measurements()
+        m = dataset.measurements[0]
+        expected = np.hypot(m.direct_distance, m.lateral_offset) - (
+            m.direct_distance
+        )
+        assert m.misplacement_elongation == pytest.approx(expected)
+
+    def test_misplacement_small_compared_to_bending(self):
+        """The paper's offsets are tiny: delta_s << delta_h."""
+        dataset = date16_xray_measurements()
+        models = dataset.imputed_length_models()
+        for model in models:
+            assert model.misplacement < 0.1 * model.bending
+
+
+class TestValidation:
+    def test_empty_dataset(self):
+        with pytest.raises(MeasurementError):
+            MeasurementDataset([])
+
+    def test_all_unmeasured_rejected(self):
+        measurements = [
+            WireMeasurement("w", 1e-3, 0.0, None) for _ in range(3)
+        ]
+        with pytest.raises(MeasurementError):
+            MeasurementDataset(measurements)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(MeasurementError):
+            WireMeasurement("w", -1e-3, 0.0)
+        with pytest.raises(MeasurementError):
+            WireMeasurement("w", 1e-3, -1.0)
+        with pytest.raises(MeasurementError):
+            WireMeasurement("w", 1e-3, 0.0, -1e-4)
+
+    def test_single_measured_wire_suffices(self):
+        measurements = [
+            WireMeasurement("a", 1e-3, 0.0, 2e-4),
+            WireMeasurement("b", 1e-3, 0.0, None),
+        ]
+        dataset = MeasurementDataset(measurements)
+        models = dataset.imputed_length_models()
+        assert models[1].bending == pytest.approx(2e-4)

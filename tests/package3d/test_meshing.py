@@ -1,0 +1,99 @@
+"""Tests for the package mesher (Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PackageLayoutError
+from repro.package3d.chip_example import date16_layout
+from repro.package3d.meshing import RESOLUTIONS, build_package_mesh
+
+
+@pytest.fixture(scope="module")
+def coarse_mesh():
+    return build_package_mesh(date16_layout(), resolution="coarse")
+
+
+class TestMeshStructure:
+    def test_interfaces_on_grid_lines(self, coarse_mesh):
+        """Every pad/chip boundary coincides with a grid plane."""
+        layout = coarse_mesh.layout
+        grid = coarse_mesh.grid
+        required_x = set()
+        for pad in layout.pads:
+            (x0, x1), _, _ = pad.box(layout)
+            required_x.update((x0, x1))
+        (cx0, cx1), _, _ = layout.chip.box()
+        required_x.update((cx0, cx1))
+        for value in required_x:
+            assert np.min(np.abs(grid.x - value)) < 1e-12
+
+    def test_volume_fractions(self, coarse_mesh):
+        """Copper fraction equals the exact pad+chip volume share."""
+        layout = coarse_mesh.layout
+        pad_volume = sum(
+            (b[0][1] - b[0][0]) * (b[1][1] - b[1][0]) * (b[2][1] - b[2][0])
+            for b in (pad.box(layout) for pad in layout.pads)
+        )
+        (cx, cy, cz) = layout.chip.box()
+        chip_volume = (
+            (cx[1] - cx[0]) * (cy[1] - cy[0]) * (cz[1] - cz[0])
+        )
+        total = layout.body_x * layout.body_y * layout.height
+        fractions = coarse_mesh.materials.volume_fractions()
+        expected = (pad_volume + chip_volume) / total
+        assert fractions["copper"] == pytest.approx(expected, rel=1e-9)
+
+    def test_statistics_keys(self, coarse_mesh):
+        stats = coarse_mesh.statistics()
+        assert stats["nodes"] == coarse_mesh.grid.num_nodes
+        assert stats["min_spacing"] > 0.0
+        assert "volume_fractions" in stats
+
+    def test_resolutions_ordered(self):
+        layout = date16_layout()
+        sizes = {}
+        for name in ("coarse", "default"):
+            sizes[name] = build_package_mesh(layout, name).grid.num_nodes
+        assert sizes["coarse"] < sizes["default"]
+
+    def test_explicit_spacing_tuple(self):
+        layout = date16_layout()
+        mesh = build_package_mesh(layout, resolution=(0.6e-3, 0.3e-3))
+        assert mesh.grid.num_nodes > 0
+
+    def test_unknown_preset(self):
+        with pytest.raises(PackageLayoutError):
+            build_package_mesh(date16_layout(), resolution="ultra")
+
+
+class TestNodeLookups:
+    def test_pec_nodes_on_boundary(self, coarse_mesh):
+        grid = coarse_mesh.grid
+        for nodes in coarse_mesh.pad_contact_nodes:
+            assert nodes.size > 0
+            coords = grid.node_coordinates()[nodes]
+            on_x = np.isclose(coords[:, 0], 0.0) | np.isclose(
+                coords[:, 0], coarse_mesh.layout.body_x
+            )
+            on_y = np.isclose(coords[:, 1], 0.0) | np.isclose(
+                coords[:, 1], coarse_mesh.layout.body_y
+            )
+            assert np.all(on_x | on_y)
+
+    def test_wire_nodes_distinct(self, coarse_mesh):
+        for pad_node, chip_node in coarse_mesh.wire_nodes:
+            assert pad_node != chip_node
+
+    def test_wire_nodes_near_endpoints(self, coarse_mesh):
+        layout = coarse_mesh.layout
+        coords = coarse_mesh.grid.node_coordinates()
+        for attachment, (pad_node, chip_node) in zip(
+            layout.wires, coarse_mesh.wire_nodes
+        ):
+            pad_point, chip_point = layout.wire_endpoints(attachment)
+            assert np.linalg.norm(coords[pad_node] - pad_point) < 0.3e-3
+            assert np.linalg.norm(coords[chip_node] - chip_point) < 0.3e-3
+
+    def test_wire_pad_nodes_unique_per_wire(self, coarse_mesh):
+        pad_nodes = [a for a, _ in coarse_mesh.wire_nodes]
+        assert len(set(pad_nodes)) == len(pad_nodes)

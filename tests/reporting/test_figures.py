@@ -1,0 +1,101 @@
+"""Tests for the figure-data generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.grid.tensor_grid import TensorGrid
+from repro.reporting.figures import (
+    ascii_heatmap,
+    field_slice,
+    fig5_data,
+    fig7_data,
+    fig8_data,
+)
+
+
+class TestFig5:
+    def test_fit_parameters(self):
+        data = fig5_data()
+        assert data["mu"] == pytest.approx(0.17, abs=1e-3)
+        assert data["sigma"] == pytest.approx(0.048, abs=1e-3)
+
+    def test_pdf_peak_in_fig5_range(self):
+        """Fig. 5 y-axis runs to ~8.5; the fitted peak sits near 8.3."""
+        data = fig5_data()
+        assert 7.5 < np.max(data["pdf_y"]) < 8.8
+
+    def test_deltas_present(self):
+        assert fig5_data()["deltas"].shape == (12,)
+
+
+class TestFig7:
+    def test_band_and_scalars(self):
+        times = np.linspace(0.0, 50.0, 51)
+        mean = 300.0 + 4.0 * times
+        std = 0.1 * np.sqrt(times + 1e-12)
+        data = fig7_data(times, mean, std, num_samples=1000)
+        assert np.allclose(data["upper"], mean + 6.0 * std)
+        assert data["sigma_mc"] == pytest.approx(std[-1])
+        assert data["error_mc"] == pytest.approx(std[-1] / np.sqrt(1000))
+        assert data["band_crossing_time"] is None  # peaks at 504 K
+
+    def test_crossing_detected(self):
+        times = np.linspace(0.0, 50.0, 51)
+        mean = 300.0 + 5.0 * times  # reaches 550
+        std = np.zeros(51)
+        data = fig7_data(times, mean, std, num_samples=100)
+        assert data["mean_crossing_time"] == pytest.approx(44.6)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ReproError):
+            fig7_data(np.zeros(3), np.zeros(4), np.zeros(3), 10)
+
+
+class TestFieldSlice:
+    def test_slice_extraction(self):
+        grid = TensorGrid.uniform(((0, 1), (0, 2), (0, 3)), (4, 5, 6))
+        values = grid.node_coordinates()[:, 2]  # field = z
+        xs, ys, cut = field_slice(grid, values, axis="z", position=1.5)
+        assert cut.shape == (4, 5)
+        # The slice is at the z-plane nearest 1.5.
+        nearest = grid.z[np.argmin(np.abs(grid.z - 1.5))]
+        assert np.allclose(cut, nearest)
+
+    def test_axis_validation(self):
+        grid = TensorGrid.uniform(((0, 1), (0, 1), (0, 1)), (3, 3, 3))
+        with pytest.raises(ReproError):
+            field_slice(grid, np.zeros(27), axis="w")
+
+
+class TestFig8:
+    def test_hot_spot_location(self):
+        grid = TensorGrid.uniform(((0, 1), (0, 1), (0, 1)), (5, 5, 5))
+        values = np.full(grid.num_nodes, 300.0)
+        from repro.grid.indexing import GridIndexing
+
+        indexing = GridIndexing(grid)
+        hot = indexing.node_index(2, 3, 1)
+        values[hot] = 400.0
+        data = fig8_data(grid, values)
+        assert data["t_max"] == 400.0
+        assert data["hot_spot"] == (
+            pytest.approx(0.5), pytest.approx(0.75), pytest.approx(0.25)
+        )
+
+
+class TestAsciiHeatmap:
+    def test_shape_and_levels(self):
+        values = np.outer(np.arange(4), np.ones(3))
+        art = ascii_heatmap(values)
+        lines = art.splitlines()
+        assert len(lines) == 3
+        assert all(len(line) == 4 for line in lines)
+
+    def test_constant_field(self):
+        art = ascii_heatmap(np.full((2, 2), 5.0))
+        assert set(art.replace("\n", "")) == {" "}
+
+    def test_requires_2d(self):
+        with pytest.raises(ReproError):
+            ascii_heatmap(np.zeros(5))

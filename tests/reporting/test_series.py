@@ -1,0 +1,64 @@
+"""Tests for CSV export and series formatting."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.reporting.series import format_series, write_csv, write_series
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "out" / "data.csv")
+        write_csv(path, ["t", "v"], [np.array([0.0, 1.0]),
+                                     np.array([10.0, 20.0])])
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert lines[0] == "t,v"
+        assert lines[1] == "0,10"
+        assert len(lines) == 3
+
+    def test_creates_directories(self, tmp_path):
+        path = str(tmp_path / "a" / "b" / "c.csv")
+        write_csv(path, ["x"], [np.array([1.0])])
+        assert os.path.exists(path)
+
+    def test_mixed_lengths_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            write_csv(
+                str(tmp_path / "x.csv"), ["a", "b"],
+                [np.zeros(2), np.zeros(3)],
+            )
+
+    def test_header_count_checked(self, tmp_path):
+        with pytest.raises(ReproError):
+            write_csv(str(tmp_path / "x.csv"), ["a"], [np.zeros(2),
+                                                       np.zeros(2)])
+
+    def test_write_series_shortcut(self, tmp_path):
+        path = write_series(
+            str(tmp_path / "s.csv"), [0.0, 1.0], [300.0, 310.0], "T"
+        )
+        with open(path, encoding="utf-8") as handle:
+            assert handle.readline().strip() == "time_s,T"
+
+
+class TestFormatSeries:
+    def test_subsampling(self):
+        times = np.linspace(0.0, 50.0, 51)
+        values = np.linspace(300.0, 400.0, 51)
+        text = format_series(times, values, max_rows=5)
+        lines = text.splitlines()
+        assert len(lines) <= 7
+        assert "300.0000" in text
+        assert "400.0000" in text
+
+    def test_short_series_full(self):
+        text = format_series([0.0, 1.0], [1.0, 2.0])
+        assert len(text.splitlines()) == 3
+
+    def test_length_mismatch(self):
+        with pytest.raises(ReproError):
+            format_series([0.0], [1.0, 2.0])

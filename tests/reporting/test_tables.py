@@ -1,0 +1,54 @@
+"""Tests for table formatting (Tables I and II regeneration)."""
+
+import pytest
+
+from repro.reporting.tables import format_table, format_table1, format_table2
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "|" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_title(self):
+        text = format_table(["a"], [["1"]], title="TITLE")
+        assert text.splitlines()[0] == "TITLE"
+
+    def test_row_length_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["1"]])
+
+
+class TestTable1:
+    def test_contains_paper_values(self):
+        text = format_table1()
+        assert "TABLE I" in text
+        assert "0.87" in text          # epoxy lambda
+        assert "398" in text           # copper lambda
+        assert "5.800e+07" in text     # copper sigma
+        assert "1.000e-06" in text     # epoxy sigma
+
+    def test_all_four_regions(self):
+        text = format_table1()
+        for region in ("Compound", "Contact pad", "Chip", "Bonding wire"):
+            assert region in text
+
+
+class TestTable2:
+    def test_contains_paper_values(self):
+        text = format_table2()
+        assert "TABLE II" in text
+        assert "40 mV" in text
+        assert "50 s" in text
+        assert "51" in text
+        assert "1000" in text
+        assert "25.4 um" in text
+        assert "300 K" in text
+        assert "0.2475" in text
+
+    def test_average_length_row(self):
+        text = format_table2()
+        assert "1.56 mm" in text or "1.55 mm" in text

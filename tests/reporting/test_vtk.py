@@ -1,0 +1,87 @@
+"""Tests for the legacy VTK exporter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.grid.tensor_grid import TensorGrid
+from repro.reporting.vtk import (
+    read_rectilinear_vtk_header,
+    write_rectilinear_vtk,
+)
+
+
+@pytest.fixture
+def grid():
+    return TensorGrid([0.0, 1.0, 2.5], [0.0, 0.5], [0.0, 1.0, 2.0, 3.0])
+
+
+class TestWriter:
+    def test_header_roundtrip(self, grid, tmp_path):
+        path = str(tmp_path / "field.vtk")
+        write_rectilinear_vtk(
+            path, grid, {"temperature": np.full(grid.num_nodes, 300.0)}
+        )
+        assert read_rectilinear_vtk_header(path) == grid.shape
+
+    def test_structure(self, grid, tmp_path):
+        path = str(tmp_path / "field.vtk")
+        values = np.arange(grid.num_nodes, dtype=float)
+        write_rectilinear_vtk(path, grid, {"T": values, "phi": values * 2})
+        with open(path, encoding="ascii") as handle:
+            content = handle.read()
+        assert content.startswith("# vtk DataFile Version 3.0")
+        assert "DATASET RECTILINEAR_GRID" in content
+        assert f"POINT_DATA {grid.num_nodes}" in content
+        assert "SCALARS T double 1" in content
+        assert "SCALARS phi double 1" in content
+        assert "X_COORDINATES 3 double" in content
+
+    def test_all_values_written(self, grid, tmp_path):
+        path = str(tmp_path / "field.vtk")
+        values = np.linspace(300.0, 400.0, grid.num_nodes)
+        write_rectilinear_vtk(path, grid, {"T": values})
+        with open(path, encoding="ascii") as handle:
+            lines = handle.read().splitlines()
+        start = lines.index("LOOKUP_TABLE default") + 1
+        numbers = []
+        for line in lines[start:]:
+            numbers.extend(float(token) for token in line.split())
+        assert np.allclose(numbers, values)
+
+    def test_spaces_in_names_sanitized(self, grid, tmp_path):
+        path = str(tmp_path / "field.vtk")
+        write_rectilinear_vtk(
+            path, grid, {"wire temp": np.zeros(grid.num_nodes)}
+        )
+        with open(path, encoding="ascii") as handle:
+            assert "SCALARS wire_temp double 1" in handle.read()
+
+    def test_creates_directories(self, grid, tmp_path):
+        path = str(tmp_path / "deep" / "dir" / "field.vtk")
+        write_rectilinear_vtk(path, grid, {"T": np.zeros(grid.num_nodes)})
+        assert read_rectilinear_vtk_header(path) == grid.shape
+
+
+class TestValidation:
+    def test_wrong_size_rejected(self, grid, tmp_path):
+        with pytest.raises(ReproError):
+            write_rectilinear_vtk(
+                str(tmp_path / "x.vtk"), grid, {"T": np.zeros(5)}
+            )
+
+    def test_non_finite_rejected(self, grid, tmp_path):
+        values = np.zeros(grid.num_nodes)
+        values[0] = np.nan
+        with pytest.raises(ReproError):
+            write_rectilinear_vtk(str(tmp_path / "x.vtk"), grid, {"T": values})
+
+    def test_empty_fields_rejected(self, grid, tmp_path):
+        with pytest.raises(ReproError):
+            write_rectilinear_vtk(str(tmp_path / "x.vtk"), grid, {})
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.vtk"
+        path.write_text("not a vtk file")
+        with pytest.raises(ReproError):
+            read_rectilinear_vtk_header(str(path))

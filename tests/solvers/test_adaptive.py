@@ -1,0 +1,109 @@
+"""Tests for the adaptive implicit Euler controller."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.solvers.adaptive import adaptive_implicit_euler
+
+
+def _decay_step(rate):
+    """Implicit Euler step for dT/dt = -rate (T - 300)."""
+    def step(state, dt):
+        return (state + dt * rate * 300.0) / (1.0 + dt * rate)
+
+    return step
+
+
+class TestDecay:
+    def test_converges_to_exact(self):
+        result = adaptive_implicit_euler(
+            _decay_step(0.5), np.array([400.0]), end_time=10.0,
+            initial_dt=0.5, tolerance=1e-3,
+        )
+        exact = 300.0 + 100.0 * np.exp(-5.0)
+        assert result.final[0] == pytest.approx(exact, abs=0.2)
+        assert result.times[-1] == pytest.approx(10.0)
+
+    def test_tighter_tolerance_more_accurate(self):
+        exact = 300.0 + 100.0 * np.exp(-5.0)
+        loose = adaptive_implicit_euler(
+            _decay_step(0.5), np.array([400.0]), 10.0, 0.5, tolerance=1.0
+        )
+        tight = adaptive_implicit_euler(
+            _decay_step(0.5), np.array([400.0]), 10.0, 0.5, tolerance=1e-4
+        )
+        assert abs(tight.final[0] - exact) < abs(loose.final[0] - exact)
+        assert tight.accepted > loose.accepted
+
+    def test_steps_grow_as_transient_settles(self):
+        result = adaptive_implicit_euler(
+            _decay_step(2.0), np.array([500.0]), 20.0, 0.01,
+            tolerance=0.05,
+        )
+        sizes = result.step_sizes
+        # Late steps should be much larger than the first accepted ones.
+        assert np.mean(sizes[-3:]) > 3.0 * np.mean(sizes[:3])
+
+    def test_rejections_counted_for_rough_start(self):
+        result = adaptive_implicit_euler(
+            _decay_step(50.0), np.array([1000.0]), 1.0, 0.5,
+            tolerance=0.01,
+        )
+        assert result.rejected >= 1
+        assert result.times[-1] == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_bad_arguments(self):
+        with pytest.raises(SolverError):
+            adaptive_implicit_euler(
+                _decay_step(1.0), np.array([1.0]), -1.0, 0.1
+            )
+        with pytest.raises(SolverError):
+            adaptive_implicit_euler(
+                _decay_step(1.0), np.array([1.0]), 1.0, 0.1, safety=1.5
+            )
+
+    def test_max_steps_guard(self):
+        with pytest.raises(SolverError):
+            adaptive_implicit_euler(
+                _decay_step(1.0), np.array([400.0]), 1e9, 1e-3,
+                tolerance=1e-9, max_steps=10, max_dt=1e-3,
+            )
+
+
+class TestCoupledIntegration:
+    def test_adaptive_wraps_coupled_step(self):
+        """The coupled solver's step plugs straight into the controller."""
+        from repro.coupled.electrothermal import CoupledSolver
+
+        import sys
+        from tests.coupled.conftest import build_wire_bridge_problem
+
+        problem = build_wire_bridge_problem()
+        solver = CoupledSolver(problem, mode="fast", tolerance=1e-4)
+
+        def step(state, dt):
+            new_state, _, _ = solver._step_fast(state, dt)
+            return new_state
+
+        result = adaptive_implicit_euler(
+            step,
+            problem.initial_temperatures(),
+            end_time=10.0,
+            initial_dt=0.5,
+            tolerance=0.2,
+        )
+        final_wire = problem.topology.wire_temperatures(result.final)[0]
+
+        from repro.solvers.time_integration import TimeGrid
+
+        fixed = CoupledSolver(
+            problem, mode="fast", tolerance=1e-4
+        ).solve_transient(TimeGrid(10.0, 100))
+        # Local tolerance 0.2 K over ~10 accepted steps: the accumulated
+        # global error stays within ~1.5 K of the fine fixed-step run.
+        assert final_wire == pytest.approx(
+            fixed.wire_temperatures[-1, 0], abs=1.5
+        )

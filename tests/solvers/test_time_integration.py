@@ -1,0 +1,91 @@
+"""Tests for the time grid and theta-method steppers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import SolverError
+from repro.solvers.time_integration import ImplicitEuler, ThetaMethod, TimeGrid
+
+
+class TestTimeGrid:
+    def test_paper_convention(self):
+        """Table II: 51 time points over 50 s -> dt = 1 s."""
+        grid = TimeGrid.from_num_points(50.0, 51)
+        assert grid.num_steps == 50
+        assert grid.num_points == 51
+        assert grid.dt == pytest.approx(1.0)
+        assert grid.times[0] == 0.0
+        assert grid.times[-1] == 50.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(SolverError):
+            TimeGrid(-1.0, 10)
+        with pytest.raises(SolverError):
+            TimeGrid(1.0, 0)
+        with pytest.raises(SolverError):
+            TimeGrid.from_num_points(1.0, 1)
+
+
+def _integrate_scalar(theta, num_steps, rate=1.0, end_time=1.0):
+    """Integrate dT/dt = -rate T, T(0) = 1 with the theta method."""
+    stepper = ThetaMethod(theta)
+    capacitance = np.array([1.0])
+    stiffness = sp.csr_matrix(np.array([[rate]]))
+    dt = end_time / num_steps
+    t = np.array([1.0])
+    for _ in range(num_steps):
+        matrix = stepper.step_matrix(capacitance, stiffness, dt)
+        rhs = stepper.step_rhs(
+            capacitance, stiffness, t, np.zeros(1), np.zeros(1), dt
+        )
+        t = np.array([rhs[0] / matrix.toarray()[0, 0]])
+    return float(t[0])
+
+
+class TestDecayAccuracy:
+    def test_implicit_euler_first_order(self):
+        """Error halves when the step halves (order 1)."""
+        exact = np.exp(-1.0)
+        error_coarse = abs(_integrate_scalar(1.0, 20) - exact)
+        error_fine = abs(_integrate_scalar(1.0, 40) - exact)
+        assert error_fine < error_coarse
+        assert error_coarse / error_fine == pytest.approx(2.0, rel=0.15)
+
+    def test_crank_nicolson_second_order(self):
+        exact = np.exp(-1.0)
+        error_coarse = abs(_integrate_scalar(0.5, 20) - exact)
+        error_fine = abs(_integrate_scalar(0.5, 40) - exact)
+        assert error_coarse / error_fine == pytest.approx(4.0, rel=0.25)
+
+    def test_implicit_euler_unconditionally_stable(self):
+        """Huge step on a stiff problem stays bounded and positive."""
+        value = _integrate_scalar(1.0, 2, rate=1000.0, end_time=1.0)
+        assert 0.0 <= value < 1.0
+
+
+class TestStepAlgebra:
+    def test_implicit_euler_rhs_ignores_old_stiffness(self):
+        stepper = ImplicitEuler()
+        capacitance = np.array([2.0])
+        stiffness = sp.csr_matrix(np.array([[123.0]]))
+        rhs = stepper.step_rhs(
+            capacitance, stiffness, np.array([5.0]), np.array([7.0]),
+            np.array([999.0]), 0.5,
+        )
+        # C/dt * T_old + q_new = 4*5 + 7
+        assert rhs[0] == pytest.approx(27.0)
+
+    def test_theta_range_enforced(self):
+        with pytest.raises(SolverError):
+            ThetaMethod(0.4)
+        with pytest.raises(SolverError):
+            ThetaMethod(1.1)
+
+    def test_step_matrix_shape(self):
+        stepper = ImplicitEuler()
+        matrix = stepper.step_matrix(
+            np.ones(3), sp.identity(3, format="csr"), 0.1
+        )
+        assert matrix.shape == (3, 3)
+        assert np.allclose(matrix.diagonal(), 10.0 + 1.0)

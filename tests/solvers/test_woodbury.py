@@ -1,0 +1,126 @@
+"""Tests for the Sherman-Morrison-Woodbury update solver."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.solvers.woodbury import WoodburySolver
+
+
+def _base(n, seed=0):
+    rng = np.random.default_rng(seed)
+    raw = rng.standard_normal((n, n))
+    return sp.csc_matrix(raw @ raw.T + n * np.eye(n))
+
+
+def _stamp_vectors(n, k, seed=1):
+    """Wire-like +1/-1 incidence columns."""
+    rng = np.random.default_rng(seed)
+    u = np.zeros((n, k))
+    for j in range(k):
+        a, b = rng.choice(n, size=2, replace=False)
+        u[a, j] = 1.0
+        u[b, j] = -1.0
+    return u
+
+
+class TestAgainstDirect:
+    def test_single_rank_one_update(self, rng):
+        n = 10
+        base = _base(n)
+        u = _stamp_vectors(n, 1)
+        solver = WoodburySolver(base, u)
+        g = np.array([3.7])
+        rhs = rng.standard_normal(n)
+        direct = np.linalg.solve(
+            base.toarray() + g[0] * np.outer(u[:, 0], u[:, 0]), rhs
+        )
+        assert np.allclose(solver.solve(g, rhs), direct)
+
+    def test_twelve_wires(self, rng):
+        """The paper's case: 12 rank-1 wire stamps."""
+        n = 40
+        base = _base(n)
+        u = _stamp_vectors(n, 12)
+        solver = WoodburySolver(base, u)
+        g = rng.uniform(0.1, 20.0, 12)
+        rhs = rng.standard_normal(n)
+        full = base.toarray() + u @ np.diag(g) @ u.T
+        assert np.allclose(solver.solve(g, rhs), np.linalg.solve(full, rhs))
+
+    def test_zero_conductances_fall_back_to_base(self, rng):
+        n = 15
+        base = _base(n)
+        u = _stamp_vectors(n, 3)
+        solver = WoodburySolver(base, u)
+        rhs = rng.standard_normal(n)
+        assert np.allclose(
+            solver.solve(np.zeros(3), rhs),
+            np.linalg.solve(base.toarray(), rhs),
+        )
+
+    def test_partial_zeros(self, rng):
+        n = 15
+        base = _base(n)
+        u = _stamp_vectors(n, 3)
+        solver = WoodburySolver(base, u)
+        g = np.array([5.0, 0.0, 2.0])
+        rhs = rng.standard_normal(n)
+        full = base.toarray() + u @ np.diag(g) @ u.T
+        assert np.allclose(solver.solve(g, rhs), np.linalg.solve(full, rhs))
+
+    def test_repeated_solves_with_different_g(self, rng):
+        """The Monte Carlo pattern: one base, many conductance sets."""
+        n = 25
+        base = _base(n)
+        u = _stamp_vectors(n, 5)
+        solver = WoodburySolver(base, u)
+        rhs = rng.standard_normal(n)
+        for seed in range(5):
+            g = np.random.default_rng(seed).uniform(0.5, 10.0, 5)
+            full = base.toarray() + u @ np.diag(g) @ u.T
+            assert np.allclose(
+                solver.solve(g, rhs), np.linalg.solve(full, rhs)
+            )
+
+
+class TestValidation:
+    def test_negative_conductance_rejected(self):
+        solver = WoodburySolver(_base(6), _stamp_vectors(6, 2))
+        with pytest.raises(SolverError):
+            solver.solve([-1.0, 1.0], np.ones(6))
+
+    def test_wrong_conductance_count(self):
+        solver = WoodburySolver(_base(6), _stamp_vectors(6, 2))
+        with pytest.raises(SolverError):
+            solver.solve([1.0], np.ones(6))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SolverError):
+            WoodburySolver(_base(6), np.zeros((5, 2)))
+
+    def test_1d_update_rejected(self):
+        with pytest.raises(SolverError):
+            WoodburySolver(_base(6), np.zeros(6))
+
+
+@given(
+    k=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_matches_direct_solve(k, seed):
+    rng = np.random.default_rng(seed)
+    n = 20
+    base = _base(n, seed)
+    u = _stamp_vectors(n, k, seed + 1)
+    solver = WoodburySolver(base, u)
+    g = rng.uniform(0.0, 10.0, k)
+    rhs = rng.standard_normal(n)
+    full = base.toarray() + u @ np.diag(g) @ u.T
+    assert np.allclose(
+        solver.solve(g, rhs), np.linalg.solve(full, rhs), atol=1e-8
+    )

@@ -1,0 +1,58 @@
+"""Contract tests for the public API surface."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_present(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_key_entry_points_callable(self):
+        assert callable(repro.build_date16_problem)
+        assert callable(repro.CoupledSolver)
+        assert callable(repro.MonteCarloStudy)
+
+    def test_subpackages_importable(self):
+        for module_info in pkgutil.walk_packages(
+            repro.__path__, prefix="repro."
+        ):
+            module = importlib.import_module(module_info.name)
+            assert module is not None
+
+    def test_every_module_documented(self):
+        """Every module ships a docstring (the documentation deliverable)."""
+        for module_info in pkgutil.walk_packages(
+            repro.__path__, prefix="repro."
+        ):
+            module = importlib.import_module(module_info.name)
+            assert module.__doc__, f"{module_info.name} lacks a docstring"
+
+    def test_public_classes_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if isinstance(obj, type) or callable(obj):
+                assert getattr(obj, "__doc__", None), name
+
+    def test_error_hierarchy_rooted(self):
+        from repro import errors
+
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (
+                isinstance(obj, type)
+                and issubclass(obj, Exception)
+                and obj is not errors.ReproError
+                and obj.__module__ == "repro.errors"
+            ):
+                assert issubclass(obj, errors.ReproError), name

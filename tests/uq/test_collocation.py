@@ -1,0 +1,125 @@
+"""Tests for Gauss-Hermite rules and Smolyak collocation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.uq.collocation import (
+    StochasticCollocation,
+    gauss_hermite_rule,
+    smolyak_nodes,
+)
+from repro.uq.distributions import NormalDistribution, UniformDistribution
+
+
+class TestGaussHermite:
+    def test_weights_sum_to_one(self):
+        for order in (1, 2, 3, 5, 8):
+            _, weights = gauss_hermite_rule(order)
+            assert np.sum(weights) == pytest.approx(1.0)
+
+    def test_gaussian_moments_exact(self):
+        """Order-n rule integrates polynomials up to degree 2n-1 exactly."""
+        nodes, weights = gauss_hermite_rule(4)
+        # Standard normal moments: E[z^2]=1, E[z^4]=3, E[z^6]=15.
+        assert np.dot(weights, nodes**2) == pytest.approx(1.0)
+        assert np.dot(weights, nodes**4) == pytest.approx(3.0)
+        assert np.dot(weights, nodes**6) == pytest.approx(15.0)
+
+    def test_odd_moments_vanish(self):
+        nodes, weights = gauss_hermite_rule(5)
+        assert np.dot(weights, nodes) == pytest.approx(0.0, abs=1e-12)
+        assert np.dot(weights, nodes**3) == pytest.approx(0.0, abs=1e-10)
+
+    def test_invalid_order(self):
+        with pytest.raises(SamplingError):
+            gauss_hermite_rule(0)
+
+
+class TestSmolyak:
+    def test_level1_is_mean_point(self):
+        nodes, weights = smolyak_nodes(12, 1)
+        assert nodes.shape == (1, 12)
+        assert np.allclose(nodes, 0.0)
+        assert weights[0] == pytest.approx(1.0)
+
+    def test_level2_size(self):
+        """Linear growth level 2: 2d + 1 nodes."""
+        for d in (2, 5, 12):
+            nodes, _ = smolyak_nodes(d, 2)
+            assert nodes.shape[0] == 2 * d + 1
+
+    def test_weights_sum_to_one(self):
+        for d, level in ((2, 2), (3, 2), (12, 2), (2, 3)):
+            _, weights = smolyak_nodes(d, level)
+            assert np.sum(weights) == pytest.approx(1.0)
+
+    def test_second_moment_exact_at_level2(self):
+        """Level-2 Smolyak integrates sum(z_i^2) exactly."""
+        nodes, weights = smolyak_nodes(4, 2)
+        value = np.dot(weights, np.sum(nodes**2, axis=1))
+        assert value == pytest.approx(4.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(SamplingError):
+            smolyak_nodes(0, 1)
+        with pytest.raises(SamplingError):
+            smolyak_nodes(2, 0)
+
+
+class TestCollocationEstimator:
+    def test_linear_model_exact(self):
+        """Linear-in-inputs model: level 2 gives exact mean and std."""
+        dimension = 5
+        weights_vec = np.arange(1.0, dimension + 1)
+
+        def model(parameters):
+            return np.array([np.dot(weights_vec, parameters)])
+
+        dist = NormalDistribution(0.17, 0.048)
+        collocation = StochasticCollocation(model, dist, dimension, level=2)
+        result = collocation.run()
+        assert result.mean[0] == pytest.approx(0.17 * np.sum(weights_vec))
+        assert result.std[0] == pytest.approx(
+            0.048 * np.linalg.norm(weights_vec), rel=1e-10
+        )
+        assert result.num_evaluations == 2 * dimension + 1
+
+    def test_quadratic_model_mean_exact_at_level3(self):
+        def model(parameters):
+            return np.array([np.sum(parameters**2)])
+
+        dist = NormalDistribution(0.0, 1.0)
+        collocation = StochasticCollocation(model, dist, 3, level=3)
+        result = collocation.run()
+        assert result.mean[0] == pytest.approx(3.0)
+
+    def test_matches_monte_carlo_on_smooth_model(self):
+        """Collocation and a large MC agree on a mildly nonlinear model."""
+        def model(parameters):
+            return np.array([np.exp(0.1 * np.sum(parameters))])
+
+        dist = NormalDistribution(0.0, 0.5)
+        collocation = StochasticCollocation(model, dist, 2, level=4)
+        from repro.uq.monte_carlo import MonteCarloStudy
+
+        mc = MonteCarloStudy(model, dist, 2).run(20_000, seed=0)
+        result = collocation.run()
+        assert result.mean[0] == pytest.approx(mc.mean[0], rel=0.01)
+        assert result.std[0] == pytest.approx(mc.std[0], rel=0.1)
+
+    def test_non_normal_marginals(self):
+        """Uniform inputs map through ppf(Phi(z))."""
+        def model(parameters):
+            return np.array([np.sum(parameters)])
+
+        dist = UniformDistribution(0.0, 1.0)
+        collocation = StochasticCollocation(model, dist, 2, level=4)
+        result = collocation.run()
+        assert result.mean[0] == pytest.approx(1.0, abs=0.02)
+
+    def test_distribution_count_mismatch(self):
+        with pytest.raises(SamplingError):
+            StochasticCollocation(
+                lambda p: p, [NormalDistribution(0, 1)], 3
+            )

@@ -1,0 +1,176 @@
+"""Tests for the probability distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DistributionError
+from repro.uq.distributions import (
+    LogNormalDistribution,
+    NormalDistribution,
+    TruncatedNormalDistribution,
+    UniformDistribution,
+    fit_normal,
+)
+
+
+class TestNormal:
+    def test_moments(self):
+        dist = NormalDistribution(0.17, 0.048)
+        assert dist.mean == 0.17
+        assert dist.std == 0.048
+
+    def test_pdf_normalization(self):
+        dist = NormalDistribution(0.17, 0.048)
+        x = np.linspace(-0.3, 0.7, 20001)
+        trapezoid = getattr(np, "trapezoid", None) or np.trapz
+        integral = trapezoid(dist.pdf(x), x)
+        assert integral == pytest.approx(1.0, abs=1e-8)
+
+    def test_pdf_peak_value(self):
+        """Fig. 5: the fitted pdf peaks at ~8.3 at delta = 0.17."""
+        dist = NormalDistribution(0.17, 0.048)
+        peak = dist.pdf(0.17)
+        assert peak == pytest.approx(1.0 / (0.048 * np.sqrt(2 * np.pi)))
+        assert 8.0 < peak < 8.6
+
+    def test_cdf_symmetry(self):
+        dist = NormalDistribution(0.17, 0.048)
+        assert dist.cdf(0.17) == pytest.approx(0.5)
+        assert dist.cdf(0.17 + 0.048) + dist.cdf(0.17 - 0.048) == (
+            pytest.approx(1.0)
+        )
+
+    def test_ppf_inverts_cdf(self):
+        dist = NormalDistribution(0.17, 0.048)
+        for q in (0.01, 0.25, 0.5, 0.75, 0.99):
+            assert dist.cdf(dist.ppf(q)) == pytest.approx(q, abs=1e-12)
+
+    def test_ppf_domain(self):
+        dist = NormalDistribution(0.0, 1.0)
+        with pytest.raises(DistributionError):
+            dist.ppf(0.0)
+        with pytest.raises(DistributionError):
+            dist.ppf(1.0)
+
+    def test_sampling_statistics(self, rng):
+        dist = NormalDistribution(0.17, 0.048)
+        samples = dist.sample(20_000, rng)
+        assert np.mean(samples) == pytest.approx(0.17, abs=0.002)
+        assert np.std(samples) == pytest.approx(0.048, abs=0.002)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(DistributionError):
+            NormalDistribution(0.0, 0.0)
+
+
+class TestTruncatedNormal:
+    def test_support(self):
+        dist = TruncatedNormalDistribution(0.17, 0.048, 0.0, 0.9)
+        assert dist.pdf(-0.1) == 0.0
+        assert dist.pdf(0.95) == 0.0
+        assert dist.pdf(0.17) > 0.0
+
+    def test_barely_truncated_matches_normal(self):
+        """Truncating at +-10 sigma changes nothing measurable."""
+        base = NormalDistribution(0.17, 0.048)
+        trunc = TruncatedNormalDistribution(0.17, 0.048, -0.31, 0.65)
+        assert trunc.mean == pytest.approx(base.mean, abs=1e-10)
+        assert trunc.std == pytest.approx(base.std, rel=1e-6)
+        assert trunc.ppf(0.3) == pytest.approx(base.ppf(0.3), abs=1e-10)
+
+    def test_half_truncation_shifts_mean(self):
+        dist = TruncatedNormalDistribution(0.0, 1.0, 0.0, 10.0)
+        # Half-normal mean = sqrt(2/pi).
+        assert dist.mean == pytest.approx(np.sqrt(2.0 / np.pi), rel=1e-6)
+
+    def test_samples_respect_bounds(self, rng):
+        dist = TruncatedNormalDistribution(0.17, 0.048, 0.1, 0.2)
+        samples = dist.sample(2000, rng)
+        assert np.all(samples >= 0.1)
+        assert np.all(samples <= 0.2)
+
+    def test_invalid_interval(self):
+        with pytest.raises(DistributionError):
+            TruncatedNormalDistribution(0.0, 1.0, 2.0, 1.0)
+
+
+class TestUniform:
+    def test_moments(self):
+        dist = UniformDistribution(2.0, 4.0)
+        assert dist.mean == 3.0
+        assert dist.std == pytest.approx(2.0 / np.sqrt(12.0))
+
+    def test_ppf_linear(self):
+        dist = UniformDistribution(0.0, 10.0)
+        assert dist.ppf(0.35) == pytest.approx(3.5)
+
+    def test_pdf_box(self):
+        dist = UniformDistribution(0.0, 2.0)
+        assert dist.pdf(1.0) == 0.5
+        assert dist.pdf(3.0) == 0.0
+
+
+class TestLogNormal:
+    def test_positive_support(self, rng):
+        dist = LogNormalDistribution(-1.8, 0.3)
+        samples = dist.sample(1000, rng)
+        assert np.all(samples > 0.0)
+
+    def test_mean_formula(self):
+        dist = LogNormalDistribution(-1.8, 0.3)
+        assert dist.mean == pytest.approx(np.exp(-1.8 + 0.5 * 0.09))
+
+    def test_pdf_zero_for_negative(self):
+        dist = LogNormalDistribution(0.0, 1.0)
+        assert dist.pdf(-1.0) == 0.0
+        assert dist.cdf(-1.0) == 0.0
+
+
+class TestFitNormal:
+    def test_paper_fit(self):
+        """The statistics-matched dataset yields the Fig. 5 parameters."""
+        from repro.package3d.measurements import date16_xray_measurements
+
+        fit = fit_normal(date16_xray_measurements().deltas())
+        assert fit.mu == pytest.approx(0.17, abs=1e-3)
+        assert fit.sigma == pytest.approx(0.048, abs=1e-3)
+
+    def test_recovers_known_parameters(self, rng):
+        samples = NormalDistribution(5.0, 2.0).sample(50_000, rng)
+        fit = fit_normal(samples)
+        assert fit.mu == pytest.approx(5.0, abs=0.05)
+        assert fit.sigma == pytest.approx(2.0, abs=0.05)
+
+    def test_too_few_samples(self):
+        with pytest.raises(DistributionError):
+            fit_normal([1.0])
+
+    def test_degenerate_samples(self):
+        with pytest.raises(DistributionError):
+            fit_normal([2.0, 2.0, 2.0])
+
+
+@given(
+    mu=st.floats(min_value=-5.0, max_value=5.0),
+    sigma=st.floats(min_value=0.01, max_value=3.0),
+    q=st.floats(min_value=0.001, max_value=0.999),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_normal_ppf_cdf_roundtrip(mu, sigma, q):
+    dist = NormalDistribution(mu, sigma)
+    assert dist.cdf(dist.ppf(q)) == pytest.approx(q, abs=1e-9)
+
+
+@given(
+    q1=st.floats(min_value=0.01, max_value=0.99),
+    q2=st.floats(min_value=0.01, max_value=0.99),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_ppf_monotone(q1, q2):
+    dist = NormalDistribution(0.17, 0.048)
+    if q1 < q2:
+        assert dist.ppf(q1) <= dist.ppf(q2)
+    elif q1 > q2:
+        assert dist.ppf(q1) >= dist.ppf(q2)

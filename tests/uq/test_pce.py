@@ -1,0 +1,152 @@
+"""Tests for the polynomial chaos expansion surrogate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.uq.distributions import NormalDistribution, UniformDistribution
+from repro.uq.pce import (
+    PolynomialChaosExpansion,
+    hermite_normalized,
+    total_degree_multi_indices,
+)
+
+
+class TestMultiIndices:
+    def test_counts(self):
+        """binomial(d + p, p) terms."""
+        assert len(total_degree_multi_indices(3, 2)) == math.comb(5, 2)
+        assert len(total_degree_multi_indices(12, 2)) == math.comb(14, 2)
+
+    def test_zero_first(self):
+        indices = total_degree_multi_indices(4, 3)
+        assert indices[0] == (0, 0, 0, 0)
+
+    def test_degrees_bounded(self):
+        for alpha in total_degree_multi_indices(3, 2):
+            assert sum(alpha) <= 2
+
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            total_degree_multi_indices(0, 2)
+
+
+class TestHermiteBasis:
+    def test_orthonormality_by_quadrature(self):
+        """<He_m, He_n>/sqrt(m! n!) = delta_mn under N(0,1)."""
+        nodes, weights = np.polynomial.hermite_e.hermegauss(20)
+        weights = weights / np.sqrt(2.0 * np.pi)
+        for m in range(4):
+            for n in range(4):
+                inner = np.dot(
+                    weights,
+                    hermite_normalized(m, nodes) * hermite_normalized(n, nodes),
+                )
+                expected = 1.0 if m == n else 0.0
+                assert inner == pytest.approx(expected, abs=1e-10)
+
+    def test_first_polynomials(self):
+        z = np.array([0.0, 1.0, 2.0])
+        assert np.allclose(hermite_normalized(0, z), 1.0)
+        assert np.allclose(hermite_normalized(1, z), z)
+        assert np.allclose(
+            hermite_normalized(2, z), (z**2 - 1.0) / np.sqrt(2.0)
+        )
+
+
+class TestFitAndStatistics:
+    def test_linear_model_exact(self):
+        weights = np.array([2.0, -1.0, 0.5])
+
+        def model(parameters):
+            return np.array([np.dot(weights, parameters)])
+
+        dist = NormalDistribution(0.17, 0.048)
+        pce = PolynomialChaosExpansion(model, dist, 3, degree=1).fit(seed=0)
+        assert pce.mean[0] == pytest.approx(0.17 * np.sum(weights), abs=1e-10)
+        assert pce.std[0] == pytest.approx(
+            0.048 * np.linalg.norm(weights), rel=1e-8
+        )
+
+    def test_quadratic_model_exact_at_degree2(self):
+        def model(parameters):
+            return np.array([parameters[0] ** 2 + parameters[1]])
+
+        dist = NormalDistribution(0.0, 1.0)
+        pce = PolynomialChaosExpansion(model, dist, 2, degree=2).fit(
+            num_samples=60, seed=1
+        )
+        # E[z^2 + z] = 1; Var = Var(z^2) + Var(z) = 2 + 1 = 3.
+        assert pce.mean[0] == pytest.approx(1.0, abs=1e-8)
+        assert pce.variance[0] == pytest.approx(3.0, rel=1e-6)
+
+    def test_sobol_indices_additive(self):
+        weights = np.array([3.0, 1.0])
+
+        def model(parameters):
+            return np.array([np.dot(weights, parameters)])
+
+        dist = NormalDistribution(0.0, 1.0)
+        pce = PolynomialChaosExpansion(model, dist, 2, degree=2).fit(
+            num_samples=50, seed=2
+        )
+        first, total = pce.sobol_indices()
+        assert first[0, 0] == pytest.approx(0.9, abs=1e-6)
+        assert first[1, 0] == pytest.approx(0.1, abs=1e-6)
+        assert np.allclose(total[:, 0], first[:, 0], atol=1e-6)
+
+    def test_sobol_interaction_in_total_only(self):
+        def model(parameters):
+            return np.array([parameters[0] * parameters[1]])
+
+        dist = NormalDistribution(0.0, 1.0)
+        pce = PolynomialChaosExpansion(model, dist, 2, degree=2).fit(
+            num_samples=80, seed=3
+        )
+        first, total = pce.sobol_indices()
+        assert first[0, 0] == pytest.approx(0.0, abs=1e-6)
+        assert total[0, 0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_surrogate_evaluation_matches_model(self):
+        def model(parameters):
+            return np.array([1.0 + 2.0 * parameters[0]])
+
+        dist = NormalDistribution(0.5, 0.1)
+        pce = PolynomialChaosExpansion(model, dist, 1, degree=1).fit(seed=4)
+        point = np.array([0.63])
+        assert pce(point)[0] == pytest.approx(model(point)[0], abs=1e-9)
+
+    def test_vector_output(self):
+        def model(parameters):
+            return np.array([parameters[0], 2.0 * parameters[0], 1.0])
+
+        dist = NormalDistribution(0.0, 1.0)
+        pce = PolynomialChaosExpansion(model, dist, 1, degree=1).fit(seed=5)
+        assert pce.mean.shape == (3,)
+        assert pce.std[2] == pytest.approx(0.0, abs=1e-9)
+
+    def test_non_normal_marginals(self):
+        def model(parameters):
+            return np.array([np.sum(parameters)])
+
+        dist = UniformDistribution(0.0, 2.0)
+        pce = PolynomialChaosExpansion(model, dist, 2, degree=3).fit(
+            num_samples=200, seed=6
+        )
+        assert pce.mean[0] == pytest.approx(2.0, abs=0.02)
+
+    def test_unfitted_raises(self):
+        pce = PolynomialChaosExpansion(
+            lambda p: p, NormalDistribution(0, 1), 1
+        )
+        with pytest.raises(SamplingError):
+            _ = pce.mean
+
+    def test_too_few_samples(self):
+        pce = PolynomialChaosExpansion(
+            lambda p: np.array([p[0]]), NormalDistribution(0, 1), 2, degree=2
+        )
+        with pytest.raises(SamplingError):
+            pce.fit(num_samples=3)

@@ -1,0 +1,120 @@
+"""Tests for the sample-stream generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.uq.distributions import NormalDistribution, UniformDistribution
+from repro.uq.sampling import (
+    halton_sequence,
+    latin_hypercube,
+    map_to_distributions,
+    random_sampler,
+    sobol_sequence,
+)
+
+
+class TestRandomSampler:
+    def test_shape_and_range(self):
+        points = random_sampler(100, 12, seed=0)
+        assert points.shape == (100, 12)
+        assert np.all((points >= 0.0) & (points < 1.0))
+
+    def test_seed_reproducible(self):
+        assert np.array_equal(
+            random_sampler(10, 3, seed=7), random_sampler(10, 3, seed=7)
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(SamplingError):
+            random_sampler(0, 3)
+        with pytest.raises(SamplingError):
+            random_sampler(10, 0)
+
+
+class TestLatinHypercube:
+    def test_stratification(self):
+        """Exactly one sample falls in each of the M row-strata per dim."""
+        points = latin_hypercube(20, 4, seed=1)
+        for d in range(4):
+            strata = np.floor(points[:, d] * 20).astype(int)
+            assert np.array_equal(np.sort(strata), np.arange(20))
+
+    def test_mean_closer_than_random(self):
+        """LHS estimates the mean of x better than iid sampling (usually)."""
+        lhs = latin_hypercube(64, 1, seed=3)
+        assert abs(np.mean(lhs) - 0.5) < 0.02
+
+
+class TestHalton:
+    def test_deterministic(self):
+        assert np.array_equal(halton_sequence(32, 3), halton_sequence(32, 3))
+
+    def test_range(self):
+        points = halton_sequence(100, 5)
+        assert np.all((points >= 0.0) & (points < 1.0))
+
+    def test_base2_values(self):
+        """First dimension is the base-2 van der Corput sequence."""
+        points = halton_sequence(4, 1, skip=0)
+        # indices 1..4 in base 2: 0.5, 0.25, 0.75, 0.125
+        assert np.allclose(points[:, 0], [0.5, 0.25, 0.75, 0.125])
+
+    def test_low_discrepancy_beats_random_worst_case(self):
+        """Halton fills the unit square more evenly than a bad iid draw."""
+        points = halton_sequence(256, 2)
+        # Quadrant counts should each be close to 64.
+        quadrant = (points[:, 0] > 0.5).astype(int) * 2 + (
+            points[:, 1] > 0.5
+        ).astype(int)
+        counts = np.bincount(quadrant, minlength=4)
+        assert np.all(np.abs(counts - 64) <= 4)
+
+    def test_dimension_limit(self):
+        with pytest.raises(SamplingError):
+            halton_sequence(10, 100)
+
+
+class TestSobol:
+    def test_shape(self):
+        points = sobol_sequence(64, 12, seed=0)
+        assert points.shape == (64, 12)
+        assert np.all((points >= 0.0) & (points < 1.0))
+
+
+class TestMapping:
+    def test_single_distribution_broadcast(self):
+        dist = UniformDistribution(10.0, 20.0)
+        points = np.full((5, 3), 0.5)
+        mapped = map_to_distributions(points, dist)
+        assert np.allclose(mapped, 15.0)
+
+    def test_per_dimension_distributions(self):
+        dists = [UniformDistribution(0.0, 1.0), UniformDistribution(0.0, 10.0)]
+        points = np.full((4, 2), 0.25)
+        mapped = map_to_distributions(points, dists)
+        assert np.allclose(mapped[:, 0], 0.25)
+        assert np.allclose(mapped[:, 1], 2.5)
+
+    def test_normal_mapping_statistics(self):
+        dist = NormalDistribution(0.17, 0.048)
+        points = random_sampler(20_000, 1, seed=5)
+        mapped = map_to_distributions(points, dist)
+        assert np.mean(mapped) == pytest.approx(0.17, abs=0.002)
+
+    def test_extreme_points_stay_finite(self):
+        """0 and 1 in the stream map to finite values via clipping."""
+        dist = NormalDistribution(0.0, 1.0)
+        points = np.array([[0.0], [1.0]])
+        mapped = map_to_distributions(points, dist)
+        assert np.all(np.isfinite(mapped))
+
+    def test_count_mismatch(self):
+        with pytest.raises(SamplingError):
+            map_to_distributions(
+                np.zeros((3, 2)), [UniformDistribution(0, 1)]
+            )
+
+    def test_requires_2d(self):
+        with pytest.raises(SamplingError):
+            map_to_distributions(np.zeros(5), UniformDistribution(0, 1))

@@ -1,0 +1,89 @@
+"""Tests for Sobol sensitivity indices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.uq.distributions import NormalDistribution, UniformDistribution
+from repro.uq.sensitivity import saltelli_sample, sobol_indices
+
+
+class TestSaltelliDesign:
+    def test_shapes(self):
+        a, b, ab = saltelli_sample(16, 3, seed=0)
+        assert a.shape == (16, 3)
+        assert b.shape == (16, 3)
+        assert ab.shape == (3, 16, 3)
+
+    def test_ab_swaps_single_column(self):
+        a, b, ab = saltelli_sample(8, 3, seed=1)
+        for i in range(3):
+            for j in range(3):
+                if i == j:
+                    assert np.allclose(ab[i][:, j], b[:, j])
+                else:
+                    assert np.allclose(ab[i][:, j], a[:, j])
+
+    def test_invalid_count(self):
+        with pytest.raises(SamplingError):
+            saltelli_sample(1, 2)
+
+
+class TestSobolIndices:
+    def test_additive_linear_model(self):
+        """f = 2 x1 + 1 x2 of iid normals: S_i = w_i^2 / sum w^2 exactly."""
+        def model(parameters):
+            return 2.0 * parameters[0] + 1.0 * parameters[1]
+
+        dist = NormalDistribution(0.0, 1.0)
+        indices = sobol_indices(model, dist, 2, num_base_samples=4096, seed=0)
+        assert indices.first_order[0] == pytest.approx(0.8, abs=0.05)
+        assert indices.first_order[1] == pytest.approx(0.2, abs=0.05)
+        # Additive model: total == first order.
+        assert np.allclose(indices.total, indices.first_order, atol=0.05)
+
+    def test_irrelevant_input_scores_zero(self):
+        def model(parameters):
+            return parameters[0]
+
+        dist = UniformDistribution(0.0, 1.0)
+        indices = sobol_indices(model, dist, 3, num_base_samples=2048, seed=1)
+        assert indices.first_order[0] == pytest.approx(1.0, abs=0.05)
+        assert indices.total[1] == pytest.approx(0.0, abs=0.02)
+        assert indices.total[2] == pytest.approx(0.0, abs=0.02)
+
+    def test_interaction_shows_in_total(self):
+        """f = x1 * x2 (zero-mean inputs): no first-order, all interaction."""
+        def model(parameters):
+            return parameters[0] * parameters[1]
+
+        dist = NormalDistribution(0.0, 1.0)
+        indices = sobol_indices(model, dist, 2, num_base_samples=4096, seed=2)
+        assert indices.first_order[0] < 0.1
+        assert indices.total[0] > 0.8
+
+    def test_ranking(self):
+        def model(parameters):
+            return 3.0 * parameters[2] + 1.0 * parameters[0]
+
+        dist = NormalDistribution(0.0, 1.0)
+        indices = sobol_indices(model, dist, 3, num_base_samples=1024, seed=3)
+        assert indices.ranking()[0] == 2
+
+    def test_constant_model_rejected(self):
+        with pytest.raises(SamplingError):
+            sobol_indices(
+                lambda p: 1.0, UniformDistribution(0, 1), 2,
+                num_base_samples=64,
+            )
+
+    def test_evaluation_budget(self):
+        calls = []
+
+        def model(parameters):
+            calls.append(1)
+            return parameters[0]
+
+        sobol_indices(model, UniformDistribution(0, 1), 3,
+                      num_base_samples=32, seed=0)
+        assert len(calls) == 32 * (3 + 2)

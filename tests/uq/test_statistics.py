@@ -1,0 +1,105 @@
+"""Tests for Welford running statistics and histograms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SamplingError
+from repro.uq.statistics import RunningStatistics, histogram_data
+
+
+class TestRunningStatistics:
+    def test_matches_numpy(self, rng):
+        samples = rng.standard_normal((50, 7))
+        stats = RunningStatistics()
+        for row in samples:
+            stats.update(row)
+        assert np.allclose(stats.mean, np.mean(samples, axis=0))
+        assert np.allclose(stats.std(), np.std(samples, axis=0, ddof=1))
+        assert np.allclose(stats.minimum, np.min(samples, axis=0))
+        assert np.allclose(stats.maximum, np.max(samples, axis=0))
+
+    def test_matrix_samples(self, rng):
+        """Vector-valued outputs, e.g. (time, wire) trace arrays."""
+        samples = rng.uniform(300.0, 500.0, (20, 6, 3))
+        stats = RunningStatistics()
+        for sample in samples:
+            stats.update(sample)
+        assert stats.mean.shape == (6, 3)
+        assert np.allclose(stats.std(), np.std(samples, axis=0, ddof=1))
+
+    def test_standard_error_eq6(self):
+        """error_MC = sigma / sqrt(M) (eq. (6) of the paper)."""
+        stats = RunningStatistics()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            stats.update(np.array([value]))
+        expected = np.std([1, 2, 3, 4], ddof=1) / 2.0
+        assert stats.standard_error()[0] == pytest.approx(expected)
+
+    def test_paper_error_magnitude(self):
+        """sigma = 4.65, M = 1000 -> error 0.147 (Section V-D numbers)."""
+        assert 4.65 / np.sqrt(1000) == pytest.approx(0.147, abs=5e-4)
+
+    def test_shape_mismatch_rejected(self):
+        stats = RunningStatistics()
+        stats.update(np.zeros(3))
+        with pytest.raises(SamplingError):
+            stats.update(np.zeros(4))
+
+    def test_empty_statistics_rejected(self):
+        stats = RunningStatistics()
+        with pytest.raises(SamplingError):
+            _ = stats.mean
+        with pytest.raises(SamplingError):
+            stats.std()
+
+    def test_variance_needs_two_samples(self):
+        stats = RunningStatistics()
+        stats.update(np.array([1.0]))
+        with pytest.raises(SamplingError):
+            stats.variance()
+
+    def test_numerical_stability_large_offset(self):
+        """Welford handles mean >> std without catastrophic cancellation."""
+        stats = RunningStatistics()
+        rng = np.random.default_rng(0)
+        samples = 1.0e9 + rng.standard_normal(500)
+        for value in samples:
+            stats.update(np.array([value]))
+        assert stats.std()[0] == pytest.approx(
+            np.std(samples, ddof=1), rel=1e-6
+        )
+
+
+class TestHistogram:
+    def test_density_normalized(self, rng):
+        samples = rng.standard_normal(500)
+        edges, heights = histogram_data(samples, num_bins=10)
+        widths = np.diff(edges)
+        assert np.sum(heights * widths) == pytest.approx(1.0)
+
+    def test_counts_mode(self, rng):
+        samples = rng.standard_normal(500)
+        edges, heights = histogram_data(samples, num_bins=10, density=False)
+        assert np.sum(heights) == 500
+
+    def test_empty_rejected(self):
+        with pytest.raises(SamplingError):
+            histogram_data([])
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-100.0, max_value=100.0), min_size=2, max_size=60
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_property_welford_equals_numpy(values):
+    stats = RunningStatistics()
+    for value in values:
+        stats.update(np.array([value]))
+    assert stats.mean[0] == pytest.approx(np.mean(values), abs=1e-9)
+    assert stats.std()[0] == pytest.approx(
+        np.std(values, ddof=1), abs=1e-9
+    )

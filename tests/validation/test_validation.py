@@ -1,0 +1,161 @@
+"""Tests for the measurement-comparison harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.validation.comparison import (
+    band_coverage,
+    compare_traces,
+    max_absolute_error,
+    root_mean_square_error,
+)
+from repro.validation.synthetic import SyntheticMeasurement, synthesize_measurement
+
+
+@pytest.fixture
+def trace():
+    times = np.linspace(0.0, 50.0, 201)
+    temperatures = 300.0 + 40.0 * (1.0 - np.exp(-times / 10.0))
+    return times, temperatures
+
+
+class TestSynthesis:
+    def test_noise_free_identity(self, trace):
+        times, temps = trace
+        measurement = synthesize_measurement(times, temps, noise_std=0.0)
+        assert np.allclose(measurement.values, temps)
+        assert np.allclose(measurement.times, times)
+
+    def test_sampling_period(self, trace):
+        times, temps = trace
+        measurement = synthesize_measurement(
+            times, temps, sample_period=5.0, noise_std=0.0
+        )
+        assert np.allclose(measurement.times, np.arange(0.0, 50.1, 5.0))
+
+    def test_noise_statistics(self, trace):
+        times, temps = trace
+        measurement = synthesize_measurement(
+            times, temps, noise_std=1.0, seed=3
+        )
+        residual = measurement.values - temps
+        assert np.std(residual) == pytest.approx(1.0, abs=0.15)
+        assert abs(np.mean(residual)) < 0.25
+
+    def test_offset_and_gain(self, trace):
+        times, temps = trace
+        measurement = synthesize_measurement(
+            times, temps, noise_std=0.0, offset=2.0, gain=1.01
+        )
+        assert np.allclose(measurement.values, 1.01 * temps + 2.0)
+
+    def test_sensor_lag_delays_rise(self, trace):
+        times, temps = trace
+        lagged = synthesize_measurement(
+            times, temps, noise_std=0.0, sensor_time_constant=5.0
+        )
+        # The lagged probe reads lower during the rise...
+        mid = 40
+        assert lagged.values[mid] < temps[mid]
+        # ...and catches up at the end.
+        assert lagged.values[-1] == pytest.approx(temps[-1], abs=0.5)
+
+    def test_seed_reproducible(self, trace):
+        times, temps = trace
+        a = synthesize_measurement(times, temps, seed=9)
+        b = synthesize_measurement(times, temps, seed=9)
+        assert np.allclose(a.values, b.values)
+
+    def test_validation_errors(self, trace):
+        times, temps = trace
+        with pytest.raises(MeasurementError):
+            synthesize_measurement(times, temps[:-1])
+        with pytest.raises(MeasurementError):
+            synthesize_measurement(times, temps, sample_period=-1.0)
+        with pytest.raises(MeasurementError):
+            synthesize_measurement(times, temps, noise_std=-1.0)
+        with pytest.raises(MeasurementError):
+            SyntheticMeasurement([0.0], [300.0])
+
+
+class TestMetrics:
+    def test_zero_error_for_identical(self, trace):
+        times, temps = trace
+        measurement = synthesize_measurement(times, temps, noise_std=0.0)
+        assert root_mean_square_error(times, temps, measurement) == 0.0
+        assert max_absolute_error(times, temps, measurement) == 0.0
+
+    def test_rmse_of_constant_offset(self, trace):
+        times, temps = trace
+        measurement = synthesize_measurement(
+            times, temps, noise_std=0.0, offset=3.0
+        )
+        assert root_mean_square_error(
+            times, temps, measurement
+        ) == pytest.approx(3.0)
+        assert max_absolute_error(
+            times, temps, measurement
+        ) == pytest.approx(3.0)
+
+    def test_alignment_interpolates(self, trace):
+        times, temps = trace
+        measurement = synthesize_measurement(
+            times, temps, sample_period=7.0, noise_std=0.0
+        )
+        assert root_mean_square_error(times, temps, measurement) < 1e-10
+
+    def test_measurement_beyond_model_rejected(self, trace):
+        times, temps = trace
+        measurement = SyntheticMeasurement([0.0, 100.0], [300.0, 340.0])
+        with pytest.raises(MeasurementError):
+            root_mean_square_error(times, temps, measurement)
+
+
+class TestBandCoverage:
+    def test_calibrated_band(self, trace):
+        """Noise matching the declared sigma: ~95 % inside 2 sigma."""
+        times, temps = trace
+        sigma = 1.0
+        measurement = synthesize_measurement(
+            times, temps, noise_std=sigma, seed=5
+        )
+        coverage = band_coverage(
+            times, temps, np.full_like(temps, sigma), measurement, 2.0
+        )
+        assert 0.88 <= coverage <= 1.0
+
+    def test_overconfident_band(self, trace):
+        """Declared sigma 10x too small: coverage collapses."""
+        times, temps = trace
+        measurement = synthesize_measurement(
+            times, temps, noise_std=1.0, seed=5
+        )
+        coverage = band_coverage(
+            times, temps, np.full_like(temps, 0.1), measurement, 2.0
+        )
+        assert coverage < 0.5
+
+    def test_bias_detected(self, trace):
+        """A systematic offset escapes a tight band even with low noise."""
+        times, temps = trace
+        measurement = synthesize_measurement(
+            times, temps, noise_std=0.05, offset=5.0, seed=1
+        )
+        report = compare_traces(
+            times, temps, np.full_like(temps, 0.5), measurement, label="w"
+        )
+        assert report.bias == pytest.approx(-5.0, abs=0.1)
+        assert report.coverage_2sigma < 0.1
+        assert not report.acceptable()
+
+    def test_good_model_accepted(self, trace):
+        times, temps = trace
+        measurement = synthesize_measurement(
+            times, temps, noise_std=0.5, seed=2
+        )
+        report = compare_traces(
+            times, temps, np.full_like(temps, 0.6), measurement
+        )
+        assert report.acceptable()
+        assert report.coverage_6sigma == 1.0
