@@ -1,0 +1,90 @@
+"""Campaign engine scaling: samples/sec vs. worker count.
+
+Runs the same small Date16 Monte Carlo campaign through the serial
+executor and process pools of growing size.  Each worker builds the
+problem once (mesh + base LU + Woodbury operators) and then streams
+samples, so throughput should scale with workers once the per-worker
+setup is amortized.  The bench also asserts the executors agree bitwise
+-- the campaign contract.
+
+    REPRO_CAMPAIGN_SAMPLES   samples per configuration (default 16)
+    REPRO_CAMPAIGN_WORKERS   comma-separated pool sizes (default "1,2,4")
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.campaign import ParallelExecutor, SerialExecutor, run_campaign
+from repro.package3d.scenarios import date16_campaign_spec
+from repro.reporting.tables import format_table
+
+from .conftest import bench_resolution, write_artifact
+
+
+def _campaign_samples():
+    return int(os.environ.get("REPRO_CAMPAIGN_SAMPLES", "16"))
+
+
+def _worker_counts():
+    raw = os.environ.get("REPRO_CAMPAIGN_WORKERS", "1,2,4")
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+def test_campaign_scaling(benchmark):
+    num_samples = _campaign_samples()
+    spec = date16_campaign_spec(
+        num_samples=num_samples,
+        chunk_size=max(1, num_samples // 8),
+        resolution=bench_resolution(),
+        qoi="final",
+    )
+
+    start = time.time()
+    serial_result = run_campaign(spec, executor=SerialExecutor())
+    serial_elapsed = time.time() - start
+    rows = [("serial", f"{serial_elapsed:.2f}",
+             f"{num_samples / serial_elapsed:.2f}", "1.0x")]
+
+    last_result = None
+
+    def run_largest_pool():
+        return run_campaign(
+            spec, executor=ParallelExecutor(num_workers=_worker_counts()[-1])
+        )
+
+    for workers in _worker_counts():
+        start = time.time()
+        if workers == _worker_counts()[-1]:
+            result = benchmark.pedantic(
+                run_largest_pool, rounds=1, iterations=1
+            )
+        else:
+            result = run_campaign(
+                spec, executor=ParallelExecutor(num_workers=workers)
+            )
+        elapsed = time.time() - start
+        assert np.array_equal(result.mean, serial_result.mean)
+        assert np.array_equal(result.std, serial_result.std)
+        rows.append(
+            (f"parallel x{workers}", f"{elapsed:.2f}",
+             f"{num_samples / elapsed:.2f}",
+             f"{serial_elapsed / elapsed:.1f}x")
+        )
+        last_result = result
+
+    text = format_table(
+        ["executor", "wall [s]", "samples/s", "speedup"],
+        rows,
+        title=(
+            f"CAMPAIGN SCALING ({num_samples} Date16 samples, "
+            f"chunk={spec.chunk_size}, qoi=final)"
+        ),
+    )
+    path = write_artifact("campaign_scaling.txt", text)
+    print("\n" + text)
+    print(f"\n[artifact] {path}")
+
+    assert last_result is not None
+    assert last_result.num_samples == num_samples

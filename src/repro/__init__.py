@@ -48,6 +48,16 @@ from .coupled.excitation import (
     RampWaveform,
     StepWaveform,
 )
+from .campaign import (
+    ArtifactStore,
+    CampaignResult,
+    CampaignSpec,
+    ParallelExecutor,
+    ScenarioSpec,
+    SerialExecutor,
+    resume_campaign,
+    run_campaign,
+)
 from .errors import ReproError
 from .fit import (
     ConvectionBC,
@@ -119,6 +129,15 @@ __all__ = [
     "StationaryResult",
     "solve_stationary_current",
     "TimeGrid",
+    # campaign engine
+    "ScenarioSpec",
+    "CampaignSpec",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "ArtifactStore",
+    "CampaignResult",
+    "run_campaign",
+    "resume_campaign",
     # uq
     "NormalDistribution",
     "fit_normal",

@@ -1,0 +1,85 @@
+"""Campaign engine: batch execution of UQ scenarios at scale.
+
+The paper's headline workload -- thousands of Monte Carlo evaluations of
+one electrothermal problem with perturbed wire geometries -- is
+embarrassingly parallel once the per-worker setup (mesh, base LU,
+Woodbury operators) is amortized.  This package turns a one-process
+study loop into a distributable, checkpointed, resumable campaign:
+
+* :mod:`~repro.campaign.spec` -- declarative, JSON-serializable
+  :class:`ScenarioSpec` / :class:`CampaignSpec`;
+* :mod:`~repro.campaign.registry` -- names -> problem builders, QoI
+  extractors, waveforms, distributions;
+* :mod:`~repro.campaign.executor` -- :class:`SerialExecutor` and the
+  process-pool :class:`ParallelExecutor` (model built once per worker);
+* :mod:`~repro.campaign.store` -- the resumable :class:`ArtifactStore`
+  (``manifest.json`` + atomic per-chunk ``.npz`` checkpoints);
+* :mod:`~repro.campaign.runner` -- deterministic per-sample seeding,
+  chunked execution, Welford-merge reduction, :func:`run_campaign` /
+  :func:`resume_campaign`;
+* :mod:`~repro.campaign.cli` -- the ``repro-campaign`` command
+  (``spec`` / ``run`` / ``resume`` / ``report``).
+
+Every executor and every kill/resume cycle produces bit-identical
+statistics, because parameters are a pure function of the spec and the
+reduction only ever sees the checkpointed chunk outputs in chunk order.
+"""
+
+from .executor import (
+    ChunkResult,
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    WorkChunk,
+    make_executor,
+)
+from .registry import (
+    build_distribution,
+    build_waveform,
+    distribution_to_spec,
+    get_problem,
+    get_qoi,
+    register_problem,
+    register_qoi,
+    registered_problems,
+    registered_qois,
+    waveform_to_spec,
+)
+from .runner import (
+    CampaignResult,
+    campaign_chunks,
+    campaign_parameters,
+    resume_campaign,
+    run_campaign,
+    unit_sample,
+)
+from .spec import CampaignSpec, ScenarioSpec
+from .store import ArtifactStore
+
+__all__ = [
+    "ScenarioSpec",
+    "CampaignSpec",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "WorkChunk",
+    "ChunkResult",
+    "make_executor",
+    "ArtifactStore",
+    "CampaignResult",
+    "run_campaign",
+    "resume_campaign",
+    "campaign_parameters",
+    "campaign_chunks",
+    "unit_sample",
+    "register_problem",
+    "register_qoi",
+    "get_problem",
+    "get_qoi",
+    "registered_problems",
+    "registered_qois",
+    "build_waveform",
+    "waveform_to_spec",
+    "build_distribution",
+    "distribution_to_spec",
+]

@@ -1,0 +1,173 @@
+"""Command line interface: ``python -m repro.campaign`` / ``repro-campaign``.
+
+Subcommands::
+
+    spec    write a JSON campaign spec template for a registered problem
+    run     execute a campaign spec (optionally checkpointing to a store)
+    resume  finish the campaign pinned in an existing store directory
+    report  print the summary table of a completed campaign
+
+Quickstart (the paper's Monte Carlo study, distributed over 4 workers)::
+
+    repro-campaign spec date16 --samples 64 -o campaign.json
+    repro-campaign run campaign.json --store out/ --executor parallel \\
+        --workers 4
+    repro-campaign report out/
+
+Kill the ``run`` at any point and ``repro-campaign resume out/`` finishes
+only the missing chunks, reproducing the uninterrupted result exactly.
+"""
+
+import argparse
+import sys
+
+from ..errors import ReproError
+from .executor import make_executor
+from .runner import resume_campaign, run_campaign
+from .spec import CampaignSpec
+from .store import ArtifactStore
+
+
+def _progress_printer(stream):
+    def progress(done, total):
+        print(f"chunk {done}/{total} complete", file=stream, flush=True)
+
+    return progress
+
+
+def _add_executor_arguments(parser):
+    parser.add_argument(
+        "--executor", choices=("serial", "parallel"), default="serial",
+        help="where samples run (default: serial)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process count for --executor parallel (default: CPU count)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-chunk progress lines",
+    )
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Batch execution of UQ campaigns with checkpoint/resume.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    spec = commands.add_parser(
+        "spec", help="write a campaign spec template for a known problem"
+    )
+    spec.add_argument("problem", help="registered problem name, e.g. date16")
+    spec.add_argument("-o", "--output", required=True,
+                      help="path of the JSON spec to write")
+    spec.add_argument("--samples", type=int, default=64)
+    spec.add_argument("--seed", type=int, default=0)
+    spec.add_argument("--chunk-size", type=int, default=8)
+    spec.add_argument("--resolution", default="coarse",
+                      help="mesh preset for field problems")
+
+    run = commands.add_parser("run", help="execute a campaign spec")
+    run.add_argument("spec", help="path of the JSON campaign spec")
+    run.add_argument("--store", default=None,
+                     help="artifact store directory (enables resume)")
+    _add_executor_arguments(run)
+
+    resume = commands.add_parser(
+        "resume", help="finish the campaign pinned in a store directory"
+    )
+    resume.add_argument("store", help="artifact store directory")
+    _add_executor_arguments(resume)
+
+    report = commands.add_parser(
+        "report", help="print the summary of a completed campaign"
+    )
+    report.add_argument("store", help="artifact store directory")
+    return parser
+
+
+def _print_result(result, stream):
+    from ..reporting.campaign import format_campaign_summary
+
+    print(format_campaign_summary(result.summary()), file=stream)
+
+
+def main(argv=None):
+    """Entry point; returns a process exit code."""
+    try:
+        return _dispatch(_build_parser().parse_args(argv))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output was piped into e.g. `head`, which closed the pipe;
+        # redirect stdout to devnull so the interpreter's exit flush
+        # does not raise again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(arguments):
+    out = sys.stdout
+
+    if arguments.command == "spec":
+        if arguments.problem != "date16":
+            print(
+                f"no spec template for problem {arguments.problem!r} "
+                "(templates exist for: date16); write the JSON by hand",
+                file=sys.stderr,
+            )
+            return 2
+        from ..package3d.scenarios import date16_campaign_spec
+
+        spec = date16_campaign_spec(
+            num_samples=arguments.samples,
+            seed=arguments.seed,
+            chunk_size=arguments.chunk_size,
+            resolution=arguments.resolution,
+        )
+        spec.save(arguments.output)
+        print(f"wrote {arguments.output}", file=out)
+        return 0
+
+    if arguments.command == "run":
+        spec = CampaignSpec.load(arguments.spec)
+        executor = make_executor(arguments.executor,
+                                 num_workers=arguments.workers)
+        progress = None if arguments.quiet else _progress_printer(sys.stderr)
+        result = run_campaign(
+            spec, store=arguments.store, executor=executor,
+            progress=progress,
+        )
+        _print_result(result, out)
+        return 0
+
+    if arguments.command == "resume":
+        executor = make_executor(arguments.executor,
+                                 num_workers=arguments.workers)
+        progress = None if arguments.quiet else _progress_printer(sys.stderr)
+        result = resume_campaign(
+            arguments.store, executor=executor, progress=progress
+        )
+        _print_result(result, out)
+        return 0
+
+    if arguments.command == "report":
+        from ..reporting.campaign import format_campaign_summary
+
+        summary = ArtifactStore(arguments.store).read_summary()
+        print(format_campaign_summary(summary), file=out)
+        return 0
+
+    raise AssertionError(f"unhandled command {arguments.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,220 @@
+"""Executors: where and how campaign samples are evaluated.
+
+The executor owns the evaluation loop only -- sampling, checkpointing and
+reduction stay in the runner, so every executor produces byte-identical
+campaign results.  Two implementations:
+
+* :class:`SerialExecutor` -- in-process loop (also the executor injected
+  into :meth:`repro.uq.monte_carlo.MonteCarloStudy.run` by default-less
+  callers);
+* :class:`ParallelExecutor` -- a ``ProcessPoolExecutor`` where every
+  worker builds the model **once** from the picklable model source (a
+  :class:`~repro.campaign.spec.ScenarioSpec` or plain callable) in its
+  initializer.  Building the Date16 scenario constructs the coupled
+  solver in fast mode, so the base LU / Woodbury operators are cached in
+  the worker for its whole lifetime and each sample costs only solves.
+
+Model sources
+-------------
+Anything with a ``build_model()`` method (built once per worker, then
+cached) or a plain picklable callable.  Bound methods of solver-holding
+objects are *not* picklable -- that is exactly why the spec layer exists.
+"""
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+import numpy as np
+
+from ..errors import CampaignError
+
+
+def resolve_model(model_source):
+    """Turn a model source into the evaluation callable."""
+    build = getattr(model_source, "build_model", None)
+    if callable(build):
+        return build()
+    if callable(model_source):
+        return model_source
+    raise CampaignError(
+        f"model source must be callable or provide build_model(), got "
+        f"{type(model_source).__name__}"
+    )
+
+
+class WorkChunk:
+    """One executor task: evaluate ``parameters`` rows ``indices``."""
+
+    def __init__(self, chunk_index, indices, parameters):
+        self.chunk_index = int(chunk_index)
+        self.indices = np.asarray(indices, dtype=int)
+        self.parameters = np.asarray(parameters, dtype=float)
+        if self.parameters.ndim != 2:
+            raise CampaignError("chunk parameters must be a 2D array")
+        if self.indices.size != self.parameters.shape[0]:
+            raise CampaignError(
+                f"chunk has {self.indices.size} indices but "
+                f"{self.parameters.shape[0]} parameter rows"
+            )
+
+
+class ChunkResult:
+    """Outputs of one completed chunk, in sample order."""
+
+    def __init__(self, chunk_index, indices, parameters, outputs):
+        self.chunk_index = int(chunk_index)
+        self.indices = np.asarray(indices, dtype=int)
+        self.parameters = np.asarray(parameters, dtype=float)
+        self.outputs = np.asarray(outputs, dtype=float)
+
+
+def evaluate_chunk(model, chunk):
+    """Evaluate every sample of a chunk with an already-built model."""
+    outputs = [
+        np.asarray(model(chunk.parameters[row]), dtype=float)
+        for row in range(chunk.parameters.shape[0])
+    ]
+    return ChunkResult(
+        chunk.chunk_index, chunk.indices, chunk.parameters,
+        np.stack(outputs),
+    )
+
+
+class Executor:
+    """Interface: ``map`` for flat streams, ``run_chunks`` for campaigns."""
+
+    def map(self, model_source, parameters):
+        """Evaluate every parameter row; outputs in input order.
+
+        Returns an iterable (possibly lazy -- wrap in ``list`` to
+        materialize); the parallel implementation necessarily holds all
+        results, the serial one streams.
+        """
+        raise NotImplementedError
+
+    def run_chunks(self, model_source, chunks):
+        """Yield a :class:`ChunkResult` per chunk as each completes.
+
+        Completion order is executor-dependent; callers must not rely on
+        it (the runner reduces in chunk-index order regardless).
+        """
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """In-process evaluation: builds the model once, loops over samples."""
+
+    name = "serial"
+
+    def map(self, model_source, parameters):
+        # Resolve eagerly (errors surface at call time), evaluate lazily:
+        # consumers that fold outputs one by one (MonteCarloStudy) keep
+        # O(1) memory and see progress callbacks per sample.
+        model = resolve_model(model_source)
+        parameters = np.asarray(parameters, dtype=float)
+        return (model(parameters[row]) for row in range(parameters.shape[0]))
+
+    def run_chunks(self, model_source, chunks):
+        model = resolve_model(model_source)
+        for chunk in chunks:
+            yield evaluate_chunk(model, chunk)
+
+
+# ----------------------------------------------------------------------
+# Process-pool executor: the model is built once per worker process by
+# the pool initializer and cached in a module global, so task payloads
+# are only (indices, parameters) arrays.
+# ----------------------------------------------------------------------
+_WORKER_MODEL = None
+
+
+def _worker_initialize(model_source):
+    global _WORKER_MODEL
+    _WORKER_MODEL = resolve_model(model_source)
+
+
+def _worker_evaluate_chunk(chunk):
+    if _WORKER_MODEL is None:  # pragma: no cover - initializer always ran
+        raise CampaignError("worker model was never initialized")
+    return evaluate_chunk(_WORKER_MODEL, chunk)
+
+
+def _worker_evaluate_row(parameters):
+    if _WORKER_MODEL is None:  # pragma: no cover - initializer always ran
+        raise CampaignError("worker model was never initialized")
+    return np.asarray(_WORKER_MODEL(parameters), dtype=float)
+
+
+class ParallelExecutor(Executor):
+    """Process-pool evaluation with per-worker model/factorization reuse.
+
+    Parameters
+    ----------
+    num_workers:
+        Pool size (default: CPU count, capped at 8 -- field solves are
+        memory-bound, more workers rarely help past that).
+    max_pending:
+        Chunks in flight at once (bounds memory when campaigns have many
+        more chunks than workers).
+    """
+
+    name = "parallel"
+
+    def __init__(self, num_workers=None, max_pending=None):
+        if num_workers is None:
+            num_workers = min(os.cpu_count() or 1, 8)
+        self.num_workers = int(num_workers)
+        if self.num_workers < 1:
+            raise CampaignError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        self.max_pending = (
+            int(max_pending) if max_pending is not None
+            else 2 * self.num_workers
+        )
+
+    def _pool(self, model_source):
+        return ProcessPoolExecutor(
+            max_workers=self.num_workers,
+            initializer=_worker_initialize,
+            initargs=(model_source,),
+        )
+
+    def map(self, model_source, parameters):
+        parameters = np.asarray(parameters, dtype=float)
+        rows = [parameters[row] for row in range(parameters.shape[0])]
+        with self._pool(model_source) as pool:
+            return list(pool.map(_worker_evaluate_row, rows))
+
+    def run_chunks(self, model_source, chunks):
+        chunks = list(chunks)
+        if not chunks:
+            return
+        with self._pool(model_source) as pool:
+            queue = iter(chunks)
+            pending = set()
+            for chunk in queue:
+                pending.add(pool.submit(_worker_evaluate_chunk, chunk))
+                if len(pending) >= self.max_pending:
+                    break
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield future.result()
+                for chunk in queue:
+                    pending.add(pool.submit(_worker_evaluate_chunk, chunk))
+                    if len(pending) >= self.max_pending:
+                        break
+
+
+def make_executor(kind, num_workers=None):
+    """``"serial"`` / ``"parallel"`` (or an Executor instance) -> Executor."""
+    if isinstance(kind, Executor):
+        return kind
+    if kind in (None, "serial"):
+        return SerialExecutor()
+    if kind == "parallel":
+        return ParallelExecutor(num_workers=num_workers)
+    raise CampaignError(
+        f"unknown executor kind {kind!r}; expected 'serial' or 'parallel'"
+    )

@@ -1,0 +1,286 @@
+"""Named registries mapping campaign spec strings to code.
+
+A :class:`~repro.campaign.spec.ScenarioSpec` is plain JSON data; this
+module is the binding layer that turns its names back into callables:
+
+* **problem builders** -- ``name -> builder(scenario) -> model callable``
+  (``model(parameters) -> ndarray``).  The built-in ``"date16"`` entry
+  wraps :class:`~repro.package3d.uq_study.Date16UncertaintyStudy`.
+* **QoI extractors** -- ``name -> function(raw_output) -> ndarray``
+  applied on top of the problem model (e.g. reduce the full ``(P, W)``
+  temperature traces to the end-time row).
+* **waveforms / distributions** -- bidirectional dict <-> object
+  conversion for the JSON-serializable spec layer.
+
+Registries populate lazily: the first lookup miss imports
+:mod:`repro.package3d.scenarios`, whose import side effect registers the
+built-ins.  User code registers its own entries with
+:func:`register_problem` / :func:`register_qoi` at import time of the
+module named in ``ScenarioSpec.module`` (which workers import before
+resolving names, so registration also happens in spawned processes).
+"""
+
+import importlib
+
+import numpy as np
+
+from ..coupled.excitation import (
+    ConstantWaveform,
+    PulseTrainWaveform,
+    RampWaveform,
+    StepWaveform,
+)
+from ..errors import CampaignError
+from ..uq.distributions import (
+    LogNormalDistribution,
+    NormalDistribution,
+    TruncatedNormalDistribution,
+    UniformDistribution,
+)
+from ..uq.sampling import (
+    halton_sequence,
+    latin_hypercube,
+    random_sampler,
+    sobol_sequence,
+)
+
+_PROBLEMS = {}
+_QOIS = {}
+_BUILTINS_LOADED = False
+
+#: Modules whose import registers the built-in scenario entries.
+_BUILTIN_MODULES = ("repro.package3d.scenarios",)
+
+
+def _ensure_builtins():
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+    # Only flag success afterwards, so a failed import is retried and
+    # keeps raising its real cause instead of "unknown problem".
+    _BUILTINS_LOADED = True
+
+
+def register_problem(name, builder=None):
+    """Register ``builder(scenario) -> model`` under ``name``.
+
+    Usable directly (``register_problem("toy", build_toy)``) or as a
+    decorator (``@register_problem("toy")``).  Re-registering a name
+    overwrites the previous entry (idempotent module re-imports).
+    """
+    if builder is None:
+        def decorator(func):
+            _PROBLEMS[str(name)] = func
+            return func
+        return decorator
+    _PROBLEMS[str(name)] = builder
+    return builder
+
+
+def register_qoi(name, extractor=None):
+    """Register ``extractor(raw_output) -> ndarray`` under ``name``."""
+    if extractor is None:
+        def decorator(func):
+            _QOIS[str(name)] = func
+            return func
+        return decorator
+    _QOIS[str(name)] = extractor
+    return extractor
+
+
+def get_problem(name):
+    """Look up a problem builder (loading built-ins on first miss)."""
+    if name not in _PROBLEMS:
+        _ensure_builtins()
+    try:
+        return _PROBLEMS[name]
+    except KeyError:
+        raise CampaignError(
+            f"unknown problem {name!r}; registered: {sorted(_PROBLEMS)}"
+        ) from None
+
+
+def get_qoi(name):
+    """Look up a QoI extractor (loading built-ins on first miss)."""
+    if name not in _QOIS:
+        _ensure_builtins()
+    try:
+        return _QOIS[name]
+    except KeyError:
+        raise CampaignError(
+            f"unknown qoi {name!r}; registered: {sorted(_QOIS)}"
+        ) from None
+
+
+def registered_problems():
+    """Sorted names of every registered problem builder."""
+    _ensure_builtins()
+    return sorted(_PROBLEMS)
+
+
+def registered_qois():
+    """Sorted names of every registered QoI extractor."""
+    _ensure_builtins()
+    return sorted(_QOIS)
+
+
+# ----------------------------------------------------------------------
+# Generic QoI extractors (problem-specific ones live next to their
+# problem builders, e.g. repro.package3d.scenarios)
+# ----------------------------------------------------------------------
+def _qoi_identity(output):
+    return output
+
+
+def _qoi_final(output):
+    """Last row of a time-series output (the end-time state)."""
+    return np.asarray(output, dtype=float)[-1]
+
+
+def _qoi_max(output):
+    """Global maximum as a length-1 array (scalar QoIs stay arrays)."""
+    return np.asarray([np.max(np.asarray(output, dtype=float))])
+
+
+register_qoi("identity", _qoi_identity)
+register_qoi("final", _qoi_final)
+register_qoi("max", _qoi_max)
+
+
+# ----------------------------------------------------------------------
+# Waveform dict <-> object conversion
+# ----------------------------------------------------------------------
+_WAVEFORMS = {
+    "constant": (ConstantWaveform, ("scale",)),
+    "step": (StepWaveform, ("t_on", "t_off", "scale")),
+    "pulse_train": (PulseTrainWaveform, ("period", "duty", "scale", "phase")),
+    "ramp": (RampWaveform, ("rise_time", "scale")),
+}
+
+
+def build_waveform(spec):
+    """``{"kind": ..., **kwargs} -> Waveform`` (``None`` passes through)."""
+    if spec is None:
+        return None
+    spec = dict(spec)
+    kind = spec.pop("kind", None)
+    if kind not in _WAVEFORMS:
+        raise CampaignError(
+            f"unknown waveform kind {kind!r}; expected one of "
+            f"{sorted(_WAVEFORMS)}"
+        )
+    cls, fields = _WAVEFORMS[kind]
+    unknown = set(spec) - set(fields)
+    if unknown:
+        raise CampaignError(
+            f"waveform {kind!r} got unknown fields {sorted(unknown)}"
+        )
+    return cls(**spec)
+
+
+def waveform_to_spec(waveform):
+    """Inverse of :func:`build_waveform` for the registered classes."""
+    if waveform is None:
+        return None
+    for kind, (cls, fields) in _WAVEFORMS.items():
+        if type(waveform) is cls:
+            return {"kind": kind, **{f: getattr(waveform, f) for f in fields}}
+    raise CampaignError(
+        f"waveform {type(waveform).__name__} is not JSON-serializable; "
+        f"registered kinds: {sorted(_WAVEFORMS)}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Distribution dict <-> object conversion
+# ----------------------------------------------------------------------
+_DISTRIBUTIONS = {
+    "normal": (NormalDistribution, ("mu", "sigma")),
+    "truncated_normal": (
+        TruncatedNormalDistribution, ("mu", "sigma", "lower", "upper")
+    ),
+    "uniform": (UniformDistribution, ("lower", "upper")),
+    "lognormal": (LogNormalDistribution, ("mu_log", "sigma_log")),
+}
+
+
+def build_distribution(spec):
+    """``{"kind": ..., **kwargs} -> Distribution``.
+
+    Lists build element-wise (per-dimension marginals); Distribution
+    instances pass through unchanged.
+    """
+    if isinstance(spec, (list, tuple)):
+        return [build_distribution(entry) for entry in spec]
+    if hasattr(spec, "ppf"):
+        return spec
+    spec = dict(spec)
+    kind = spec.pop("kind", None)
+    if kind not in _DISTRIBUTIONS:
+        raise CampaignError(
+            f"unknown distribution kind {kind!r}; expected one of "
+            f"{sorted(_DISTRIBUTIONS)}"
+        )
+    cls, fields = _DISTRIBUTIONS[kind]
+    unknown = set(spec) - set(fields)
+    if unknown:
+        raise CampaignError(
+            f"distribution {kind!r} got unknown fields {sorted(unknown)}"
+        )
+    return cls(**spec)
+
+
+def distribution_to_spec(distribution):
+    """Inverse of :func:`build_distribution` for the registered classes."""
+    if isinstance(distribution, (list, tuple)):
+        return [distribution_to_spec(entry) for entry in distribution]
+    if isinstance(distribution, dict):
+        # Already a spec; validate it round-trips.
+        build_distribution(distribution)
+        return dict(distribution)
+    if type(distribution) is TruncatedNormalDistribution:
+        return {
+            "kind": "truncated_normal",
+            "mu": distribution.base.mu,
+            "sigma": distribution.base.sigma,
+            "lower": distribution.lower,
+            "upper": distribution.upper,
+        }
+    for kind, (cls, fields) in _DISTRIBUTIONS.items():
+        if type(distribution) is cls:
+            return {
+                "kind": kind,
+                **{f: getattr(distribution, f) for f in fields},
+            }
+    raise CampaignError(
+        f"distribution {type(distribution).__name__} is not "
+        f"JSON-serializable; registered kinds: {sorted(_DISTRIBUTIONS)}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Unit-cube samplers (full-stream kinds; "counter" is handled by the
+# runner because it is generated per sample, not per stream)
+# ----------------------------------------------------------------------
+STREAM_SAMPLERS = {
+    "random": random_sampler,
+    "lhs": latin_hypercube,
+    "halton": lambda n, d, seed=None: halton_sequence(n, d),
+    "sobol": lambda n, d, seed=None: sobol_sequence(n, d, seed=seed or 0),
+}
+
+#: Per-sample counter-based stream: order- and partition-independent.
+COUNTER_SAMPLER = "counter"
+
+
+def get_stream_sampler(name):
+    """Look up a full-stream sampler by name."""
+    try:
+        return STREAM_SAMPLERS[name]
+    except KeyError:
+        raise CampaignError(
+            f"unknown sampler {name!r}; expected {COUNTER_SAMPLER!r} or one "
+            f"of {sorted(STREAM_SAMPLERS)}"
+        ) from None

@@ -1,0 +1,266 @@
+"""Campaign orchestration: sample, execute, checkpoint, reduce, resume.
+
+The runner is deliberately executor-agnostic and deterministic:
+
+* parameters come from counter-based per-sample seeding (sample ``i``
+  draws from ``SeedSequence(campaign_seed, spawn_key=(i,))``), so the
+  parameter matrix is a pure function of the spec -- independent of
+  worker count, chunk completion order, and of how often the run was
+  killed and resumed;
+* outputs are checkpointed per chunk in the
+  :class:`~repro.campaign.store.ArtifactStore`;
+* the reduction folds per-chunk Welford accumulators with
+  :meth:`~repro.uq.statistics.RunningStatistics.merge` in chunk-index
+  order, so serial and parallel executions produce bit-identical
+  mean/std.
+"""
+
+import numpy as np
+
+from ..errors import CampaignError
+from ..uq.sampling import map_to_distributions
+from ..uq.statistics import RunningStatistics
+from . import registry
+from .executor import SerialExecutor, WorkChunk, make_executor
+from .spec import CampaignSpec
+from .store import ArtifactStore
+
+
+# ----------------------------------------------------------------------
+# Deterministic sampling
+# ----------------------------------------------------------------------
+def unit_sample(seed, sample_index, dimension):
+    """Unit-cube point of one sample, independent of every other sample."""
+    sequence = np.random.SeedSequence(
+        entropy=int(seed), spawn_key=(int(sample_index),)
+    )
+    return np.random.default_rng(sequence).random(int(dimension))
+
+
+def campaign_parameters(spec, indices=None):
+    """Physical parameter rows for the given global sample indices.
+
+    Counter-based sampling generates exactly the requested rows; the
+    full-stream samplers (LHS/QMC) regenerate the whole deterministic
+    stream and slice it, so every sampler yields the same row for the
+    same index no matter how the campaign is partitioned.
+    """
+    if indices is None:
+        indices = range(spec.num_samples)
+    indices = np.asarray(list(indices), dtype=int)
+    if indices.size and (
+        indices.min() < 0 or indices.max() >= spec.num_samples
+    ):
+        raise CampaignError(
+            f"sample indices must be in [0, {spec.num_samples}), got "
+            f"[{indices.min()}, {indices.max()}]"
+        )
+    if spec.sampler == registry.COUNTER_SAMPLER:
+        uniform = np.stack(
+            [unit_sample(spec.seed, index, spec.dimension)
+             for index in indices]
+        ) if indices.size else np.empty((0, spec.dimension))
+    else:
+        sampler = registry.get_stream_sampler(spec.sampler)
+        stream = np.asarray(
+            sampler(spec.num_samples, spec.dimension, seed=spec.seed),
+            dtype=float,
+        )
+        uniform = stream[indices]
+    return map_to_distributions(uniform, spec.build_distribution())
+
+
+def campaign_chunks(spec, chunk_indices=None):
+    """:class:`WorkChunk` list for the given (default: all) chunks.
+
+    Full-stream samplers generate the whole deterministic stream once
+    and slice it per chunk (regenerating per chunk would cost
+    ``O(num_chunks * num_samples)``); counter-based sampling generates
+    exactly the requested rows.
+    """
+    if chunk_indices is None:
+        chunk_indices = range(spec.num_chunks)
+    full_parameters = None
+    if spec.sampler != registry.COUNTER_SAMPLER:
+        full_parameters = campaign_parameters(spec)
+    chunks = []
+    for chunk_index in chunk_indices:
+        indices = np.asarray(spec.chunk_indices(chunk_index), dtype=int)
+        if full_parameters is not None:
+            parameters = full_parameters[indices]
+        else:
+            parameters = campaign_parameters(spec, indices)
+        chunks.append(WorkChunk(chunk_index, indices, parameters))
+    return chunks
+
+
+# ----------------------------------------------------------------------
+# Result
+# ----------------------------------------------------------------------
+class CampaignResult:
+    """Reduced statistics of a completed campaign.
+
+    Attributes
+    ----------
+    spec:
+        The :class:`~repro.campaign.spec.CampaignSpec` that was run.
+    statistics:
+        The merged :class:`~repro.uq.statistics.RunningStatistics`.
+    parameters:
+        The full ``(M, d)`` parameter matrix.
+    num_evaluated:
+        Samples evaluated by *this* call (0 when everything was already
+        checkpointed -- a pure re-reduce).
+    """
+
+    def __init__(self, spec, statistics, parameters, num_evaluated):
+        self.spec = spec
+        self.statistics = statistics
+        self.parameters = parameters
+        self.num_evaluated = int(num_evaluated)
+
+    @property
+    def num_samples(self):
+        return self.statistics.count
+
+    @property
+    def mean(self):
+        return self.statistics.mean
+
+    @property
+    def std(self):
+        return self.statistics.std()
+
+    @property
+    def minimum(self):
+        return self.statistics.minimum
+
+    @property
+    def maximum(self):
+        return self.statistics.maximum
+
+    def error(self):
+        """The paper's eq. (6): ``sigma_MC / sqrt(M)`` per output entry."""
+        return self.statistics.standard_error()
+
+    def summary(self):
+        """JSON-serializable scalars for reports and ``summary.json``."""
+        mean = self.mean
+        std = self.std
+        hottest = int(np.argmax(mean))
+        return {
+            "campaign": self.spec.name,
+            "problem": self.spec.scenario.problem,
+            "qoi": self.spec.scenario.qoi,
+            "num_samples": int(self.num_samples),
+            "num_chunks": int(self.spec.num_chunks),
+            "output_size": int(mean.size),
+            "mean_max": float(np.max(mean)),
+            "mean_min": float(np.min(mean)),
+            "std_max": float(np.max(std)),
+            "error_mc_max": float(np.max(self.error())),
+            "argmax_output": hottest,
+        }
+
+    def __repr__(self):
+        return (
+            f"CampaignResult({self.spec.name!r}, M={self.num_samples}, "
+            f"output_shape={np.shape(self.statistics.mean)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Run / resume
+# ----------------------------------------------------------------------
+def run_campaign(spec, store=None, executor=None, progress=None):
+    """Run (or finish) a campaign and return its :class:`CampaignResult`.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`~repro.campaign.spec.CampaignSpec`.
+    store:
+        Optional :class:`~repro.campaign.store.ArtifactStore` (or path);
+        when given, completed chunks are checkpointed there and already
+        checkpointed chunks are *not* recomputed -- calling
+        ``run_campaign`` on a partially filled store is the resume path.
+        Without a store, everything is kept in memory (no resume).
+    executor:
+        ``"serial"`` (default) / ``"parallel"`` or an Executor instance.
+    progress:
+        Optional ``progress(done_chunks, total_chunks)`` callback, called
+        after every chunk completion.
+    """
+    if not isinstance(spec, CampaignSpec):
+        raise CampaignError(
+            f"expected a CampaignSpec, got {type(spec).__name__}"
+        )
+    executor = make_executor(executor)
+    if store is not None and not isinstance(store, ArtifactStore):
+        store = ArtifactStore(store)
+    if store is not None:
+        store.initialize(spec)
+        completed = set(store.completed_chunks())
+    else:
+        completed = set()
+
+    pending = [index for index in range(spec.num_chunks)
+               if index not in completed]
+    memory_chunks = {}
+    num_evaluated = 0
+    done = len(completed)
+    total = spec.num_chunks
+    if pending:
+        chunks = campaign_chunks(spec, pending)
+        for result in executor.run_chunks(spec.scenario, chunks):
+            num_evaluated += result.indices.size
+            if store is not None:
+                store.write_chunk(result)
+            else:
+                memory_chunks[result.chunk_index] = result
+            done += 1
+            if progress is not None:
+                progress(done, total)
+
+    # Deterministic reduce: per-chunk Welford accumulators merged in
+    # chunk-index order -- identical for every executor and across
+    # kill/resume cycles, because it only sees the checkpointed outputs.
+    statistics = RunningStatistics()
+    parameters = np.empty((spec.num_samples, spec.dimension))
+    for chunk_index in range(spec.num_chunks):
+        if store is not None:
+            indices, chunk_parameters, outputs = store.read_chunk(chunk_index)
+        else:
+            result = memory_chunks[chunk_index]
+            indices, chunk_parameters, outputs = (
+                result.indices, result.parameters, result.outputs
+            )
+        chunk_statistics = RunningStatistics()
+        for row in range(outputs.shape[0]):
+            chunk_statistics.update(outputs[row])
+        statistics.merge(chunk_statistics)
+        parameters[indices] = chunk_parameters
+
+    result = CampaignResult(spec, statistics, parameters, num_evaluated)
+    if store is not None:
+        store.write_summary(result.summary())
+    return result
+
+
+def resume_campaign(store, executor=None, progress=None):
+    """Finish the campaign pinned in an existing store.
+
+    Reads the spec from the manifest, evaluates only the missing chunks
+    and reduces over all of them -- by construction this reproduces the
+    uninterrupted result exactly.
+    """
+    if not isinstance(store, ArtifactStore):
+        store = ArtifactStore(store)
+    if not store.exists():
+        raise CampaignError(
+            f"no campaign manifest at {store.path!r}; run 'run' first"
+        )
+    spec = store.load_spec()
+    return run_campaign(
+        spec, store=store, executor=executor, progress=progress
+    )

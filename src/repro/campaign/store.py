@@ -1,0 +1,202 @@
+"""Resumable on-disk artifact store for campaign runs.
+
+Layout of a store directory::
+
+    <store>/
+        manifest.json          # format version + full campaign spec
+        chunks/
+            chunk_000000.npz   # indices, parameters, outputs of chunk 0
+            chunk_000001.npz
+            ...
+        summary.json           # written once the campaign completes
+
+Chunk files are written atomically (temp file + ``os.replace``), so a
+killed process can never leave a half-written chunk behind: on resume a
+chunk either exists completely or is recomputed.  The manifest pins the
+spec; resuming with a different spec is refused instead of silently
+mixing two campaigns in one directory.
+"""
+
+import json
+import os
+import tempfile
+
+import numpy as np
+
+from ..errors import CampaignError
+from .spec import CampaignSpec
+
+FORMAT_VERSION = 1
+_CHUNK_DIR = "chunks"
+
+
+class ArtifactStore:
+    """Checkpoint directory of one campaign (create with ``initialize``)."""
+
+    def __init__(self, path):
+        self.path = str(path)
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self):
+        return os.path.join(self.path, "manifest.json")
+
+    @property
+    def summary_path(self):
+        return os.path.join(self.path, "summary.json")
+
+    @property
+    def chunk_dir(self):
+        return os.path.join(self.path, _CHUNK_DIR)
+
+    def exists(self):
+        """Whether this directory holds an initialized store."""
+        return os.path.isfile(self.manifest_path)
+
+    def initialize(self, spec):
+        """Create the store for ``spec`` or validate an existing one.
+
+        A fresh directory gets a manifest; an existing store is accepted
+        only when its pinned spec matches exactly (the resume contract).
+        Returns ``self`` for chaining.
+        """
+        if not isinstance(spec, CampaignSpec):
+            raise CampaignError(
+                f"expected a CampaignSpec, got {type(spec).__name__}"
+            )
+        if self.exists():
+            stored = self.load_spec()
+            if stored.to_dict() != spec.to_dict():
+                raise CampaignError(
+                    f"store at {self.path!r} holds campaign "
+                    f"{stored.name!r} with a different spec; refusing to "
+                    "mix campaigns (use a fresh directory)"
+                )
+            return self
+        os.makedirs(self.chunk_dir, exist_ok=True)
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "campaign": spec.to_dict(),
+        }
+        self._write_json(self.manifest_path, manifest)
+        return self
+
+    def load_spec(self):
+        """The campaign spec pinned in the manifest."""
+        manifest = self._read_json(self.manifest_path)
+        version = manifest.get("format_version")
+        if version != FORMAT_VERSION:
+            raise CampaignError(
+                f"store format version {version!r} is not supported "
+                f"(expected {FORMAT_VERSION})"
+            )
+        return CampaignSpec.from_dict(manifest["campaign"])
+
+    # ------------------------------------------------------------------
+    # Chunks
+    # ------------------------------------------------------------------
+    def chunk_path(self, chunk_index):
+        return os.path.join(
+            self.chunk_dir, f"chunk_{int(chunk_index):06d}.npz"
+        )
+
+    def completed_chunks(self):
+        """Sorted indices of every fully written chunk."""
+        if not os.path.isdir(self.chunk_dir):
+            return []
+        indices = []
+        for name in os.listdir(self.chunk_dir):
+            if name.startswith("chunk_") and name.endswith(".npz"):
+                try:
+                    indices.append(int(name[len("chunk_"):-len(".npz")]))
+                except ValueError:
+                    continue
+        return sorted(indices)
+
+    def write_chunk(self, result):
+        """Persist one :class:`~repro.campaign.executor.ChunkResult`.
+
+        Atomic: the chunk file appears only once completely written.
+        """
+        os.makedirs(self.chunk_dir, exist_ok=True)
+        path = self.chunk_path(result.chunk_index)
+        # Unique temp name: concurrent writers (two resumes of the same
+        # store) each publish a complete file via their own rename.
+        descriptor, temporary = tempfile.mkstemp(
+            dir=self.chunk_dir,
+            prefix=f"chunk_{result.chunk_index:06d}.",
+            suffix=".tmp",
+        )
+        with os.fdopen(descriptor, "wb") as handle:
+            np.savez(
+                handle,
+                indices=result.indices,
+                parameters=result.parameters,
+                outputs=result.outputs,
+            )
+        os.replace(temporary, path)
+        return path
+
+    def read_chunk(self, chunk_index):
+        """``(indices, parameters, outputs)`` arrays of one chunk."""
+        path = self.chunk_path(chunk_index)
+        if not os.path.isfile(path):
+            raise CampaignError(
+                f"chunk {chunk_index} is not present in {self.path!r}"
+            )
+        with np.load(path) as data:
+            return (
+                data["indices"].copy(),
+                data["parameters"].copy(),
+                data["outputs"].copy(),
+            )
+
+    # ------------------------------------------------------------------
+    # Summary
+    # ------------------------------------------------------------------
+    def write_summary(self, summary):
+        """Persist the final campaign summary (JSON dict)."""
+        self._write_json(self.summary_path, summary)
+        return self.summary_path
+
+    def read_summary(self):
+        """The persisted summary (raises if the campaign never finished)."""
+        if not os.path.isfile(self.summary_path):
+            raise CampaignError(
+                f"no summary in {self.path!r}; the campaign has not "
+                "completed (use 'resume' to finish it)"
+            )
+        return self._read_json(self.summary_path)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _write_json(path, payload):
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        descriptor, temporary = tempfile.mkstemp(
+            dir=directory, suffix=".tmp"
+        )
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(temporary, path)
+
+    @staticmethod
+    def _read_json(path):
+        if not os.path.isfile(path):
+            raise CampaignError(f"missing store file {path!r}")
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                return json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise CampaignError(
+                    f"corrupt store file {path!r}: {exc}"
+                ) from exc
+
+    def __repr__(self):
+        state = "initialized" if self.exists() else "empty"
+        return f"ArtifactStore({self.path!r}, {state})"

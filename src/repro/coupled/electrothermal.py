@@ -60,6 +60,11 @@ class CoupledSolver:
         Fixed-point iteration budget per time step.
     damping:
         Fixed-point relaxation factor.
+    factorization_cache:
+        Optional :class:`~repro.solvers.cache.FactorizationCache` shared
+        across solver instances; fast-mode base LUs are looked up there,
+        so rebuilding the solver for the same problem in one process
+        (campaign workers, resumed runs) skips the factorization cost.
     """
 
     def __init__(
@@ -69,6 +74,7 @@ class CoupledSolver:
         tolerance=1.0e-6,
         max_iterations=40,
         damping=1.0,
+        factorization_cache=None,
     ):
         if mode not in _MODES:
             raise SolverError(f"unknown mode {mode!r}; expected one of {_MODES}")
@@ -77,6 +83,7 @@ class CoupledSolver:
         self.tolerance = float(tolerance)
         self.max_iterations = int(max_iterations)
         self.damping = float(damping)
+        self.factorization_cache = factorization_cache
 
         self.discretization = FITDiscretization(problem.grid, problem.materials)
         self.topology = problem.topology
@@ -242,7 +249,8 @@ class CoupledSolver:
         a_el, rhs_el = self._reduce_electrical(k_el)
         u_full = self.topology.segment_incidence_matrix()
         u_el = u_full[self.el_free]
-        self._fast_el = WoodburySolver(a_el, u_el)
+        self._fast_el = WoodburySolver(a_el, u_el,
+                                       cache=self.factorization_cache)
         self._fast_el_rhs = rhs_el
 
         k_th = embed_grid_matrix(
@@ -263,7 +271,8 @@ class CoupledSolver:
             + self._fast_k_th
             + sp.diags(self.conv_diag)
         ).tocsc()
-        self._fast_th = WoodburySolver(base, self._fast_u)
+        self._fast_th = WoodburySolver(base, self._fast_u,
+                                       cache=self.factorization_cache)
         self._fast_th_dt = dt
         return self._fast_th
 

@@ -63,3 +63,7 @@ class PackageLayoutError(ReproError):
 
 class MeasurementError(ReproError):
     """Invalid measurement dataset."""
+
+
+class CampaignError(ReproError):
+    """Invalid campaign specification, store state or executor failure."""

@@ -7,7 +7,9 @@
 * :mod:`repro.package3d.meshing` -- layout -> snapped tensor grid with cell
   material assignment (the paper's Fig. 6 mesh),
 * :mod:`repro.package3d.chip_example` -- the full DATE'16 study assembly:
-  Table I materials, Table II parameters, PEC contacts, 12 wires.
+  Table I materials, Table II parameters, PEC contacts, 12 wires,
+* :mod:`repro.package3d.scenarios` -- campaign registry entries (the
+  ``"date16"`` problem builder and its QoIs) plus spec factories.
 """
 
 from .chip_example import (
@@ -24,8 +26,11 @@ from .measurements import (
 )
 from .meshing import PackageMesh, build_package_mesh
 from .uq_study import Date16StudyResult, Date16UncertaintyStudy
+from .scenarios import date16_campaign_spec, date16_elongation_distribution
 
 __all__ = [
+    "date16_campaign_spec",
+    "date16_elongation_distribution",
     "PackageLayout",
     "ContactPad",
     "ChipDie",

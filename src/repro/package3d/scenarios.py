@@ -1,0 +1,146 @@
+"""Campaign registry entries for the DATE'16 package example.
+
+Importing this module registers the ``"date16"`` problem builder and its
+quantities of interest with :mod:`repro.campaign.registry` (the campaign
+registry imports it lazily, so spec resolution works in freshly spawned
+worker processes too).
+
+The builder constructs one
+:class:`~repro.package3d.uq_study.Date16UncertaintyStudy` per call --
+i.e. once per worker process -- with the fast coupled solver, so the
+mesh, the Dirichlet reduction and both Woodbury base factorizations are
+paid once and every sample is pure solve cost.  The per-process shared
+:func:`~repro.solvers.cache.shared_cache` additionally lets any rebuild
+in the same worker (resume, second time-step size) reuse the LUs.
+"""
+
+import inspect
+
+from ..campaign.registry import (
+    _qoi_final,
+    _qoi_identity,
+    _qoi_max,
+    register_problem,
+    register_qoi,
+)
+from ..errors import CampaignError
+from ..solvers.cache import shared_cache
+from .chip_example import Date16Parameters
+from .uq_study import Date16UncertaintyStudy
+
+#: Builder options understood by :func:`build_date16_model` beyond the
+#: :class:`Date16Parameters` overrides nested under ``"parameters"``.
+_STUDY_OPTIONS = (
+    "resolution", "mode", "num_segments", "truncate_elongation", "tolerance",
+)
+
+
+def build_date16_model(scenario):
+    """``ScenarioSpec -> model`` for the paper's package problem.
+
+    Recognized ``scenario.options``: ``resolution`` (default
+    ``"coarse"``), ``mode`` (default ``"fast"``), ``num_segments``,
+    ``truncate_elongation``, ``tolerance`` and a nested ``parameters``
+    dict of :class:`~repro.package3d.chip_example.Date16Parameters`
+    overrides (e.g. ``{"pair_voltage": 0.05}``).
+    """
+    options = dict(scenario.options)
+    overrides = options.pop("parameters", None) or {}
+    unknown = set(options) - set(_STUDY_OPTIONS)
+    if unknown:
+        raise CampaignError(
+            f"date16 scenario got unknown options {sorted(unknown)}; "
+            f"expected {sorted(_STUDY_OPTIONS)} or 'parameters'"
+        )
+    try:
+        parameters = Date16Parameters(**overrides)
+    except TypeError as exc:
+        raise CampaignError(
+            f"invalid date16 parameter overrides {sorted(overrides)}: {exc}"
+        ) from exc
+    options.setdefault("resolution", "coarse")
+    options.setdefault("mode", "fast")
+    options.setdefault("tolerance", 1.0e-3)
+    study = Date16UncertaintyStudy(
+        parameters=parameters,
+        waveform=scenario.build_waveform(),
+        factorization_cache=shared_cache(),
+        **options,
+    )
+    return study.evaluate_traces
+
+
+register_problem("date16", build_date16_model)
+# Aliases onto the generic extractors (one implementation to maintain):
+# traces pass through, "end temperatures" is the last trace row, "max
+# temperature" the global maximum as a length-1 array.
+register_qoi("date16_traces", _qoi_identity)
+register_qoi("date16_end_temperatures", _qoi_final)
+register_qoi("date16_max_temperature", _qoi_max)
+
+
+def date16_parameter_overrides(parameters):
+    """The JSON-serializable override dict equivalent to ``parameters``.
+
+    :class:`~repro.package3d.chip_example.Date16Parameters` stores every
+    constructor argument under the same attribute name, so the full
+    record round-trips through ``Date16Parameters(**overrides)``.
+    """
+    names = inspect.signature(Date16Parameters).parameters
+    return {name: getattr(parameters, name) for name in names}
+
+
+def date16_elongation_distribution(parameters=None, truncate=True):
+    """Spec dict of the paper's fitted elongation distribution."""
+    p = parameters if parameters is not None else Date16Parameters()
+    if truncate:
+        return {
+            "kind": "truncated_normal",
+            "mu": p.elongation_mean,
+            "sigma": p.elongation_std,
+            "lower": 0.0,
+            "upper": 0.9,
+        }
+    return {"kind": "normal", "mu": p.elongation_mean,
+            "sigma": p.elongation_std}
+
+
+def date16_campaign_spec(
+    num_samples=64,
+    seed=0,
+    chunk_size=8,
+    resolution="coarse",
+    qoi="identity",
+    name=None,
+    parameters=None,
+    waveform=None,
+):
+    """A ready-to-run :class:`~repro.campaign.spec.CampaignSpec`.
+
+    Defaults reproduce the paper's Monte Carlo study (full wire
+    temperature traces as QoI) at a campaign-friendly sample count.
+    Custom ``parameters`` shape both the sampling distribution *and*
+    the worker-side problem (serialized into the scenario options).
+    """
+    from ..campaign.spec import CampaignSpec, ScenarioSpec
+
+    p = parameters if parameters is not None else Date16Parameters()
+    options = {"resolution": resolution}
+    if parameters is not None:
+        options["parameters"] = date16_parameter_overrides(p)
+    scenario = ScenarioSpec(
+        problem="date16",
+        qoi=qoi,
+        options=options,
+        waveform=waveform,
+    )
+    layout_wires = 12
+    return CampaignSpec(
+        name=name or f"date16-mc-{num_samples}",
+        scenario=scenario,
+        distribution=date16_elongation_distribution(p),
+        dimension=layout_wires,
+        num_samples=num_samples,
+        seed=seed,
+        chunk_size=chunk_size,
+    )

@@ -141,6 +141,13 @@ class Date16UncertaintyStudy:
         normal's tail mass outside is ~2e-4.
     tolerance:
         Fixed-point tolerance [K] per time step.
+    waveform:
+        Optional drive waveform passed to every transient solve (the
+        paper's study uses the constant drive; campaign scenarios may
+        pulse or ramp the load).
+    factorization_cache:
+        Optional shared :class:`~repro.solvers.cache.FactorizationCache`
+        for the fast-path base LUs (campaign worker reuse).
     """
 
     def __init__(
@@ -151,6 +158,8 @@ class Date16UncertaintyStudy:
         num_segments=1,
         truncate_elongation=True,
         tolerance=1.0e-3,
+        waveform=None,
+        factorization_cache=None,
     ):
         self.parameters = parameters if parameters is not None else Date16Parameters()
         problem, mesh = build_date16_problem(
@@ -160,8 +169,10 @@ class Date16UncertaintyStudy:
         )
         self.problem = problem
         self.mesh = mesh
+        self.waveform = waveform
         self.solver = CoupledSolver(
-            problem, mode=mode, tolerance=tolerance
+            problem, mode=mode, tolerance=tolerance,
+            factorization_cache=factorization_cache,
         )
         self.time_grid = TimeGrid.from_num_points(
             self.parameters.end_time, self.parameters.num_time_points
@@ -189,7 +200,9 @@ class Date16UncertaintyStudy:
             )
         lengths = wire_lengths_from_deltas(deltas, self.mesh.layout)
         self.solver.set_wire_lengths(lengths)
-        result = self.solver.solve_transient(self.time_grid)
+        result = self.solver.solve_transient(
+            self.time_grid, waveform=self.waveform
+        )
         self.evaluations += 1
         return result.wire_temperatures
 
@@ -267,5 +280,5 @@ class Date16UncertaintyStudy:
         lengths = wire_lengths_from_deltas(deltas, self.mesh.layout)
         self.solver.set_wire_lengths(lengths)
         return self.solver.solve_transient(
-            self.time_grid, store_fields=store_fields
+            self.time_grid, store_fields=store_fields, waveform=self.waveform
         )

@@ -6,6 +6,8 @@
 * :mod:`repro.solvers.woodbury` -- Sherman-Morrison-Woodbury updates for
   matrices that differ from a factorized base only by the low-rank bonding
   wire stamps (the Monte Carlo fast path),
+* :mod:`repro.solvers.cache` -- content-addressed LU factorization cache
+  shared by solvers rebuilt in one process (the campaign worker pattern),
 * :mod:`repro.solvers.newton` -- fixed-point (successive substitution) and
   Newton iterations with damping,
 * :mod:`repro.solvers.time_integration` -- implicit Euler / theta-method
@@ -13,12 +15,16 @@
 """
 
 from .adaptive import AdaptiveStepResult, adaptive_implicit_euler
+from .cache import FactorizationCache, matrix_fingerprint, shared_cache
 from .linear import LinearSolver, solve_sparse
 from .newton import FixedPointResult, fixed_point, newton_raphson
 from .time_integration import ImplicitEuler, ThetaMethod, TimeGrid
 from .woodbury import WoodburySolver
 
 __all__ = [
+    "FactorizationCache",
+    "matrix_fingerprint",
+    "shared_cache",
     "LinearSolver",
     "solve_sparse",
     "fixed_point",

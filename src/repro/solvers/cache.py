@@ -1,0 +1,113 @@
+"""Shareable sparse LU factorization cache.
+
+A Monte Carlo campaign rebuilds structurally identical solvers over and
+over: every worker process assembles the same base matrices (the frozen
+field stiffness, the thermal base for a given time step) and would pay a
+fresh ``splu`` each time.  :class:`FactorizationCache` memoizes ``splu``
+results keyed by a content fingerprint of the matrix, so rebuilding a
+solver inside the same process -- after a resume, for a second time-step
+size, or for a rebuilt scenario -- reuses the existing factorization.
+
+The key is a hash of the CSC structure *and* values, so two matrices only
+share a factorization when they are numerically identical; there is no
+risk of stale reuse after a material or mesh change.  The cache is
+bounded (LRU) because LU factors of field matrices are large.
+
+``shared_cache()`` returns a per-process singleton; campaign workers use
+it so that every solver built in that worker shares one pool.
+"""
+
+import hashlib
+from collections import OrderedDict
+
+import scipy.sparse.linalg as spla
+
+from ..errors import SolverError
+
+
+def matrix_fingerprint(matrix):
+    """Content hash of a sparse matrix (shape + CSC structure + values).
+
+    The input is never mutated: sorting happens on a copy when needed
+    (``tocsc()`` returns the same object for CSC inputs).
+    """
+    csc = matrix.tocsc()
+    if not csc.has_sorted_indices:
+        csc = csc.copy()
+        csc.sort_indices()
+    digest = hashlib.sha256()
+    digest.update(repr(csc.shape).encode())
+    digest.update(csc.indptr.tobytes())
+    digest.update(csc.indices.tobytes())
+    digest.update(csc.data.tobytes())
+    return digest.hexdigest()
+
+
+def checked_splu(matrix):
+    """``splu`` with library-error wrapping (shared by cached/uncached)."""
+    try:
+        return spla.splu(matrix.tocsc())
+    except RuntimeError as exc:
+        raise SolverError(f"base LU factorization failed: {exc}") from exc
+
+
+class FactorizationCache:
+    """Bounded LRU cache of ``splu`` factorizations by matrix content.
+
+    Parameters
+    ----------
+    max_entries:
+        Factorizations kept alive at once; the least recently used entry
+        is evicted first.
+    """
+
+    def __init__(self, max_entries=8):
+        max_entries = int(max_entries)
+        if max_entries < 1:
+            raise SolverError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def splu(self, matrix):
+        """``scipy.sparse.linalg.splu`` with content-addressed memoization."""
+        key = matrix_fingerprint(matrix)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        lu = checked_splu(matrix)
+        self._entries[key] = lu
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return lu
+
+    def clear(self):
+        """Drop every cached factorization (counters are kept)."""
+        self._entries.clear()
+
+    def stats(self):
+        """``{"entries", "hits", "misses"}`` for diagnostics/benchmarks."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+_SHARED = None
+
+
+def shared_cache():
+    """The per-process shared cache (created on first use)."""
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = FactorizationCache()
+    return _SHARED

@@ -12,9 +12,9 @@ This is the fast path benchmarked by ``bench_ablation_woodbury``.
 """
 
 import numpy as np
-import scipy.sparse.linalg as spla
 
 from ..errors import SolverError
+from .cache import checked_splu
 
 
 class WoodburySolver:
@@ -28,9 +28,14 @@ class WoodburySolver:
         Dense ``(n, k)`` matrix ``U`` whose columns are the stamp vectors
         ``p_j`` (entries +1/-1 at the wire end nodes, after Dirichlet
         reduction).
+    cache:
+        Optional :class:`~repro.solvers.cache.FactorizationCache`; when
+        given, the base LU is looked up / stored there so structurally
+        identical solvers built in the same process share one
+        factorization (the campaign worker pattern).
     """
 
-    def __init__(self, base_matrix, update_vectors):
+    def __init__(self, base_matrix, update_vectors, cache=None):
         base_matrix = base_matrix.tocsc()
         update_vectors = np.asarray(update_vectors, dtype=float)
         if update_vectors.ndim != 2:
@@ -42,14 +47,19 @@ class WoodburySolver:
             )
         self.rank = update_vectors.shape[1]
         self.update_vectors = update_vectors
-        try:
-            self._lu = spla.splu(base_matrix)
-        except RuntimeError as exc:
-            raise SolverError(f"base LU factorization failed: {exc}") from exc
+        if cache is not None:
+            self._lu = cache.splu(base_matrix)
+        else:
+            self._lu = checked_splu(base_matrix)
         # Precompute A0^-1 U and the capacitance-free core U^T A0^-1 U.
-        self._base_inverse_u = np.column_stack(
-            [self._lu.solve(update_vectors[:, j]) for j in range(self.rank)]
-        )
+        # A rank-0 update (no wires) is a valid degenerate case: every
+        # solve is then just the base LU solve.
+        if self.rank:
+            self._base_inverse_u = np.column_stack(
+                [self._lu.solve(update_vectors[:, j]) for j in range(self.rank)]
+            )
+        else:
+            self._base_inverse_u = np.zeros((base_matrix.shape[0], 0))
         self._core = update_vectors.T @ self._base_inverse_u
 
     def solve(self, conductances, rhs):

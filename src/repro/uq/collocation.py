@@ -156,20 +156,27 @@ class StochasticCollocation:
                 mapped[:, d] = dist.ppf(cdf)
         return mapped
 
-    def run(self):
+    def run(self, executor=None):
         """Evaluate the model on the sparse grid and return statistics.
 
         The variance estimate ``E[f^2] - E[f]^2`` with Smolyak weights can
         come out slightly negative for near-deterministic outputs; it is
         clipped at zero.
+
+        ``executor`` optionally delegates the node evaluations to an
+        :class:`~repro.campaign.executor.Executor` (outputs keep node
+        order, so the quadrature is executor-independent).
         """
         nodes, weights = smolyak_nodes(self.dimension, self.level)
         parameters = self._map_nodes(nodes)
-        outputs = np.stack(
-            [
-                np.asarray(self.model(parameters[i]), dtype=float)
-                for i in range(parameters.shape[0])
+        if executor is not None:
+            evaluations = executor.map(self.model, parameters)
+        else:
+            evaluations = [
+                self.model(parameters[i]) for i in range(parameters.shape[0])
             ]
+        outputs = np.stack(
+            [np.asarray(out, dtype=float) for out in evaluations]
         )
         broadcast = weights.reshape((-1,) + (1,) * (outputs.ndim - 1))
         mean = np.sum(broadcast * outputs, axis=0)

@@ -120,6 +120,7 @@ class MonteCarloStudy:
         uniform_points=None,
         keep_samples=False,
         callback=None,
+        executor=None,
     ):
         """Run ``num_samples`` model evaluations.
 
@@ -132,6 +133,12 @@ class MonteCarloStudy:
             Store every raw output (needed for quantiles/histograms).
         callback:
             Optional ``callback(index, parameters, output)`` progress hook.
+        executor:
+            Optional :class:`~repro.campaign.executor.Executor`; when
+            given, the evaluation loop is delegated to it (e.g. a process
+            pool) instead of running inline.  Outputs are folded into the
+            statistics in sample order, so serial and parallel executors
+            produce identical results.
         """
         if uniform_points is None:
             uniform_points = random_sampler(num_samples, self.dimension, seed)
@@ -144,8 +151,15 @@ class MonteCarloStudy:
         parameters = map_to_distributions(uniform_points, self.distributions)
         statistics = RunningStatistics()
         stored = [] if keep_samples else None
-        for index in range(parameters.shape[0]):
-            output = np.asarray(self.model(parameters[index]), dtype=float)
+        if executor is not None:
+            outputs = executor.map(self.model, parameters)
+        else:
+            outputs = (
+                self.model(parameters[index])
+                for index in range(parameters.shape[0])
+            )
+        for index, output in enumerate(outputs):
+            output = np.asarray(output, dtype=float)
             statistics.update(output)
             if keep_samples:
                 stored.append(output)

@@ -41,6 +41,44 @@ class RunningStatistics:
         self._min = np.minimum(self._min, sample)
         self._max = np.maximum(self._max, sample)
 
+    def merge(self, other):
+        """Fold another :class:`RunningStatistics` into this one in place.
+
+        Implements the parallel (Chan et al.) combination of Welford
+        accumulators, so per-worker statistics of a distributed study can
+        be reduced without revisiting any sample.  Merging in a fixed
+        order is deterministic: the same partition always reproduces the
+        same mean/variance bit for bit.  Returns ``self`` for chaining.
+        """
+        if not isinstance(other, RunningStatistics):
+            raise SamplingError(
+                f"can only merge RunningStatistics, got {type(other).__name__}"
+            )
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean.copy()
+            self._m2 = other._m2.copy()
+            self._min = other._min.copy()
+            self._max = other._max.copy()
+            return self
+        if other._mean.shape != self._mean.shape:
+            raise SamplingError(
+                f"sample shape {other._mean.shape} does not match previous "
+                f"{self._mean.shape}"
+            )
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._mean = self._mean + delta * (other.count / total)
+        self._m2 = self._m2 + other._m2 + delta * delta * (
+            self.count * other.count / total
+        )
+        self._min = np.minimum(self._min, other._min)
+        self._max = np.maximum(self._max, other._max)
+        self.count = total
+        return self
+
     @property
     def mean(self):
         """Running mean (same shape as the samples)."""

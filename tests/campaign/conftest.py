@@ -1,0 +1,32 @@
+"""Shared campaign test fixtures."""
+
+import pytest
+
+from repro.campaign import CampaignSpec, ScenarioSpec
+
+from .toy_problem import MODULE, PROBLEM_NAME
+
+
+def make_toy_spec(num_samples=24, chunk_size=5, seed=7, sampler="counter",
+                  qoi="identity", options=None):
+    """A cheap fully-specified campaign over the registered toy problem."""
+    return CampaignSpec(
+        name=f"toy-{num_samples}",
+        scenario=ScenarioSpec(
+            problem=PROBLEM_NAME,
+            qoi=qoi,
+            options=options or {},
+            module=MODULE,
+        ),
+        distribution={"kind": "normal", "mu": 0.0, "sigma": 1.0},
+        dimension=4,
+        num_samples=num_samples,
+        seed=seed,
+        chunk_size=chunk_size,
+        sampler=sampler,
+    )
+
+
+@pytest.fixture
+def toy_spec():
+    return make_toy_spec()

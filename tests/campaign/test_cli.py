@@ -1,0 +1,114 @@
+"""Tests for the repro-campaign command line interface."""
+
+import json
+
+import pytest
+
+from repro.campaign import ArtifactStore, CampaignSpec
+from repro.campaign.cli import main
+
+from .conftest import make_toy_spec
+
+
+@pytest.fixture
+def toy_spec_path(tmp_path):
+    spec = make_toy_spec(num_samples=12, chunk_size=4)
+    return str(spec.save(tmp_path / "spec.json"))
+
+
+class TestSpecCommand:
+    def test_writes_date16_template(self, tmp_path, capsys):
+        out = tmp_path / "date16.json"
+        code = main(["spec", "date16", "--samples", "16",
+                     "--chunk-size", "4", "-o", str(out)])
+        assert code == 0
+        spec = CampaignSpec.load(out)
+        assert spec.scenario.problem == "date16"
+        assert spec.num_samples == 16
+        assert spec.dimension == 12
+        assert "wrote" in capsys.readouterr().out
+
+    def test_unknown_problem_fails(self, tmp_path, capsys):
+        code = main(["spec", "mystery", "-o", str(tmp_path / "x.json")])
+        assert code == 2
+        assert "no spec template" in capsys.readouterr().err
+
+
+class TestRunCommand:
+    def test_run_without_store(self, toy_spec_path, capsys):
+        code = main(["run", toy_spec_path, "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Campaign summary" in out
+        assert "Samples M" in out
+
+    def test_run_with_store_then_report(self, toy_spec_path, tmp_path,
+                                        capsys):
+        store_dir = str(tmp_path / "store")
+        assert main(["run", toy_spec_path, "--store", store_dir,
+                     "--quiet"]) == 0
+        run_output = capsys.readouterr().out
+        assert main(["report", store_dir]) == 0
+        report_output = capsys.readouterr().out
+        assert report_output == run_output
+        summary = ArtifactStore(store_dir).read_summary()
+        assert summary["num_samples"] == 12
+
+    def test_progress_lines_on_stderr(self, toy_spec_path, tmp_path,
+                                      capsys):
+        assert main(["run", toy_spec_path, "--store",
+                     str(tmp_path / "s")]) == 0
+        captured = capsys.readouterr()
+        assert "chunk 3/3 complete" in captured.err
+
+
+class TestResumeCommand:
+    def test_resume_completes_partial_store(self, toy_spec_path, tmp_path,
+                                            capsys):
+        from repro.campaign.executor import evaluate_chunk, resolve_model
+        from repro.campaign.runner import campaign_chunks
+
+        spec = CampaignSpec.load(toy_spec_path)
+        store_dir = str(tmp_path / "store")
+        store = ArtifactStore(store_dir).initialize(spec)
+        model = resolve_model(spec.scenario)
+        for chunk in campaign_chunks(spec, [1]):
+            store.write_chunk(evaluate_chunk(model, chunk))
+
+        assert main(["resume", store_dir, "--quiet"]) == 0
+        assert store.completed_chunks() == [0, 1, 2]
+        capsys.readouterr()
+        # An immediately repeated resume recomputes nothing and reports
+        # the identical summary.
+        assert main(["resume", store_dir, "--quiet"]) == 0
+        assert "Campaign summary" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_report_without_summary_fails_cleanly(self, toy_spec_path,
+                                                  tmp_path, capsys):
+        spec = CampaignSpec.load(toy_spec_path)
+        store_dir = str(tmp_path / "store")
+        ArtifactStore(store_dir).initialize(spec)
+        assert main(["report", store_dir]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_spec_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "nope.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestParallelCli:
+    def test_parallel_run_matches_serial(self, toy_spec_path, tmp_path,
+                                         capsys):
+        serial_store = str(tmp_path / "serial")
+        parallel_store = str(tmp_path / "parallel")
+        assert main(["run", toy_spec_path, "--store", serial_store,
+                     "--quiet"]) == 0
+        assert main(["run", toy_spec_path, "--store", parallel_store,
+                     "--executor", "parallel", "--workers", "2",
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        serial = ArtifactStore(serial_store).read_summary()
+        parallel = ArtifactStore(parallel_store).read_summary()
+        assert serial == parallel

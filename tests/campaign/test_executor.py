@@ -1,0 +1,113 @@
+"""Tests for serial / parallel executors and model resolution."""
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    ParallelExecutor,
+    SerialExecutor,
+    WorkChunk,
+    make_executor,
+)
+from repro.campaign.executor import resolve_model
+from repro.campaign.runner import campaign_chunks
+from repro.errors import CampaignError
+
+from .conftest import make_toy_spec
+
+
+def _module_model(parameters):
+    """Picklable plain-callable model for executor.map tests."""
+    p = np.asarray(parameters, dtype=float)
+    return np.array([p.sum(), p.min()])
+
+
+class TestResolveModel:
+    def test_plain_callable_passes_through(self):
+        assert resolve_model(_module_model) is _module_model
+
+    def test_build_model_is_called(self, toy_spec):
+        model = resolve_model(toy_spec.scenario)
+        output = model(np.zeros(4))
+        assert output.shape == (3,)
+
+    def test_invalid_source_rejected(self):
+        with pytest.raises(CampaignError):
+            resolve_model(42)
+
+
+class TestWorkChunk:
+    def test_shape_validation(self):
+        with pytest.raises(CampaignError):
+            WorkChunk(0, [0, 1], np.zeros((3, 2)))
+        with pytest.raises(CampaignError):
+            WorkChunk(0, [0, 1], np.zeros(4))
+
+
+class TestSerialExecutor:
+    def test_map_preserves_order(self):
+        parameters = np.arange(12.0).reshape(6, 2)
+        outputs = list(SerialExecutor().map(_module_model, parameters))
+        assert len(outputs) == 6
+        assert outputs[3][0] == pytest.approx(6.0 + 7.0)
+
+    def test_run_chunks(self, toy_spec):
+        chunks = campaign_chunks(toy_spec)
+        results = list(
+            SerialExecutor().run_chunks(toy_spec.scenario, chunks)
+        )
+        assert [r.chunk_index for r in results] == list(
+            range(toy_spec.num_chunks)
+        )
+        total = sum(r.outputs.shape[0] for r in results)
+        assert total == toy_spec.num_samples
+
+
+class TestParallelExecutor:
+    def test_map_matches_serial(self):
+        parameters = np.random.default_rng(0).random((8, 3))
+        serial = SerialExecutor().map(_module_model, parameters)
+        parallel = ParallelExecutor(num_workers=2).map(
+            _module_model, parameters
+        )
+        assert all(
+            np.array_equal(a, b) for a, b in zip(serial, parallel)
+        )
+
+    def test_run_chunks_covers_all_chunks(self, toy_spec):
+        chunks = campaign_chunks(toy_spec)
+        results = list(
+            ParallelExecutor(num_workers=3).run_chunks(
+                toy_spec.scenario, chunks
+            )
+        )
+        assert sorted(r.chunk_index for r in results) == list(
+            range(toy_spec.num_chunks)
+        )
+
+    def test_empty_chunk_list(self, toy_spec):
+        results = list(
+            ParallelExecutor(num_workers=2).run_chunks(toy_spec.scenario, [])
+        )
+        assert results == []
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(CampaignError):
+            ParallelExecutor(num_workers=0)
+
+
+class TestMakeExecutor:
+    def test_kinds(self):
+        assert isinstance(make_executor(None), SerialExecutor)
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        parallel = make_executor("parallel", num_workers=3)
+        assert isinstance(parallel, ParallelExecutor)
+        assert parallel.num_workers == 3
+
+    def test_instance_passes_through(self):
+        executor = SerialExecutor()
+        assert make_executor(executor) is executor
+
+    def test_unknown_kind(self):
+        with pytest.raises(CampaignError):
+            make_executor("gpu")

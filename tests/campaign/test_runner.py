@@ -1,0 +1,168 @@
+"""Tests for deterministic sampling, execution, reduction and resume."""
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    ArtifactStore,
+    ParallelExecutor,
+    SerialExecutor,
+    resume_campaign,
+    run_campaign,
+)
+from repro.campaign.executor import evaluate_chunk, resolve_model
+from repro.campaign.runner import (
+    campaign_chunks,
+    campaign_parameters,
+    unit_sample,
+)
+from repro.errors import CampaignError
+
+from .conftest import make_toy_spec
+
+
+class TestDeterministicSampling:
+    def test_unit_sample_is_reproducible(self):
+        first = unit_sample(7, 13, 5)
+        second = unit_sample(7, 13, 5)
+        assert np.array_equal(first, second)
+        assert not np.array_equal(first, unit_sample(7, 14, 5))
+        assert not np.array_equal(first, unit_sample(8, 13, 5))
+
+    def test_parameters_independent_of_partition(self, toy_spec):
+        """Row i is the same whether generated alone or in the full set."""
+        full = campaign_parameters(toy_spec)
+        assert full.shape == (toy_spec.num_samples, toy_spec.dimension)
+        subset = campaign_parameters(toy_spec, [3, 11, 17])
+        assert np.array_equal(subset, full[[3, 11, 17]])
+
+    def test_stream_sampler_slicing_is_consistent(self):
+        spec = make_toy_spec(sampler="lhs")
+        full = campaign_parameters(spec)
+        subset = campaign_parameters(spec, [0, 5, 9])
+        assert np.array_equal(subset, full[[0, 5, 9]])
+
+    def test_out_of_range_indices_rejected(self, toy_spec):
+        with pytest.raises(CampaignError):
+            campaign_parameters(toy_spec, [toy_spec.num_samples])
+
+    def test_chunks_cover_every_sample_once(self, toy_spec):
+        chunks = campaign_chunks(toy_spec)
+        covered = np.concatenate([c.indices for c in chunks])
+        assert np.array_equal(np.sort(covered),
+                              np.arange(toy_spec.num_samples))
+
+
+class TestRunCampaign:
+    def test_in_memory_run_matches_direct_loop(self, toy_spec):
+        result = run_campaign(toy_spec)
+        model = resolve_model(toy_spec.scenario)
+        parameters = campaign_parameters(toy_spec)
+        outputs = np.stack([model(row) for row in parameters])
+        assert result.num_samples == toy_spec.num_samples
+        assert np.allclose(result.mean, outputs.mean(axis=0),
+                           rtol=0, atol=1e-12)
+        assert np.allclose(result.std, outputs.std(axis=0, ddof=1),
+                           rtol=0, atol=1e-12)
+        assert np.array_equal(result.parameters, parameters)
+
+    def test_serial_and_parallel_are_bit_identical(self, toy_spec):
+        serial = run_campaign(toy_spec, executor=SerialExecutor())
+        parallel = run_campaign(
+            toy_spec, executor=ParallelExecutor(num_workers=4)
+        )
+        assert np.array_equal(serial.mean, parallel.mean)
+        assert np.array_equal(serial.std, parallel.std)
+        assert np.array_equal(serial.minimum, parallel.minimum)
+        assert np.array_equal(serial.maximum, parallel.maximum)
+
+    def test_progress_callback(self, toy_spec):
+        seen = []
+        run_campaign(toy_spec, progress=lambda done, total:
+                     seen.append((done, total)))
+        assert seen[-1] == (toy_spec.num_chunks, toy_spec.num_chunks)
+        assert len(seen) == toy_spec.num_chunks
+
+    def test_store_checkpoints_every_chunk(self, toy_spec, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        result = run_campaign(toy_spec, store=store)
+        assert store.completed_chunks() == list(range(toy_spec.num_chunks))
+        assert store.read_summary() == result.summary()
+
+    def test_error_summary_is_eq6(self, toy_spec):
+        result = run_campaign(toy_spec)
+        assert np.allclose(
+            result.error(),
+            result.std / np.sqrt(result.num_samples),
+            rtol=0, atol=1e-15,
+        )
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(CampaignError):
+            run_campaign({"name": "nope"})
+
+
+class TestResume:
+    def test_resume_reproduces_uninterrupted_run(self, toy_spec, tmp_path):
+        """The acceptance property: kill -> resume == one uninterrupted run."""
+        uninterrupted = run_campaign(toy_spec)
+
+        # Simulate a killed run: only chunks 0 and 2 were checkpointed.
+        store = ArtifactStore(tmp_path / "store").initialize(toy_spec)
+        model = resolve_model(toy_spec.scenario)
+        for chunk in campaign_chunks(toy_spec, [0, 2]):
+            store.write_chunk(evaluate_chunk(model, chunk))
+
+        resumed = resume_campaign(
+            store, executor=ParallelExecutor(num_workers=2)
+        )
+        expected_evaluated = toy_spec.num_samples - sum(
+            len(toy_spec.chunk_indices(i)) for i in (0, 2)
+        )
+        assert resumed.num_evaluated == expected_evaluated
+        assert np.array_equal(resumed.mean, uninterrupted.mean)
+        assert np.array_equal(resumed.std, uninterrupted.std)
+        assert np.array_equal(resumed.parameters, uninterrupted.parameters)
+
+    def test_resume_of_complete_store_recomputes_nothing(self, toy_spec,
+                                                         tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        first = run_campaign(toy_spec, store=store)
+        again = resume_campaign(store)
+        assert again.num_evaluated == 0
+        assert np.array_equal(first.mean, again.mean)
+        assert np.array_equal(first.std, again.std)
+
+    def test_resume_without_manifest_raises(self, tmp_path):
+        with pytest.raises(CampaignError):
+            resume_campaign(tmp_path / "empty")
+
+
+class TestExecutorInjectionIntoUQ:
+    def test_monte_carlo_with_executor_matches_inline(self):
+        from repro.uq.distributions import NormalDistribution
+        from repro.uq.monte_carlo import MonteCarloStudy
+
+        def model(parameters):
+            return np.array([np.sum(parameters ** 2)])
+
+        study = MonteCarloStudy(model, NormalDistribution(0.0, 1.0), 3)
+        inline = study.run(16, seed=5)
+        injected = study.run(16, seed=5, executor=SerialExecutor())
+        assert np.array_equal(inline.mean, injected.mean)
+        assert np.array_equal(inline.std, injected.std)
+
+    def test_collocation_with_executor_matches_inline(self):
+        from repro.uq.collocation import StochasticCollocation
+        from repro.uq.distributions import NormalDistribution
+
+        def model(parameters):
+            return np.array([np.sum(parameters) + np.prod(parameters)])
+
+        collocation = StochasticCollocation(
+            model, NormalDistribution(0.0, 1.0), 3, level=2
+        )
+        inline = collocation.run()
+        injected = collocation.run(executor=SerialExecutor())
+        assert np.array_equal(inline.mean, injected.mean)
+        assert np.array_equal(inline.std, injected.std)

@@ -1,0 +1,161 @@
+"""Tests for the declarative spec layer and its registries."""
+
+import numpy as np
+import pytest
+
+from repro.campaign import CampaignSpec, ScenarioSpec
+from repro.campaign.registry import (
+    build_distribution,
+    build_waveform,
+    distribution_to_spec,
+    get_problem,
+    get_qoi,
+    registered_problems,
+    registered_qois,
+    waveform_to_spec,
+)
+from repro.coupled.excitation import PulseTrainWaveform, StepWaveform
+from repro.errors import CampaignError
+from repro.uq.distributions import (
+    NormalDistribution,
+    TruncatedNormalDistribution,
+    UniformDistribution,
+)
+
+from .conftest import make_toy_spec
+from .toy_problem import PROBLEM_NAME
+
+
+class TestScenarioSpec:
+    def test_round_trip(self):
+        scenario = ScenarioSpec(
+            problem="date16",
+            qoi="final",
+            options={"resolution": "coarse"},
+            waveform={"kind": "step", "t_on": 1.0, "t_off": 30.0,
+                      "scale": 1.0},
+        )
+        rebuilt = ScenarioSpec.from_dict(scenario.to_dict())
+        assert rebuilt.to_dict() == scenario.to_dict()
+
+    def test_waveform_instance_is_serialized(self):
+        scenario = ScenarioSpec(
+            problem="date16", waveform=StepWaveform(t_on=2.0, t_off=10.0)
+        )
+        assert scenario.waveform == {
+            "kind": "step", "t_on": 2.0, "t_off": 10.0, "scale": 1.0,
+        }
+        assert isinstance(scenario.build_waveform(), StepWaveform)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(CampaignError):
+            ScenarioSpec.from_dict({"problem": "date16", "nope": 1})
+
+    def test_invalid_waveform_dict_fails_at_construction(self):
+        """A typo'd kind must fail at spec load, not inside a worker."""
+        with pytest.raises(CampaignError):
+            ScenarioSpec(problem="date16", waveform={"kind": "stp"})
+        with pytest.raises(CampaignError):
+            ScenarioSpec(problem="date16",
+                         waveform={"kind": "step", "freq": 50.0})
+
+    def test_missing_problem_rejected(self):
+        with pytest.raises(CampaignError):
+            ScenarioSpec.from_dict({"qoi": "identity"})
+
+    def test_build_model_composes_qoi(self):
+        scenario = ScenarioSpec(
+            problem=PROBLEM_NAME,
+            qoi="test-first-entry",
+            module="tests.campaign.toy_problem",
+        )
+        model = scenario.build_model()
+        output = model(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert output.shape == (1,)
+        assert output[0] == pytest.approx(10.0)
+
+
+class TestCampaignSpec:
+    def test_json_round_trip(self, toy_spec):
+        rebuilt = CampaignSpec.from_json(toy_spec.to_json())
+        assert rebuilt.to_dict() == toy_spec.to_dict()
+
+    def test_save_load(self, toy_spec, tmp_path):
+        path = toy_spec.save(tmp_path / "spec.json")
+        assert CampaignSpec.load(path).to_dict() == toy_spec.to_dict()
+
+    def test_chunk_arithmetic(self):
+        spec = make_toy_spec(num_samples=22, chunk_size=5)
+        assert spec.num_chunks == 5
+        assert list(spec.chunk_indices(0)) == [0, 1, 2, 3, 4]
+        assert list(spec.chunk_indices(4)) == [20, 21]
+        with pytest.raises(CampaignError):
+            spec.chunk_indices(5)
+
+    def test_validation(self):
+        with pytest.raises(CampaignError):
+            make_toy_spec(num_samples=0)
+        with pytest.raises(CampaignError):
+            make_toy_spec(chunk_size=0)
+        with pytest.raises(CampaignError):
+            make_toy_spec(sampler="not-a-sampler")
+
+    def test_distribution_list_round_trip(self):
+        spec = CampaignSpec(
+            name="mixed",
+            scenario=ScenarioSpec(problem=PROBLEM_NAME),
+            distribution=[
+                {"kind": "normal", "mu": 0.0, "sigma": 1.0},
+                {"kind": "uniform", "lower": -1.0, "upper": 1.0},
+            ],
+            dimension=2,
+            num_samples=4,
+        )
+        marginals = spec.build_distribution()
+        assert isinstance(marginals[0], NormalDistribution)
+        assert isinstance(marginals[1], UniformDistribution)
+
+    def test_unknown_field_rejected(self, toy_spec):
+        data = toy_spec.to_dict()
+        data["surprise"] = True
+        with pytest.raises(CampaignError):
+            CampaignSpec.from_dict(data)
+
+
+class TestRegistryConversions:
+    def test_distribution_round_trip(self):
+        original = TruncatedNormalDistribution(0.17, 0.048, 0.0, 0.9)
+        spec = distribution_to_spec(original)
+        rebuilt = build_distribution(spec)
+        grid = np.linspace(0.01, 0.99, 17)
+        assert np.allclose(rebuilt.ppf(grid), original.ppf(grid))
+
+    def test_unknown_distribution_kind(self):
+        with pytest.raises(CampaignError):
+            build_distribution({"kind": "cauchy", "x0": 0.0})
+
+    def test_waveform_round_trip(self):
+        original = PulseTrainWaveform(period=4.0, duty=0.25, scale=2.0)
+        rebuilt = build_waveform(waveform_to_spec(original))
+        times = np.linspace(0.0, 12.0, 25)
+        assert np.array_equal(rebuilt.sample(times), original.sample(times))
+
+    def test_waveform_none_passes_through(self):
+        assert build_waveform(None) is None
+        assert waveform_to_spec(None) is None
+
+    def test_unknown_waveform_field(self):
+        with pytest.raises(CampaignError):
+            build_waveform({"kind": "step", "frequency": 50.0})
+
+    def test_builtins_are_registered(self):
+        assert "date16" in registered_problems()
+        assert {"identity", "final", "max"} <= set(registered_qois())
+        assert callable(get_problem("date16"))
+        assert callable(get_qoi("date16_end_temperatures"))
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(CampaignError):
+            get_problem("no-such-problem")
+        with pytest.raises(CampaignError):
+            get_qoi("no-such-qoi")

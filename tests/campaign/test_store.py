@@ -1,0 +1,106 @@
+"""Tests for the resumable artifact store."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.campaign import ArtifactStore
+from repro.campaign.executor import ChunkResult
+from repro.errors import CampaignError
+
+from .conftest import make_toy_spec
+
+
+def _chunk(index, rows=3, dim=4, width=3):
+    rng = np.random.default_rng(index)
+    return ChunkResult(
+        index,
+        np.arange(index * rows, (index + 1) * rows),
+        rng.random((rows, dim)),
+        rng.random((rows, width)),
+    )
+
+
+class TestLifecycle:
+    def test_initialize_creates_manifest(self, tmp_path, toy_spec):
+        store = ArtifactStore(tmp_path / "store")
+        assert not store.exists()
+        store.initialize(toy_spec)
+        assert store.exists()
+        assert store.load_spec().to_dict() == toy_spec.to_dict()
+
+    def test_initialize_is_idempotent(self, tmp_path, toy_spec):
+        store = ArtifactStore(tmp_path / "store")
+        store.initialize(toy_spec)
+        store.initialize(toy_spec)  # same spec: fine
+        assert store.completed_chunks() == []
+
+    def test_spec_mismatch_refused(self, tmp_path, toy_spec):
+        store = ArtifactStore(tmp_path / "store")
+        store.initialize(toy_spec)
+        different = make_toy_spec(num_samples=99)
+        with pytest.raises(CampaignError):
+            store.initialize(different)
+
+    def test_non_spec_rejected(self, tmp_path):
+        with pytest.raises(CampaignError):
+            ArtifactStore(tmp_path / "s").initialize({"name": "nope"})
+
+
+class TestChunks:
+    def test_write_read_round_trip(self, tmp_path, toy_spec):
+        store = ArtifactStore(tmp_path / "store").initialize(toy_spec)
+        original = _chunk(2)
+        store.write_chunk(original)
+        indices, parameters, outputs = store.read_chunk(2)
+        assert np.array_equal(indices, original.indices)
+        assert np.array_equal(parameters, original.parameters)
+        assert np.array_equal(outputs, original.outputs)
+
+    def test_completed_chunks_sorted(self, tmp_path, toy_spec):
+        store = ArtifactStore(tmp_path / "store").initialize(toy_spec)
+        for index in (4, 0, 2):
+            store.write_chunk(_chunk(index))
+        assert store.completed_chunks() == [0, 2, 4]
+
+    def test_no_partial_chunk_left_behind(self, tmp_path, toy_spec):
+        """Atomicity: the chunk dir never contains stray .tmp files."""
+        store = ArtifactStore(tmp_path / "store").initialize(toy_spec)
+        store.write_chunk(_chunk(0))
+        names = os.listdir(store.chunk_dir)
+        assert names == ["chunk_000000.npz"]
+
+    def test_missing_chunk_raises(self, tmp_path, toy_spec):
+        store = ArtifactStore(tmp_path / "store").initialize(toy_spec)
+        with pytest.raises(CampaignError):
+            store.read_chunk(0)
+
+    def test_foreign_files_ignored(self, tmp_path, toy_spec):
+        store = ArtifactStore(tmp_path / "store").initialize(toy_spec)
+        with open(os.path.join(store.chunk_dir, "notes.txt"), "w") as fh:
+            fh.write("not a chunk\n")
+        with open(os.path.join(store.chunk_dir, "chunk_bad.npz"), "w") as fh:
+            fh.write("")
+        assert store.completed_chunks() == []
+
+
+class TestSummary:
+    def test_round_trip(self, tmp_path, toy_spec):
+        store = ArtifactStore(tmp_path / "store").initialize(toy_spec)
+        payload = {"campaign": "toy", "num_samples": 24, "mean_max": 1.5}
+        store.write_summary(payload)
+        assert store.read_summary() == payload
+
+    def test_missing_summary_raises(self, tmp_path, toy_spec):
+        store = ArtifactStore(tmp_path / "store").initialize(toy_spec)
+        with pytest.raises(CampaignError):
+            store.read_summary()
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        os.makedirs(store.path, exist_ok=True)
+        with open(store.manifest_path, "w") as fh:
+            fh.write("{not json")
+        with pytest.raises(CampaignError):
+            store.load_spec()

@@ -1,0 +1,28 @@
+"""A cheap registered problem for campaign tests.
+
+Importing this module registers ``"test-polynomial"``; campaign specs
+reference it via ``ScenarioSpec(module="tests.campaign.toy_problem")``
+so resolution also works inside worker processes.
+"""
+
+import numpy as np
+
+from repro.campaign.registry import register_problem, register_qoi
+
+PROBLEM_NAME = "test-polynomial"
+MODULE = "tests.campaign.toy_problem"
+
+
+def build_polynomial(scenario):
+    """Deterministic vector model: cheap but parameter-sensitive."""
+    coefficient = float(scenario.options.get("coefficient", 1.0))
+
+    def model(parameters):
+        p = np.asarray(parameters, dtype=float)
+        return np.array([coefficient * p.sum(), p.max(), (p * p).sum()])
+
+    return model
+
+
+register_problem(PROBLEM_NAME, build_polynomial)
+register_qoi("test-first-entry", lambda output: output[:1])

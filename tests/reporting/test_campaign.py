@@ -1,0 +1,61 @@
+"""Tests for campaign summary tables."""
+
+import pytest
+
+from repro.reporting.campaign import (
+    format_campaign_comparison,
+    format_campaign_summary,
+)
+
+SUMMARY = {
+    "campaign": "date16-mc-64",
+    "problem": "date16",
+    "qoi": "final",
+    "num_samples": 64,
+    "num_chunks": 16,
+    "output_size": 12,
+    "mean_max": 352.125,
+    "mean_min": 311.5,
+    "std_max": 4.6512,
+    "error_mc_max": 0.5814,
+    "argmax_output": 7,
+}
+
+
+class TestSummaryTable:
+    def test_known_rows_in_order(self):
+        text = format_campaign_summary(SUMMARY)
+        lines = text.splitlines()
+        assert lines[0] == "Campaign summary"
+        assert "Campaign" in lines[3] and "date16-mc-64" in lines[3]
+        assert text.index("Samples M") < text.index("max E [K]")
+        assert "4.6512" in text
+
+    def test_extra_keys_appended(self):
+        summary = dict(SUMMARY, band_crossing_time=36.0)
+        text = format_campaign_summary(summary)
+        assert "band_crossing_time" in text
+        assert "36" in text
+
+    def test_custom_title(self):
+        text = format_campaign_summary(SUMMARY, title="MY CAMPAIGN")
+        assert text.startswith("MY CAMPAIGN")
+
+
+class TestComparisonTable:
+    def test_columns_per_campaign(self):
+        other = dict(SUMMARY, campaign="date16-mc-128", num_samples=128)
+        text = format_campaign_comparison([SUMMARY, other])
+        header = text.splitlines()[1]
+        assert "date16-mc-64" in header
+        assert "date16-mc-128" in header
+        assert "128" in text
+
+    def test_missing_keys_render_dash(self):
+        partial = {"campaign": "tiny", "num_samples": 4}
+        text = format_campaign_comparison([SUMMARY, partial])
+        assert " - " in text or "- " in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_campaign_comparison([])

@@ -87,6 +87,116 @@ class TestAgainstDirect:
             )
 
 
+class TestEdgeCases:
+    def test_rank_zero_update(self, rng):
+        """k = 0 (no wires) degenerates to the plain base solve."""
+        n = 12
+        base = _base(n)
+        solver = WoodburySolver(base, np.zeros((n, 0)))
+        assert solver.rank == 0
+        rhs = rng.standard_normal(n)
+        solution = solver.solve(np.zeros(0), rhs)
+        assert np.allclose(solution, np.linalg.solve(base.toarray(), rhs))
+
+    def test_rank_zero_rejects_nonempty_conductances(self):
+        solver = WoodburySolver(_base(6), np.zeros((6, 0)))
+        with pytest.raises(SolverError):
+            solver.solve([1.0], np.ones(6))
+
+    def test_all_zero_conductances_match_direct_sparse(self, rng):
+        n = 18
+        base = _base(n)
+        u = _stamp_vectors(n, 4)
+        solver = WoodburySolver(base, u)
+        rhs = rng.standard_normal(n)
+        direct = sp.linalg.spsolve(base.tocsc(), rhs)
+        assert np.allclose(solver.solve(np.zeros(4), rhs), direct,
+                           rtol=0, atol=1e-10)
+
+    def test_negative_conductance_rejected_even_with_zeros(self):
+        solver = WoodburySolver(_base(8), _stamp_vectors(8, 3))
+        with pytest.raises(SolverError):
+            solver.solve([0.0, -1.0e-12, 2.0], np.ones(8))
+
+    def test_agreement_with_direct_sparse_solve(self, rng):
+        """Woodbury vs a fresh sparse LU of the stamped matrix, 1e-10."""
+        n = 30
+        base = _base(n)
+        u = _stamp_vectors(n, 6)
+        solver = WoodburySolver(base, u)
+        g = rng.uniform(0.1, 50.0, 6)
+        rhs = rng.standard_normal(n)
+        stamped = (base + sp.csc_matrix(u @ np.diag(g) @ u.T)).tocsc()
+        direct = sp.linalg.spsolve(stamped, rhs)
+        assert np.allclose(solver.solve(g, rhs), direct, rtol=0, atol=1e-10)
+
+    def test_extreme_conductance_contrast(self, rng):
+        """Orders-of-magnitude spread in g (hot vs cold wires) stays exact."""
+        n = 20
+        base = _base(n)
+        u = _stamp_vectors(n, 3)
+        solver = WoodburySolver(base, u)
+        g = np.array([1.0e-8, 1.0, 1.0e6])
+        rhs = rng.standard_normal(n)
+        full = base.toarray() + u @ np.diag(g) @ u.T
+        assert np.allclose(solver.solve(g, rhs), np.linalg.solve(full, rhs),
+                           rtol=0, atol=1e-8)
+
+
+class TestFactorizationCache:
+    def test_shared_lu_across_solvers(self, rng):
+        from repro.solvers.cache import FactorizationCache
+
+        cache = FactorizationCache()
+        base = _base(10)
+        u = _stamp_vectors(10, 2)
+        first = WoodburySolver(base, u, cache=cache)
+        second = WoodburySolver(base.copy(), u, cache=cache)
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+        assert first._lu is second._lu
+        g = rng.uniform(0.5, 5.0, 2)
+        rhs = rng.standard_normal(10)
+        assert np.array_equal(first.solve(g, rhs), second.solve(g, rhs))
+
+    def test_different_matrices_do_not_collide(self):
+        from repro.solvers.cache import FactorizationCache
+
+        cache = FactorizationCache()
+        u = np.zeros((10, 0))
+        WoodburySolver(_base(10, seed=0), u, cache=cache)
+        WoodburySolver(_base(10, seed=1), u, cache=cache)
+        assert cache.stats()["entries"] == 2
+        assert cache.stats()["hits"] == 0
+
+    def test_fingerprint_does_not_mutate_input(self):
+        from repro.solvers.cache import matrix_fingerprint
+
+        base = _base(6).tocsc()
+        # Force unsorted indices via a reversed-permutation construction.
+        unsorted = sp.csc_matrix(
+            (base.data[::-1],
+             base.indices[::-1],
+             base.indptr.copy()),
+            shape=base.shape,
+        )
+        unsorted.has_sorted_indices = False
+        indices_before = unsorted.indices.copy()
+        matrix_fingerprint(unsorted)
+        assert np.array_equal(unsorted.indices, indices_before)
+
+    def test_lru_eviction(self):
+        from repro.solvers.cache import FactorizationCache
+
+        cache = FactorizationCache(max_entries=2)
+        matrices = [_base(8, seed=s) for s in range(3)]
+        for matrix in matrices:
+            cache.splu(matrix)
+        assert len(cache) == 2
+        # The oldest entry was evicted -> refactorized on next request.
+        cache.splu(matrices[0])
+        assert cache.stats()["misses"] == 4
+
+
 class TestValidation:
     def test_negative_conductance_rejected(self):
         solver = WoodburySolver(_base(6), _stamp_vectors(6, 2))

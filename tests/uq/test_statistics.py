@@ -72,6 +72,90 @@ class TestRunningStatistics:
         )
 
 
+class TestMerge:
+    def test_merge_matches_sequential(self, rng):
+        """Parallel Welford combination == feeding all samples to one."""
+        samples = rng.standard_normal((60, 5))
+        whole = RunningStatistics()
+        for row in samples:
+            whole.update(row)
+        left, right = RunningStatistics(), RunningStatistics()
+        for row in samples[:23]:
+            left.update(row)
+        for row in samples[23:]:
+            right.update(row)
+        left.merge(right)
+        assert left.count == whole.count
+        assert np.allclose(left.mean, whole.mean, rtol=0, atol=1e-12)
+        assert np.allclose(left.std(), whole.std(), rtol=0, atol=1e-12)
+        assert np.array_equal(left.minimum, whole.minimum)
+        assert np.array_equal(left.maximum, whole.maximum)
+
+    def test_merge_many_partitions(self, rng):
+        """The campaign reducer pattern: one accumulator per chunk."""
+        samples = rng.uniform(-3.0, 3.0, (64, 4))
+        whole = RunningStatistics()
+        for row in samples:
+            whole.update(row)
+        merged = RunningStatistics()
+        for start in range(0, 64, 8):
+            chunk = RunningStatistics()
+            for row in samples[start:start + 8]:
+                chunk.update(row)
+            merged.merge(chunk)
+        assert merged.count == 64
+        assert np.allclose(merged.mean, whole.mean, rtol=0, atol=1e-12)
+        assert np.allclose(merged.variance(), whole.variance(),
+                           rtol=0, atol=1e-12)
+
+    def test_merge_into_empty_and_with_empty(self):
+        stats = RunningStatistics()
+        other = RunningStatistics()
+        other.update(np.array([1.0, 2.0]))
+        other.update(np.array([3.0, 4.0]))
+        stats.merge(other)
+        assert stats.count == 2
+        assert np.allclose(stats.mean, [2.0, 3.0])
+        # Merging an empty accumulator is a no-op.
+        stats.merge(RunningStatistics())
+        assert stats.count == 2
+        # The merged-from state was copied, not aliased.
+        other.update(np.array([100.0, 100.0]))
+        assert np.allclose(stats.mean, [2.0, 3.0])
+
+    def test_merge_returns_self(self):
+        stats = RunningStatistics()
+        assert stats.merge(RunningStatistics()) is stats
+
+    def test_merge_shape_mismatch_rejected(self):
+        left, right = RunningStatistics(), RunningStatistics()
+        left.update(np.zeros(3))
+        right.update(np.zeros(4))
+        with pytest.raises(SamplingError):
+            left.merge(right)
+
+    def test_merge_wrong_type_rejected(self):
+        with pytest.raises(SamplingError):
+            RunningStatistics().merge([1.0, 2.0])
+
+    def test_merge_deterministic_order(self, rng):
+        """Same partition + same order -> bitwise identical results."""
+        samples = rng.standard_normal((32, 3))
+
+        def reduce_chunks():
+            merged = RunningStatistics()
+            for start in range(0, 32, 4):
+                chunk = RunningStatistics()
+                for row in samples[start:start + 4]:
+                    chunk.update(row)
+                merged.merge(chunk)
+            return merged
+
+        first, second = reduce_chunks(), reduce_chunks()
+        assert np.array_equal(first.mean, second.mean)
+        assert np.array_equal(first.std(), second.std())
+
+
 class TestHistogram:
     def test_density_normalized(self, rng):
         samples = rng.standard_normal(500)
