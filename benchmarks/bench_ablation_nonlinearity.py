@@ -6,11 +6,10 @@ coupled; this bench quantifies the difference (the voltage-driven wires
 dissipate *less* when hot, so the nonlinear model runs cooler).
 """
 
-import numpy as np
 
 from repro.coupled.electrothermal import CoupledSolver
 from repro.package3d.chip_example import build_date16_problem
-from repro.materials.library import copper, epoxy_resin
+from repro.materials.library import copper
 from repro.reporting.tables import format_table
 from repro.solvers.time_integration import TimeGrid
 

@@ -6,11 +6,9 @@ location -- which must lie in the chip / short-wire region, the paper's
 observation.
 """
 
-import numpy as np
 
 from repro.reporting.figures import ascii_heatmap, fig8_data
 from repro.reporting.series import write_csv
-from repro.solvers.time_integration import TimeGrid
 
 from .conftest import artifact_path, write_artifact
 

@@ -1,0 +1,108 @@
+"""Sensitivity campaign scaling: Saltelli evaluations/sec vs. workers.
+
+Runs the same small Date16 Sobol sensitivity campaign (``M (d + 2)``
+coupled transients) through the serial executor and process pools of
+growing size.  Each worker builds the problem once (mesh + base LU +
+Woodbury operators) and then streams design rows, so throughput should
+scale with workers once the per-worker setup is amortized.  The bench
+also asserts the executors agree bitwise -- the campaign contract -- and
+reports the resulting wire ranking.
+
+    REPRO_SOBOL_BASE_SAMPLES   base samples M per configuration (default 2)
+    REPRO_SOBOL_WORKERS        comma-separated pool sizes (default "1,2,4")
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.campaign import (
+    ParallelExecutor,
+    SerialExecutor,
+    run_sensitivity_campaign,
+)
+from repro.package3d.scenarios import date16_sensitivity_spec
+from repro.reporting.tables import format_table
+
+from .conftest import bench_resolution, write_artifact
+
+
+def _base_samples():
+    return int(os.environ.get("REPRO_SOBOL_BASE_SAMPLES", "2"))
+
+
+def _worker_counts():
+    raw = os.environ.get("REPRO_SOBOL_WORKERS", "1,2,4")
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+def test_sensitivity_scaling(benchmark):
+    num_base_samples = _base_samples()
+    spec = date16_sensitivity_spec(
+        num_base_samples=num_base_samples,
+        chunk_size=max(1, num_base_samples),
+        resolution=bench_resolution(),
+        qoi="final",
+    )
+    num_evaluations = spec.num_samples
+
+    start = time.time()
+    serial_result = run_sensitivity_campaign(
+        spec, executor=SerialExecutor(), num_bootstrap=0
+    )
+    serial_elapsed = time.time() - start
+    rows = [("serial", f"{serial_elapsed:.2f}",
+             f"{num_evaluations / serial_elapsed:.2f}", "1.0x")]
+
+    last_result = None
+
+    def run_largest_pool():
+        return run_sensitivity_campaign(
+            spec,
+            executor=ParallelExecutor(num_workers=_worker_counts()[-1]),
+            num_bootstrap=0,
+        )
+
+    for workers in _worker_counts():
+        start = time.time()
+        if workers == _worker_counts()[-1]:
+            result = benchmark.pedantic(
+                run_largest_pool, rounds=1, iterations=1
+            )
+        else:
+            result = run_sensitivity_campaign(
+                spec, executor=ParallelExecutor(num_workers=workers),
+                num_bootstrap=0,
+            )
+        elapsed = time.time() - start
+        assert np.array_equal(result.first_order, serial_result.first_order)
+        assert np.array_equal(result.total, serial_result.total)
+        rows.append(
+            (f"parallel x{workers}", f"{elapsed:.2f}",
+             f"{num_evaluations / elapsed:.2f}",
+             f"{serial_elapsed / elapsed:.1f}x")
+        )
+        last_result = result
+
+    component = last_result.summary()["argmax_output"]
+    ranking = last_result.ranking(component=component)
+    text = format_table(
+        ["executor", "wall [s]", "evals/s", "speedup"],
+        rows,
+        title=(
+            f"SENSITIVITY SCALING ({num_evaluations} Date16 Saltelli "
+            f"evaluations, M={num_base_samples}, d={spec.dimension}, "
+            f"qoi=final)"
+        ),
+    )
+    text += (
+        f"\nwire ranking by total Sobol index "
+        f"(output {component}): {ranking}\n"
+    )
+    path = write_artifact("sensitivity_scaling.txt", text)
+    print("\n" + text)
+    print(f"\n[artifact] {path}")
+
+    assert last_result is not None
+    assert last_result.indices.num_evaluations == num_evaluations

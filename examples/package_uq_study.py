@@ -14,7 +14,6 @@ Run with:  python examples/package_uq_study.py
 import os
 import time
 
-import numpy as np
 
 from repro.package3d.uq_study import Date16UncertaintyStudy
 from repro.reporting.series import format_series

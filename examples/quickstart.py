@@ -8,7 +8,6 @@ prints the per-wire end temperatures plus a failure assessment against the
 Run with:  python examples/quickstart.py
 """
 
-import numpy as np
 
 from repro import CoupledSolver, TimeGrid, build_date16_problem
 from repro.bondwire.failure import assess_failure

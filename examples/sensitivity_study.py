@@ -6,6 +6,10 @@ example quantifies it with a degree-1 polynomial chaos surrogate (about 26
 coupled solves) and reports per-wire Sobol indices of the hottest-wire end
 temperature.
 
+For the direct (non-surrogate) Saltelli estimate -- distributed over
+workers with checkpoint/resume -- see ``examples/sensitivity_campaign.py``
+and the ``repro-campaign sobol`` CLI.
+
 Run with:  python examples/sensitivity_study.py
 """
 

@@ -53,12 +53,24 @@ from .runner import (
     run_campaign,
     unit_sample,
 )
+from .sensitivity import (
+    SaltelliPlan,
+    SensitivityResult,
+    SensitivitySpec,
+    resume_sensitivity_campaign,
+    run_sensitivity_campaign,
+)
 from .spec import CampaignSpec, ScenarioSpec
 from .store import ArtifactStore
 
 __all__ = [
     "ScenarioSpec",
     "CampaignSpec",
+    "SaltelliPlan",
+    "SensitivitySpec",
+    "SensitivityResult",
+    "run_sensitivity_campaign",
+    "resume_sensitivity_campaign",
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",

@@ -6,6 +6,7 @@ Subcommands::
     run     execute a campaign spec (optionally checkpointing to a store)
     resume  finish the campaign pinned in an existing store directory
     report  print the summary table of a completed campaign
+    sobol   sensitivity campaigns: spec / run / resume / report
 
 Quickstart (the paper's Monte Carlo study, distributed over 4 workers)::
 
@@ -16,6 +17,17 @@ Quickstart (the paper's Monte Carlo study, distributed over 4 workers)::
 
 Kill the ``run`` at any point and ``repro-campaign resume out/`` finishes
 only the missing chunks, reproducing the uninterrupted result exactly.
+
+The Sobol sensitivity study (which wire's geometric uncertainty drives
+the hottest-wire temperature variance) distributes the same way::
+
+    repro-campaign sobol spec date16 --samples 64 -o sobol.json
+    repro-campaign sobol run sobol.json --store sens/ --executor parallel \\
+        --workers 4
+    repro-campaign sobol report sens/
+
+``run``/``resume``/``report`` also auto-detect sensitivity stores and
+specs, so the generic commands keep working on either campaign kind.
 """
 
 import argparse
@@ -85,13 +97,74 @@ def _build_parser():
         "report", help="print the summary of a completed campaign"
     )
     report.add_argument("store", help="artifact store directory")
+
+    sobol = commands.add_parser(
+        "sobol", help="Saltelli/Sobol sensitivity campaigns"
+    )
+    sobol_commands = sobol.add_subparsers(dest="sobol_command", required=True)
+
+    sobol_spec = sobol_commands.add_parser(
+        "spec", help="write a sensitivity campaign spec template"
+    )
+    sobol_spec.add_argument("problem",
+                            help="registered problem name, e.g. date16")
+    sobol_spec.add_argument("-o", "--output", required=True,
+                            help="path of the JSON spec to write")
+    sobol_spec.add_argument("--samples", type=int, default=64,
+                            help="base sample count M (cost is M (d + 2))")
+    sobol_spec.add_argument("--seed", type=int, default=0)
+    sobol_spec.add_argument("--chunk-size", type=int, default=8)
+    sobol_spec.add_argument("--resolution", default="coarse",
+                            help="mesh preset for field problems")
+    sobol_spec.add_argument("--qoi", default="final",
+                            help="QoI extractor (default: per-wire end "
+                                 "temperatures)")
+
+    sobol_run = sobol_commands.add_parser(
+        "run", help="execute a sensitivity campaign spec"
+    )
+    sobol_run.add_argument("spec", help="path of the JSON campaign spec")
+    sobol_run.add_argument("--store", default=None,
+                           help="artifact store directory (enables resume)")
+    _add_executor_arguments(sobol_run)
+    _add_bootstrap_arguments(sobol_run)
+
+    sobol_resume = sobol_commands.add_parser(
+        "resume", help="finish the sensitivity campaign in a store"
+    )
+    sobol_resume.add_argument("store", help="artifact store directory")
+    _add_executor_arguments(sobol_resume)
+    _add_bootstrap_arguments(sobol_resume)
+
+    sobol_report = sobol_commands.add_parser(
+        "report", help="print the ranked Sobol-index table of a store"
+    )
+    sobol_report.add_argument("store", help="artifact store directory")
     return parser
 
 
+def _add_bootstrap_arguments(parser):
+    parser.add_argument(
+        "--bootstrap", type=int, default=None,
+        help="override the spec's bootstrap replicate count for the "
+             "confidence intervals (0 disables; default: the value "
+             "pinned in the spec)",
+    )
+
+
 def _print_result(result, stream):
+    _print_summary(result.summary(), stream)
+
+
+def _print_summary(summary, stream):
+    if summary.get("kind") == "sensitivity":
+        from ..reporting.sensitivity import format_sensitivity_summary
+
+        print(format_sensitivity_summary(summary), file=stream)
+        return
     from ..reporting.campaign import format_campaign_summary
 
-    print(format_campaign_summary(result.summary()), file=stream)
+    print(format_campaign_summary(summary), file=stream)
 
 
 def main(argv=None):
@@ -142,10 +215,18 @@ def _dispatch(arguments):
         executor = make_executor(arguments.executor,
                                  num_workers=arguments.workers)
         progress = None if arguments.quiet else _progress_printer(sys.stderr)
-        result = run_campaign(
-            spec, store=arguments.store, executor=executor,
-            progress=progress,
-        )
+        if spec.kind == "sensitivity":
+            from .sensitivity import run_sensitivity_campaign
+
+            result = run_sensitivity_campaign(
+                spec, store=arguments.store, executor=executor,
+                progress=progress,
+            )
+        else:
+            result = run_campaign(
+                spec, store=arguments.store, executor=executor,
+                progress=progress,
+            )
         _print_result(result, out)
         return 0
 
@@ -160,13 +241,83 @@ def _dispatch(arguments):
         return 0
 
     if arguments.command == "report":
-        from ..reporting.campaign import format_campaign_summary
-
         summary = ArtifactStore(arguments.store).read_summary()
-        print(format_campaign_summary(summary), file=out)
+        _print_summary(summary, out)
         return 0
 
+    if arguments.command == "sobol":
+        return _dispatch_sobol(arguments, out)
+
     raise AssertionError(f"unhandled command {arguments.command!r}")
+
+
+def _dispatch_sobol(arguments, out):
+    from .sensitivity import (
+        SensitivitySpec,
+        resume_sensitivity_campaign,
+        run_sensitivity_campaign,
+    )
+
+    if arguments.sobol_command == "spec":
+        if arguments.problem != "date16":
+            print(
+                f"no sensitivity spec template for problem "
+                f"{arguments.problem!r} (templates exist for: date16); "
+                "write the JSON by hand",
+                file=sys.stderr,
+            )
+            return 2
+        from ..package3d.scenarios import date16_sensitivity_spec
+
+        spec = date16_sensitivity_spec(
+            num_base_samples=arguments.samples,
+            seed=arguments.seed,
+            chunk_size=arguments.chunk_size,
+            resolution=arguments.resolution,
+            qoi=arguments.qoi,
+        )
+        spec.save(arguments.output)
+        print(f"wrote {arguments.output}", file=out)
+        return 0
+
+    if arguments.sobol_command == "run":
+        spec = CampaignSpec.load(arguments.spec)
+        if not isinstance(spec, SensitivitySpec):
+            print(
+                f"error: {arguments.spec!r} is not a sensitivity campaign "
+                "spec (use 'repro-campaign run' for plain campaigns)",
+                file=sys.stderr,
+            )
+            return 1
+        executor = make_executor(arguments.executor,
+                                 num_workers=arguments.workers)
+        progress = None if arguments.quiet else _progress_printer(sys.stderr)
+        result = run_sensitivity_campaign(
+            spec, store=arguments.store, executor=executor,
+            progress=progress, num_bootstrap=arguments.bootstrap,
+        )
+        _print_result(result, out)
+        return 0
+
+    if arguments.sobol_command == "resume":
+        executor = make_executor(arguments.executor,
+                                 num_workers=arguments.workers)
+        progress = None if arguments.quiet else _progress_printer(sys.stderr)
+        result = resume_sensitivity_campaign(
+            arguments.store, executor=executor, progress=progress,
+            num_bootstrap=arguments.bootstrap,
+        )
+        _print_result(result, out)
+        return 0
+
+    if arguments.sobol_command == "report":
+        summary = ArtifactStore(arguments.store).read_summary()
+        _print_summary(summary, out)
+        return 0
+
+    raise AssertionError(
+        f"unhandled sobol command {arguments.sobol_command!r}"
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -264,11 +264,14 @@ def distribution_to_spec(distribution):
 # Unit-cube samplers (full-stream kinds; "counter" is handled by the
 # runner because it is generated per sample, not per stream)
 # ----------------------------------------------------------------------
+# Every entry must thread the campaign seed through: two campaigns that
+# differ only in their seed must produce different parameter matrices
+# for every sampler kind (and identical matrices for the same seed).
 STREAM_SAMPLERS = {
     "random": random_sampler,
     "lhs": latin_hypercube,
-    "halton": lambda n, d, seed=None: halton_sequence(n, d),
-    "sobol": lambda n, d, seed=None: sobol_sequence(n, d, seed=seed or 0),
+    "halton": lambda n, d, seed=None: halton_sequence(n, d, seed=seed),
+    "sobol": lambda n, d, seed=None: sobol_sequence(n, d, seed=seed),
 }
 
 #: Per-sample counter-based stream: order- and partition-independent.

@@ -21,7 +21,7 @@ from ..errors import CampaignError
 from ..uq.sampling import map_to_distributions
 from ..uq.statistics import RunningStatistics
 from . import registry
-from .executor import SerialExecutor, WorkChunk, make_executor
+from .executor import WorkChunk, make_executor
 from .spec import CampaignSpec
 from .store import ArtifactStore
 
@@ -40,10 +40,12 @@ def unit_sample(seed, sample_index, dimension):
 def campaign_parameters(spec, indices=None):
     """Physical parameter rows for the given global sample indices.
 
-    Counter-based sampling generates exactly the requested rows; the
-    full-stream samplers (LHS/QMC) regenerate the whole deterministic
-    stream and slice it, so every sampler yields the same row for the
-    same index no matter how the campaign is partitioned.
+    Delegates the unit-cube layout to ``spec.unit_points`` (plain
+    stream/counter sampling for :class:`~repro.campaign.spec.
+    CampaignSpec`, Saltelli block composition for
+    :class:`~repro.campaign.sensitivity.SensitivitySpec`), so every
+    sampler and every campaign flavor yields the same row for the same
+    index no matter how the campaign is partitioned.
     """
     if indices is None:
         indices = range(spec.num_samples)
@@ -55,19 +57,9 @@ def campaign_parameters(spec, indices=None):
             f"sample indices must be in [0, {spec.num_samples}), got "
             f"[{indices.min()}, {indices.max()}]"
         )
-    if spec.sampler == registry.COUNTER_SAMPLER:
-        uniform = np.stack(
-            [unit_sample(spec.seed, index, spec.dimension)
-             for index in indices]
-        ) if indices.size else np.empty((0, spec.dimension))
-    else:
-        sampler = registry.get_stream_sampler(spec.sampler)
-        stream = np.asarray(
-            sampler(spec.num_samples, spec.dimension, seed=spec.seed),
-            dtype=float,
-        )
-        uniform = stream[indices]
-    return map_to_distributions(uniform, spec.build_distribution())
+    return map_to_distributions(
+        spec.unit_points(indices), spec.build_distribution()
+    )
 
 
 def campaign_chunks(spec, chunk_indices=None):
@@ -172,29 +164,19 @@ class CampaignResult:
 # ----------------------------------------------------------------------
 # Run / resume
 # ----------------------------------------------------------------------
-def run_campaign(spec, store=None, executor=None, progress=None):
-    """Run (or finish) a campaign and return its :class:`CampaignResult`.
+def execute_campaign_chunks(spec, store=None, executor=None, progress=None):
+    """Evaluate every not-yet-checkpointed chunk of a campaign.
 
-    Parameters
-    ----------
-    spec:
-        The :class:`~repro.campaign.spec.CampaignSpec`.
-    store:
-        Optional :class:`~repro.campaign.store.ArtifactStore` (or path);
-        when given, completed chunks are checkpointed there and already
-        checkpointed chunks are *not* recomputed -- calling
-        ``run_campaign`` on a partially filled store is the resume path.
-        Without a store, everything is kept in memory (no resume).
-    executor:
-        ``"serial"`` (default) / ``"parallel"`` or an Executor instance.
-    progress:
-        Optional ``progress(done_chunks, total_chunks)`` callback, called
-        after every chunk completion.
+    The shared execution half of :func:`run_campaign` and
+    :func:`~repro.campaign.sensitivity.run_sensitivity_campaign`:
+    initializes/validates the store, runs the pending chunks through the
+    executor (checkpointing as they complete) and returns
+    ``(chunk_reader, num_evaluated, store)``, where ``chunk_reader(index)``
+    returns the ``(indices, parameters, outputs)`` arrays of any chunk
+    -- from the store when one is attached, from memory otherwise --
+    and ``store`` is the normalized :class:`ArtifactStore` (``None``
+    when the run is in-memory), so callers never re-wrap path strings.
     """
-    if not isinstance(spec, CampaignSpec):
-        raise CampaignError(
-            f"expected a CampaignSpec, got {type(spec).__name__}"
-        )
     executor = make_executor(executor)
     if store is not None and not isinstance(store, ArtifactStore):
         store = ArtifactStore(store)
@@ -222,19 +204,55 @@ def run_campaign(spec, store=None, executor=None, progress=None):
             if progress is not None:
                 progress(done, total)
 
+    def chunk_reader(chunk_index):
+        if store is not None:
+            return store.read_chunk(chunk_index)
+        result = memory_chunks[chunk_index]
+        return result.indices, result.parameters, result.outputs
+
+    return chunk_reader, num_evaluated, store
+
+
+def run_campaign(spec, store=None, executor=None, progress=None):
+    """Run (or finish) a campaign and return its :class:`CampaignResult`.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`~repro.campaign.spec.CampaignSpec`.
+    store:
+        Optional :class:`~repro.campaign.store.ArtifactStore` (or path);
+        when given, completed chunks are checkpointed there and already
+        checkpointed chunks are *not* recomputed -- calling
+        ``run_campaign`` on a partially filled store is the resume path.
+        Without a store, everything is kept in memory (no resume).
+    executor:
+        ``"serial"`` (default) / ``"parallel"`` or an Executor instance.
+    progress:
+        Optional ``progress(done_chunks, total_chunks)`` callback, called
+        after every chunk completion.
+    """
+    if not isinstance(spec, CampaignSpec):
+        raise CampaignError(
+            f"expected a CampaignSpec, got {type(spec).__name__}"
+        )
+    if spec.kind != CampaignSpec.kind:
+        raise CampaignError(
+            f"{type(spec).__name__} (kind {spec.kind!r}) needs its own "
+            "reduction -- use run_sensitivity_campaign (CLI: "
+            "repro-campaign sobol run)"
+        )
+    chunk_reader, num_evaluated, store = execute_campaign_chunks(
+        spec, store=store, executor=executor, progress=progress
+    )
+
     # Deterministic reduce: per-chunk Welford accumulators merged in
     # chunk-index order -- identical for every executor and across
     # kill/resume cycles, because it only sees the checkpointed outputs.
     statistics = RunningStatistics()
     parameters = np.empty((spec.num_samples, spec.dimension))
     for chunk_index in range(spec.num_chunks):
-        if store is not None:
-            indices, chunk_parameters, outputs = store.read_chunk(chunk_index)
-        else:
-            result = memory_chunks[chunk_index]
-            indices, chunk_parameters, outputs = (
-                result.indices, result.parameters, result.outputs
-            )
+        indices, chunk_parameters, outputs = chunk_reader(chunk_index)
         chunk_statistics = RunningStatistics()
         for row in range(outputs.shape[0]):
             chunk_statistics.update(outputs[row])
@@ -252,7 +270,9 @@ def resume_campaign(store, executor=None, progress=None):
 
     Reads the spec from the manifest, evaluates only the missing chunks
     and reduces over all of them -- by construction this reproduces the
-    uninterrupted result exactly.
+    uninterrupted result exactly.  Dispatches on the pinned spec's kind,
+    so resuming a sensitivity store returns a
+    :class:`~repro.campaign.sensitivity.SensitivityResult`.
     """
     if not isinstance(store, ArtifactStore):
         store = ArtifactStore(store)
@@ -261,6 +281,12 @@ def resume_campaign(store, executor=None, progress=None):
             f"no campaign manifest at {store.path!r}; run 'run' first"
         )
     spec = store.load_spec()
+    if spec.kind != CampaignSpec.kind:
+        from .sensitivity import run_sensitivity_campaign
+
+        return run_sensitivity_campaign(
+            spec, store=store, executor=executor, progress=progress
+        )
     return run_campaign(
         spec, store=store, executor=executor, progress=progress
     )

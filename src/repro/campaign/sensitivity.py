@@ -1,0 +1,502 @@
+"""Distributed Sobol sensitivity campaigns (Saltelli designs at scale).
+
+The paper's Section I question -- which wire's geometric uncertainty
+drives the hottest-wire temperature variance -- costs ``M (d + 2)`` full
+transient solves.  This module lays the Saltelli ``A`` / ``B`` / ``AB_i``
+blocks out as a first-class campaign so those evaluations stream through
+the existing executor / artifact-store machinery: per-worker model and
+factorization reuse, atomic chunk checkpoints, kill/resume.
+
+Determinism is the load-bearing property.  The design is a pure function
+of the spec: global evaluation index ``g`` maps to ``(block, row) =
+divmod(g, M)`` with blocks ordered ``[A, B, AB_0 .. AB_{d-1}]``, and the
+base matrices come from the seeded sampler stream -- so any executor,
+chunking or resume history reproduces the same parameter rows, and the
+Jansen reduction (:func:`repro.uq.sensitivity.jansen_indices`, shared
+with the in-process path) reproduces the same indices bit for bit.
+Vector-valued quantities of interest (per-wire temperature traces, not
+just the scalar end-max) reduce per output component; bootstrap
+confidence intervals are deterministic per seed.
+"""
+
+import numpy as np
+
+from ..errors import CampaignError
+from ..uq.sensitivity import jansen_bootstrap, jansen_indices
+from . import registry
+from .runner import execute_campaign_chunks
+from .spec import CampaignSpec
+from .store import ArtifactStore
+
+
+class SaltelliPlan:
+    """Deterministic block/row layout of a Saltelli design.
+
+    Global evaluation index ``g`` in ``[0, M (d + 2))`` decomposes as
+    ``(block, row) = divmod(g, M)`` with blocks ordered
+    ``[A, B, AB_0, ..., AB_{d-1}]``.  The plan is pure index arithmetic
+    plus row composition -- it owns no random state, so any executor or
+    chunk order reproduces the same design from the same base matrices.
+    """
+
+    def __init__(self, num_base_samples, dimension):
+        self.num_base_samples = int(num_base_samples)
+        self.dimension = int(dimension)
+        if self.num_base_samples < 2:
+            raise CampaignError(
+                f"need at least 2 base samples, got {self.num_base_samples}"
+            )
+        if self.dimension < 1:
+            raise CampaignError(
+                f"dimension must be >= 1, got {self.dimension}"
+            )
+
+    @property
+    def num_blocks(self):
+        """``d + 2`` blocks: ``A``, ``B`` and one ``AB_i`` per input."""
+        return self.dimension + 2
+
+    @property
+    def num_evaluations(self):
+        """Total model evaluations ``M (d + 2)``."""
+        return self.num_base_samples * self.num_blocks
+
+    def block_of(self, index):
+        """Block number (0 = ``A``, 1 = ``B``, ``2 + i`` = ``AB_i``)."""
+        index = self._check_index(index)
+        return index // self.num_base_samples
+
+    def row_of(self, index):
+        """Base-design row in ``[0, M)`` of one global index."""
+        index = self._check_index(index)
+        return index % self.num_base_samples
+
+    def block_range(self, block):
+        """Global index range of one block."""
+        block = int(block)
+        if not 0 <= block < self.num_blocks:
+            raise CampaignError(
+                f"block {block} out of range [0, {self.num_blocks})"
+            )
+        start = block * self.num_base_samples
+        return range(start, start + self.num_base_samples)
+
+    def block_label(self, block):
+        """Human-readable block name (``"A"``, ``"B"``, ``"AB_3"``)."""
+        block = int(block)
+        if block == 0:
+            return "A"
+        if block == 1:
+            return "B"
+        if 2 <= block < self.num_blocks:
+            return f"AB_{block - 2}"
+        raise CampaignError(
+            f"block {block} out of range [0, {self.num_blocks})"
+        )
+
+    def compose(self, base_unit, indices):
+        """Design rows for global ``indices`` from the base unit matrix.
+
+        ``base_unit`` is the ``(2 M, d)`` stream: rows ``[0, M)`` are
+        ``A``, rows ``[M, 2 M)`` are ``B``.  ``AB_i`` rows are ``A``
+        rows with column ``i`` taken from ``B`` -- copied bitwise, which
+        is what makes the distributed design reproduce the in-process
+        :func:`repro.uq.sensitivity.saltelli_sample` exactly.
+        """
+        base = np.asarray(base_unit, dtype=float)
+        expected = (2 * self.num_base_samples, self.dimension)
+        if base.shape != expected:
+            raise CampaignError(
+                f"base unit matrix has shape {base.shape}, expected "
+                f"{expected}"
+            )
+        a = base[:self.num_base_samples]
+        b = base[self.num_base_samples:]
+        indices = np.asarray(indices, dtype=int)
+        points = np.empty((indices.size, self.dimension))
+        for out, global_index in enumerate(indices):
+            block, row = divmod(
+                self._check_index(global_index), self.num_base_samples
+            )
+            if block == 0:
+                points[out] = a[row]
+            elif block == 1:
+                points[out] = b[row]
+            else:
+                points[out] = a[row]
+                points[out, block - 2] = b[row, block - 2]
+        return points
+
+    def _check_index(self, index):
+        index = int(index)
+        if not 0 <= index < self.num_evaluations:
+            raise CampaignError(
+                f"evaluation index {index} out of range "
+                f"[0, {self.num_evaluations})"
+            )
+        return index
+
+    def to_dict(self):
+        return {
+            "num_base_samples": self.num_base_samples,
+            "dimension": self.dimension,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        data = dict(data)
+        unknown = set(data) - {"num_base_samples", "dimension"}
+        if unknown:
+            raise CampaignError(
+                f"Saltelli plan got unknown fields {sorted(unknown)}"
+            )
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise CampaignError(f"invalid Saltelli plan: {exc}") from exc
+
+    def __repr__(self):
+        return (
+            f"SaltelliPlan(M={self.num_base_samples}, "
+            f"d={self.dimension}, evaluations={self.num_evaluations})"
+        )
+
+
+class SensitivitySpec(CampaignSpec):
+    """A Sobol sensitivity campaign: scenario + Saltelli sampling plan.
+
+    Inherits the :class:`~repro.campaign.spec.CampaignSpec` fields, but
+    the sample budget is ``num_base_samples`` (``M``) and the derived
+    ``num_samples`` is the full ``M (d + 2)`` evaluation count, so
+    chunking, executors and the artifact store work unchanged.  The
+    default sampler is ``"random"``, which reproduces the in-process
+    :func:`repro.uq.sensitivity.sobol_indices` bit for bit for the same
+    seed; the ``"counter"`` sampler and the QMC streams work too (base
+    row ``r`` of ``A`` / ``B`` is stream row ``r`` / ``M + r``).
+    """
+
+    kind = "sensitivity"
+
+    def __init__(self, name, scenario, distribution, dimension,
+                 num_base_samples, seed=0, chunk_size=8, sampler="random",
+                 num_bootstrap=100, confidence=0.95):
+        self.num_base_samples = int(num_base_samples)
+        # Reduction settings live in the spec (and hence the pinned
+        # manifest), so a resume without flags reproduces the original
+        # run's confidence intervals exactly, not just the indices.
+        self.num_bootstrap = int(num_bootstrap)
+        self.confidence = float(confidence)
+        if self.num_bootstrap < 0:
+            raise CampaignError(
+                f"num_bootstrap must be >= 0, got {self.num_bootstrap}"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise CampaignError(
+                f"confidence must be in (0, 1), got {self.confidence!r}"
+            )
+        plan = SaltelliPlan(self.num_base_samples, int(dimension))
+        super().__init__(
+            name, scenario, distribution, dimension,
+            num_samples=plan.num_evaluations, seed=seed,
+            chunk_size=chunk_size, sampler=sampler,
+        )
+
+    @property
+    def plan(self):
+        """The :class:`SaltelliPlan` laying out this campaign's design."""
+        return SaltelliPlan(self.num_base_samples, self.dimension)
+
+    def base_unit_points(self):
+        """The ``(2 M, d)`` unit-cube base stream (``A`` rows, then ``B``).
+
+        For the ``"random"`` sampler this is exactly the stream of
+        :func:`repro.uq.sensitivity.saltelli_sample` -- the bit-for-bit
+        equivalence anchor of the distributed path.
+        """
+        count = 2 * self.num_base_samples
+        if self.sampler == registry.COUNTER_SAMPLER:
+            from .runner import unit_sample
+
+            return np.stack(
+                [unit_sample(self.seed, index, self.dimension)
+                 for index in range(count)]
+            )
+        sampler = registry.get_stream_sampler(self.sampler)
+        return np.asarray(
+            sampler(count, self.dimension, seed=self.seed), dtype=float
+        )
+
+    def unit_points(self, indices):
+        """Saltelli design rows for the given global evaluation indices.
+
+        Stream samplers compose from the full base stream; the counter
+        sampler generates only the base rows the requested indices
+        actually touch (memoized per call), so per-chunk generation
+        stays O(chunk) instead of O(2 M) -- with bit-identical rows
+        either way.
+        """
+        indices = np.asarray(indices, dtype=int)
+        if indices.size == 0:
+            return np.empty((0, self.dimension))
+        plan = self.plan
+        if self.sampler != registry.COUNTER_SAMPLER:
+            return plan.compose(self.base_unit_points(), indices)
+        from .runner import unit_sample
+
+        cache = {}
+
+        def base_row(stream_index):
+            if stream_index not in cache:
+                cache[stream_index] = unit_sample(
+                    self.seed, stream_index, self.dimension
+                )
+            return cache[stream_index]
+
+        m = self.num_base_samples
+        points = np.empty((indices.size, self.dimension))
+        for out, global_index in enumerate(indices):
+            block = plan.block_of(global_index)
+            row = plan.row_of(global_index)
+            if block == 1:
+                points[out] = base_row(m + row)
+            else:
+                points[out] = base_row(row)
+                if block >= 2:
+                    points[out, block - 2] = base_row(m + row)[block - 2]
+        return points
+
+    def to_dict(self):
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "scenario": self.scenario.to_dict(),
+            "distribution": self.distribution,
+            "dimension": self.dimension,
+            "num_base_samples": self.num_base_samples,
+            "seed": self.seed,
+            "chunk_size": self.chunk_size,
+            "sampler": self.sampler,
+            "num_bootstrap": self.num_bootstrap,
+            "confidence": self.confidence,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        data = dict(data)
+        spec_kind = data.pop("kind", None)
+        if spec_kind not in (None, cls.kind):
+            raise CampaignError(
+                f"expected campaign kind {cls.kind!r}, got {spec_kind!r}"
+            )
+        missing = {"name", "scenario", "distribution", "dimension",
+                   "num_base_samples"} - set(data)
+        if missing:
+            raise CampaignError(
+                f"sensitivity spec is missing fields {sorted(missing)}"
+            )
+        unknown = set(data) - {"name", "scenario", "distribution",
+                               "dimension", "num_base_samples", "seed",
+                               "chunk_size", "sampler", "num_bootstrap",
+                               "confidence"}
+        if unknown:
+            raise CampaignError(
+                f"sensitivity spec got unknown fields {sorted(unknown)}"
+            )
+        return cls(**data)
+
+    def __repr__(self):
+        return (
+            f"SensitivitySpec({self.name!r}, problem="
+            f"{self.scenario.problem!r}, M={self.num_base_samples}, "
+            f"d={self.dimension}, evaluations={self.num_samples}, "
+            f"chunks={self.num_chunks})"
+        )
+
+
+class SensitivityResult:
+    """Reduced Sobol indices of a completed sensitivity campaign.
+
+    Attributes
+    ----------
+    spec:
+        The :class:`SensitivitySpec` that was run.
+    indices:
+        The :class:`~repro.uq.sensitivity.SobolIndices` (``(d,)`` arrays
+        for scalar QoIs, ``(d, *output_shape)`` for vector-valued ones).
+    interval:
+        Bootstrap :class:`~repro.uq.sensitivity.BootstrapInterval`, or
+        ``None`` when the run disabled it.
+    parameters:
+        The full ``(M (d + 2), d)`` evaluated parameter matrix.
+    num_evaluated:
+        Evaluations performed by *this* call (0 for a pure re-reduce).
+    """
+
+    def __init__(self, spec, indices, interval, parameters, num_evaluated):
+        self.spec = spec
+        self.indices = indices
+        self.interval = interval
+        self.parameters = parameters
+        self.num_evaluated = int(num_evaluated)
+
+    @property
+    def first_order(self):
+        return self.indices.first_order
+
+    @property
+    def total(self):
+        return self.indices.total
+
+    @property
+    def variance(self):
+        return self.indices.variance
+
+    def ranking(self, component=None):
+        """Inputs by decreasing total index (see ``SobolIndices.ranking``)."""
+        return self.indices.ranking(component=component)
+
+    def _report_component(self):
+        """Flat output index the summary reports: the max-variance entry.
+
+        For vector QoIs (e.g. per-wire end temperatures) this is the
+        hottest -- most variance-carrying -- output, the paper's
+        quantity of interest; for scalar QoIs it is the only entry.
+        """
+        variance = np.atleast_1d(np.asarray(self.indices.variance))
+        return int(np.argmax(variance.ravel()))
+
+    def summary(self):
+        """JSON-serializable summary: ranked indices at the max-variance
+        output component, plus the campaign bookkeeping scalars."""
+        component = self._report_component()
+        dimension = self.spec.dimension
+        first = self.indices.first_order.reshape(dimension, -1)[:, component]
+        total = self.indices.total.reshape(dimension, -1)[:, component]
+        clipped = self.indices.clipped.reshape(dimension, -1)[:, component]
+        variance = np.atleast_1d(np.asarray(self.indices.variance)).ravel()
+        summary = {
+            "kind": "sensitivity",
+            "campaign": self.spec.name,
+            "problem": self.spec.scenario.problem,
+            "qoi": self.spec.scenario.qoi,
+            "sampler": self.spec.sampler,
+            "num_base_samples": int(self.spec.num_base_samples),
+            "dimension": int(dimension),
+            "num_evaluations": int(self.indices.num_evaluations),
+            "num_chunks": int(self.spec.num_chunks),
+            "output_size": int(variance.size),
+            "argmax_output": component,
+            "variance": float(variance[component]),
+            "first_order": [float(value) for value in first],
+            "total": [float(value) for value in total],
+            "clipped_first_order": [bool(flag) for flag in clipped],
+            "ranking": [int(i) for i in np.argsort(-total)],
+        }
+        if self.interval is not None:
+            for name in ("first_order_lower", "first_order_upper",
+                         "total_lower", "total_upper"):
+                bound = getattr(self.interval, name)
+                bound = bound.reshape(dimension, -1)[:, component]
+                summary[name] = [float(value) for value in bound]
+            summary["bootstrap_replicates"] = self.interval.num_replicates
+            summary["confidence"] = self.interval.confidence
+        return summary
+
+    def __repr__(self):
+        return (
+            f"SensitivityResult({self.spec.name!r}, "
+            f"M={self.spec.num_base_samples}, d={self.spec.dimension}, "
+            f"ranking={self.ranking(component=self._report_component())})"
+        )
+
+
+def run_sensitivity_campaign(spec, store=None, executor=None, progress=None,
+                             num_bootstrap=None, confidence=None):
+    """Run (or finish) a sensitivity campaign; returns its result.
+
+    Streams the ``M (d + 2)`` Saltelli evaluations through the campaign
+    executor/store machinery -- per-worker model reuse, atomic chunk
+    checkpoints, resume of a partially filled store -- then reduces with
+    the shared Jansen core.  For ``sampler="random"`` the indices equal
+    the in-process :func:`repro.uq.sensitivity.sobol_indices` bit for
+    bit; every executor and every kill/resume history produces identical
+    indices and (seeded) bootstrap intervals.
+
+    ``num_bootstrap`` / ``confidence`` override the spec's persisted
+    bootstrap settings for this reduction only (``num_bootstrap=0``
+    disables the intervals); the defaults come from the spec -- which is
+    pinned in the store manifest -- so a flag-less resume reproduces the
+    original confidence intervals exactly.
+    """
+    if not isinstance(spec, SensitivitySpec):
+        raise CampaignError(
+            f"expected a SensitivitySpec, got {type(spec).__name__} "
+            "(plain campaigns go through run_campaign)"
+        )
+    if num_bootstrap is None:
+        num_bootstrap = spec.num_bootstrap
+    if confidence is None:
+        confidence = spec.confidence
+    chunk_reader, num_evaluated, store = execute_campaign_chunks(
+        spec, store=store, executor=executor, progress=progress
+    )
+
+    # Deterministic reduce: assemble outputs in global-evaluation order
+    # (a pure function of the checkpointed chunks), then apply the same
+    # Jansen expressions as the in-process path.
+    outputs = None
+    parameters = np.empty((spec.num_samples, spec.dimension))
+    for chunk_index in range(spec.num_chunks):
+        indices, chunk_parameters, chunk_outputs = chunk_reader(chunk_index)
+        if outputs is None:
+            outputs = np.empty(
+                (spec.num_samples,) + chunk_outputs.shape[1:]
+            )
+        outputs[indices] = chunk_outputs
+        parameters[indices] = chunk_parameters
+
+    m = spec.num_base_samples
+    f_a = outputs[:m]
+    f_b = outputs[m:2 * m]
+    f_ab = outputs[2 * m:].reshape((spec.dimension, m) + outputs.shape[1:])
+    indices_result = jansen_indices(f_a, f_b, f_ab)
+    interval = None
+    if num_bootstrap:
+        interval = jansen_bootstrap(
+            f_a, f_b, f_ab, num_replicates=num_bootstrap, seed=spec.seed,
+            confidence=confidence,
+        )
+
+    result = SensitivityResult(
+        spec, indices_result, interval, parameters, num_evaluated
+    )
+    if store is not None:
+        store.write_summary(result.summary())
+    return result
+
+
+def resume_sensitivity_campaign(store, executor=None, progress=None,
+                                num_bootstrap=None, confidence=None):
+    """Finish the sensitivity campaign pinned in an existing store.
+
+    Evaluates only the missing chunks and reduces over all of them --
+    by construction this reproduces the uninterrupted indices (and,
+    since the bootstrap settings default to the pinned spec's, the
+    seeded bootstrap intervals) exactly.
+    """
+    if not isinstance(store, ArtifactStore):
+        store = ArtifactStore(store)
+    if not store.exists():
+        raise CampaignError(
+            f"no campaign manifest at {store.path!r}; run 'sobol run' first"
+        )
+    spec = store.load_spec()
+    if not isinstance(spec, SensitivitySpec):
+        raise CampaignError(
+            f"store at {store.path!r} pins a {spec.kind!r} campaign, not "
+            "a sensitivity campaign (use resume_campaign)"
+        )
+    return run_sensitivity_campaign(
+        spec, store=store, executor=executor, progress=progress,
+        num_bootstrap=num_bootstrap, confidence=confidence,
+    )

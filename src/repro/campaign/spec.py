@@ -11,6 +11,8 @@ to recompute the same campaign.
 
 import json
 
+import numpy as np
+
 from ..errors import CampaignError
 from . import registry
 
@@ -140,6 +142,12 @@ class CampaignSpec:
         streams are regenerated deterministically from the seed.
     """
 
+    #: Campaign flavor; serialized as the ``"kind"`` spec field by
+    #: subclasses (plain Monte Carlo specs omit it for compatibility
+    #: with existing manifests) and used by :func:`~repro.campaign.
+    #: runner.run_campaign` to refuse specs it cannot reduce.
+    kind = "monte-carlo"
+
     def __init__(self, name, scenario, distribution, dimension, num_samples,
                  seed=0, chunk_size=8, sampler=registry.COUNTER_SAMPLER):
         self.name = str(name)
@@ -192,6 +200,33 @@ class CampaignSpec:
         """Distribution instance(s) for the parameter mapping."""
         return registry.build_distribution(self.distribution)
 
+    def unit_points(self, indices):
+        """Unit-cube rows of the given global sample indices.
+
+        Counter-based sampling generates exactly the requested rows;
+        full-stream samplers regenerate the whole deterministic stream
+        and slice it -- either way sample ``i`` is a pure function of
+        the spec, independent of how the campaign is partitioned.
+        Subclasses override this to lay out structured designs (e.g.
+        the Saltelli blocks of a sensitivity campaign).
+        """
+        indices = np.asarray(indices, dtype=int)
+        if indices.size == 0:
+            return np.empty((0, self.dimension))
+        if self.sampler == registry.COUNTER_SAMPLER:
+            from .runner import unit_sample
+
+            return np.stack(
+                [unit_sample(self.seed, index, self.dimension)
+                 for index in indices]
+            )
+        sampler = registry.get_stream_sampler(self.sampler)
+        stream = np.asarray(
+            sampler(self.num_samples, self.dimension, seed=self.seed),
+            dtype=float,
+        )
+        return stream[indices]
+
     def to_dict(self):
         return {
             "name": self.name,
@@ -207,6 +242,21 @@ class CampaignSpec:
     @classmethod
     def from_dict(cls, data):
         data = dict(data)
+        spec_kind = data.pop("kind", None)
+        if cls is CampaignSpec and spec_kind == "sensitivity":
+            # Kind dispatch: sensitivity specs deserialize to their own
+            # class, so stores/CLIs load any campaign flavor through
+            # this one entry point.
+            from .sensitivity import SensitivitySpec
+
+            return SensitivitySpec.from_dict(
+                {**data, "kind": spec_kind}
+            )
+        if spec_kind not in (None, cls.kind):
+            raise CampaignError(
+                f"unknown campaign kind {spec_kind!r}; expected "
+                f"'monte-carlo' (or omitted) or 'sensitivity'"
+            )
         missing = {"name", "scenario", "distribution", "dimension",
                    "num_samples"} - set(data)
         if missing:

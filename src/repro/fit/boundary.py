@@ -19,7 +19,6 @@ right-hand side ``eps sigma A (3 T*^4 + T_inf^4)``.
 """
 
 import numpy as np
-import scipy.sparse as sp
 
 from ..constants import STEFAN_BOLTZMANN
 from ..errors import BoundaryConditionError

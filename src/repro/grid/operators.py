@@ -113,5 +113,6 @@ def edge_directions(grid):
     """Integer direction label per edge: 0 for x, 1 for y, 2 for z."""
     n_ex, n_ey, n_ez = grid.num_edges_per_direction
     return np.concatenate(
-        [np.zeros(n_ex, dtype=int), np.ones(n_ey, dtype=int), 2 * np.ones(n_ez, dtype=int)]
+        [np.zeros(n_ex, dtype=int), np.ones(n_ey, dtype=int),
+         2 * np.ones(n_ez, dtype=int)]
     )

@@ -61,7 +61,9 @@ class Material:
         relative_permittivity=1.0,
     ):
         if not name or not isinstance(name, str):
-            raise MaterialError(f"material name must be a non-empty string, got {name!r}")
+            raise MaterialError(
+                f"material name must be a non-empty string, got {name!r}"
+            )
         self.name = name
         self._sigma = _as_model(electrical_conductivity, "electrical_conductivity")
         self._lambda = _as_model(thermal_conductivity, "thermal_conductivity")

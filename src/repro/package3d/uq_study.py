@@ -25,7 +25,11 @@ from ..uq.collocation import StochasticCollocation
 from ..uq.distributions import NormalDistribution, TruncatedNormalDistribution
 from ..uq.monte_carlo import MonteCarloStudy
 from ..uq.sensitivity import sobol_indices
-from .chip_example import Date16Parameters, build_date16_problem, wire_lengths_from_deltas
+from .chip_example import (
+    Date16Parameters,
+    build_date16_problem,
+    wire_lengths_from_deltas,
+)
 
 
 class Date16StudyResult:

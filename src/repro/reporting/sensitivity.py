@@ -1,0 +1,100 @@
+"""Ranked Sobol-index tables (the ``repro-campaign sobol report`` output)."""
+
+from .tables import format_table
+
+#: Header rows of the sensitivity summary; keys match
+#: :meth:`repro.campaign.sensitivity.SensitivityResult.summary`.
+_HEADER_ROWS = (
+    ("campaign", "Campaign"),
+    ("problem", "Problem"),
+    ("qoi", "Quantity of interest"),
+    ("sampler", "Sampler"),
+    ("num_base_samples", "Base samples M"),
+    ("dimension", "Inputs d"),
+    ("num_evaluations", "Evaluations M(d+2)"),
+    ("num_chunks", "Checkpoint chunks"),
+    ("output_size", "Output entries"),
+    ("argmax_output", "Reported output (max variance)"),
+    ("variance", "Output variance"),
+)
+
+
+def _format_value(value):
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def format_sensitivity_summary(summary, title=None):
+    """Header table plus the ranked per-input Sobol-index table.
+
+    ``summary`` is the JSON dict persisted by a sensitivity campaign
+    (``summary.json`` of the store).  Inputs are ranked by decreasing
+    total index; bootstrap confidence bounds appear when the summary
+    carries them, and first-order estimates that were clipped to their
+    total index are marked with ``*``.
+    """
+    summary = dict(summary)
+    header_rows = [
+        (label, _format_value(summary[key]))
+        for key, label in _HEADER_ROWS
+        if key in summary
+    ]
+    header = format_table(
+        ("Quantity", "Value"), header_rows,
+        title=title or "Sensitivity campaign",
+    )
+
+    first = summary.get("first_order", [])
+    total = summary.get("total", [])
+    clipped = summary.get("clipped_first_order", [False] * len(first))
+    ranking = summary.get("ranking", sorted(
+        range(len(total)), key=lambda i: -total[i]
+    ))
+    has_interval = "total_lower" in summary
+
+    columns = ["rank", "input", "S_i"]
+    if has_interval:
+        confidence = summary.get("confidence", 0.95)
+        level = f"{100.0 * confidence:.0f}%"
+        columns += [f"S_i {level} CI"]
+    columns += ["S_T,i"]
+    if has_interval:
+        columns += [f"S_T,i {level} CI"]
+
+    rows = []
+    for rank, i in enumerate(ranking, start=1):
+        first_text = f"{first[i]:.4f}" + ("*" if clipped[i] else "")
+        row = [str(rank), f"x{i:02d}", first_text]
+        if has_interval:
+            row.append(
+                f"[{summary['first_order_lower'][i]:.4f}, "
+                f"{summary['first_order_upper'][i]:.4f}]"
+            )
+        row.append(f"{total[i]:.4f}")
+        if has_interval:
+            row.append(
+                f"[{summary['total_lower'][i]:.4f}, "
+                f"{summary['total_upper'][i]:.4f}]"
+            )
+        rows.append(row)
+
+    ranked = format_table(
+        columns, rows,
+        title="Sobol indices (ranked by total index)",
+    )
+    footnotes = []
+    if any(clipped):
+        footnotes.append(
+            "* first-order estimate exceeded its total index at finite M "
+            "and was clipped"
+        )
+    if "bootstrap_replicates" in summary:
+        footnotes.append(
+            f"CIs: percentile bootstrap, "
+            f"B={summary['bootstrap_replicates']} replicates"
+        )
+    text = header + "\n\n" + ranked
+    if footnotes:
+        text += "\n" + "\n".join(footnotes)
+    return text

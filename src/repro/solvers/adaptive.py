@@ -15,27 +15,47 @@ from ..errors import SolverError
 
 
 class AdaptiveStepResult:
-    """Outcome of an adaptive integration."""
+    """Outcome of an adaptive integration.
 
-    def __init__(self, times, states, accepted, rejected, step_sizes):
+    ``min_dt_violations`` records every step that was accepted at the
+    minimum step size with an uncontrolled error (only possible with
+    ``accept_min_dt_steps=True``) as ``(time, error)`` pairs.
+    """
+
+    def __init__(self, times, states, accepted, rejected, step_sizes,
+                 min_dt_violations=()):
         self.times = np.asarray(times)
         self.states = states
         self.accepted = int(accepted)
         self.rejected = int(rejected)
         self.step_sizes = np.asarray(step_sizes)
+        self.min_dt_violations = list(min_dt_violations)
 
     @property
     def final(self):
         """State at the end time."""
         return self.states[-1]
 
+    @property
+    def num_min_dt_violations(self):
+        """Accepted-at-``min_dt`` steps whose error exceeded the tolerance."""
+        return len(self.min_dt_violations)
+
     def __repr__(self):
-        return (
+        if self.step_sizes.size == 0:
+            return (
+                f"AdaptiveStepResult({self.accepted} accepted, "
+                f"{self.rejected} rejected steps, no accepted step sizes)"
+            )
+        text = (
             f"AdaptiveStepResult({self.accepted} accepted, "
             f"{self.rejected} rejected steps, "
             f"dt in [{self.step_sizes.min():.3g}, "
-            f"{self.step_sizes.max():.3g}] s)"
+            f"{self.step_sizes.max():.3g}] s"
         )
+        if self.min_dt_violations:
+            text += f", {len(self.min_dt_violations)} min_dt violations"
+        return text + ")"
 
 
 def adaptive_implicit_euler(
@@ -49,6 +69,7 @@ def adaptive_implicit_euler(
     safety=0.8,
     max_steps=100_000,
     norm=None,
+    accept_min_dt_steps=False,
 ):
     """Integrate ``state' = f`` with adaptive implicit Euler.
 
@@ -67,12 +88,19 @@ def adaptive_implicit_euler(
         Local error tolerance in the chosen norm (kelvin for temperature
         states).
     min_dt, max_dt:
-        Step-size clamps; hitting ``min_dt`` raises, since the error can
-        then not be controlled.
+        Step-size clamps; a step at ``min_dt`` whose error still exceeds
+        the tolerance raises :class:`~repro.errors.SolverError`, since
+        the error can then not be controlled (see
+        ``accept_min_dt_steps``).
     safety:
         Controller safety factor in (0, 1).
     norm:
         Error norm; defaults to the max norm.
+    accept_min_dt_steps:
+        When ``True``, a ``min_dt`` step with uncontrolled error is
+        accepted instead of raising, and recorded in
+        ``AdaptiveStepResult.min_dt_violations`` -- an explicit opt-out
+        for runs that prefer a flagged, degraded solution over an abort.
 
     Returns
     -------
@@ -95,19 +123,36 @@ def adaptive_implicit_euler(
     step_sizes = []
     accepted = 0
     rejected = 0
+    min_dt_violations = []
 
     for _ in range(max_steps):
         if time >= end_time - 1e-12 * end_time:
             return AdaptiveStepResult(times, states, accepted, rejected,
-                                      step_sizes)
+                                      step_sizes, min_dt_violations)
         dt = min(dt, max_dt, end_time - time)
         # One full step vs. two half steps.
         full = step_function(state, dt)
         half = step_function(state, 0.5 * dt)
         double = step_function(half, 0.5 * dt)
         error = norm(np.asarray(double) - np.asarray(full))
+        at_min_dt = dt <= min_dt * (1.0 + 1e-9)
 
-        if error <= tolerance or dt <= min_dt * (1.0 + 1e-9):
+        if error <= tolerance or at_min_dt:
+            if error > tolerance:
+                # The controller cannot shrink the step any further, so
+                # the local error is out of control: the documented
+                # contract is to raise unless the caller explicitly
+                # opted into flagged acceptance.
+                if not accept_min_dt_steps:
+                    raise SolverError(
+                        f"local error {error:.3g} exceeds tolerance "
+                        f"{tolerance:.3g} at the minimum step size "
+                        f"min_dt = {min_dt:.3g} s (t = {time:.6g} s); the "
+                        "error can no longer be controlled -- pass "
+                        "accept_min_dt_steps=True to accept and record "
+                        "such steps instead"
+                    )
+                min_dt_violations.append((time + dt, float(error)))
             # Accept the more accurate two-half-step solution.
             state = np.asarray(double, dtype=float)
             time += dt

@@ -8,7 +8,6 @@ actually changed.
 """
 
 import numpy as np
-import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from ..errors import SolverError

@@ -33,7 +33,14 @@ from .sampling import (
     sobol_sequence,
 )
 from .pce import PolynomialChaosExpansion, total_degree_multi_indices
-from .sensitivity import SobolIndices, saltelli_sample, sobol_indices
+from .sensitivity import (
+    BootstrapInterval,
+    SobolIndices,
+    jansen_bootstrap,
+    jansen_indices,
+    saltelli_sample,
+    sobol_indices,
+)
 from .statistics import RunningStatistics, histogram_data
 
 __all__ = [
@@ -55,7 +62,10 @@ __all__ = [
     "random_sampler",
     "sobol_indices",
     "saltelli_sample",
+    "jansen_indices",
+    "jansen_bootstrap",
     "SobolIndices",
+    "BootstrapInterval",
     "RunningStatistics",
     "histogram_data",
     "PolynomialChaosExpansion",

@@ -59,11 +59,17 @@ def _van_der_corput(count, base, skip):
     return sequence
 
 
-def halton_sequence(num_samples, dimension, skip=20):
+def halton_sequence(num_samples, dimension, skip=20, seed=None):
     """Halton QMC points (one prime base per dimension).
 
     ``skip`` drops the first points, which are strongly correlated across
-    dimensions for larger primes.
+    dimensions for larger primes.  Halton is a single deterministic
+    sequence, so ``seed`` selects a stream by adding a seed-derived
+    32-bit offset to ``skip``: different seeds give distinct but fully
+    reproducible point sets (collision odds 2^-32 per seed pair),
+    ``seed=None`` keeps the plain skipped sequence.  The radical-inverse
+    cost grows only logarithmically with the start index, so the offset
+    is essentially free.
     """
     num_samples, dimension = _validate(num_samples, dimension)
     if dimension > len(_FIRST_PRIMES):
@@ -71,6 +77,9 @@ def halton_sequence(num_samples, dimension, skip=20):
             f"Halton supports up to {len(_FIRST_PRIMES)} dimensions, "
             f"got {dimension}"
         )
+    skip = int(skip)
+    if seed is not None:
+        skip += int(np.random.SeedSequence(int(seed)).generate_state(1)[0])
     points = np.empty((num_samples, dimension))
     for d in range(dimension):
         points[:, d] = _van_der_corput(num_samples, _FIRST_PRIMES[d], skip + 1)
@@ -80,14 +89,16 @@ def halton_sequence(num_samples, dimension, skip=20):
 def sobol_sequence(num_samples, dimension, seed=0):
     """Scrambled Sobol points via scipy's generator.
 
-    Falls back to Halton if scipy's ``qmc`` module is unavailable (very old
-    scipy); the interface stays identical.
+    ``seed`` drives the scramble: an int gives a reproducible stream,
+    ``None`` draws a fresh scramble (matching :func:`random_sampler`'s
+    seed semantics).  Falls back to Halton if scipy's ``qmc`` module is
+    unavailable (very old scipy); the interface stays identical.
     """
     num_samples, dimension = _validate(num_samples, dimension)
     try:
         from scipy.stats import qmc
     except ImportError:  # pragma: no cover - depends on scipy version
-        return halton_sequence(num_samples, dimension)
+        return halton_sequence(num_samples, dimension, seed=seed)
     sampler = qmc.Sobol(d=dimension, scramble=True, seed=seed)
     return sampler.random(num_samples)
 

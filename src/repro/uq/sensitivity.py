@@ -5,12 +5,26 @@ temperatures w.r.t. their geometric parameters" (Section I).  This module
 computes first-order and total Sobol indices with the Saltelli sampling
 scheme and Jansen's estimators, answering which wire's length uncertainty
 drives the hottest-wire temperature variance.
+
+Layering: the estimator core (:func:`jansen_indices`,
+:func:`jansen_bootstrap`) is a pure reduction over already-evaluated
+Saltelli blocks and supports vector-valued quantities of interest; the
+in-process driver :func:`sobol_indices` evaluates a scalar model
+serially.  The distributed path -- the ``M (d + 2)`` evaluations streamed
+through executors with checkpoint/resume -- lives in
+:mod:`repro.campaign.sensitivity` and reduces with the same core, so both
+paths produce bit-identical indices for the same design.
 """
 
 import numpy as np
 
 from ..errors import SamplingError
 from .sampling import map_to_distributions, random_sampler
+
+#: ``SeedSequence`` spawn key of the bootstrap stream.  Sample streams use
+#: ``spawn_key=(sample_index,)``; this constant is far above any sample
+#: count, so bootstrap and sample draws never collide for one seed.
+_BOOTSTRAP_SPAWN_KEY = 0xB0075
 
 
 def saltelli_sample(num_base_samples, dimension, seed=None):
@@ -34,17 +48,49 @@ def saltelli_sample(num_base_samples, dimension, seed=None):
 
 
 class SobolIndices:
-    """First-order and total Sobol indices per input dimension."""
+    """First-order and total Sobol indices per input dimension.
 
-    def __init__(self, first_order, total, variance, num_evaluations):
+    ``first_order`` and ``total`` are shaped ``(d,)`` for a scalar
+    quantity of interest and ``(d, *output_shape)`` for vector-valued
+    ones; ``variance`` is a float (scalar QoI) or an ``output_shape``
+    array.  ``clipped`` flags entries whose raw first-order estimate
+    exceeded the total index (a finite-``M`` sampling artifact); those
+    entries are reported clipped to the total index.
+    """
+
+    def __init__(self, first_order, total, variance, num_evaluations,
+                 clipped=None):
         self.first_order = np.asarray(first_order, dtype=float)
         self.total = np.asarray(total, dtype=float)
-        self.variance = float(variance)
+        if np.ndim(variance) == 0:
+            self.variance = float(variance)
+        else:
+            self.variance = np.asarray(variance, dtype=float)
         self.num_evaluations = int(num_evaluations)
+        if clipped is None:
+            clipped = np.zeros(self.first_order.shape, dtype=bool)
+        self.clipped = np.asarray(clipped, dtype=bool)
 
-    def ranking(self):
-        """Input dimensions ordered by decreasing total index."""
-        return list(np.argsort(-self.total))
+    @property
+    def num_clipped(self):
+        """How many first-order entries were clipped to their total."""
+        return int(np.count_nonzero(self.clipped))
+
+    def ranking(self, component=None):
+        """Input dimensions ordered by decreasing total index.
+
+        For a vector QoI pass ``component`` (an index into the flattened
+        output) to pick which output entry to rank by.
+        """
+        total = self.total
+        if total.ndim > 1:
+            if component is None:
+                raise SamplingError(
+                    "vector quantity of interest: pass component= to "
+                    "ranking() to select an output entry"
+                )
+            total = total.reshape(total.shape[0], -1)[:, int(component)]
+        return list(np.argsort(-total))
 
     def __repr__(self):
         return (
@@ -53,43 +99,228 @@ class SobolIndices:
         )
 
 
-def sobol_indices(model, distributions, dimension, num_base_samples=256, seed=None):
-    """Estimate Sobol indices of a scalar model output.
-
-    Uses Jansen's estimators:
+def jansen_indices(f_a, f_b, f_ab, num_evaluations=None):
+    """Jansen's estimators over already-evaluated Saltelli blocks.
 
     ``S_i  = (V - mean((f_B - f_ABi)^2) / 2) / V``
     ``ST_i = mean((f_A - f_ABi)^2) / (2 V)``
 
-    Negative first-order estimates (possible at finite M for weak inputs)
-    are clipped at zero.
+    Parameters
+    ----------
+    f_a, f_b:
+        Model outputs on the ``A`` / ``B`` matrices, shaped ``(M,)`` for
+        a scalar QoI or ``(M, *output_shape)`` for vector-valued ones.
+    f_ab:
+        Outputs on the hybrid matrices, shaped ``(d, M, *output_shape)``.
+    num_evaluations:
+        Recorded evaluation budget (defaults to ``M (d + 2)``).
+
+    Negative first-order estimates are clipped at zero; estimates that
+    exceed their total index (both possible at finite ``M``) are clipped
+    to the total and flagged in :attr:`SobolIndices.clipped`.  Each
+    output component reduces over contiguous 1-D views with an identical
+    operation order, so any chunked/distributed evaluation of the same
+    design reproduces the serial indices bit for bit.
+
+    A scalar QoI with zero output variance raises (indices are
+    undefined).  For vector QoIs only the zero-variance components are
+    undefined -- temperature traces legitimately hold a constant initial
+    row -- so those components report ``NaN`` indices and variance 0
+    while every varying component still reduces; it raises only when
+    *no* component varies.
     """
-    a_unit, b_unit, ab_unit = saltelli_sample(num_base_samples, dimension, seed)
+    f_a = np.asarray(f_a, dtype=float)
+    f_b = np.asarray(f_b, dtype=float)
+    f_ab = np.asarray(f_ab, dtype=float)
+    if f_a.shape != f_b.shape:
+        raise SamplingError(
+            f"f_a shape {f_a.shape} does not match f_b shape {f_b.shape}"
+        )
+    if f_ab.ndim != f_a.ndim + 1 or f_ab.shape[1:] != f_a.shape:
+        raise SamplingError(
+            f"f_ab shape {f_ab.shape} does not match (d, *{f_a.shape})"
+        )
+    num_base_samples = f_a.shape[0]
+    if num_base_samples < 2:
+        raise SamplingError("need at least 2 base samples")
+    dimension = f_ab.shape[0]
+    output_shape = f_a.shape[1:]
+
+    flat_a = f_a.reshape(num_base_samples, -1)
+    flat_b = f_b.reshape(num_base_samples, -1)
+    flat_ab = f_ab.reshape(dimension, num_base_samples, -1)
+    num_components = flat_a.shape[1]
+
+    first = np.empty((dimension, num_components))
+    total = np.empty((dimension, num_components))
+    variance = np.empty(num_components)
+    num_degenerate = 0
+    for component in range(num_components):
+        fa = np.ascontiguousarray(flat_a[:, component])
+        fb = np.ascontiguousarray(flat_b[:, component])
+        combined = np.concatenate([fa, fb])
+        v = float(np.var(combined, ddof=1))
+        if v <= 0.0:
+            if output_shape == ():
+                raise SamplingError(
+                    "model output has zero variance; Sobol indices are "
+                    "undefined"
+                )
+            num_degenerate += 1
+            variance[component] = 0.0
+            first[:, component] = np.nan
+            total[:, component] = np.nan
+            continue
+        variance[component] = v
+        for i in range(dimension):
+            fab = np.ascontiguousarray(flat_ab[i, :, component])
+            first[i, component] = (
+                v - 0.5 * float(np.mean((fb - fab) ** 2))
+            ) / v
+            total[i, component] = 0.5 * float(np.mean((fa - fab) ** 2)) / v
+    if num_degenerate == num_components:
+        raise SamplingError(
+            "every output component has zero variance; Sobol indices "
+            "are undefined"
+        )
+    # NaN (degenerate) entries pass through both clips unchanged: clip
+    # keeps NaN and `NaN > NaN` is False.
+    first = np.clip(first, 0.0, None)
+    clipped = first > total
+    first = np.where(clipped, total, first)
+
+    if num_evaluations is None:
+        num_evaluations = num_base_samples * (dimension + 2)
+    if output_shape == ():
+        return SobolIndices(first[:, 0], total[:, 0], variance[0],
+                            num_evaluations, clipped=clipped[:, 0])
+    return SobolIndices(
+        first.reshape((dimension,) + output_shape),
+        total.reshape((dimension,) + output_shape),
+        variance.reshape(output_shape),
+        num_evaluations,
+        clipped=clipped.reshape((dimension,) + output_shape),
+    )
+
+
+class BootstrapInterval:
+    """Percentile-bootstrap confidence bounds of Sobol estimates.
+
+    Arrays are shaped like :attr:`SobolIndices.first_order`.
+    """
+
+    def __init__(self, first_order_lower, first_order_upper, total_lower,
+                 total_upper, num_replicates, confidence):
+        self.first_order_lower = np.asarray(first_order_lower, dtype=float)
+        self.first_order_upper = np.asarray(first_order_upper, dtype=float)
+        self.total_lower = np.asarray(total_lower, dtype=float)
+        self.total_upper = np.asarray(total_upper, dtype=float)
+        self.num_replicates = int(num_replicates)
+        self.confidence = float(confidence)
+
+    def __repr__(self):
+        return (
+            f"BootstrapInterval({self.confidence:.0%}, "
+            f"B={self.num_replicates})"
+        )
+
+
+def jansen_bootstrap(f_a, f_b, f_ab, num_replicates=100, seed=0,
+                     confidence=0.95):
+    """Bootstrap confidence intervals for :func:`jansen_indices`.
+
+    Resamples the ``M`` base-design rows with replacement (the standard
+    Saltelli bootstrap: a row carries its ``A``, ``B`` and every
+    ``AB_i`` evaluation, preserving the pairing), re-estimates the
+    indices per replicate and returns percentile bounds.  Deterministic
+    for a given ``seed``, so a resumed campaign reports the same
+    intervals as an uninterrupted one.
+    """
+    f_a = np.asarray(f_a, dtype=float)
+    f_b = np.asarray(f_b, dtype=float)
+    f_ab = np.asarray(f_ab, dtype=float)
+    num_replicates = int(num_replicates)
+    if num_replicates < 1:
+        raise SamplingError(
+            f"num_replicates must be >= 1, got {num_replicates}"
+        )
+    if not 0.0 < confidence < 1.0:
+        raise SamplingError(
+            f"confidence must be in (0, 1), got {confidence!r}"
+        )
+    num_base_samples = f_a.shape[0]
+    rng = np.random.default_rng(
+        np.random.SeedSequence(
+            entropy=int(seed), spawn_key=(_BOOTSTRAP_SPAWN_KEY,)
+        )
+    )
+    firsts = []
+    totals = []
+    for _ in range(num_replicates):
+        rows = rng.integers(0, num_base_samples, size=num_base_samples)
+        try:
+            replicate = jansen_indices(
+                f_a[rows], f_b[rows], f_ab[:, rows]
+            )
+        except SamplingError:
+            # Degenerate resample (zero variance); draw again implicitly
+            # by skipping -- the replicate count below reflects it.
+            continue
+        firsts.append(replicate.first_order)
+        totals.append(replicate.total)
+    if not firsts:
+        raise SamplingError(
+            "every bootstrap replicate had zero output variance"
+        )
+    firsts = np.stack(firsts)
+    totals = np.stack(totals)
+    alpha = 0.5 * (1.0 - confidence)
+    return BootstrapInterval(
+        np.quantile(firsts, alpha, axis=0),
+        np.quantile(firsts, 1.0 - alpha, axis=0),
+        np.quantile(totals, alpha, axis=0),
+        np.quantile(totals, 1.0 - alpha, axis=0),
+        len(firsts),
+        confidence,
+    )
+
+
+def sobol_indices(model, distributions, dimension, num_base_samples=256,
+                  seed=None):
+    """Estimate Sobol indices of a scalar model output, in process.
+
+    Serial legacy driver: evaluates the full Saltelli design with a
+    Python loop and reduces with :func:`jansen_indices`.  Scalar outputs
+    only -- vector-valued quantities of interest (and parallel or
+    resumable execution) go through the sensitivity campaign
+    (:func:`repro.campaign.sensitivity.run_sensitivity_campaign`), which
+    reproduces this function bit for bit for the ``"random"`` sampler
+    and the same seed.
+    """
+    num_base_samples = int(num_base_samples)
+    dimension = int(dimension)
+    a_unit, b_unit, ab_unit = saltelli_sample(num_base_samples, dimension,
+                                              seed)
     a = map_to_distributions(a_unit, distributions)
     b = map_to_distributions(b_unit, distributions)
 
     def evaluate(matrix):
-        return np.asarray(
-            [float(model(matrix[row])) for row in range(matrix.shape[0])]
-        )
+        values = np.empty(matrix.shape[0])
+        for row in range(matrix.shape[0]):
+            output = np.asarray(model(matrix[row]), dtype=float)
+            if output.size != 1:
+                raise SamplingError(
+                    f"sobol_indices expects a scalar model output, got "
+                    f"shape {output.shape}; use the sensitivity campaign "
+                    "(repro.campaign.sensitivity) for vector-valued "
+                    "quantities of interest"
+                )
+            values[row] = output.reshape(())
+        return values
 
     f_a = evaluate(a)
     f_b = evaluate(b)
-    combined = np.concatenate([f_a, f_b])
-    variance = float(np.var(combined, ddof=1))
-    if variance <= 0.0:
-        raise SamplingError(
-            "model output has zero variance; Sobol indices are undefined"
-        )
-
-    first = np.empty(dimension)
-    total = np.empty(dimension)
-    evaluations = 2 * num_base_samples
+    f_ab = np.empty((dimension, num_base_samples))
     for i in range(dimension):
-        ab = map_to_distributions(ab_unit[i], distributions)
-        f_ab = evaluate(ab)
-        evaluations += num_base_samples
-        first[i] = (variance - 0.5 * float(np.mean((f_b - f_ab) ** 2))) / variance
-        total[i] = 0.5 * float(np.mean((f_a - f_ab) ** 2)) / variance
-    first = np.clip(first, 0.0, None)
-    return SobolIndices(first, total, variance, evaluations)
+        f_ab[i] = evaluate(map_to_distributions(ab_unit[i], distributions))
+    return jansen_indices(f_a, f_b, f_ab)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.campaign import CampaignSpec, ScenarioSpec
+from repro.campaign import CampaignSpec, ScenarioSpec, SensitivitySpec
 
 from .toy_problem import MODULE, PROBLEM_NAME
 
@@ -27,6 +27,32 @@ def make_toy_spec(num_samples=24, chunk_size=5, seed=7, sampler="counter",
     )
 
 
+def make_toy_sensitivity_spec(num_base_samples=16, chunk_size=7, seed=3,
+                              sampler="random", qoi="test-scalar-sum",
+                              options=None):
+    """A cheap Sobol sensitivity campaign over the registered toy problem."""
+    return SensitivitySpec(
+        name=f"toy-sobol-{num_base_samples}",
+        scenario=ScenarioSpec(
+            problem=PROBLEM_NAME,
+            qoi=qoi,
+            options=options or {},
+            module=MODULE,
+        ),
+        distribution={"kind": "normal", "mu": 0.0, "sigma": 1.0},
+        dimension=4,
+        num_base_samples=num_base_samples,
+        seed=seed,
+        chunk_size=chunk_size,
+        sampler=sampler,
+    )
+
+
 @pytest.fixture
 def toy_spec():
     return make_toy_spec()
+
+
+@pytest.fixture
+def toy_sensitivity_spec():
+    return make_toy_sensitivity_spec()

@@ -1,6 +1,5 @@
 """Tests for the repro-campaign command line interface."""
 
-import json
 
 import pytest
 

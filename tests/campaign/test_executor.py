@@ -13,7 +13,6 @@ from repro.campaign.executor import resolve_model
 from repro.campaign.runner import campaign_chunks
 from repro.errors import CampaignError
 
-from .conftest import make_toy_spec
 
 
 def _module_model(parameters):

@@ -53,6 +53,39 @@ class TestDeterministicSampling:
                               np.arange(toy_spec.num_samples))
 
 
+class TestSeedSensitivity:
+    """Two campaigns differing only in their seed must differ -- for
+    EVERY sampler kind (the halton entry used to drop the seed
+    entirely, and sobol's ``seed or 0`` collapsed None and 0)."""
+
+    ALL_SAMPLERS = ("counter", "random", "lhs", "halton", "sobol")
+
+    @pytest.mark.parametrize("sampler", ALL_SAMPLERS)
+    def test_different_seeds_give_different_parameters(self, sampler):
+        first = campaign_parameters(make_toy_spec(seed=1, sampler=sampler))
+        second = campaign_parameters(make_toy_spec(seed=2, sampler=sampler))
+        assert first.shape == second.shape
+        assert not np.array_equal(first, second)
+
+    @pytest.mark.parametrize("sampler", ALL_SAMPLERS)
+    def test_same_seed_reproduces_parameters(self, sampler):
+        first = campaign_parameters(make_toy_spec(seed=5, sampler=sampler))
+        second = campaign_parameters(make_toy_spec(seed=5, sampler=sampler))
+        assert np.array_equal(first, second)
+
+    @pytest.mark.parametrize("sampler", ALL_SAMPLERS)
+    def test_sensitivity_campaigns_are_seed_sensitive(self, sampler):
+        from .conftest import make_toy_sensitivity_spec
+
+        first = campaign_parameters(
+            make_toy_sensitivity_spec(seed=1, sampler=sampler)
+        )
+        second = campaign_parameters(
+            make_toy_sensitivity_spec(seed=2, sampler=sampler)
+        )
+        assert not np.array_equal(first, second)
+
+
 class TestRunCampaign:
     def test_in_memory_run_matches_direct_loop(self, toy_spec):
         result = run_campaign(toy_spec)

@@ -26,3 +26,10 @@ def build_polynomial(scenario):
 
 register_problem(PROBLEM_NAME, build_polynomial)
 register_qoi("test-first-entry", lambda output: output[:1])
+# Truly scalar QoI (0-d), matching what the legacy in-process
+# sobol_indices driver evaluates -- the bit-for-bit equivalence anchor.
+register_qoi("test-scalar-sum", lambda output: output[0])
+# Vector QoI with a constant component, like the t=0 row of a
+# temperature trace: the reduction must flag it, not crash.
+register_qoi("test-constant-pad",
+             lambda output: np.array([output[0], 42.0]))

@@ -1,6 +1,5 @@
 """Tests for the nodal-analysis circuit substrate."""
 
-import numpy as np
 import pytest
 
 from repro.circuit.netlist import Netlist

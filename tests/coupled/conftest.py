@@ -1,6 +1,5 @@
 """Fixtures: small coupled problems with known physics."""
 
-import numpy as np
 import pytest
 
 from repro.bondwire.lumped import LumpedBondWire
@@ -9,7 +8,6 @@ from repro.fit.boundary import ConvectionBC, DirichletBC, RadiationBC
 from repro.fit.material_field import MaterialField
 from repro.grid.indexing import GridIndexing
 from repro.grid.tensor_grid import TensorGrid
-from repro.materials.base import Material
 from repro.materials.library import copper, epoxy_resin
 
 MM = 1.0e-3

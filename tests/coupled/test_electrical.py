@@ -71,7 +71,7 @@ class TestWireBridge:
         problem = wire_bridge_problem
         no_wire = problem.with_wire_lengths([1.55e-3])
         no_wire.wires = []
-        from repro.coupled.problem import ElectrothermalProblem, WireTopology
+        from repro.coupled.problem import WireTopology
 
         no_wire.topology = WireTopology([], problem.grid.num_nodes)
         phi, matrix = solve_stationary_current(no_wire)

@@ -1,6 +1,5 @@
 """Energy-balance verification of the coupled solver."""
 
-import numpy as np
 import pytest
 
 from repro.coupled.electrothermal import CoupledSolver

@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-import scipy.sparse.linalg as spla
 
 from repro.errors import AssemblyError
 from repro.fit.assembly import FITDiscretization

@@ -65,7 +65,6 @@ class TestInterfaceAveraging:
         areas = dual.dual_facet_areas()
         sigma_effective = diag * lengths / areas
         # x-directed edges at y=1 (the interface) see the 50/50 mean of 1, 3.
-        from repro.grid.indexing import GridIndexing
 
         # First x-edge block is ordered (i, j, k); pick i=0, j=1, k=1:
         # flat index within x-edges = i + (nx-1) * (j + ny * k).

@@ -1,6 +1,5 @@
 """Tests for the material library, pinned to Table I of the paper."""
 
-import numpy as np
 import pytest
 
 from repro.constants import T_REFERENCE

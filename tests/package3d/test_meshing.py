@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import PackageLayoutError
 from repro.package3d.chip_example import date16_layout
-from repro.package3d.meshing import RESOLUTIONS, build_package_mesh
+from repro.package3d.meshing import build_package_mesh
 
 
 @pytest.fixture(scope="module")

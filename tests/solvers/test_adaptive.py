@@ -54,6 +54,61 @@ class TestDecay:
         assert result.times[-1] == pytest.approx(1.0)
 
 
+class TestMinDtContract:
+    """Hitting min_dt with an uncontrolled error must raise -- the
+    documented contract -- unless acceptance is explicitly requested."""
+
+    @staticmethod
+    def _inconsistent_step(state, dt):
+        # Full step and two half steps disagree by dt^2 / 2 forever, so
+        # the doubling error estimate can never fall below ~dt^2 / 2.
+        return state + dt * dt
+
+    def test_uncontrolled_error_at_min_dt_raises(self):
+        with pytest.raises(SolverError, match="min_dt"):
+            adaptive_implicit_euler(
+                self._inconsistent_step, np.array([0.0]), end_time=1.0,
+                initial_dt=0.5, tolerance=1e-9, min_dt=1e-2,
+            )
+
+    def test_explicit_flag_accepts_and_records(self):
+        result = adaptive_implicit_euler(
+            self._inconsistent_step, np.array([0.0]), end_time=0.1,
+            initial_dt=0.05, tolerance=1e-9, min_dt=1e-2,
+            accept_min_dt_steps=True,
+        )
+        assert result.times[-1] == pytest.approx(0.1)
+        assert result.num_min_dt_violations >= 1
+        for time, error in result.min_dt_violations:
+            assert 0.0 < time <= 0.1 + 1e-12
+            assert error > 1e-9
+        assert "min_dt violations" in repr(result)
+
+    def test_controlled_runs_record_no_violations(self):
+        result = adaptive_implicit_euler(
+            _decay_step(0.5), np.array([400.0]), end_time=10.0,
+            initial_dt=0.5, tolerance=1e-3,
+        )
+        assert result.num_min_dt_violations == 0
+
+
+class TestResultRepr:
+    def test_empty_step_sizes_do_not_raise(self):
+        from repro.solvers.adaptive import AdaptiveStepResult
+
+        result = AdaptiveStepResult([0.0], [np.array([1.0])], 0, 3, [])
+        text = repr(result)
+        assert "0 accepted" in text
+        assert "3 rejected" in text
+
+    def test_populated_repr_shows_step_range(self):
+        result = adaptive_implicit_euler(
+            _decay_step(0.5), np.array([400.0]), end_time=5.0,
+            initial_dt=0.5, tolerance=1e-3,
+        )
+        assert "dt in [" in repr(result)
+
+
 class TestValidation:
     def test_bad_arguments(self):
         with pytest.raises(SolverError):
@@ -78,7 +133,6 @@ class TestCoupledIntegration:
         """The coupled solver's step plugs straight into the controller."""
         from repro.coupled.electrothermal import CoupledSolver
 
-        import sys
         from tests.coupled.conftest import build_wire_bridge_problem
 
         problem = build_wire_bridge_problem()

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import SamplingError
-from repro.uq.monte_carlo import MonteCarloResult, MonteCarloStudy, monte_carlo_error
+from repro.uq.monte_carlo import MonteCarloStudy, monte_carlo_error
 from repro.uq.distributions import NormalDistribution, UniformDistribution
 from repro.uq.sampling import latin_hypercube
 

@@ -74,12 +74,31 @@ class TestHalton:
         with pytest.raises(SamplingError):
             halton_sequence(10, 100)
 
+    def test_seed_selects_distinct_streams(self):
+        """The seed must matter: seeded campaigns may never collide."""
+        base = halton_sequence(32, 3)
+        one = halton_sequence(32, 3, seed=1)
+        two = halton_sequence(32, 3, seed=2)
+        assert not np.array_equal(one, two)
+        assert not np.array_equal(one, base)
+        assert np.array_equal(one, halton_sequence(32, 3, seed=1))
+
+    def test_seeded_points_stay_in_unit_cube(self):
+        points = halton_sequence(128, 4, seed=123)
+        assert np.all((points >= 0.0) & (points < 1.0))
+
 
 class TestSobol:
     def test_shape(self):
         points = sobol_sequence(64, 12, seed=0)
         assert points.shape == (64, 12)
         assert np.all((points >= 0.0) & (points < 1.0))
+
+    def test_seed_selects_distinct_streams(self):
+        one = sobol_sequence(32, 4, seed=1)
+        two = sobol_sequence(32, 4, seed=2)
+        assert not np.array_equal(one, two)
+        assert np.array_equal(one, sobol_sequence(32, 4, seed=1))
 
 
 class TestMapping:

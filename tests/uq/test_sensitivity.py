@@ -5,7 +5,12 @@ import pytest
 
 from repro.errors import SamplingError
 from repro.uq.distributions import NormalDistribution, UniformDistribution
-from repro.uq.sensitivity import saltelli_sample, sobol_indices
+from repro.uq.sensitivity import (
+    jansen_bootstrap,
+    jansen_indices,
+    saltelli_sample,
+    sobol_indices,
+)
 
 
 class TestSaltelliDesign:
@@ -87,3 +92,161 @@ class TestSobolIndices:
         sobol_indices(model, UniformDistribution(0, 1), 3,
                       num_base_samples=32, seed=0)
         assert len(calls) == 32 * (3 + 2)
+
+    def test_vector_model_raises_clear_error(self):
+        """The in-process driver is scalar-only; the message points at
+        the sensitivity campaign instead of an opaque TypeError."""
+        def model(parameters):
+            return np.array([parameters[0], parameters[1]])
+
+        with pytest.raises(SamplingError, match="sensitivity campaign"):
+            sobol_indices(model, UniformDistribution(0, 1), 2,
+                          num_base_samples=8, seed=0)
+
+    def test_first_order_never_exceeds_total(self):
+        """S_i > ST_i is a finite-M artifact; estimates are clipped."""
+        def model(parameters):
+            return 2.0 * parameters[0] + parameters[1]
+
+        indices = sobol_indices(
+            model, NormalDistribution(0.0, 1.0), 2,
+            num_base_samples=16, seed=4,
+        )
+        assert np.all(indices.first_order <= indices.total + 1e-15)
+
+
+def _saltelli_evaluations(model, num_base_samples, dimension, seed):
+    """Evaluate a vector model on the full Saltelli design."""
+    a, b, ab = saltelli_sample(num_base_samples, dimension, seed=seed)
+    f_a = np.stack([np.asarray(model(row), dtype=float) for row in a])
+    f_b = np.stack([np.asarray(model(row), dtype=float) for row in b])
+    f_ab = np.stack([
+        np.stack([np.asarray(model(row), dtype=float) for row in ab[i]])
+        for i in range(dimension)
+    ])
+    return f_a, f_b, f_ab
+
+
+class TestJansenCore:
+    def test_analytic_linear_additive_model(self):
+        """f = 3 x1 + 2 x2 + x3 of iid U(0,1): S_i = ST_i = w_i^2/14."""
+        weights = np.array([3.0, 2.0, 1.0])
+
+        def model(point):
+            return float(weights @ point)
+
+        f_a, f_b, f_ab = _saltelli_evaluations(model, 8192, 3, seed=0)
+        indices = jansen_indices(f_a, f_b, f_ab)
+        expected = weights ** 2 / np.sum(weights ** 2)
+        assert np.allclose(indices.first_order, expected, atol=0.02)
+        assert np.allclose(indices.total, expected, atol=0.02)
+        assert indices.num_evaluations == 8192 * 5
+
+    def test_vector_components_reduce_independently(self):
+        """Each output column must match its own scalar reduction."""
+        def vector_model(point):
+            return np.array([2.0 * point[0] + point[1],
+                             point[1] - 3.0 * point[2]])
+
+        f_a, f_b, f_ab = _saltelli_evaluations(vector_model, 256, 3, seed=1)
+        vector = jansen_indices(f_a, f_b, f_ab)
+        assert vector.first_order.shape == (3, 2)
+        assert np.asarray(vector.variance).shape == (2,)
+        for component in range(2):
+            scalar = jansen_indices(
+                f_a[:, component], f_b[:, component], f_ab[:, :, component]
+            )
+            assert np.array_equal(vector.first_order[:, component],
+                                  scalar.first_order)
+            assert np.array_equal(vector.total[:, component], scalar.total)
+
+    def test_matrix_output_shape_preserved(self):
+        """A (2, 2)-shaped QoI (e.g. traces) keeps its shape in S/ST."""
+        def matrix_model(point):
+            return np.outer(point[:2], [1.0, 2.0])
+
+        f_a, f_b, f_ab = _saltelli_evaluations(matrix_model, 64, 2, seed=2)
+        indices = jansen_indices(f_a, f_b, f_ab)
+        assert indices.first_order.shape == (2, 2, 2)
+        assert np.asarray(indices.variance).shape == (2, 2)
+
+    def test_clipping_to_total_is_flagged(self):
+        """Constructed case with raw S_1 = 1 > ST_1: clipped and marked."""
+        f_a = np.array([0.0, 2.0])
+        f_b = np.array([1.0, 1.0])
+        f_ab = f_b[np.newaxis, :]  # f_AB0 == f_B => raw S_0 = 1
+        indices = jansen_indices(f_a, f_b, f_ab)
+        assert indices.total[0] == pytest.approx(0.75)
+        assert indices.first_order[0] == pytest.approx(0.75)
+        assert indices.clipped[0]
+        assert indices.num_clipped == 1
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SamplingError):
+            jansen_indices(np.zeros(4), np.zeros(5), np.zeros((2, 4)))
+        with pytest.raises(SamplingError):
+            jansen_indices(np.zeros(4), np.zeros(4), np.zeros((2, 5)))
+
+    def test_zero_variance_scalar_rejected(self):
+        with pytest.raises(SamplingError):
+            jansen_indices(np.ones(4), np.ones(4), np.ones((2, 4)))
+
+    def test_constant_vector_component_flagged_not_fatal(self):
+        """Trace QoIs hold a constant initial row: that component must
+        report NaN indices while the varying components still reduce."""
+        def padded_model(point):
+            return np.array([2.0 * point[0] + point[1], 42.0])
+
+        f_a, f_b, f_ab = _saltelli_evaluations(padded_model, 64, 2, seed=6)
+        padded = jansen_indices(f_a, f_b, f_ab)
+        assert np.all(np.isnan(padded.first_order[:, 1]))
+        assert np.all(np.isnan(padded.total[:, 1]))
+        assert np.asarray(padded.variance)[1] == 0.0
+        scalar = jansen_indices(f_a[:, 0], f_b[:, 0], f_ab[:, :, 0])
+        assert np.array_equal(padded.first_order[:, 0], scalar.first_order)
+        assert np.array_equal(padded.total[:, 0], scalar.total)
+        # Bootstrap degrades the same way instead of raising.
+        interval = jansen_bootstrap(f_a, f_b, f_ab, num_replicates=20,
+                                    seed=6)
+        assert np.all(np.isnan(interval.total_lower[:, 1]))
+        assert np.all(np.isfinite(interval.total_lower[:, 0]))
+
+    def test_all_constant_vector_rejected(self):
+        f_a = np.ones((4, 2))
+        with pytest.raises(SamplingError):
+            jansen_indices(f_a, f_a, np.ones((3, 4, 2)))
+
+
+class TestJansenBootstrap:
+    def test_interval_brackets_point_estimate(self):
+        def model(point):
+            return 2.0 * point[0] + point[1]
+
+        f_a, f_b, f_ab = _saltelli_evaluations(model, 512, 2, seed=3)
+        indices = jansen_indices(f_a, f_b, f_ab)
+        interval = jansen_bootstrap(f_a, f_b, f_ab, num_replicates=200,
+                                    seed=3)
+        assert interval.num_replicates == 200
+        assert np.all(interval.first_order_lower
+                      <= indices.first_order + 1e-12)
+        assert np.all(indices.first_order
+                      <= interval.first_order_upper + 1e-12)
+        assert np.all(interval.total_lower <= interval.total_upper)
+
+    def test_deterministic_per_seed(self):
+        def model(point):
+            return point[0] + 0.5 * point[1]
+
+        f_a, f_b, f_ab = _saltelli_evaluations(model, 64, 2, seed=5)
+        one = jansen_bootstrap(f_a, f_b, f_ab, num_replicates=50, seed=9)
+        two = jansen_bootstrap(f_a, f_b, f_ab, num_replicates=50, seed=9)
+        other = jansen_bootstrap(f_a, f_b, f_ab, num_replicates=50, seed=10)
+        assert np.array_equal(one.total_lower, two.total_lower)
+        assert not np.array_equal(one.total_lower, other.total_lower)
+
+    def test_invalid_arguments(self):
+        f_a, f_b, f_ab = np.zeros(4), np.ones(4), np.zeros((1, 4))
+        with pytest.raises(SamplingError):
+            jansen_bootstrap(f_a, f_b, f_ab, num_replicates=0)
+        with pytest.raises(SamplingError):
+            jansen_bootstrap(f_a, f_b, f_ab, confidence=1.5)
