@@ -1,0 +1,140 @@
+"""Streaming vs in-memory Jansen reduction across output sizes.
+
+The point of the streaming reduction is memory: an in-memory reduce of a
+second-order campaign materializes the ``(M (d + 2 + pairs + groups), K)``
+output matrix, while the :class:`~repro.uq.sensitivity.
+StreamingJansenAccumulator` folds each checkpointed chunk into running
+sums and retains only the ``A``/``B`` blocks plus one ``(K,)`` sum pair
+per swap block.  This bench sweeps the output size ``K`` of a vector QoI
+(the Sobol g-function scaled by a weight vector), re-reduces one
+completed second-order campaign store both ways, verifies the indices
+are bit-identical, and reports wall time plus the bytes each strategy
+holds.
+
+    REPRO_STREAM_BASE_SAMPLES   base samples M (default 64)
+    REPRO_STREAM_OUTPUT_SIZES   comma-separated K sweep (default
+                                "8,256,4096")
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.campaign import (
+    ScenarioSpec,
+    SensitivitySpec,
+    run_sensitivity_campaign,
+)
+from repro.reporting.tables import format_table
+from repro.uq.analytic import sobol_g_distribution
+
+from .conftest import write_artifact
+
+_G_COEFFICIENTS = [0.0, 0.5, 3.0, 9.0, 99.0, 99.0]
+
+
+def _base_samples():
+    return int(os.environ.get("REPRO_STREAM_BASE_SAMPLES", "64"))
+
+
+def _output_sizes():
+    raw = os.environ.get("REPRO_STREAM_OUTPUT_SIZES", "8,256,4096")
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+def _make_spec(num_base_samples, output_size):
+    weights = (1.0 + np.arange(output_size) % 7).tolist()
+    dimension = len(_G_COEFFICIENTS)
+    return SensitivitySpec(
+        name=f"stream-bench-k{output_size}",
+        scenario=ScenarioSpec(
+            problem="sobol-g",
+            options={"a": _G_COEFFICIENTS, "weights": weights},
+            module="repro.uq.analytic",
+        ),
+        distribution=sobol_g_distribution(),
+        dimension=dimension,
+        num_base_samples=num_base_samples,
+        seed=17,
+        chunk_size=max(1, num_base_samples // 2),
+        sampler="random",
+        second_order=True,
+        groups=[[0, 1, 2], [3, 4, 5]],
+        num_bootstrap=0,
+    )
+
+
+def _reduce_bytes(spec, output_size, streaming):
+    """Floats held by the reduction strategy, in bytes."""
+    m = spec.num_base_samples
+    plan = spec.plan
+    if streaming:
+        retained = 2 * m + 2 * (plan.num_blocks - 2)
+    else:
+        retained = spec.num_samples
+    return retained * output_size * 8
+
+
+def test_streaming_reduction_scaling(benchmark, tmp_path):
+    num_base_samples = _base_samples()
+    rows = []
+    last = None
+    for output_size in _output_sizes():
+        spec = _make_spec(num_base_samples, output_size)
+        store = str(tmp_path / f"store-k{output_size}")
+        # Populate the store once; the timed calls below are pure
+        # re-reduces of the checkpointed chunks.
+        run_sensitivity_campaign(spec, store=store, streaming=True)
+
+        start = time.perf_counter()
+        in_memory = run_sensitivity_campaign(
+            spec, store=store, streaming=False, num_bootstrap=0
+        )
+        memory_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        streamed = run_sensitivity_campaign(
+            spec, store=store, streaming=True
+        )
+        stream_elapsed = time.perf_counter() - start
+        assert in_memory.num_evaluated == 0
+        assert streamed.num_evaluated == 0
+        assert np.array_equal(in_memory.first_order, streamed.first_order)
+        assert np.array_equal(in_memory.total, streamed.total)
+        assert np.array_equal(in_memory.second_order.interaction,
+                              streamed.second_order.interaction)
+        assert np.array_equal(in_memory.group_indices.total,
+                              streamed.group_indices.total)
+        matrix_bytes = _reduce_bytes(spec, output_size, False)
+        sum_bytes = _reduce_bytes(spec, output_size, True)
+        rows.append((
+            str(output_size),
+            f"{memory_elapsed * 1e3:.1f}",
+            f"{stream_elapsed * 1e3:.1f}",
+            f"{matrix_bytes / 1e6:.2f}",
+            f"{sum_bytes / 1e6:.2f}",
+            f"{matrix_bytes / sum_bytes:.1f}x",
+        ))
+        last = (spec, store)
+
+    spec, store = last
+
+    def streaming_reduce():
+        return run_sensitivity_campaign(spec, store=store, streaming=True)
+
+    benchmark.pedantic(streaming_reduce, rounds=1, iterations=1)
+
+    text = format_table(
+        ["K", "in-mem [ms]", "stream [ms]", "matrix [MB]", "sums [MB]",
+         "saving"],
+        rows,
+        title=(
+            f"STREAMING JANSEN REDUCTION (sobol-g, M={num_base_samples}, "
+            f"d={len(_G_COEFFICIENTS)}, {spec.plan.num_pairs} pairs, "
+            f"{spec.plan.num_groups} groups, "
+            f"{spec.num_samples} evaluations)"
+        ),
+    )
+    path = write_artifact("streaming_reduction.txt", text)
+    print("\n" + text)
+    print(f"\n[artifact] {path}")

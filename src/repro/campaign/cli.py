@@ -26,6 +26,12 @@ the hottest-wire temperature variance) distributes the same way::
         --workers 4
     repro-campaign sobol report sens/
 
+``sobol spec --second-order`` adds the ``AB_ij`` pair blocks (ranked
+interaction table in the report), ``--groups "0,1,2;3,4"`` grouped
+factor blocks, and ``sobol run --streaming`` folds each chunk into
+running Jansen sums so huge vector QoIs never materialize the full
+output matrix (bit-identical indices, no bootstrap CIs).
+
 ``run``/``resume``/``report`` also auto-detect sensitivity stores and
 specs, so the generic commands keep working on either campaign kind.
 """
@@ -33,7 +39,7 @@ specs, so the generic commands keep working on either campaign kind.
 import argparse
 import sys
 
-from ..errors import ReproError
+from ..errors import CampaignError, ReproError
 from .executor import make_executor
 from .runner import resume_campaign, run_campaign
 from .spec import CampaignSpec
@@ -111,7 +117,8 @@ def _build_parser():
     sobol_spec.add_argument("-o", "--output", required=True,
                             help="path of the JSON spec to write")
     sobol_spec.add_argument("--samples", type=int, default=64,
-                            help="base sample count M (cost is M (d + 2))")
+                            help="base sample count M (cost is "
+                                 "M (d + 2 + pairs + groups))")
     sobol_spec.add_argument("--seed", type=int, default=0)
     sobol_spec.add_argument("--chunk-size", type=int, default=8)
     sobol_spec.add_argument("--resolution", default="coarse",
@@ -119,6 +126,16 @@ def _build_parser():
     sobol_spec.add_argument("--qoi", default="final",
                             help="QoI extractor (default: per-wire end "
                                  "temperatures)")
+    sobol_spec.add_argument(
+        "--second-order", action="store_true",
+        help="add the AB_ij pair blocks (closed second-order and "
+             "interaction indices; cost grows to M (d + 2 + d(d-1)/2))",
+    )
+    sobol_spec.add_argument(
+        "--groups", default=None, metavar="\"0,1;2,3\"",
+        help="semicolon-separated factor groups of comma-separated "
+             "column indices; adds one grouped block per group",
+    )
 
     sobol_run = sobol_commands.add_parser(
         "run", help="execute a sensitivity campaign spec"
@@ -150,6 +167,49 @@ def _add_bootstrap_arguments(parser):
              "confidence intervals (0 disables; default: the value "
              "pinned in the spec)",
     )
+    parser.add_argument(
+        "--streaming", action="store_true",
+        help="fold each chunk into running Jansen sums instead of "
+             "assembling the full output matrix (bit-identical "
+             "indices; implies --bootstrap 0 because the bootstrap "
+             "must resample full rows)",
+    )
+
+
+def _reduction_options(arguments):
+    """Bootstrap/streaming kwargs of one ``sobol run``/``resume`` call.
+
+    ``--streaming`` without an explicit ``--bootstrap`` disables the
+    intervals (the streaming reduction cannot resample rows); an
+    explicit non-zero ``--bootstrap`` together with ``--streaming`` is
+    rejected by the runner with a clear message.
+    """
+    num_bootstrap = arguments.bootstrap
+    if arguments.streaming and num_bootstrap is None:
+        num_bootstrap = 0
+    return {
+        "num_bootstrap": num_bootstrap,
+        "streaming": True if arguments.streaming else None,
+    }
+
+
+def _parse_groups(text):
+    """``"0,1;2,3" -> [[0, 1], [2, 3]]`` (CampaignError on bad input)."""
+    if text is None:
+        return None
+    groups = []
+    for part in text.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            groups.append([int(entry) for entry in part.split(",")])
+        except ValueError:
+            raise CampaignError(
+                f"invalid factor group {part!r}; expected "
+                "comma-separated column indices like '0,1,2'"
+            ) from None
+    return groups or None
 
 
 def _print_result(result, stream):
@@ -275,6 +335,8 @@ def _dispatch_sobol(arguments, out):
             chunk_size=arguments.chunk_size,
             resolution=arguments.resolution,
             qoi=arguments.qoi,
+            second_order=arguments.second_order,
+            groups=_parse_groups(arguments.groups),
         )
         spec.save(arguments.output)
         print(f"wrote {arguments.output}", file=out)
@@ -294,7 +356,7 @@ def _dispatch_sobol(arguments, out):
         progress = None if arguments.quiet else _progress_printer(sys.stderr)
         result = run_sensitivity_campaign(
             spec, store=arguments.store, executor=executor,
-            progress=progress, num_bootstrap=arguments.bootstrap,
+            progress=progress, **_reduction_options(arguments),
         )
         _print_result(result, out)
         return 0
@@ -305,7 +367,7 @@ def _dispatch_sobol(arguments, out):
         progress = None if arguments.quiet else _progress_printer(sys.stderr)
         result = resume_sensitivity_campaign(
             arguments.store, executor=executor, progress=progress,
-            num_bootstrap=arguments.bootstrap,
+            **_reduction_options(arguments),
         )
         _print_result(result, out)
         return 0

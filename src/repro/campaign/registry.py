@@ -49,7 +49,7 @@ _QOIS = {}
 _BUILTINS_LOADED = False
 
 #: Modules whose import registers the built-in scenario entries.
-_BUILTIN_MODULES = ("repro.package3d.scenarios",)
+_BUILTIN_MODULES = ("repro.package3d.scenarios", "repro.uq.analytic")
 
 
 def _ensure_builtins():

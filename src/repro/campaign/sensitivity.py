@@ -2,27 +2,33 @@
 
 The paper's Section I question -- which wire's geometric uncertainty
 drives the hottest-wire temperature variance -- costs ``M (d + 2)`` full
-transient solves.  This module lays the Saltelli ``A`` / ``B`` / ``AB_i``
+transient solves; separating parameter *interactions* adds one ``AB_ij``
+block per pair and grouped-factor questions one block per group.  This
+module lays the Saltelli ``A`` / ``B`` / ``AB_i`` / ``AB_ij`` / group
 blocks out as a first-class campaign so those evaluations stream through
 the existing executor / artifact-store machinery: per-worker model and
 factorization reuse, atomic chunk checkpoints, kill/resume.
 
 Determinism is the load-bearing property.  The design is a pure function
 of the spec: global evaluation index ``g`` maps to ``(block, row) =
-divmod(g, M)`` with blocks ordered ``[A, B, AB_0 .. AB_{d-1}]``, and the
-base matrices come from the seeded sampler stream -- so any executor,
-chunking or resume history reproduces the same parameter rows, and the
-Jansen reduction (:func:`repro.uq.sensitivity.jansen_indices`, shared
-with the in-process path) reproduces the same indices bit for bit.
-Vector-valued quantities of interest (per-wire temperature traces, not
-just the scalar end-max) reduce per output component; bootstrap
-confidence intervals are deterministic per seed.
+divmod(g, M)`` with blocks ordered ``[A, B, AB_0 .. AB_{d-1}]`` (then
+pairs, then groups), and the base matrices come from the seeded sampler
+stream -- so any executor, chunking or resume history reproduces the
+same parameter rows, and the Jansen reduction (the
+:class:`repro.uq.sensitivity.StreamingJansenAccumulator` core shared
+with the in-process path) reproduces the same indices bit for bit,
+whether it folds chunk by chunk (the streaming mode -- huge vector QoIs
+never materialize the full output matrix) or reduces the assembled
+matrix in memory.  Vector-valued quantities of interest (per-wire
+temperature traces, not just the scalar end-max) reduce per output
+component; bootstrap confidence intervals are deterministic per seed.
 """
 
 import numpy as np
 
-from ..errors import CampaignError
-from ..uq.sensitivity import jansen_bootstrap, jansen_indices
+from ..errors import CampaignError, SamplingError
+from ..uq import sensitivity as uq_sensitivity
+from ..uq.sensitivity import StreamingJansenAccumulator, jansen_bootstrap
 from . import registry
 from .runner import execute_campaign_chunks
 from .spec import CampaignSpec
@@ -32,14 +38,21 @@ from .store import ArtifactStore
 class SaltelliPlan:
     """Deterministic block/row layout of a Saltelli design.
 
-    Global evaluation index ``g`` in ``[0, M (d + 2))`` decomposes as
-    ``(block, row) = divmod(g, M)`` with blocks ordered
-    ``[A, B, AB_0, ..., AB_{d-1}]``.  The plan is pure index arithmetic
-    plus row composition -- it owns no random state, so any executor or
-    chunk order reproduces the same design from the same base matrices.
+    Global evaluation index ``g`` decomposes as ``(block, row) =
+    divmod(g, M)`` with blocks ordered ``[A, B, AB_0, ..., AB_{d-1}]``
+    followed by the optional extensions: one ``AB_ij`` block per column
+    pair (``second_order=True``, lexicographic order) and one ``G_k``
+    block per factor group.  Every non-``A``/``B`` block is "``A`` with
+    a column subset taken from ``B``" -- first-order blocks swap one
+    column, pair blocks two, group blocks the whole subset.  The plan is
+    pure index arithmetic plus row composition -- it owns no random
+    state, so any executor or chunk order reproduces the same design
+    from the same base matrices, and a plan without extensions is
+    byte-compatible with the original ``M (d + 2)`` layout.
     """
 
-    def __init__(self, num_base_samples, dimension):
+    def __init__(self, num_base_samples, dimension, second_order=False,
+                 groups=None):
         self.num_base_samples = int(num_base_samples)
         self.dimension = int(dimension)
         if self.num_base_samples < 2:
@@ -50,15 +63,43 @@ class SaltelliPlan:
             raise CampaignError(
                 f"dimension must be >= 1, got {self.dimension}"
             )
+        self.second_order = bool(second_order)
+        self.pairs = (
+            uq_sensitivity.all_pairs(self.dimension)
+            if self.second_order else []
+        )
+        try:
+            self.groups = uq_sensitivity.normalize_groups(
+                groups or [], self.dimension
+            )
+        except SamplingError as exc:
+            raise CampaignError(f"invalid factor groups: {exc}") from exc
+        #: Column subset each swap block copies from ``B`` (block
+        #: ``2 + k`` swaps ``_swaps[k]``).
+        self._swaps = (
+            [(i,) for i in range(self.dimension)]
+            + self.pairs
+            + list(self.groups)
+        )
+
+    @property
+    def num_pairs(self):
+        """Number of ``AB_ij`` second-order blocks."""
+        return len(self.pairs)
+
+    @property
+    def num_groups(self):
+        """Number of grouped-factor blocks."""
+        return len(self.groups)
 
     @property
     def num_blocks(self):
-        """``d + 2`` blocks: ``A``, ``B`` and one ``AB_i`` per input."""
-        return self.dimension + 2
+        """``A``, ``B``, the ``AB_i`` and any ``AB_ij``/group blocks."""
+        return 2 + len(self._swaps)
 
     @property
     def num_evaluations(self):
-        """Total model evaluations ``M (d + 2)``."""
+        """Total model evaluations ``M (d + 2 + pairs + groups)``."""
         return self.num_base_samples * self.num_blocks
 
     def block_of(self, index):
@@ -73,35 +114,51 @@ class SaltelliPlan:
 
     def block_range(self, block):
         """Global index range of one block."""
-        block = int(block)
-        if not 0 <= block < self.num_blocks:
-            raise CampaignError(
-                f"block {block} out of range [0, {self.num_blocks})"
-            )
+        block = self._check_block(block)
         start = block * self.num_base_samples
         return range(start, start + self.num_base_samples)
 
+    @property
+    def swap_subsets(self):
+        """Column subset of every swap block, in block order (the
+        layout contract shared with the streaming accumulator)."""
+        return list(self._swaps)
+
+    def swap_columns(self, block):
+        """Columns block ``block`` copies from ``B`` (``A`` swaps none,
+        ``B`` swaps all)."""
+        block = self._check_block(block)
+        if block == 0:
+            return ()
+        if block == 1:
+            return tuple(range(self.dimension))
+        return tuple(self._swaps[block - 2])
+
     def block_label(self, block):
-        """Human-readable block name (``"A"``, ``"B"``, ``"AB_3"``)."""
-        block = int(block)
+        """Block name (``"A"``, ``"B"``, ``"AB_3"``, ``"AB_1_4"``,
+        ``"G0"``)."""
+        block = self._check_block(block)
         if block == 0:
             return "A"
         if block == 1:
             return "B"
-        if 2 <= block < self.num_blocks:
-            return f"AB_{block - 2}"
-        raise CampaignError(
-            f"block {block} out of range [0, {self.num_blocks})"
-        )
+        subset = block - 2
+        if subset < self.dimension:
+            return f"AB_{subset}"
+        if subset < self.dimension + self.num_pairs:
+            i, j = self.pairs[subset - self.dimension]
+            return f"AB_{i}_{j}"
+        return f"G{subset - self.dimension - self.num_pairs}"
 
     def compose(self, base_unit, indices):
         """Design rows for global ``indices`` from the base unit matrix.
 
         ``base_unit`` is the ``(2 M, d)`` stream: rows ``[0, M)`` are
-        ``A``, rows ``[M, 2 M)`` are ``B``.  ``AB_i`` rows are ``A``
-        rows with column ``i`` taken from ``B`` -- copied bitwise, which
-        is what makes the distributed design reproduce the in-process
-        :func:`repro.uq.sensitivity.saltelli_sample` exactly.
+        ``A``, rows ``[M, 2 M)`` are ``B``.  Swap-block rows are ``A``
+        rows with the block's column subset taken from ``B`` -- copied
+        bitwise, which is what makes the distributed design reproduce
+        the in-process :func:`repro.uq.sensitivity.saltelli_sample`
+        exactly.
         """
         base = np.asarray(base_unit, dtype=float)
         expected = (2 * self.num_base_samples, self.dimension)
@@ -123,8 +180,9 @@ class SaltelliPlan:
             elif block == 1:
                 points[out] = b[row]
             else:
+                columns = list(self._swaps[block - 2])
                 points[out] = a[row]
-                points[out, block - 2] = b[row, block - 2]
+                points[out, columns] = b[row, columns]
         return points
 
     def _check_index(self, index):
@@ -136,16 +194,32 @@ class SaltelliPlan:
             )
         return index
 
+    def _check_block(self, block):
+        block = int(block)
+        if not 0 <= block < self.num_blocks:
+            raise CampaignError(
+                f"block {block} out of range [0, {self.num_blocks})"
+            )
+        return block
+
     def to_dict(self):
-        return {
+        data = {
             "num_base_samples": self.num_base_samples,
             "dimension": self.dimension,
         }
+        # Extensions serialize only when present, so plans without them
+        # stay byte-compatible with pre-second-order manifests.
+        if self.second_order:
+            data["second_order"] = True
+        if self.groups:
+            data["groups"] = [list(group) for group in self.groups]
+        return data
 
     @classmethod
     def from_dict(cls, data):
         data = dict(data)
-        unknown = set(data) - {"num_base_samples", "dimension"}
+        unknown = set(data) - {"num_base_samples", "dimension",
+                               "second_order", "groups"}
         if unknown:
             raise CampaignError(
                 f"Saltelli plan got unknown fields {sorted(unknown)}"
@@ -156,9 +230,15 @@ class SaltelliPlan:
             raise CampaignError(f"invalid Saltelli plan: {exc}") from exc
 
     def __repr__(self):
+        extras = ""
+        if self.second_order:
+            extras += f", pairs={self.num_pairs}"
+        if self.groups:
+            extras += f", groups={self.num_groups}"
         return (
             f"SaltelliPlan(M={self.num_base_samples}, "
-            f"d={self.dimension}, evaluations={self.num_evaluations})"
+            f"d={self.dimension}{extras}, "
+            f"evaluations={self.num_evaluations})"
         )
 
 
@@ -167,8 +247,10 @@ class SensitivitySpec(CampaignSpec):
 
     Inherits the :class:`~repro.campaign.spec.CampaignSpec` fields, but
     the sample budget is ``num_base_samples`` (``M``) and the derived
-    ``num_samples`` is the full ``M (d + 2)`` evaluation count, so
-    chunking, executors and the artifact store work unchanged.  The
+    ``num_samples`` is the full ``M (d + 2 + pairs + groups)``
+    evaluation count (``second_order=True`` adds every ``AB_ij`` pair
+    block, ``groups`` one block per factor group), so chunking,
+    executors and the artifact store work unchanged.  The
     default sampler is ``"random"``, which reproduces the in-process
     :func:`repro.uq.sensitivity.sobol_indices` bit for bit for the same
     seed; the ``"counter"`` sampler and the QMC streams work too (base
@@ -179,7 +261,8 @@ class SensitivitySpec(CampaignSpec):
 
     def __init__(self, name, scenario, distribution, dimension,
                  num_base_samples, seed=0, chunk_size=8, sampler="random",
-                 num_bootstrap=100, confidence=0.95):
+                 num_bootstrap=100, confidence=0.95, second_order=False,
+                 groups=None):
         self.num_base_samples = int(num_base_samples)
         # Reduction settings live in the spec (and hence the pinned
         # manifest), so a resume without flags reproduces the original
@@ -194,7 +277,12 @@ class SensitivitySpec(CampaignSpec):
             raise CampaignError(
                 f"confidence must be in (0, 1), got {self.confidence!r}"
             )
-        plan = SaltelliPlan(self.num_base_samples, int(dimension))
+        self.second_order = bool(second_order)
+        plan = SaltelliPlan(
+            self.num_base_samples, int(dimension),
+            second_order=self.second_order, groups=groups,
+        )
+        self.groups = plan.groups
         super().__init__(
             name, scenario, distribution, dimension,
             num_samples=plan.num_evaluations, seed=seed,
@@ -204,7 +292,10 @@ class SensitivitySpec(CampaignSpec):
     @property
     def plan(self):
         """The :class:`SaltelliPlan` laying out this campaign's design."""
-        return SaltelliPlan(self.num_base_samples, self.dimension)
+        return SaltelliPlan(
+            self.num_base_samples, self.dimension,
+            second_order=self.second_order, groups=self.groups,
+        )
 
     def base_unit_points(self):
         """The ``(2 M, d)`` unit-cube base stream (``A`` rows, then ``B``).
@@ -262,11 +353,12 @@ class SensitivitySpec(CampaignSpec):
             else:
                 points[out] = base_row(row)
                 if block >= 2:
-                    points[out, block - 2] = base_row(m + row)[block - 2]
+                    columns = list(plan.swap_columns(block))
+                    points[out, columns] = base_row(m + row)[columns]
         return points
 
     def to_dict(self):
-        return {
+        data = {
             "kind": self.kind,
             "name": self.name,
             "scenario": self.scenario.to_dict(),
@@ -279,6 +371,14 @@ class SensitivitySpec(CampaignSpec):
             "num_bootstrap": self.num_bootstrap,
             "confidence": self.confidence,
         }
+        # Second-order / group options serialize only when enabled, so
+        # specs without them stay byte-compatible with PR-2 manifests
+        # (and PR-2 stores load here unchanged).
+        if self.second_order:
+            data["second_order"] = True
+        if self.groups:
+            data["groups"] = [list(group) for group in self.groups]
+        return data
 
     @classmethod
     def from_dict(cls, data):
@@ -297,7 +397,7 @@ class SensitivitySpec(CampaignSpec):
         unknown = set(data) - {"name", "scenario", "distribution",
                                "dimension", "num_base_samples", "seed",
                                "chunk_size", "sampler", "num_bootstrap",
-                               "confidence"}
+                               "confidence", "second_order", "groups"}
         if unknown:
             raise CampaignError(
                 f"sensitivity spec got unknown fields {sorted(unknown)}"
@@ -327,17 +427,31 @@ class SensitivityResult:
         Bootstrap :class:`~repro.uq.sensitivity.BootstrapInterval`, or
         ``None`` when the run disabled it.
     parameters:
-        The full ``(M (d + 2), d)`` evaluated parameter matrix.
+        The full ``(M (d + 2 + pairs + groups), d)`` evaluated parameter
+        matrix.
     num_evaluated:
         Evaluations performed by *this* call (0 for a pure re-reduce).
+    second_order:
+        :class:`~repro.uq.sensitivity.SecondOrderIndices` when the spec
+        enabled ``second_order``, else ``None``.
+    group_indices:
+        :class:`~repro.uq.sensitivity.GroupIndices` when the spec named
+        factor groups, else ``None``.
+    streamed:
+        Whether the reduction streamed per chunk (never materializing
+        the full output matrix) instead of assembling it in memory.
     """
 
-    def __init__(self, spec, indices, interval, parameters, num_evaluated):
+    def __init__(self, spec, indices, interval, parameters, num_evaluated,
+                 second_order=None, group_indices=None, streamed=False):
         self.spec = spec
         self.indices = indices
         self.interval = interval
         self.parameters = parameters
         self.num_evaluated = int(num_evaluated)
+        self.second_order = second_order
+        self.group_indices = group_indices
+        self.streamed = bool(streamed)
 
     @property
     def first_order(self):
@@ -392,12 +506,57 @@ class SensitivityResult:
             "clipped_first_order": [bool(flag) for flag in clipped],
             "ranking": [int(i) for i in np.argsort(-total)],
         }
+        if self.second_order is not None:
+            second = self.second_order
+            num_pairs = second.num_pairs
+            closed = second.closed.reshape(num_pairs, -1)[:, component]
+            interaction = second.interaction.reshape(
+                num_pairs, -1
+            )[:, component]
+            pair_total = second.total.reshape(num_pairs, -1)[:, component]
+            summary["pairs"] = [[int(i), int(j)] for i, j in second.pairs]
+            summary["closed_second_order"] = [float(v) for v in closed]
+            summary["second_order"] = [float(v) for v in interaction]
+            summary["pair_total"] = [float(v) for v in pair_total]
+            summary["interaction_ranking"] = [
+                int(p) for p in np.argsort(-interaction)
+            ]
+        if self.group_indices is not None:
+            group = self.group_indices
+            num_groups = group.num_groups
+            group_closed = group.closed.reshape(
+                num_groups, -1
+            )[:, component]
+            group_total = group.total.reshape(num_groups, -1)[:, component]
+            summary["groups"] = [list(g) for g in group.groups]
+            summary["group_closed"] = [float(v) for v in group_closed]
+            summary["group_total"] = [float(v) for v in group_total]
+            summary["group_ranking"] = [
+                int(g) for g in np.argsort(-group_total)
+            ]
         if self.interval is not None:
             for name in ("first_order_lower", "first_order_upper",
                          "total_lower", "total_upper"):
                 bound = getattr(self.interval, name)
                 bound = bound.reshape(dimension, -1)[:, component]
                 summary[name] = [float(value) for value in bound]
+            if self.interval.has_second_order:
+                for name in ("closed_second_order_lower",
+                             "closed_second_order_upper",
+                             "second_order_lower", "second_order_upper"):
+                    bound = getattr(self.interval, name)
+                    bound = bound.reshape(
+                        bound.shape[0], -1
+                    )[:, component]
+                    summary[name] = [float(value) for value in bound]
+            if self.interval.has_groups:
+                for name in ("group_closed_lower", "group_closed_upper",
+                             "group_total_lower", "group_total_upper"):
+                    bound = getattr(self.interval, name)
+                    bound = bound.reshape(
+                        bound.shape[0], -1
+                    )[:, component]
+                    summary[name] = [float(value) for value in bound]
             summary["bootstrap_replicates"] = self.interval.num_replicates
             summary["confidence"] = self.interval.confidence
         return summary
@@ -411,22 +570,35 @@ class SensitivityResult:
 
 
 def run_sensitivity_campaign(spec, store=None, executor=None, progress=None,
-                             num_bootstrap=None, confidence=None):
+                             num_bootstrap=None, confidence=None,
+                             streaming=None):
     """Run (or finish) a sensitivity campaign; returns its result.
 
-    Streams the ``M (d + 2)`` Saltelli evaluations through the campaign
-    executor/store machinery -- per-worker model reuse, atomic chunk
-    checkpoints, resume of a partially filled store -- then reduces with
-    the shared Jansen core.  For ``sampler="random"`` the indices equal
-    the in-process :func:`repro.uq.sensitivity.sobol_indices` bit for
-    bit; every executor and every kill/resume history produces identical
-    indices and (seeded) bootstrap intervals.
+    Streams the ``M (d + 2 + pairs + groups)`` Saltelli evaluations
+    through the campaign executor/store machinery -- per-worker model
+    reuse, atomic chunk checkpoints, resume of a partially filled store
+    -- then reduces with the shared Jansen core.  For
+    ``sampler="random"`` the first-order indices equal the in-process
+    :func:`repro.uq.sensitivity.sobol_indices` bit for bit; every
+    executor and every kill/resume history produces identical indices
+    and (seeded) bootstrap intervals.
 
     ``num_bootstrap`` / ``confidence`` override the spec's persisted
     bootstrap settings for this reduction only (``num_bootstrap=0``
     disables the intervals); the defaults come from the spec -- which is
     pinned in the store manifest -- so a flag-less resume reproduces the
     original confidence intervals exactly.
+
+    ``streaming`` picks the reduction strategy.  The default (``None``)
+    streams whenever the bootstrap is disabled: each checkpointed chunk
+    folds into the :class:`~repro.uq.sensitivity.
+    StreamingJansenAccumulator`'s running sums, so the
+    ``(M (d + 2 + pairs + groups), K)`` output matrix of a huge vector
+    QoI never materializes -- with indices bit-identical to the
+    in-memory path (both feed the same accumulator in the same row
+    order).  ``streaming=False`` forces the in-memory assembly;
+    ``streaming=True`` with a bootstrap request raises, because the
+    bootstrap must resample full rows.
     """
     if not isinstance(spec, SensitivitySpec):
         raise CampaignError(
@@ -437,38 +609,86 @@ def run_sensitivity_campaign(spec, store=None, executor=None, progress=None,
         num_bootstrap = spec.num_bootstrap
     if confidence is None:
         confidence = spec.confidence
+    if streaming is None:
+        streaming = not num_bootstrap
+    if streaming and num_bootstrap:
+        raise CampaignError(
+            "the streaming reduction folds chunks into running sums and "
+            "cannot resample rows for bootstrap intervals; pass "
+            "num_bootstrap=0 (CLI: --bootstrap 0) or streaming=False"
+        )
     chunk_reader, num_evaluated, store = execute_campaign_chunks(
         spec, store=store, executor=executor, progress=progress
     )
 
-    # Deterministic reduce: assemble outputs in global-evaluation order
-    # (a pure function of the checkpointed chunks), then apply the same
-    # Jansen expressions as the in-process path.
-    outputs = None
-    parameters = np.empty((spec.num_samples, spec.dimension))
-    for chunk_index in range(spec.num_chunks):
-        indices, chunk_parameters, chunk_outputs = chunk_reader(chunk_index)
-        if outputs is None:
-            outputs = np.empty(
-                (spec.num_samples,) + chunk_outputs.shape[1:]
-            )
-        outputs[indices] = chunk_outputs
-        parameters[indices] = chunk_parameters
-
+    # Deterministic reduce, in global-evaluation order (a pure function
+    # of the checkpointed chunks).  Both strategies feed the canonical
+    # streaming accumulator row by row, so they are bit-identical; the
+    # in-memory path additionally keeps the assembled matrix around for
+    # the bootstrap resampling.
+    plan = spec.plan
     m = spec.num_base_samples
-    f_a = outputs[:m]
-    f_b = outputs[m:2 * m]
-    f_ab = outputs[2 * m:].reshape((spec.dimension, m) + outputs.shape[1:])
-    indices_result = jansen_indices(f_a, f_b, f_ab)
+    parameters = np.empty((spec.num_samples, spec.dimension))
+    accumulator = StreamingJansenAccumulator(
+        m, spec.dimension,
+        pairs=plan.pairs or None, groups=plan.groups or None,
+    )
+    if accumulator.swap_subsets != plan.swap_subsets:
+        raise CampaignError(
+            "internal error: the streaming accumulator's block layout "
+            f"{accumulator.swap_subsets} does not match the Saltelli "
+            f"plan's {plan.swap_subsets}"
+        )
+    outputs = None
+    for chunk_index in range(spec.num_chunks):
+        indices, chunk_parameters, chunk_outputs = chunk_reader(
+            chunk_index
+        )
+        accumulator.add(indices, chunk_outputs)
+        parameters[indices] = chunk_parameters
+        if not streaming:
+            # The bootstrap below resamples full rows, so the in-memory
+            # mode additionally assembles the output matrix; the point
+            # estimates come from the same per-chunk folds either way.
+            if outputs is None:
+                outputs = np.empty(
+                    (spec.num_samples,) + chunk_outputs.shape[1:]
+                )
+            outputs[indices] = chunk_outputs
+    estimates = accumulator.finalize()
+
     interval = None
     if num_bootstrap:
+        output_shape = outputs.shape[1:]
+        f_a = outputs[:m]
+        f_b = outputs[m:2 * m]
+        first_stop = (2 + spec.dimension) * m
+        f_ab = outputs[2 * m:first_stop].reshape(
+            (spec.dimension, m) + output_shape
+        )
+        f_ab_pairs = None
+        pair_stop = first_stop + plan.num_pairs * m
+        if plan.num_pairs:
+            f_ab_pairs = outputs[first_stop:pair_stop].reshape(
+                (plan.num_pairs, m) + output_shape
+            )
+        f_ab_groups = None
+        if plan.num_groups:
+            f_ab_groups = outputs[pair_stop:].reshape(
+                (plan.num_groups, m) + output_shape
+            )
         interval = jansen_bootstrap(
             f_a, f_b, f_ab, num_replicates=num_bootstrap, seed=spec.seed,
             confidence=confidence,
+            f_ab_pairs=f_ab_pairs, pairs=plan.pairs or None,
+            f_ab_groups=f_ab_groups, groups=plan.groups or None,
         )
 
     result = SensitivityResult(
-        spec, indices_result, interval, parameters, num_evaluated
+        spec, estimates.first_order, interval, parameters, num_evaluated,
+        second_order=estimates.second_order,
+        group_indices=estimates.groups,
+        streamed=streaming,
     )
     if store is not None:
         store.write_summary(result.summary())
@@ -476,13 +696,16 @@ def run_sensitivity_campaign(spec, store=None, executor=None, progress=None,
 
 
 def resume_sensitivity_campaign(store, executor=None, progress=None,
-                                num_bootstrap=None, confidence=None):
+                                num_bootstrap=None, confidence=None,
+                                streaming=None):
     """Finish the sensitivity campaign pinned in an existing store.
 
     Evaluates only the missing chunks and reduces over all of them --
     by construction this reproduces the uninterrupted indices (and,
     since the bootstrap settings default to the pinned spec's, the
-    seeded bootstrap intervals) exactly.
+    seeded bootstrap intervals) exactly; the streaming and in-memory
+    reductions are bit-identical, so ``streaming`` may differ between
+    the original run and the resume.
     """
     if not isinstance(store, ArtifactStore):
         store = ArtifactStore(store)
@@ -499,4 +722,5 @@ def resume_sensitivity_campaign(store, executor=None, progress=None,
     return run_sensitivity_campaign(
         spec, store=store, executor=executor, progress=progress,
         num_bootstrap=num_bootstrap, confidence=confidence,
+        streaming=streaming,
     )

@@ -156,6 +156,8 @@ def date16_sensitivity_spec(
     parameters=None,
     waveform=None,
     sampler="random",
+    second_order=False,
+    groups=None,
 ):
     """A ready-to-run Sobol sensitivity campaign for the paper's problem.
 
@@ -166,6 +168,13 @@ def date16_sensitivity_spec(
     report ranks wires by their contribution to the hottest wire's
     variance; ``sampler="random"`` makes the campaign reproduce the
     in-process :func:`repro.uq.sensitivity.sobol_indices` bit for bit.
+
+    ``second_order=True`` adds every ``AB_ij`` pair block (66 for the
+    12-wire layout -- the cost grows to ``M (d + 2 + 66)``) so the
+    report separates wire-pair interactions from main effects;
+    ``groups`` (e.g. the two six-wire banks ``[[0, 1, 2, 3, 4, 5],
+    [6, 7, 8, 9, 10, 11]]``) adds one grouped block per bank at
+    marginal cost.
     """
     from ..campaign.sensitivity import SensitivitySpec
     from ..campaign.spec import ScenarioSpec
@@ -190,4 +199,6 @@ def date16_sensitivity_spec(
         seed=seed,
         chunk_size=chunk_size,
         sampler=sampler,
+        second_order=second_order,
+        groups=groups,
     )

@@ -11,7 +11,7 @@ _HEADER_ROWS = (
     ("sampler", "Sampler"),
     ("num_base_samples", "Base samples M"),
     ("dimension", "Inputs d"),
-    ("num_evaluations", "Evaluations M(d+2)"),
+    ("num_evaluations", "Evaluations"),
     ("num_chunks", "Checkpoint chunks"),
     ("output_size", "Output entries"),
     ("argmax_output", "Reported output (max variance)"),
@@ -25,26 +25,14 @@ def _format_value(value):
     return str(value)
 
 
-def format_sensitivity_summary(summary, title=None):
-    """Header table plus the ranked per-input Sobol-index table.
-
-    ``summary`` is the JSON dict persisted by a sensitivity campaign
-    (``summary.json`` of the store).  Inputs are ranked by decreasing
-    total index; bootstrap confidence bounds appear when the summary
-    carries them, and first-order estimates that were clipped to their
-    total index are marked with ``*``.
-    """
-    summary = dict(summary)
-    header_rows = [
-        (label, _format_value(summary[key]))
-        for key, label in _HEADER_ROWS
-        if key in summary
-    ]
-    header = format_table(
-        ("Quantity", "Value"), header_rows,
-        title=title or "Sensitivity campaign",
+def _interval_column(summary, lower_key, upper_key, index):
+    return (
+        f"[{summary[lower_key][index]:.4f}, "
+        f"{summary[upper_key][index]:.4f}]"
     )
 
+
+def _first_order_table(summary, level):
     first = summary.get("first_order", [])
     total = summary.get("total", [])
     clipped = summary.get("clipped_first_order", [False] * len(first))
@@ -55,8 +43,6 @@ def format_sensitivity_summary(summary, title=None):
 
     columns = ["rank", "input", "S_i"]
     if has_interval:
-        confidence = summary.get("confidence", 0.95)
-        level = f"{100.0 * confidence:.0f}%"
         columns += [f"S_i {level} CI"]
     columns += ["S_T,i"]
     if has_interval:
@@ -67,24 +53,134 @@ def format_sensitivity_summary(summary, title=None):
         first_text = f"{first[i]:.4f}" + ("*" if clipped[i] else "")
         row = [str(rank), f"x{i:02d}", first_text]
         if has_interval:
-            row.append(
-                f"[{summary['first_order_lower'][i]:.4f}, "
-                f"{summary['first_order_upper'][i]:.4f}]"
-            )
+            row.append(_interval_column(
+                summary, "first_order_lower", "first_order_upper", i
+            ))
         row.append(f"{total[i]:.4f}")
         if has_interval:
-            row.append(
-                f"[{summary['total_lower'][i]:.4f}, "
-                f"{summary['total_upper'][i]:.4f}]"
-            )
+            row.append(_interval_column(
+                summary, "total_lower", "total_upper", i
+            ))
         rows.append(row)
-
-    ranked = format_table(
+    return format_table(
         columns, rows,
         title="Sobol indices (ranked by total index)",
+    ), any(clipped)
+
+
+def _interaction_table(summary, level):
+    """Ranked pair table: closed second-order and pure interaction."""
+    pairs = summary["pairs"]
+    closed = summary["closed_second_order"]
+    interaction = summary["second_order"]
+    ranking = summary.get("interaction_ranking", sorted(
+        range(len(pairs)), key=lambda p: -interaction[p]
+    ))
+    has_interval = "second_order_lower" in summary
+
+    columns = ["rank", "pair", "S^c_ij"]
+    if has_interval:
+        columns += [f"S^c_ij {level} CI"]
+    columns += ["S_ij"]
+    if has_interval:
+        columns += [f"S_ij {level} CI"]
+
+    rows = []
+    for rank, p in enumerate(ranking, start=1):
+        i, j = pairs[p]
+        row = [str(rank), f"x{i:02d}*x{j:02d}", f"{closed[p]:.4f}"]
+        if has_interval:
+            row.append(_interval_column(
+                summary, "closed_second_order_lower",
+                "closed_second_order_upper", p,
+            ))
+        row.append(f"{interaction[p]:.4f}")
+        if has_interval:
+            row.append(_interval_column(
+                summary, "second_order_lower", "second_order_upper", p
+            ))
+        rows.append(row)
+    return format_table(
+        columns, rows,
+        title="Pair interactions (ranked by second-order index)",
     )
+
+
+def _group_table(summary, level):
+    """Ranked grouped-factor table: closed and total group indices."""
+    groups = summary["groups"]
+    closed = summary["group_closed"]
+    total = summary["group_total"]
+    ranking = summary.get("group_ranking", sorted(
+        range(len(groups)), key=lambda g: -total[g]
+    ))
+    has_interval = "group_total_lower" in summary
+
+    columns = ["rank", "group", "S^c_G"]
+    if has_interval:
+        columns += [f"S^c_G {level} CI"]
+    columns += ["S_T,G"]
+    if has_interval:
+        columns += [f"S_T,G {level} CI"]
+
+    rows = []
+    for rank, g in enumerate(ranking, start=1):
+        label = "{" + ",".join(f"x{i:02d}" for i in groups[g]) + "}"
+        row = [str(rank), label, f"{closed[g]:.4f}"]
+        if has_interval:
+            row.append(_interval_column(
+                summary, "group_closed_lower", "group_closed_upper", g
+            ))
+        row.append(f"{total[g]:.4f}")
+        if has_interval:
+            row.append(_interval_column(
+                summary, "group_total_lower", "group_total_upper", g
+            ))
+        rows.append(row)
+    return format_table(
+        columns, rows,
+        title="Factor groups (ranked by total group index)",
+    )
+
+
+def format_sensitivity_summary(summary, title=None):
+    """Header table plus the ranked per-input Sobol-index table.
+
+    ``summary`` is the JSON dict persisted by a sensitivity campaign
+    (``summary.json`` of the store).  Inputs are ranked by decreasing
+    total index; when the campaign carried second-order (``AB_ij``) or
+    grouped-factor blocks, a ranked interaction table and a group table
+    follow.  Bootstrap confidence bounds appear when the summary
+    carries them, and first-order estimates that were clipped to their
+    total index are marked with ``*``.
+    """
+    summary = dict(summary)
+    header_rows = [
+        (label, _format_value(summary[key]))
+        for key, label in _HEADER_ROWS
+        if key in summary
+    ]
+    if "pairs" in summary:
+        header_rows.append(("Pair blocks AB_ij", str(len(summary["pairs"]))))
+    if "groups" in summary:
+        header_rows.append(("Group blocks", str(len(summary["groups"]))))
+    header = format_table(
+        ("Quantity", "Value"), header_rows,
+        title=title or "Sensitivity campaign",
+    )
+
+    confidence = summary.get("confidence", 0.95)
+    level = f"{100.0 * confidence:.0f}%"
+    ranked, any_clipped = _first_order_table(summary, level)
+
+    sections = [header, ranked]
+    if "pairs" in summary:
+        sections.append(_interaction_table(summary, level))
+    if "groups" in summary:
+        sections.append(_group_table(summary, level))
+
     footnotes = []
-    if any(clipped):
+    if any_clipped:
         footnotes.append(
             "* first-order estimate exceeded its total index at finite M "
             "and was clipped"
@@ -94,7 +190,7 @@ def format_sensitivity_summary(summary, title=None):
             f"CIs: percentile bootstrap, "
             f"B={summary['bootstrap_replicates']} replicates"
         )
-    text = header + "\n\n" + ranked
+    text = "\n\n".join(sections)
     if footnotes:
         text += "\n" + "\n".join(footnotes)
     return text

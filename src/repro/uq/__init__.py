@@ -35,9 +35,16 @@ from .sampling import (
 from .pce import PolynomialChaosExpansion, total_degree_multi_indices
 from .sensitivity import (
     BootstrapInterval,
+    GroupIndices,
+    JansenEstimates,
+    SecondOrderIndices,
     SobolIndices,
+    StreamingJansenAccumulator,
+    all_pairs,
     jansen_bootstrap,
+    jansen_group_indices,
     jansen_indices,
+    jansen_second_order,
     saltelli_sample,
     sobol_indices,
 )
@@ -62,9 +69,16 @@ __all__ = [
     "random_sampler",
     "sobol_indices",
     "saltelli_sample",
+    "all_pairs",
     "jansen_indices",
+    "jansen_second_order",
+    "jansen_group_indices",
     "jansen_bootstrap",
     "SobolIndices",
+    "SecondOrderIndices",
+    "GroupIndices",
+    "JansenEstimates",
+    "StreamingJansenAccumulator",
     "BootstrapInterval",
     "RunningStatistics",
     "histogram_data",

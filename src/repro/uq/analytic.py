@@ -1,0 +1,239 @@
+"""Analytic benchmark functions with closed-form Sobol indices.
+
+The sensitivity subsystem is bitwise-reproducible by construction, but
+reproducibility alone cannot prove the estimators point at the right
+numbers.  These two classic functions can: the Ishigami function and the
+Sobol g-function have exact Sobol indices of every order, so golden
+tests (``tests/uq/test_analytic_golden.py``) pin the Jansen estimates --
+first-order, total, closed second-order and grouped -- against ground
+truth instead of against each other.
+
+Both functions are registered as campaign problems (``"ishigami"`` and
+``"sobol-g"``; reference them with
+``ScenarioSpec(module="repro.uq.analytic")``), so the full distributed
+path -- Saltelli plan, executors, artifact store, streaming reduction --
+can be validated end to end against the closed forms.  The optional
+``weights`` scenario option turns the scalar output into a vector QoI
+(``weights * f``), exercising the per-component reduction including the
+zero-variance ``NaN`` contract (a zero weight makes a constant
+component).
+"""
+
+import math
+
+import numpy as np
+
+from ..errors import SamplingError
+
+#: Paper-standard Ishigami coefficients (Ishigami & Homma 1990).
+ISHIGAMI_A = 7.0
+ISHIGAMI_B = 0.1
+
+#: Module path for ``ScenarioSpec(module=...)`` resolution in workers.
+MODULE = "repro.uq.analytic"
+
+
+# ----------------------------------------------------------------------
+# Ishigami function
+# ----------------------------------------------------------------------
+def ishigami(point, a=ISHIGAMI_A, b=ISHIGAMI_B):
+    """``f = sin x1 + a sin^2 x2 + b x3^4 sin x1`` on ``[-pi, pi]^3``."""
+    point = np.asarray(point, dtype=float)
+    if point.shape[-1] != 3:
+        raise SamplingError(
+            f"the Ishigami function takes 3 inputs, got {point.shape[-1]}"
+        )
+    x1, x2, x3 = point[..., 0], point[..., 1], point[..., 2]
+    return np.sin(x1) + a * np.sin(x2) ** 2 + b * x3 ** 4 * np.sin(x1)
+
+
+def ishigami_indices(a=ISHIGAMI_A, b=ISHIGAMI_B):
+    """Closed-form Sobol indices of :func:`ishigami` (iid U(-pi, pi)).
+
+    Returns a dict with ``variance``, ``first_order`` / ``total``
+    (``(3,)`` arrays), ``second_order`` / ``closed_second_order``
+    (dicts keyed by ``(i, j)`` pairs), and ``group_closed`` /
+    ``group_total`` callables mapping a column subset to its index.
+    The only non-zero interaction is ``S_13``.
+    """
+    pi4 = math.pi ** 4
+    v1 = 0.5 * (1.0 + b * pi4 / 5.0) ** 2
+    v2 = a ** 2 / 8.0
+    v13 = 8.0 * b ** 2 * pi4 ** 2 / 225.0
+    variance = v1 + v2 + v13
+    partial = {(0,): v1, (1,): v2, (2,): 0.0, (0, 1): 0.0, (0, 2): v13,
+               (1, 2): 0.0, (0, 1, 2): 0.0}
+
+    def closed_variance(columns):
+        columns = tuple(sorted(columns))
+        return sum(value for subset, value in partial.items()
+                   if set(subset) <= set(columns))
+
+    def group_closed(columns):
+        return closed_variance(columns) / variance
+
+    def group_total(columns):
+        complement = tuple(i for i in range(3) if i not in set(columns))
+        return (variance - closed_variance(complement)) / variance
+
+    return {
+        "variance": variance,
+        "first_order": np.array([v1, v2, 0.0]) / variance,
+        "total": np.array([v1 + v13, v2, v13]) / variance,
+        "second_order": {(0, 1): 0.0, (0, 2): v13 / variance, (1, 2): 0.0},
+        "closed_second_order": {
+            (0, 1): (v1 + v2) / variance,
+            (0, 2): (v1 + v13) / variance,
+            (1, 2): v2 / variance,
+        },
+        "group_closed": group_closed,
+        "group_total": group_total,
+    }
+
+
+def ishigami_distribution():
+    """Spec dict of the iid U(-pi, pi) input marginals."""
+    return {"kind": "uniform", "lower": -math.pi, "upper": math.pi}
+
+
+# ----------------------------------------------------------------------
+# Sobol g-function
+# ----------------------------------------------------------------------
+def sobol_g(point, a):
+    """``f = prod_i (|4 x_i - 2| + a_i) / (1 + a_i)`` on ``[0, 1]^d``."""
+    point = np.asarray(point, dtype=float)
+    a = np.asarray(a, dtype=float)
+    if point.shape[-1] != a.shape[0]:
+        raise SamplingError(
+            f"point has {point.shape[-1]} inputs but a has {a.shape[0]} "
+            "coefficients"
+        )
+    return np.prod(
+        (np.abs(4.0 * point - 2.0) + a) / (1.0 + a), axis=-1
+    )
+
+
+def sobol_g_indices(a):
+    """Closed-form Sobol indices of :func:`sobol_g` (iid U(0, 1)).
+
+    With ``v_i = 1 / (3 (1 + a_i)^2)`` the closed variance of any group
+    is ``prod_{i in g} (1 + v_i) - 1`` and the total variance is the
+    full-set closed variance; every index of every order follows.
+    """
+    a = np.asarray(a, dtype=float)
+    dimension = a.shape[0]
+    v = 1.0 / (3.0 * (1.0 + a) ** 2)
+    variance = float(np.prod(1.0 + v) - 1.0)
+
+    def closed_variance(columns):
+        columns = tuple(sorted(set(columns)))
+        return float(np.prod(1.0 + v[list(columns)]) - 1.0)
+
+    def group_closed(columns):
+        return closed_variance(columns) / variance
+
+    def group_total(columns):
+        complement = tuple(
+            i for i in range(dimension) if i not in set(columns)
+        )
+        return (variance - closed_variance(complement)) / variance
+
+    second_order = {}
+    closed_second_order = {}
+    for i in range(dimension):
+        for j in range(i + 1, dimension):
+            second_order[(i, j)] = float(v[i] * v[j]) / variance
+            closed_second_order[(i, j)] = (
+                float(v[i] + v[j] + v[i] * v[j]) / variance
+            )
+    total = np.array([
+        float(v[i] * np.prod(1.0 + np.delete(v, i))) / variance
+        for i in range(dimension)
+    ])
+    return {
+        "variance": variance,
+        "first_order": v / variance,
+        "total": total,
+        "second_order": second_order,
+        "closed_second_order": closed_second_order,
+        "group_closed": group_closed,
+        "group_total": group_total,
+    }
+
+
+def sobol_g_distribution():
+    """Spec dict of the iid U(0, 1) input marginals."""
+    return {"kind": "uniform", "lower": 0.0, "upper": 1.0}
+
+
+# ----------------------------------------------------------------------
+# Campaign problem builders
+# ----------------------------------------------------------------------
+def _vector_weights(options):
+    weights = options.get("weights")
+    if weights is None:
+        return None
+    return np.asarray(weights, dtype=float)
+
+
+def build_ishigami_model(scenario):
+    """``ScenarioSpec -> model`` for the ``"ishigami"`` problem.
+
+    Options: ``a``, ``b`` coefficients and optional ``weights`` (a list
+    turning the scalar output into the vector QoI ``weights * f``).
+    """
+    options = dict(scenario.options)
+    a = float(options.pop("a", ISHIGAMI_A))
+    b = float(options.pop("b", ISHIGAMI_B))
+    weights = _vector_weights(options)
+    options.pop("weights", None)
+    if options:
+        raise SamplingError(
+            f"ishigami scenario got unknown options {sorted(options)}"
+        )
+
+    def model(parameters):
+        value = ishigami(parameters, a=a, b=b)
+        if weights is None:
+            return np.float64(value)
+        return weights * value
+
+    return model
+
+
+def build_sobol_g_model(scenario):
+    """``ScenarioSpec -> model`` for the ``"sobol-g"`` problem.
+
+    Options: ``a`` (list of coefficients, required) and optional
+    ``weights`` as for :func:`build_ishigami_model`.
+    """
+    options = dict(scenario.options)
+    if "a" not in options:
+        raise SamplingError(
+            "sobol-g scenario needs the coefficient list option 'a'"
+        )
+    a = np.asarray(options.pop("a"), dtype=float)
+    weights = _vector_weights(options)
+    options.pop("weights", None)
+    if options:
+        raise SamplingError(
+            f"sobol-g scenario got unknown options {sorted(options)}"
+        )
+
+    def model(parameters):
+        value = sobol_g(parameters, a)
+        if weights is None:
+            return np.float64(value)
+        return weights * value
+
+    return model
+
+
+def _register():
+    from ..campaign.registry import register_problem
+
+    register_problem("ishigami", build_ishigami_model)
+    register_problem("sobol-g", build_sobol_g_model)
+
+
+_register()

@@ -29,7 +29,8 @@ def make_toy_spec(num_samples=24, chunk_size=5, seed=7, sampler="counter",
 
 def make_toy_sensitivity_spec(num_base_samples=16, chunk_size=7, seed=3,
                               sampler="random", qoi="test-scalar-sum",
-                              options=None):
+                              options=None, second_order=False,
+                              groups=None):
     """A cheap Sobol sensitivity campaign over the registered toy problem."""
     return SensitivitySpec(
         name=f"toy-sobol-{num_base_samples}",
@@ -45,6 +46,8 @@ def make_toy_sensitivity_spec(num_base_samples=16, chunk_size=7, seed=3,
         seed=seed,
         chunk_size=chunk_size,
         sampler=sampler,
+        second_order=second_order,
+        groups=groups,
     )
 
 

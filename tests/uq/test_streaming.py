@@ -1,0 +1,277 @@
+"""Streaming-equivalence property tests for the Jansen accumulator.
+
+The :class:`~repro.uq.sensitivity.StreamingJansenAccumulator` is the
+canonical reduction: feeding the Saltelli stream in chunks of any size
+must reproduce the in-memory ``jansen_indices`` /
+``jansen_second_order`` / ``jansen_group_indices`` results bit for bit,
+because both paths execute the same row-order operations.  These tests
+sweep chunk sizes (including 1 and the whole stream), vector and scalar
+quantities of interest and the degenerate-component NaN contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.uq.analytic import sobol_g
+from repro.uq.sampling import random_sampler
+from repro.uq.sensitivity import (
+    StreamingJansenAccumulator,
+    all_pairs,
+    jansen_group_indices,
+    jansen_indices,
+    jansen_second_order,
+)
+
+pytestmark = pytest.mark.filterwarnings("error")
+
+M = 64
+DIMENSION = 3
+PAIRS = all_pairs(DIMENSION)
+GROUPS = [(0, 2)]
+#: Weight 0 makes a constant output component (the NaN contract).
+WEIGHTS = np.array([1.0, 3.0, 0.0])
+CHUNK_SIZES = (1, 7, 64, None)  # None = the whole stream at once
+
+
+def _stream(vector=True):
+    """The full extended Saltelli evaluation stream, in global order."""
+    a_coefficients = np.array([0.0, 1.0, 4.5])
+    stream = random_sampler(2 * M, DIMENSION, 5)
+    a_unit, b_unit = stream[:M], stream[M:]
+
+    def evaluate(unit):
+        values = sobol_g(unit, a_coefficients)
+        if vector:
+            return values[:, np.newaxis] * WEIGHTS
+        return values
+
+    def hybrid(columns):
+        block = a_unit.copy()
+        block[:, list(columns)] = b_unit[:, list(columns)]
+        return evaluate(block)
+
+    blocks = [evaluate(a_unit), evaluate(b_unit)]
+    blocks += [hybrid((i,)) for i in range(DIMENSION)]
+    blocks += [hybrid(pair) for pair in PAIRS]
+    blocks += [hybrid(group) for group in GROUPS]
+    return blocks
+
+
+def _in_memory_reference(blocks):
+    f_a, f_b = blocks[0], blocks[1]
+    f_ab = np.stack(blocks[2:2 + DIMENSION])
+    f_ab_pairs = np.stack(
+        blocks[2 + DIMENSION:2 + DIMENSION + len(PAIRS)]
+    )
+    f_ab_groups = np.stack(blocks[2 + DIMENSION + len(PAIRS):])
+    return (
+        jansen_indices(f_a, f_b, f_ab),
+        jansen_second_order(f_a, f_b, f_ab, f_ab_pairs),
+        jansen_group_indices(f_a, f_b, f_ab_groups, GROUPS,
+                             dimension=DIMENSION),
+    )
+
+
+def _fold_chunked(blocks, chunk_size):
+    accumulator = StreamingJansenAccumulator(
+        M, DIMENSION, pairs=PAIRS, groups=GROUPS
+    )
+    outputs = np.concatenate(blocks)
+    total = outputs.shape[0]
+    if chunk_size is None:
+        chunk_size = total
+    for start in range(0, total, chunk_size):
+        stop = min(start + chunk_size, total)
+        accumulator.add(np.arange(start, stop), outputs[start:stop])
+    return accumulator.finalize()
+
+
+class TestChunkSizeInvariance:
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_vector_qoi_bitwise(self, chunk_size):
+        """Every chunk size reproduces the in-memory reduction bit for
+        bit -- including the NaN entries of the constant component."""
+        blocks = _stream(vector=True)
+        first, second, groups = _in_memory_reference(blocks)
+        estimates = _fold_chunked(blocks, chunk_size)
+        assert np.array_equal(estimates.first_order.first_order,
+                              first.first_order, equal_nan=True)
+        assert np.array_equal(estimates.first_order.total, first.total,
+                              equal_nan=True)
+        assert np.array_equal(estimates.first_order.clipped, first.clipped)
+        assert np.array_equal(np.asarray(estimates.first_order.variance),
+                              np.asarray(first.variance))
+        assert np.array_equal(estimates.second_order.closed, second.closed,
+                              equal_nan=True)
+        assert np.array_equal(estimates.second_order.interaction,
+                              second.interaction, equal_nan=True)
+        assert np.array_equal(estimates.second_order.total, second.total,
+                              equal_nan=True)
+        assert np.array_equal(estimates.groups.closed, groups.closed,
+                              equal_nan=True)
+        assert np.array_equal(estimates.groups.total, groups.total,
+                              equal_nan=True)
+
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_scalar_qoi_bitwise(self, chunk_size):
+        """The scalar fast path is chunk-size invariant too."""
+        blocks = _stream(vector=False)
+        first, second, groups = _in_memory_reference(blocks)
+        estimates = _fold_chunked(blocks, chunk_size)
+        assert np.array_equal(estimates.first_order.first_order,
+                              first.first_order)
+        assert np.array_equal(estimates.first_order.total, first.total)
+        assert estimates.first_order.variance == first.variance
+        assert np.array_equal(estimates.second_order.interaction,
+                              second.interaction)
+        assert np.array_equal(estimates.groups.total, groups.total)
+
+    def test_scalar_matches_vector_component_bitwise(self):
+        """Scalar fast path == unit-weight vector component, bitwise."""
+        scalar = _fold_chunked(_stream(vector=False), 7)
+        vector = _fold_chunked(_stream(vector=True), 7)
+        assert np.array_equal(vector.first_order.first_order[:, 0],
+                              scalar.first_order.first_order)
+        assert np.array_equal(vector.second_order.closed[:, 0],
+                              scalar.second_order.closed)
+
+
+class TestAccumulatorContract:
+    def _accumulator(self):
+        return StreamingJansenAccumulator(4, 2)
+
+    def test_counts(self):
+        accumulator = StreamingJansenAccumulator(
+            4, 3, pairs=[(0, 1)], groups=[(0, 1, 2)]
+        )
+        assert accumulator.num_blocks == 2 + 3 + 1 + 1
+        assert accumulator.num_evaluations == 4 * 7
+        assert accumulator.num_folded == 0
+
+    def test_out_of_order_chunk_rejected(self):
+        accumulator = self._accumulator()
+        accumulator.add(np.arange(4), np.zeros(4))
+        with pytest.raises(SamplingError, match="global-index order"):
+            accumulator.add(np.arange(8, 12), np.ones(4))
+
+    def test_non_contiguous_chunk_rejected(self):
+        accumulator = self._accumulator()
+        with pytest.raises(SamplingError, match="global-index order"):
+            accumulator.add(np.array([0, 2, 1, 3]), np.zeros(4))
+
+    def test_overflowing_chunk_rejected(self):
+        accumulator = self._accumulator()
+        with pytest.raises(SamplingError, match="global-index order"):
+            accumulator.add(np.arange(17), np.zeros(17))
+
+    def test_incomplete_finalize_rejected(self):
+        accumulator = self._accumulator()
+        accumulator.add(np.arange(4), np.ones(4))
+        with pytest.raises(SamplingError, match="incomplete"):
+            accumulator.finalize()
+
+    def test_output_shape_change_rejected(self):
+        accumulator = self._accumulator()
+        accumulator.add(np.arange(4), np.zeros((4, 2)))
+        with pytest.raises(SamplingError, match="does not match"):
+            accumulator.add(np.arange(4, 8), np.zeros((4, 3)))
+
+    def test_empty_chunk_is_noop(self):
+        accumulator = self._accumulator()
+        accumulator.add(np.empty(0, dtype=int), np.empty((0,)))
+        assert accumulator.num_folded == 0
+
+    def test_mismatched_lengths_rejected(self):
+        accumulator = self._accumulator()
+        with pytest.raises(SamplingError):
+            accumulator.add(np.arange(3), np.zeros(4))
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(SamplingError):
+            StreamingJansenAccumulator(1, 2)
+        with pytest.raises(SamplingError):
+            StreamingJansenAccumulator(4, 0)
+        with pytest.raises(SamplingError):
+            StreamingJansenAccumulator(4, 2, pairs=[(1, 1)])
+        with pytest.raises(SamplingError):
+            StreamingJansenAccumulator(4, 2, pairs=[(0, 3)])
+        with pytest.raises(SamplingError):
+            StreamingJansenAccumulator(4, 2, groups=[()])
+        with pytest.raises(SamplingError):
+            StreamingJansenAccumulator(4, 2, groups=[(0,), (0,)])
+        with pytest.raises(SamplingError):
+            StreamingJansenAccumulator(4, 2, include_first_order=False)
+
+    def test_group_only_accumulator(self):
+        """``include_first_order=False`` reduces just the group blocks."""
+        blocks = _stream(vector=False)
+        f_a, f_b = blocks[0], blocks[1]
+        group_block = blocks[2 + DIMENSION + len(PAIRS)]
+        accumulator = StreamingJansenAccumulator(
+            M, DIMENSION, groups=GROUPS, include_first_order=False
+        )
+        accumulator.add(np.arange(M), f_a)
+        accumulator.add(np.arange(M, 2 * M), f_b)
+        accumulator.add(np.arange(2 * M, 3 * M), group_block)
+        estimates = accumulator.finalize()
+        assert estimates.first_order is None
+        assert estimates.second_order is None
+        reference = jansen_group_indices(
+            f_a, f_b, group_block[np.newaxis], GROUPS,
+            dimension=DIMENSION,
+        )
+        assert np.array_equal(estimates.groups.closed, reference.closed)
+        assert np.array_equal(estimates.groups.total, reference.total)
+
+    def test_repr(self):
+        accumulator = self._accumulator()
+        assert "folded=0/16" in repr(accumulator)
+
+
+class TestDegenerateContract:
+    def test_all_constant_scalar_raises(self):
+        accumulator = StreamingJansenAccumulator(4, 2)
+        accumulator.add(np.arange(16), np.ones(16))
+        with pytest.raises(SamplingError, match="zero variance"):
+            accumulator.finalize()
+
+    def test_all_constant_vector_raises(self):
+        accumulator = StreamingJansenAccumulator(4, 2)
+        accumulator.add(np.arange(16), np.ones((16, 3)))
+        with pytest.raises(SamplingError, match="zero variance"):
+            accumulator.finalize()
+
+    def test_second_order_requires_matching_pairs(self):
+        blocks = _stream(vector=False)
+        f_a, f_b = blocks[0], blocks[1]
+        f_ab = np.stack(blocks[2:2 + DIMENSION])
+        f_ab_pairs = np.stack(
+            blocks[2 + DIMENSION:2 + DIMENSION + len(PAIRS)]
+        )
+        with pytest.raises(SamplingError, match="pair blocks"):
+            jansen_second_order(f_a, f_b, f_ab, f_ab_pairs,
+                                pairs=[(0, 1)])
+
+    def test_group_function_requires_matching_groups(self):
+        blocks = _stream(vector=False)
+        f_a, f_b = blocks[0], blocks[1]
+        group_block = blocks[-1][np.newaxis]
+        with pytest.raises(SamplingError, match="group blocks"):
+            jansen_group_indices(f_a, f_b, group_block,
+                                 [(0, 1), (2,)], dimension=DIMENSION)
+
+    def test_bootstrap_rejects_subsets_without_blocks(self):
+        """pairs=/groups= without their evaluation blocks is an error,
+        not a silent no-op."""
+        from repro.uq.sensitivity import jansen_bootstrap
+
+        blocks = _stream(vector=False)
+        f_a, f_b = blocks[0], blocks[1]
+        f_ab = np.stack(blocks[2:2 + DIMENSION])
+        with pytest.raises(SamplingError, match="f_ab_pairs"):
+            jansen_bootstrap(f_a, f_b, f_ab, num_replicates=5,
+                             pairs=PAIRS)
+        with pytest.raises(SamplingError, match="f_ab_groups"):
+            jansen_bootstrap(f_a, f_b, f_ab, num_replicates=5,
+                             groups=GROUPS)
