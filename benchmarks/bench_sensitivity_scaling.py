@@ -20,7 +20,7 @@ import numpy as np
 from repro.campaign import (
     ParallelExecutor,
     SerialExecutor,
-    run_sensitivity_campaign,
+    run_campaign,
 )
 from repro.package3d.scenarios import date16_sensitivity_spec
 from repro.reporting.tables import format_table
@@ -48,8 +48,9 @@ def test_sensitivity_scaling(benchmark):
     num_evaluations = spec.num_samples
 
     start = time.time()
-    serial_result = run_sensitivity_campaign(
-        spec, executor=SerialExecutor(), num_bootstrap=0
+    serial_result = run_campaign(
+        spec, executor=SerialExecutor(),
+        reducer={"kind": "jansen", "num_bootstrap": 0},
     )
     serial_elapsed = time.time() - start
     rows = [("serial", f"{serial_elapsed:.2f}",
@@ -58,10 +59,10 @@ def test_sensitivity_scaling(benchmark):
     last_result = None
 
     def run_largest_pool():
-        return run_sensitivity_campaign(
+        return run_campaign(
             spec,
             executor=ParallelExecutor(num_workers=_worker_counts()[-1]),
-            num_bootstrap=0,
+            reducer={"kind": "jansen", "num_bootstrap": 0},
         )
 
     for workers in _worker_counts():
@@ -71,9 +72,9 @@ def test_sensitivity_scaling(benchmark):
                 run_largest_pool, rounds=1, iterations=1
             )
         else:
-            result = run_sensitivity_campaign(
+            result = run_campaign(
                 spec, executor=ParallelExecutor(num_workers=workers),
-                num_bootstrap=0,
+                reducer={"kind": "jansen", "num_bootstrap": 0},
             )
         elapsed = time.time() - start
         assert np.array_equal(result.first_order, serial_result.first_order)

@@ -1,0 +1,71 @@
+"""Adaptive vs fixed time stepping on the DATE'16 package problem.
+
+The paper integrates every transient with 51 fixed implicit-Euler points
+over 50 s.  The ``time_stepping: "adaptive"`` scenario option switches a
+campaign to step-doubling implicit Euler instead: the controller spends
+small steps on the stiff start-up and strides through the flat approach
+to steady state, then the accepted states are interpolated back onto the
+fixed grid so every downstream QoI keeps its ``(P, W)`` shape.
+
+This example runs one nominal solve each way and compares cost (coupled
+solves: the fixed grid pays one per step, step doubling three per
+attempted step) and accuracy.  The same option distributes through the
+campaign engine::
+
+    repro-campaign spec date16 --samples 64 --time-stepping adaptive \\
+        -o adaptive.json
+    repro-campaign run adaptive.json --store out/ --executor process
+
+Run with:  python examples/adaptive_stepping.py [tolerance_kelvin]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.package3d.uq_study import Date16UncertaintyStudy
+
+
+def main():
+    tolerance = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    deltas = np.full(12, 0.17)
+
+    print("Fixed grid: 51 points over 50 s (the paper's setting)...")
+    fixed_study = Date16UncertaintyStudy(resolution="coarse")
+    start = time.perf_counter()
+    fixed = fixed_study.evaluate_traces(deltas)
+    fixed_seconds = time.perf_counter() - start
+    fixed_solves = fixed.shape[0] - 1
+    print(f"  {fixed_solves} coupled solves, {fixed_seconds:.2f} s, "
+          f"end max {fixed[-1].max():.2f} K")
+
+    print(f"\nAdaptive: step doubling, local tolerance {tolerance} K...")
+    adaptive_study = Date16UncertaintyStudy(
+        resolution="coarse", time_stepping="adaptive",
+        adaptive_tolerance=tolerance,
+    )
+    start = time.perf_counter()
+    adaptive = adaptive_study.evaluate_traces(deltas)
+    adaptive_seconds = time.perf_counter() - start
+    steps = adaptive_study.last_adaptive_result
+    adaptive_solves = 3 * (steps.accepted + steps.rejected)
+    print(f"  {steps.accepted} accepted + {steps.rejected} rejected "
+          f"steps = {adaptive_solves} coupled solves, "
+          f"{adaptive_seconds:.2f} s")
+    print(f"  dt in [{steps.step_sizes.min():.3g}, "
+          f"{steps.step_sizes.max():.3g}] s, "
+          f"end max {adaptive[-1].max():.2f} K")
+
+    deviation = np.max(np.abs(adaptive - fixed))
+    print(f"\nmax |T_adaptive - T_fixed| on the 51-point grid: "
+          f"{deviation:.3f} K")
+    print(f"solve-count ratio adaptive/fixed: "
+          f"{adaptive_solves / fixed_solves:.2f}")
+    print("(wall-clock favors the fixed grid on a cold factorization "
+          "cache -- every new dt refactorizes; solve count is the "
+          "campaign-relevant cost once workers share the cache)")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,8 +11,10 @@ Equivalent CLI session::
 
     repro-campaign spec date16 --samples 16 -o campaign.json
     repro-campaign run campaign.json --store campaign-store \\
-        --executor parallel --workers 4
+        --executor process --workers 4
     repro-campaign report campaign-store
+
+``REPRO_MC_SAMPLES`` overrides the sample count (CI smoke runs use 4).
 """
 
 import os
@@ -25,8 +27,9 @@ STORE = os.path.join(os.path.dirname(__file__), "campaign-store")
 
 
 def main():
+    num_samples = int(os.environ.get("REPRO_MC_SAMPLES", "16"))
     spec = date16_campaign_spec(
-        num_samples=16,
+        num_samples=num_samples,
         chunk_size=2,
         resolution="coarse",
         qoi="final",  # per-wire end-time temperatures

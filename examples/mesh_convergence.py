@@ -5,8 +5,12 @@ how the hottest-wire end temperature converges -- the check behind the
 claim that the paper's qualitative results are resolution-robust.
 
 Run with:  python examples/mesh_convergence.py
+
+``REPRO_MESH_RESOLUTIONS`` (comma-separated presets) restricts the sweep
+-- CI smoke runs use ``coarse``.
 """
 
+import os
 import time
 
 import numpy as np
@@ -16,10 +20,17 @@ from repro.reporting.tables import format_table
 
 
 def main():
+    resolutions = tuple(
+        entry.strip()
+        for entry in os.environ.get(
+            "REPRO_MESH_RESOLUTIONS", "coarse,default,fine"
+        ).split(",")
+        if entry.strip()
+    )
     time_grid = TimeGrid.from_num_points(50.0, 51)
     rows = []
     reference = None
-    for resolution in ("coarse", "default", "fine"):
+    for resolution in resolutions:
         start = time.time()
         problem, mesh = build_date16_problem(resolution=resolution)
         solver = CoupledSolver(problem, mode="fast", tolerance=1e-3)

@@ -15,6 +15,8 @@ as future research.  This example runs that comparison end to end with a
 Run with:  python examples/model_validation.py
 """
 
+import os
+
 import numpy as np
 
 from repro.package3d.uq_study import Date16UncertaintyStudy
@@ -34,8 +36,9 @@ def main():
     true_traces = study.evaluate_traces(true_deltas)
     times = study.time_grid.times
 
-    print("Predicting with the Monte Carlo study (M = 24)...")
-    prediction = study.run_monte_carlo(num_samples=24, seed=7)
+    num_samples = int(os.environ.get("REPRO_MC_SAMPLES", "24"))
+    print(f"Predicting with the Monte Carlo study (M = {num_samples})...")
+    prediction = study.run_monte_carlo(num_samples=num_samples, seed=7)
     hottest = prediction.hottest_wire_index
     mean, std = prediction.hottest_wire_traces()
     true_trace = true_traces[:, hottest]

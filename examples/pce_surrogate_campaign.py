@@ -1,0 +1,77 @@
+"""Surrogate-accelerated Sobol indices: the ``pce`` reducer.
+
+A Saltelli sensitivity campaign costs ``M (d + 2)`` model solves.  The
+``pce`` reducer gets the same global-sensitivity answer from a plain
+Monte Carlo campaign a small multiple of the basis size: it fits the
+polynomial-chaos surrogate on the campaign's (checkpointed) samples and
+reads the Sobol indices analytically off the coefficients.  Because the
+fit happens at reduce time, it also works *retroactively* on any
+existing campaign store::
+
+    repro-campaign resume out/ --reducer pce --pce-degree 4
+
+without a single fresh solve.
+
+This example demonstrates the accuracy/cost trade on the Ishigami
+function (closed-form indices of every order): a 256-base-sample
+Saltelli campaign (1280 evaluations, seeded bootstrap CIs) against a
+330-evaluation PCE campaign, both through the same unified
+``run_campaign``.
+
+Run with:  python examples/pce_surrogate_campaign.py [pce_samples]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.campaign import CampaignSpec, ScenarioSpec, run_campaign
+from repro.campaign.sensitivity import SensitivitySpec
+from repro.reporting import format_pce_summary
+from repro.uq.analytic import ishigami_distribution, ishigami_indices
+
+
+def main():
+    pce_samples = int(sys.argv[1]) if len(sys.argv) > 1 else 330
+    scenario = ScenarioSpec(
+        problem="ishigami", qoi="identity", module="repro.uq.analytic",
+    )
+    truth = ishigami_indices()
+
+    saltelli = SensitivitySpec(
+        name="ishigami-saltelli", scenario=scenario,
+        distribution=ishigami_distribution(), dimension=3,
+        num_base_samples=256, seed=11, chunk_size=256, num_bootstrap=200,
+    )
+    print(f"Saltelli campaign: {saltelli.num_samples} evaluations...")
+    jansen = run_campaign(saltelli)
+
+    pce_spec = CampaignSpec(
+        name="ishigami-pce", scenario=scenario,
+        distribution=ishigami_distribution(), dimension=3,
+        num_samples=pce_samples, seed=11, chunk_size=64,
+        sampler="random", reducer={"kind": "pce", "degree": 8},
+    )
+    print(f"PCE campaign: {pce_spec.num_samples} evaluations "
+          f"({pce_spec.num_samples / saltelli.num_samples:.0%} of the "
+          "Saltelli budget)...\n")
+    surrogate = run_campaign(pce_spec)
+
+    print(format_pce_summary(surrogate.summary()))
+    print()
+    header = (f"{'input':>6} {'S_i exact':>10} {'S_i PCE':>10} "
+              f"{'S_i Saltelli 95% CI':>22}")
+    print(header)
+    interval = jansen.interval
+    for i in range(3):
+        ci = (f"[{interval.first_order_lower[i]:.4f}, "
+              f"{interval.first_order_upper[i]:.4f}]")
+        print(f"{'x' + str(i):>6} {truth['first_order'][i]:>10.4f} "
+              f"{float(np.ravel(surrogate.first_order)[i]):>10.4f} "
+              f"{ci:>22}")
+    error = np.max(np.abs(surrogate.first_order - truth["first_order"]))
+    print(f"\nmax |S_pce - S_exact| = {error:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,7 +18,7 @@ M (12 + 2 + 66) coupled transients -- size M to your budget)::
     repro-campaign sobol spec date16 --samples 64 --second-order \\
         --groups "0,1,2,3,4,5;6,7,8,9,10,11" -o sobol2.json
     repro-campaign sobol run sobol2.json --store sens2/ \\
-        --executor parallel --workers 4 --streaming
+        --executor process --workers 4 --streaming
     repro-campaign sobol report sens2/
 """
 
@@ -31,7 +31,7 @@ from repro.campaign import (
     ParallelExecutor,
     ScenarioSpec,
     SensitivitySpec,
-    run_sensitivity_campaign,
+    run_campaign,
 )
 from repro.reporting.sensitivity import format_sensitivity_summary
 from repro.uq.analytic import ishigami_distribution, ishigami_indices
@@ -61,7 +61,7 @@ def main():
         f"{spec.plan.num_groups} group blocks) on {num_workers} workers..."
     )
     store = tempfile.mkdtemp(prefix="ishigami-sobol2-")
-    result = run_sensitivity_campaign(
+    result = run_campaign(
         spec,
         store=store,
         executor=ParallelExecutor(num_workers=num_workers),
@@ -80,8 +80,10 @@ def main():
         label = "{" + ",".join(f"x{i:02d}" for i in group) + "}"
         print(f"  S_T,{label} = {truth['group_total'](group):.4f}")
 
-    stream = run_sensitivity_campaign(spec, store=store, num_bootstrap=0,
-                                      streaming=True)
+    stream = run_campaign(
+        spec, store=store,
+        reducer={"kind": "jansen", "num_bootstrap": 0, "streaming": True},
+    )
     match = np.array_equal(stream.second_order.interaction,
                            result.second_order.interaction)
     print(f"\nstreaming re-reduce bit-identical: {match}")

@@ -13,13 +13,14 @@ Run with:  python examples/sensitivity_campaign.py [base_samples] [workers]
 
 (The default M=4 keeps the demo at 72 coarse transients; the paper-scale
 study is the same command with M=256 on as many workers as you have.
-Equivalent CLI: ``repro-campaign sobol spec/run/resume/report``.)
+Equivalent CLI: ``repro-campaign sobol spec`` + the unified
+``repro-campaign run/resume/report``.)
 """
 
 import sys
 import tempfile
 
-from repro.campaign import ParallelExecutor, run_sensitivity_campaign
+from repro.campaign import ParallelExecutor, run_campaign
 from repro.package3d.scenarios import date16_sensitivity_spec
 from repro.reporting.sensitivity import format_sensitivity_summary
 
@@ -42,7 +43,7 @@ def main():
     def progress(done, total):
         print(f"  chunk {done}/{total} checkpointed", flush=True)
 
-    result = run_sensitivity_campaign(
+    result = run_campaign(
         spec,
         store=store,
         executor=ParallelExecutor(num_workers=num_workers),

@@ -1,0 +1,99 @@
+"""Run every example with tiny sample counts -- the CI smoke gate.
+
+The examples are the documented entry points of the repository; an API
+redesign that forgets one of them should fail CI, not a user.  This
+driver discovers every ``examples/*.py``, runs each in a subprocess with
+sample counts shrunk via argv/env (see ``_OVERRIDES``), and fails on the
+first nonzero exit.  New examples are picked up automatically (with no
+overrides, so keep their defaults cheap or add an entry here).
+
+Run from the repository root::
+
+    python scripts/smoke_examples.py [pattern]
+
+An optional substring pattern restricts the run to matching filenames.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
+
+#: Per-example shrink knobs: extra argv and environment overrides.
+_TINY_ENV = {
+    "REPRO_MC_SAMPLES": "4",
+    "REPRO_MESH_RESOLUTIONS": "coarse",
+}
+_OVERRIDES = {
+    "adaptive_stepping.py": {"argv": ["2.0"]},
+    "pce_surrogate_campaign.py": {"argv": ["330"]},
+    "second_order_campaign.py": {"argv": ["8", "2"]},
+    "sensitivity_campaign.py": {"argv": ["2", "2"]},
+}
+
+#: Generous per-example ceiling; anything slower is a regression worth
+#: failing on.
+TIMEOUT_SECONDS = 600
+
+
+def run_example(path):
+    name = os.path.basename(path)
+    override = _OVERRIDES.get(name, {})
+    env = dict(os.environ)
+    env.update(_TINY_ENV)
+    env.update(override.get("env", {}))
+    env.setdefault("PYTHONPATH", "")
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.join(REPO_ROOT, "src"), env["PYTHONPATH"]])
+    )
+    command = [sys.executable, path, *override.get("argv", [])]
+    start = time.perf_counter()
+    completed = subprocess.run(
+        command, cwd=REPO_ROOT, env=env, timeout=TIMEOUT_SECONDS,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    elapsed = time.perf_counter() - start
+    return completed, elapsed
+
+
+def main():
+    pattern = sys.argv[1] if len(sys.argv) > 1 else ""
+    examples = sorted(
+        entry for entry in os.listdir(EXAMPLES_DIR)
+        if entry.endswith(".py") and not entry.startswith("_")
+        and pattern in entry
+    )
+    if not examples:
+        print(f"no examples match {pattern!r}", file=sys.stderr)
+        return 2
+    failures = []
+    for name in examples:
+        print(f"==> {name} ... ", end="", flush=True)
+        try:
+            completed, elapsed = run_example(
+                os.path.join(EXAMPLES_DIR, name)
+            )
+        except subprocess.TimeoutExpired:
+            print(f"TIMEOUT after {TIMEOUT_SECONDS}s")
+            failures.append(name)
+            continue
+        if completed.returncode == 0:
+            print(f"ok ({elapsed:.1f}s)")
+        else:
+            print(f"FAILED (exit {completed.returncode}, {elapsed:.1f}s)")
+            print(completed.stdout[-4000:])
+            failures.append(name)
+    print()
+    if failures:
+        print(f"{len(failures)}/{len(examples)} examples failed: "
+              f"{', '.join(failures)}")
+        return 1
+    print(f"all {len(examples)} examples passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

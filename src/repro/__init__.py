@@ -52,9 +52,13 @@ from .campaign import (
     ArtifactStore,
     CampaignResult,
     CampaignSpec,
+    FuturesExecutor,
     ParallelExecutor,
     ScenarioSpec,
     SerialExecutor,
+    SurrogateResult,
+    register_backend,
+    register_reducer,
     resume_campaign,
     run_campaign,
 )
@@ -134,8 +138,12 @@ __all__ = [
     "CampaignSpec",
     "SerialExecutor",
     "ParallelExecutor",
+    "FuturesExecutor",
+    "register_backend",
+    "register_reducer",
     "ArtifactStore",
     "CampaignResult",
+    "SurrogateResult",
     "run_campaign",
     "resume_campaign",
     # uq

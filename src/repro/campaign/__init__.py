@@ -10,28 +10,49 @@ study loop into a distributable, checkpointed, resumable campaign:
   :class:`ScenarioSpec` / :class:`CampaignSpec`;
 * :mod:`~repro.campaign.registry` -- names -> problem builders, QoI
   extractors, waveforms, distributions;
-* :mod:`~repro.campaign.executor` -- :class:`SerialExecutor` and the
-  process-pool :class:`ParallelExecutor` (model built once per worker);
+* :mod:`~repro.campaign.executor` -- registry-backed executor backends:
+  :class:`SerialExecutor`, the process-pool :class:`ParallelExecutor`
+  (model built once per worker), the generic :class:`FuturesExecutor`
+  adapter over any ``concurrent.futures``-shaped object, and
+  :func:`register_backend` for user backends (Dask, MPI, ...);
+* :mod:`~repro.campaign.reducer` -- registry-backed streaming reducers
+  (what the evaluations become): :class:`MomentsReducer` running
+  statistics, :class:`JansenReducer` Sobol indices,
+  :class:`PCEReducer` surrogate fits, and :func:`register_reducer`;
 * :mod:`~repro.campaign.store` -- the resumable :class:`ArtifactStore`
-  (``manifest.json`` + atomic per-chunk ``.npz`` checkpoints);
+  (``manifest.json`` + atomic per-chunk ``.npz`` checkpoints + the
+  reduction-state snapshot);
 * :mod:`~repro.campaign.runner` -- deterministic per-sample seeding,
-  chunked execution, Welford-merge reduction, :func:`run_campaign` /
-  :func:`resume_campaign`;
+  chunked execution, ordered reducer folding, :func:`run_campaign` /
+  :func:`resume_campaign` (one path for every campaign kind);
 * :mod:`~repro.campaign.cli` -- the ``repro-campaign`` command
   (``spec`` / ``run`` / ``resume`` / ``report``).
 
-Every executor and every kill/resume cycle produces bit-identical
-statistics, because parameters are a pure function of the spec and the
-reduction only ever sees the checkpointed chunk outputs in chunk order.
+Every executor backend and every kill/resume cycle produces bit-identical
+results, because parameters are a pure function of the spec and the
+reducer only ever sees the checkpointed chunk outputs in chunk order.
 """
 
 from .executor import (
     ChunkResult,
     Executor,
+    FuturesExecutor,
     ParallelExecutor,
     SerialExecutor,
     WorkChunk,
     make_executor,
+    register_backend,
+    registered_backends,
+)
+from .reducer import (
+    JansenReducer,
+    MomentsReducer,
+    PCEReducer,
+    Reducer,
+    SurrogateResult,
+    register_reducer,
+    registered_reducers,
+    resolve_reducer,
 )
 from .registry import (
     build_distribution,
@@ -74,9 +95,20 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "FuturesExecutor",
     "WorkChunk",
     "ChunkResult",
     "make_executor",
+    "register_backend",
+    "registered_backends",
+    "Reducer",
+    "MomentsReducer",
+    "JansenReducer",
+    "PCEReducer",
+    "SurrogateResult",
+    "register_reducer",
+    "registered_reducers",
+    "resolve_reducer",
     "ArtifactStore",
     "CampaignResult",
     "run_campaign",

@@ -3,45 +3,59 @@
 Subcommands::
 
     spec    write a JSON campaign spec template for a registered problem
-    run     execute a campaign spec (optionally checkpointing to a store)
+    run     execute a campaign spec of any kind (Monte Carlo, Sobol, PCE)
     resume  finish the campaign pinned in an existing store directory
-    report  print the summary table of a completed campaign
-    sobol   sensitivity campaigns: spec / run / resume / report
+    report  print the summary table (+ provenance) of a completed campaign
+    sobol   thin aliases kept for sensitivity-campaign muscle memory
 
 Quickstart (the paper's Monte Carlo study, distributed over 4 workers)::
 
     repro-campaign spec date16 --samples 64 -o campaign.json
-    repro-campaign run campaign.json --store out/ --executor parallel \\
+    repro-campaign run campaign.json --store out/ --executor process \\
         --workers 4
     repro-campaign report out/
 
 Kill the ``run`` at any point and ``repro-campaign resume out/`` finishes
 only the missing chunks, reproducing the uninterrupted result exactly.
 
-The Sobol sensitivity study (which wire's geometric uncertainty drives
-the hottest-wire temperature variance) distributes the same way::
+``run``/``resume``/``report`` dispatch on the campaign kind, so the same
+three commands serve the Sobol sensitivity study (which wire's geometric
+uncertainty drives the hottest-wire temperature variance)::
 
     repro-campaign sobol spec date16 --samples 64 -o sobol.json
-    repro-campaign sobol run sobol.json --store sens/ --executor parallel \\
+    repro-campaign run sobol.json --store sens/ --executor process \\
         --workers 4
-    repro-campaign sobol report sens/
+    repro-campaign report sens/
+
+(``repro-campaign sobol run/resume/report`` still work as aliases.)
+
+``--executor`` names any registered backend -- ``serial`` (default),
+``process`` (process pool with per-worker model reuse; alias
+``parallel``), ``thread`` (thread pool behind the generic futures
+adapter), or anything user code added via
+:func:`repro.campaign.register_backend`; passing ``--workers`` with a
+backend that cannot honor it is an error, never silently ignored.
+
+``--reducer`` overrides what the evaluations reduce *to*: ``moments``
+(mean/std statistics), ``jansen`` (Sobol indices; ``--bootstrap N``
+overrides the spec's CI replicates, ``--streaming`` folds chunks into
+running sums so huge vector QoIs never materialize the output matrix),
+or ``pce`` (fit the polynomial-chaos surrogate from the checkpointed
+samples -- ``--pce-degree`` sets the total degree -- and report its
+analytic Sobol indices).  ``repro-campaign resume out/ --reducer pce``
+re-reduces an existing store without a single fresh solve.
 
 ``sobol spec --second-order`` adds the ``AB_ij`` pair blocks (ranked
-interaction table in the report), ``--groups "0,1,2;3,4"`` grouped
-factor blocks, and ``sobol run --streaming`` folds each chunk into
-running Jansen sums so huge vector QoIs never materialize the full
-output matrix (bit-identical indices, no bootstrap CIs).
-
-``run``/``resume``/``report`` also auto-detect sensitivity stores and
-specs, so the generic commands keep working on either campaign kind.
+interaction table in the report) and ``--groups "0,1,2;3,4"`` grouped
+factor blocks.
 """
 
 import argparse
 import sys
 
 from ..errors import CampaignError, ReproError
-from .executor import make_executor
-from .runner import resume_campaign, run_campaign
+from .executor import make_executor, registered_backends
+from .runner import run_campaign
 from .spec import CampaignSpec
 from .store import ArtifactStore
 
@@ -55,16 +69,48 @@ def _progress_printer(stream):
 
 def _add_executor_arguments(parser):
     parser.add_argument(
-        "--executor", choices=("serial", "parallel"), default="serial",
-        help="where samples run (default: serial)",
+        "--executor", default="serial", metavar="NAME",
+        help="registered executor backend (default: serial; built in: "
+             f"{', '.join(registered_backends())})",
     )
     parser.add_argument(
         "--workers", type=int, default=None,
-        help="process count for --executor parallel (default: CPU count)",
+        help="worker count for parallel backends (default: CPU count); "
+             "an error with backends that cannot honor it",
     )
     parser.add_argument(
         "--quiet", action="store_true",
         help="suppress per-chunk progress lines",
+    )
+
+
+def _add_reducer_arguments(parser):
+    parser.add_argument(
+        "--reducer", default=None, metavar="KIND",
+        help="override the reduction (moments | jansen | pce | any "
+             "registered kind; default: the spec's reducer, then the "
+             "campaign kind's default)",
+    )
+    parser.add_argument(
+        "--pce-degree", type=int, default=None, metavar="P",
+        help="total polynomial degree for --reducer pce",
+    )
+    _add_bootstrap_arguments(parser)
+
+
+def _add_bootstrap_arguments(parser):
+    parser.add_argument(
+        "--bootstrap", type=int, default=None,
+        help="override the spec's bootstrap replicate count for the "
+             "jansen confidence intervals (0 disables; default: the "
+             "value pinned in the spec)",
+    )
+    parser.add_argument(
+        "--streaming", action="store_true",
+        help="fold each chunk into running Jansen sums instead of "
+             "assembling the full output matrix (bit-identical "
+             "indices; implies --bootstrap 0 because the bootstrap "
+             "must resample full rows)",
     )
 
 
@@ -86,18 +132,30 @@ def _build_parser():
     spec.add_argument("--chunk-size", type=int, default=8)
     spec.add_argument("--resolution", default="coarse",
                       help="mesh preset for field problems")
+    spec.add_argument("--time-stepping", choices=("fixed", "adaptive"),
+                      default=None,
+                      help="transient integration of the field problem "
+                           "(default: the paper's fixed 51-point grid)")
+    spec.add_argument("--reducer", default=None, metavar="KIND",
+                      help="pin a reducer kind into the spec (e.g. pce)")
+    spec.add_argument("--pce-degree", type=int, default=None, metavar="P",
+                      help="total polynomial degree for --reducer pce")
 
-    run = commands.add_parser("run", help="execute a campaign spec")
+    run = commands.add_parser(
+        "run", help="execute a campaign spec (any kind)"
+    )
     run.add_argument("spec", help="path of the JSON campaign spec")
     run.add_argument("--store", default=None,
                      help="artifact store directory (enables resume)")
     _add_executor_arguments(run)
+    _add_reducer_arguments(run)
 
     resume = commands.add_parser(
         "resume", help="finish the campaign pinned in a store directory"
     )
     resume.add_argument("store", help="artifact store directory")
     _add_executor_arguments(resume)
+    _add_reducer_arguments(resume)
 
     report = commands.add_parser(
         "report", help="print the summary of a completed campaign"
@@ -105,7 +163,8 @@ def _build_parser():
     report.add_argument("store", help="artifact store directory")
 
     sobol = commands.add_parser(
-        "sobol", help="Saltelli/Sobol sensitivity campaigns"
+        "sobol", help="sensitivity-campaign aliases (spec is the only "
+                      "subcommand the generic verbs lack)"
     )
     sobol_commands = sobol.add_subparsers(dest="sobol_command", required=True)
 
@@ -138,7 +197,7 @@ def _build_parser():
     )
 
     sobol_run = sobol_commands.add_parser(
-        "run", help="execute a sensitivity campaign spec"
+        "run", help="alias of 'run' for sensitivity specs"
     )
     sobol_run.add_argument("spec", help="path of the JSON campaign spec")
     sobol_run.add_argument("--store", default=None,
@@ -147,80 +206,101 @@ def _build_parser():
     _add_bootstrap_arguments(sobol_run)
 
     sobol_resume = sobol_commands.add_parser(
-        "resume", help="finish the sensitivity campaign in a store"
+        "resume", help="alias of 'resume' for sensitivity stores"
     )
     sobol_resume.add_argument("store", help="artifact store directory")
     _add_executor_arguments(sobol_resume)
     _add_bootstrap_arguments(sobol_resume)
 
     sobol_report = sobol_commands.add_parser(
-        "report", help="print the ranked Sobol-index table of a store"
+        "report", help="alias of 'report'"
     )
     sobol_report.add_argument("store", help="artifact store directory")
     return parser
 
 
-def _add_bootstrap_arguments(parser):
-    parser.add_argument(
-        "--bootstrap", type=int, default=None,
-        help="override the spec's bootstrap replicate count for the "
-             "confidence intervals (0 disables; default: the value "
-             "pinned in the spec)",
-    )
-    parser.add_argument(
-        "--streaming", action="store_true",
-        help="fold each chunk into running Jansen sums instead of "
-             "assembling the full output matrix (bit-identical "
-             "indices; implies --bootstrap 0 because the bootstrap "
-             "must resample full rows)",
-    )
+def _reducer_from_arguments(spec, arguments):
+    """The reducer spec dict one ``run``/``resume`` invocation asks for.
 
-
-def _reduction_options(arguments):
-    """Bootstrap/streaming kwargs of one ``sobol run``/``resume`` call.
-
+    ``--reducer`` overrides the spec's pinned reducer kind; pinned
+    options survive when the explicit kind matches the pinned one (so
+    ``resume --reducer pce`` on a spec that pins ``{"kind": "pce",
+    "degree": 4}`` keeps degree 4).  The jansen-only flags
+    (``--bootstrap`` / ``--streaming``) layer on top and are rejected
+    for every other kind instead of being silently dropped.
     ``--streaming`` without an explicit ``--bootstrap`` disables the
-    intervals (the streaming reduction cannot resample rows); an
-    explicit non-zero ``--bootstrap`` together with ``--streaming`` is
-    rejected by the runner with a clear message.
+    intervals (the streaming reduction cannot resample rows).
     """
-    num_bootstrap = arguments.bootstrap
-    if arguments.streaming and num_bootstrap is None:
-        num_bootstrap = 0
-    return {
-        "num_bootstrap": num_bootstrap,
-        "streaming": True if arguments.streaming else None,
-    }
-
-
-def _parse_groups(text):
-    """``"0,1;2,3" -> [[0, 1], [2, 3]]`` (CampaignError on bad input)."""
-    if text is None:
-        return None
-    groups = []
-    for part in text.split(";"):
-        part = part.strip()
-        if not part:
-            continue
-        try:
-            groups.append([int(entry) for entry in part.split(",")])
-        except ValueError:
+    kind = getattr(arguments, "reducer", None)
+    pinned = spec.reducer or {"kind": spec.default_reducer_kind}
+    if kind is None:
+        kind = pinned["kind"]
+    options = {}
+    if kind == pinned["kind"]:
+        options = {key: value for key, value in pinned.items()
+                   if key != "kind"}
+    num_bootstrap = getattr(arguments, "bootstrap", None)
+    streaming = bool(getattr(arguments, "streaming", False))
+    pce_degree = getattr(arguments, "pce_degree", None)
+    if kind == "jansen":
+        if streaming and num_bootstrap is None:
+            num_bootstrap = 0
+        if num_bootstrap is not None:
+            options["num_bootstrap"] = num_bootstrap
+        if streaming:
+            options["streaming"] = True
+    elif num_bootstrap is not None or streaming:
+        raise CampaignError(
+            "--bootstrap/--streaming configure the jansen reducer; they "
+            f"do not apply to reducer {kind!r}"
+        )
+    if pce_degree is not None:
+        if kind != "pce":
             raise CampaignError(
-                f"invalid factor group {part!r}; expected "
-                "comma-separated column indices like '0,1,2'"
-            ) from None
-    return groups or None
+                f"--pce-degree applies to the pce reducer, not {kind!r}"
+            )
+        options["degree"] = pce_degree
+    return {"kind": kind, **options}
 
 
-def _print_result(result, stream):
+def _import_scenario_module(spec):
+    """Import the spec's module hook so user-registered problems, QoIs,
+    reducers and executor backends resolve in this process too."""
+    if spec.scenario.module:
+        import importlib
+
+        importlib.import_module(spec.scenario.module)
+
+
+def _print_provenance(store, stream):
+    provenance = store.read_provenance()
+    if not provenance:
+        return
+    package = provenance.get("package", "unknown")
+    version = provenance.get("package_version", "?")
+    parts = [f"{key}={provenance[key]}"
+             for key in ("reducer", "executor") if key in provenance]
+    print(f"provenance: {package} {version} ({', '.join(parts)})",
+          file=stream)
+
+
+def _print_result(result, store, stream):
+    if store is not None:
+        _print_provenance(store, stream)
     _print_summary(result.summary(), stream)
 
 
 def _print_summary(summary, stream):
-    if summary.get("kind") == "sensitivity":
+    kind = summary.get("kind")
+    if kind == "sensitivity":
         from ..reporting.sensitivity import format_sensitivity_summary
 
         print(format_sensitivity_summary(summary), file=stream)
+        return
+    if kind == "pce":
+        from ..reporting.sensitivity import format_pce_summary
+
+        print(format_pce_summary(summary), file=stream)
         return
     from ..reporting.campaign import format_campaign_summary
 
@@ -247,6 +327,64 @@ def main(argv=None):
         return 0
 
 
+def _run_command(spec, arguments, out, require_sensitivity=False):
+    """Shared body of ``run`` and ``sobol run``."""
+    _import_scenario_module(spec)
+    if require_sensitivity:
+        from .sensitivity import SensitivitySpec
+
+        if not isinstance(spec, SensitivitySpec):
+            print(
+                "error: not a sensitivity campaign spec (use "
+                "'repro-campaign run' for other campaign kinds)",
+                file=sys.stderr,
+            )
+            return 1
+    reducer = _reducer_from_arguments(spec, arguments)
+    executor = make_executor(arguments.executor,
+                             num_workers=arguments.workers)
+    progress = None if arguments.quiet else _progress_printer(sys.stderr)
+    store = (
+        ArtifactStore(arguments.store) if arguments.store is not None
+        else None
+    )
+    result = run_campaign(
+        spec, store=store, executor=executor, progress=progress,
+        reducer=reducer,
+    )
+    _print_result(result, store, out)
+    return 0
+
+
+def _resume_command(arguments, out):
+    """Shared body of ``resume`` and ``sobol resume``."""
+    store = ArtifactStore(arguments.store)
+    if not store.exists():
+        raise CampaignError(
+            f"no campaign manifest at {store.path!r}; run 'run' first"
+        )
+    spec = store.load_spec()
+    _import_scenario_module(spec)
+    reducer = _reducer_from_arguments(spec, arguments)
+    executor = make_executor(arguments.executor,
+                             num_workers=arguments.workers)
+    progress = None if arguments.quiet else _progress_printer(sys.stderr)
+    result = run_campaign(
+        spec, store=store, executor=executor, progress=progress,
+        reducer=reducer,
+    )
+    _print_result(result, store, out)
+    return 0
+
+
+def _report_command(store_path, out):
+    store = ArtifactStore(store_path)
+    summary = store.read_summary()
+    _print_provenance(store, out)
+    _print_summary(summary, out)
+    return 0
+
+
 def _dispatch(arguments):
     out = sys.stdout
 
@@ -260,11 +398,22 @@ def _dispatch(arguments):
             return 2
         from ..package3d.scenarios import date16_campaign_spec
 
+        reducer = None
+        if arguments.reducer is not None:
+            reducer = {"kind": arguments.reducer}
+            if arguments.pce_degree is not None:
+                reducer["degree"] = arguments.pce_degree
+        elif arguments.pce_degree is not None:
+            raise CampaignError(
+                "--pce-degree needs --reducer pce"
+            )
         spec = date16_campaign_spec(
             num_samples=arguments.samples,
             seed=arguments.seed,
             chunk_size=arguments.chunk_size,
             resolution=arguments.resolution,
+            time_stepping=arguments.time_stepping,
+            reducer=reducer,
         )
         spec.save(arguments.output)
         print(f"wrote {arguments.output}", file=out)
@@ -272,38 +421,13 @@ def _dispatch(arguments):
 
     if arguments.command == "run":
         spec = CampaignSpec.load(arguments.spec)
-        executor = make_executor(arguments.executor,
-                                 num_workers=arguments.workers)
-        progress = None if arguments.quiet else _progress_printer(sys.stderr)
-        if spec.kind == "sensitivity":
-            from .sensitivity import run_sensitivity_campaign
-
-            result = run_sensitivity_campaign(
-                spec, store=arguments.store, executor=executor,
-                progress=progress,
-            )
-        else:
-            result = run_campaign(
-                spec, store=arguments.store, executor=executor,
-                progress=progress,
-            )
-        _print_result(result, out)
-        return 0
+        return _run_command(spec, arguments, out)
 
     if arguments.command == "resume":
-        executor = make_executor(arguments.executor,
-                                 num_workers=arguments.workers)
-        progress = None if arguments.quiet else _progress_printer(sys.stderr)
-        result = resume_campaign(
-            arguments.store, executor=executor, progress=progress
-        )
-        _print_result(result, out)
-        return 0
+        return _resume_command(arguments, out)
 
     if arguments.command == "report":
-        summary = ArtifactStore(arguments.store).read_summary()
-        _print_summary(summary, out)
-        return 0
+        return _report_command(arguments.store, out)
 
     if arguments.command == "sobol":
         return _dispatch_sobol(arguments, out)
@@ -312,12 +436,6 @@ def _dispatch(arguments):
 
 
 def _dispatch_sobol(arguments, out):
-    from .sensitivity import (
-        SensitivitySpec,
-        resume_sensitivity_campaign,
-        run_sensitivity_campaign,
-    )
-
     if arguments.sobol_command == "spec":
         if arguments.problem != "date16":
             print(
@@ -344,42 +462,36 @@ def _dispatch_sobol(arguments, out):
 
     if arguments.sobol_command == "run":
         spec = CampaignSpec.load(arguments.spec)
-        if not isinstance(spec, SensitivitySpec):
-            print(
-                f"error: {arguments.spec!r} is not a sensitivity campaign "
-                "spec (use 'repro-campaign run' for plain campaigns)",
-                file=sys.stderr,
-            )
-            return 1
-        executor = make_executor(arguments.executor,
-                                 num_workers=arguments.workers)
-        progress = None if arguments.quiet else _progress_printer(sys.stderr)
-        result = run_sensitivity_campaign(
-            spec, store=arguments.store, executor=executor,
-            progress=progress, **_reduction_options(arguments),
-        )
-        _print_result(result, out)
-        return 0
+        return _run_command(spec, arguments, out, require_sensitivity=True)
 
     if arguments.sobol_command == "resume":
-        executor = make_executor(arguments.executor,
-                                 num_workers=arguments.workers)
-        progress = None if arguments.quiet else _progress_printer(sys.stderr)
-        result = resume_sensitivity_campaign(
-            arguments.store, executor=executor, progress=progress,
-            **_reduction_options(arguments),
-        )
-        _print_result(result, out)
-        return 0
+        return _resume_command(arguments, out)
 
     if arguments.sobol_command == "report":
-        summary = ArtifactStore(arguments.store).read_summary()
-        _print_summary(summary, out)
-        return 0
+        return _report_command(arguments.store, out)
 
     raise AssertionError(
         f"unhandled sobol command {arguments.sobol_command!r}"
     )
+
+
+def _parse_groups(text):
+    """``"0,1;2,3" -> [[0, 1], [2, 3]]`` (CampaignError on bad input)."""
+    if text is None:
+        return None
+    groups = []
+    for part in text.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            groups.append([int(entry) for entry in part.split(",")])
+        except ValueError:
+            raise CampaignError(
+                f"invalid factor group {part!r}; expected "
+                "comma-separated column indices like '0,1,2'"
+            ) from None
+    return groups or None
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,18 +1,40 @@
-"""Executors: where and how campaign samples are evaluated.
+"""Executor backends: where and how campaign samples are evaluated.
 
 The executor owns the evaluation loop only -- sampling, checkpointing and
 reduction stay in the runner, so every executor produces byte-identical
-campaign results.  Two implementations:
+campaign results.  Backends are registry-backed
+(:func:`register_backend`); three ship built in:
 
-* :class:`SerialExecutor` -- in-process loop (also the executor injected
-  into :meth:`repro.uq.monte_carlo.MonteCarloStudy.run` by default-less
-  callers);
-* :class:`ParallelExecutor` -- a ``ProcessPoolExecutor`` where every
-  worker builds the model **once** from the picklable model source (a
+* ``"serial"`` -- :class:`SerialExecutor`, the in-process loop (also the
+  executor injected into :meth:`repro.uq.monte_carlo.MonteCarloStudy.run`
+  by default-less callers);
+* ``"process"`` (alias ``"parallel"``) -- :class:`ParallelExecutor`, a
+  ``ProcessPoolExecutor`` where every worker builds the model **once**
+  from the picklable model source (a
   :class:`~repro.campaign.spec.ScenarioSpec` or plain callable) in its
   initializer.  Building the Date16 scenario constructs the coupled
   solver in fast mode, so the base LU / Woodbury operators are cached in
-  the worker for its whole lifetime and each sample costs only solves.
+  the worker for its whole lifetime and each sample costs only solves;
+* ``"thread"`` -- a ``ThreadPoolExecutor`` behind the generic
+  :class:`FuturesExecutor` adapter, building one model per worker
+  thread.
+
+:class:`FuturesExecutor` adapts *any* ``concurrent.futures.Executor``-
+shaped object -- something with ``submit`` returning future-likes --
+so thread pools, Dask clients or MPI pool executors duck-type into the
+campaign engine without a dedicated backend class.  Distributed-cluster
+backends register themselves::
+
+    from repro.campaign import register_backend, FuturesExecutor
+
+    @register_backend("dask")
+    def _dask_backend(num_workers=None):
+        from dask.distributed import Client
+        return FuturesExecutor(Client(n_workers=num_workers).get_executor())
+
+and become addressable as ``--executor dask`` on the CLI (name the
+registering module in ``ScenarioSpec.module`` so the registration also
+happens when a spec is loaded fresh).
 
 Model sources
 -------------
@@ -21,8 +43,16 @@ cached) or a plain picklable callable.  Bound methods of solver-holding
 objects are *not* picklable -- that is exactly why the spec layer exists.
 """
 
+import functools
+import json
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import threading
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 
 import numpy as np
 
@@ -158,7 +188,7 @@ class ParallelExecutor(Executor):
         more chunks than workers).
     """
 
-    name = "parallel"
+    name = "process"
 
     def __init__(self, num_workers=None, max_pending=None):
         if num_workers is None:
@@ -207,14 +237,244 @@ class ParallelExecutor(Executor):
                         break
 
 
-def make_executor(kind, num_workers=None):
-    """``"serial"`` / ``"parallel"`` (or an Executor instance) -> Executor."""
-    if isinstance(kind, Executor):
-        return kind
-    if kind in (None, "serial"):
-        return SerialExecutor()
-    if kind == "parallel":
-        return ParallelExecutor(num_workers=num_workers)
-    raise CampaignError(
-        f"unknown executor kind {kind!r}; expected 'serial' or 'parallel'"
+#: Per-process cache of models built by futures-adapter tasks, keyed by
+#: the model source's serialized identity.  In a worker process of a
+#: serializing backend this amortizes the model build across the chunks
+#: that land on the worker (the generic adapter has no initializer
+#: hook, so this is the moral equivalent of ``ParallelExecutor``'s
+#: per-worker model global).
+_FUTURES_MODELS = {}
+
+
+def _futures_model_key(model_source):
+    """Stable per-process cache key, or ``None`` when uncacheable."""
+    to_dict = getattr(model_source, "to_dict", None)
+    if callable(to_dict):
+        try:
+            return json.dumps(to_dict(), sort_keys=True, default=repr)
+        except (TypeError, ValueError):
+            return None
+    return None
+
+
+def _futures_evaluate_chunk(model_source, chunk):
+    """Module-level task of :class:`FuturesExecutor`: picklable, so it
+    survives process-serializing backends; resolves (and caches) the
+    model on the worker side."""
+    key = _futures_model_key(model_source)
+    if key is None:
+        model = resolve_model(model_source)
+    else:
+        model = _FUTURES_MODELS.get(key)
+        if model is None:
+            model = _FUTURES_MODELS[key] = resolve_model(model_source)
+    return evaluate_chunk(model, chunk)
+
+
+class FuturesExecutor(Executor):
+    """Adapter over any ``concurrent.futures.Executor``-shaped object.
+
+    Parameters
+    ----------
+    futures:
+        Either an executor-like instance (anything with
+        ``submit(fn, *args) -> future``; the caller owns its lifecycle)
+        or a zero-argument factory returning one per ``run_chunks`` /
+        ``map`` call (shut down afterwards) -- thread pools, Dask
+        clients' ``get_executor()``, ``mpi4py.futures.MPIPoolExecutor``
+        all duck-type in.  The submitted task is a module-level
+        function over ``(model_source, chunk)``, so it serializes
+        wherever the model source does (specs are plain data by
+        design); workers resolve the model themselves and cache it per
+        process.
+    max_pending:
+        Chunks in flight at once (default ``2 * max_workers`` when the
+        executor advertises ``_max_workers``, else 16).
+    build_per_worker:
+        When ``True``, every worker thread resolves its own model from
+        the model source (via a :class:`threading.local` cache) instead
+        of sharing the per-process cached instance -- required for
+        stateful models (the Date16 solver mutates wire lengths per
+        sample) on thread-based executors.  Leave ``False`` for
+        serializing backends (processes, Dask), which ship independent
+        copies anyway.
+    """
+
+    name = "futures"
+
+    def __init__(self, futures, max_pending=None, build_per_worker=False):
+        if callable(getattr(futures, "submit", None)):
+            self._factory = None
+            self._futures = futures
+        elif callable(futures):
+            self._factory = futures
+            self._futures = None
+        else:
+            raise CampaignError(
+                f"futures must provide submit() or be a factory, got "
+                f"{type(futures).__name__}"
+            )
+        self.max_pending = max_pending
+        self.build_per_worker = bool(build_per_worker)
+
+    def _task(self, model_source):
+        """The per-chunk task callable.
+
+        The default is the picklable module-level function (worker-side
+        per-process model cache); ``build_per_worker`` swaps in a
+        thread-local closure -- closures do not pickle, but thread-based
+        executors never serialize their tasks.
+        """
+        if not self.build_per_worker:
+            return functools.partial(_futures_evaluate_chunk, model_source)
+        local = threading.local()
+
+        def task(chunk):
+            model = getattr(local, "model", None)
+            if model is None:
+                model = local.model = resolve_model(model_source)
+            return evaluate_chunk(model, chunk)
+
+        return task
+
+    def _run(self, task, chunks):
+        if self._futures is not None:
+            yield from self._submit_all(self._futures, task, chunks)
+            return
+        pool = self._factory()
+        try:
+            yield from self._submit_all(pool, task, chunks)
+        finally:
+            pool.shutdown(wait=True)
+
+    def _submit_all(self, pool, task, chunks):
+        max_pending = self.max_pending
+        if max_pending is None:
+            max_pending = 2 * getattr(pool, "_max_workers", 8)
+        queue = iter(chunks)
+        pending = set()
+        for chunk in queue:
+            pending.add(pool.submit(task, chunk))
+            if len(pending) >= max_pending:
+                break
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                yield future.result()
+            for chunk in queue:
+                pending.add(pool.submit(task, chunk))
+                if len(pending) >= max_pending:
+                    break
+
+    def map(self, model_source, parameters):
+        parameters = np.asarray(parameters, dtype=float)
+        chunks = [
+            WorkChunk(row, [row], parameters[row:row + 1])
+            for row in range(parameters.shape[0])
+        ]
+        task = self._task(model_source)
+        results = {r.chunk_index: r.outputs[0] for r in
+                   self._run(task, chunks)}
+        return [results[row] for row in range(parameters.shape[0])]
+
+    def run_chunks(self, model_source, chunks):
+        chunks = list(chunks)
+        if not chunks:
+            return
+        yield from self._run(self._task(model_source), chunks)
+
+
+# ----------------------------------------------------------------------
+# Backend registry
+# ----------------------------------------------------------------------
+_BACKENDS = {}
+
+
+def register_backend(name, factory=None):
+    """Register ``factory(num_workers=None) -> Executor`` under ``name``.
+
+    Usable directly or as a decorator.  The name becomes addressable
+    everywhere an executor is named: ``run_campaign(executor=name)``,
+    the CLI's ``--executor name``, ``make_executor(name)``.  A factory
+    that cannot honor ``num_workers`` must raise
+    :class:`~repro.errors.CampaignError` when one is passed, so user
+    intent is never silently dropped.
+    """
+    if factory is None:
+        def decorator(func):
+            _BACKENDS[str(name)] = func
+            return func
+        return decorator
+    _BACKENDS[str(name)] = factory
+    return factory
+
+
+def registered_backends():
+    """Sorted names of every registered executor backend."""
+    return sorted(_BACKENDS)
+
+
+@register_backend("serial")
+def _serial_backend(num_workers=None):
+    if num_workers is not None:
+        raise CampaignError(
+            "the 'serial' backend runs in-process and ignores worker "
+            "counts; drop --workers or pick a parallel backend "
+            f"({', '.join(sorted(set(_BACKENDS) - {'serial'}))})"
+        )
+    return SerialExecutor()
+
+
+@register_backend("process")
+@register_backend("parallel")
+def _process_backend(num_workers=None):
+    return ParallelExecutor(num_workers=num_workers)
+
+
+@register_backend("thread")
+def _thread_backend(num_workers=None):
+    if num_workers is None:
+        num_workers = min(os.cpu_count() or 1, 8)
+    if int(num_workers) < 1:
+        raise CampaignError(
+            f"num_workers must be >= 1, got {num_workers}"
+        )
+    executor = FuturesExecutor(
+        lambda: ThreadPoolExecutor(max_workers=int(num_workers)),
+        build_per_worker=True,
     )
+    executor.name = "thread"
+    return executor
+
+
+def make_executor(kind, num_workers=None):
+    """Resolve a backend name (or pass an Executor through) -> Executor.
+
+    ``kind`` is ``None`` (the serial default), a registered backend name
+    (``"serial"``, ``"process"``/``"parallel"``, ``"thread"`` or
+    anything added via :func:`register_backend`), or a ready
+    :class:`Executor` instance -- which is returned as-is and must not
+    be combined with ``num_workers``.
+    """
+    if isinstance(kind, Executor):
+        if num_workers is not None:
+            raise CampaignError(
+                "num_workers cannot be combined with a ready Executor "
+                "instance; size the instance directly"
+            )
+        return kind
+    if kind is None:
+        kind = "serial"
+        if num_workers is not None:
+            raise CampaignError(
+                "--workers needs a parallel executor backend; pass e.g. "
+                "--executor process"
+            )
+    try:
+        factory = _BACKENDS[kind]
+    except KeyError:
+        raise CampaignError(
+            f"unknown executor backend {kind!r}; registered: "
+            f"{registered_backends()}"
+        ) from None
+    return factory(num_workers=num_workers)

@@ -1,27 +1,38 @@
 """Campaign orchestration: sample, execute, checkpoint, reduce, resume.
 
+One :func:`run_campaign` / :func:`resume_campaign` pair serves every
+campaign kind: the spec says *what to evaluate*, a registered
+:class:`~repro.campaign.executor.Executor` backend says *where*, and a
+registered :class:`~repro.campaign.reducer.Reducer` says *what the
+evaluations become* (running moments, Jansen Sobol indices, a fitted
+PCE surrogate, anything user-registered).
+
 The runner is deliberately executor-agnostic and deterministic:
 
 * parameters come from counter-based per-sample seeding (sample ``i``
-  draws from ``SeedSequence(campaign_seed, spawn_key=(i,))``), so the
-  parameter matrix is a pure function of the spec -- independent of
-  worker count, chunk completion order, and of how often the run was
-  killed and resumed;
+  draws from ``SeedSequence(campaign_seed, spawn_key=(i,))``) or a
+  seeded full-stream sampler, so the parameter matrix is a pure
+  function of the spec -- independent of worker count, chunk completion
+  order, and of how often the run was killed and resumed;
 * outputs are checkpointed per chunk in the
   :class:`~repro.campaign.store.ArtifactStore`;
-* the reduction folds per-chunk Welford accumulators with
-  :meth:`~repro.uq.statistics.RunningStatistics.merge` in chunk-index
-  order, so serial and parallel executions produce bit-identical
-  mean/std.
+* the reduction folds the chunks into the reducer **in chunk-index
+  order** (the contiguous frontier folds as soon as its chunks are
+  available, regardless of completion order), so every executor and
+  every kill/resume history produces bit-identical reductions;
+* checkpointable reducers snapshot their state into the store after
+  every folded chunk, so a resume restores the reduction itself instead
+  of re-folding -- with results identical either way, because the state
+  round-trips float64 exactly.
 """
 
 import numpy as np
 
 from ..errors import CampaignError
 from ..uq.sampling import map_to_distributions
-from ..uq.statistics import RunningStatistics
 from . import registry
 from .executor import WorkChunk, make_executor
+from .reducer import resolve_reducer
 from .spec import CampaignSpec
 from .store import ArtifactStore
 
@@ -164,62 +175,39 @@ class CampaignResult:
 # ----------------------------------------------------------------------
 # Run / resume
 # ----------------------------------------------------------------------
-def execute_campaign_chunks(spec, store=None, executor=None, progress=None):
-    """Evaluate every not-yet-checkpointed chunk of a campaign.
+def _provenance_record(reducer, executor):
+    """Manifest provenance: who produced this store, with what."""
+    import repro
 
-    The shared execution half of :func:`run_campaign` and
-    :func:`~repro.campaign.sensitivity.run_sensitivity_campaign`:
-    initializes/validates the store, runs the pending chunks through the
-    executor (checkpointing as they complete) and returns
-    ``(chunk_reader, num_evaluated, store)``, where ``chunk_reader(index)``
-    returns the ``(indices, parameters, outputs)`` arrays of any chunk
-    -- from the store when one is attached, from memory otherwise --
-    and ``store`` is the normalized :class:`ArtifactStore` (``None``
-    when the run is in-memory), so callers never re-wrap path strings.
-    """
-    executor = make_executor(executor)
-    if store is not None and not isinstance(store, ArtifactStore):
-        store = ArtifactStore(store)
-    if store is not None:
-        store.initialize(spec)
-        completed = set(store.completed_chunks())
-    else:
-        completed = set()
-
-    pending = [index for index in range(spec.num_chunks)
-               if index not in completed]
-    memory_chunks = {}
-    num_evaluated = 0
-    done = len(completed)
-    total = spec.num_chunks
-    if pending:
-        chunks = campaign_chunks(spec, pending)
-        for result in executor.run_chunks(spec.scenario, chunks):
-            num_evaluated += result.indices.size
-            if store is not None:
-                store.write_chunk(result)
-            else:
-                memory_chunks[result.chunk_index] = result
-            done += 1
-            if progress is not None:
-                progress(done, total)
-
-    def chunk_reader(chunk_index):
-        if store is not None:
-            return store.read_chunk(chunk_index)
-        result = memory_chunks[chunk_index]
-        return result.indices, result.parameters, result.outputs
-
-    return chunk_reader, num_evaluated, store
+    return {
+        "package": "repro-date16",
+        "package_version": getattr(repro, "__version__", "unknown"),
+        "reducer": reducer.kind,
+        "executor": getattr(executor, "name", type(executor).__name__),
+    }
 
 
-def run_campaign(spec, store=None, executor=None, progress=None):
-    """Run (or finish) a campaign and return its :class:`CampaignResult`.
+def run_campaign(spec, store=None, executor=None, progress=None,
+                 reducer=None):
+    """Run (or finish) a campaign of any kind and return its result.
+
+    The one execution/reduction path of the campaign engine: evaluates
+    every not-yet-checkpointed chunk through the executor backend and
+    folds all chunks into the reducer in chunk-index order -- folding
+    the contiguous frontier as soon as its chunks are available, and
+    (for checkpointable reducers with a store) snapshotting the
+    reduction state after every fold so a resume restores the reduction
+    rather than re-folding.  The result object is reducer-specific:
+    :class:`CampaignResult` for ``"moments"``,
+    :class:`~repro.campaign.sensitivity.SensitivityResult` for
+    ``"jansen"``, :class:`~repro.campaign.reducer.SurrogateResult` for
+    ``"pce"``.
 
     Parameters
     ----------
     spec:
-        The :class:`~repro.campaign.spec.CampaignSpec`.
+        Any :class:`~repro.campaign.spec.CampaignSpec` (including
+        :class:`~repro.campaign.sensitivity.SensitivitySpec`).
     store:
         Optional :class:`~repro.campaign.store.ArtifactStore` (or path);
         when given, completed chunks are checkpointed there and already
@@ -227,52 +215,147 @@ def run_campaign(spec, store=None, executor=None, progress=None):
         ``run_campaign`` on a partially filled store is the resume path.
         Without a store, everything is kept in memory (no resume).
     executor:
-        ``"serial"`` (default) / ``"parallel"`` or an Executor instance.
+        A registered backend name (``"serial"`` default, ``"process"``,
+        ``"thread"``, or anything added via
+        :func:`~repro.campaign.executor.register_backend`) or an
+        :class:`~repro.campaign.executor.Executor` instance.
     progress:
         Optional ``progress(done_chunks, total_chunks)`` callback, called
         after every chunk completion.
+    reducer:
+        A :class:`~repro.campaign.reducer.Reducer` instance, a kind name,
+        or a ``{"kind": ..., **options}`` dict; ``None`` falls back to
+        the spec's ``reducer`` field and then to the spec kind's default
+        (``"moments"`` / ``"jansen"``).
     """
     if not isinstance(spec, CampaignSpec):
         raise CampaignError(
             f"expected a CampaignSpec, got {type(spec).__name__}"
         )
-    if spec.kind != CampaignSpec.kind:
-        raise CampaignError(
-            f"{type(spec).__name__} (kind {spec.kind!r}) needs its own "
-            "reduction -- use run_sensitivity_campaign (CLI: "
-            "repro-campaign sobol run)"
+    reducer = resolve_reducer(spec, reducer)
+    executor = make_executor(executor)
+    if store is not None and not isinstance(store, ArtifactStore):
+        store = ArtifactStore(store)
+    if store is not None:
+        store.initialize(
+            spec, provenance=_provenance_record(reducer, executor)
         )
-    chunk_reader, num_evaluated, store = execute_campaign_chunks(
-        spec, store=store, executor=executor, progress=progress
-    )
+        completed = set(store.completed_chunks())
+    else:
+        completed = set()
 
-    # Deterministic reduce: per-chunk Welford accumulators merged in
-    # chunk-index order -- identical for every executor and across
-    # kill/resume cycles, because it only sees the checkpointed outputs.
-    statistics = RunningStatistics()
+    total = spec.num_chunks
     parameters = np.empty((spec.num_samples, spec.dimension))
-    for chunk_index in range(spec.num_chunks):
-        indices, chunk_parameters, outputs = chunk_reader(chunk_index)
-        chunk_statistics = RunningStatistics()
-        for row in range(outputs.shape[0]):
-            chunk_statistics.update(outputs[row])
-        statistics.merge(chunk_statistics)
-        parameters[indices] = chunk_parameters
+    checkpointing = store is not None and reducer.checkpointable
 
-    result = CampaignResult(spec, statistics, parameters, num_evaluated)
+    # Restore a matching reduction checkpoint: the reducer continues
+    # bit-identically after the folded prefix instead of re-reading it.
+    next_fold = 0
+    if checkpointing:
+        restored = store.read_reducer_state()
+        if restored is not None:
+            meta, arrays = restored
+            folded = meta.get("next_chunk", 0)
+            prefix = arrays.get("__parameters__")
+            if (meta.get("reducer") == reducer.config_dict()
+                    and meta.get("num_chunks") == total
+                    and 0 < folded <= total
+                    and prefix is not None
+                    and prefix.shape
+                    == (spec.chunk_indices(folded - 1).stop,
+                        spec.dimension)):
+                reducer.load_state_dict({
+                    key: value for key, value in arrays.items()
+                    if key != "__parameters__"
+                })
+                parameters[:prefix.shape[0]] = prefix
+                next_fold = folded
+
+    # Snapshot cadence: every chunk for short campaigns, else ~32 evenly
+    # spaced snapshots plus the final one -- a resume re-folds at most
+    # one interval from the chunk files (bit-identical by construction),
+    # and checkpoint I/O stays linear instead of quadratic in the
+    # campaign size.
+    checkpoint_interval = max(1, total // 32)
+
+    available = set(completed)
+    memory_chunks = {}
+
+    def read_chunk(chunk_index):
+        if chunk_index in memory_chunks:
+            result = memory_chunks.pop(chunk_index)
+            return result.indices, result.parameters, result.outputs
+        return store.read_chunk(chunk_index)
+
+    def fold_frontier():
+        nonlocal next_fold
+        while next_fold < total and next_fold in available:
+            indices, chunk_parameters, outputs = read_chunk(next_fold)
+            reducer.fold(indices, outputs)
+            parameters[indices] = chunk_parameters
+            next_fold += 1
+            if checkpointing and (
+                    next_fold == total
+                    or next_fold % checkpoint_interval == 0):
+                # Only the folded-prefix rows go into the snapshot (the
+                # frontier folds chunks in index order, so the prefix is
+                # contiguous); the rest of the matrix is still garbage.
+                stop = spec.chunk_indices(next_fold - 1).stop
+                store.write_reducer_state(
+                    {
+                        "reducer": reducer.config_dict(),
+                        "num_chunks": total,
+                        "next_chunk": next_fold,
+                    },
+                    {"__parameters__": parameters[:stop],
+                     **reducer.state_dict()},
+                )
+
+    fold_frontier()
+    num_evaluated = 0
+    done = len(completed)
+    pending = [index for index in range(total) if index not in completed]
+    if pending:
+        chunks = campaign_chunks(spec, pending)
+        for result in executor.run_chunks(spec.scenario, chunks):
+            num_evaluated += result.indices.size
+            if store is not None:
+                # The store is the buffer: out-of-order completions wait
+                # on disk until the fold frontier reaches them, so a
+                # straggler low-index chunk cannot pile later chunks'
+                # outputs up in memory.
+                store.write_chunk(result)
+            else:
+                memory_chunks[result.chunk_index] = result
+            available.add(result.chunk_index)
+            done += 1
+            if progress is not None:
+                progress(done, total)
+            fold_frontier()
+    if next_fold != total:
+        raise CampaignError(
+            f"internal error: only {next_fold} of {total} chunks were "
+            "folded"
+        )
+
+    result = reducer.finalize(spec, parameters, num_evaluated)
     if store is not None:
         store.write_summary(result.summary())
     return result
 
 
-def resume_campaign(store, executor=None, progress=None):
+def resume_campaign(store, executor=None, progress=None, reducer=None):
     """Finish the campaign pinned in an existing store.
 
     Reads the spec from the manifest, evaluates only the missing chunks
     and reduces over all of them -- by construction this reproduces the
-    uninterrupted result exactly.  Dispatches on the pinned spec's kind,
-    so resuming a sensitivity store returns a
-    :class:`~repro.campaign.sensitivity.SensitivityResult`.
+    uninterrupted result exactly (restoring a checkpointed reduction
+    when one matches).  The reducer defaults to the pinned spec's, so
+    resuming a sensitivity store returns a
+    :class:`~repro.campaign.sensitivity.SensitivityResult`; pass
+    ``reducer=`` to re-reduce the same chunks differently (e.g.
+    ``{"kind": "pce", "degree": 4}`` fits the surrogate from existing
+    checkpoints without a single fresh solve).
     """
     if not isinstance(store, ArtifactStore):
         store = ArtifactStore(store)
@@ -281,12 +364,7 @@ def resume_campaign(store, executor=None, progress=None):
             f"no campaign manifest at {store.path!r}; run 'run' first"
         )
     spec = store.load_spec()
-    if spec.kind != CampaignSpec.kind:
-        from .sensitivity import run_sensitivity_campaign
-
-        return run_sensitivity_campaign(
-            spec, store=store, executor=executor, progress=progress
-        )
     return run_campaign(
-        spec, store=store, executor=executor, progress=progress
+        spec, store=store, executor=executor, progress=progress,
+        reducer=reducer,
     )

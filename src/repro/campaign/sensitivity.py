@@ -22,15 +22,23 @@ never materialize the full output matrix) or reduces the assembled
 matrix in memory.  Vector-valued quantities of interest (per-wire
 temperature traces, not just the scalar end-max) reduce per output
 component; bootstrap confidence intervals are deterministic per seed.
+
+Since the Reducer/ExecutorBackend redesign, the reduction itself lives
+in :class:`repro.campaign.reducer.JansenReducer` and the one
+:func:`~repro.campaign.runner.run_campaign` path serves sensitivity
+campaigns too; this module keeps the design layout
+(:class:`SaltelliPlan`), the spec (:class:`SensitivitySpec`), the
+result type (:class:`SensitivityResult`), and thin deprecation shims
+for the historic ``run/resume_sensitivity_campaign`` entry points.
 """
+
+import warnings
 
 import numpy as np
 
 from ..errors import CampaignError, SamplingError
 from ..uq import sensitivity as uq_sensitivity
-from ..uq.sensitivity import StreamingJansenAccumulator, jansen_bootstrap
 from . import registry
-from .runner import execute_campaign_chunks
 from .spec import CampaignSpec
 from .store import ArtifactStore
 
@@ -259,10 +267,12 @@ class SensitivitySpec(CampaignSpec):
 
     kind = "sensitivity"
 
+    default_reducer_kind = "jansen"
+
     def __init__(self, name, scenario, distribution, dimension,
                  num_base_samples, seed=0, chunk_size=8, sampler="random",
                  num_bootstrap=100, confidence=0.95, second_order=False,
-                 groups=None):
+                 groups=None, reducer=None):
         self.num_base_samples = int(num_base_samples)
         # Reduction settings live in the spec (and hence the pinned
         # manifest), so a resume without flags reproduces the original
@@ -286,7 +296,7 @@ class SensitivitySpec(CampaignSpec):
         super().__init__(
             name, scenario, distribution, dimension,
             num_samples=plan.num_evaluations, seed=seed,
-            chunk_size=chunk_size, sampler=sampler,
+            chunk_size=chunk_size, sampler=sampler, reducer=reducer,
         )
 
     @property
@@ -371,13 +381,15 @@ class SensitivitySpec(CampaignSpec):
             "num_bootstrap": self.num_bootstrap,
             "confidence": self.confidence,
         }
-        # Second-order / group options serialize only when enabled, so
-        # specs without them stay byte-compatible with PR-2 manifests
-        # (and PR-2 stores load here unchanged).
+        # Second-order / group / reducer options serialize only when
+        # enabled, so specs without them stay byte-compatible with PR-2
+        # manifests (and PR-2 stores load here unchanged).
         if self.second_order:
             data["second_order"] = True
         if self.groups:
             data["groups"] = [list(group) for group in self.groups]
+        if self.reducer is not None:
+            data["reducer"] = dict(self.reducer)
         return data
 
     @classmethod
@@ -397,7 +409,8 @@ class SensitivitySpec(CampaignSpec):
         unknown = set(data) - {"name", "scenario", "distribution",
                                "dimension", "num_base_samples", "seed",
                                "chunk_size", "sampler", "num_bootstrap",
-                               "confidence", "second_order", "groups"}
+                               "confidence", "second_order", "groups",
+                               "reducer"}
         if unknown:
             raise CampaignError(
                 f"sensitivity spec got unknown fields {sorted(unknown)}"
@@ -569,144 +582,76 @@ class SensitivityResult:
         )
 
 
+# ----------------------------------------------------------------------
+# Deprecation shims: the unified runner + JansenReducer replaced the
+# dedicated sensitivity run/resume entry points.
+# ----------------------------------------------------------------------
+_DEPRECATION_EMITTED = set()
+
+
+def _warn_deprecated(name, replacement):
+    """Emit the deprecation warning for ``name`` exactly once per
+    process (re-triggerable in tests via ``_reset_deprecation_warnings``)."""
+    if name in _DEPRECATION_EMITTED:
+        return
+    _DEPRECATION_EMITTED.add(name)
+    warnings.warn(
+        f"{name} is deprecated; use {replacement} -- the unified "
+        "campaign path reproduces it bit for bit",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _reset_deprecation_warnings():
+    """Testing hook: make the once-per-process warnings fire again."""
+    _DEPRECATION_EMITTED.clear()
+
+
 def run_sensitivity_campaign(spec, store=None, executor=None, progress=None,
                              num_bootstrap=None, confidence=None,
                              streaming=None):
-    """Run (or finish) a sensitivity campaign; returns its result.
+    """Deprecated shim over the unified campaign path.
 
-    Streams the ``M (d + 2 + pairs + groups)`` Saltelli evaluations
-    through the campaign executor/store machinery -- per-worker model
-    reuse, atomic chunk checkpoints, resume of a partially filled store
-    -- then reduces with the shared Jansen core.  For
-    ``sampler="random"`` the first-order indices equal the in-process
-    :func:`repro.uq.sensitivity.sobol_indices` bit for bit; every
-    executor and every kill/resume history produces identical indices
-    and (seeded) bootstrap intervals.
-
+    Equivalent to ``run_campaign(spec, ..., reducer=JansenReducer(spec,
+    num_bootstrap=..., confidence=..., streaming=...))`` and reproduces
+    the historic results bit for bit: the Jansen reduction, the seeded
+    bootstrap intervals and the streaming/in-memory selection logic all
+    moved into :class:`~repro.campaign.reducer.JansenReducer` unchanged.
     ``num_bootstrap`` / ``confidence`` override the spec's persisted
-    bootstrap settings for this reduction only (``num_bootstrap=0``
-    disables the intervals); the defaults come from the spec -- which is
-    pinned in the store manifest -- so a flag-less resume reproduces the
-    original confidence intervals exactly.
-
-    ``streaming`` picks the reduction strategy.  The default (``None``)
-    streams whenever the bootstrap is disabled: each checkpointed chunk
-    folds into the :class:`~repro.uq.sensitivity.
-    StreamingJansenAccumulator`'s running sums, so the
-    ``(M (d + 2 + pairs + groups), K)`` output matrix of a huge vector
-    QoI never materializes -- with indices bit-identical to the
-    in-memory path (both feed the same accumulator in the same row
-    order).  ``streaming=False`` forces the in-memory assembly;
-    ``streaming=True`` with a bootstrap request raises, because the
-    bootstrap must resample full rows.
+    bootstrap settings for this reduction only; ``streaming`` picks the
+    reduction strategy (default: stream exactly when the bootstrap is
+    off).
     """
+    from .reducer import JansenReducer
+    from .runner import run_campaign
+
+    _warn_deprecated("run_sensitivity_campaign",
+                     "run_campaign (reducer='jansen')")
     if not isinstance(spec, SensitivitySpec):
         raise CampaignError(
             f"expected a SensitivitySpec, got {type(spec).__name__} "
             "(plain campaigns go through run_campaign)"
         )
-    if num_bootstrap is None:
-        num_bootstrap = spec.num_bootstrap
-    if confidence is None:
-        confidence = spec.confidence
-    if streaming is None:
-        streaming = not num_bootstrap
-    if streaming and num_bootstrap:
-        raise CampaignError(
-            "the streaming reduction folds chunks into running sums and "
-            "cannot resample rows for bootstrap intervals; pass "
-            "num_bootstrap=0 (CLI: --bootstrap 0) or streaming=False"
-        )
-    chunk_reader, num_evaluated, store = execute_campaign_chunks(
-        spec, store=store, executor=executor, progress=progress
-    )
-
-    # Deterministic reduce, in global-evaluation order (a pure function
-    # of the checkpointed chunks).  Both strategies feed the canonical
-    # streaming accumulator row by row, so they are bit-identical; the
-    # in-memory path additionally keeps the assembled matrix around for
-    # the bootstrap resampling.
-    plan = spec.plan
-    m = spec.num_base_samples
-    parameters = np.empty((spec.num_samples, spec.dimension))
-    accumulator = StreamingJansenAccumulator(
-        m, spec.dimension,
-        pairs=plan.pairs or None, groups=plan.groups or None,
-    )
-    if accumulator.swap_subsets != plan.swap_subsets:
-        raise CampaignError(
-            "internal error: the streaming accumulator's block layout "
-            f"{accumulator.swap_subsets} does not match the Saltelli "
-            f"plan's {plan.swap_subsets}"
-        )
-    outputs = None
-    for chunk_index in range(spec.num_chunks):
-        indices, chunk_parameters, chunk_outputs = chunk_reader(
-            chunk_index
-        )
-        accumulator.add(indices, chunk_outputs)
-        parameters[indices] = chunk_parameters
-        if not streaming:
-            # The bootstrap below resamples full rows, so the in-memory
-            # mode additionally assembles the output matrix; the point
-            # estimates come from the same per-chunk folds either way.
-            if outputs is None:
-                outputs = np.empty(
-                    (spec.num_samples,) + chunk_outputs.shape[1:]
-                )
-            outputs[indices] = chunk_outputs
-    estimates = accumulator.finalize()
-
-    interval = None
-    if num_bootstrap:
-        output_shape = outputs.shape[1:]
-        f_a = outputs[:m]
-        f_b = outputs[m:2 * m]
-        first_stop = (2 + spec.dimension) * m
-        f_ab = outputs[2 * m:first_stop].reshape(
-            (spec.dimension, m) + output_shape
-        )
-        f_ab_pairs = None
-        pair_stop = first_stop + plan.num_pairs * m
-        if plan.num_pairs:
-            f_ab_pairs = outputs[first_stop:pair_stop].reshape(
-                (plan.num_pairs, m) + output_shape
-            )
-        f_ab_groups = None
-        if plan.num_groups:
-            f_ab_groups = outputs[pair_stop:].reshape(
-                (plan.num_groups, m) + output_shape
-            )
-        interval = jansen_bootstrap(
-            f_a, f_b, f_ab, num_replicates=num_bootstrap, seed=spec.seed,
-            confidence=confidence,
-            f_ab_pairs=f_ab_pairs, pairs=plan.pairs or None,
-            f_ab_groups=f_ab_groups, groups=plan.groups or None,
-        )
-
-    result = SensitivityResult(
-        spec, estimates.first_order, interval, parameters, num_evaluated,
-        second_order=estimates.second_order,
-        group_indices=estimates.groups,
-        streamed=streaming,
-    )
-    if store is not None:
-        store.write_summary(result.summary())
-    return result
+    reducer = JansenReducer(spec, num_bootstrap=num_bootstrap,
+                            confidence=confidence, streaming=streaming)
+    return run_campaign(spec, store=store, executor=executor,
+                        progress=progress, reducer=reducer)
 
 
 def resume_sensitivity_campaign(store, executor=None, progress=None,
                                 num_bootstrap=None, confidence=None,
                                 streaming=None):
-    """Finish the sensitivity campaign pinned in an existing store.
+    """Deprecated shim over the unified resume path.
 
-    Evaluates only the missing chunks and reduces over all of them --
-    by construction this reproduces the uninterrupted indices (and,
-    since the bootstrap settings default to the pinned spec's, the
-    seeded bootstrap intervals) exactly; the streaming and in-memory
-    reductions are bit-identical, so ``streaming`` may differ between
-    the original run and the resume.
+    Equivalent to :func:`~repro.campaign.runner.resume_campaign` on a
+    sensitivity store (which dispatches on the pinned spec's kind), with
+    the same reduction overrides as :func:`run_sensitivity_campaign`.
     """
+    from .reducer import JansenReducer
+    from .runner import run_campaign
+
+    _warn_deprecated("resume_sensitivity_campaign", "resume_campaign")
     if not isinstance(store, ArtifactStore):
         store = ArtifactStore(store)
     if not store.exists():
@@ -719,8 +664,7 @@ def resume_sensitivity_campaign(store, executor=None, progress=None,
             f"store at {store.path!r} pins a {spec.kind!r} campaign, not "
             "a sensitivity campaign (use resume_campaign)"
         )
-    return run_sensitivity_campaign(
-        spec, store=store, executor=executor, progress=progress,
-        num_bootstrap=num_bootstrap, confidence=confidence,
-        streaming=streaming,
-    )
+    reducer = JansenReducer(spec, num_bootstrap=num_bootstrap,
+                            confidence=confidence, streaming=streaming)
+    return run_campaign(spec, store=store, executor=executor,
+                        progress=progress, reducer=reducer)

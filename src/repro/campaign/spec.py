@@ -109,6 +109,26 @@ class ScenarioSpec:
         )
 
 
+def _normalize_reducer_spec(reducer):
+    """Validate the spec-level reducer field into ``None`` or a dict.
+
+    Kind *names* are resolved lazily at run time (user reducers register
+    at import of ``ScenarioSpec.module``, which may not have happened
+    yet); here only the JSON shape is enforced.
+    """
+    if reducer is None:
+        return None
+    if isinstance(reducer, str):
+        reducer = {"kind": reducer}
+    if not isinstance(reducer, dict) or not isinstance(
+            reducer.get("kind"), str):
+        raise CampaignError(
+            f"reducer must be a kind name or a dict with a string "
+            f"'kind' entry, got {reducer!r}"
+        )
+    return dict(reducer)
+
+
 class CampaignSpec:
     """The full campaign: a scenario plus the sampling plan.
 
@@ -140,16 +160,28 @@ class CampaignSpec:
         ``"counter"`` (default) or a full-stream kind
         (``"random"``, ``"lhs"``, ``"halton"``, ``"sobol"``); full
         streams are regenerated deterministically from the seed.
+    reducer:
+        Optional reducer spec -- a kind name or ``{"kind": ...,
+        **options}`` dict naming what the evaluations reduce *to* (see
+        :mod:`repro.campaign.reducer`; e.g. ``{"kind": "pce",
+        "degree": 4}`` for the surrogate-accelerated mode).  ``None``
+        (the default, omitted from serialized specs for compatibility)
+        selects the campaign kind's default reduction.
     """
 
     #: Campaign flavor; serialized as the ``"kind"`` spec field by
     #: subclasses (plain Monte Carlo specs omit it for compatibility
-    #: with existing manifests) and used by :func:`~repro.campaign.
-    #: runner.run_campaign` to refuse specs it cannot reduce.
+    #: with existing manifests) and dispatched on by
+    #: :meth:`from_dict`.
     kind = "monte-carlo"
 
+    #: Reducer kind used when neither the spec's ``reducer`` field nor
+    #: the ``run_campaign(reducer=...)`` argument picks one.
+    default_reducer_kind = "moments"
+
     def __init__(self, name, scenario, distribution, dimension, num_samples,
-                 seed=0, chunk_size=8, sampler=registry.COUNTER_SAMPLER):
+                 seed=0, chunk_size=8, sampler=registry.COUNTER_SAMPLER,
+                 reducer=None):
         self.name = str(name)
         if isinstance(scenario, dict):
             scenario = ScenarioSpec.from_dict(scenario)
@@ -165,6 +197,7 @@ class CampaignSpec:
         self.seed = int(seed)
         self.chunk_size = int(chunk_size)
         self.sampler = str(sampler)
+        self.reducer = _normalize_reducer_spec(reducer)
         if self.dimension < 1:
             raise CampaignError(
                 f"dimension must be >= 1, got {self.dimension}"
@@ -228,7 +261,7 @@ class CampaignSpec:
         return stream[indices]
 
     def to_dict(self):
-        return {
+        data = {
             "name": self.name,
             "scenario": self.scenario.to_dict(),
             "distribution": self.distribution,
@@ -238,6 +271,11 @@ class CampaignSpec:
             "chunk_size": self.chunk_size,
             "sampler": self.sampler,
         }
+        # The reducer serializes only when set, so default specs stay
+        # byte-compatible with pre-reducer manifests.
+        if self.reducer is not None:
+            data["reducer"] = dict(self.reducer)
+        return data
 
     @classmethod
     def from_dict(cls, data):
@@ -265,7 +303,7 @@ class CampaignSpec:
             )
         unknown = set(data) - {"name", "scenario", "distribution",
                                "dimension", "num_samples", "seed",
-                               "chunk_size", "sampler"}
+                               "chunk_size", "sampler", "reducer"}
         if unknown:
             raise CampaignError(
                 f"campaign spec got unknown fields {sorted(unknown)}"

@@ -4,17 +4,23 @@ Layout of a store directory::
 
     <store>/
         manifest.json          # format version + full campaign spec
+                               # (+ optional reducer/backend provenance)
         chunks/
             chunk_000000.npz   # indices, parameters, outputs of chunk 0
             chunk_000001.npz
             ...
+        reducer_state.npz      # checkpointed reduction state (optional)
         summary.json           # written once the campaign completes
 
 Chunk files are written atomically (temp file + ``os.replace``), so a
 killed process can never leave a half-written chunk behind: on resume a
 chunk either exists completely or is recomputed.  The manifest pins the
 spec; resuming with a different spec is refused instead of silently
-mixing two campaigns in one directory.
+mixing two campaigns in one directory.  ``reducer_state.npz`` snapshots
+the reducer's running state after every folded chunk (same atomic write
+discipline), so a resume restores the reduction itself rather than
+re-folding every chunk; stores without it -- including every pre-reducer
+store -- simply re-fold, which is bit-identical by construction.
 """
 
 import json
@@ -28,6 +34,8 @@ from .spec import CampaignSpec
 
 FORMAT_VERSION = 1
 _CHUNK_DIR = "chunks"
+_REDUCER_STATE = "reducer_state.npz"
+_STATE_META_KEY = "__meta__"
 
 
 class ArtifactStore:
@@ -55,12 +63,16 @@ class ArtifactStore:
         """Whether this directory holds an initialized store."""
         return os.path.isfile(self.manifest_path)
 
-    def initialize(self, spec):
+    def initialize(self, spec, provenance=None):
         """Create the store for ``spec`` or validate an existing one.
 
         A fresh directory gets a manifest; an existing store is accepted
-        only when its pinned spec matches exactly (the resume contract).
-        Returns ``self`` for chaining.
+        only when its pinned spec matches exactly (the resume contract
+        -- the optional ``provenance`` record is informational and never
+        part of that comparison).  ``provenance`` is a JSON dict naming
+        the package version and the reducer/backend of the creating run;
+        it is recorded once at creation time and surfaced by
+        ``repro-campaign report``.  Returns ``self`` for chaining.
         """
         if not isinstance(spec, CampaignSpec):
             raise CampaignError(
@@ -80,8 +92,17 @@ class ArtifactStore:
             "format_version": FORMAT_VERSION,
             "campaign": spec.to_dict(),
         }
+        if provenance:
+            manifest["provenance"] = dict(provenance)
         self._write_json(self.manifest_path, manifest)
         return self
+
+    def read_provenance(self):
+        """The manifest's provenance record (``None`` for stores created
+        before it existed, or without one)."""
+        manifest = self._read_json(self.manifest_path)
+        provenance = manifest.get("provenance")
+        return dict(provenance) if provenance else None
 
     def load_spec(self):
         """The campaign spec pinned in the manifest."""
@@ -152,6 +173,62 @@ class ArtifactStore:
                 data["parameters"].copy(),
                 data["outputs"].copy(),
             )
+
+    # ------------------------------------------------------------------
+    # Reducer state
+    # ------------------------------------------------------------------
+    @property
+    def reducer_state_path(self):
+        return os.path.join(self.path, _REDUCER_STATE)
+
+    def write_reducer_state(self, meta, arrays):
+        """Atomically checkpoint one reduction snapshot.
+
+        ``meta`` is a small JSON dict identifying the reduction (reducer
+        config, chunk progress); ``arrays`` maps names to numpy arrays
+        (the reducer's ``state_dict`` plus the runner's bookkeeping).
+        The same temp-file + ``os.replace`` discipline as chunk writes:
+        a killed process leaves either the previous snapshot or the new
+        one, never a torn file.
+        """
+        descriptor, temporary = tempfile.mkstemp(
+            dir=self.path, prefix="reducer_state.", suffix=".tmp"
+        )
+        with os.fdopen(descriptor, "wb") as handle:
+            np.savez(
+                handle,
+                **{_STATE_META_KEY: np.frombuffer(
+                    json.dumps(meta, sort_keys=True).encode("utf-8"),
+                    dtype=np.uint8,
+                )},
+                **arrays,
+            )
+        os.replace(temporary, self.reducer_state_path)
+        return self.reducer_state_path
+
+    def read_reducer_state(self):
+        """``(meta, arrays)`` of the checkpointed reduction, or ``None``.
+
+        Returns ``None`` for stores without a snapshot (every store is
+        readable without one -- the runner then re-folds the chunks) and
+        for unreadable snapshots, which are treated as absent rather
+        than fatal: the chunk files remain the source of truth.
+        """
+        if not os.path.isfile(self.reducer_state_path):
+            return None
+        try:
+            with np.load(self.reducer_state_path) as data:
+                meta = json.loads(
+                    bytes(data[_STATE_META_KEY]).decode("utf-8")
+                )
+                arrays = {
+                    name: data[name].copy()
+                    for name in data.files
+                    if name != _STATE_META_KEY
+                }
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            return None
+        return meta, arrays
 
     # ------------------------------------------------------------------
     # Summary

@@ -407,6 +407,25 @@ class CoupledSolver:
         )
         return result.solution, result.iterations, cache
 
+    def step_once(self, temperatures, dt, drive_scale=1.0):
+        """One implicit Euler step of the coupled system; the new state.
+
+        The public stepping hook for external time-step controllers
+        (e.g. :func:`repro.solvers.adaptive.adaptive_implicit_euler`,
+        whose ``step_function(state, dt)`` signature this matches with
+        the default constant drive).  Uses the same fixed-point step as
+        :meth:`solve_transient`; ``drive_scale`` scales the contact
+        potentials for this step (callers integrating a waveform
+        evaluate it at the step's new time level themselves).
+        """
+        self._el_scale = float(drive_scale)
+        step = self._step_fast if self.mode == "fast" else self._step_full
+        new_state, _, _ = step(
+            np.asarray(temperatures, dtype=float), float(dt)
+        )
+        self._el_scale = 1.0
+        return new_state
+
     def solve_transient(self, time_grid, store_fields=False, waveform=None):
         """Integrate the coupled system over a :class:`TimeGrid`.
 

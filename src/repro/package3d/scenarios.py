@@ -30,8 +30,12 @@ from .uq_study import Date16UncertaintyStudy
 
 #: Builder options understood by :func:`build_date16_model` beyond the
 #: :class:`Date16Parameters` overrides nested under ``"parameters"``.
+#: ``time_stepping: "adaptive"`` switches the transient to step-doubling
+#: implicit Euler (``adaptive_tolerance`` kelvin of local error per
+#: step), interpolated back onto the paper's fixed 51-point grid.
 _STUDY_OPTIONS = (
     "resolution", "mode", "num_segments", "truncate_elongation", "tolerance",
+    "time_stepping", "adaptive_tolerance",
 )
 
 
@@ -114,6 +118,8 @@ def date16_campaign_spec(
     name=None,
     parameters=None,
     waveform=None,
+    time_stepping=None,
+    reducer=None,
 ):
     """A ready-to-run :class:`~repro.campaign.spec.CampaignSpec`.
 
@@ -121,11 +127,16 @@ def date16_campaign_spec(
     temperature traces as QoI) at a campaign-friendly sample count.
     Custom ``parameters`` shape both the sampling distribution *and*
     the worker-side problem (serialized into the scenario options).
+    ``time_stepping="adaptive"`` switches the workers to the adaptive
+    transient; ``reducer`` pins a reduction into the spec (e.g.
+    ``{"kind": "pce", "degree": 3}`` for the surrogate mode).
     """
     from ..campaign.spec import CampaignSpec, ScenarioSpec
 
     p = parameters if parameters is not None else Date16Parameters()
     options = {"resolution": resolution}
+    if time_stepping is not None:
+        options["time_stepping"] = str(time_stepping)
     if parameters is not None:
         options["parameters"] = date16_parameter_overrides(p)
     scenario = ScenarioSpec(
@@ -143,6 +154,7 @@ def date16_campaign_spec(
         num_samples=num_samples,
         seed=seed,
         chunk_size=chunk_size,
+        reducer=reducer,
     )
 
 

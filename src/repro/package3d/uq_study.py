@@ -152,6 +152,16 @@ class Date16UncertaintyStudy:
     factorization_cache:
         Optional shared :class:`~repro.solvers.cache.FactorizationCache`
         for the fast-path base LUs (campaign worker reuse).
+    time_stepping:
+        ``"fixed"`` (default: the paper's uniform 51-point grid) or
+        ``"adaptive"`` -- step-doubling implicit Euler
+        (:func:`repro.solvers.adaptive.adaptive_implicit_euler`)
+        controlled by ``adaptive_tolerance``, with the accepted states
+        interpolated back onto the fixed grid so every QoI keeps its
+        ``(P, W)`` shape.  Adaptive stepping supports the constant
+        drive only (the step controller owns the time axis).
+    adaptive_tolerance:
+        Local-error tolerance [K] per adaptive step (default 0.5).
     """
 
     def __init__(
@@ -164,6 +174,8 @@ class Date16UncertaintyStudy:
         tolerance=1.0e-3,
         waveform=None,
         factorization_cache=None,
+        time_stepping="fixed",
+        adaptive_tolerance=0.5,
     ):
         self.parameters = parameters if parameters is not None else Date16Parameters()
         problem, mesh = build_date16_problem(
@@ -191,6 +203,23 @@ class Date16UncertaintyStudy:
             self.elongation_distribution = NormalDistribution(mu, sigma)
         self.num_wires = len(problem.wires)
         self.evaluations = 0
+        self.time_stepping = str(time_stepping)
+        if self.time_stepping not in ("fixed", "adaptive"):
+            raise SamplingError(
+                f"time_stepping must be 'fixed' or 'adaptive', got "
+                f"{time_stepping!r}"
+            )
+        if self.time_stepping == "adaptive" and waveform is not None:
+            raise SamplingError(
+                "adaptive time stepping supports the constant drive only "
+                "(the step controller owns the time axis); drop the "
+                "waveform or use fixed stepping"
+            )
+        self.adaptive_tolerance = float(adaptive_tolerance)
+        #: The :class:`~repro.solvers.adaptive.AdaptiveStepResult` of the
+        #: most recent adaptive solve (``None`` before the first one) --
+        #: step counts for cost comparisons against the fixed grid.
+        self.last_adaptive_result = None
 
     # ------------------------------------------------------------------
     # The model callable
@@ -204,11 +233,46 @@ class Date16UncertaintyStudy:
             )
         lengths = wire_lengths_from_deltas(deltas, self.mesh.layout)
         self.solver.set_wire_lengths(lengths)
-        result = self.solver.solve_transient(
-            self.time_grid, waveform=self.waveform
-        )
+        if self.time_stepping == "adaptive":
+            traces = self._solve_adaptive_traces()
+        else:
+            result = self.solver.solve_transient(
+                self.time_grid, waveform=self.waveform
+            )
+            traces = result.wire_temperatures
         self.evaluations += 1
-        return result.wire_temperatures
+        return traces
+
+    def _solve_adaptive_traces(self):
+        """One adaptive transient, interpolated onto the fixed grid.
+
+        Integrates with step-doubling implicit Euler (each attempted
+        step costs three coupled solves: one full and two half steps)
+        and linearly interpolates the accepted wire temperatures onto
+        the paper's 51-point axis, so downstream statistics see the
+        exact same shapes as the fixed-grid path.  Wire lengths must
+        already be set on the solver.
+        """
+        from ..solvers.adaptive import adaptive_implicit_euler
+
+        result = adaptive_implicit_euler(
+            self.solver.step_once,
+            self.problem.initial_temperatures(),
+            end_time=self.parameters.end_time,
+            initial_dt=self.time_grid.dt,
+            tolerance=self.adaptive_tolerance,
+            min_dt=1.0e-3,
+        )
+        self.last_adaptive_result = result
+        wire_traces = np.stack([
+            self.solver.topology.wire_temperatures(state)
+            for state in result.states
+        ])
+        times = self.time_grid.times
+        return np.column_stack([
+            np.interp(times, result.times, wire_traces[:, wire])
+            for wire in range(wire_traces.shape[1])
+        ])
 
     def evaluate_end_max(self, deltas):
         """Scalar model for sensitivity studies: hottest end temperature."""

@@ -1,4 +1,5 @@
-"""Ranked Sobol-index tables (the ``repro-campaign sobol report`` output)."""
+"""Ranked Sobol-index tables (the ``repro-campaign report`` output for
+sensitivity and PCE-surrogate campaigns)."""
 
 from .tables import format_table
 
@@ -194,3 +195,58 @@ def format_sensitivity_summary(summary, title=None):
     if footnotes:
         text += "\n" + "\n".join(footnotes)
     return text
+
+
+#: Header rows of the PCE-surrogate summary; keys match
+#: :meth:`repro.campaign.reducer.SurrogateResult.summary`.
+_PCE_HEADER_ROWS = (
+    ("campaign", "Campaign"),
+    ("problem", "Problem"),
+    ("qoi", "Quantity of interest"),
+    ("sampler", "Sampler"),
+    ("num_samples", "Samples M"),
+    ("num_chunks", "Checkpoint chunks"),
+    ("dimension", "Inputs d"),
+    ("degree", "PCE total degree"),
+    ("num_terms", "Basis terms"),
+    ("basis", "Germ basis"),
+    ("output_size", "Output entries"),
+    ("argmax_output", "Reported output (max variance)"),
+    ("variance", "Surrogate variance"),
+    ("mean_max", "max E [K]"),
+    ("std_max", "max sigma [K]"),
+)
+
+
+def format_pce_summary(summary, title=None):
+    """Header table plus the surrogate's ranked analytic Sobol indices.
+
+    ``summary`` is the JSON dict persisted by a PCE-reduced campaign
+    (``summary.json`` of the store).  The indices are partial sums of
+    squared surrogate coefficients -- analytic, no bootstrap -- so the
+    table carries no confidence columns.
+    """
+    summary = dict(summary)
+    header_rows = [
+        (label, _format_value(summary[key]))
+        for key, label in _PCE_HEADER_ROWS
+        if key in summary
+    ]
+    header = format_table(
+        ("Quantity", "Value"), header_rows,
+        title=title or "PCE surrogate campaign",
+    )
+    first = summary.get("first_order", [])
+    total = summary.get("total", [])
+    ranking = summary.get("ranking", sorted(
+        range(len(total)), key=lambda i: -total[i]
+    ))
+    rows = [
+        [str(rank), f"x{i:02d}", f"{first[i]:.4f}", f"{total[i]:.4f}"]
+        for rank, i in enumerate(ranking, start=1)
+    ]
+    ranked = format_table(
+        ("rank", "input", "S_i", "S_T,i"), rows,
+        title="Surrogate Sobol indices (ranked by total index)",
+    )
+    return header + "\n\n" + ranked

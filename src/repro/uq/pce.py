@@ -66,23 +66,59 @@ def hermite_normalized(order, points):
     return values / np.sqrt(math.factorial(order))
 
 
+def legendre_normalized(order, points):
+    """Legendre polynomial P_n * sqrt(2n + 1), orthonormal for U(-1, 1)."""
+    points = np.asarray(points, dtype=float)
+    coefficients = np.zeros(order + 1)
+    coefficients[order] = 1.0
+    values = np.polynomial.legendre.legval(points, coefficients)
+    return values * np.sqrt(2.0 * order + 1.0)
+
+
+#: Germ bases of the Wiener-Askey scheme supported by
+#: :class:`PolynomialChaosExpansion`: the germ distribution and the
+#: matching orthonormal 1D polynomial family.
+BASES = {
+    "hermite": hermite_normalized,
+    "legendre": legendre_normalized,
+}
+
+
 class PolynomialChaosExpansion:
     """Least-squares PCE surrogate of a scalar or vector model.
 
     Parameters
     ----------
     model:
-        Callable ``model(parameters) -> array`` (consistent output shape).
+        Callable ``model(parameters) -> array`` (consistent output
+        shape), or ``None`` when the expansion is fitted from
+        precomputed samples via :meth:`fit_from_samples`.
     distributions:
         One distribution (iid) or a per-dimension list.
     dimension:
         Number of random inputs.
     degree:
         Total polynomial degree of the expansion.
+    basis:
+        Germ basis: ``"hermite"`` (default; standard-normal germ,
+        non-normal marginals map through ``x = ppf(Phi(z))``) or
+        ``"legendre"`` (uniform germ on ``[-1, 1]``, marginals map
+        through ``x = ppf((z + 1) / 2)``).  Sobol indices are invariant
+        under these per-dimension monotone maps, so either basis
+        estimates the same indices -- but regression on bounded
+        marginals (campaign unit-cube samples) is far better
+        conditioned in the Legendre basis.
     """
 
-    def __init__(self, model, distributions, dimension, degree=2):
+    def __init__(self, model, distributions, dimension, degree=2,
+                 basis="hermite"):
         self.model = model
+        self.basis = str(basis)
+        if self.basis not in BASES:
+            raise SamplingError(
+                f"unknown PCE basis {basis!r}; expected one of "
+                f"{sorted(BASES)}"
+            )
         self.dimension = int(dimension)
         self.degree = int(degree)
         if not isinstance(distributions, (list, tuple)):
@@ -116,12 +152,13 @@ class PolynomialChaosExpansion:
                 f"{germ_points.shape}"
             )
         # Precompute 1D polynomials up to the max order per dimension.
+        polynomial = BASES[self.basis]
         columns = []
         one_d = {}
         for order in range(self.degree + 1):
             one_d[order] = np.column_stack(
                 [
-                    hermite_normalized(order, germ_points[:, d])
+                    polynomial(order, germ_points[:, d])
                     for d in range(self.dimension)
                 ]
             )
@@ -137,7 +174,12 @@ class PolynomialChaosExpansion:
         mapped = np.empty_like(np.asarray(germ_points, dtype=float))
         germ_points = np.asarray(germ_points, dtype=float)
         for d, dist in enumerate(self.distributions):
-            if isinstance(dist, NormalDistribution):
+            if self.basis == "legendre":
+                cdf = np.clip(
+                    0.5 * (germ_points[:, d] + 1.0), 1e-12, 1.0 - 1e-12
+                )
+                mapped[:, d] = dist.ppf(cdf)
+            elif isinstance(dist, NormalDistribution):
                 mapped[:, d] = dist.mu + dist.sigma * germ_points[:, d]
             else:
                 cdf = 0.5 * (1.0 + special.erf(
@@ -163,10 +205,18 @@ class PolynomialChaosExpansion:
                 f"need at least {self.num_terms} samples for "
                 f"{self.num_terms} terms, got {num_samples}"
             )
+        if self.model is None:
+            raise SamplingError(
+                "no model attached; use fit_from_samples for precomputed "
+                "evaluations"
+            )
         uniform = random_sampler(num_samples, self.dimension, seed)
-        germ = NormalDistribution(0.0, 1.0).ppf(
-            np.clip(uniform, 1e-12, 1.0 - 1e-12)
-        )
+        if self.basis == "legendre":
+            germ = 2.0 * uniform - 1.0
+        else:
+            germ = NormalDistribution(0.0, 1.0).ppf(
+                np.clip(uniform, 1e-12, 1.0 - 1e-12)
+            )
         parameters = self._map_germ(germ)
         outputs = np.stack(
             [
@@ -174,9 +224,39 @@ class PolynomialChaosExpansion:
                 for i in range(num_samples)
             ]
         )
+        return self.fit_from_samples(germ, outputs)
+
+    def fit_from_samples(self, germ_points, outputs):
+        """Fit the coefficients from precomputed model evaluations.
+
+        Parameters
+        ----------
+        germ_points:
+            ``(M, dimension)`` germ-space sample matrix -- standard
+            normal for the Hermite basis, ``2 u - 1`` of unit-cube rows
+            ``u`` for the Legendre basis.  Campaign unit points convert
+            directly: ``2 * spec.unit_points(indices) - 1``.
+        outputs:
+            ``(M, *output_shape)`` model outputs of those samples (e.g.
+            the checkpointed chunk outputs of a campaign -- no fresh
+            solves needed).
+        """
+        germ_points = np.asarray(germ_points, dtype=float)
+        outputs = np.asarray(outputs, dtype=float)
+        num_samples = germ_points.shape[0] if germ_points.ndim == 2 else 0
+        if outputs.shape[:1] != (num_samples,):
+            raise SamplingError(
+                f"{outputs.shape[0] if outputs.ndim else 0} outputs for "
+                f"{num_samples} germ points"
+            )
+        if num_samples < self.num_terms:
+            raise SamplingError(
+                f"need at least {self.num_terms} samples for "
+                f"{self.num_terms} terms, got {num_samples}"
+            )
         self._output_shape = outputs.shape[1:]
         flat = outputs.reshape(num_samples, -1)
-        design = self.design_matrix(germ)
+        design = self.design_matrix(germ_points)
         coefficients, *_ = np.linalg.lstsq(design, flat, rcond=None)
         self._coefficients = coefficients
         return self
@@ -242,7 +322,10 @@ class PolynomialChaosExpansion:
         parameters = np.atleast_2d(np.asarray(parameters, dtype=float))
         germ = np.empty_like(parameters)
         for d, dist in enumerate(self.distributions):
-            if isinstance(dist, NormalDistribution):
+            if self.basis == "legendre":
+                cdf = np.clip(dist.cdf(parameters[:, d]), 0.0, 1.0)
+                germ[:, d] = 2.0 * cdf - 1.0
+            elif isinstance(dist, NormalDistribution):
                 germ[:, d] = (parameters[:, d] - dist.mu) / dist.sigma
             else:
                 cdf = np.clip(dist.cdf(parameters[:, d]), 1e-12, 1 - 1e-12)

@@ -476,6 +476,60 @@ class StreamingJansenAccumulator:
         self._sums_b = np.zeros((len(self._subsets), num_components))
         self._sums_a = np.zeros((len(self._subsets), num_components))
 
+    def state_dict(self):
+        """Serializable running state (exact float64 round trip).
+
+        Captures the folded position, retained ``A``/``B`` blocks and the
+        per-subset running sums; :meth:`load_state_dict` restores an
+        accumulator that continues bit-identically (Python floats and
+        float64 arrays round-trip exactly), which is what lets a campaign
+        checkpoint its reduction beside the chunk files.
+        """
+        state = {"num_folded": np.asarray(self._next)}
+        if self._output_shape is None:
+            return state
+        state["output_shape"] = np.asarray(self._output_shape, dtype=int)
+        if self._scalar_lists is not None:
+            f_a, f_b, sums_b, sums_a = self._scalar_lists
+            state["f_a"] = np.asarray(f_a)
+            state["f_b"] = np.asarray(f_b)
+            state["sums_b"] = np.asarray(sums_b)
+            state["sums_a"] = np.asarray(sums_a)
+        else:
+            state["f_a"] = self._f_a.copy()
+            state["f_b"] = self._f_b.copy()
+            state["sums_b"] = self._sums_b.copy()
+            state["sums_a"] = self._sums_a.copy()
+        return state
+
+    def load_state_dict(self, state):
+        """Restore :meth:`state_dict` output in place; returns ``self``."""
+        self._next = int(np.asarray(state["num_folded"]))
+        if "output_shape" not in state:
+            self._f_a = self._f_b = self._sums_b = self._sums_a = None
+            self._scalar_lists = None
+            self._output_shape = None
+            return self
+        shape = tuple(
+            int(v) for v in np.asarray(state["output_shape"]).ravel()
+        )
+        self._allocate(shape)
+        if self._scalar_lists is not None:
+            # Scalar fast path: restore the Python-float lists (exact
+            # float64 <-> float round trip).
+            self._scalar_lists = (
+                np.asarray(state["f_a"], dtype=float).ravel().tolist(),
+                np.asarray(state["f_b"], dtype=float).ravel().tolist(),
+                np.asarray(state["sums_b"], dtype=float).ravel().tolist(),
+                np.asarray(state["sums_a"], dtype=float).ravel().tolist(),
+            )
+        else:
+            self._f_a[:] = np.asarray(state["f_a"], dtype=float)
+            self._f_b[:] = np.asarray(state["f_b"], dtype=float)
+            self._sums_b[:] = np.asarray(state["sums_b"], dtype=float)
+            self._sums_a[:] = np.asarray(state["sums_a"], dtype=float)
+        return self
+
     def _materialize_scalar_lists(self):
         """Convert the fast-path Python-float state to the array form
         ``finalize`` reduces (exact: float <-> float64 round-trips)."""

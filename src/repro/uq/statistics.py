@@ -116,6 +116,37 @@ class RunningStatistics:
         """``std / sqrt(count)``: the paper's MC error estimator (eq. (6))."""
         return self.std() / np.sqrt(self.count)
 
+    def state_dict(self):
+        """Serializable running state (exact float64 round trip).
+
+        The returned arrays are copies; :meth:`load_state_dict` restores
+        an accumulator that continues bit-identically to the original --
+        the contract campaign reducer checkpoints rely on.
+        """
+        if self.count == 0:
+            return {"count": np.asarray(0)}
+        return {
+            "count": np.asarray(self.count),
+            "mean": self._mean.copy(),
+            "m2": self._m2.copy(),
+            "min": self._min.copy(),
+            "max": self._max.copy(),
+        }
+
+    def load_state_dict(self, state):
+        """Restore :meth:`state_dict` output in place; returns ``self``."""
+        count = int(np.asarray(state["count"]))
+        if count == 0:
+            self.count = 0
+            self._mean = self._m2 = self._min = self._max = None
+            return self
+        self.count = count
+        self._mean = np.array(state["mean"], dtype=float)
+        self._m2 = np.array(state["m2"], dtype=float)
+        self._min = np.array(state["min"], dtype=float)
+        self._max = np.array(state["max"], dtype=float)
+        return self
+
 
 def histogram_data(samples, num_bins=8, density=True):
     """Histogram as plain arrays ``(bin_edges, heights)`` for reporting.

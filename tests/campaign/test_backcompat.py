@@ -1,0 +1,182 @@
+"""PR-2/PR-3 era specs and stores keep working through the unified path.
+
+The checked-in fixtures (``tests/campaign/fixtures/``; see
+``make_fixtures.py`` there) freeze the historic serialization: spec JSON
+without a ``reducer`` field and an on-disk store without provenance or
+reducer state.  They must load, resume, and report unchanged -- and
+round-trip byte-identically, so new fields never leak into old formats.
+"""
+
+import json
+import os
+import shutil
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    ArtifactStore,
+    CampaignSpec,
+    SensitivityResult,
+    SensitivitySpec,
+    resume_campaign,
+    resume_sensitivity_campaign,
+    run_campaign,
+    run_sensitivity_campaign,
+)
+from repro.campaign.sensitivity import _reset_deprecation_warnings
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def _fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+class TestSpecCompatibility:
+    def test_pr1_campaign_spec_round_trips_byte_identically(self):
+        path = _fixture("pr1_campaign_spec.json")
+        spec = CampaignSpec.load(path)
+        assert type(spec) is CampaignSpec
+        assert spec.reducer is None
+        with open(path, "r", encoding="utf-8") as handle:
+            on_disk = handle.read()
+        assert spec.to_json() + "\n" == on_disk
+
+    def test_pr2_sensitivity_spec_round_trips_byte_identically(self):
+        path = _fixture("pr2_sensitivity_spec.json")
+        spec = CampaignSpec.load(path)
+        assert isinstance(spec, SensitivitySpec)
+        assert spec.reducer is None
+        assert not spec.second_order and not spec.groups
+        with open(path, "r", encoding="utf-8") as handle:
+            on_disk = handle.read()
+        assert spec.to_json() + "\n" == on_disk
+
+    def test_pr3_second_order_spec_round_trips_byte_identically(self):
+        path = _fixture("pr3_sensitivity_spec.json")
+        spec = CampaignSpec.load(path)
+        assert isinstance(spec, SensitivitySpec)
+        assert spec.second_order
+        assert spec.groups == [(0, 1), (2, 3)]
+        with open(path, "r", encoding="utf-8") as handle:
+            on_disk = handle.read()
+        assert spec.to_json() + "\n" == on_disk
+
+    def test_pr1_spec_runs_through_unified_path(self):
+        spec = CampaignSpec.load(_fixture("pr1_campaign_spec.json"))
+        result = run_campaign(spec)
+        assert result.num_samples == spec.num_samples
+
+    def test_pr2_spec_runs_through_unified_path(self):
+        spec = CampaignSpec.load(_fixture("pr2_sensitivity_spec.json"))
+        result = run_campaign(spec)
+        assert isinstance(result, SensitivityResult)
+        assert result.interval is not None
+
+
+class TestStoreCompatibility:
+    @pytest.fixture
+    def pr3_store(self, tmp_path):
+        """A writable copy of the checked-in partial PR-3 store."""
+        target = tmp_path / "pr3_store"
+        shutil.copytree(_fixture("pr3_store"), target)
+        return ArtifactStore(str(target))
+
+    def test_manifest_without_provenance_loads(self, pr3_store):
+        assert pr3_store.read_provenance() is None
+        spec = pr3_store.load_spec()
+        assert isinstance(spec, SensitivitySpec)
+        assert pr3_store.read_reducer_state() is None
+
+    def test_resume_completes_and_matches_fresh_run(self, pr3_store):
+        """Resuming the historic store through the unified path finishes
+        only the missing chunks and reproduces a from-scratch run of its
+        pinned spec bit for bit."""
+        spec = pr3_store.load_spec()
+        fresh = run_campaign(spec)
+        completed_before = set(pr3_store.completed_chunks())
+        resumed = resume_campaign(pr3_store)
+        assert isinstance(resumed, SensitivityResult)
+        expected = sum(
+            len(spec.chunk_indices(index))
+            for index in range(spec.num_chunks)
+            if index not in completed_before
+        )
+        assert resumed.num_evaluated == expected
+        assert pr3_store.completed_chunks() == list(range(spec.num_chunks))
+        assert np.array_equal(resumed.first_order, fresh.first_order)
+        assert np.array_equal(resumed.total, fresh.total)
+        assert np.array_equal(resumed.second_order.interaction,
+                              fresh.second_order.interaction)
+        assert np.array_equal(resumed.group_indices.total,
+                              fresh.group_indices.total)
+        assert np.array_equal(resumed.interval.total_lower,
+                              fresh.interval.total_lower)
+
+    def test_report_of_resumed_store(self, pr3_store, capsys):
+        from repro.campaign.cli import main
+
+        assert main(["resume", pr3_store.path, "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["report", pr3_store.path]) == 0
+        out = capsys.readouterr().out
+        assert "Sobol indices" in out
+        # The historic manifest carries no provenance record and the
+        # report must not invent one.
+        assert "provenance:" not in out
+
+    def test_manifest_bytes_untouched_by_resume(self, pr3_store):
+        with open(pr3_store.manifest_path, "rb") as handle:
+            before = handle.read()
+        resume_campaign(pr3_store)
+        with open(pr3_store.manifest_path, "rb") as handle:
+            after = handle.read()
+        assert before == after
+
+
+class TestDeprecationShims:
+    @pytest.fixture(autouse=True)
+    def fresh_warning_state(self):
+        _reset_deprecation_warnings()
+        yield
+        _reset_deprecation_warnings()
+
+    def test_run_shim_warns_exactly_once(self):
+        spec = CampaignSpec.load(_fixture("pr2_sensitivity_spec.json"))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = run_sensitivity_campaign(spec, num_bootstrap=0)
+            second = run_sensitivity_campaign(spec, num_bootstrap=0)
+        deprecations = [
+            entry for entry in caught
+            if issubclass(entry.category, DeprecationWarning)
+            and "run_sensitivity_campaign" in str(entry.message)
+        ]
+        assert len(deprecations) == 1
+        assert np.array_equal(first.first_order, second.first_order)
+
+    def test_resume_shim_warns_exactly_once(self, tmp_path):
+        spec = CampaignSpec.load(_fixture("pr2_sensitivity_spec.json"))
+        store = ArtifactStore(tmp_path / "store")
+        run_campaign(spec, store=store)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            resume_sensitivity_campaign(store)
+            resume_sensitivity_campaign(store)
+        deprecations = [
+            entry for entry in caught
+            if issubclass(entry.category, DeprecationWarning)
+            and "resume_sensitivity_campaign" in str(entry.message)
+        ]
+        assert len(deprecations) == 1
+
+    def test_shims_reproduce_unified_path_bitwise(self):
+        spec = CampaignSpec.load(_fixture("pr2_sensitivity_spec.json"))
+        shim = run_sensitivity_campaign(spec)
+        unified = run_campaign(spec)
+        assert np.array_equal(shim.first_order, unified.first_order)
+        assert np.array_equal(shim.total, unified.total)
+        assert np.array_equal(shim.interval.first_order_upper,
+                              unified.interval.first_order_upper)

@@ -111,3 +111,101 @@ class TestParallelCli:
         serial = ArtifactStore(serial_store).read_summary()
         parallel = ArtifactStore(parallel_store).read_summary()
         assert serial == parallel
+
+
+class TestExecutorBackendCli:
+    def test_thread_backend_matches_serial(self, toy_spec_path, tmp_path,
+                                           capsys):
+        serial_store = str(tmp_path / "serial")
+        thread_store = str(tmp_path / "thread")
+        assert main(["run", toy_spec_path, "--store", serial_store,
+                     "--quiet"]) == 0
+        assert main(["run", toy_spec_path, "--store", thread_store,
+                     "--executor", "thread", "--workers", "2",
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        assert ArtifactStore(serial_store).read_summary() == \
+            ArtifactStore(thread_store).read_summary()
+
+    def test_workers_with_serial_executor_errors(self, toy_spec_path,
+                                                 capsys):
+        """The --workers footgun: refused, not silently ignored."""
+        assert main(["run", toy_spec_path, "--workers", "4",
+                     "--quiet"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "serial" in err
+
+    def test_unknown_backend_lists_registered(self, toy_spec_path,
+                                              capsys):
+        assert main(["run", toy_spec_path, "--executor", "gpu",
+                     "--quiet"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown executor backend" in err
+        assert "serial" in err and "process" in err
+
+
+class TestReducerCli:
+    def test_pce_run_and_report(self, tmp_path, capsys):
+        spec = make_toy_spec(num_samples=32, chunk_size=8)
+        spec.distribution = {"kind": "uniform", "lower": -1.0,
+                             "upper": 1.0}
+        path = str(spec.save(tmp_path / "spec.json"))
+        store = str(tmp_path / "store")
+        assert main(["run", path, "--store", store, "--reducer", "pce",
+                     "--pce-degree", "2", "--quiet"]) == 0
+        run_output = capsys.readouterr().out
+        assert "PCE surrogate campaign" in run_output
+        assert main(["report", store]) == 0
+        assert capsys.readouterr().out == run_output
+
+    def test_pce_reduce_of_existing_store(self, toy_spec_path, tmp_path,
+                                          capsys):
+        """resume --reducer pce refits from checkpoints, no new solves."""
+        store = str(tmp_path / "store")
+        assert main(["run", toy_spec_path, "--store", store,
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["resume", store, "--reducer", "pce",
+                     "--pce-degree", "1", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "PCE surrogate campaign" in out
+
+    def test_bootstrap_flag_rejected_for_moments(self, toy_spec_path,
+                                                 capsys):
+        assert main(["run", toy_spec_path, "--bootstrap", "10",
+                     "--quiet"]) == 1
+        assert "jansen" in capsys.readouterr().err
+
+    def test_pce_degree_requires_pce(self, toy_spec_path, capsys):
+        assert main(["run", toy_spec_path, "--pce-degree", "3",
+                     "--quiet"]) == 1
+        assert "pce" in capsys.readouterr().err
+
+
+class TestProvenance:
+    def test_report_prints_provenance_line(self, toy_spec_path, tmp_path,
+                                           capsys):
+        store = str(tmp_path / "store")
+        assert main(["run", toy_spec_path, "--store", store,
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["report", store]) == 0
+        out = capsys.readouterr().out
+        assert "provenance: repro-date16" in out
+        assert "reducer=moments" in out
+        assert "executor=serial" in out
+
+    def test_provenance_names_reducer_and_backend(self, tmp_path, capsys):
+        from .conftest import make_toy_sensitivity_spec
+
+        spec = make_toy_sensitivity_spec(num_base_samples=8, chunk_size=6)
+        path = str(spec.save(tmp_path / "sens.json"))
+        store = str(tmp_path / "store")
+        assert main(["run", path, "--store", store, "--executor",
+                     "process", "--workers", "2", "--quiet"]) == 0
+        capsys.readouterr()
+        provenance = ArtifactStore(store).read_provenance()
+        assert provenance["reducer"] == "jansen"
+        assert provenance["executor"] == "process"
+        assert provenance["package_version"]

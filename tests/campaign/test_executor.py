@@ -1,13 +1,18 @@
-"""Tests for serial / parallel executors and model resolution."""
+"""Tests for executor backends, the futures adapter and model resolution."""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
 import pytest
 
 from repro.campaign import (
+    FuturesExecutor,
     ParallelExecutor,
     SerialExecutor,
     WorkChunk,
     make_executor,
+    register_backend,
+    registered_backends,
 )
 from repro.campaign.executor import resolve_model
 from repro.campaign.runner import campaign_chunks
@@ -102,11 +107,120 @@ class TestMakeExecutor:
         parallel = make_executor("parallel", num_workers=3)
         assert isinstance(parallel, ParallelExecutor)
         assert parallel.num_workers == 3
+        process = make_executor("process", num_workers=2)
+        assert isinstance(process, ParallelExecutor)
+        thread = make_executor("thread", num_workers=2)
+        assert isinstance(thread, FuturesExecutor)
+        assert thread.name == "thread"
 
     def test_instance_passes_through(self):
         executor = SerialExecutor()
         assert make_executor(executor) is executor
 
-    def test_unknown_kind(self):
+    def test_instance_with_workers_rejected(self):
         with pytest.raises(CampaignError):
+            make_executor(SerialExecutor(), num_workers=2)
+
+    def test_unknown_kind(self):
+        with pytest.raises(CampaignError, match="registered"):
             make_executor("gpu")
+
+    def test_serial_with_workers_is_an_error(self):
+        """The --workers footgun: silently ignoring the flag is worse
+        than refusing it."""
+        with pytest.raises(CampaignError, match="serial"):
+            make_executor("serial", num_workers=4)
+        with pytest.raises(CampaignError):
+            make_executor(None, num_workers=4)
+
+
+class TestBackendRegistry:
+    def test_builtins_registered(self):
+        assert {"serial", "process", "parallel", "thread"} <= set(
+            registered_backends()
+        )
+
+    def test_custom_backend_registrable(self, toy_spec):
+        @register_backend("test-backend")
+        def _factory(num_workers=None):
+            return SerialExecutor()
+
+        try:
+            assert isinstance(
+                make_executor("test-backend"), SerialExecutor
+            )
+        finally:
+            from repro.campaign import executor as executor_module
+
+            executor_module._BACKENDS.pop("test-backend", None)
+
+
+class TestFuturesExecutor:
+    def test_run_chunks_matches_serial(self, toy_spec):
+        chunks = campaign_chunks(toy_spec)
+        serial = {
+            r.chunk_index: r.outputs
+            for r in SerialExecutor().run_chunks(toy_spec.scenario, chunks)
+        }
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            adapted = {
+                r.chunk_index: r.outputs
+                for r in FuturesExecutor(pool).run_chunks(
+                    toy_spec.scenario, chunks
+                )
+            }
+        assert serial.keys() == adapted.keys()
+        for index in serial:
+            assert np.array_equal(serial[index], adapted[index])
+
+    def test_factory_lifecycle(self, toy_spec):
+        """A zero-arg factory builds one pool per run and shuts it down."""
+        created = []
+
+        def factory():
+            pool = ThreadPoolExecutor(max_workers=2)
+            created.append(pool)
+            return pool
+
+        executor = FuturesExecutor(factory, build_per_worker=True)
+        chunks = campaign_chunks(toy_spec)
+        results = list(executor.run_chunks(toy_spec.scenario, chunks))
+        assert len(results) == toy_spec.num_chunks
+        assert len(created) == 1
+        assert created[0]._shutdown
+
+    def test_map_preserves_order(self):
+        parameters = np.arange(12.0).reshape(6, 2)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            outputs = FuturesExecutor(pool).map(_module_model, parameters)
+        assert len(outputs) == 6
+        assert outputs[3][0] == pytest.approx(6.0 + 7.0)
+
+    def test_process_pool_tasks_serialize(self, toy_spec):
+        """The adapter's task must survive pickling backends: a raw
+        ProcessPoolExecutor (no initializer hook) reproduces serial."""
+        chunks = campaign_chunks(toy_spec)
+        serial = {
+            r.chunk_index: r.outputs
+            for r in SerialExecutor().run_chunks(toy_spec.scenario, chunks)
+        }
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            adapted = {
+                r.chunk_index: r.outputs
+                for r in FuturesExecutor(pool).run_chunks(
+                    toy_spec.scenario, chunks
+                )
+            }
+        assert serial.keys() == adapted.keys()
+        for index in serial:
+            assert np.array_equal(serial[index], adapted[index])
+
+    def test_rejects_non_executor(self):
+        with pytest.raises(CampaignError):
+            FuturesExecutor(42)
+
+    def test_empty_chunk_list(self, toy_spec):
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            assert list(
+                FuturesExecutor(pool).run_chunks(toy_spec.scenario, [])
+            ) == []

@@ -273,10 +273,18 @@ class TestVectorQoI:
 
 
 class TestRunnerDispatch:
-    def test_run_campaign_refuses_sensitivity_spec(self,
-                                                   toy_sensitivity_spec):
-        with pytest.raises(CampaignError):
-            run_campaign(toy_sensitivity_spec)
+    def test_run_campaign_serves_sensitivity_spec(self,
+                                                  toy_sensitivity_spec):
+        """The unified runner dispatches on the spec kind: a sensitivity
+        spec reduces through the default jansen reducer, reproducing the
+        legacy entry point bit for bit."""
+        unified = run_campaign(toy_sensitivity_spec)
+        assert isinstance(unified, SensitivityResult)
+        legacy = run_sensitivity_campaign(toy_sensitivity_spec)
+        assert np.array_equal(unified.first_order, legacy.first_order)
+        assert np.array_equal(unified.total, legacy.total)
+        assert np.array_equal(unified.interval.total_lower,
+                              legacy.interval.total_lower)
 
     def test_run_sensitivity_refuses_plain_spec(self):
         from .conftest import make_toy_spec

@@ -109,6 +109,58 @@ class TestCollocationPath:
         assert np.allclose(result.mean, nominal, atol=1e-6)
 
 
+class TestAdaptiveTimeStepping:
+    def test_adaptive_traces_match_fixed_grid(self, study):
+        """time_stepping='adaptive' keeps the (P, W) contract and stays
+        within its local-error tolerance of the fixed 51-point solve."""
+        adaptive = Date16UncertaintyStudy(
+            resolution="coarse", tolerance=1e-3,
+            time_stepping="adaptive", adaptive_tolerance=1.0,
+        )
+        deltas = np.full(12, 0.17)
+        fixed_traces = study.evaluate_traces(deltas)
+        adaptive_traces = adaptive.evaluate_traces(deltas)
+        assert adaptive_traces.shape == fixed_traces.shape
+        assert np.allclose(adaptive_traces[0], 300.0)
+        # The controller takes (far) fewer steps than the fixed grid...
+        result = adaptive.last_adaptive_result
+        assert result is not None
+        assert result.accepted < 51
+        assert result.times[-1] == pytest.approx(
+            adaptive.parameters.end_time
+        )
+        # ...while staying within a few tolerances of the fixed solve.
+        assert np.max(np.abs(adaptive_traces - fixed_traces)) < 3.0
+
+    def test_invalid_time_stepping_rejected(self):
+        with pytest.raises(SamplingError):
+            Date16UncertaintyStudy(resolution="coarse",
+                                   time_stepping="magic")
+
+    def test_adaptive_refuses_waveform(self):
+        from repro.coupled.excitation import StepWaveform
+
+        with pytest.raises(SamplingError):
+            Date16UncertaintyStudy(
+                resolution="coarse", time_stepping="adaptive",
+                waveform=StepWaveform(t_on=1.0, t_off=20.0),
+            )
+
+    def test_campaign_scenario_option(self):
+        """The ROADMAP item: 'time_stepping': 'adaptive' flows from the
+        spec through the registry builder into the study."""
+        from repro.campaign.registry import get_problem
+        from repro.package3d.scenarios import date16_campaign_spec
+
+        spec = date16_campaign_spec(
+            num_samples=2, chunk_size=2, time_stepping="adaptive",
+        )
+        assert spec.scenario.options["time_stepping"] == "adaptive"
+        model = get_problem("date16")(spec.scenario)
+        traces = model(np.full(12, 0.17))
+        assert traces.shape == (51, 12)
+
+
 class TestPcePath:
     def test_degree1_surrogate(self, study):
         pce = study.run_pce(degree=1, seed=0)
