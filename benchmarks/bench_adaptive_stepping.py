@@ -1,0 +1,231 @@
+"""Adaptive-vs-fixed transient stepping: wall-clock on cold/warm caches.
+
+The ROADMAP follow-on behind this bench: the adaptive transient needs
+far fewer coupled solves than the paper's fixed 51-point grid, but every
+fresh ``dt`` used to force a new thermal base matrix, a new
+``WoodburySolver`` and a new ``splu`` -- so wall-clock favored the fixed
+grid on a cold factorization cache.  Quantizing the controller onto the
+geometric dt ladder (plus the one-solve predictor error estimate) caps
+the factorizations at the ladder-rung count and flips the comparison.
+
+Three configurations run on one nominal Date16 trace each:
+
+* ``fixed``               -- the paper's 51-point implicit Euler grid;
+* ``raw-adaptive``        -- step-doubling controller, unquantized (one
+                             factorization per fresh dt: the old path);
+* ``quantized-adaptive``  -- dt ladder + predictor estimate (default).
+
+Cold = first evaluation against an empty factorization cache; warm = a
+second evaluation of the same study (every per-dt solver cached).  The
+acceptance gate asserts quantized-adaptive >= 1.3x the fixed grid's
+cold wall-clock at the default tolerance, with thermal factorizations
+equal to the number of visited ladder rungs.
+
+Run standalone (``--smoke`` shrinks mesh and horizon for CI)::
+
+    python benchmarks/bench_adaptive_stepping.py [--smoke]
+
+    REPRO_ADAPTIVE_REPEATS      timing repeats per config (default 3)
+    REPRO_ADAPTIVE_MIN_SPEEDUP  cold-cache gate (default 1.3; noisy
+                                shared runners may need to lower it)
+    REPRO_BENCH_RESOLUTION      mesh preset for the full run
+                                (default coarse)
+"""
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+#: Nominal elongation sample (the distribution mean) used for every run.
+_NOMINAL_DELTA = 0.17
+
+
+def _build_study(time_stepping, quantize, resolution, parameters):
+    from repro.package3d.uq_study import Date16UncertaintyStudy
+    from repro.solvers.cache import FactorizationCache
+
+    kwargs = {}
+    if time_stepping == "adaptive":
+        kwargs["time_stepping"] = "adaptive"
+        kwargs["quantize_dt"] = quantize
+        if not quantize:
+            # The pre-quantization path: raw step doubling.
+            kwargs["adaptive_options"] = {"error_estimate": "doubling"}
+    return Date16UncertaintyStudy(
+        resolution=resolution,
+        parameters=parameters,
+        factorization_cache=FactorizationCache(max_entries=16),
+        **kwargs,
+    )
+
+
+def _time_configurations(configurations, resolution, parameters, repeats):
+    """Best-of-``repeats`` cold/warm seconds per configuration.
+
+    Rounds are interleaved across configurations (so load drift on a
+    shared machine hits every configuration alike) and aggregated with
+    ``min`` -- scheduling noise only ever adds time.
+    """
+    deltas = np.full(12, _NOMINAL_DELTA)
+    results = {
+        name: {"name": name, "cold": [], "warm": []}
+        for name, _, _ in configurations
+    }
+    for _ in range(repeats):
+        for name, stepping, quantize in configurations:
+            study = _build_study(stepping, quantize, resolution,
+                                 parameters)
+            start = time.perf_counter()
+            traces = study.evaluate_traces(deltas)
+            results[name]["cold"].append(time.perf_counter() - start)
+            # Snapshot statistics NOW: the detail table describes the
+            # cold run (the warm run's per-run deltas are all zero).
+            result = study.last_adaptive_result
+            results[name].update(
+                traces=traces,
+                adaptive=result,
+                solves=(result.num_solves if result is not None
+                        else study.time_grid.num_steps),
+                factorizations=study.solver.thermal_solver_builds,
+            )
+            start = time.perf_counter()
+            study.evaluate_traces(deltas)
+            results[name]["warm"].append(time.perf_counter() - start)
+    for entry in results.values():
+        entry["cold"] = float(np.min(entry["cold"]))
+        entry["warm"] = float(np.min(entry["warm"]))
+    return results
+
+
+def run_comparison(resolution="coarse", parameters=None, repeats=3,
+                   min_speedup=None, out=sys.stdout):
+    """Run all three configurations; returns the rows for the artifact.
+
+    ``min_speedup`` (full runs) asserts the quantized-adaptive cold
+    speedup; ``None`` (smoke) only checks the structural properties.
+    """
+    from repro.reporting import format_adaptive_summary
+    from repro.reporting.tables import format_table
+
+    configurations = (
+        ("fixed", "fixed", False),
+        ("raw-adaptive", "adaptive", False),
+        ("quantized-adaptive", "adaptive", True),
+    )
+    print(f"timing {len(configurations)} configurations x {repeats} "
+          "interleaved rounds ...", file=out, flush=True)
+    results = _time_configurations(
+        configurations, resolution, parameters, repeats
+    )
+
+    fixed = results["fixed"]
+    rows = []
+    for name in results:
+        r = results[name]
+        deviation = float(np.max(np.abs(r["traces"] - fixed["traces"])))
+        rows.append((
+            name,
+            f"{r['cold']:.3f}", f"{r['warm']:.3f}",
+            f"{fixed['cold'] / r['cold']:.2f}x",
+            str(r["solves"]), str(r["factorizations"]),
+            f"{deviation:.3f}",
+        ))
+    table = format_table(
+        ("configuration", "cold [s]", "warm [s]", "cold speedup",
+         "coupled solves", "thermal LUs", "max |dT| [K]"),
+        rows,
+        title=f"ADAPTIVE STEPPING ({resolution} mesh, "
+              f"best of {repeats})",
+    )
+    print("\n" + table, file=out)
+    quantized = results["quantized-adaptive"]
+    print("\n" + format_adaptive_summary(
+        quantized["adaptive"], title="Quantized-adaptive cost detail"
+    ), file=out)
+
+    # Structural gate: factorizations == visited ladder rungs.
+    adaptive = quantized["adaptive"]
+    assert quantized["factorizations"] == adaptive.num_distinct_solver_dts, (
+        f"{quantized['factorizations']} thermal factorizations for "
+        f"{adaptive.num_distinct_solver_dts} ladder rungs"
+    )
+    assert quantized["solves"] < fixed["solves"]
+    if min_speedup is not None:
+        speedup = fixed["cold"] / quantized["cold"]
+        assert speedup >= min_speedup, (
+            f"quantized-adaptive cold speedup {speedup:.2f}x is below "
+            f"the {min_speedup:.2f}x acceptance threshold"
+        )
+        print(f"\ncold-cache speedup {speedup:.2f}x "
+              f"(gate: >= {min_speedup:.2f}x)", file=out)
+    return table
+
+
+def _smoke_parameters():
+    """A few-step horizon so CI exercises every code path in seconds."""
+    from repro.package3d.chip_example import Date16Parameters
+
+    return Date16Parameters(end_time=10.0, num_time_points=11)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny mesh + short horizon, structural checks only "
+             "(the CI rot gate; no wall-clock assertion)",
+    )
+    arguments = parser.parse_args(argv)
+
+    if arguments.smoke:
+        table = run_comparison(
+            resolution=(0.9e-3, 0.4e-3),  # tiny custom mesh spacing
+            parameters=_smoke_parameters(),
+            repeats=1,
+            min_speedup=None,
+        )
+    else:
+        resolution = os.environ.get("REPRO_BENCH_RESOLUTION", "coarse")
+        repeats = int(os.environ.get("REPRO_ADAPTIVE_REPEATS", "3"))
+        table = run_comparison(
+            resolution=resolution, repeats=repeats,
+            min_speedup=float(
+                os.environ.get("REPRO_ADAPTIVE_MIN_SPEEDUP", "1.3")
+            ),
+        )
+        try:
+            from .conftest import write_artifact
+        except ImportError:
+            from conftest import write_artifact
+        path = write_artifact("adaptive_stepping.txt", table)
+        print(f"\n[artifact] {path}")
+    return 0
+
+
+def test_adaptive_stepping_benchmark(benchmark):
+    """Nightly harness entry: the full comparison incl. the 1.3x gate."""
+    table = benchmark.pedantic(
+        lambda: run_comparison(
+            resolution=os.environ.get("REPRO_BENCH_RESOLUTION", "coarse"),
+            repeats=int(os.environ.get("REPRO_ADAPTIVE_REPEATS", "3")),
+            min_speedup=float(
+                os.environ.get("REPRO_ADAPTIVE_MIN_SPEEDUP", "1.3")
+            ),
+        ),
+        rounds=1, iterations=1,
+    )
+    from .conftest import write_artifact
+
+    path = write_artifact("adaptive_stepping.txt", table)
+    print(f"\n[artifact] {path}")
+
+
+if __name__ == "__main__":
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        os.pardir, "src")
+    )
+    sys.exit(main())

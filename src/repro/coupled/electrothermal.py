@@ -26,6 +26,8 @@ Two execution modes:
   exactly.
 """
 
+from collections import OrderedDict
+
 import numpy as np
 import scipy.sparse as sp
 
@@ -65,6 +67,12 @@ class CoupledSolver:
         across solver instances; fast-mode base LUs are looked up there,
         so rebuilding the solver for the same problem in one process
         (campaign workers, resumed runs) skips the factorization cost.
+    max_thermal_solvers:
+        Fast-mode bound on the per-``dt`` thermal solver map.  Adaptive
+        step doubling alternates between ``dt`` and ``dt/2`` within one
+        attempt, so the map must hold at least the handful of distinct
+        step sizes in flight (a quantized-dt ladder fits comfortably in
+        the default 8); the least recently used solver is evicted first.
     """
 
     def __init__(
@@ -75,6 +83,7 @@ class CoupledSolver:
         max_iterations=40,
         damping=1.0,
         factorization_cache=None,
+        max_thermal_solvers=8,
     ):
         if mode not in _MODES:
             raise SolverError(f"unknown mode {mode!r}; expected one of {_MODES}")
@@ -132,6 +141,18 @@ class CoupledSolver:
         #: Drive scale of the current time level (waveform support).
         self._el_scale = 1.0
         self._fast_state = None
+        self.max_thermal_solvers = int(max_thermal_solvers)
+        if self.max_thermal_solvers < 1:
+            raise SolverError(
+                f"max_thermal_solvers must be >= 1, got "
+                f"{self.max_thermal_solvers}"
+            )
+        #: Fast-mode thermal solvers constructed so far (one per distinct
+        #: dt not found in the per-dt map; the reuse statistic).
+        self.thermal_solver_builds = 0
+        #: Coupled implicit Euler steps taken (all modes).
+        self.num_steps = 0
+        self._fast_th_solvers = OrderedDict()
         if self.mode == "fast":
             self._setup_fast()
 
@@ -167,8 +188,7 @@ class CoupledSolver:
                 self.topology.extra_heat_capacities()
             )
             if self.mode == "fast":
-                self._fast_th = None
-                self._fast_th_dt = None
+                self._fast_th_solvers.clear()
 
     # ------------------------------------------------------------------
     # Assembly helpers
@@ -249,8 +269,12 @@ class CoupledSolver:
         a_el, rhs_el = self._reduce_electrical(k_el)
         u_full = self.topology.segment_incidence_matrix()
         u_el = u_full[self.el_free]
+        # Both fast-path bases are symmetric positive definite (FIT
+        # stiffness + positive diagonals, Dirichlet-reduced), so the
+        # cheaper symmetric factorization mode applies.
         self._fast_el = WoodburySolver(a_el, u_el,
-                                       cache=self.factorization_cache)
+                                       cache=self.factorization_cache,
+                                       symmetric=True)
         self._fast_el_rhs = rhs_el
 
         k_th = embed_grid_matrix(
@@ -260,21 +284,57 @@ class CoupledSolver:
         self._fast_state = "ready"
         self._fast_u = u_full
         self._fast_k_th = k_th
-        self._fast_th = None  # built per dt in solve_transient
-        self._fast_th_dt = None
+        self._fast_th_solvers.clear()  # (re)built per dt on demand
 
     def _fast_thermal_solver(self, dt):
-        if self._fast_th is not None and self._fast_th_dt == dt:
-            return self._fast_th
+        """The per-dt thermal Woodbury solver (bounded LRU map).
+
+        Adaptive step doubling alternates ``dt`` and ``dt/2`` inside
+        every attempt; a single-slot memo would rebuild (and
+        re-fingerprint) the base on each alternation, so the map keeps
+        the last ``max_thermal_solvers`` distinct step sizes alive.
+        """
+        key = float(dt)
+        solver = self._fast_th_solvers.get(key)
+        if solver is not None:
+            self._fast_th_solvers.move_to_end(key)
+            return solver
         base = (
             sp.diags(self.capacitance / dt)
             + self._fast_k_th
             + sp.diags(self.conv_diag)
         ).tocsc()
-        self._fast_th = WoodburySolver(base, self._fast_u,
-                                       cache=self.factorization_cache)
-        self._fast_th_dt = dt
-        return self._fast_th
+        solver = WoodburySolver(base, self._fast_u,
+                                cache=self.factorization_cache,
+                                symmetric=True)
+        self.thermal_solver_builds += 1
+        self._fast_th_solvers[key] = solver
+        while len(self._fast_th_solvers) > self.max_thermal_solvers:
+            self._fast_th_solvers.popitem(last=False)
+        return solver
+
+    def solver_statistics(self):
+        """Reuse/cost counters for reports and benchmarks.
+
+        ``thermal_solver_builds`` counts fast-mode per-dt solver
+        constructions (each pays a base-matrix assembly, a fingerprint
+        and -- on a factorization-cache miss -- an ``splu``); with the
+        quantized-dt adaptive controller it stays O(#ladder rungs)
+        instead of O(#solves).  Factorization-cache hit/miss counters
+        are included when a cache is attached.
+        """
+        stats = {
+            "mode": self.mode,
+            "coupled_steps": self.num_steps,
+            "thermal_solver_builds": self.thermal_solver_builds,
+            "thermal_solvers_cached": len(self._fast_th_solvers),
+        }
+        if self.factorization_cache is not None:
+            cache = self.factorization_cache.stats()
+            stats["factorization_cache_entries"] = cache["entries"]
+            stats["factorization_cache_hits"] = cache["hits"]
+            stats["factorization_cache_misses"] = cache["misses"]
+        return stats
 
     # ------------------------------------------------------------------
     # Single-iterate physics evaluation
@@ -325,7 +385,7 @@ class CoupledSolver:
     # ------------------------------------------------------------------
     # Time stepping
     # ------------------------------------------------------------------
-    def _step_full(self, t_old, dt):
+    def _step_full(self, t_old, dt, guess=None):
         """One implicit Euler step in full mode; returns (T_new, diag)."""
         cache = {}
 
@@ -368,14 +428,15 @@ class CoupledSolver:
 
         result = fixed_point(
             advance,
-            t_old,
+            t_old if guess is None else guess,
             tolerance=self.tolerance,
             max_iterations=self.max_iterations,
             damping=self.damping,
         )
+        self.num_steps += 1
         return result.solution, result.iterations, cache
 
-    def _step_fast(self, t_old, dt):
+    def _step_fast(self, t_old, dt, guess=None):
         """One implicit Euler step in fast (Woodbury) mode."""
         thermal = self._fast_thermal_solver(dt)
         cache = {}
@@ -400,14 +461,15 @@ class CoupledSolver:
 
         result = fixed_point(
             advance,
-            t_old,
+            t_old if guess is None else guess,
             tolerance=self.tolerance,
             max_iterations=self.max_iterations,
             damping=self.damping,
         )
+        self.num_steps += 1
         return result.solution, result.iterations, cache
 
-    def step_once(self, temperatures, dt, drive_scale=1.0):
+    def step_once(self, temperatures, dt, drive_scale=1.0, guess=None):
         """One implicit Euler step of the coupled system; the new state.
 
         The public stepping hook for external time-step controllers
@@ -417,11 +479,15 @@ class CoupledSolver:
         :meth:`solve_transient`; ``drive_scale`` scales the contact
         potentials for this step (callers integrating a waveform
         evaluate it at the step's new time level themselves).
+        ``guess`` warm-starts the fixed point (e.g. the adaptive
+        controller's linear predictor) -- the converged solution is the
+        same within the fixed-point tolerance, just cheaper to reach.
         """
         self._el_scale = float(drive_scale)
         step = self._step_fast if self.mode == "fast" else self._step_full
         new_state, _, _ = step(
-            np.asarray(temperatures, dtype=float), float(dt)
+            np.asarray(temperatures, dtype=float), float(dt),
+            guess=None if guess is None else np.asarray(guess, dtype=float),
         )
         self._el_scale = 1.0
         return new_state

@@ -32,10 +32,15 @@ from .uq_study import Date16UncertaintyStudy
 #: :class:`Date16Parameters` overrides nested under ``"parameters"``.
 #: ``time_stepping: "adaptive"`` switches the transient to step-doubling
 #: implicit Euler (``adaptive_tolerance`` kelvin of local error per
-#: step), interpolated back onto the paper's fixed 51-point grid.
+#: step), interpolated back onto the paper's fixed 51-point grid;
+#: ``quantize_dt`` (default true) snaps the controller onto the
+#: geometric dt ladder so per-dt factorizations amortize, and the nested
+#: ``adaptive_options`` dict forwards the remaining controller knobs
+#: (``initial_dt``, ``min_dt``, ``max_dt``, ``safety``,
+#: ``accept_min_dt_steps``).
 _STUDY_OPTIONS = (
     "resolution", "mode", "num_segments", "truncate_elongation", "tolerance",
-    "time_stepping", "adaptive_tolerance",
+    "time_stepping", "adaptive_tolerance", "quantize_dt", "adaptive_options",
 )
 
 
@@ -119,6 +124,9 @@ def date16_campaign_spec(
     parameters=None,
     waveform=None,
     time_stepping=None,
+    adaptive_tolerance=None,
+    quantize_dt=None,
+    adaptive_options=None,
     reducer=None,
 ):
     """A ready-to-run :class:`~repro.campaign.spec.CampaignSpec`.
@@ -128,8 +136,11 @@ def date16_campaign_spec(
     Custom ``parameters`` shape both the sampling distribution *and*
     the worker-side problem (serialized into the scenario options).
     ``time_stepping="adaptive"`` switches the workers to the adaptive
-    transient; ``reducer`` pins a reduction into the spec (e.g.
-    ``{"kind": "pce", "degree": 3}`` for the surrogate mode).
+    transient (quantized onto the dt ladder by default;
+    ``quantize_dt=False`` opts back into the raw controller, and
+    ``adaptive_tolerance`` / ``adaptive_options`` tune it); ``reducer``
+    pins a reduction into the spec (e.g. ``{"kind": "pce", "degree":
+    3}`` for the surrogate mode).
     """
     from ..campaign.spec import CampaignSpec, ScenarioSpec
 
@@ -137,6 +148,12 @@ def date16_campaign_spec(
     options = {"resolution": resolution}
     if time_stepping is not None:
         options["time_stepping"] = str(time_stepping)
+    if adaptive_tolerance is not None:
+        options["adaptive_tolerance"] = float(adaptive_tolerance)
+    if quantize_dt is not None:
+        options["quantize_dt"] = bool(quantize_dt)
+    if adaptive_options is not None:
+        options["adaptive_options"] = dict(adaptive_options)
     if parameters is not None:
         options["parameters"] = date16_parameter_overrides(p)
     scenario = ScenarioSpec(

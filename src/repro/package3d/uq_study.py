@@ -161,8 +161,36 @@ class Date16UncertaintyStudy:
         ``(P, W)`` shape.  Adaptive stepping supports the constant
         drive only (the step controller owns the time axis).
     adaptive_tolerance:
-        Local-error tolerance [K] per adaptive step (default 0.5).
+        Local-error tolerance [K] per adaptive step (default 1.0 -- the
+        ROADMAP's operating point: ~1 K of local error keeps the
+        interpolated traces within a fraction of a kelvin of the fixed
+        grid at roughly half its solve count).
+    quantize_dt:
+        Adaptive mode only: snap every proposed step onto the geometric
+        ladder :func:`repro.solvers.adaptive.dt_ladder` (default
+        ``True``), so the per-dt thermal factorizations stay O(#ladder
+        rungs) and the adaptive path beats the fixed grid on wall-clock
+        even on a cold factorization cache.  ``False`` restores the raw
+        controller (one fresh dt -- and factorization -- per update).
+    adaptive_options:
+        Optional dict of further :func:`adaptive_implicit_euler`
+        controls: ``initial_dt`` (default: twice the fixed grid's dt,
+        so the first-step doubling's half step lands ON the grid dt's
+        ladder rung), ``min_dt`` (default 1e-3 s), ``max_dt``,
+        ``safety``,
+        ``accept_min_dt_steps`` and ``error_estimate`` (default
+        ``"predictor"``: one coupled solve per attempted step with the
+        divided-difference LTE estimate and a warm-started fixed point;
+        ``"doubling"`` restores the three-solves-per-step doubling
+        estimate).
     """
+
+    #: ``adaptive_options`` keys forwarded to
+    #: :func:`repro.solvers.adaptive.adaptive_implicit_euler`.
+    _ADAPTIVE_OPTIONS = (
+        "initial_dt", "min_dt", "max_dt", "safety", "accept_min_dt_steps",
+        "error_estimate",
+    )
 
     def __init__(
         self,
@@ -175,7 +203,9 @@ class Date16UncertaintyStudy:
         waveform=None,
         factorization_cache=None,
         time_stepping="fixed",
-        adaptive_tolerance=0.5,
+        adaptive_tolerance=1.0,
+        quantize_dt=True,
+        adaptive_options=None,
     ):
         self.parameters = parameters if parameters is not None else Date16Parameters()
         problem, mesh = build_date16_problem(
@@ -216,9 +246,25 @@ class Date16UncertaintyStudy:
                 "waveform or use fixed stepping"
             )
         self.adaptive_tolerance = float(adaptive_tolerance)
+        self.quantize_dt = bool(quantize_dt)
+        options = dict(adaptive_options) if adaptive_options else {}
+        unknown = set(options) - set(self._ADAPTIVE_OPTIONS)
+        if unknown:
+            raise SamplingError(
+                f"unknown adaptive_options {sorted(unknown)}; expected a "
+                f"subset of {sorted(self._ADAPTIVE_OPTIONS)}"
+            )
+        # Starting two grid-steps up keeps the first-step doubling's
+        # half step ON the fixed grid's dt, so the quantized ladder
+        # visits one rung fewer on a cold cache.
+        options.setdefault("initial_dt", 2.0 * self.time_grid.dt)
+        options.setdefault("min_dt", 1.0e-3)
+        options.setdefault("error_estimate", "predictor")
+        self.adaptive_options = options
         #: The :class:`~repro.solvers.adaptive.AdaptiveStepResult` of the
         #: most recent adaptive solve (``None`` before the first one) --
-        #: step counts for cost comparisons against the fixed grid.
+        #: step/solve counts and solver reuse statistics for cost
+        #: comparisons against the fixed grid.
         self.last_adaptive_result = None
 
     # ------------------------------------------------------------------
@@ -246,23 +292,46 @@ class Date16UncertaintyStudy:
     def _solve_adaptive_traces(self):
         """One adaptive transient, interpolated onto the fixed grid.
 
-        Integrates with step-doubling implicit Euler (each attempted
-        step costs three coupled solves: one full and two half steps)
-        and linearly interpolates the accepted wire temperatures onto
-        the paper's 51-point axis, so downstream statistics see the
-        exact same shapes as the fixed-grid path.  Wire lengths must
-        already be set on the solver.
+        Integrates with controller-driven implicit Euler (the default
+        predictor estimate costs one coupled solve per attempted step;
+        step doubling three) and linearly interpolates the accepted
+        wire temperatures onto the paper's 51-point axis, so downstream
+        statistics see the exact same shapes as the fixed-grid path.
+        Wire lengths must already be set on the solver.
+
+        The coupled fixed point runs at ``max(tolerance,
+        adaptive_tolerance / 100)`` inside the integration: iterating
+        the nonlinear coupling to far below the local error the
+        controller deliberately admits wastes iterations on noise the
+        step controller cannot see.
         """
         from ..solvers.adaptive import adaptive_implicit_euler
 
-        result = adaptive_implicit_euler(
-            self.solver.step_once,
-            self.problem.initial_temperatures(),
-            end_time=self.parameters.end_time,
-            initial_dt=self.time_grid.dt,
-            tolerance=self.adaptive_tolerance,
-            min_dt=1.0e-3,
-        )
+        base_tolerance = self.solver.tolerance
+        self.solver.tolerance = max(base_tolerance,
+                                    0.01 * self.adaptive_tolerance)
+        before = self.solver.solver_statistics()
+        try:
+            result = adaptive_implicit_euler(
+                self.solver.step_once,
+                self.problem.initial_temperatures(),
+                end_time=self.parameters.end_time,
+                tolerance=self.adaptive_tolerance,
+                quantize_dt=self.quantize_dt,
+                **self.adaptive_options,
+            )
+        finally:
+            self.solver.tolerance = base_tolerance
+        # The solver counters are lifetime-cumulative; attach this
+        # integration's delta so the cost report stays self-consistent
+        # across repeated evaluations (gauge entries pass through).
+        stats = self.solver.solver_statistics()
+        for key in ("coupled_steps", "thermal_solver_builds",
+                    "factorization_cache_hits",
+                    "factorization_cache_misses"):
+            if key in stats:
+                stats[key] -= before[key]
+        result.solver_stats = stats
         self.last_adaptive_result = result
         wire_traces = np.stack([
             self.solver.topology.wire_temperatures(state)

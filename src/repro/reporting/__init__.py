@@ -4,7 +4,11 @@ The benchmark harness regenerates every table and figure of the paper as
 text/CSV artifacts; this package holds the shared formatting code.
 """
 
-from .campaign import format_campaign_comparison, format_campaign_summary
+from .campaign import (
+    format_adaptive_summary,
+    format_campaign_comparison,
+    format_campaign_summary,
+)
 from .figures import field_slice, fig5_data, fig7_data, fig8_data
 from .sensitivity import format_pce_summary, format_sensitivity_summary
 from .series import write_csv, write_series
@@ -12,6 +16,7 @@ from .tables import format_table, format_table1, format_table2
 from .vtk import write_rectilinear_vtk
 
 __all__ = [
+    "format_adaptive_summary",
     "format_campaign_summary",
     "format_campaign_comparison",
     "format_sensitivity_summary",

@@ -14,7 +14,12 @@
   steppers for the transient heat equation.
 """
 
-from .adaptive import AdaptiveStepResult, adaptive_implicit_euler
+from .adaptive import (
+    AdaptiveStepResult,
+    adaptive_implicit_euler,
+    dt_ladder,
+    snap_to_ladder,
+)
 from .cache import FactorizationCache, matrix_fingerprint, shared_cache
 from .linear import LinearSolver, solve_sparse
 from .newton import FixedPointResult, fixed_point, newton_raphson
@@ -36,4 +41,6 @@ __all__ = [
     "WoodburySolver",
     "adaptive_implicit_euler",
     "AdaptiveStepResult",
+    "dt_ladder",
+    "snap_to_ladder",
 ]

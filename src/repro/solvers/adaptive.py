@@ -1,17 +1,87 @@
-"""Adaptive implicit Euler via step doubling.
+"""Adaptive implicit Euler with step doubling or a free LTE predictor.
 
 The paper integrates with 51 fixed points over 50 s.  For stiff start-ups
 (pulse drives, cold starts) a fixed step either wastes work or misses the
-fast initial transient.  This controller advances with implicit Euler and
-estimates the local error by comparing one full step against two half
-steps (step doubling); the step size follows the classic PI-free
-controller ``dt <- dt * safety * (tol / err)^(1/2)`` (implicit Euler is
-order 1, so the doubling error estimate is order 2 in dt).
+fast initial transient.  This controller advances with implicit Euler;
+the step size follows the classic PI-free controller
+``dt <- dt * safety * (tol / err)^(1/2)`` (implicit Euler is order 1 and
+both error estimates below are order 2 in dt).  Two local-error
+estimators are available:
+
+* ``error_estimate="doubling"`` (default) -- compare one full step
+  against two half steps.  Robust and history-free, but every attempted
+  step costs THREE solves.
+* ``error_estimate="predictor"`` -- the classic divided-difference local
+  truncation error estimate (the SPICE-style LTE control):
+  ``err ~ (dt^2 / 2) ||T''||`` with ``T''`` from the backward difference
+  of the step rates of the current and previous step.  One solve per
+  attempted step; only the very first step (no history yet) falls back
+  to step doubling.  The linear predictor ``state + dt * rate`` is also
+  offered to ``step_function`` as the initial iterate (``guess``
+  keyword, when accepted), so nonlinear steps start close to their
+  solution.
+
+``quantize_dt=True`` snaps every proposed step onto a geometric ladder
+``dt_k = initial_dt * 2^k`` (integer ``k``, clamped to
+``[min_dt, max_dt]``), so an integration visits only a handful of
+distinct step sizes instead of a fresh float per controller update.
+Solvers that factorize per ``dt`` (the coupled thermal step) then pay one
+factorization per ladder rung -- and because neighboring rungs differ by
+exactly a factor of two, the step doubling's ``dt/2`` is itself a rung,
+so the half steps reuse the same small solver set.
 """
+
+import inspect
 
 import numpy as np
 
 from ..errors import SolverError
+
+_ERROR_ESTIMATES = ("doubling", "predictor")
+
+
+def dt_ladder(initial_dt, min_dt, max_dt):
+    """The quantization ladder: ``initial_dt * 2^k`` within the clamps.
+
+    Returns the ascending array of every rung ``initial_dt * 2^k``
+    (integer ``k``, positive and negative) that fits into
+    ``[min_dt, max_dt]``; ``initial_dt`` itself is clamped into the
+    interval first, so the ladder is never empty.
+    """
+    initial_dt = float(np.clip(initial_dt, min_dt, max_dt))
+    rungs = [initial_dt]
+    while rungs[-1] * 2.0 <= max_dt * (1.0 + 1e-12):
+        rungs.append(rungs[-1] * 2.0)
+    down = initial_dt
+    while down * 0.5 >= min_dt * (1.0 - 1e-12):
+        down *= 0.5
+        rungs.append(down)
+    return np.sort(np.asarray(rungs))
+
+
+def _snap_down(dt, ladder):
+    """Largest rung ``<= dt`` (the smallest rung for sub-rung values)."""
+    ladder = np.asarray(ladder)
+    index = int(np.searchsorted(ladder, dt * (1.0 + 1e-9), side="right")) - 1
+    return float(ladder[max(index, 0)])
+
+
+def snap_to_ladder(dt, ladder):
+    """The geometrically nearest rung (clamped to the ladder's range).
+
+    Rounding in log space (proposals above the geometric mean of two
+    rungs go up) keeps the expected local error closest to the raw
+    proposal's; an occasional up-rounded overshoot is caught by the
+    normal reject-and-halve path, which is far cheaper than the extra
+    accepted steps systematic down-rounding would cost.
+    """
+    ladder = np.asarray(ladder)
+    index = int(np.searchsorted(ladder, dt * (1.0 + 1e-9), side="right")) - 1
+    if index < 0:
+        return float(ladder[0])
+    if index + 1 < ladder.size and dt * dt > ladder[index] * ladder[index + 1]:
+        return float(ladder[index + 1])
+    return float(ladder[index])
 
 
 class AdaptiveStepResult:
@@ -20,16 +90,31 @@ class AdaptiveStepResult:
     ``min_dt_violations`` records every step that was accepted at the
     minimum step size with an uncontrolled error (only possible with
     ``accept_min_dt_steps=True``) as ``(time, error)`` pairs.
+
+    ``num_solves`` counts the ``step_function`` evaluations (three per
+    attempted step: one full plus two half steps) and
+    ``solver_dts`` the distinct step sizes those evaluations saw -- the
+    number of per-``dt`` factorizations a caching coupled solver pays.
+    ``solver_stats`` is an optional dict attached by the caller (e.g.
+    :meth:`repro.coupled.electrothermal.CoupledSolver.solver_statistics`)
+    carrying factorization-cache hit/miss counts.
     """
 
     def __init__(self, times, states, accepted, rejected, step_sizes,
-                 min_dt_violations=()):
+                 min_dt_violations=(), num_solves=None, solver_dts=(),
+                 solver_stats=None):
         self.times = np.asarray(times)
         self.states = states
         self.accepted = int(accepted)
         self.rejected = int(rejected)
         self.step_sizes = np.asarray(step_sizes)
         self.min_dt_violations = list(min_dt_violations)
+        self.num_solves = (
+            int(num_solves) if num_solves is not None
+            else 3 * (self.accepted + self.rejected)
+        )
+        self.solver_dts = np.sort(np.asarray(list(solver_dts), dtype=float))
+        self.solver_stats = solver_stats
 
     @property
     def final(self):
@@ -41,6 +126,27 @@ class AdaptiveStepResult:
         """Accepted-at-``min_dt`` steps whose error exceeded the tolerance."""
         return len(self.min_dt_violations)
 
+    @property
+    def num_distinct_solver_dts(self):
+        """Distinct step sizes passed to ``step_function`` (full + half)."""
+        return int(self.solver_dts.size)
+
+    def statistics(self):
+        """JSON-friendly cost record for reports and benchmarks."""
+        stats = {
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "num_solves": self.num_solves,
+            "num_distinct_solver_dts": self.num_distinct_solver_dts,
+            "num_min_dt_violations": self.num_min_dt_violations,
+        }
+        if self.step_sizes.size:
+            stats["dt_min"] = float(self.step_sizes.min())
+            stats["dt_max"] = float(self.step_sizes.max())
+        if self.solver_stats is not None:
+            stats.update(self.solver_stats)
+        return stats
+
     def __repr__(self):
         if self.step_sizes.size == 0:
             return (
@@ -51,7 +157,9 @@ class AdaptiveStepResult:
             f"AdaptiveStepResult({self.accepted} accepted, "
             f"{self.rejected} rejected steps, "
             f"dt in [{self.step_sizes.min():.3g}, "
-            f"{self.step_sizes.max():.3g}] s"
+            f"{self.step_sizes.max():.3g}] s, "
+            f"{self.num_solves} solves over "
+            f"{self.num_distinct_solver_dts} distinct dt"
         )
         if self.min_dt_violations:
             text += f", {len(self.min_dt_violations)} min_dt violations"
@@ -70,6 +178,8 @@ def adaptive_implicit_euler(
     max_steps=100_000,
     norm=None,
     accept_min_dt_steps=False,
+    quantize_dt=False,
+    error_estimate="doubling",
 ):
     """Integrate ``state' = f`` with adaptive implicit Euler.
 
@@ -91,7 +201,10 @@ def adaptive_implicit_euler(
         Step-size clamps; a step at ``min_dt`` whose error still exceeds
         the tolerance raises :class:`~repro.errors.SolverError`, since
         the error can then not be controlled (see
-        ``accept_min_dt_steps``).
+        ``accept_min_dt_steps``).  The clamp applies to the *controller*:
+        the final step onto ``end_time`` may be shorter than ``min_dt``
+        without triggering the contract (a horizon clamp, not an
+        error-control floor).
     safety:
         Controller safety factor in (0, 1).
     norm:
@@ -101,6 +214,20 @@ def adaptive_implicit_euler(
         accepted instead of raising, and recorded in
         ``AdaptiveStepResult.min_dt_violations`` -- an explicit opt-out
         for runs that prefer a flagged, degraded solution over an abort.
+    quantize_dt:
+        When ``True``, every controller proposal snaps onto the
+        geometric ladder :func:`dt_ladder` (nearest rung in log space
+        while advancing, strictly downward right after a rejection);
+        the error-control floor is then the lowest rung.  The step
+        count barely changes (an up-rounded overshoot is caught by the
+        normal reject path), but per-``dt`` factorization caches see
+        O(#rungs) distinct matrices instead of O(#steps).
+    error_estimate:
+        ``"doubling"`` (default; three solves per attempt) or
+        ``"predictor"`` (one solve per attempt after the first; see the
+        module docstring).  With ``"predictor"``, a ``step_function``
+        accepting a ``guess`` keyword receives the linear predictor as
+        its initial iterate.
 
     Returns
     -------
@@ -116,6 +243,27 @@ def adaptive_implicit_euler(
         raise SolverError(f"safety must be in (0, 1), got {safety!r}")
     if max_dt is None:
         max_dt = end_time
+    if min_dt > max_dt:
+        raise SolverError(
+            f"min_dt = {min_dt:.3g} exceeds max_dt = {max_dt:.3g}"
+        )
+    if error_estimate not in _ERROR_ESTIMATES:
+        raise SolverError(
+            f"unknown error_estimate {error_estimate!r}; expected one of "
+            f"{_ERROR_ESTIMATES}"
+        )
+    use_predictor = error_estimate == "predictor"
+    supports_guess = False
+    if use_predictor:
+        try:
+            supports_guess = (
+                "guess" in inspect.signature(step_function).parameters
+            )
+        except (TypeError, ValueError):  # builtins / C callables
+            supports_guess = False
+    ladder = dt_ladder(dt, min_dt, max_dt) if quantize_dt else None
+    # The error-control floor: below it the controller cannot shrink.
+    floor_dt = float(ladder[0]) if quantize_dt else float(min_dt)
     state = np.array(initial_state, dtype=float, copy=True)
     time = 0.0
     times = [0.0]
@@ -123,51 +271,178 @@ def adaptive_implicit_euler(
     step_sizes = []
     accepted = 0
     rejected = 0
+    num_solves = 0
+    solver_dts = set()
     min_dt_violations = []
+    # Backward-difference history for the predictor estimate: the step
+    # rate of the last attempt.  After an acceptance it is the classic
+    # (state_n - state_{n-1}) / dt_{n-1}; after a rejection it is the
+    # rejected candidate's rate, anchored at the *unchanged* current
+    # state -- still a valid one-sided difference for a retry at a
+    # DIFFERENT dt, but degenerate (rate compares against itself,
+    # error ~ 0) for a retry at the same dt, where the controller falls
+    # back to doubling instead.
+    prev_rate = None
+    prev_dt = None
+    history_accepted = False
+    last_rejected = False
 
     for _ in range(max_steps):
         if time >= end_time - 1e-12 * end_time:
-            return AdaptiveStepResult(times, states, accepted, rejected,
-                                      step_sizes, min_dt_violations)
-        dt = min(dt, max_dt, end_time - time)
-        # One full step vs. two half steps.
-        full = step_function(state, dt)
-        half = step_function(state, 0.5 * dt)
-        double = step_function(half, 0.5 * dt)
-        error = norm(np.asarray(double) - np.asarray(full))
-        at_min_dt = dt <= min_dt * (1.0 + 1e-9)
+            return AdaptiveStepResult(
+                times, states, accepted, rejected, step_sizes,
+                min_dt_violations, num_solves=num_solves,
+                solver_dts=solver_dts,
+            )
+        # The controller's choice (clamped, optionally quantized) versus
+        # the actually attempted step, which the end of the horizon may
+        # shorten below any clamp.
+        controller_dt = min(dt, max_dt)
+        if quantize_dt:
+            # Nearest-rung rounding while advancing; strictly downward
+            # right after a rejection, otherwise the shrunken proposal
+            # can round straight back up to the rung that just failed.
+            controller_dt = (
+                _snap_down(controller_dt, ladder) if last_rejected
+                else snap_to_ladder(controller_dt, ladder)
+            )
+        remaining = end_time - time
+        if remaining < controller_dt:
+            if quantize_dt and remaining >= ladder[0] * (1.0 - 1e-9):
+                # Walk the tail down ON the ladder (a few extra cheap
+                # steps) instead of minting an off-ladder sliver dt
+                # that would cost one more factorization.
+                step_dt = _snap_down(remaining, ladder)
+            else:
+                step_dt = remaining
+        else:
+            step_dt = controller_dt
+        at_floor = controller_dt <= floor_dt * (1.0 + 1e-9)
+        half_state = None
+        predictor_valid = use_predictor and prev_rate is not None and (
+            history_accepted
+            or abs(step_dt - prev_dt) > 1e-9 * max(step_dt, prev_dt)
+        )
+        if predictor_valid:
+            # One solve; the LTE from the divided difference of step
+            # rates: err ~ (dt^2 / 2) T''.  The rate difference spans
+            # (dt + prev_dt) / 2 when the history rate ends where this
+            # one starts (accepted), but only |dt - prev_dt| / 2 when
+            # both rates leave the SAME state (rejection-anchored) --
+            # using the wrong span there would underestimate by up to
+            # ~3x and silently accept out-of-tolerance retries.
+            if supports_guess:
+                candidate = step_function(
+                    state, step_dt, guess=state + step_dt * prev_rate
+                )
+            else:
+                candidate = step_function(state, step_dt)
+            candidate = np.asarray(candidate, dtype=float)
+            num_solves += 1
+            solver_dts.add(step_dt)
+            rate = (candidate - state) / step_dt
+            rate_dt = step_dt
+            rejected_rate = rate
+            rejected_rate_dt = step_dt
+            span = (step_dt + prev_dt if history_accepted
+                    else abs(step_dt - prev_dt))
+            error = norm(step_dt * step_dt * (rate - prev_rate) / span)
+        else:
+            # One full step vs. two half steps.
+            full = step_function(state, step_dt)
+            if supports_guess:
+                # The full-step solution brackets the half-step pair:
+                # free warm starts for two of the three solves.
+                full_arr = np.asarray(full, dtype=float)
+                half = step_function(state, 0.5 * step_dt,
+                                     guess=0.5 * (state + full_arr))
+                double = step_function(half, 0.5 * step_dt, guess=full_arr)
+            else:
+                half = step_function(state, 0.5 * step_dt)
+                double = step_function(half, 0.5 * step_dt)
+            num_solves += 3
+            solver_dts.update((step_dt, 0.5 * step_dt))
+            error = norm(np.asarray(double) - np.asarray(full))
+            # Accept the more accurate two-half-step solution; its
+            # midpoint (the first half step) is recorded too -- a free
+            # sample that halves the interpolation error of the coarse
+            # first steps.
+            candidate = np.asarray(double, dtype=float)
+            half_state = np.asarray(half, dtype=float)
+            # On acceptance, seed history from the SECOND half step --
+            # the freshest local rate (an averaged full-step rate lags
+            # a decelerating transient and inflates the next predictor
+            # estimate).  On rejection the history must be anchored at
+            # the (unchanged) current state over the full attempt, to
+            # match the same-anchor span the next estimate assumes.
+            rate = (candidate - half_state) / (0.5 * step_dt)
+            rate_dt = 0.5 * step_dt
+            rejected_rate = (candidate - state) / step_dt
+            rejected_rate_dt = step_dt
 
-        if error <= tolerance or at_min_dt:
+        if error <= tolerance or at_floor:
             if error > tolerance:
                 # The controller cannot shrink the step any further, so
                 # the local error is out of control: the documented
                 # contract is to raise unless the caller explicitly
-                # opted into flagged acceptance.
+                # opted into flagged acceptance.  (A merely
+                # horizon-clamped sliver never lands here: ``at_floor``
+                # tracks the controller's step, so the sliver is
+                # rejected like any other step until the controller has
+                # actually shrunk to its floor.)
                 if not accept_min_dt_steps:
                     raise SolverError(
                         f"local error {error:.3g} exceeds tolerance "
                         f"{tolerance:.3g} at the minimum step size "
-                        f"min_dt = {min_dt:.3g} s (t = {time:.6g} s); the "
+                        f"min_dt = {floor_dt:.3g} s (t = {time:.6g} s); the "
                         "error can no longer be controlled -- pass "
                         "accept_min_dt_steps=True to accept and record "
                         "such steps instead"
                     )
-                min_dt_violations.append((time + dt, float(error)))
-            # Accept the more accurate two-half-step solution.
-            state = np.asarray(double, dtype=float)
-            time += dt
+                min_dt_violations.append((time + step_dt, float(error)))
+            if half_state is not None:
+                times.append(time + 0.5 * step_dt)
+                states.append(half_state.copy())
+            state = candidate
+            time += step_dt
             times.append(time)
             states.append(state.copy())
-            step_sizes.append(dt)
+            step_sizes.append(step_dt)
             accepted += 1
+            last_rejected = False
         else:
             rejected += 1
-        # Order-1 method, order-2 error estimate: exponent 1/2.
+            last_rejected = True
+        if last_rejected:
+            prev_rate = rejected_rate
+            prev_dt = rejected_rate_dt
+        else:
+            prev_rate = rate
+            prev_dt = rate_dt
+        history_accepted = not last_rejected
+        # Order-1 method, order-2 error estimate: exponent 1/2.  With a
+        # factor-2 ladder the growth is capped at one rung per accepted
+        # step: an overshoot past the next rung is a wasted solve AND a
+        # wasted factorization, while an extra accepted step is one
+        # cheap solve.
+        growth_cap = 2.5 if quantize_dt else 5.0
         if error > 0.0:
             factor = safety * np.sqrt(tolerance / error)
-            dt = float(np.clip(dt * np.clip(factor, 0.1, 5.0), min_dt, max_dt))
+            dt = float(
+                np.clip(step_dt * np.clip(factor, 0.1, growth_cap),
+                        min_dt, max_dt)
+            )
         else:
-            dt = float(min(dt * 5.0, max_dt))
+            # Clamp like the error > 0 branch: growing from an accepted
+            # sub-min_dt horizon sliver must not leave dt below min_dt
+            # (the guard below would misfire on a finished integration).
+            dt = float(np.clip(step_dt * growth_cap, min_dt, max_dt))
+        if quantize_dt and last_rejected and dt > 0.4 * step_dt:
+            # error <= 4 * tolerance: the order-2 estimate already
+            # clears the next rung down, so don't let the safety factor
+            # overshoot past it (a needless extra rung = a needless
+            # factorization).
+            dt = float(np.clip(0.5 * step_dt, min_dt, max_dt))
         if dt < min_dt * (1.0 - 1e-9):
             raise SolverError(
                 f"adaptive step size fell below min_dt = {min_dt}"

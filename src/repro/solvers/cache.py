@@ -20,21 +20,28 @@ it so that every solver built in that worker shares one pool.
 import hashlib
 from collections import OrderedDict
 
+import numpy as np
 import scipy.sparse.linalg as spla
 
 from ..errors import SolverError
 
 
 def matrix_fingerprint(matrix):
-    """Content hash of a sparse matrix (shape + CSC structure + values).
+    """Content hash of a sparse matrix (shape + canonical CSC + values).
 
-    The input is never mutated: sorting happens on a copy when needed
-    (``tocsc()`` returns the same object for CSC inputs).
+    The structure is canonicalized before hashing -- duplicates summed,
+    explicit zeros dropped, indices sorted -- so numerically identical
+    matrices fingerprint identically no matter how they were assembled
+    (an ``A + 0 * B`` sum leaves explicit zeros; COO-style construction
+    can leave unsummed duplicates).  The input is never mutated:
+    canonicalization happens on a copy when needed (``tocsc()`` returns
+    the same object for CSC inputs).
     """
     csc = matrix.tocsc()
-    if not csc.has_sorted_indices:
+    if not csc.has_canonical_format or np.any(csc.data == 0.0):
         csc = csc.copy()
-        csc.sort_indices()
+        csc.sum_duplicates()
+        csc.eliminate_zeros()
     digest = hashlib.sha256()
     digest.update(repr(csc.shape).encode())
     digest.update(csc.indptr.tobytes())
@@ -43,10 +50,24 @@ def matrix_fingerprint(matrix):
     return digest.hexdigest()
 
 
-def checked_splu(matrix):
-    """``splu`` with library-error wrapping (shared by cached/uncached)."""
+def checked_splu(matrix, symmetric=False):
+    """``splu`` with library-error wrapping (shared by cached/uncached).
+
+    ``symmetric=True`` selects SuperLU's symmetric mode (AT+A minimum
+    degree ordering, no partial pivoting) -- roughly half the
+    factorization time and fill-in for the symmetric positive definite
+    bases of the fast coupled path.  Only pass it for matrices known to
+    be SPD; general matrices keep the pivoted default.
+    """
+    kwargs = {}
+    if symmetric:
+        kwargs = {
+            "permc_spec": "MMD_AT_PLUS_A",
+            "diag_pivot_thresh": 0.0,
+            "options": {"SymmetricMode": True},
+        }
     try:
-        return spla.splu(matrix.tocsc())
+        return spla.splu(matrix.tocsc(), **kwargs)
     except RuntimeError as exc:
         raise SolverError(f"base LU factorization failed: {exc}") from exc
 
@@ -75,15 +96,20 @@ class FactorizationCache:
     def __len__(self):
         return len(self._entries)
 
-    def splu(self, matrix):
-        """``scipy.sparse.linalg.splu`` with content-addressed memoization."""
-        key = matrix_fingerprint(matrix)
+    def splu(self, matrix, symmetric=False):
+        """``scipy.sparse.linalg.splu`` with content-addressed memoization.
+
+        The ``symmetric`` factorization mode is part of the key: the
+        same matrix factorized both ways yields two (numerically
+        different) factor objects.
+        """
+        key = (matrix_fingerprint(matrix), bool(symmetric))
         if key in self._entries:
             self._entries.move_to_end(key)
             self.hits += 1
             return self._entries[key]
         self.misses += 1
-        lu = checked_splu(matrix)
+        lu = checked_splu(matrix, symmetric=symmetric)
         self._entries[key] = lu
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)

@@ -33,9 +33,14 @@ class WoodburySolver:
         given, the base LU is looked up / stored there so structurally
         identical solvers built in the same process share one
         factorization (the campaign worker pattern).
+    symmetric:
+        Factorize the base in SuperLU's symmetric mode (see
+        :func:`~repro.solvers.cache.checked_splu`); only for bases known
+        to be symmetric positive definite.
     """
 
-    def __init__(self, base_matrix, update_vectors, cache=None):
+    def __init__(self, base_matrix, update_vectors, cache=None,
+                 symmetric=False):
         base_matrix = base_matrix.tocsc()
         update_vectors = np.asarray(update_vectors, dtype=float)
         if update_vectors.ndim != 2:
@@ -48,15 +53,16 @@ class WoodburySolver:
         self.rank = update_vectors.shape[1]
         self.update_vectors = update_vectors
         if cache is not None:
-            self._lu = cache.splu(base_matrix)
+            self._lu = cache.splu(base_matrix, symmetric=symmetric)
         else:
-            self._lu = checked_splu(base_matrix)
+            self._lu = checked_splu(base_matrix, symmetric=symmetric)
         # Precompute A0^-1 U and the capacitance-free core U^T A0^-1 U.
         # A rank-0 update (no wires) is a valid degenerate case: every
         # solve is then just the base LU solve.
         if self.rank:
-            self._base_inverse_u = np.column_stack(
-                [self._lu.solve(update_vectors[:, j]) for j in range(self.rank)]
+            # One multi-RHS triangular sweep instead of k single solves.
+            self._base_inverse_u = np.asarray(
+                self._lu.solve(np.ascontiguousarray(update_vectors))
             )
         else:
             self._base_inverse_u = np.zeros((base_matrix.shape[0], 0))

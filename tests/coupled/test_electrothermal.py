@@ -212,3 +212,70 @@ class TestStoreFields:
         assert len(result.fields) == 5
         assert result.fields[0].shape == (problem.total_size,)
         assert np.allclose(result.fields[-1], result.final_temperatures)
+
+
+class TestPerDtSolverReuse:
+    """The single-slot memo regression: adaptive step doubling
+    alternates dt and dt/2 on every attempt, so thermal solver builds
+    must be O(#distinct dt), not O(#solves)."""
+
+    def test_builds_scale_with_distinct_dts_not_solves(self):
+        problem = build_wire_bridge_problem()
+        solver = CoupledSolver(problem, mode="fast", tolerance=1e-4)
+        state = problem.initial_temperatures()
+        # 5 alternation rounds over two step sizes.
+        for _ in range(5):
+            state = solver.step_once(state, 0.5)
+            state = solver.step_once(state, 0.25)
+        assert solver.num_steps == 10
+        assert solver.thermal_solver_builds == 2
+
+    def test_adaptive_integration_builds_per_rung(self):
+        from repro.solvers.adaptive import adaptive_implicit_euler
+
+        problem = build_wire_bridge_problem()
+        solver = CoupledSolver(problem, mode="fast", tolerance=1e-4)
+        result = adaptive_implicit_euler(
+            solver.step_once, problem.initial_temperatures(),
+            end_time=10.0, initial_dt=0.5, tolerance=0.2, quantize_dt=True,
+        )
+        assert solver.thermal_solver_builds == result.num_distinct_solver_dts
+        assert solver.thermal_solver_builds < result.num_solves
+
+    def test_lru_bound_evicts_oldest(self):
+        problem = build_wire_bridge_problem()
+        solver = CoupledSolver(problem, mode="fast", tolerance=1e-4,
+                               max_thermal_solvers=2)
+        state = problem.initial_temperatures()
+        for dt in (1.0, 0.5, 0.25):
+            solver.step_once(state, dt)
+        assert len(solver._fast_th_solvers) == 2
+        assert solver.thermal_solver_builds == 3
+        # Re-solving the evicted dt rebuilds (bounded memory, correct
+        # result), the cached ones do not.
+        solver.step_once(state, 0.25)
+        assert solver.thermal_solver_builds == 3
+        solver.step_once(state, 1.0)
+        assert solver.thermal_solver_builds == 4
+
+    def test_statistics_report_cache_counters(self):
+        from repro.solvers.cache import FactorizationCache
+
+        cache = FactorizationCache()
+        problem = build_wire_bridge_problem()
+        solver = CoupledSolver(problem, mode="fast", tolerance=1e-4,
+                               factorization_cache=cache)
+        solver.step_once(problem.initial_temperatures(), 0.5)
+        stats = solver.solver_statistics()
+        assert stats["mode"] == "fast"
+        assert stats["coupled_steps"] == 1
+        assert stats["thermal_solver_builds"] == 1
+        assert stats["thermal_solvers_cached"] == 1
+        # el base (setup) + one thermal base missed the shared cache.
+        assert stats["factorization_cache_misses"] == 2
+        assert stats["factorization_cache_hits"] == 0
+
+    def test_invalid_max_thermal_solvers(self):
+        problem = build_wire_bridge_problem()
+        with pytest.raises(SolverError):
+            CoupledSolver(problem, mode="fast", max_thermal_solvers=0)
