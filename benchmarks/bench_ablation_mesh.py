@@ -11,7 +11,7 @@ from repro.coupled.electrothermal import CoupledSolver
 from repro.reporting.tables import format_table
 from repro.solvers.time_integration import TimeGrid
 
-from .conftest import write_artifact
+from .conftest import bench_timings, write_artifact, write_bench_json
 
 
 def _hottest_at(resolution):
@@ -48,6 +48,12 @@ def test_ablation_mesh_refinement(benchmark):
         f"({100.0 * drift / rise:.1f} % of the rise)"
     )
     path = write_artifact("ablation_mesh.txt", text)
+    write_bench_json(
+        "ablation_mesh",
+        timings=bench_timings(benchmark),
+        counters={"coarse_nodes": coarse_n, "default_nodes": default_n},
+        drift_kelvin=drift,
+    )
     print("\n" + text)
     print(f"\n[artifact] {path}")
 

@@ -13,7 +13,12 @@ from repro.materials.library import copper
 from repro.reporting.tables import format_table
 from repro.solvers.time_integration import TimeGrid
 
-from .conftest import bench_resolution, write_artifact
+from .conftest import (
+    bench_resolution,
+    bench_timings,
+    write_artifact,
+    write_bench_json,
+)
 
 
 def _run(frozen, pair_voltage=0.120):
@@ -55,6 +60,11 @@ def test_ablation_nonlinearity(benchmark):
         title="ABLATION: MATERIAL NONLINEARITY (V_bw = 120 mV)",
     )
     path = write_artifact("ablation_nonlinearity.txt", text)
+    write_bench_json(
+        "ablation_nonlinearity",
+        timings=bench_timings(benchmark),
+        temperature_difference_kelvin=nonlinear[0] - frozen[0],
+    )
     print("\n" + text)
     print(f"\n[artifact] {path}")
 

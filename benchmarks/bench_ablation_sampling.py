@@ -10,7 +10,12 @@ import numpy as np
 from repro.reporting.tables import format_table
 from repro.uq.sampling import halton_sequence, latin_hypercube, random_sampler
 
-from .conftest import fig7_samples, write_artifact
+from .conftest import (
+    bench_timings,
+    fig7_samples,
+    write_artifact,
+    write_bench_json,
+)
 
 
 def test_ablation_sampling_strategies(benchmark, uq_study):
@@ -80,6 +85,15 @@ def test_ablation_sampling_strategies(benchmark, uq_study):
         title="ABLATION: SAMPLING STRATEGY (end-time hottest wire)",
     )
     path = write_artifact("ablation_sampling.txt", text)
+    write_bench_json(
+        "ablation_sampling",
+        timings=bench_timings(benchmark),
+        counters={
+            "budget": budget,
+            "reference_budget": reference_budget,
+            "collocation_runs": collocation.num_evaluations,
+        },
+    )
     print("\n" + text)
     print(f"\n[artifact] {path}")
 

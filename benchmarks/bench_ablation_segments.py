@@ -13,7 +13,12 @@ from repro.package3d.chip_example import build_date16_problem
 from repro.reporting.tables import format_table
 from repro.solvers.time_integration import TimeGrid
 
-from .conftest import bench_resolution, write_artifact
+from .conftest import (
+    bench_resolution,
+    bench_timings,
+    write_artifact,
+    write_bench_json,
+)
 
 
 def _run(num_segments):
@@ -54,6 +59,12 @@ def test_ablation_wire_segments(benchmark):
         title="ABLATION: LUMPED ELEMENTS PER WIRE",
     )
     path = write_artifact("ablation_segments.txt", text)
+    write_bench_json(
+        "ablation_segments",
+        timings=bench_timings(benchmark),
+        counters={"segment_variants": len(results)},
+        interior_rise_kelvin=results[8][1] - results[8][0],
+    )
     print("\n" + text)
     print(f"\n[artifact] {path}")
 

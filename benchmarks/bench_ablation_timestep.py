@@ -14,7 +14,12 @@ from repro.reporting.tables import format_table
 from repro.solvers.adaptive import adaptive_implicit_euler
 from repro.solvers.time_integration import TimeGrid
 
-from .conftest import bench_resolution, write_artifact
+from .conftest import (
+    bench_resolution,
+    bench_timings,
+    write_artifact,
+    write_bench_json,
+)
 
 END_TIME = 50.0
 
@@ -88,6 +93,16 @@ def test_ablation_time_step(benchmark):
         "(first order predicts 4)"
     )
     path = write_artifact("ablation_timestep.txt", text)
+    write_bench_json(
+        "ablation_timestep",
+        timings=bench_timings(benchmark),
+        counters={
+            "adaptive_accepted": adaptive.accepted,
+            "adaptive_rejected": adaptive.rejected,
+            "adaptive_solves": adaptive.num_solves,
+        },
+        convergence_ratio=ratio,
+    )
     print("\n" + text)
     print(f"\n[artifact] {path}")
 

@@ -15,7 +15,7 @@ from repro.package3d.chip_example import build_date16_problem
 from repro.reporting.tables import format_table
 from repro.solvers.time_integration import TimeGrid
 
-from .conftest import bench_resolution, write_artifact
+from .conftest import bench_resolution, write_artifact, write_bench_json
 
 
 def test_ablation_woodbury_fast_path(benchmark):
@@ -53,6 +53,12 @@ def test_ablation_woodbury_fast_path(benchmark):
         title="ABLATION: WOODBURY FAST PATH (one 51-point transient)",
     )
     path = write_artifact("ablation_woodbury.txt", text)
+    write_bench_json(
+        "ablation_woodbury",
+        timings={"full": full_elapsed, "fast": fast_elapsed},
+        speedup=full_elapsed / fast_elapsed,
+        max_deviation_kelvin=deviation,
+    )
     print("\n" + text)
     print(f"\n[artifact] {path}")
 

@@ -217,9 +217,12 @@ def test_adaptive_stepping_benchmark(benchmark):
         ),
         rounds=1, iterations=1,
     )
-    from .conftest import write_artifact
+    from .conftest import bench_timings, write_artifact, write_bench_json
 
     path = write_artifact("adaptive_stepping.txt", table)
+    write_bench_json(
+        "adaptive_stepping", timings=bench_timings(benchmark)
+    )
     print(f"\n[artifact] {path}")
 
 

@@ -11,7 +11,12 @@ from repro.package3d.measurements import date16_xray_measurements
 from repro.reporting.figures import fig5_data
 from repro.reporting.series import write_csv
 
-from .conftest import artifact_path, write_artifact
+from .conftest import (
+    artifact_path,
+    bench_timings,
+    write_artifact,
+    write_bench_json,
+)
 
 
 def test_fig5_regeneration(benchmark):
@@ -47,6 +52,12 @@ def test_fig5_regeneration(benchmark):
         lines.append(f"  delta={center:.3f}  density={density:5.2f}  {bar}")
     text = "\n".join(lines)
     path = write_artifact("fig5_elongation_pdf.txt", text)
+    write_bench_json(
+        "fig5_elongation_pdf",
+        timings=bench_timings(benchmark),
+        mu=float(data["mu"]),
+        sigma=float(data["sigma"]),
+    )
     print("\n" + text)
     print(f"\n[artifacts] {path}, {csv_pdf}, {csv_hist}")
 

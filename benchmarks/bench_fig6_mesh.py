@@ -8,7 +8,12 @@ from repro.package3d.chip_example import date16_layout
 from repro.package3d.meshing import build_package_mesh
 from repro.reporting.tables import format_table
 
-from .conftest import bench_resolution, write_artifact
+from .conftest import (
+    bench_resolution,
+    bench_timings,
+    write_artifact,
+    write_bench_json,
+)
 
 
 def test_fig6_mesh_regeneration(benchmark):
@@ -37,6 +42,15 @@ def test_fig6_mesh_regeneration(benchmark):
         title="FIG. 6: PACKAGE MODEL AND HEXAHEDRAL MESH",
     )
     path = write_artifact("fig6_mesh.txt", text)
+    write_bench_json(
+        "fig6_mesh",
+        timings=bench_timings(benchmark),
+        counters={
+            "nodes": stats["nodes"],
+            "cells": stats["cells"],
+            "edges": stats["edges"],
+        },
+    )
     print("\n" + text)
     print(f"\n[artifact] {path}")
 

@@ -25,7 +25,14 @@ from repro.package3d.uq_study import Date16UncertaintyStudy
 from repro.reporting.figures import fig7_data
 from repro.reporting.series import write_csv
 
-from .conftest import artifact_path, bench_resolution, fig7_samples, write_artifact
+from .conftest import (
+    artifact_path,
+    bench_resolution,
+    bench_timings,
+    fig7_samples,
+    write_artifact,
+    write_bench_json,
+)
 
 
 def _run_study(study, num_samples):
@@ -75,6 +82,13 @@ def test_fig7_paper_parameters(benchmark, uq_study):
         _run_study, args=(uq_study, num_samples), rounds=1, iterations=1
     )
     data = _report("paper_params", result, num_samples)
+    write_bench_json(
+        "fig7_mc_temperature",
+        timings=bench_timings(benchmark),
+        counters={"samples": num_samples},
+        sigma_mc_kelvin=float(data["sigma_mc"]),
+        error_mc_kelvin=float(data["error_mc"]),
+    )
 
     # Qualitative claims that must hold on any mesh:
     assert np.all(np.diff(data["mean"]) > -1e-6)      # monotone heating

@@ -10,7 +10,12 @@ observation.
 from repro.reporting.figures import ascii_heatmap, fig8_data
 from repro.reporting.series import write_csv
 
-from .conftest import artifact_path, write_artifact
+from .conftest import (
+    artifact_path,
+    bench_timings,
+    write_artifact,
+    write_bench_json,
+)
 
 
 def test_fig8_regeneration(benchmark, uq_study):
@@ -54,6 +59,12 @@ def test_fig8_regeneration(benchmark, uq_study):
             "temperature": result.final_temperatures[: grid.num_nodes],
             "potential": result.final_potentials[: grid.num_nodes],
         },
+    )
+    write_bench_json(
+        "fig8_field",
+        timings=bench_timings(benchmark),
+        t_min_kelvin=float(data["t_min"]),
+        t_max_kelvin=float(data["t_max"]),
     )
     print("\n" + text)
     print(f"\n[artifacts] {path}, {csv}, {vtk}")

@@ -25,7 +25,12 @@ from repro.campaign import (
 from repro.package3d.scenarios import date16_sensitivity_spec
 from repro.reporting.tables import format_table
 
-from .conftest import bench_resolution, write_artifact
+from .conftest import (
+    bench_resolution,
+    bench_timings,
+    write_artifact,
+    write_bench_json,
+)
 
 
 def _base_samples():
@@ -102,6 +107,13 @@ def test_sensitivity_scaling(benchmark):
         f"(output {component}): {ranking}\n"
     )
     path = write_artifact("sensitivity_scaling.txt", text)
+    write_bench_json(
+        "sensitivity_scaling",
+        timings={
+            "serial": serial_elapsed, **bench_timings(benchmark),
+        },
+        counters={"evaluations": num_evaluations},
+    )
     print("\n" + text)
     print(f"\n[artifact] {path}")
 

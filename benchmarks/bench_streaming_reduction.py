@@ -32,7 +32,7 @@ from repro.campaign import (
 from repro.reporting.tables import format_table
 from repro.uq.analytic import sobol_g_distribution
 
-from .conftest import write_artifact
+from .conftest import bench_timings, write_artifact, write_bench_json
 
 _G_COEFFICIENTS = [0.0, 0.5, 3.0, 9.0, 99.0, 99.0]
 
@@ -154,5 +154,13 @@ def test_streaming_reduction_scaling(benchmark, tmp_path):
         ),
     )
     path = write_artifact("streaming_reduction.txt", text)
+    write_bench_json(
+        "streaming_reduction",
+        timings=bench_timings(benchmark),
+        counters={
+            "output_sizes": len(rows),
+            "evaluations": spec.num_samples,
+        },
+    )
     print("\n" + text)
     print(f"\n[artifact] {path}")

@@ -11,7 +11,7 @@ from repro.constants import T_REFERENCE
 from repro.materials.library import copper, epoxy_resin
 from repro.reporting.tables import format_table1
 
-from .conftest import write_artifact
+from .conftest import bench_timings, write_artifact, write_bench_json
 
 #: (region, material factory, paper lambda [W/K/m], paper sigma [S/m])
 PAPER_TABLE1 = [
@@ -26,6 +26,11 @@ def test_table1_regeneration(benchmark):
     """Regenerate Table I and check every entry against the paper."""
     text = benchmark(format_table1)
     path = write_artifact("table1_materials.txt", text)
+    write_bench_json(
+        "table1_materials",
+        timings=bench_timings(benchmark),
+        counters={"regions": len(PAPER_TABLE1)},
+    )
     print("\n" + text)
     print(f"\n[artifact] {path}")
 

@@ -9,7 +9,12 @@ import numpy as np
 from repro.package3d.chip_example import Date16Parameters, build_date16_problem
 from repro.reporting.tables import format_table2
 
-from .conftest import bench_resolution, write_artifact
+from .conftest import (
+    bench_resolution,
+    bench_timings,
+    write_artifact,
+    write_bench_json,
+)
 
 #: The paper's Table II rows we must reproduce verbatim.
 PAPER_TABLE2 = {
@@ -27,6 +32,11 @@ PAPER_TABLE2 = {
 def test_table2_regeneration(benchmark):
     text = benchmark(format_table2)
     path = write_artifact("table2_parameters.txt", text)
+    write_bench_json(
+        "table2_parameters",
+        timings=bench_timings(benchmark),
+        counters={"rows": len(PAPER_TABLE2)},
+    )
     print("\n" + text)
     print(f"\n[artifact] {path}")
 

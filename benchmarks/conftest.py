@@ -14,7 +14,9 @@ numbers:
                          (default "coarse")
 """
 
+import json
 import os
+import time
 
 import pytest
 
@@ -32,6 +34,57 @@ def write_artifact(name, text):
     path = artifact_path(name)
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text if text.endswith("\n") else text + "\n")
+    return path
+
+
+def bench_timings(benchmark):
+    """``{name: seconds}`` timing summary of a pytest-benchmark fixture.
+
+    Empty when the fixture never ran (e.g. ``--benchmark-disable`` with
+    a pedantic call pattern), so ``write_bench_json`` degrades to a
+    counters-only record instead of failing the bench.
+    """
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if stats is None or not getattr(stats, "data", None):
+        return {}
+    return {
+        "min": stats.min,
+        "mean": stats.mean,
+        "max": stats.max,
+    }
+
+
+def write_bench_json(name, timings=None, counters=None, **metadata):
+    """Write the machine-readable ``BENCH_<name>.json`` artifact.
+
+    ``timings`` maps label -> seconds (or a list of seconds); every
+    value is folded into a ``<label>_s`` histogram of a
+    :class:`repro.telemetry.MetricsRegistry`, and ``counters`` become
+    registry counters -- so nightly tooling parses one schema
+    (``metrics`` is a ``MetricsRegistry.as_dict`` payload) across every
+    bench.  Extra keyword arguments land verbatim as metadata.
+    """
+    from repro.telemetry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for label, values in (timings or {}).items():
+        if isinstance(values, (int, float)):
+            values = [values]
+        for value in values:
+            registry.observe(f"{label}_s", float(value))
+    for label, value in (counters or {}).items():
+        registry.increment(label, value)
+    payload = {
+        "bench": str(name),
+        "schema": 1,
+        "written_at": time.time(),
+        "metrics": registry.as_dict(),
+        **metadata,
+    }
+    path = artifact_path(f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
     return path
 
 

@@ -7,6 +7,11 @@ sample counts shrunk via argv/env (see ``_OVERRIDES``), and fails on the
 first nonzero exit.  New examples are picked up automatically (with no
 overrides, so keep their defaults cheap or add an entry here).
 
+After the examples pass, the driver runs a telemetry smoke: a tiny CLI
+campaign into a temporary store, then ``repro-campaign trace --validate``
+on it, so the persisted event schema (DESIGN.md "Telemetry") is checked
+end-to-end on every CI run.
+
 Run from the repository root::
 
     python scripts/smoke_examples.py [pattern]
@@ -17,6 +22,7 @@ An optional substring pattern restricts the run to matching filenames.
 import os
 import subprocess
 import sys
+import tempfile
 import time
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -59,6 +65,62 @@ def run_example(path):
     return completed, elapsed
 
 
+def _campaign_env():
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "")
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.join(REPO_ROOT, "src"), env["PYTHONPATH"]])
+    )
+    return env
+
+
+def smoke_telemetry():
+    """Run a tiny CLI campaign and validate its persisted telemetry.
+
+    Exercises the full path -- spec template, run with a store,
+    per-chunk event files, ``report --timings`` rendering, and the
+    ``trace --validate`` schema check -- in subprocesses, exactly as a
+    user would.  Returns True on success.
+    """
+    env = _campaign_env()
+    cli = [sys.executable, "-m", "repro.campaign"]
+    with tempfile.TemporaryDirectory() as scratch:
+        spec = os.path.join(scratch, "campaign.json")
+        store = os.path.join(scratch, "store")
+        steps = [
+            ("spec", [*cli, "spec", "date16", "--samples", "4",
+                      "--chunk-size", "2", "-o", spec]),
+            ("run", [*cli, "run", spec, "--store", store, "--quiet"]),
+            ("report --timings", [*cli, "report", store, "--timings"]),
+            ("trace --validate", [*cli, "trace", store, "--validate"]),
+        ]
+        for label, command in steps:
+            print(f"==> telemetry smoke: {label} ... ", end="", flush=True)
+            start = time.perf_counter()
+            completed = subprocess.run(
+                command, cwd=REPO_ROOT, env=env, timeout=TIMEOUT_SECONDS,
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                text=True,
+            )
+            elapsed = time.perf_counter() - start
+            if completed.returncode != 0:
+                print(f"FAILED (exit {completed.returncode}, "
+                      f"{elapsed:.1f}s)")
+                print(completed.stdout[-4000:])
+                return False
+            print(f"ok ({elapsed:.1f}s)")
+        telemetry_dir = os.path.join(store, "telemetry")
+        chunk_logs = [
+            name for name in os.listdir(telemetry_dir)
+            if name.startswith("chunk_") and name.endswith(".jsonl")
+        ] if os.path.isdir(telemetry_dir) else []
+        if len(chunk_logs) != 2:
+            print(f"telemetry smoke: expected 2 chunk event logs in "
+                  f"{telemetry_dir}, found {sorted(chunk_logs)}")
+            return False
+    return True
+
+
 def main():
     pattern = sys.argv[1] if len(sys.argv) > 1 else ""
     examples = sorted(
@@ -91,7 +153,10 @@ def main():
         print(f"{len(failures)}/{len(examples)} examples failed: "
               f"{', '.join(failures)}")
         return 1
-    print(f"all {len(examples)} examples passed")
+    if not smoke_telemetry():
+        print("telemetry smoke failed")
+        return 1
+    print(f"all {len(examples)} examples passed (+ telemetry smoke)")
     return 0
 
 

@@ -6,6 +6,11 @@ Subcommands::
     run     execute a campaign spec of any kind (Monte Carlo, Sobol, PCE)
     resume  finish the campaign pinned in an existing store directory
     report  print the summary table (+ provenance) of a completed campaign
+            (--timings adds per-chunk wall/queue times, worker
+            utilization and cache hit rates from the telemetry layer)
+    trace   inspect the raw telemetry of a store (event inventory and
+            span statistics; --dump prints JSONL, --validate checks
+            every event against the documented schema)
     sobol   thin aliases kept for sensitivity-campaign muscle memory
 
 Quickstart (the paper's Monte Carlo study, distributed over 4 workers)::
@@ -61,8 +66,24 @@ from .store import ArtifactStore
 
 
 def _progress_printer(stream):
-    def progress(done, total):
-        print(f"chunk {done}/{total} complete", file=stream, flush=True)
+    """Heartbeat-style progress printer (single-argument event dict).
+
+    The runner detects the one-argument signature and delivers full
+    heartbeat events, so the printed line carries the EWMA chunk rate
+    and ETA on top of the classic ``chunk done/total complete`` prefix.
+    """
+    def progress(event):
+        done = event["done"]
+        total = event["total"]
+        line = f"chunk {done}/{total} complete"
+        rate = event.get("rate_per_s")
+        eta = event.get("eta_s")
+        if rate:
+            line += f" ({rate:.3g} chunks/s"
+            if eta is not None and done < total:
+                line += f", eta {eta:.0f} s"
+            line += ")"
+        print(line, file=stream, flush=True)
 
     return progress
 
@@ -81,6 +102,11 @@ def _add_executor_arguments(parser):
     parser.add_argument(
         "--quiet", action="store_true",
         help="suppress per-chunk progress lines",
+    )
+    parser.add_argument(
+        "--telemetry", action=argparse.BooleanOptionalAction, default=None,
+        help="force per-chunk telemetry capture on/off for this run "
+             "(default: the REPRO_TELEMETRY global flag, normally on)",
     )
 
 
@@ -171,6 +197,26 @@ def _build_parser():
         "report", help="print the summary of a completed campaign"
     )
     report.add_argument("store", help="artifact store directory")
+    report.add_argument(
+        "--timings", action="store_true",
+        help="append the telemetry timing report (ranked per-chunk "
+             "wall/queue times, worker utilization, cache hit rate)",
+    )
+
+    trace = commands.add_parser(
+        "trace", help="inspect the telemetry recorded in a store"
+    )
+    trace.add_argument("store", help="artifact store directory")
+    trace.add_argument(
+        "--dump", action="store_true",
+        help="print every recorded event as JSONL (run log first, then "
+             "chunk files in chunk order)",
+    )
+    trace.add_argument(
+        "--validate", action="store_true",
+        help="validate every recorded event against the documented "
+             "schema; fails when the store holds no telemetry",
+    )
 
     sobol = commands.add_parser(
         "sobol", help="sensitivity-campaign aliases (spec is the only "
@@ -360,7 +406,7 @@ def _run_command(spec, arguments, out, require_sensitivity=False):
     )
     result = run_campaign(
         spec, store=store, executor=executor, progress=progress,
-        reducer=reducer,
+        reducer=reducer, telemetry=getattr(arguments, "telemetry", None),
     )
     _print_result(result, store, out)
     return 0
@@ -381,17 +427,60 @@ def _resume_command(arguments, out):
     progress = None if arguments.quiet else _progress_printer(sys.stderr)
     result = run_campaign(
         spec, store=store, executor=executor, progress=progress,
-        reducer=reducer,
+        reducer=reducer, telemetry=getattr(arguments, "telemetry", None),
     )
     _print_result(result, store, out)
     return 0
 
 
-def _report_command(store_path, out):
+def _report_command(store_path, out, timings=False):
     store = ArtifactStore(store_path)
     summary = store.read_summary()
     _print_provenance(store, out)
     _print_summary(summary, out)
+    if timings:
+        from ..reporting.telemetry import format_timings_report
+
+        print("", file=out)
+        print(format_timings_report(store.read_telemetry()), file=out)
+    return 0
+
+
+def _trace_command(arguments, out):
+    store = ArtifactStore(arguments.store)
+    if not store.exists():
+        raise CampaignError(
+            f"no campaign manifest at {store.path!r}; run 'run' first"
+        )
+    telemetry = store.read_telemetry()
+    ordered = list(telemetry["run"]) + [
+        event
+        for index in sorted(telemetry["chunks"])
+        for event in telemetry["chunks"][index]
+    ]
+    if arguments.validate:
+        from ..telemetry import validate_events
+
+        if not ordered:
+            raise CampaignError(
+                f"store {store.path!r} holds no telemetry events to "
+                "validate (was the campaign run with --no-telemetry?)"
+            )
+        count = validate_events(ordered)
+        print(
+            f"validated {count} events across "
+            f"{len(telemetry['chunks'])} chunk logs", file=out,
+        )
+        return 0
+    if arguments.dump:
+        import json
+
+        for event in ordered:
+            print(json.dumps(event, sort_keys=True), file=out)
+        return 0
+    from ..reporting.telemetry import format_trace_summary
+
+    print(format_trace_summary(telemetry), file=out)
     return 0
 
 
@@ -446,7 +535,11 @@ def _dispatch(arguments):
         return _resume_command(arguments, out)
 
     if arguments.command == "report":
-        return _report_command(arguments.store, out)
+        return _report_command(arguments.store, out,
+                               timings=arguments.timings)
+
+    if arguments.command == "trace":
+        return _trace_command(arguments, out)
 
     if arguments.command == "sobol":
         return _dispatch_sobol(arguments, out)

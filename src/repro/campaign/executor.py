@@ -47,6 +47,7 @@ import functools
 import json
 import os
 import threading
+import time
 from concurrent.futures import (
     FIRST_COMPLETED,
     ProcessPoolExecutor,
@@ -57,6 +58,7 @@ from concurrent.futures import (
 import numpy as np
 
 from ..errors import CampaignError
+from ..telemetry import tracing as telemetry
 
 
 def resolve_model(model_source):
@@ -73,12 +75,23 @@ def resolve_model(model_source):
 
 
 class WorkChunk:
-    """One executor task: evaluate ``parameters`` rows ``indices``."""
+    """One executor task: evaluate ``parameters`` rows ``indices``.
 
-    def __init__(self, chunk_index, indices, parameters):
+    ``capture_telemetry`` travels on the (pickled) chunk so the runner's
+    telemetry decision is authoritative in pool workers -- a worker
+    process cannot see the parent's :func:`repro.telemetry.disable`
+    call.  ``None`` defers to the worker-side global flag.
+    ``dispatch_walltime`` is stamped (POSIX seconds) by the executor at
+    submit time; the worker computes its queue wait from it.
+    """
+
+    def __init__(self, chunk_index, indices, parameters,
+                 capture_telemetry=None):
         self.chunk_index = int(chunk_index)
         self.indices = np.asarray(indices, dtype=int)
         self.parameters = np.asarray(parameters, dtype=float)
+        self.capture_telemetry = capture_telemetry
+        self.dispatch_walltime = None
         if self.parameters.ndim != 2:
             raise CampaignError("chunk parameters must be a 2D array")
         if self.indices.size != self.parameters.shape[0]:
@@ -89,24 +102,92 @@ class WorkChunk:
 
 
 class ChunkResult:
-    """Outputs of one completed chunk, in sample order."""
+    """Outputs of one completed chunk, in sample order.
 
-    def __init__(self, chunk_index, indices, parameters, outputs):
+    ``telemetry`` is ``None`` or a picklable dict (spans, metrics,
+    timings) riding back to the runner, which persists it -- workers do
+    not know the store path.
+    """
+
+    def __init__(self, chunk_index, indices, parameters, outputs,
+                 telemetry=None):
         self.chunk_index = int(chunk_index)
         self.indices = np.asarray(indices, dtype=int)
         self.parameters = np.asarray(parameters, dtype=float)
         self.outputs = np.asarray(outputs, dtype=float)
+        self.telemetry = telemetry
+
+
+def _worker_label():
+    """``pid:thread-name`` -- unique per worker of every backend."""
+    return f"{os.getpid()}:{threading.current_thread().name}"
+
+
+def _stamp_dispatch(chunk):
+    """Record submit-time wall clock on the chunk (queue-wait origin)."""
+    chunk.dispatch_walltime = time.time()
+    return chunk
 
 
 def evaluate_chunk(model, chunk):
-    """Evaluate every sample of a chunk with an already-built model."""
-    outputs = [
-        np.asarray(model(chunk.parameters[row]), dtype=float)
-        for row in range(chunk.parameters.shape[0])
-    ]
+    """Evaluate every sample of a chunk with an already-built model.
+
+    When the chunk asks for telemetry (or defers to an enabled global
+    flag), the evaluation runs inside a capture scope: a ``chunk`` span
+    wrapping one ``sample`` span per row, plus whatever ambient metrics
+    the solver stack emits (cache hits, coupled steps...).  The capture
+    is summarized into a picklable ``ChunkResult.telemetry`` dict.
+    Disabled, this function is byte-for-byte the old loop -- no span
+    objects, no collector.
+    """
+    should_capture = getattr(chunk, "capture_telemetry", None)
+    if should_capture is None:
+        should_capture = telemetry.enabled()
+    if not should_capture:
+        outputs = [
+            np.asarray(model(chunk.parameters[row]), dtype=float)
+            for row in range(chunk.parameters.shape[0])
+        ]
+        return ChunkResult(
+            chunk.chunk_index, chunk.indices, chunk.parameters,
+            np.stack(outputs),
+        )
+
+    start_walltime = time.time()
+    start = time.perf_counter()
+    with telemetry.capture() as collected:
+        with telemetry.span(
+            "chunk",
+            chunk=chunk.chunk_index,
+            samples=int(chunk.indices.size),
+        ):
+            outputs = []
+            for row in range(chunk.parameters.shape[0]):
+                with telemetry.span("sample",
+                                    index=int(chunk.indices[row])):
+                    outputs.append(
+                        np.asarray(model(chunk.parameters[row]),
+                                   dtype=float)
+                    )
+    wall_s = time.perf_counter() - start
+    record = {
+        "chunk": chunk.chunk_index,
+        "samples": int(chunk.indices.size),
+        "worker": _worker_label(),
+        "wall_s": wall_s,
+        "start_walltime": start_walltime,
+        "end_walltime": time.time(),
+        "events": collected.events,
+        "metrics": collected.registry.as_dict(),
+    }
+    dispatched = getattr(chunk, "dispatch_walltime", None)
+    if dispatched is not None:
+        # Wall clocks are comparable across processes of one machine;
+        # clamp tiny negative skew to zero.
+        record["queue_wait_s"] = max(0.0, start_walltime - dispatched)
     return ChunkResult(
         chunk.chunk_index, chunk.indices, chunk.parameters,
-        np.stack(outputs),
+        np.stack(outputs), telemetry=record,
     )
 
 
@@ -147,7 +228,7 @@ class SerialExecutor(Executor):
     def run_chunks(self, model_source, chunks):
         model = resolve_model(model_source)
         for chunk in chunks:
-            yield evaluate_chunk(model, chunk)
+            yield evaluate_chunk(model, _stamp_dispatch(chunk))
 
 
 # ----------------------------------------------------------------------
@@ -224,7 +305,8 @@ class ParallelExecutor(Executor):
             queue = iter(chunks)
             pending = set()
             for chunk in queue:
-                pending.add(pool.submit(_worker_evaluate_chunk, chunk))
+                pending.add(pool.submit(_worker_evaluate_chunk,
+                                        _stamp_dispatch(chunk)))
                 if len(pending) >= self.max_pending:
                     break
             while pending:
@@ -232,7 +314,8 @@ class ParallelExecutor(Executor):
                 for future in done:
                     yield future.result()
                 for chunk in queue:
-                    pending.add(pool.submit(_worker_evaluate_chunk, chunk))
+                    pending.add(pool.submit(_worker_evaluate_chunk,
+                                            _stamp_dispatch(chunk)))
                     if len(pending) >= self.max_pending:
                         break
 
@@ -354,7 +437,7 @@ class FuturesExecutor(Executor):
         queue = iter(chunks)
         pending = set()
         for chunk in queue:
-            pending.add(pool.submit(task, chunk))
+            pending.add(pool.submit(task, _stamp_dispatch(chunk)))
             if len(pending) >= max_pending:
                 break
         while pending:
@@ -362,7 +445,7 @@ class FuturesExecutor(Executor):
             for future in done:
                 yield future.result()
             for chunk in queue:
-                pending.add(pool.submit(task, chunk))
+                pending.add(pool.submit(task, _stamp_dispatch(chunk)))
                 if len(pending) >= max_pending:
                     break
 

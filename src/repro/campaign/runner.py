@@ -26,9 +26,13 @@ The runner is deliberately executor-agnostic and deterministic:
   round-trips float64 exactly.
 """
 
+import inspect
+import time
+
 import numpy as np
 
 from ..errors import CampaignError
+from ..telemetry import MetricsRegistry, tracing
 from ..uq.sampling import map_to_distributions
 from . import registry
 from .executor import WorkChunk, make_executor
@@ -173,6 +177,115 @@ class CampaignResult:
 
 
 # ----------------------------------------------------------------------
+# Progress and telemetry plumbing
+# ----------------------------------------------------------------------
+def _progress_adapter(progress):
+    """Wrap a progress callback into an event-dict dispatcher.
+
+    Two callback styles are supported: the legacy ``progress(done,
+    total)`` positional pair (anything accepting >= 2 positional
+    arguments, including ``*args``), and the telemetry style
+    ``progress(event)`` receiving the full heartbeat dict (done, total,
+    EWMA chunk rate, ETA).  Detection is by signature, so existing
+    callers keep working unchanged.
+    """
+    if progress is None:
+        return None
+    try:
+        parameters = inspect.signature(progress).parameters.values()
+        positional = sum(
+            1 for p in parameters
+            if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+        )
+        varargs = any(p.kind == p.VAR_POSITIONAL for p in parameters)
+    except (TypeError, ValueError):
+        positional, varargs = 2, False
+    if varargs or positional >= 2:
+        def dispatch(event):
+            progress(event["done"], event["total"])
+    else:
+        def dispatch(event):
+            progress(event)
+    return dispatch
+
+
+class _Heartbeat:
+    """EWMA chunk-rate tracker producing ``heartbeat`` event dicts."""
+
+    #: EWMA smoothing: ~the last few chunks dominate, so the rate (and
+    #: ETA) adapts to stragglers without whiplashing on one fast chunk.
+    alpha = 0.3
+
+    def __init__(self, total):
+        self.total = int(total)
+        self.rate = None
+        self._origin = time.perf_counter()
+        self._last = self._origin
+
+    def beat(self, done):
+        now = time.perf_counter()
+        interval = now - self._last
+        self._last = now
+        instantaneous = 1.0 / interval if interval > 0 else 0.0
+        if self.rate is None:
+            self.rate = instantaneous
+        else:
+            self.rate += self.alpha * (instantaneous - self.rate)
+        remaining = self.total - done
+        eta = remaining / self.rate if self.rate and self.rate > 0 else None
+        return {
+            "event": "heartbeat",
+            "done": int(done),
+            "total": self.total,
+            "rate_per_s": float(self.rate),
+            "eta_s": None if eta is None else float(eta),
+            "wall_s": now - self._origin,
+        }
+
+
+def _chunk_events(record):
+    """A worker's telemetry record -> the chunk's JSONL event list.
+
+    The first line is the ``chunk`` summary event (timings, worker,
+    merged sample metrics); the captured span events follow.
+    """
+    head = {
+        key: value for key, value in record.items() if key != "events"
+    }
+    head["event"] = "chunk"
+    return [head, *record.get("events", ())]
+
+
+def _merged_campaign_metrics(store, records):
+    """Merge per-chunk metric registries into one campaign registry.
+
+    Reads from the store when one exists (so a resumed run folds the
+    pre-kill chunks' metrics back in); falls back to this call's
+    in-memory records for store-less runs.  Per-chunk wall/queue times
+    are folded in as histograms, making straggler spread queryable from
+    ``metrics.json`` alone.
+    """
+    merged = MetricsRegistry()
+    if store is not None:
+        chunk_events = (
+            event
+            for index in store.telemetry_chunks()
+            for event in store.read_chunk_telemetry(index)
+            if event.get("event") == "chunk"
+        )
+    else:
+        chunk_events = iter(records.values())
+    for event in chunk_events:
+        if event.get("metrics"):
+            merged.merge(event["metrics"])
+        if "wall_s" in event:
+            merged.observe("chunk.wall_s", event["wall_s"])
+        if "queue_wait_s" in event:
+            merged.observe("chunk.queue_wait_s", event["queue_wait_s"])
+    return merged
+
+
+# ----------------------------------------------------------------------
 # Run / resume
 # ----------------------------------------------------------------------
 def _provenance_record(reducer, executor):
@@ -188,7 +301,7 @@ def _provenance_record(reducer, executor):
 
 
 def run_campaign(spec, store=None, executor=None, progress=None,
-                 reducer=None):
+                 reducer=None, telemetry=None):
     """Run (or finish) a campaign of any kind and return its result.
 
     The one execution/reduction path of the campaign engine: evaluates
@@ -220,13 +333,24 @@ def run_campaign(spec, store=None, executor=None, progress=None,
         :func:`~repro.campaign.executor.register_backend`) or an
         :class:`~repro.campaign.executor.Executor` instance.
     progress:
-        Optional ``progress(done_chunks, total_chunks)`` callback, called
-        after every chunk completion.
+        Optional callback called after every chunk completion -- either
+        the legacy ``progress(done_chunks, total_chunks)`` pair or a
+        single-argument ``progress(event)`` receiving the full
+        ``heartbeat`` telemetry event (done/total plus EWMA chunk rate
+        and ETA); the style is detected from the callback's signature.
     reducer:
         A :class:`~repro.campaign.reducer.Reducer` instance, a kind name,
         or a ``{"kind": ..., **options}`` dict; ``None`` falls back to
         the spec's ``reducer`` field and then to the spec kind's default
         (``"moments"`` / ``"jansen"``).
+    telemetry:
+        ``True``/``False`` forces per-chunk telemetry capture on/off for
+        this run; ``None`` (default) follows the global flag
+        (:func:`repro.telemetry.enabled`, env ``REPRO_TELEMETRY``).
+        With a store, captured telemetry is persisted under
+        ``<store>/telemetry/`` (per-chunk JSONL written *before* each
+        chunk's ``.npz``, an append-only ``run.jsonl``, and the merged
+        ``metrics.json``).
     """
     if not isinstance(spec, CampaignSpec):
         raise CampaignError(
@@ -234,6 +358,7 @@ def run_campaign(spec, store=None, executor=None, progress=None,
         )
     reducer = resolve_reducer(spec, reducer)
     executor = make_executor(executor)
+    capture = tracing.enabled() if telemetry is None else bool(telemetry)
     if store is not None and not isinstance(store, ArtifactStore):
         store = ArtifactStore(store)
     if store is not None:
@@ -287,12 +412,23 @@ def run_campaign(spec, store=None, executor=None, progress=None,
             return result.indices, result.parameters, result.outputs
         return store.read_chunk(chunk_index)
 
+    persist_telemetry = capture and store is not None
+    run_t0 = time.perf_counter()
+
     def fold_frontier():
         nonlocal next_fold
+        fold_events = []
         while next_fold < total and next_fold in available:
+            fold_start = time.perf_counter()
             indices, chunk_parameters, outputs = read_chunk(next_fold)
             reducer.fold(indices, outputs)
             parameters[indices] = chunk_parameters
+            if persist_telemetry:
+                fold_events.append({
+                    "event": "fold",
+                    "chunk": next_fold,
+                    "wall_s": time.perf_counter() - fold_start,
+                })
             next_fold += 1
             if checkpointing and (
                     next_fold == total
@@ -310,16 +446,40 @@ def run_campaign(spec, store=None, executor=None, progress=None,
                     {"__parameters__": parameters[:stop],
                      **reducer.state_dict()},
                 )
+        if fold_events:
+            store.append_run_events(fold_events)
 
     fold_frontier()
     num_evaluated = 0
     done = len(completed)
+    notify = _progress_adapter(progress)
+    heartbeat = _Heartbeat(total)
+    telemetry_records = {}
     pending = [index for index in range(total) if index not in completed]
+    if persist_telemetry:
+        store.append_run_events([{
+            "event": "run_start",
+            "total_chunks": total,
+            "completed_chunks": len(completed),
+            "walltime": time.time(),
+        }])
     if pending:
         chunks = campaign_chunks(spec, pending)
+        for chunk in chunks:
+            chunk.capture_telemetry = capture
         for result in executor.run_chunks(spec.scenario, chunks):
             num_evaluated += result.indices.size
+            record = getattr(result, "telemetry", None)
+            if record is not None:
+                telemetry_records[result.chunk_index] = record
             if store is not None:
+                # Telemetry first: a kill between the two writes leaves
+                # an orphan event file for a chunk that will be redone,
+                # never a completed chunk with missing telemetry.
+                if persist_telemetry and record is not None:
+                    store.write_chunk_telemetry(
+                        result.chunk_index, _chunk_events(record)
+                    )
                 # The store is the buffer: out-of-order completions wait
                 # on disk until the fold frontier reaches them, so a
                 # straggler low-index chunk cannot pile later chunks'
@@ -329,8 +489,21 @@ def run_campaign(spec, store=None, executor=None, progress=None,
                 memory_chunks[result.chunk_index] = result
             available.add(result.chunk_index)
             done += 1
-            if progress is not None:
-                progress(done, total)
+            if persist_telemetry:
+                complete = {
+                    "event": "chunk_complete",
+                    "chunk": result.chunk_index,
+                    "done": done,
+                    "total": total,
+                }
+                if record is not None:
+                    complete["wall_s"] = record["wall_s"]
+                    complete["worker"] = record["worker"]
+                    if "queue_wait_s" in record:
+                        complete["queue_wait_s"] = record["queue_wait_s"]
+                store.append_run_events([complete])
+            if notify is not None:
+                notify(heartbeat.beat(done))
             fold_frontier()
     if next_fold != total:
         raise CampaignError(
@@ -341,10 +514,20 @@ def run_campaign(spec, store=None, executor=None, progress=None,
     result = reducer.finalize(spec, parameters, num_evaluated)
     if store is not None:
         store.write_summary(result.summary())
+        if persist_telemetry:
+            merged = _merged_campaign_metrics(store, telemetry_records)
+            store.write_telemetry_metrics(merged.as_dict())
+            store.append_run_events([{
+                "event": "run_complete",
+                "total_chunks": total,
+                "num_evaluated": int(num_evaluated),
+                "wall_s": time.perf_counter() - run_t0,
+            }])
     return result
 
 
-def resume_campaign(store, executor=None, progress=None, reducer=None):
+def resume_campaign(store, executor=None, progress=None, reducer=None,
+                    telemetry=None):
     """Finish the campaign pinned in an existing store.
 
     Reads the spec from the manifest, evaluates only the missing chunks
@@ -366,5 +549,5 @@ def resume_campaign(store, executor=None, progress=None, reducer=None):
     spec = store.load_spec()
     return run_campaign(
         spec, store=store, executor=executor, progress=progress,
-        reducer=reducer,
+        reducer=reducer, telemetry=telemetry,
     )

@@ -11,6 +11,10 @@ Layout of a store directory::
             ...
         reducer_state.npz      # checkpointed reduction state (optional)
         summary.json           # written once the campaign completes
+        telemetry/             # optional observability layer
+            chunk_000000.jsonl # per-chunk spans + metrics (atomic)
+            run.jsonl          # run-scoped events (append-only)
+            metrics.json       # merged campaign MetricsRegistry
 
 Chunk files are written atomically (temp file + ``os.replace``), so a
 killed process can never leave a half-written chunk behind: on resume a
@@ -21,6 +25,13 @@ the reducer's running state after every folded chunk (same atomic write
 discipline), so a resume restores the reduction itself rather than
 re-folding every chunk; stores without it -- including every pre-reducer
 store -- simply re-fold, which is bit-identical by construction.
+
+The ``telemetry/`` subtree is strictly additive and follows the same
+crash discipline: per-chunk event files are atomic (written *before*
+the chunk ``.npz``, so a completed chunk always has its telemetry),
+``run.jsonl`` is append-only across resumes, and a store without any of
+it remains fully usable -- telemetry readers return empty results
+instead of raising.
 """
 
 import json
@@ -30,12 +41,14 @@ import tempfile
 import numpy as np
 
 from ..errors import CampaignError
+from ..telemetry import append_events, read_events, write_events
 from .spec import CampaignSpec
 
 FORMAT_VERSION = 1
 _CHUNK_DIR = "chunks"
 _REDUCER_STATE = "reducer_state.npz"
 _STATE_META_KEY = "__meta__"
+_TELEMETRY_DIR = "telemetry"
 
 
 class ArtifactStore:
@@ -229,6 +242,98 @@ class ArtifactStore:
         except (OSError, ValueError, KeyError, json.JSONDecodeError):
             return None
         return meta, arrays
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    @property
+    def telemetry_dir(self):
+        return os.path.join(self.path, _TELEMETRY_DIR)
+
+    @property
+    def run_log_path(self):
+        """The append-only run-scoped event log (``telemetry/run.jsonl``)."""
+        return os.path.join(self.telemetry_dir, "run.jsonl")
+
+    @property
+    def telemetry_metrics_path(self):
+        return os.path.join(self.telemetry_dir, "metrics.json")
+
+    def chunk_telemetry_path(self, chunk_index):
+        return os.path.join(
+            self.telemetry_dir, f"chunk_{int(chunk_index):06d}.jsonl"
+        )
+
+    def telemetry_chunks(self):
+        """Sorted indices of every chunk with a telemetry event file."""
+        if not os.path.isdir(self.telemetry_dir):
+            return []
+        indices = []
+        for name in os.listdir(self.telemetry_dir):
+            if name.startswith("chunk_") and name.endswith(".jsonl"):
+                try:
+                    indices.append(
+                        int(name[len("chunk_"):-len(".jsonl")])
+                    )
+                except ValueError:
+                    continue
+        return sorted(indices)
+
+    def write_chunk_telemetry(self, chunk_index, events):
+        """Atomically persist one chunk's telemetry events (JSONL).
+
+        Called by the runner *before* ``write_chunk``: a kill between
+        the two writes leaves an orphan telemetry file for a chunk that
+        will be recomputed (and its telemetry rewritten), never a
+        completed chunk with missing telemetry.
+        """
+        return write_events(
+            self.chunk_telemetry_path(chunk_index), events
+        )
+
+    def read_chunk_telemetry(self, chunk_index):
+        """One chunk's telemetry events (``[]`` when never captured)."""
+        path = self.chunk_telemetry_path(chunk_index)
+        if not os.path.isfile(path):
+            return []
+        return read_events(path)
+
+    def append_run_events(self, events):
+        """Append run-scoped events to ``telemetry/run.jsonl``."""
+        return append_events(self.run_log_path, events)
+
+    def read_run_events(self):
+        """All run-scoped events (``[]`` for stores without telemetry)."""
+        if not os.path.isfile(self.run_log_path):
+            return []
+        return read_events(self.run_log_path)
+
+    def write_telemetry_metrics(self, metrics):
+        """Persist the merged campaign metrics (``as_dict`` payload)."""
+        self._write_json(self.telemetry_metrics_path, metrics)
+        return self.telemetry_metrics_path
+
+    def read_telemetry_metrics(self):
+        """The merged campaign metrics dict, or ``None``."""
+        if not os.path.isfile(self.telemetry_metrics_path):
+            return None
+        return self._read_json(self.telemetry_metrics_path)
+
+    def read_telemetry(self):
+        """Everything the telemetry layer persisted, in chunk order.
+
+        Returns ``{"chunks": {index: events}, "run": events,
+        "metrics": dict-or-None}``; all parts empty/None for stores
+        without telemetry, so report code can degrade gracefully.
+        """
+        return {
+            "chunks": {
+                index: self.read_chunk_telemetry(index)
+                for index in self.telemetry_chunks()
+            },
+            "run": self.read_run_events(),
+            "metrics": self.read_telemetry_metrics(),
+        }
 
     # ------------------------------------------------------------------
     # Summary

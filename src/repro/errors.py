@@ -67,3 +67,7 @@ class MeasurementError(ReproError):
 
 class CampaignError(ReproError):
     """Invalid campaign specification, store state or executor failure."""
+
+
+class TelemetryError(ReproError):
+    """Invalid telemetry event, metric operation or event-log state."""

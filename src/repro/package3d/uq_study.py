@@ -310,7 +310,7 @@ class Date16UncertaintyStudy:
         base_tolerance = self.solver.tolerance
         self.solver.tolerance = max(base_tolerance,
                                     0.01 * self.adaptive_tolerance)
-        before = self.solver.solver_statistics()
+        self.solver.begin_statistics_window()
         try:
             result = adaptive_implicit_euler(
                 self.solver.step_once,
@@ -322,16 +322,10 @@ class Date16UncertaintyStudy:
             )
         finally:
             self.solver.tolerance = base_tolerance
-        # The solver counters are lifetime-cumulative; attach this
-        # integration's delta so the cost report stays self-consistent
-        # across repeated evaluations (gauge entries pass through).
-        stats = self.solver.solver_statistics()
-        for key in ("coupled_steps", "thermal_solver_builds",
-                    "factorization_cache_hits",
-                    "factorization_cache_misses"):
-            if key in stats:
-                stats[key] -= before[key]
-        result.solver_stats = stats
+        # ``solver_statistics()`` reports the statistics window opened
+        # above, so this is exactly one integration's cost -- stable
+        # across repeated evaluations and shared caches.
+        result.solver_stats = self.solver.solver_statistics()
         self.last_adaptive_result = result
         wire_traces = np.stack([
             self.solver.topology.wire_temperatures(state)

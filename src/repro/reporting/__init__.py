@@ -13,6 +13,7 @@ from .figures import field_slice, fig5_data, fig7_data, fig8_data
 from .sensitivity import format_pce_summary, format_sensitivity_summary
 from .series import write_csv, write_series
 from .tables import format_table, format_table1, format_table2
+from .telemetry import format_timings_report, format_trace_summary
 from .vtk import write_rectilinear_vtk
 
 __all__ = [
@@ -24,6 +25,8 @@ __all__ = [
     "format_table",
     "format_table1",
     "format_table2",
+    "format_timings_report",
+    "format_trace_summary",
     "write_csv",
     "write_series",
     "fig5_data",

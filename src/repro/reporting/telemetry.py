@@ -1,0 +1,199 @@
+"""Telemetry reports: per-chunk timings, worker utilization, traces.
+
+Renders what an :class:`~repro.campaign.store.ArtifactStore`'s
+``telemetry/`` layer recorded -- the ``repro-campaign report --timings``
+and ``repro-campaign trace`` output.  All formatters accept the plain
+``store.read_telemetry()`` dict so they work on any store, including one
+produced on another machine, and degrade gracefully (a short notice)
+when the store carries no telemetry at all.
+"""
+
+from .tables import format_table
+
+
+def _seconds(value):
+    return f"{float(value):.4g}"
+
+
+def _chunk_records(telemetry):
+    """The ``chunk`` summary event of every chunk file, chunk-ordered."""
+    records = []
+    for index in sorted(telemetry.get("chunks", {})):
+        for event in telemetry["chunks"][index]:
+            if event.get("event") == "chunk":
+                records.append(event)
+                break
+    return records
+
+
+def format_timings_report(telemetry, top=None):
+    """Ranked per-chunk timing table plus straggler/utilization summary.
+
+    ``telemetry`` is ``store.read_telemetry()``.  Chunks are ranked by
+    wall time (slowest first, ``top`` limits the table); the summary
+    lines quantify straggler spread (max/median wall), per-worker
+    utilization (busy seconds and chunk counts) and -- when the solver
+    stack emitted cache counters -- the factorization-cache hit rate.
+    """
+    records = _chunk_records(telemetry)
+    if not records:
+        return (
+            "No telemetry recorded in this store (run with telemetry "
+            "enabled to collect per-chunk timings)."
+        )
+
+    ranked = sorted(records, key=lambda r: -float(r.get("wall_s", 0.0)))
+    if top is not None:
+        ranked = ranked[: int(top)]
+    rows = [
+        (
+            record["chunk"],
+            record.get("samples", "-"),
+            _seconds(record.get("wall_s", 0.0)),
+            _seconds(record["queue_wait_s"])
+            if "queue_wait_s" in record else "-",
+            record.get("worker", "-"),
+        )
+        for record in ranked
+    ]
+    lines = [
+        format_table(
+            ("Chunk", "Samples", "Wall [s]", "Queue wait [s]", "Worker"),
+            rows,
+            title="Per-chunk timings (slowest first)",
+        )
+    ]
+
+    walls = sorted(
+        float(record.get("wall_s", 0.0)) for record in records
+    )
+    median = walls[len(walls) // 2]
+    straggler = walls[-1] / median if median > 0 else float("inf")
+    lines.append("")
+    lines.append(
+        f"Chunks: {len(records)}  total busy {_seconds(sum(walls))} s  "
+        f"median {_seconds(median)} s  max {_seconds(walls[-1])} s  "
+        f"straggler ratio {straggler:.2f}x"
+    )
+
+    workers = {}
+    for record in records:
+        worker = record.get("worker", "?")
+        busy, count = workers.get(worker, (0.0, 0))
+        workers[worker] = (
+            busy + float(record.get("wall_s", 0.0)), count + 1
+        )
+    if workers:
+        total_busy = sum(busy for busy, _ in workers.values()) or 1.0
+        worker_rows = [
+            (
+                worker,
+                count,
+                _seconds(busy),
+                f"{100.0 * busy / total_busy:.1f}%",
+            )
+            for worker, (busy, count) in sorted(
+                workers.items(), key=lambda item: -item[1][0]
+            )
+        ]
+        lines.append("")
+        lines.append(
+            format_table(
+                ("Worker", "Chunks", "Busy [s]", "Share"),
+                worker_rows,
+                title="Worker utilization",
+            )
+        )
+
+    cache_line = _cache_hit_rate_line(telemetry)
+    if cache_line:
+        lines.append("")
+        lines.append(cache_line)
+    return "\n".join(lines)
+
+
+def _cache_hit_rate_line(telemetry):
+    """One-line cache hit rate from the merged metrics, or ``None``."""
+    metrics = telemetry.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    hits = counters.get("cache.hits", 0)
+    misses = counters.get("cache.misses", 0)
+    total = hits + misses
+    if total <= 0:
+        return None
+    return (
+        f"Factorization cache: {int(hits)} hits / {int(misses)} misses "
+        f"({100.0 * hits / total:.1f}% hit rate)"
+    )
+
+
+def format_trace_summary(telemetry):
+    """Event inventory plus span duration statistics for one store.
+
+    The ``repro-campaign trace`` default view: how many events of each
+    kind the store holds, then per-span-name duration statistics
+    (count / total / mean / max) aggregated over every chunk file.
+    """
+    chunk_events = [
+        event
+        for index in sorted(telemetry.get("chunks", {}))
+        for event in telemetry["chunks"][index]
+    ]
+    run_events = telemetry.get("run", [])
+    all_events = run_events + chunk_events
+    if not all_events:
+        return "No telemetry recorded in this store."
+
+    kinds = {}
+    for event in all_events:
+        kind = event.get("event", "?")
+        kinds[kind] = kinds.get(kind, 0) + 1
+    lines = [
+        format_table(
+            ("Event", "Count"),
+            sorted(kinds.items()),
+            title="Event inventory",
+        )
+    ]
+
+    spans = {}
+    for event in chunk_events:
+        if event.get("event") != "span":
+            continue
+        name = event.get("name", "?")
+        count, total, longest = spans.get(name, (0, 0.0, 0.0))
+        wall = float(event.get("wall_s", 0.0))
+        spans[name] = (count + 1, total + wall, max(longest, wall))
+    if spans:
+        span_rows = [
+            (
+                name,
+                count,
+                _seconds(total),
+                _seconds(total / count),
+                _seconds(longest),
+            )
+            for name, (count, total, longest) in sorted(
+                spans.items(), key=lambda item: -item[1][1]
+            )
+        ]
+        lines.append("")
+        lines.append(
+            format_table(
+                ("Span", "Count", "Total [s]", "Mean [s]", "Max [s]"),
+                span_rows,
+                title="Span durations",
+            )
+        )
+
+    counters = (telemetry.get("metrics") or {}).get("counters") or {}
+    if counters:
+        lines.append("")
+        lines.append(
+            format_table(
+                ("Counter", "Value"),
+                [(name, int(counters[name])) for name in sorted(counters)],
+                title="Campaign counters",
+            )
+        )
+    return "\n".join(lines)

@@ -36,6 +36,7 @@ import inspect
 import numpy as np
 
 from ..errors import SolverError
+from ..telemetry import tracing as telemetry
 
 _ERROR_ESTIMATES = ("doubling", "predictor")
 
@@ -289,6 +290,9 @@ def adaptive_implicit_euler(
 
     for _ in range(max_steps):
         if time >= end_time - 1e-12 * end_time:
+            telemetry.increment("adaptive.accepted", accepted)
+            telemetry.increment("adaptive.rejected", rejected)
+            telemetry.increment("adaptive.solves", num_solves)
             return AdaptiveStepResult(
                 times, states, accepted, rejected, step_sizes,
                 min_dt_violations, num_solves=num_solves,

@@ -24,6 +24,8 @@ import numpy as np
 import scipy.sparse.linalg as spla
 
 from ..errors import SolverError
+from ..telemetry import MetricsRegistry
+from ..telemetry import tracing as telemetry
 
 
 def matrix_fingerprint(matrix):
@@ -90,11 +92,23 @@ class FactorizationCache:
             )
         self.max_entries = max_entries
         self._entries = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        #: Hit/miss counters live in a per-cache metrics registry; the
+        #: ``hits`` / ``misses`` attributes and ``stats()`` dict below
+        #: are thin views over it.
+        self.metrics = MetricsRegistry()
 
     def __len__(self):
         return len(self._entries)
+
+    @property
+    def hits(self):
+        """Lifetime cache hits (view over the metrics registry)."""
+        return int(self.metrics.counter_value("hits"))
+
+    @property
+    def misses(self):
+        """Lifetime cache misses (view over the metrics registry)."""
+        return int(self.metrics.counter_value("misses"))
 
     def splu(self, matrix, symmetric=False):
         """``scipy.sparse.linalg.splu`` with content-addressed memoization.
@@ -106,9 +120,11 @@ class FactorizationCache:
         key = (matrix_fingerprint(matrix), bool(symmetric))
         if key in self._entries:
             self._entries.move_to_end(key)
-            self.hits += 1
+            self.metrics.increment("hits")
+            telemetry.increment("cache.hits")
             return self._entries[key]
-        self.misses += 1
+        self.metrics.increment("misses")
+        telemetry.increment("cache.misses")
         lu = checked_splu(matrix, symmetric=symmetric)
         self._entries[key] = lu
         while len(self._entries) > self.max_entries:

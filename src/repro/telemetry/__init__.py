@@ -1,0 +1,69 @@
+"""Telemetry: span tracing, metrics, and persisted event logs.
+
+The observability layer of the campaign stack (see DESIGN.md
+"Telemetry"):
+
+* :mod:`~repro.telemetry.tracing` -- a contextvar-scoped span tracer
+  (:func:`span`, :func:`capture`) and ambient metric emission
+  (:func:`increment` / :func:`observe` / :func:`gauge`), all no-ops
+  costing a single attribute check when no collector is active;
+* :mod:`~repro.telemetry.metrics` -- :class:`MetricsRegistry`, named
+  counters/gauges/histograms with a cross-worker :meth:`~MetricsRegistry
+  .merge` mirroring :meth:`repro.uq.statistics.RunningStatistics.merge`;
+* :mod:`~repro.telemetry.events` -- the JSONL event schema
+  (:data:`EVENT_SCHEMA`, :func:`validate_event`) and the append-safe
+  :class:`EventSink` / reader used by the campaign
+  :class:`~repro.campaign.store.ArtifactStore`'s ``telemetry/`` layout.
+
+Campaign runs capture telemetry by default (cheap: per chunk, not per
+solve); :func:`disable` or ``REPRO_TELEMETRY=0`` turns the whole layer
+into no-ops.
+"""
+
+from .events import (
+    EVENT_SCHEMA,
+    EventSink,
+    append_events,
+    read_events,
+    validate_event,
+    validate_events,
+    write_events,
+)
+from .metrics import MetricsRegistry
+from .tracing import (
+    Collector,
+    NOOP_SPAN,
+    Span,
+    active_collector,
+    capture,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    increment,
+    observe,
+    span,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Collector",
+    "Span",
+    "NOOP_SPAN",
+    "span",
+    "capture",
+    "active_collector",
+    "increment",
+    "observe",
+    "gauge",
+    "enable",
+    "disable",
+    "enabled",
+    "EVENT_SCHEMA",
+    "EventSink",
+    "validate_event",
+    "validate_events",
+    "read_events",
+    "write_events",
+    "append_events",
+]

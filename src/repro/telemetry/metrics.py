@@ -1,0 +1,231 @@
+"""Process-local metrics registry: named counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is the structured replacement for the ad-hoc
+counter dicts that used to live on individual solvers
+(``FactorizationCache.statistics()``-style shapes): every metric has a
+name, one of three well-defined semantics, and a :meth:`MetricsRegistry.
+merge` that mirrors :meth:`repro.uq.statistics.RunningStatistics.merge`,
+so per-worker registries of a distributed campaign reduce without
+revisiting any sample.
+
+* **counter** -- monotonically accumulated float (``increment``); merge
+  adds.
+* **gauge** -- last-written value (``gauge``); merge takes the other
+  registry's value when it has one (last writer wins across a merge
+  chain).
+* **histogram** -- streaming count/mean/variance/min/max over observed
+  values (``observe``), implemented with the same Welford update and
+  Chan parallel combination as :class:`~repro.uq.statistics.
+  RunningStatistics`, so merging is order-robust and never revisits an
+  observation.
+
+The registry is deliberately plain-data: :meth:`as_dict` /
+:meth:`from_dict` round-trip through JSON exactly (the Welford ``m2``
+moment is preserved verbatim), which is how per-chunk metric deltas
+travel from campaign workers back to the runner.
+"""
+
+import math
+
+from ..errors import TelemetryError
+
+
+class _Histogram:
+    """Welford accumulator over scalar observations (see module doc)."""
+
+    __slots__ = ("count", "mean", "m2", "minimum", "maximum")
+
+    def __init__(self, count=0, mean=0.0, m2=0.0,
+                 minimum=math.inf, maximum=-math.inf):
+        self.count = int(count)
+        self.mean = float(mean)
+        self.m2 = float(m2)
+        self.minimum = float(minimum)
+        self.maximum = float(maximum)
+
+    def observe(self, value):
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def merge(self, other):
+        """Chan parallel combination (RunningStatistics.merge's scalar
+        twin)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self.m2 = other.m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return self
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.mean += delta * (other.count / total)
+        self.m2 += other.m2 + delta * delta * (
+            self.count * other.count / total
+        )
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        self.count = total
+        return self
+
+    def std(self):
+        if self.count < 2:
+            return 0.0
+        return math.sqrt(self.m2 / (self.count - 1))
+
+    def as_dict(self):
+        data = {
+            "count": self.count,
+            "mean": self.mean,
+            "m2": self.m2,
+            "total": self.mean * self.count,
+            "std": self.std(),
+        }
+        if self.count:
+            data["min"] = self.minimum
+            data["max"] = self.maximum
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            count=data.get("count", 0),
+            mean=data.get("mean", 0.0),
+            m2=data.get("m2", 0.0),
+            minimum=data.get("min", math.inf),
+            maximum=data.get("max", -math.inf),
+        )
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms with a parallel ``merge``."""
+
+    def __init__(self):
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def increment(self, name, value=1):
+        """Add ``value`` to the named counter (created at zero)."""
+        self._counters[name] = self._counters.get(name, 0) + value
+        return self._counters[name]
+
+    def gauge(self, name, value):
+        """Set the named gauge to ``value`` (last writer wins)."""
+        self._gauges[name] = float(value)
+
+    def observe(self, name, value):
+        """Fold one observation into the named histogram."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = _Histogram()
+        histogram.observe(value)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def counter_value(self, name, default=0):
+        return self._counters.get(name, default)
+
+    def gauge_value(self, name, default=None):
+        return self._gauges.get(name, default)
+
+    def histogram_stats(self, name):
+        """The named histogram's stats dict, or ``None``."""
+        histogram = self._histograms.get(name)
+        return None if histogram is None else histogram.as_dict()
+
+    def names(self):
+        """Sorted names of every metric in the registry."""
+        return sorted(
+            set(self._counters) | set(self._gauges) | set(self._histograms)
+        )
+
+    def __len__(self):
+        return (
+            len(self._counters) + len(self._gauges) + len(self._histograms)
+        )
+
+    def clear(self):
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # ------------------------------------------------------------------
+    # Merge / serialization
+    # ------------------------------------------------------------------
+    def merge(self, other):
+        """Fold another registry (or its ``as_dict`` form) into this one.
+
+        Counters add, gauges take the incoming value, histograms combine
+        via the Chan/Welford parallel merge -- associative and
+        independent of merge order up to float round-off, exactly like
+        :meth:`repro.uq.statistics.RunningStatistics.merge`.  Returns
+        ``self`` for chaining.
+        """
+        if isinstance(other, dict):
+            other = MetricsRegistry.from_dict(other)
+        if not isinstance(other, MetricsRegistry):
+            raise TelemetryError(
+                f"can only merge MetricsRegistry (or its dict form), got "
+                f"{type(other).__name__}"
+            )
+        for name, value in other._counters.items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        self._gauges.update(other._gauges)
+        for name, histogram in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                mine = self._histograms[name] = _Histogram()
+            mine.merge(histogram)
+        return self
+
+    def as_dict(self):
+        """JSON-friendly snapshot (exact ``from_dict`` round trip)."""
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "histograms": {
+                name: histogram.as_dict()
+                for name, histogram in self._histograms.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        if not isinstance(data, dict):
+            raise TelemetryError(
+                f"metrics dict expected, got {type(data).__name__}"
+            )
+        registry = cls()
+        counters = data.get("counters", {})
+        gauges = data.get("gauges", {})
+        histograms = data.get("histograms", {})
+        for section in (counters, gauges, histograms):
+            if not isinstance(section, dict):
+                raise TelemetryError(
+                    "metrics sections must be dicts of name -> value"
+                )
+        registry._counters.update(counters)
+        for name, value in gauges.items():
+            registry._gauges[name] = float(value)
+        for name, stats in histograms.items():
+            registry._histograms[name] = _Histogram.from_dict(stats)
+        return registry
+
+    def __repr__(self):
+        return (
+            f"MetricsRegistry({len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges, "
+            f"{len(self._histograms)} histograms)"
+        )

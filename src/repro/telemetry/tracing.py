@@ -1,0 +1,202 @@
+"""Low-overhead span tracing and ambient metric emission.
+
+The tracer is built around one contextvar holding the **active
+collector** (``None`` by default).  Every instrumentation point --
+``span(...)``, ``increment(...)``, ``observe(...)``, ``gauge(...)`` --
+performs a single ``ContextVar.get()`` check and becomes a complete
+no-op when no collector is active: no span objects are allocated, no
+events are buffered, no sink is written.  That makes it safe to leave
+instrumentation in hot solver loops; the disabled-mode cost is one
+attribute check.
+
+Collection is explicitly scoped::
+
+    with capture() as collected:
+        with span("chunk", chunk=3):
+            with span("sample", index=17):
+                ...                      # nested, monotonic-clock timed
+        increment("solver.coupled_steps")
+    collected.events    # span event dicts, in completion order
+    collected.registry  # a MetricsRegistry of ambient metric emissions
+
+Because the scope lives in a :mod:`contextvars` context, captures in
+different threads are independent (each worker thread of a thread-pool
+executor collects its own chunk without cross-talk), and nesting
+``capture()`` restores the outer collector on exit.
+
+A module-level *enabled* flag (default on; ``REPRO_TELEMETRY=0``
+disables) decides whether the campaign machinery installs captures at
+all -- it gates who calls ``capture()``, while the contextvar decides
+what every individual instrumentation point costs.
+"""
+
+import contextvars
+import os
+import time
+from contextlib import contextmanager
+
+from .metrics import MetricsRegistry
+
+#: The active collector of the current context (``None`` -> no-op).
+_COLLECTOR = contextvars.ContextVar("repro_telemetry_collector",
+                                    default=None)
+#: The innermost open span of the current context (for parent links).
+_CURRENT_SPAN = contextvars.ContextVar("repro_telemetry_span",
+                                       default=None)
+
+_ENABLED = os.environ.get("REPRO_TELEMETRY", "1").lower() not in (
+    "0", "false", "off", "no",
+)
+
+
+def enabled():
+    """Whether campaign-level telemetry capture is globally enabled."""
+    return _ENABLED
+
+
+def enable():
+    """Globally enable campaign-level telemetry capture."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable():
+    """Globally disable campaign-level telemetry capture (no sinks, no
+    span objects anywhere)."""
+    global _ENABLED
+    _ENABLED = False
+
+
+class _NoOpSpan:
+    """Shared do-nothing span: the disabled-mode fast path.
+
+    A single module-level instance is returned by every ``span()`` call
+    made without an active collector, so the hot path allocates
+    nothing.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        return False
+
+    def set(self, **attributes):
+        """Attribute attachment is a no-op without a collector."""
+
+
+NOOP_SPAN = _NoOpSpan()
+
+
+class Span:
+    """One timed, contextvar-nested span (use via :func:`span`)."""
+
+    __slots__ = ("name", "attributes", "_collector", "_start", "_token")
+
+    def __init__(self, collector, name, attributes):
+        self.name = str(name)
+        self.attributes = attributes
+        self._collector = collector
+        self._start = None
+        self._token = None
+
+    def set(self, **attributes):
+        """Attach further attributes to the span before it closes."""
+        self.attributes.update(attributes)
+
+    def __enter__(self):
+        self._token = _CURRENT_SPAN.set(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        end = time.perf_counter()
+        _CURRENT_SPAN.reset(self._token)
+        parent = _CURRENT_SPAN.get()
+        event = {
+            "event": "span",
+            "name": self.name,
+            "t0_s": self._start - self._collector.t0,
+            "wall_s": end - self._start,
+            "parent": None if parent is None else parent.name,
+        }
+        if self.attributes:
+            event["attrs"] = dict(self.attributes)
+        if exc_type is not None:
+            event["error"] = exc_type.__name__
+        self._collector.emit(event)
+        return False
+
+
+class Collector:
+    """Buffer of one capture scope: span events + a metrics registry."""
+
+    def __init__(self):
+        self.events = []
+        self.registry = MetricsRegistry()
+        #: Monotonic-clock origin; span ``t0_s`` offsets are relative to
+        #: it, so events within one capture order consistently.
+        self.t0 = time.perf_counter()
+
+    def emit(self, event):
+        self.events.append(event)
+
+
+def span(name, **attributes):
+    """A timed span context manager (no-op without an active collector).
+
+    Usage: ``with span("chunk", chunk=3): ...``.  Spans nest through a
+    contextvar: the emitted event records the enclosing span's name as
+    ``parent``.  Attributes must be JSON-serializable.
+    """
+    collector = _COLLECTOR.get()
+    if collector is None:
+        return NOOP_SPAN
+    return Span(collector, name, attributes)
+
+
+def increment(name, value=1):
+    """Increment a counter on the active collector's registry (no-op
+    without one)."""
+    collector = _COLLECTOR.get()
+    if collector is not None:
+        collector.registry.increment(name, value)
+
+
+def observe(name, value):
+    """Fold an observation into the active collector's registry (no-op
+    without one)."""
+    collector = _COLLECTOR.get()
+    if collector is not None:
+        collector.registry.observe(name, value)
+
+
+def gauge(name, value):
+    """Set a gauge on the active collector's registry (no-op without
+    one)."""
+    collector = _COLLECTOR.get()
+    if collector is not None:
+        collector.registry.gauge(name, value)
+
+
+def active_collector():
+    """The current context's collector, or ``None``."""
+    return _COLLECTOR.get()
+
+
+@contextmanager
+def capture():
+    """Install a fresh :class:`Collector` for the dynamic extent.
+
+    Yields the collector; on exit the previous collector (usually
+    ``None``) is restored, so captures nest and concurrent threads
+    collect independently.
+    """
+    collector = Collector()
+    token = _COLLECTOR.set(collector)
+    try:
+        yield collector
+    finally:
+        _COLLECTOR.reset(token)

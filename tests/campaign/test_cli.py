@@ -227,3 +227,69 @@ class TestProvenance:
         assert provenance["reducer"] == "jansen"
         assert provenance["executor"] == "process"
         assert provenance["package_version"]
+
+
+class TestTelemetryCli:
+    @pytest.fixture
+    def telemetry_store(self, toy_spec_path, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["run", toy_spec_path, "--store", store,
+                     "--telemetry", "--quiet"]) == 0
+        capsys.readouterr()
+        return store
+
+    def test_report_timings_renders_tables(self, telemetry_store, capsys):
+        assert main(["report", telemetry_store, "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-chunk timings" in out
+        assert "Worker utilization" in out
+        assert "straggler ratio" in out
+
+    def test_report_timings_without_telemetry_degrades(self, toy_spec_path,
+                                                       tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["run", toy_spec_path, "--store", store,
+                     "--no-telemetry", "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["report", store, "--timings"]) == 0
+        assert "No telemetry recorded" in capsys.readouterr().out
+
+    def test_trace_summary(self, telemetry_store, capsys):
+        assert main(["trace", telemetry_store]) == 0
+        out = capsys.readouterr().out
+        assert "Event inventory" in out
+        assert "Span durations" in out
+        assert "run_complete" in out
+
+    def test_trace_validate(self, telemetry_store, capsys):
+        assert main(["trace", telemetry_store, "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "validated" in out
+        assert "3 chunk logs" in out
+
+    def test_trace_validate_fails_without_telemetry(self, toy_spec_path,
+                                                    tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["run", toy_spec_path, "--store", store,
+                     "--no-telemetry", "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["trace", store, "--validate"]) == 1
+        assert "no-telemetry" in capsys.readouterr().err
+
+    def test_trace_dump_is_machine_readable(self, telemetry_store, capsys):
+        import json
+
+        assert main(["trace", telemetry_store, "--dump"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert len(events) > 0
+        kinds = {event["event"] for event in events}
+        assert {"run_start", "chunk", "span", "run_complete"} <= kinds
+
+    def test_no_telemetry_flag_leaves_store_clean(self, toy_spec_path,
+                                                  tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["run", toy_spec_path, "--store", store,
+                     "--no-telemetry", "--quiet"]) == 0
+        capsys.readouterr()
+        assert ArtifactStore(store).telemetry_chunks() == []

@@ -279,3 +279,70 @@ class TestPerDtSolverReuse:
         problem = build_wire_bridge_problem()
         with pytest.raises(SolverError):
             CoupledSolver(problem, mode="fast", max_thermal_solvers=0)
+
+
+class TestStatisticsWindow:
+    """solver_statistics() reports per-window deltas (default: since
+    construction or the last begin_statistics_window), with
+    ``lifetime=True`` as the escape hatch back to raw totals."""
+
+    def test_counters_reset_with_a_new_window(self):
+        problem = build_wire_bridge_problem()
+        solver = CoupledSolver(problem, mode="fast", tolerance=1e-4)
+        state = problem.initial_temperatures()
+        solver.step_once(state, 0.5)
+        solver.step_once(state, 0.5)
+        assert solver.solver_statistics()["coupled_steps"] == 2
+
+        solver.begin_statistics_window()
+        fresh = solver.solver_statistics()
+        assert fresh["coupled_steps"] == 0
+        assert fresh["thermal_solver_builds"] == 0
+
+        solver.step_once(state, 0.5)
+        window = solver.solver_statistics()
+        assert window["coupled_steps"] == 1
+        # dt=0.5 was already cached before the window opened.
+        assert window["thermal_solver_builds"] == 0
+        assert window["mode"] == "fast"
+        assert window["thermal_solvers_cached"] == 1
+
+    def test_lifetime_escape_hatch(self):
+        problem = build_wire_bridge_problem()
+        solver = CoupledSolver(problem, mode="fast", tolerance=1e-4)
+        state = problem.initial_temperatures()
+        solver.step_once(state, 0.5)
+        solver.begin_statistics_window()
+        solver.step_once(state, 0.5)
+        assert solver.solver_statistics()["coupled_steps"] == 1
+        lifetime = solver.solver_statistics(lifetime=True)
+        assert lifetime["coupled_steps"] == 2
+        assert lifetime["thermal_solver_builds"] == 1
+
+    def test_window_excludes_other_solvers_cache_traffic(self):
+        """Two solvers sharing one FactorizationCache: each solver's
+        window starts at its own construction, so the first solver's
+        hits/misses never leak into the second's per-run delta."""
+        from repro.solvers.cache import FactorizationCache
+
+        cache = FactorizationCache()
+        problem = build_wire_bridge_problem()
+        first = CoupledSolver(problem, mode="fast", tolerance=1e-4,
+                              factorization_cache=cache)
+        first.step_once(problem.initial_temperatures(), 0.5)
+        first_stats = first.solver_statistics()
+        assert first_stats["factorization_cache_misses"] == 2
+        assert first_stats["factorization_cache_hits"] == 0
+
+        second = CoupledSolver(problem, mode="fast", tolerance=1e-4,
+                               factorization_cache=cache)
+        second.step_once(problem.initial_temperatures(), 0.5)
+        second_stats = second.solver_statistics()
+        assert second_stats["coupled_steps"] == 1
+        # The second solver's setup reuses the first's factorizations:
+        # all hits inside its own window, zero inherited misses.
+        assert second_stats["factorization_cache_misses"] == 0
+        assert second_stats["factorization_cache_hits"] >= 1
+        # Lifetime view still shows the shared cache's full history.
+        lifetime = second.solver_statistics(lifetime=True)
+        assert lifetime["factorization_cache_misses"] == 2

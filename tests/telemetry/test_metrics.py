@@ -1,0 +1,160 @@
+"""MetricsRegistry: counters, gauges, Welford/Chan histograms, merge."""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import MetricsRegistry
+
+
+def _observe_all(registry, name, values):
+    for value in values:
+        registry.observe(name, value)
+    return registry
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.increment("hits")
+        registry.increment("hits", 4)
+        assert registry.counter_value("hits") == 5
+        assert registry.counter_value("absent") == 0
+        assert registry.counter_value("absent", default=-1) == -1
+
+    def test_gauge_last_writer_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("workers", 2)
+        registry.gauge("workers", 8)
+        assert registry.gauge_value("workers") == 8.0
+        assert registry.gauge_value("absent") is None
+
+    def test_names_and_len_cover_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.increment("a")
+        registry.gauge("b", 1.0)
+        registry.observe("c", 2.0)
+        assert registry.names() == ["a", "b", "c"]
+        assert len(registry) == 3
+        registry.clear()
+        assert len(registry) == 0
+
+
+class TestHistogram:
+    def test_matches_closed_form_moments(self):
+        values = [1.0, 2.0, 4.0, 8.0, 16.0]
+        registry = _observe_all(MetricsRegistry(), "wall", values)
+        stats = registry.histogram_stats("wall")
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert stats["count"] == len(values)
+        assert math.isclose(stats["mean"], mean)
+        assert math.isclose(stats["std"], math.sqrt(variance))
+        assert stats["min"] == 1.0
+        assert stats["max"] == 16.0
+        assert math.isclose(stats["total"], sum(values))
+
+    def test_absent_histogram_is_none(self):
+        assert MetricsRegistry().histogram_stats("nope") is None
+
+    def test_single_observation_has_zero_std(self):
+        registry = _observe_all(MetricsRegistry(), "x", [3.5])
+        assert registry.histogram_stats("x")["std"] == 0.0
+
+
+class TestMerge:
+    def test_counters_add_gauges_overwrite(self):
+        left = MetricsRegistry()
+        left.increment("hits", 3)
+        left.gauge("workers", 2)
+        right = MetricsRegistry()
+        right.increment("hits", 4)
+        right.increment("misses", 1)
+        right.gauge("workers", 6)
+        left.merge(right)
+        assert left.counter_value("hits") == 7
+        assert left.counter_value("misses") == 1
+        assert left.gauge_value("workers") == 6.0
+
+    def test_merge_with_empty_other_side_is_identity(self):
+        registry = _observe_all(MetricsRegistry(), "x", [1.0, 2.0])
+        before = registry.histogram_stats("x")
+        registry.merge(MetricsRegistry())
+        assert registry.histogram_stats("x") == before
+        empty = MetricsRegistry().merge(registry)
+        assert empty.histogram_stats("x") == before
+
+    def test_histogram_merge_matches_single_pass(self):
+        """Chan combination of partial histograms == one Welford pass."""
+        rng = random.Random(42)
+        values = [rng.gauss(5.0, 2.0) for _ in range(200)]
+        single = _observe_all(MetricsRegistry(), "x", values)
+        merged = MetricsRegistry()
+        for start in range(0, len(values), 17):
+            merged.merge(
+                _observe_all(MetricsRegistry(), "x",
+                             values[start:start + 17])
+            )
+        want = single.histogram_stats("x")
+        got = merged.histogram_stats("x")
+        assert got["count"] == want["count"]
+        for key in ("mean", "std", "min", "max"):
+            assert math.isclose(got[key], want[key], rel_tol=1e-12)
+
+    def test_merge_is_associative(self):
+        """(a + b) + c == a + (b + c) up to float round-off."""
+        parts = [
+            _observe_all(MetricsRegistry(), "x", [1.0, 2.0, 3.0]),
+            _observe_all(MetricsRegistry(), "x", [10.0]),
+            _observe_all(MetricsRegistry(), "x", [-4.0, 0.5]),
+        ]
+
+        def rebuild(registry):
+            return MetricsRegistry.from_dict(registry.as_dict())
+
+        left = rebuild(parts[0]).merge(rebuild(parts[1]))
+        left.merge(rebuild(parts[2]))
+        inner = rebuild(parts[1]).merge(rebuild(parts[2]))
+        right = rebuild(parts[0]).merge(inner)
+        a = left.histogram_stats("x")
+        b = right.histogram_stats("x")
+        assert a["count"] == b["count"]
+        for key in ("mean", "std", "min", "max"):
+            assert math.isclose(a[key], b[key], rel_tol=1e-12)
+
+    def test_merge_accepts_dict_form(self):
+        right = _observe_all(MetricsRegistry(), "x", [2.0, 4.0])
+        right.increment("n", 2)
+        left = MetricsRegistry().merge(right.as_dict())
+        assert left.counter_value("n") == 2
+        assert left.histogram_stats("x")["count"] == 2
+
+    def test_merge_rejects_garbage(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().merge([1, 2, 3])
+        with pytest.raises(TelemetryError):
+            MetricsRegistry.from_dict({"counters": "nope"})
+        with pytest.raises(TelemetryError):
+            MetricsRegistry.from_dict("nope")
+
+
+class TestSerialization:
+    def test_round_trip_is_exact(self):
+        """as_dict -> JSON -> from_dict preserves every moment verbatim."""
+        rng = random.Random(7)
+        registry = MetricsRegistry()
+        registry.increment("hits", 13)
+        registry.gauge("workers", 4)
+        _observe_all(registry, "wall", [rng.random() for _ in range(50)])
+        data = json.loads(json.dumps(registry.as_dict()))
+        rebuilt = MetricsRegistry.from_dict(data)
+        assert rebuilt.as_dict() == registry.as_dict()
+        # Exactness matters downstream: continuing to observe after the
+        # round trip must match never having serialized at all.
+        registry.observe("wall", 0.25)
+        rebuilt.observe("wall", 0.25)
+        assert rebuilt.histogram_stats("wall") == \
+            registry.histogram_stats("wall")

@@ -1,0 +1,192 @@
+"""Span tracer: nesting, capture scoping, disabled-mode no-op cost."""
+
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    NOOP_SPAN,
+    active_collector,
+    capture,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    increment,
+    observe,
+    span,
+)
+from repro.telemetry import tracing
+
+
+@pytest.fixture
+def restore_enabled_flag():
+    was_enabled = enabled()
+    yield
+    enable() if was_enabled else disable()
+
+
+class TestSpans:
+    def test_spans_nest_and_record_parent(self):
+        with capture() as collected:
+            with span("chunk", chunk=3):
+                with span("sample", index=17):
+                    pass
+            with span("chunk", chunk=4):
+                pass
+        names = [(e["name"], e["parent"]) for e in collected.events]
+        # Spans emit on close, innermost first.
+        assert names == [("sample", "chunk"), ("chunk", None),
+                         ("chunk", None)]
+        sample = collected.events[0]
+        assert sample["event"] == "span"
+        assert sample["attrs"] == {"index": 17}
+        assert sample["wall_s"] >= 0.0
+        assert sample["t0_s"] >= 0.0
+
+    def test_set_attaches_attributes_before_close(self):
+        with capture() as collected:
+            with span("work") as active:
+                active.set(rows=5, cache="warm")
+        assert collected.events[0]["attrs"] == {"rows": 5, "cache": "warm"}
+
+    def test_exception_is_recorded_and_propagates(self):
+        with capture() as collected:
+            with pytest.raises(ValueError):
+                with span("doomed"):
+                    raise ValueError("boom")
+        assert collected.events[0]["error"] == "ValueError"
+
+    def test_parent_restored_after_inner_span(self):
+        """A sibling after a nested span still links to the outer span."""
+        with capture() as collected:
+            with span("outer"):
+                with span("first"):
+                    pass
+                with span("second"):
+                    pass
+        parents = {e["name"]: e["parent"] for e in collected.events}
+        assert parents == {"first": "outer", "second": "outer",
+                           "outer": None}
+
+
+class TestAmbientMetrics:
+    def test_metrics_land_on_active_registry(self):
+        with capture() as collected:
+            increment("solver.steps", 3)
+            increment("solver.steps")
+            observe("dt", 0.5)
+            observe("dt", 1.5)
+            gauge("workers", 4)
+        registry = collected.registry
+        assert registry.counter_value("solver.steps") == 4
+        assert registry.histogram_stats("dt")["count"] == 2
+        assert registry.gauge_value("workers") == 4.0
+
+
+class TestDisabledMode:
+    def test_no_collector_means_true_noop(self):
+        assert active_collector() is None
+        # The disabled-mode span is the shared singleton -- nothing is
+        # allocated per call.
+        handle = span("hot-loop", i=1)
+        assert handle is NOOP_SPAN
+        assert span("again") is handle
+        with handle as inner:
+            inner.set(anything="ignored")
+        # Metric emission without a collector silently drops.
+        increment("never")
+        observe("never", 1.0)
+        gauge("never", 1.0)
+        assert active_collector() is None
+
+    def test_capture_restores_outer_collector(self):
+        with capture() as outer:
+            increment("depth", 1)
+            with capture() as inner:
+                increment("depth", 10)
+                assert active_collector() is inner
+            assert active_collector() is outer
+            increment("depth", 1)
+        assert active_collector() is None
+        assert outer.registry.counter_value("depth") == 2
+        assert inner.registry.counter_value("depth") == 10
+
+    def test_capture_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with capture():
+                raise RuntimeError("boom")
+        assert active_collector() is None
+
+
+class TestGlobalFlag:
+    def test_enable_disable_round_trip(self, restore_enabled_flag):
+        enable()
+        assert enabled()
+        disable()
+        assert not enabled()
+        enable()
+        assert enabled()
+
+    @pytest.mark.parametrize("value,expect", [
+        ("0", False), ("false", False), ("OFF", False), ("no", False),
+        ("1", True), ("true", True), ("", True),
+    ])
+    def test_env_flag_parses_at_import(self, value, expect):
+        """REPRO_TELEMETRY is read once at import; check in a fresh
+        interpreter."""
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ, REPRO_TELEMETRY=value)
+        completed = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.telemetry import enabled; print(enabled())"],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert completed.stdout.strip() == str(expect)
+
+    def test_flag_does_not_gate_explicit_capture(self, restore_enabled_flag):
+        """disable() stops the campaign machinery from installing
+        captures; an explicit capture() still collects (that is what
+        ``telemetry=True`` relies on)."""
+        disable()
+        with capture() as collected:
+            increment("still.works")
+        assert collected.registry.counter_value("still.works") == 1
+
+
+class TestThreadIsolation:
+    def test_threads_collect_independently(self):
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def worker(tag):
+            try:
+                with capture() as collected:
+                    barrier.wait(timeout=10)
+                    increment(f"count.{tag}", 1)
+                    with span("work", tag=tag):
+                        pass
+                    barrier.wait(timeout=10)
+                assert collected.registry.counter_value(f"count.{tag}") == 1
+                other = "b" if tag == "a" else "a"
+                assert collected.registry.counter_value(
+                    f"count.{other}") == 0
+                assert len(collected.events) == 1
+                assert collected.events[0]["attrs"] == {"tag": tag}
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(tag,))
+                   for tag in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+
+    def test_module_collector_default_is_none(self):
+        assert tracing._COLLECTOR.get() is None
