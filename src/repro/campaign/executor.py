@@ -129,28 +129,68 @@ def _stamp_dispatch(chunk):
     return chunk
 
 
+def _chunk_outputs(model, chunk):
+    """Evaluate every row of a chunk -- blocked when the model allows it.
+
+    The single evaluation implementation behind both telemetry modes of
+    :func:`evaluate_chunk` (the span/metric calls are no-ops without an
+    active collector, so the disabled path pays only a no-op guard per
+    row).  A model exposing a callable ``evaluate_block`` attribute --
+    the sample-blocked fast path (see
+    :class:`repro.uq.monte_carlo.BlockedModel`) -- evaluates the whole
+    chunk in one call under a ``block`` span, recording the batch size
+    and the per-sample amortized cost; plain callables (e.g. the
+    Ishigami fixtures, scalar toy models) keep the per-row loop.
+    """
+    num_samples = chunk.parameters.shape[0]
+    block = getattr(model, "evaluate_block", None)
+    if callable(block):
+        start = time.perf_counter()
+        with telemetry.span("block", samples=num_samples):
+            outputs = np.asarray(block(chunk.parameters), dtype=float)
+        wall_s = time.perf_counter() - start
+        if outputs.shape[0] != num_samples:
+            raise CampaignError(
+                f"evaluate_block returned {outputs.shape[0]} outputs for "
+                f"{num_samples} samples"
+            )
+        telemetry.gauge("campaign.batch_size", num_samples)
+        telemetry.increment("campaign.blocked_solves", num_samples)
+        if num_samples:
+            telemetry.observe(
+                "campaign.sample_amortized_s", wall_s / num_samples
+            )
+        return outputs
+    outputs = []
+    for row in range(num_samples):
+        with telemetry.span("sample", index=int(chunk.indices[row])):
+            outputs.append(
+                np.asarray(model(chunk.parameters[row]), dtype=float)
+            )
+    telemetry.increment("campaign.loop_solves", num_samples)
+    return np.stack(outputs)
+
+
 def evaluate_chunk(model, chunk):
     """Evaluate every sample of a chunk with an already-built model.
 
     When the chunk asks for telemetry (or defers to an enabled global
     flag), the evaluation runs inside a capture scope: a ``chunk`` span
-    wrapping one ``sample`` span per row, plus whatever ambient metrics
-    the solver stack emits (cache hits, coupled steps...).  The capture
-    is summarized into a picklable ``ChunkResult.telemetry`` dict.
-    Disabled, this function is byte-for-byte the old loop -- no span
-    objects, no collector.
+    wrapping either one ``block`` span (models with the sample-blocked
+    ``evaluate_block`` interface) or one ``sample`` span per row, plus
+    whatever ambient metrics the solver stack emits (cache hits, coupled
+    steps, blocked solves...).  The capture is summarized into a
+    picklable ``ChunkResult.telemetry`` dict.  Disabled, the same
+    evaluation helper runs without a collector -- every span/metric call
+    is a no-op.
     """
     should_capture = getattr(chunk, "capture_telemetry", None)
     if should_capture is None:
         should_capture = telemetry.enabled()
     if not should_capture:
-        outputs = [
-            np.asarray(model(chunk.parameters[row]), dtype=float)
-            for row in range(chunk.parameters.shape[0])
-        ]
         return ChunkResult(
             chunk.chunk_index, chunk.indices, chunk.parameters,
-            np.stack(outputs),
+            _chunk_outputs(model, chunk),
         )
 
     start_walltime = time.time()
@@ -161,14 +201,7 @@ def evaluate_chunk(model, chunk):
             chunk=chunk.chunk_index,
             samples=int(chunk.indices.size),
         ):
-            outputs = []
-            for row in range(chunk.parameters.shape[0]):
-                with telemetry.span("sample",
-                                    index=int(chunk.indices[row])):
-                    outputs.append(
-                        np.asarray(model(chunk.parameters[row]),
-                                   dtype=float)
-                    )
+            outputs = _chunk_outputs(model, chunk)
     wall_s = time.perf_counter() - start
     record = {
         "chunk": chunk.chunk_index,
@@ -187,7 +220,7 @@ def evaluate_chunk(model, chunk):
         record["queue_wait_s"] = max(0.0, start_walltime - dispatched)
     return ChunkResult(
         chunk.chunk_index, chunk.indices, chunk.parameters,
-        np.stack(outputs), telemetry=record,
+        outputs, telemetry=record,
     )
 
 

@@ -74,6 +74,17 @@ class ScenarioSpec:
         def model(parameters):
             return qoi(raw_model(parameters))
 
+        raw_block = getattr(raw_model, "evaluate_block", None)
+        if callable(raw_block):
+            # Keep the sample-blocked fast path through the QoI wrapper:
+            # evaluate the block once, extract the QoI per sample.
+            def evaluate_block(parameters_block):
+                return np.stack([
+                    np.asarray(qoi(output), dtype=float)
+                    for output in raw_block(parameters_block)
+                ])
+
+            model.evaluate_block = evaluate_block
         return model
 
     def build_waveform(self):

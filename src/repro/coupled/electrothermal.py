@@ -31,7 +31,7 @@ from collections import OrderedDict
 import numpy as np
 import scipy.sparse as sp
 
-from ..errors import AssemblyError, SolverError
+from ..errors import AssemblyError, ConvergenceError, SolverError
 from ..fit.assembly import FITDiscretization
 from ..fit.boundary import apply_dirichlet, combine_dirichlet
 from ..fit.joule import joule_cell_power_density
@@ -693,4 +693,354 @@ class CoupledSolver:
             field_joule_power=cache["field_power"],
             iterations=result.iterations,
             wire_names=problem.wire_names(),
+        )
+
+
+class BlockedTransientResult:
+    """Traces of one sample-blocked transient (one chunk of MC samples).
+
+    The per-sample counterpart of
+    :class:`~repro.coupled.quantities.TransientResult` carries ``(P, W)``
+    arrays; here every array gains a leading sample axis ``S``.
+
+    Attributes
+    ----------
+    times:
+        Time axis, length ``P``.
+    wire_temperatures, wire_peak_temperatures, wire_powers:
+        ``(S, P, W)`` per-sample traces.
+    field_joule_power:
+        ``(S, P)`` field dissipation per time point.
+    final_temperatures:
+        ``(S, n)`` final temperature states.
+    iterations_per_step:
+        ``(S, P - 1)`` fixed-point iteration counts.
+    """
+
+    def __init__(self, times, wire_temperatures, wire_peak_temperatures,
+                 wire_powers, field_joule_power, final_temperatures,
+                 iterations_per_step, wire_names):
+        self.times = np.asarray(times, dtype=float)
+        self.wire_temperatures = wire_temperatures
+        self.wire_peak_temperatures = wire_peak_temperatures
+        self.wire_powers = wire_powers
+        self.field_joule_power = field_joule_power
+        self.final_temperatures = final_temperatures
+        self.iterations_per_step = iterations_per_step
+        self.wire_names = list(wire_names)
+
+    @property
+    def num_samples(self):
+        return self.wire_temperatures.shape[0]
+
+    def __repr__(self):
+        return (
+            f"BlockedTransientResult(S={self.num_samples}, "
+            f"P={self.times.size}, W={len(self.wire_names)})"
+        )
+
+
+class BlockedCoupledSolver:
+    """Sample-blocked transients over a fast-mode :class:`CoupledSolver`.
+
+    Advances all ``S`` samples of a Monte Carlo chunk through the same
+    time grid simultaneously, carrying an ``(n, S)`` temperature block
+    (one column per sample).  Per fixed-point iteration the electrical
+    and thermal Woodbury corrections are applied for the whole block at
+    once (:meth:`~repro.solvers.woodbury.WoodburySolver.solve_batch`),
+    so the per-sample Python loop collapses into BLAS-3 linear algebra
+    sharing one factorized base.
+
+    Convergence is tracked per sample with an active-sample mask:
+    converged columns stop paying iterations (and their cached
+    ``phi`` / wire powers are the ones from their converging iteration,
+    matching the per-sample fixed point), while the rest keep iterating.
+
+    Requirements (checked at construction):
+
+    * the wrapped solver runs ``mode="fast"`` (shared frozen bases);
+    * single-segment wires only -- multi-segment wires put
+      length-dependent heat capacities on internal nodes, which would
+      need a per-sample thermal base (callers fall back to the
+      per-sample loop for those).
+
+    Only the 12 wire conductances differ between samples, so the block
+    shares every factorization with the per-sample path -- including the
+    per-``dt`` thermal solver map of the wrapped solver.
+    """
+
+    def __init__(self, solver):
+        if not isinstance(solver, CoupledSolver):
+            raise SolverError(
+                f"expected a CoupledSolver, got {type(solver).__name__}"
+            )
+        if solver.mode != "fast":
+            raise SolverError(
+                "blocked solves need the fast (Woodbury) mode; "
+                "mode='full' reassembles per sample"
+            )
+        if solver.topology.num_extra_nodes:
+            raise SolverError(
+                "blocked solves support single-segment wires only "
+                "(multi-segment internal heat capacities depend on the "
+                "per-sample lengths); use the per-sample path"
+            )
+        self.solver = solver
+        topology = solver.topology
+        self.num_wires = len(topology.wires)
+        starts, ends, wires = topology.segment_node_indices()
+        self._seg_start = starts
+        self._seg_end = ends
+        self._seg_wire = wires
+        self._ep_start, self._ep_end = topology.endpoint_node_indices()
+        # Length-invariant wire data (material, cross section, segment
+        # count); only the lengths vary per sample.
+        self._materials = [wire.material for wire in topology.wires]
+        self._areas = np.array(
+            [wire.cross_section_area for wire in topology.wires]
+        )
+        self._num_segments = np.array(
+            [wire.num_segments for wire in topology.wires], dtype=int
+        )
+        self._lengths = None
+
+    # ------------------------------------------------------------------
+    # Monte Carlo support
+    # ------------------------------------------------------------------
+    def set_wire_lengths_block(self, lengths):
+        """Bind the ``(S, W)`` per-sample wire lengths for the next solve.
+
+        Like :meth:`CoupledSolver.set_wire_lengths`, this never touches a
+        factorization -- lengths only scale the conductances fed into the
+        blocked solves.
+        """
+        lengths = np.asarray(lengths, dtype=float)
+        if lengths.ndim != 2 or lengths.shape[1] != self.num_wires:
+            raise SolverError(
+                f"expected an (S, {self.num_wires}) length block, got "
+                f"shape {lengths.shape}"
+            )
+        if not np.all(lengths > 0.0):
+            raise SolverError("wire lengths must be positive")
+        self._lengths = lengths
+
+    # ------------------------------------------------------------------
+    # Blocked physics evaluation
+    # ------------------------------------------------------------------
+    def _segment_conductances_block(self, seg_t, lengths, electrical):
+        """``(k, S)`` per-segment conductances at the iterate block.
+
+        Matches the scalar ``LumpedBondWire.segment_*_conductance``
+        operation order exactly (``sigma * A / L * n_seg``), vectorized
+        over the sample axis per wire -- the property models are plain
+        ufunc arithmetic, so array evaluation is bitwise identical to
+        the per-sample scalar calls.
+        """
+        conductances = np.empty_like(seg_t)
+        for segment in range(self._seg_start.size):
+            wire = int(self._seg_wire[segment])
+            material = self._materials[wire]
+            conductivity = (
+                material.electrical_conductivity(seg_t[segment])
+                if electrical
+                else material.thermal_conductivity(seg_t[segment])
+            )
+            conductances[segment] = (
+                conductivity * self._areas[wire] / lengths[:, wire]
+                * self._num_segments[wire]
+            )
+        return conductances
+
+    def _joule_block(self, phi, g_el):
+        """Field + wire Joule node powers for the whole block.
+
+        ``phi`` is ``(n, S)``, ``g_el`` ``(k, S)``; returns the node
+        power block ``(n, S)``, per-wire powers ``(W, S)`` and the field
+        dissipation ``(S,)``.
+        """
+        solver = self.solver
+        disc = solver.discretization
+        n_grid = solver.n_grid
+        ex, ey, ez = disc.cell_field_components(phi[:n_grid])
+        density = solver._fast_sigma_cells[:, None] * (
+            ex * ex + ey * ey + ez * ez
+        )
+        q = np.zeros((solver.total_size, phi.shape[1]))
+        q[:n_grid] = disc.node_power_from_cells(density)
+        # Column-wise dots (not one gemv) keep the reduction order of
+        # the per-sample ``np.dot(density, cell_volumes)`` bitwise.
+        field_power = np.array([
+            np.dot(np.ascontiguousarray(density[:, s]), disc.cell_volumes)
+            for s in range(phi.shape[1])
+        ])
+        drop = phi[self._seg_start] - phi[self._seg_end]
+        power = g_el * drop * drop
+        q_wire = np.zeros_like(q)
+        np.add.at(q_wire, self._seg_start, 0.5 * power)
+        np.add.at(q_wire, self._seg_end, 0.5 * power)
+        wire_power = np.zeros((self.num_wires, phi.shape[1]))
+        np.add.at(wire_power, self._seg_wire, power)
+        return q + q_wire, wire_power, field_power
+
+    def _radiation_block(self, t_star):
+        """Explicit radiative source for the iterate block (or 0.0)."""
+        solver = self.solver
+        if solver.problem.radiation is None:
+            return 0.0
+        return solver.rad_coeff[:, None] * (
+            solver.t_ambient_rad**4 - t_star**4
+        )
+
+    # ------------------------------------------------------------------
+    # Time stepping
+    # ------------------------------------------------------------------
+    def _step_block(self, t_old, dt, scale):
+        """One implicit Euler step for the whole ``(n, S)`` block.
+
+        The per-sample fixed point (``x <- x + w (advance(x) - x)``,
+        max-norm residual, strict ``< tolerance``) runs with an
+        active-sample mask: every iteration only evaluates the columns
+        still above tolerance, and a sample's outputs (``phi``, wire
+        powers, field power) are frozen at its converging iteration --
+        the same "cache from the last advance call" contract as
+        :func:`~repro.solvers.newton.fixed_point`.
+        """
+        solver = self.solver
+        thermal = solver._fast_thermal_solver(dt)
+        rhs_el = solver._fast_el_rhs * scale
+        fixed_phi = solver.el_fixed_values * scale
+        capacitance_dt = solver.capacitance / dt
+        num_samples = t_old.shape[1]
+        current = t_old.copy()
+        active = np.arange(num_samples)
+        iterations = np.zeros(num_samples, dtype=int)
+        phi_out = np.zeros((solver.total_size, num_samples))
+        wire_power_out = np.zeros((self.num_wires, num_samples))
+        field_power_out = np.zeros(num_samples)
+        residual = np.zeros(num_samples)
+        for iteration in range(1, solver.max_iterations + 1):
+            t_star = current[:, active]
+            lengths = self._lengths[active]
+            seg_t = 0.5 * (
+                t_star[self._seg_start] + t_star[self._seg_end]
+            )
+            g_el = self._segment_conductances_block(
+                seg_t, lengths, electrical=True
+            )
+            phi_free = solver._fast_el.solve_batch(g_el.T, rhs_el)
+            phi = np.empty((solver.total_size, active.size))
+            phi[solver.el_free] = phi_free
+            phi[solver.el_fixed] = fixed_phi[:, None]
+            q, wire_power, field_power = self._joule_block(phi, g_el)
+            g_th = self._segment_conductances_block(
+                seg_t, lengths, electrical=False
+            )
+            rhs = (
+                capacitance_dt[:, None] * t_old[:, active]
+                + q
+                + solver.conv_rhs[:, None]
+                + self._radiation_block(t_star)
+            )
+            t_new = thermal.solve_batch(g_th.T, rhs)
+            damped = solver.damping * (t_new - t_star)
+            current[:, active] = t_star + damped
+            step_norm = np.max(np.abs(damped), axis=0)
+            # Outputs track the latest advance of every active sample;
+            # once a sample converges it leaves ``active`` and its last
+            # written values stand.
+            phi_out[:, active] = phi
+            wire_power_out[:, active] = wire_power
+            field_power_out[active] = field_power
+            residual[active] = step_norm
+            converged = step_norm < solver.tolerance
+            iterations[active[converged]] = iteration
+            active = active[~converged]
+            if not active.size:
+                break
+        if active.size:
+            worst = float(np.max(residual[active]))
+            raise ConvergenceError(
+                f"fixed-point iteration did not converge within "
+                f"{solver.max_iterations} iterations for "
+                f"{active.size}/{num_samples} blocked samples "
+                f"(worst step norm {worst:.3e}, tol "
+                f"{solver.tolerance:.3e})",
+                iterations=solver.max_iterations,
+                residual=worst,
+            )
+        solver.metrics.increment("coupled_steps", num_samples)
+        telemetry.increment("solver.coupled_steps", num_samples)
+        solver.metrics.increment("blocked_steps")
+        telemetry.increment("solver.blocked_steps")
+        return current, iterations, phi_out, wire_power_out, field_power_out
+
+    def solve_transient_block(self, time_grid, waveform=None):
+        """Integrate all bound samples over a :class:`TimeGrid` at once.
+
+        Requires :meth:`set_wire_lengths_block` first.  ``waveform``
+        scales the contact potentials exactly like
+        :meth:`CoupledSolver.solve_transient` -- the drive is shared by
+        every sample, which is what keeps the electrical base backsolve
+        a single shared vector per iteration.
+
+        Returns a :class:`BlockedTransientResult` whose sample ``s``
+        reproduces the per-sample
+        :meth:`CoupledSolver.solve_transient` traces for lengths row
+        ``s`` up to floating-point summation-order differences of the
+        batched products.
+        """
+        from .excitation import as_waveform
+
+        if not isinstance(time_grid, TimeGrid):
+            raise SolverError("time_grid must be a TimeGrid")
+        if self._lengths is None:
+            raise SolverError(
+                "no sample block bound; call set_wire_lengths_block first"
+            )
+        drive = as_waveform(waveform)
+        solver = self.solver
+        num_samples = self._lengths.shape[0]
+        temperatures = np.full(
+            (solver.total_size, num_samples), solver.problem.t_initial
+        )
+        ep_start, ep_end = self._ep_start, self._ep_end
+
+        def endpoint_mean(block):
+            return 0.5 * (block[ep_start] + block[ep_end])
+
+        def endpoint_peak(block):
+            # Single-segment wires: the chain is exactly the two
+            # endpoint nodes (enforced at construction).
+            return np.maximum(block[ep_start], block[ep_end])
+
+        wire_t = [endpoint_mean(temperatures)]
+        wire_peak = [endpoint_peak(temperatures)]
+        wire_p = [np.zeros((self.num_wires, num_samples))]
+        field_p = [np.zeros(num_samples)]
+        iterations = []
+        times = time_grid.times
+        dt = time_grid.dt
+        for step_index in range(time_grid.num_steps):
+            scale = float(drive(times[step_index + 1]))
+            (temperatures, n_iter, _, wire_power,
+             field_power) = self._step_block(temperatures, dt, scale)
+            iterations.append(n_iter)
+            wire_t.append(endpoint_mean(temperatures))
+            wire_peak.append(endpoint_peak(temperatures))
+            wire_p.append(wire_power)
+            field_p.append(field_power)
+
+        def sample_major(per_step):
+            # list of (W, S) per time point -> (S, P, W)
+            return np.transpose(np.stack(per_step), (2, 0, 1))
+
+        return BlockedTransientResult(
+            times=times,
+            wire_temperatures=sample_major(wire_t),
+            wire_peak_temperatures=sample_major(wire_peak),
+            wire_powers=sample_major(wire_p),
+            field_joule_power=np.stack(field_p).T,
+            final_temperatures=temperatures.T.copy(),
+            iterations_per_step=np.stack(iterations).T,
+            wire_names=solver.problem.wire_names(),
         )

@@ -96,6 +96,36 @@ class WireTopology:
             u[stamp.end_node, column] = -1.0
         return u
 
+    def segment_node_indices(self):
+        """``(start, end, wire)`` index arrays over :attr:`flat_segments`.
+
+        The vectorized view of the stamp list: entry ``i`` describes
+        segment ``i`` (column ``i`` of the incidence matrix).  This is
+        what the sample-blocked fast path uses to evaluate segment
+        temperatures, conductances and Joule scatters as array ops
+        instead of per-stamp Python loops.
+        """
+        starts = np.array(
+            [stamp.start_node for _, stamp in self.flat_segments], dtype=int
+        )
+        ends = np.array(
+            [stamp.end_node for _, stamp in self.flat_segments], dtype=int
+        )
+        wires = np.array(
+            [wire_index for wire_index, _ in self.flat_segments], dtype=int
+        )
+        return starts, ends, wires
+
+    def endpoint_node_indices(self):
+        """``(start, end)`` index arrays of the per-wire endpoint stamps."""
+        starts = np.array(
+            [stamp.start_node for stamp in self.endpoint_stamps], dtype=int
+        )
+        ends = np.array(
+            [stamp.end_node for stamp in self.endpoint_stamps], dtype=int
+        )
+        return starts, ends
+
     def wire_temperatures(self, temperatures):
         """Representative wire temperatures ``T_bw,j = X_j^T T`` (eq. (5)).
 

@@ -116,19 +116,32 @@ class FITDiscretization:
         Voltages along primary edges are ``e = -G Phi``; each Cartesian
         component at a cell center is the mean of the four parallel edge
         fields ``e / l`` of that cell.
+
+        ``potentials`` is one field ``(num_nodes,)`` or a sample block
+        ``(num_nodes, S)``; the components come back as ``(num_cells,)``
+        or ``(num_cells, S)`` accordingly (the trailing sample axis rides
+        through the edge averaging untouched).
         """
         potentials = np.asarray(potentials, dtype=float)
         gx, gy, gz = self.gradient_blocks
         nx, ny, nz = self.grid.shape
         n_ex, n_ey, n_ez = self.grid.num_edges_per_direction
         lengths = self.edge_lengths
-        ex_edges = -(gx @ potentials) / lengths[:n_ex]
-        ey_edges = -(gy @ potentials) / lengths[n_ex:n_ex + n_ey]
-        ez_edges = -(gz @ potentials) / lengths[n_ex + n_ey:]
+        trailing = potentials.shape[1:]
+        length_shape = (-1,) + (1,) * len(trailing)
+        ex_edges = -(gx @ potentials) / lengths[:n_ex].reshape(length_shape)
+        ey_edges = (
+            -(gy @ potentials)
+            / lengths[n_ex:n_ex + n_ey].reshape(length_shape)
+        )
+        ez_edges = (
+            -(gz @ potentials)
+            / lengths[n_ex + n_ey:].reshape(length_shape)
+        )
 
-        ex = ex_edges.reshape(nz, ny, nx - 1)
-        ey = ey_edges.reshape(nz, ny - 1, nx)
-        ez = ez_edges.reshape(nz - 1, ny, nx)
+        ex = ex_edges.reshape((nz, ny, nx - 1) + trailing)
+        ey = ey_edges.reshape((nz, ny - 1, nx) + trailing)
+        ez = ez_edges.reshape((nz - 1, ny, nx) + trailing)
         # Average the 4 parallel edges of each cell.
         ex_cells = 0.25 * (
             ex[:-1, :-1, :] + ex[:-1, 1:, :] + ex[1:, :-1, :] + ex[1:, 1:, :]
@@ -139,7 +152,12 @@ class FITDiscretization:
         ez_cells = 0.25 * (
             ez[:, :-1, :-1] + ez[:, :-1, 1:] + ez[:, 1:, :-1] + ez[:, 1:, 1:]
         )
-        return ex_cells.ravel(), ey_cells.ravel(), ez_cells.ravel()
+        cell_shape = (-1,) + trailing
+        return (
+            ex_cells.reshape(cell_shape),
+            ey_cells.reshape(cell_shape),
+            ez_cells.reshape(cell_shape),
+        )
 
     def __repr__(self):
         return (

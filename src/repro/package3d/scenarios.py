@@ -76,7 +76,11 @@ def build_date16_model(scenario):
         factorization_cache=shared_cache(),
         **options,
     )
-    return study.evaluate_traces
+    # The blocked model evaluates a whole campaign chunk as one blocked
+    # transient when the study supports it (fixed stepping, fast mode,
+    # single-segment wires); otherwise the plain per-sample callable
+    # keeps the executor on the row loop.
+    return study.block_model()
 
 
 register_problem("date16", build_date16_model)

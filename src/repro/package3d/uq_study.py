@@ -18,12 +18,12 @@ collocation estimator and the Sobol sensitivity analysis.
 import numpy as np
 
 from ..bondwire.failure import first_crossing_time
-from ..coupled.electrothermal import CoupledSolver
+from ..coupled.electrothermal import BlockedCoupledSolver, CoupledSolver
 from ..errors import SamplingError
 from ..solvers.time_integration import TimeGrid
 from ..uq.collocation import StochasticCollocation
 from ..uq.distributions import NormalDistribution, TruncatedNormalDistribution
-from ..uq.monte_carlo import MonteCarloStudy
+from ..uq.monte_carlo import BlockedModel, MonteCarloStudy
 from ..uq.sensitivity import sobol_indices
 from .chip_example import (
     Date16Parameters,
@@ -266,6 +266,7 @@ class Date16UncertaintyStudy:
         #: step/solve counts and solver reuse statistics for cost
         #: comparisons against the fixed grid.
         self.last_adaptive_result = None
+        self._blocked_solver = None
 
     # ------------------------------------------------------------------
     # The model callable
@@ -342,21 +343,99 @@ class Date16UncertaintyStudy:
         return float(np.max(self.evaluate_traces(deltas)[-1]))
 
     # ------------------------------------------------------------------
+    # Sample-blocked evaluation (the chunk fast path)
+    # ------------------------------------------------------------------
+    @property
+    def supports_block_evaluation(self):
+        """Whether :meth:`evaluate_traces_block` applies to this study.
+
+        The blocked fast path needs the fast (Woodbury) solver mode,
+        single-segment wires and fixed time stepping -- the adaptive
+        controller gives every sample its own solution-dependent time
+        axis, which cannot share one blocked grid.
+        """
+        return (
+            self.time_stepping == "fixed"
+            and self.solver.mode == "fast"
+            and self.solver.topology.num_extra_nodes == 0
+        )
+
+    def evaluate_traces_block(self, deltas_block):
+        """Wire-temperature traces ``(S, P, W)`` for a block of samples.
+
+        The sample-blocked counterpart of :meth:`evaluate_traces`: all
+        ``S`` elongation rows advance through the transient together via
+        :class:`~repro.coupled.electrothermal.BlockedCoupledSolver`, so
+        the per-step cost is batched linear algebra instead of ``S``
+        Python-level solves.  Row ``s`` of the result matches
+        ``evaluate_traces(deltas_block[s])`` within floating-point
+        summation-order differences.
+        """
+        deltas_block = np.asarray(deltas_block, dtype=float)
+        if deltas_block.ndim != 2 or deltas_block.shape[1] != self.num_wires:
+            raise SamplingError(
+                f"expected an (S, {self.num_wires}) elongation block, got "
+                f"shape {deltas_block.shape}"
+            )
+        if not self.supports_block_evaluation:
+            raise SamplingError(
+                "blocked evaluation needs fast mode, single-segment wires "
+                "and fixed time stepping; use evaluate_traces per sample"
+            )
+        lengths = np.stack([
+            wire_lengths_from_deltas(row, self.mesh.layout)
+            for row in deltas_block
+        ])
+        if self._blocked_solver is None:
+            self._blocked_solver = BlockedCoupledSolver(self.solver)
+        self._blocked_solver.set_wire_lengths_block(lengths)
+        result = self._blocked_solver.solve_transient_block(
+            self.time_grid, waveform=self.waveform
+        )
+        self.evaluations += deltas_block.shape[0]
+        return result.wire_temperatures
+
+    def block_model(self):
+        """The campaign-facing model callable for this study.
+
+        A :class:`~repro.uq.monte_carlo.BlockedModel` pairing
+        :meth:`evaluate_traces` with :meth:`evaluate_traces_block` when
+        the blocked fast path applies; the plain bound method otherwise
+        (callers fall back to the per-sample loop).
+        """
+        if self.supports_block_evaluation:
+            return BlockedModel(
+                self.evaluate_traces, self.evaluate_traces_block
+            )
+        return self.evaluate_traces
+
+    # ------------------------------------------------------------------
     # Studies
     # ------------------------------------------------------------------
     def run_monte_carlo(self, num_samples=None, seed=0, uniform_points=None,
-                        keep_samples=False):
-        """The paper's study; returns a :class:`Date16StudyResult`."""
+                        keep_samples=False, block_size=None):
+        """The paper's study; returns a :class:`Date16StudyResult`.
+
+        ``block_size`` opts into the sample-blocked fast path: samples
+        are evaluated ``block_size`` at a time through
+        :meth:`evaluate_traces_block` (requires fixed stepping / fast
+        mode / single-segment wires) and still folded one by one in
+        sample order, so the statistics match the per-sample loop within
+        the blocked path's floating-point tolerance.
+        """
         if num_samples is None:
             num_samples = self.parameters.num_mc_samples
         study = MonteCarloStudy(
-            self.evaluate_traces, self.elongation_distribution, self.num_wires
+            self.block_model() if block_size is not None
+            else self.evaluate_traces,
+            self.elongation_distribution, self.num_wires,
         )
         mc = study.run(
             num_samples,
             seed=seed,
             uniform_points=uniform_points,
             keep_samples=keep_samples,
+            block_size=block_size,
         )
         return Date16StudyResult(
             times=self.time_grid.times,

@@ -109,6 +109,10 @@ def format_timings_report(telemetry, top=None):
     if cache_line:
         lines.append("")
         lines.append(cache_line)
+    blocked_line = _blocked_evaluation_line(telemetry)
+    if blocked_line:
+        lines.append("")
+        lines.append(blocked_line)
     return "\n".join(lines)
 
 
@@ -125,6 +129,32 @@ def _cache_hit_rate_line(telemetry):
         f"Factorization cache: {int(hits)} hits / {int(misses)} misses "
         f"({100.0 * hits / total:.1f}% hit rate)"
     )
+
+
+def _blocked_evaluation_line(telemetry):
+    """Blocked vs. per-sample fallback split, or ``None`` when untracked.
+
+    ``campaign.blocked_solves`` counts samples that went through a
+    model's sample-blocked ``evaluate_block`` fast path;
+    ``campaign.loop_solves`` counts per-row fallback evaluations.  The
+    ``campaign.batch_size`` gauge records the latest block size.
+    """
+    metrics = telemetry.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    blocked = counters.get("campaign.blocked_solves", 0)
+    fallback = counters.get("campaign.loop_solves", 0)
+    total = blocked + fallback
+    if total <= 0:
+        return None
+    line = (
+        f"Blocked evaluation: {int(blocked)} samples blocked / "
+        f"{int(fallback)} per-sample fallback "
+        f"({100.0 * blocked / total:.1f}% blocked)"
+    )
+    batch = (metrics.get("gauges") or {}).get("campaign.batch_size")
+    if batch is not None:
+        line += f", last batch size {int(batch)}"
+    return line
 
 
 def format_trace_summary(telemetry):

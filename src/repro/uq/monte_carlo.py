@@ -13,6 +13,41 @@ from .sampling import map_to_distributions, random_sampler
 from .statistics import RunningStatistics
 
 
+class BlockedModel:
+    """Pair a per-sample model with its vectorized block evaluator.
+
+    The campaign executor (and :meth:`MonteCarloStudy.run` with
+    ``block_size``) duck-type on a callable ``evaluate_block`` attribute:
+    given an ``(S, d)`` parameter block it must return the ``S`` stacked
+    outputs ``(S, *output_shape)``.  Plain callables cannot carry
+    attributes when they are bound methods, so this tiny wrapper holds
+    the pair -- calling it evaluates one sample, ``evaluate_block``
+    evaluates a whole block.
+
+    For introspection convenience the wrapped model's ``__self__`` (when
+    it is a bound method) is re-exposed, so ``model.__self__`` still
+    reaches the owning study.
+    """
+
+    def __init__(self, model, evaluate_block):
+        if not callable(model) or not callable(evaluate_block):
+            raise SamplingError(
+                "BlockedModel needs a callable model and a callable "
+                "evaluate_block"
+            )
+        self._model = model
+        self.evaluate_block = evaluate_block
+        owner = getattr(model, "__self__", None)
+        if owner is not None:
+            self.__self__ = owner
+
+    def __call__(self, parameters):
+        return self._model(parameters)
+
+    def __repr__(self):
+        return f"BlockedModel({self._model!r})"
+
+
 def monte_carlo_error(std, num_samples):
     """The paper's eq. (6): ``error_MC = sigma_MC / sqrt(M)``."""
     num_samples = int(num_samples)
@@ -121,6 +156,7 @@ class MonteCarloStudy:
         keep_samples=False,
         callback=None,
         executor=None,
+        block_size=None,
     ):
         """Run ``num_samples`` model evaluations.
 
@@ -139,6 +175,13 @@ class MonteCarloStudy:
             pool) instead of running inline.  Outputs are folded into the
             statistics in sample order, so serial and parallel executors
             produce identical results.
+        block_size:
+            Evaluate samples in blocks of this size through the model's
+            ``evaluate_block`` interface (see :class:`BlockedModel`) --
+            the sample-blocked fast path.  The model must expose a
+            callable ``evaluate_block``; outputs still fold one by one
+            in sample order, so statistics and callbacks are unchanged.
+            Cannot be combined with ``executor``.
         """
         if uniform_points is None:
             uniform_points = random_sampler(num_samples, self.dimension, seed)
@@ -152,7 +195,14 @@ class MonteCarloStudy:
         statistics = RunningStatistics()
         stored = [] if keep_samples else None
         if executor is not None:
+            if block_size is not None:
+                raise SamplingError(
+                    "block_size cannot be combined with an executor; "
+                    "chunked campaigns block inside the executor instead"
+                )
             outputs = executor.map(self.model, parameters)
+        elif block_size is not None:
+            outputs = self._blocked_outputs(parameters, block_size)
         else:
             outputs = (
                 self.model(parameters[index])
@@ -167,6 +217,29 @@ class MonteCarloStudy:
                 callback(index, parameters[index], output)
         samples = np.stack(stored) if keep_samples else None
         return MonteCarloResult(statistics, parameters, samples)
+
+    def _blocked_outputs(self, parameters, block_size):
+        """Generator over per-sample outputs via ``evaluate_block``."""
+        block_size = int(block_size)
+        if block_size < 1:
+            raise SamplingError(
+                f"block_size must be >= 1, got {block_size}"
+            )
+        evaluate_block = getattr(self.model, "evaluate_block", None)
+        if not callable(evaluate_block):
+            raise SamplingError(
+                "block_size needs a model with a callable evaluate_block "
+                "(see repro.uq.monte_carlo.BlockedModel)"
+            )
+        for start in range(0, parameters.shape[0], block_size):
+            block = parameters[start:start + block_size]
+            outputs = np.asarray(evaluate_block(block), dtype=float)
+            if outputs.shape[0] != block.shape[0]:
+                raise SamplingError(
+                    f"evaluate_block returned {outputs.shape[0]} outputs "
+                    f"for {block.shape[0]} samples"
+                )
+            yield from outputs
 
     def convergence_trace(self, num_samples, seed=None, checkpoints=None):
         """Mean/std estimates at growing sample counts (convergence study).

@@ -224,3 +224,86 @@ class TestFuturesExecutor:
             assert list(
                 FuturesExecutor(pool).run_chunks(toy_spec.scenario, [])
             ) == []
+
+
+def _block_model(parameters):
+    p = np.asarray(parameters, dtype=float)
+    return np.array([p.sum()])
+
+
+_block_model.evaluate_block = lambda block: np.asarray(
+    block, dtype=float
+).sum(axis=1, keepdims=True)
+
+
+class TestBlockedChunkEvaluation:
+    def _chunk(self, num_samples=4, capture=False):
+        parameters = np.arange(num_samples * 2.0).reshape(num_samples, 2)
+        return WorkChunk(0, np.arange(num_samples), parameters,
+                         capture_telemetry=capture)
+
+    def test_block_interface_detected(self):
+        from repro.campaign.executor import evaluate_chunk
+
+        chunk = self._chunk()
+        result = evaluate_chunk(_block_model, chunk)
+        expected = np.stack([_block_model(row) for row in chunk.parameters])
+        assert np.array_equal(result.outputs, expected)
+
+    def test_plain_callable_falls_back_to_row_loop(self):
+        from repro.campaign.executor import evaluate_chunk
+
+        chunk = self._chunk()
+        result = evaluate_chunk(_module_model, chunk)
+        assert result.outputs.shape == (4, 2)
+
+    def test_blocked_and_loop_outputs_match(self):
+        from repro.campaign.executor import evaluate_chunk
+
+        chunk = self._chunk(num_samples=6)
+        blocked = evaluate_chunk(_block_model, chunk)
+        plain = evaluate_chunk(
+            lambda row: _block_model(row), self._chunk(num_samples=6)
+        )
+        assert np.array_equal(blocked.outputs, plain.outputs)
+
+    def test_wrong_block_output_count_rejected(self):
+        from repro.campaign.executor import evaluate_chunk
+
+        def bad(parameters):
+            return np.array([0.0])
+
+        bad.evaluate_block = lambda block: np.zeros((1, 1))
+        with pytest.raises(CampaignError, match="outputs"):
+            evaluate_chunk(bad, self._chunk(num_samples=3))
+
+    def test_blocked_telemetry_record(self):
+        from repro.campaign.executor import evaluate_chunk
+
+        result = evaluate_chunk(_block_model, self._chunk(capture=True))
+        record = result.telemetry
+        assert record is not None
+        counters = record["metrics"]["counters"]
+        assert counters["campaign.blocked_solves"] == 4
+        assert "campaign.loop_solves" not in counters
+        assert record["metrics"]["gauges"]["campaign.batch_size"] == 4
+        histogram = record["metrics"]["histograms"][
+            "campaign.sample_amortized_s"
+        ]
+        assert histogram["count"] == 1
+        spans = [e for e in record["events"] if e.get("event") == "span"]
+        assert any(e["name"] == "block" for e in spans)
+        assert not any(e["name"] == "sample" for e in spans)
+
+    def test_loop_telemetry_record(self):
+        from repro.campaign.executor import evaluate_chunk
+
+        result = evaluate_chunk(_module_model, self._chunk(capture=True))
+        counters = result.telemetry["metrics"]["counters"]
+        assert counters["campaign.loop_solves"] == 4
+        assert "campaign.blocked_solves" not in counters
+        spans = [
+            e for e in result.telemetry["events"]
+            if e.get("event") == "span" and e["name"] == "sample"
+        ]
+        assert len(spans) == 4

@@ -74,6 +74,48 @@ class TestScenarioSpec:
         assert output.shape == (1,)
         assert output[0] == pytest.approx(10.0)
 
+    def test_qoi_wrapper_forwards_evaluate_block(self):
+        """A blocked raw model keeps its fast path through the QoI."""
+        from repro.campaign import registry
+
+        def build_blocked(scenario):
+            def model(parameters):
+                return np.asarray(parameters, dtype=float) * 2.0
+
+            model.evaluate_block = lambda block: np.asarray(
+                block, dtype=float
+            ) * 2.0
+            return model
+
+        registry.register_problem("test-blocked-spec", build_blocked)
+        scenario = ScenarioSpec(
+            problem="test-blocked-spec", qoi="test-first-entry",
+            module="tests.campaign.toy_problem",
+        )
+        model = scenario.build_model()
+        block = np.arange(6.0).reshape(3, 2)
+        outputs = model.evaluate_block(block)
+        expected = np.stack([model(row) for row in block])
+        assert np.array_equal(outputs, expected)
+        assert outputs.shape == (3, 1)
+
+    def test_identity_qoi_keeps_raw_blocked_model(self):
+        from repro.campaign import registry
+
+        def build_blocked(scenario):
+            def model(parameters):
+                return np.asarray(parameters, dtype=float)
+
+            model.evaluate_block = lambda block: np.asarray(
+                block, dtype=float
+            )
+            return model
+
+        registry.register_problem("test-blocked-identity", build_blocked)
+        scenario = ScenarioSpec(problem="test-blocked-identity")
+        model = scenario.build_model()
+        assert callable(model.evaluate_block)
+
 
 class TestCampaignSpec:
     def test_json_round_trip(self, toy_spec):

@@ -249,3 +249,65 @@ class TestPcePath:
         short = first[directs < 1.2e-3, 0]
         long_ = first[directs > 1.2e-3, 0]
         assert short.min() > long_.max()
+
+
+class TestBlockedEvaluation:
+    """The sample-blocked fast path of the study (tiny mesh/grid)."""
+
+    @pytest.fixture(scope="class")
+    def tiny_study(self):
+        from repro.package3d.chip_example import Date16Parameters
+
+        return Date16UncertaintyStudy(
+            parameters=Date16Parameters(end_time=10.0, num_time_points=6),
+            resolution=(0.9e-3, 0.4e-3),
+            tolerance=1e-3,
+        )
+
+    def test_supports_block_evaluation(self, tiny_study):
+        assert tiny_study.supports_block_evaluation
+
+    def test_adaptive_does_not_support_blocks(self):
+        adaptive = Date16UncertaintyStudy(
+            resolution="coarse", tolerance=1e-3, time_stepping="adaptive"
+        )
+        assert not adaptive.supports_block_evaluation
+        with pytest.raises(SamplingError, match="block"):
+            adaptive.evaluate_traces_block(np.full((2, 12), 0.17))
+        # The model factory degrades to the plain per-sample callable.
+        model = adaptive.block_model()
+        assert getattr(model, "evaluate_block", None) is None
+
+    def test_block_matches_per_sample_loop(self, tiny_study):
+        rng = np.random.default_rng(11)
+        deltas = rng.uniform(0.05, 0.4, size=(3, 12))
+        blocked = tiny_study.evaluate_traces_block(deltas)
+        loop = np.stack(
+            [tiny_study.evaluate_traces(row) for row in deltas]
+        )
+        assert blocked.shape == loop.shape
+        assert np.array_equal(blocked, loop)
+
+    def test_block_shape_validation(self, tiny_study):
+        with pytest.raises(SamplingError):
+            tiny_study.evaluate_traces_block(np.full(12, 0.17))
+        with pytest.raises(SamplingError):
+            tiny_study.evaluate_traces_block(np.full((2, 5), 0.17))
+
+    def test_block_counts_evaluations(self, tiny_study):
+        before = tiny_study.evaluations
+        tiny_study.evaluate_traces_block(np.full((2, 12), 0.17))
+        assert tiny_study.evaluations - before == 2
+
+    def test_block_model_exposes_study(self, tiny_study):
+        model = tiny_study.block_model()
+        assert callable(model.evaluate_block)
+        assert model.__self__ is tiny_study
+
+    def test_run_monte_carlo_block_size(self, tiny_study):
+        blocked = tiny_study.run_monte_carlo(
+            num_samples=5, seed=3, block_size=2
+        )
+        plain = tiny_study.run_monte_carlo(num_samples=5, seed=3)
+        assert np.array_equal(blocked.mean, plain.mean)
+        assert np.array_equal(blocked.std, plain.std)

@@ -59,3 +59,42 @@ class TestComparisonTable:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             format_campaign_comparison([])
+
+
+class TestBlockedEvaluationLine:
+    @staticmethod
+    def _telemetry(counters, gauges=None):
+        return {
+            "chunks": {
+                0: [{"event": "chunk", "chunk": 0, "samples": 8,
+                     "wall_s": 0.5, "worker": "w0"}],
+            },
+            "metrics": {"counters": counters, "gauges": gauges or {}},
+        }
+
+    def test_blocked_split_rendered(self):
+        from repro.reporting.telemetry import format_timings_report
+
+        report = format_timings_report(self._telemetry(
+            {"campaign.blocked_solves": 48, "campaign.loop_solves": 16},
+            {"campaign.batch_size": 8},
+        ))
+        assert "48 samples blocked" in report
+        assert "16 per-sample fallback" in report
+        assert "75.0% blocked" in report
+        assert "last batch size 8" in report
+
+    def test_line_absent_without_counters(self):
+        from repro.reporting.telemetry import format_timings_report
+
+        report = format_timings_report(self._telemetry({}))
+        assert "Blocked evaluation" not in report
+
+    def test_pure_fallback_campaign(self):
+        from repro.reporting.telemetry import format_timings_report
+
+        report = format_timings_report(
+            self._telemetry({"campaign.loop_solves": 24})
+        )
+        assert "0 samples blocked" in report
+        assert "24 per-sample fallback" in report

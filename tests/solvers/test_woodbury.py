@@ -217,6 +217,149 @@ class TestValidation:
             WoodburySolver(_base(6), np.zeros(6))
 
 
+class TestMultiRhs:
+    def test_multi_rhs_matches_per_column(self, rng):
+        n = 20
+        solver = WoodburySolver(_base(n), _stamp_vectors(n, 4))
+        g = rng.uniform(0.5, 8.0, 4)
+        rhs = rng.standard_normal((n, 5))
+        block = solver.solve(g, rhs)
+        assert block.shape == (n, 5)
+        for j in range(5):
+            assert np.allclose(block[:, j], solver.solve(g, rhs[:, j]),
+                               rtol=0, atol=1e-11)
+
+    def test_vector_rhs_shape_preserved(self, rng):
+        n = 12
+        solver = WoodburySolver(_base(n), _stamp_vectors(n, 2))
+        solution = solver.solve(rng.uniform(0.5, 2.0, 2),
+                                rng.standard_normal(n))
+        assert solution.shape == (n,)
+
+    def test_rejects_3d_rhs(self):
+        solver = WoodburySolver(_base(6), _stamp_vectors(6, 2))
+        with pytest.raises(SolverError, match="1D .* or 2D"):
+            solver.solve([1.0, 1.0], np.ones((6, 2, 2)))
+
+    def test_rejects_wrong_row_count(self):
+        solver = WoodburySolver(_base(6), _stamp_vectors(6, 2))
+        with pytest.raises(SolverError, match="unknowns"):
+            solver.solve([1.0, 1.0], np.ones(7))
+        with pytest.raises(SolverError, match="unknowns"):
+            solver.solve([1.0, 1.0], np.ones((5, 3)))
+
+
+class TestSolveBatch:
+    def test_matches_per_sample_solve_bitwise(self, rng):
+        """Column s of the batch == solve(g_s, rhs_s), at small S bitwise."""
+        n = 30
+        solver = WoodburySolver(_base(n), _stamp_vectors(n, 6))
+        g_block = rng.uniform(0.2, 20.0, (7, 6))
+        rhs_block = rng.standard_normal((n, 7))
+        batch = solver.solve_batch(g_block, rhs_block)
+        assert batch.shape == (n, 7)
+        for s in range(7):
+            expected = solver.solve(g_block[s], rhs_block[:, s])
+            assert np.array_equal(batch[:, s], expected)
+
+    def test_shared_rhs_is_bitwise_per_sample(self, rng):
+        """The electrical hot path: one (n,) RHS shared by every sample."""
+        n = 25
+        solver = WoodburySolver(_base(n), _stamp_vectors(n, 5))
+        g_block = rng.uniform(0.2, 10.0, (9, 5))
+        rhs = rng.standard_normal(n)
+        batch = solver.solve_batch(g_block, rhs)
+        assert batch.shape == (n, 9)
+        for s in range(9):
+            assert np.array_equal(batch[:, s], solver.solve(g_block[s], rhs))
+
+    def test_single_sample_block(self, rng):
+        n = 15
+        solver = WoodburySolver(_base(n), _stamp_vectors(n, 3))
+        g = rng.uniform(0.5, 5.0, (1, 3))
+        rhs = rng.standard_normal((n, 1))
+        batch = solver.solve_batch(g, rhs)
+        assert np.array_equal(batch[:, 0], solver.solve(g[0], rhs[:, 0]))
+
+    def test_heterogeneous_zero_conductances(self, rng):
+        """Samples with dropped stamps take the masked per-sample path."""
+        n = 20
+        solver = WoodburySolver(_base(n), _stamp_vectors(n, 4))
+        g_block = rng.uniform(0.5, 5.0, (4, 4))
+        g_block[1, 2] = 0.0
+        g_block[3, :] = 0.0
+        rhs_block = rng.standard_normal((n, 4))
+        batch = solver.solve_batch(g_block, rhs_block)
+        for s in range(4):
+            expected = solver.solve(g_block[s], rhs_block[:, s])
+            assert np.allclose(batch[:, s], expected, rtol=0, atol=1e-11)
+
+    def test_all_zero_conductances_return_base_solves(self, rng):
+        n = 14
+        solver = WoodburySolver(_base(n), _stamp_vectors(n, 3))
+        rhs_block = rng.standard_normal((n, 3))
+        batch = solver.solve_batch(np.zeros((3, 3)), rhs_block)
+        for s in range(3):
+            assert np.allclose(
+                batch[:, s], np.linalg.solve(_base(n).toarray(),
+                                             rhs_block[:, s])
+            )
+
+    def test_rank_zero_update(self, rng):
+        n = 10
+        solver = WoodburySolver(_base(n), np.zeros((n, 0)))
+        rhs_block = rng.standard_normal((n, 4))
+        batch = solver.solve_batch(np.zeros((4, 0)), rhs_block)
+        assert batch.shape == (n, 4)
+        assert np.allclose(batch, np.linalg.solve(_base(n).toarray(),
+                                                  rhs_block))
+
+    def test_matches_direct_dense_solves(self, rng):
+        n = 22
+        base = _base(n)
+        u = _stamp_vectors(n, 5)
+        solver = WoodburySolver(base, u)
+        g_block = rng.uniform(0.1, 30.0, (6, 5))
+        rhs_block = rng.standard_normal((n, 6))
+        batch = solver.solve_batch(g_block, rhs_block)
+        for s in range(6):
+            full = base.toarray() + u @ np.diag(g_block[s]) @ u.T
+            assert np.allclose(batch[:, s],
+                               np.linalg.solve(full, rhs_block[:, s]),
+                               rtol=0, atol=1e-9)
+
+    def test_rejects_1d_conductances(self):
+        solver = WoodburySolver(_base(6), _stamp_vectors(6, 2))
+        with pytest.raises(SolverError, match="2D"):
+            solver.solve_batch(np.ones(2), np.ones((6, 1)))
+
+    def test_rejects_wrong_rank(self):
+        solver = WoodburySolver(_base(6), _stamp_vectors(6, 2))
+        with pytest.raises(SolverError, match="conductances per sample"):
+            solver.solve_batch(np.ones((3, 5)), np.ones((6, 3)))
+
+    def test_rejects_negative_conductances(self):
+        solver = WoodburySolver(_base(6), _stamp_vectors(6, 2))
+        g = np.ones((3, 2))
+        g[2, 0] = -1.0e-9
+        with pytest.raises(SolverError, match="non-negative"):
+            solver.solve_batch(g, np.ones((6, 3)))
+
+    def test_rejects_sample_count_mismatch(self):
+        solver = WoodburySolver(_base(6), _stamp_vectors(6, 2))
+        with pytest.raises(SolverError, match="columns"):
+            solver.solve_batch(np.ones((3, 2)), np.ones((6, 4)))
+
+    def test_counts_blocked_solves(self, rng):
+        from repro.telemetry.tracing import capture
+
+        solver = WoodburySolver(_base(8), _stamp_vectors(8, 2))
+        with capture() as collector:
+            solver.solve_batch(np.ones((2, 2)), rng.standard_normal((8, 2)))
+        counters = collector.registry.as_dict()["counters"]
+        assert counters.get("solver.blocked_solves") == 1
+
+
 @given(
     k=st.integers(min_value=1, max_value=6),
     seed=st.integers(min_value=0, max_value=50),

@@ -109,3 +109,79 @@ class TestConvergenceTrace:
         )
         exact = 0.5
         assert abs(means[-1, 0] - exact) < abs(means[0, 0] - exact) + 0.02
+
+
+def _linear_block(parameters_block):
+    return np.stack([_linear_model(row) for row in parameters_block])
+
+
+class TestBlockedEvaluation:
+    def test_block_size_matches_per_sample_run(self):
+        from repro.uq.monte_carlo import BlockedModel
+
+        dist = UniformDistribution(0.0, 1.0)
+        model = BlockedModel(_linear_model, _linear_block)
+        blocked = MonteCarloStudy(model, dist, 3)
+        plain = MonteCarloStudy(_linear_model, dist, 3)
+        a = blocked.run(50, seed=5, block_size=8, keep_samples=True)
+        b = plain.run(50, seed=5, keep_samples=True)
+        assert np.array_equal(a.samples, b.samples)
+        assert np.array_equal(a.mean, b.mean)
+
+    def test_uneven_tail_block(self):
+        from repro.uq.monte_carlo import BlockedModel
+
+        model = BlockedModel(_linear_model, _linear_block)
+        study = MonteCarloStudy(model, UniformDistribution(0, 1), 2)
+        result = study.run(7, seed=0, block_size=3, keep_samples=True)
+        assert result.samples.shape == (7, 1)
+
+    def test_callback_sees_sample_order(self):
+        from repro.uq.monte_carlo import BlockedModel
+
+        calls = []
+        model = BlockedModel(_linear_model, _linear_block)
+        study = MonteCarloStudy(model, UniformDistribution(0, 1), 1)
+        study.run(5, seed=0, block_size=2,
+                  callback=lambda i, p, o: calls.append(i))
+        assert calls == [0, 1, 2, 3, 4]
+
+    def test_block_size_requires_evaluate_block(self):
+        study = MonteCarloStudy(_linear_model, UniformDistribution(0, 1), 1)
+        with pytest.raises(SamplingError, match="evaluate_block"):
+            study.run(4, seed=0, block_size=2)
+
+    def test_block_size_validated(self):
+        from repro.uq.monte_carlo import BlockedModel
+
+        model = BlockedModel(_linear_model, _linear_block)
+        study = MonteCarloStudy(model, UniformDistribution(0, 1), 1)
+        with pytest.raises(SamplingError, match="block_size"):
+            study.run(4, seed=0, block_size=0)
+
+    def test_block_size_rejected_with_executor(self):
+        from repro.campaign.executor import SerialExecutor
+        from repro.uq.monte_carlo import BlockedModel
+
+        model = BlockedModel(_linear_model, _linear_block)
+        study = MonteCarloStudy(model, UniformDistribution(0, 1), 1)
+        with pytest.raises(SamplingError, match="executor"):
+            study.run(4, seed=0, block_size=2, executor=SerialExecutor())
+
+    def test_wrong_output_count_rejected(self):
+        from repro.uq.monte_carlo import BlockedModel
+
+        model = BlockedModel(
+            _linear_model, lambda block: _linear_block(block)[:-1]
+        )
+        study = MonteCarloStudy(model, UniformDistribution(0, 1), 1)
+        with pytest.raises(SamplingError, match="outputs"):
+            study.run(4, seed=0, block_size=4)
+
+    def test_blocked_model_validates_callables(self):
+        from repro.uq.monte_carlo import BlockedModel
+
+        with pytest.raises(SamplingError):
+            BlockedModel("model", _linear_block)
+        with pytest.raises(SamplingError):
+            BlockedModel(_linear_model, "block")
