@@ -1,0 +1,154 @@
+"""Run a small fault-injected campaign end-to-end -- the nightly CI gate.
+
+A 64-sample campaign over the flaky fixture problem
+(``tests.campaign.flaky_problem``) is driven through the real
+``repro-campaign`` CLI with ``--executor process --max-retries 2``:
+
+* one permanently poisoned sample (chunk 1) must exhaust its retries
+  and land in ``quarantine.json``;
+* one transient sample kills its whole worker process on the first
+  attempt (``os._exit``), forcing a ``BrokenProcessPool`` rebuild --
+  the chunk must heal on retry and leave no quarantine trace;
+* ``resume`` must retry the quarantined chunk (and re-quarantine it,
+  since the poison is permanent) and leave the campaign complete;
+* every successful chunk must be bitwise identical to a failure-free
+  run of the same spec.
+
+This is the DESIGN.md "Fault tolerance" contract exercised with real
+worker death, which the in-process unit tests cannot fully stand in
+for on every platform.  Run from the repository root::
+
+    python scripts/fault_injection_smoke.py
+"""
+
+import os
+import sys
+import tempfile
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+# Repo root for the tests.campaign fixture package, src/ for running
+# against the tree without an installed package.
+for entry in (REPO_ROOT, os.path.join(REPO_ROOT, "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.campaign import ArtifactStore, CampaignSpec, ScenarioSpec  # noqa: E402
+from repro.campaign.cli import main  # noqa: E402
+
+from tests.campaign.flaky_problem import MODULE, PROBLEM_NAME  # noqa: E402
+
+DIMENSION = 4
+SEED = 7
+NUM_SAMPLES = 64
+CHUNK_SIZE = 8
+POISON_SAMPLE = 9      # -> chunk 1, permanently quarantined
+TRANSIENT_SAMPLE = 35  # -> chunk 4, heals after one worker kill
+
+
+def flaky_spec(options=None):
+    scenario_options = {"seed": SEED, "dimension": DIMENSION}
+    scenario_options.update(options or {})
+    return CampaignSpec(
+        name="fault-injection-smoke",
+        scenario=ScenarioSpec(
+            problem=PROBLEM_NAME,
+            qoi="identity",
+            options=scenario_options,
+            module=MODULE,
+        ),
+        distribution={"kind": "normal", "mu": 0.0, "sigma": 1.0},
+        dimension=DIMENSION,
+        num_samples=NUM_SAMPLES,
+        seed=SEED,
+        chunk_size=CHUNK_SIZE,
+    )
+
+
+def check(condition, message):
+    if not condition:
+        print(f"FAIL: {message}")
+        raise SystemExit(1)
+    print(f"ok: {message}")
+
+
+def run_smoke(workdir):
+    state_dir = os.path.join(workdir, "state")
+    os.mkdir(state_dir)
+    spec_path = os.path.join(workdir, "campaign.json")
+    flaky_spec({
+        "poison_sample": POISON_SAMPLE,
+        "transient_sample": TRANSIENT_SAMPLE,
+        "fail_attempts": 1,
+        "mode": "kill",
+        "state_dir": state_dir,
+    }).save(spec_path)
+
+    store_path = os.path.join(workdir, "store")
+    code = main([
+        "run", spec_path, "--store", store_path,
+        "--executor", "process", "--max-retries", "2", "--quiet",
+    ])
+    check(code == 0, "faulty campaign exits 0 under --max-retries 2")
+
+    store = ArtifactStore(store_path)
+    quarantine = store.read_quarantine()
+    check(
+        set(quarantine) == {POISON_SAMPLE // CHUNK_SIZE},
+        "only the poisoned chunk is quarantined "
+        "(worker-kill transient healed on retry)",
+    )
+    summary = store.read_summary()
+    check(
+        summary["num_quarantined_chunks"] == 1
+        and summary["num_quarantined_samples"] == CHUNK_SIZE
+        and summary["num_samples"] == NUM_SAMPLES - CHUNK_SIZE,
+        "summary counts the quarantined samples",
+    )
+    markers = [
+        name for name in os.listdir(state_dir)
+        if name.startswith(f"transient_{TRANSIENT_SAMPLE}.")
+    ]
+    check(len(markers) >= 2, "transient sample was actually retried")
+
+    code = main([
+        "resume", store_path,
+        "--executor", "process", "--max-retries", "2", "--quiet",
+    ])
+    check(code == 0, "resume retries the quarantined chunk and exits 0")
+    check(
+        set(store.read_quarantine()) == {POISON_SAMPLE // CHUNK_SIZE},
+        "permanently poisoned chunk is re-quarantined on resume",
+    )
+
+    clean_path = os.path.join(workdir, "clean.json")
+    flaky_spec().save(clean_path)
+    clean_store_path = os.path.join(workdir, "clean-store")
+    code = main([
+        "run", clean_path, "--store", clean_store_path, "--quiet",
+    ])
+    check(code == 0, "failure-free reference campaign exits 0")
+    reference = ArtifactStore(clean_store_path)
+    quarantined = set(quarantine)
+    for chunk_index in reference.completed_chunks():
+        if chunk_index in quarantined:
+            continue
+        _, _, outputs = store.read_chunk(chunk_index)
+        _, _, expected = reference.read_chunk(chunk_index)
+        if not np.array_equal(outputs, expected):
+            print(f"FAIL: chunk {chunk_index} differs from the "
+                  "failure-free reference")
+            raise SystemExit(1)
+    print("ok: successful chunks bitwise match the failure-free run")
+
+
+def run():
+    with tempfile.TemporaryDirectory(prefix="fault-smoke-") as workdir:
+        run_smoke(workdir)
+    print("fault-injection smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(run())

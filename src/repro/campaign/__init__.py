@@ -19,6 +19,11 @@ study loop into a distributable, checkpointed, resumable campaign:
   (what the evaluations become): :class:`MomentsReducer` running
   statistics, :class:`JansenReducer` Sobol indices,
   :class:`PCEReducer` surrogate fits, and :func:`register_reducer`;
+* :mod:`~repro.campaign.faults` -- elastic fault tolerance:
+  :class:`RetryPolicy` retries failed chunks (exponential backoff,
+  deterministic jitter, straggler timeouts) and chunks that exhaust
+  their retries are quarantined as :class:`ChunkFailure` records, so
+  one poisoned sample cannot wedge a million-sample campaign;
 * :mod:`~repro.campaign.store` -- the resumable :class:`ArtifactStore`
   (``manifest.json`` + atomic per-chunk ``.npz`` checkpoints + the
   reduction-state snapshot);
@@ -44,6 +49,7 @@ from .executor import (
     register_backend,
     registered_backends,
 )
+from .faults import ChunkEvaluationError, ChunkFailure, RetryPolicy
 from .reducer import (
     JansenReducer,
     MomentsReducer,
@@ -98,6 +104,9 @@ __all__ = [
     "FuturesExecutor",
     "WorkChunk",
     "ChunkResult",
+    "ChunkEvaluationError",
+    "ChunkFailure",
+    "RetryPolicy",
     "make_executor",
     "register_backend",
     "registered_backends",

@@ -41,6 +41,13 @@ adapter), or anything user code added via
 :func:`repro.campaign.register_backend`; passing ``--workers`` with a
 backend that cannot honor it is an error, never silently ignored.
 
+``--max-retries N`` (plus ``--retry-backoff`` / ``--chunk-timeout``)
+turns on fault tolerance: failed chunks are retried, chunks that
+exhaust their retries are quarantined in ``<store>/quarantine.json``
+and the campaign completes over the surviving samples (``report``
+states the quarantined counts).  ``resume`` retries quarantined chunks
+by default; ``--no-retry-quarantined`` reduces around them instead.
+
 ``--reducer`` overrides what the evaluations reduce *to*: ``moments``
 (mean/std statistics), ``jansen`` (Sobol indices; ``--bootstrap N``
 overrides the spec's CI replicates, ``--streaming`` folds chunks into
@@ -108,6 +115,25 @@ def _add_executor_arguments(parser):
         help="force per-chunk telemetry capture on/off for this run "
              "(default: the REPRO_TELEMETRY global flag, normally on)",
     )
+    parser.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="retry a failed chunk up to N times before quarantining it "
+             "(default: no retries -- the first chunk failure aborts "
+             "the run)",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=float, default=None, metavar="SECONDS",
+        help="base delay before a chunk retry, doubled per attempt with "
+             "deterministic jitter (default 0: retry immediately; "
+             "implies --max-retries 0 when given alone)",
+    )
+    parser.add_argument(
+        "--chunk-timeout", type=float, default=None, metavar="SECONDS",
+        help="straggler bound: a chunk in flight longer than this "
+             "counts as a failed attempt and is speculatively "
+             "re-submitted (pool backends only; implies --max-retries 0 "
+             "when given alone)",
+    )
 
 
 def _add_reducer_arguments(parser):
@@ -137,6 +163,36 @@ def _add_bootstrap_arguments(parser):
              "assembling the full output matrix (bit-identical "
              "indices; implies --bootstrap 0 because the bootstrap "
              "must resample full rows)",
+    )
+
+
+def _add_quarantine_arguments(parser):
+    parser.add_argument(
+        "--retry-quarantined", action=argparse.BooleanOptionalAction,
+        default=True,
+        help="re-evaluate chunks quarantined by a previous run "
+             "(default; --no-retry-quarantined leaves them quarantined "
+             "and reduces around their samples)",
+    )
+
+
+def _retry_policy_from_arguments(arguments):
+    """The ``RetryPolicy`` one invocation asks for, or ``None``.
+
+    ``None`` (no retry flag at all) preserves the historic fail-fast
+    behavior; any of the three flags opts into fault tolerance.
+    """
+    max_retries = getattr(arguments, "max_retries", None)
+    backoff = getattr(arguments, "retry_backoff", None)
+    timeout = getattr(arguments, "chunk_timeout", None)
+    if max_retries is None and backoff is None and timeout is None:
+        return None
+    from .faults import RetryPolicy
+
+    return RetryPolicy(
+        max_retries=0 if max_retries is None else max_retries,
+        backoff_s=0.0 if backoff is None else backoff,
+        timeout_s=timeout,
     )
 
 
@@ -192,6 +248,7 @@ def _build_parser():
     resume.add_argument("store", help="artifact store directory")
     _add_executor_arguments(resume)
     _add_reducer_arguments(resume)
+    _add_quarantine_arguments(resume)
 
     report = commands.add_parser(
         "report", help="print the summary of a completed campaign"
@@ -267,6 +324,7 @@ def _build_parser():
     sobol_resume.add_argument("store", help="artifact store directory")
     _add_executor_arguments(sobol_resume)
     _add_bootstrap_arguments(sobol_resume)
+    _add_quarantine_arguments(sobol_resume)
 
     sobol_report = sobol_commands.add_parser(
         "report", help="alias of 'report'"
@@ -407,6 +465,7 @@ def _run_command(spec, arguments, out, require_sensitivity=False):
     result = run_campaign(
         spec, store=store, executor=executor, progress=progress,
         reducer=reducer, telemetry=getattr(arguments, "telemetry", None),
+        retry=_retry_policy_from_arguments(arguments),
     )
     _print_result(result, store, out)
     return 0
@@ -428,6 +487,8 @@ def _resume_command(arguments, out):
     result = run_campaign(
         spec, store=store, executor=executor, progress=progress,
         reducer=reducer, telemetry=getattr(arguments, "telemetry", None),
+        retry=_retry_policy_from_arguments(arguments),
+        retry_quarantined=getattr(arguments, "retry_quarantined", True),
     )
     _print_result(result, store, out)
     return 0
@@ -438,6 +499,18 @@ def _report_command(store_path, out, timings=False):
     summary = store.read_summary()
     _print_provenance(store, out)
     _print_summary(summary, out)
+    quarantine = store.read_quarantine()
+    if quarantine:
+        samples = sum(
+            len(record.get("indices", ()))
+            for record in quarantine.values()
+        )
+        print(
+            f"quarantined: {len(quarantine)} chunk(s) / {samples} "
+            "sample(s) excluded from the statistics (see "
+            "quarantine.json; 'resume' retries them)",
+            file=out,
+        )
     if timings:
         from ..reporting.telemetry import format_timings_report
 

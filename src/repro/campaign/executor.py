@@ -41,15 +41,34 @@ Model sources
 Anything with a ``build_model()`` method (built once per worker, then
 cached) or a plain picklable callable.  Bound methods of solver-holding
 objects are *not* picklable -- that is exactly why the spec layer exists.
+
+Fault tolerance
+---------------
+``run_chunks`` takes an optional
+:class:`~repro.campaign.faults.RetryPolicy`.  With one, a chunk whose
+evaluation raises is retried up to ``max_retries`` times (exponential
+backoff, deterministic jitter) and finally yielded as a
+:class:`~repro.campaign.faults.ChunkFailure` instead of killing the
+campaign; pool backends additionally survive worker death
+(``BrokenProcessPool``): the pool is rebuilt and every in-flight chunk
+re-submitted.  Without a policy the historic fail-fast contract holds --
+the first failure propagates -- but always as a context-rich
+:class:`~repro.errors.ChunkEvaluationError` naming the chunk, the
+global sample indices and the worker.
 """
 
 import functools
+import heapq
+import itertools
 import json
 import os
 import threading
 import time
+import traceback as traceback_module
+from collections import OrderedDict, deque
 from concurrent.futures import (
     FIRST_COMPLETED,
+    BrokenExecutor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     wait,
@@ -57,8 +76,9 @@ from concurrent.futures import (
 
 import numpy as np
 
-from ..errors import CampaignError
+from ..errors import CampaignError, ChunkEvaluationError
 from ..telemetry import tracing as telemetry
+from .faults import ChunkFailure, failure_from_error
 
 
 def resolve_model(model_source):
@@ -116,6 +136,9 @@ class ChunkResult:
         self.parameters = np.asarray(parameters, dtype=float)
         self.outputs = np.asarray(outputs, dtype=float)
         self.telemetry = telemetry
+        #: Evaluation attempts this result took (set by the retrying
+        #: submit loop; 1 for a first-try success).
+        self.attempts = 1
 
 
 def _worker_label():
@@ -171,6 +194,32 @@ def _chunk_outputs(model, chunk):
     return np.stack(outputs)
 
 
+def _wrap_evaluation_error(chunk, exc):
+    """Raise the chunk's failure with full campaign context attached.
+
+    The surfaced :class:`~repro.errors.ChunkEvaluationError` names the
+    chunk index, the global sample indices and the worker label, so a
+    failure deep inside ``model(row)`` is actionable from the campaign
+    log alone -- and the context survives pickling back from pool
+    workers.
+    """
+    indices = [int(index) for index in chunk.indices]
+    first, last = (indices[0], indices[-1]) if indices else (None, None)
+    worker = _worker_label()
+    raise ChunkEvaluationError(
+        f"chunk {chunk.chunk_index} failed on worker {worker} "
+        f"(samples {first}..{last}): {exc!r}",
+        chunk_index=chunk.chunk_index,
+        sample_indices=indices,
+        worker=worker,
+        cause_repr=repr(exc),
+        cause_traceback="".join(
+            traceback_module.format_exception(type(exc), exc,
+                                              exc.__traceback__)
+        ),
+    ) from exc
+
+
 def evaluate_chunk(model, chunk):
     """Evaluate every sample of a chunk with an already-built model.
 
@@ -183,7 +232,21 @@ def evaluate_chunk(model, chunk):
     picklable ``ChunkResult.telemetry`` dict.  Disabled, the same
     evaluation helper runs without a collector -- every span/metric call
     is a no-op.
+
+    Any exception out of the evaluation is re-raised as a
+    :class:`~repro.errors.ChunkEvaluationError` carrying the chunk
+    index, sample indices and worker label (see
+    :func:`_wrap_evaluation_error`).
     """
+    try:
+        return _evaluate_chunk_inner(model, chunk)
+    except ChunkEvaluationError:
+        raise
+    except Exception as exc:
+        _wrap_evaluation_error(chunk, exc)
+
+
+def _evaluate_chunk_inner(model, chunk):
     should_capture = getattr(chunk, "capture_telemetry", None)
     if should_capture is None:
         should_capture = telemetry.enabled()
@@ -224,6 +287,198 @@ def evaluate_chunk(model, chunk):
     )
 
 
+def _drive_chunks(submit, chunks, max_pending, policy, rebuild=None):
+    """The retrying bounded-in-flight submit loop behind pool backends.
+
+    ``submit(chunk) -> future`` dispatches one chunk on the current
+    pool; ``rebuild()`` (optional) replaces a broken pool so subsequent
+    submits land on fresh workers.  Yields :class:`ChunkResult` per
+    completed chunk and -- when a policy is given -- a
+    :class:`~repro.campaign.faults.ChunkFailure` per chunk that
+    exhausted its retries.  Without a policy the first failure is
+    re-raised (the historic fail-fast contract).
+
+    Straggler timeouts re-submit speculatively: a timed-out future that
+    cannot be cancelled keeps running as an *abandoned* attempt, and
+    whichever attempt of the chunk completes first wins (late
+    duplicates are dropped).  Worker death (``BrokenExecutor``) dooms
+    every in-flight future at once and cannot be attributed to a single
+    chunk, so each in-flight chunk's attempt counts the death; with
+    ``max_retries >= 1`` the innocent chunks simply succeed on the
+    rebuilt pool.
+    """
+    max_retries = policy.max_retries if policy is not None else 0
+    timeout_s = policy.timeout_s if policy is not None else None
+    queue = deque((chunk, 1) for chunk in chunks)
+    delayed = []  # heap of (ready_monotonic, tiebreak, chunk, attempt)
+    tiebreak = itertools.count()
+    in_flight = {}  # future -> [chunk, attempt, deadline, abandoned]
+    resolved = set()
+    # A pool can break *while being fed*: submit() itself raises
+    # BrokenExecutor.  The chunk goes back on the queue and the broken
+    # pool is handled at the top of the main loop (same path as a
+    # future that resolves broken).
+    broken_on_submit = [None]
+
+    def active_count():
+        return sum(1 for entry in in_flight.values() if not entry[3])
+
+    def submit_one(chunk, attempt):
+        try:
+            future = submit(chunk)
+        except BrokenExecutor as exc:
+            if policy is None:
+                raise
+            broken_on_submit[0] = exc
+            queue.appendleft((chunk, attempt))
+            return False
+        deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+        in_flight[future] = [chunk, attempt, deadline, False]
+        return True
+
+    def fill():
+        now = time.monotonic()
+        while (delayed and delayed[0][0] <= now
+               and active_count() < max_pending
+               and broken_on_submit[0] is None):
+            _, _, chunk, attempt = heapq.heappop(delayed)
+            if not submit_one(chunk, attempt):
+                break
+        while (queue and active_count() < max_pending
+               and broken_on_submit[0] is None):
+            chunk, attempt = queue.popleft()
+            if not submit_one(chunk, attempt):
+                break
+
+    def retry_or_fail(chunk, attempt, error, message=None):
+        """Schedule a retry, or return the terminal ChunkFailure."""
+        if attempt <= max_retries:
+            delay = policy.delay_s(chunk.chunk_index, attempt)
+            heapq.heappush(
+                delayed,
+                (time.monotonic() + delay, next(tiebreak), chunk,
+                 attempt + 1),
+            )
+            return None
+        return failure_from_error(chunk, error, attempt, message=message)
+
+    fill()
+    while in_flight or queue or delayed:
+        broken = broken_on_submit[0]
+        broken_on_submit[0] = None
+        done = set()
+        if broken is None:
+            if not in_flight:
+                if delayed:
+                    pause = delayed[0][0] - time.monotonic()
+                    if pause > 0:
+                        time.sleep(pause)
+                fill()
+                continue
+            poll = None
+            now = time.monotonic()
+            deadlines = [
+                entry[2] for entry in in_flight.values()
+                if entry[2] is not None and not entry[3]
+            ]
+            if deadlines:
+                poll = max(0.0, min(deadlines) - now)
+            if delayed:
+                until_ready = max(0.0, delayed[0][0] - now)
+                poll = (until_ready if poll is None
+                        else min(poll, until_ready))
+            done, _ = wait(set(in_flight), timeout=poll,
+                           return_when=FIRST_COMPLETED)
+        for future in done:
+            chunk, attempt, _, abandoned = in_flight.pop(future)
+            error = future.exception()
+            if error is None:
+                result = future.result()
+                if result.chunk_index in resolved:
+                    continue  # late duplicate of a timed-out chunk
+                resolved.add(result.chunk_index)
+                result.attempts = attempt
+                yield result
+                continue
+            if policy is None:
+                raise error
+            if isinstance(error, BrokenExecutor):
+                broken = error
+                if not abandoned:
+                    in_flight[future] = [chunk, attempt, None, False]
+                continue
+            if abandoned or chunk.chunk_index in resolved:
+                continue  # a replacement attempt owns this chunk now
+            failure = retry_or_fail(chunk, attempt, error)
+            if failure is not None:
+                resolved.add(chunk.chunk_index)
+                yield failure
+        if broken is not None:
+            # Every in-flight future is doomed with the pool.  Collect
+            # one (chunk, attempt) per chunk -- a chunk may have both an
+            # active and an abandoned attempt in flight -- then either
+            # rebuild and retry, or fail everything outstanding.
+            casualties = {}
+            for chunk, attempt, _, abandoned in in_flight.values():
+                if chunk.chunk_index in resolved:
+                    continue
+                known = casualties.get(chunk.chunk_index)
+                if known is None or not abandoned:
+                    casualties[chunk.chunk_index] = (chunk, attempt)
+            in_flight.clear()
+            if rebuild is None:
+                # No way to get fresh workers: everything not yet
+                # resolved fails with the pool.
+                for chunk, attempt in queue:
+                    casualties.setdefault(chunk.chunk_index,
+                                          (chunk, attempt))
+                for _, _, chunk, attempt in delayed:
+                    casualties.setdefault(chunk.chunk_index,
+                                          (chunk, attempt))
+                queue.clear()
+                delayed.clear()
+                for chunk, attempt in casualties.values():
+                    resolved.add(chunk.chunk_index)
+                    yield failure_from_error(
+                        chunk, broken, attempt,
+                        message=f"executor pool broke and cannot be "
+                                f"rebuilt: {broken!r}",
+                    )
+                continue
+            rebuild()
+            for chunk, attempt in casualties.values():
+                failure = retry_or_fail(
+                    chunk, attempt, broken,
+                    message=f"worker died evaluating chunk "
+                            f"{chunk.chunk_index} (attempt {attempt}): "
+                            f"{broken!r}",
+                )
+                if failure is not None:
+                    resolved.add(chunk.chunk_index)
+                    yield failure
+        if timeout_s is not None:
+            now = time.monotonic()
+            for future, entry in list(in_flight.items()):
+                chunk, attempt, deadline, abandoned = entry
+                if abandoned or deadline is None or deadline > now:
+                    continue
+                if future.cancel():
+                    del in_flight[future]
+                else:
+                    entry[3] = True  # keep watching for a late result
+                failure = retry_or_fail(
+                    chunk, attempt, None,
+                    message=f"chunk {chunk.chunk_index} timed out after "
+                            f"{timeout_s} s (attempt {attempt})",
+                )
+                if failure is not None:
+                    resolved.add(chunk.chunk_index)
+                    yield failure
+        fill()
+
+
 class Executor:
     """Interface: ``map`` for flat streams, ``run_chunks`` for campaigns."""
 
@@ -236,17 +491,28 @@ class Executor:
         """
         raise NotImplementedError
 
-    def run_chunks(self, model_source, chunks):
+    def run_chunks(self, model_source, chunks, policy=None):
         """Yield a :class:`ChunkResult` per chunk as each completes.
 
         Completion order is executor-dependent; callers must not rely on
-        it (the runner reduces in chunk-index order regardless).
+        it (the runner reduces in chunk-index order regardless).  With a
+        :class:`~repro.campaign.faults.RetryPolicy`, failed chunks are
+        retried per the policy and terminal failures are yielded as
+        :class:`~repro.campaign.faults.ChunkFailure` records; without
+        one the first failure raises.
         """
         raise NotImplementedError
 
 
 class SerialExecutor(Executor):
-    """In-process evaluation: builds the model once, loops over samples."""
+    """In-process evaluation: builds the model once, loops over samples.
+
+    With a retry policy, a failed chunk is re-evaluated after the
+    policy's backoff and finally yielded as a
+    :class:`~repro.campaign.faults.ChunkFailure`; the per-chunk
+    ``timeout_s`` is documented as unenforced here (a single-process
+    loop cannot preempt its own evaluation).
+    """
 
     name = "serial"
 
@@ -258,10 +524,28 @@ class SerialExecutor(Executor):
         parameters = np.asarray(parameters, dtype=float)
         return (model(parameters[row]) for row in range(parameters.shape[0]))
 
-    def run_chunks(self, model_source, chunks):
+    def run_chunks(self, model_source, chunks, policy=None):
         model = resolve_model(model_source)
         for chunk in chunks:
-            yield evaluate_chunk(model, _stamp_dispatch(chunk))
+            if policy is None:
+                yield evaluate_chunk(model, _stamp_dispatch(chunk))
+                continue
+            attempt = 1
+            while True:
+                try:
+                    result = evaluate_chunk(model, _stamp_dispatch(chunk))
+                except Exception as exc:
+                    if attempt <= policy.max_retries:
+                        delay = policy.delay_s(chunk.chunk_index, attempt)
+                        if delay > 0:
+                            time.sleep(delay)
+                        attempt += 1
+                        continue
+                    yield ChunkFailure.from_exception(chunk, exc, attempt)
+                    break
+                result.attempts = attempt
+                yield result
+                break
 
 
 # ----------------------------------------------------------------------
@@ -330,27 +614,27 @@ class ParallelExecutor(Executor):
         with self._pool(model_source) as pool:
             return list(pool.map(_worker_evaluate_row, rows))
 
-    def run_chunks(self, model_source, chunks):
+    def run_chunks(self, model_source, chunks, policy=None):
         chunks = list(chunks)
         if not chunks:
             return
-        with self._pool(model_source) as pool:
-            queue = iter(chunks)
-            pending = set()
-            for chunk in queue:
-                pending.add(pool.submit(_worker_evaluate_chunk,
-                                        _stamp_dispatch(chunk)))
-                if len(pending) >= self.max_pending:
-                    break
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    yield future.result()
-                for chunk in queue:
-                    pending.add(pool.submit(_worker_evaluate_chunk,
-                                            _stamp_dispatch(chunk)))
-                    if len(pending) >= self.max_pending:
-                        break
+        holder = {"pool": self._pool(model_source)}
+
+        def submit(chunk):
+            return holder["pool"].submit(_worker_evaluate_chunk,
+                                         _stamp_dispatch(chunk))
+
+        def rebuild():
+            # A broken pool's shutdown never blocks, but be explicit:
+            # we must not wait on futures that will never complete.
+            holder["pool"].shutdown(wait=False)
+            holder["pool"] = self._pool(model_source)
+
+        try:
+            yield from _drive_chunks(submit, chunks, self.max_pending,
+                                     policy, rebuild=rebuild)
+        finally:
+            holder["pool"].shutdown(wait=True)
 
 
 #: Per-process cache of models built by futures-adapter tasks, keyed by
@@ -358,8 +642,11 @@ class ParallelExecutor(Executor):
 #: serializing backend this amortizes the model build across the chunks
 #: that land on the worker (the generic adapter has no initializer
 #: hook, so this is the moral equivalent of ``ParallelExecutor``'s
-#: per-worker model global).
-_FUTURES_MODELS = {}
+#: per-worker model global).  Bounded LRU: a long-lived service process
+#: cycling through many distinct specs must not accumulate a solver per
+#: spec forever.
+_FUTURES_MODELS = OrderedDict()
+_FUTURES_MODELS_MAX = 8
 
 
 def _futures_model_key(model_source):
@@ -384,6 +671,10 @@ def _futures_evaluate_chunk(model_source, chunk):
         model = _FUTURES_MODELS.get(key)
         if model is None:
             model = _FUTURES_MODELS[key] = resolve_model(model_source)
+            while len(_FUTURES_MODELS) > _FUTURES_MODELS_MAX:
+                _FUTURES_MODELS.popitem(last=False)
+        else:
+            _FUTURES_MODELS.move_to_end(key)
     return evaluate_chunk(model, chunk)
 
 
@@ -453,34 +744,37 @@ class FuturesExecutor(Executor):
 
         return task
 
-    def _run(self, task, chunks):
+    def _run(self, task, chunks, policy=None):
         if self._futures is not None:
-            yield from self._submit_all(self._futures, task, chunks)
+            # Caller-owned executor: no rebuild hook -- a broken pool
+            # fails all outstanding chunks (the driver records them).
+            yield from self._submit_all(self._futures, task, chunks,
+                                        policy, rebuild=None)
             return
-        pool = self._factory()
-        try:
-            yield from self._submit_all(pool, task, chunks)
-        finally:
-            pool.shutdown(wait=True)
+        holder = {"pool": self._factory()}
 
-    def _submit_all(self, pool, task, chunks):
+        def rebuild():
+            holder["pool"].shutdown(wait=False)
+            holder["pool"] = self._factory()
+
+        try:
+            yield from self._submit_all(holder, task, chunks, policy,
+                                        rebuild=rebuild)
+        finally:
+            holder["pool"].shutdown(wait=True)
+
+    def _submit_all(self, pool, task, chunks, policy=None, rebuild=None):
+        current = (lambda: pool["pool"]) if isinstance(pool, dict) \
+            else (lambda: pool)
         max_pending = self.max_pending
         if max_pending is None:
-            max_pending = 2 * getattr(pool, "_max_workers", 8)
-        queue = iter(chunks)
-        pending = set()
-        for chunk in queue:
-            pending.add(pool.submit(task, _stamp_dispatch(chunk)))
-            if len(pending) >= max_pending:
-                break
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                yield future.result()
-            for chunk in queue:
-                pending.add(pool.submit(task, _stamp_dispatch(chunk)))
-                if len(pending) >= max_pending:
-                    break
+            max_pending = 2 * getattr(current(), "_max_workers", 8)
+
+        def submit(chunk):
+            return current().submit(task, _stamp_dispatch(chunk))
+
+        yield from _drive_chunks(submit, chunks, max_pending, policy,
+                                 rebuild=rebuild)
 
     def map(self, model_source, parameters):
         parameters = np.asarray(parameters, dtype=float)
@@ -493,11 +787,11 @@ class FuturesExecutor(Executor):
                    self._run(task, chunks)}
         return [results[row] for row in range(parameters.shape[0])]
 
-    def run_chunks(self, model_source, chunks):
+    def run_chunks(self, model_source, chunks, policy=None):
         chunks = list(chunks)
         if not chunks:
             return
-        yield from self._run(self._task(model_source), chunks)
+        yield from self._run(self._task(model_source), chunks, policy)
 
 
 # ----------------------------------------------------------------------

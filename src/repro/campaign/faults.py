@@ -1,0 +1,219 @@
+"""Elastic fault tolerance: retry policies and first-class chunk failure.
+
+A production campaign cannot die because one sample out of a million
+raises -- worker processes get OOM-killed, shared filesystems hiccup,
+and a genuinely poisoned parameter row must not wedge the other 99.999%
+of the budget.  This module makes chunk failure a *result* instead of
+an exception:
+
+* :class:`RetryPolicy` -- how executors respond to a failed chunk:
+  ``max_retries`` re-submissions with exponential backoff and
+  deterministic jitter (seeded from the campaign seed, so two resumes
+  of the same campaign retry on the same schedule), plus an optional
+  per-chunk ``timeout_s`` for stragglers (timed-out chunks count as a
+  failed attempt and are speculatively re-submitted; the first
+  completion wins);
+* :class:`ChunkFailure` -- the terminal failure record an executor
+  yields from ``run_chunks`` once a chunk exhausts its retries,
+  carrying the chunk index, the global sample indices, the exception
+  repr/traceback and the attempt count.  The runner quarantines it
+  (``quarantine.json`` in the store), folds the reduction *around* it,
+  and a later ``resume`` retries quarantined chunks by default.
+
+Without a policy (``policy=None``) executors keep the historic
+fail-fast contract: the first chunk exception propagates.  Either way
+the raised error is a context-rich
+:class:`~repro.errors.ChunkEvaluationError` naming the chunk, the
+samples and the worker -- never a bare model traceback.
+"""
+
+import numpy as np
+
+from ..errors import CampaignError, ChunkEvaluationError
+
+
+class RetryPolicy:
+    """How executors retry failed chunks before quarantining them.
+
+    Parameters
+    ----------
+    max_retries:
+        Re-submissions per chunk after its first failure (``0`` means
+        one attempt total: the first failure quarantines).
+    backoff_s:
+        Base delay before retry ``n`` (doubled per attempt:
+        ``backoff_s * 2**(n-1)``); ``0`` retries immediately.
+    timeout_s:
+        Optional straggler bound: a chunk in flight longer than this
+        counts as a failed attempt and is speculatively re-submitted
+        (the abandoned attempt keeps running; whichever attempt
+        completes first wins).  Pool backends only -- the serial
+        executor cannot preempt its own evaluation loop and documents
+        the timeout as unenforced.
+    seed:
+        Entropy for the deterministic backoff jitter; the runner fills
+        in the campaign seed when left ``None``, so every resume of a
+        campaign reproduces the same retry schedule.
+    """
+
+    def __init__(self, max_retries=0, backoff_s=0.0, timeout_s=None,
+                 seed=None):
+        self.max_retries = int(max_retries)
+        self.backoff_s = float(backoff_s)
+        self.timeout_s = None if timeout_s is None else float(timeout_s)
+        self.seed = None if seed is None else int(seed)
+        if self.max_retries < 0:
+            raise CampaignError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_s < 0:
+            raise CampaignError(
+                f"backoff_s must be >= 0, got {self.backoff_s}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise CampaignError(
+                f"timeout_s must be > 0, got {self.timeout_s}"
+            )
+
+    @classmethod
+    def normalize(cls, retry):
+        """``None`` | policy | ``{"max_retries": ...}`` dict -> policy.
+
+        ``None`` passes through (fail-fast mode); an int is shorthand
+        for ``RetryPolicy(max_retries=retry)``.
+        """
+        if retry is None or isinstance(retry, cls):
+            return retry
+        if isinstance(retry, bool):
+            raise CampaignError(
+                "retry must be a RetryPolicy, an int max_retries or a "
+                "dict of RetryPolicy options, not a bool"
+            )
+        if isinstance(retry, int):
+            return cls(max_retries=retry)
+        if isinstance(retry, dict):
+            try:
+                return cls(**retry)
+            except TypeError as exc:
+                raise CampaignError(
+                    f"invalid retry policy options {sorted(retry)}: {exc}"
+                ) from exc
+        raise CampaignError(
+            f"retry must be a RetryPolicy, an int max_retries or a dict "
+            f"of RetryPolicy options, got {type(retry).__name__}"
+        )
+
+    def replace(self, **overrides):
+        """A copy with the given fields replaced (e.g. the seed)."""
+        fields = {
+            "max_retries": self.max_retries,
+            "backoff_s": self.backoff_s,
+            "timeout_s": self.timeout_s,
+            "seed": self.seed,
+        }
+        fields.update(overrides)
+        return type(self)(**fields)
+
+    def delay_s(self, chunk_index, attempt):
+        """Backoff before re-submitting ``chunk_index`` after failed
+        attempt ``attempt`` (1-based).
+
+        Exponential in the attempt count with a deterministic jitter
+        factor in ``[0.5, 1.5)`` drawn from
+        ``SeedSequence(seed, spawn_key=(chunk_index, attempt))`` --
+        pure function of (policy seed, chunk, attempt), so retry
+        schedules are reproducible while still de-synchronizing chunks
+        that failed together (one dead node must not produce a
+        thundering-herd resubmit).
+        """
+        if self.backoff_s <= 0:
+            return 0.0
+        base = self.backoff_s * (2.0 ** (max(0, int(attempt) - 1)))
+        sequence = np.random.SeedSequence(
+            entropy=0 if self.seed is None else self.seed,
+            spawn_key=(int(chunk_index), int(attempt)),
+        )
+        jitter = np.random.default_rng(sequence).random()
+        return base * (0.5 + jitter)
+
+    def __repr__(self):
+        return (
+            f"RetryPolicy(max_retries={self.max_retries}, "
+            f"backoff_s={self.backoff_s}, timeout_s={self.timeout_s}, "
+            f"seed={self.seed})"
+        )
+
+
+class ChunkFailure:
+    """Terminal failure of one chunk after exhausting its retries.
+
+    Yielded by ``Executor.run_chunks`` (instead of a
+    :class:`~repro.campaign.executor.ChunkResult`) when a
+    :class:`RetryPolicy` is in effect; the runner records it in the
+    store's quarantine and folds the reduction around its samples.
+    """
+
+    def __init__(self, chunk_index, indices, error, traceback=None,
+                 attempts=1, worker=None):
+        self.chunk_index = int(chunk_index)
+        self.indices = np.asarray(indices, dtype=int)
+        self.error = str(error)
+        self.traceback = traceback
+        self.attempts = int(attempts)
+        self.worker = worker
+
+    @classmethod
+    def from_exception(cls, chunk, exc, attempts):
+        """Build a failure record from a caught chunk exception,
+        preserving the worker-side context a
+        :class:`~repro.errors.ChunkEvaluationError` carries."""
+        return cls(
+            chunk_index=chunk.chunk_index,
+            indices=chunk.indices,
+            error=repr(exc),
+            traceback=getattr(exc, "cause_traceback", None),
+            attempts=attempts,
+            worker=getattr(exc, "worker", None),
+        )
+
+    def record(self):
+        """JSON-serializable quarantine entry for ``quarantine.json``."""
+        entry = {
+            "chunk": self.chunk_index,
+            "indices": [int(index) for index in self.indices],
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+        if self.worker is not None:
+            entry["worker"] = self.worker
+        if self.traceback:
+            entry["traceback"] = self.traceback
+        return entry
+
+    def __repr__(self):
+        return (
+            f"ChunkFailure(chunk={self.chunk_index}, "
+            f"samples={self.indices.size}, attempts={self.attempts}, "
+            f"error={self.error!r})"
+        )
+
+
+def failure_from_error(chunk, error, attempts, message=None):
+    """A :class:`ChunkFailure` for ``chunk`` from a raw exception or a
+    plain message (timeouts, broken pools)."""
+    if isinstance(error, BaseException):
+        return ChunkFailure.from_exception(chunk, error, attempts)
+    return ChunkFailure(
+        chunk_index=chunk.chunk_index,
+        indices=chunk.indices,
+        error=str(message if message is not None else error),
+        attempts=attempts,
+    )
+
+
+__all__ = [
+    "ChunkEvaluationError",
+    "ChunkFailure",
+    "RetryPolicy",
+    "failure_from_error",
+]

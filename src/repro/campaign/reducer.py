@@ -128,6 +128,13 @@ class Reducer:
     #: from the checkpointed chunks is just as fast as restoring.
     checkpointable = True
 
+    #: Whether the reduction stays statistically meaningful when some
+    #: samples are missing (quarantined chunks folded *around*).  Plain
+    #: Monte Carlo moments just see a smaller sample; structured designs
+    #: (Saltelli/Jansen, PCE regression on a fixed design) do not, so
+    #: the runner refuses to finalize them over a quarantined campaign.
+    tolerates_missing_samples = False
+
     def config_dict(self):
         """JSON-serializable identity of this reduction (kind + options).
 
@@ -178,6 +185,7 @@ class MomentsReducer(Reducer):
     """
 
     kind = "moments"
+    tolerates_missing_samples = True
 
     def __init__(self, spec=None):
         self.statistics = RunningStatistics()

@@ -36,6 +36,7 @@ from ..telemetry import MetricsRegistry, tracing
 from ..uq.sampling import map_to_distributions
 from . import registry
 from .executor import WorkChunk, make_executor
+from .faults import ChunkFailure, RetryPolicy
 from .reducer import resolve_reducer
 from .spec import CampaignSpec
 from .store import ArtifactStore
@@ -118,7 +119,14 @@ class CampaignResult:
     num_evaluated:
         Samples evaluated by *this* call (0 when everything was already
         checkpointed -- a pure re-reduce).
+    quarantine:
+        ``{chunk_index: failure_record}`` of chunks quarantined after
+        exhausting their retries (``None`` on failure-free campaigns);
+        their samples are excluded from the statistics.
     """
+
+    #: Set by the runner when chunks were quarantined this campaign.
+    quarantine = None
 
     def __init__(self, spec, statistics, parameters, num_evaluated):
         self.spec = spec
@@ -155,7 +163,7 @@ class CampaignResult:
         mean = self.mean
         std = self.std
         hottest = int(np.argmax(mean))
-        return {
+        summary = {
             "campaign": self.spec.name,
             "problem": self.spec.scenario.problem,
             "qoi": self.spec.scenario.qoi,
@@ -168,6 +176,13 @@ class CampaignResult:
             "error_mc_max": float(np.max(self.error())),
             "argmax_output": hottest,
         }
+        if self.quarantine:
+            summary["num_quarantined_chunks"] = len(self.quarantine)
+            summary["num_quarantined_samples"] = int(sum(
+                len(record.get("indices", ()))
+                for record in self.quarantine.values()
+            ))
+        return summary
 
     def __repr__(self):
         return (
@@ -300,8 +315,38 @@ def _provenance_record(reducer, executor):
     }
 
 
+def _run_chunks(executor, scenario, chunks, policy):
+    """Dispatch to ``executor.run_chunks``, passing the retry policy
+    only when asked for one.
+
+    ``policy=None`` keeps the historic two-argument call, so
+    user-registered executors written before fault tolerance existed
+    keep working unchanged; requesting retries from such an executor is
+    a pointed error rather than silently-ignored resilience.
+    """
+    if policy is None:
+        return executor.run_chunks(scenario, chunks)
+    try:
+        signature = inspect.signature(executor.run_chunks)
+        supported = "policy" in signature.parameters or any(
+            parameter.kind == parameter.VAR_KEYWORD
+            for parameter in signature.parameters.values()
+        )
+    except (TypeError, ValueError):
+        supported = True
+    if not supported:
+        raise CampaignError(
+            f"executor {getattr(executor, 'name', type(executor).__name__)!r} "
+            "does not accept a retry policy (its run_chunks has no "
+            "'policy' parameter); run without retry= or upgrade the "
+            "executor"
+        )
+    return executor.run_chunks(scenario, chunks, policy=policy)
+
+
 def run_campaign(spec, store=None, executor=None, progress=None,
-                 reducer=None, telemetry=None):
+                 reducer=None, telemetry=None, retry=None,
+                 retry_quarantined=True):
     """Run (or finish) a campaign of any kind and return its result.
 
     The one execution/reduction path of the campaign engine: evaluates
@@ -351,6 +396,21 @@ def run_campaign(spec, store=None, executor=None, progress=None,
         ``<store>/telemetry/`` (per-chunk JSONL written *before* each
         chunk's ``.npz``, an append-only ``run.jsonl``, and the merged
         ``metrics.json``).
+    retry:
+        Optional fault-tolerance policy: a
+        :class:`~repro.campaign.faults.RetryPolicy`, an int
+        (``max_retries`` shorthand) or an options dict.  With one,
+        failed chunks are retried per the policy, chunks that exhaust
+        their retries are **quarantined** (recorded in the store's
+        ``quarantine.json``, folded around, excluded from the
+        statistics) and the campaign completes over the surviving
+        samples.  ``None`` (default) keeps fail-fast: the first chunk
+        error raises.  A policy without a seed inherits the campaign
+        seed, so retry backoff jitter is reproducible per campaign.
+    retry_quarantined:
+        Whether chunks quarantined by a *previous* run of this store
+        are re-evaluated (default) or left quarantined and folded
+        around.  Only meaningful on the resume path.
     """
     if not isinstance(spec, CampaignSpec):
         raise CampaignError(
@@ -358,6 +418,9 @@ def run_campaign(spec, store=None, executor=None, progress=None,
         )
     reducer = resolve_reducer(spec, reducer)
     executor = make_executor(executor)
+    policy = RetryPolicy.normalize(retry)
+    if policy is not None and policy.seed is None:
+        policy = policy.replace(seed=spec.seed)
     capture = tracing.enabled() if telemetry is None else bool(telemetry)
     if store is not None and not isinstance(store, ArtifactStore):
         store = ArtifactStore(store)
@@ -365,9 +428,46 @@ def run_campaign(spec, store=None, executor=None, progress=None,
         store.initialize(
             spec, provenance=_provenance_record(reducer, executor)
         )
-        completed = set(store.completed_chunks())
+        # validate=True: a chunk file torn by a crash (full disk, killed
+        # copy) counts as incomplete and is recomputed, not fatal.
+        completed = set(store.completed_chunks(validate=True))
+        stored_quarantine = store.read_quarantine()
     else:
         completed = set()
+        stored_quarantine = {}
+
+    # Quarantine bookkeeping.  ``quarantined`` is this run's view:
+    # chunks the reduction will fold *around*.  Previously quarantined
+    # chunks are retried by default (they simply stay pending); with
+    # ``retry_quarantined=False`` they keep their records and are
+    # excluded from evaluation.  Retrying a quarantined chunk without a
+    # retry policy still must not kill the run on a repeat failure, so
+    # a zero-retry policy (one attempt, failures re-quarantine) is
+    # implied in that case.
+    quarantined = {}
+    if stored_quarantine:
+        stale = [index for index in stored_quarantine if index in completed]
+        if stale:
+            # A chunk cannot be both complete and quarantined; the
+            # chunk file wins (a prior resume healed it mid-kill).
+            store.discard_quarantined(stale)
+            for index in stale:
+                stored_quarantine.pop(index)
+    if stored_quarantine and not retry_quarantined:
+        quarantined = dict(stored_quarantine)
+    elif stored_quarantine and policy is None:
+        policy = RetryPolicy(max_retries=0, seed=spec.seed)
+
+    def check_reducer_tolerates():
+        if quarantined and not reducer.tolerates_missing_samples:
+            raise CampaignError(
+                f"{len(quarantined)} chunk(s) are quarantined but "
+                f"reducer {reducer.kind!r} needs every sample of its "
+                "structured design; resume to retry the quarantined "
+                "chunks (or fix the model) before reducing"
+            )
+
+    check_reducer_tolerates()
 
     total = spec.num_chunks
     parameters = np.empty((spec.num_samples, spec.dimension))
@@ -415,10 +515,29 @@ def run_campaign(spec, store=None, executor=None, progress=None,
     persist_telemetry = capture and store is not None
     run_t0 = time.perf_counter()
 
+    frontier_clean = True
+
     def fold_frontier():
-        nonlocal next_fold
+        nonlocal next_fold, frontier_clean
         fold_events = []
-        while next_fold < total and next_fold in available:
+        while next_fold < total and (
+                next_fold in available or next_fold in quarantined):
+            if next_fold not in available:
+                # Quarantined chunk: fold *around* it.  Its samples are
+                # excluded from the reduction, but the parameter matrix
+                # still gets its deterministically regenerated rows so
+                # downstream consumers see the complete design.  From
+                # here the folded prefix is no longer contiguous, so
+                # reducer-state snapshots stop (a snapshot's
+                # ``next_chunk`` must mean "every chunk below is in") --
+                # the clean-prefix snapshot already on disk stays valid.
+                indices = np.asarray(
+                    spec.chunk_indices(next_fold), dtype=int
+                )
+                parameters[indices] = campaign_parameters(spec, indices)
+                frontier_clean = False
+                next_fold += 1
+                continue
             fold_start = time.perf_counter()
             indices, chunk_parameters, outputs = read_chunk(next_fold)
             reducer.fold(indices, outputs)
@@ -430,7 +549,7 @@ def run_campaign(spec, store=None, executor=None, progress=None,
                     "wall_s": time.perf_counter() - fold_start,
                 })
             next_fold += 1
-            if checkpointing and (
+            if checkpointing and frontier_clean and (
                     next_fold == total
                     or next_fold % checkpoint_interval == 0):
                 # Only the folded-prefix rows go into the snapshot (the
@@ -451,11 +570,15 @@ def run_campaign(spec, store=None, executor=None, progress=None,
 
     fold_frontier()
     num_evaluated = 0
-    done = len(completed)
+    chunk_retries = 0
+    done = len(completed) + len(quarantined)
     notify = _progress_adapter(progress)
     heartbeat = _Heartbeat(total)
     telemetry_records = {}
-    pending = [index for index in range(total) if index not in completed]
+    pending = [
+        index for index in range(total)
+        if index not in completed and index not in quarantined
+    ]
     if persist_telemetry:
         store.append_run_events([{
             "event": "run_start",
@@ -467,7 +590,29 @@ def run_campaign(spec, store=None, executor=None, progress=None,
         chunks = campaign_chunks(spec, pending)
         for chunk in chunks:
             chunk.capture_telemetry = capture
-        for result in executor.run_chunks(spec.scenario, chunks):
+        for result in _run_chunks(executor, spec.scenario, chunks, policy):
+            chunk_retries += max(0, getattr(result, "attempts", 1) - 1)
+            if isinstance(result, ChunkFailure):
+                failure_record = result.record()
+                quarantined[result.chunk_index] = failure_record
+                if store is not None:
+                    store.quarantine_chunk(
+                        result.chunk_index, failure_record
+                    )
+                if persist_telemetry:
+                    store.append_run_events([{
+                        "event": "chunk_failed",
+                        "chunk": result.chunk_index,
+                        "attempts": int(result.attempts),
+                        "error": result.error,
+                        "samples": int(result.indices.size),
+                    }])
+                check_reducer_tolerates()
+                done += 1
+                if notify is not None:
+                    notify(heartbeat.beat(done))
+                fold_frontier()
+                continue
             num_evaluated += result.indices.size
             record = getattr(result, "telemetry", None)
             if record is not None:
@@ -487,6 +632,14 @@ def run_campaign(spec, store=None, executor=None, progress=None,
                 store.write_chunk(result)
             else:
                 memory_chunks[result.chunk_index] = result
+            if result.chunk_index in stored_quarantine:
+                # Healed on retry: drop the quarantine record (the
+                # chunk file is already on disk, so a kill between the
+                # two writes is repaired by the stale-record cleanup on
+                # the next resume).
+                stored_quarantine.pop(result.chunk_index, None)
+                quarantined.pop(result.chunk_index, None)
+                store.discard_quarantined([result.chunk_index])
             available.add(result.chunk_index)
             done += 1
             if persist_telemetry:
@@ -511,11 +664,37 @@ def run_campaign(spec, store=None, executor=None, progress=None,
             "folded"
         )
 
+    num_quarantined_samples = int(sum(
+        len(record.get("indices", ()))
+        for record in quarantined.values()
+    ))
+    if quarantined and num_quarantined_samples >= spec.num_samples:
+        raise CampaignError(
+            f"all {spec.num_samples} samples of campaign "
+            f"{spec.name!r} were quarantined -- nothing to reduce; see "
+            "quarantine.json for the failures"
+        )
+
     result = reducer.finalize(spec, parameters, num_evaluated)
+    if quarantined:
+        result.quarantine = {
+            index: quarantined[index] for index in sorted(quarantined)
+        }
     if store is not None:
-        store.write_summary(result.summary())
+        summary = result.summary()
+        if quarantined and "num_quarantined_chunks" not in summary:
+            # Reducers whose summary() predates quarantine still get
+            # the counts surfaced in summary.json and reports.
+            summary["num_quarantined_chunks"] = len(quarantined)
+            summary["num_quarantined_samples"] = num_quarantined_samples
+        store.write_summary(summary)
         if persist_telemetry:
             merged = _merged_campaign_metrics(store, telemetry_records)
+            if policy is not None or quarantined:
+                merged.increment("campaign.chunk_retries", chunk_retries)
+                merged.increment(
+                    "campaign.chunks_quarantined", len(quarantined)
+                )
             store.write_telemetry_metrics(merged.as_dict())
             store.append_run_events([{
                 "event": "run_complete",
@@ -527,7 +706,7 @@ def run_campaign(spec, store=None, executor=None, progress=None,
 
 
 def resume_campaign(store, executor=None, progress=None, reducer=None,
-                    telemetry=None):
+                    telemetry=None, retry=None, retry_quarantined=True):
     """Finish the campaign pinned in an existing store.
 
     Reads the spec from the manifest, evaluates only the missing chunks
@@ -539,6 +718,12 @@ def resume_campaign(store, executor=None, progress=None, reducer=None,
     ``reducer=`` to re-reduce the same chunks differently (e.g.
     ``{"kind": "pce", "degree": 4}`` fits the surrogate from existing
     checkpoints without a single fresh solve).
+
+    Chunks quarantined by a previous run are retried by default (and
+    un-quarantined when they now succeed); pass
+    ``retry_quarantined=False`` to leave them quarantined and reduce
+    around them.  ``retry`` takes the same policy values as
+    :func:`run_campaign`.
     """
     if not isinstance(store, ArtifactStore):
         store = ArtifactStore(store)
@@ -549,5 +734,6 @@ def resume_campaign(store, executor=None, progress=None, reducer=None,
     spec = store.load_spec()
     return run_campaign(
         spec, store=store, executor=executor, progress=progress,
-        reducer=reducer, telemetry=telemetry,
+        reducer=reducer, telemetry=telemetry, retry=retry,
+        retry_quarantined=retry_quarantined,
     )

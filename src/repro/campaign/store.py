@@ -10,6 +10,8 @@ Layout of a store directory::
             chunk_000001.npz
             ...
         reducer_state.npz      # checkpointed reduction state (optional)
+        quarantine.json        # chunks that exhausted their retries
+                               # (absent on failure-free campaigns)
         summary.json           # written once the campaign completes
         telemetry/             # optional observability layer
             chunk_000000.jsonl # per-chunk spans + metrics (atomic)
@@ -18,7 +20,14 @@ Layout of a store directory::
 
 Chunk files are written atomically (temp file + ``os.replace``), so a
 killed process can never leave a half-written chunk behind: on resume a
-chunk either exists completely or is recomputed.  The manifest pins the
+chunk either exists completely or is recomputed.  A kill *between*
+``mkstemp`` and ``os.replace`` can still leak the anonymous ``.tmp``
+file, so ``initialize()`` sweeps stale temporaries from the store root,
+``chunks/`` and ``telemetry/`` every time it runs (fresh create and
+resume alike).  ``quarantine.json`` records chunks that exhausted their
+retry budget -- one JSON entry per chunk with the sample indices, the
+error and the attempt count -- updated with the same atomic-replace
+discipline so concurrent readers never see a torn file.  The manifest pins the
 spec; resuming with a different spec is refused instead of silently
 mixing two campaigns in one directory.  ``reducer_state.npz`` snapshots
 the reducer's running state after every folded chunk (same atomic write
@@ -37,6 +46,7 @@ instead of raising.
 import json
 import os
 import tempfile
+import zipfile
 
 import numpy as np
 
@@ -99,8 +109,10 @@ class ArtifactStore:
                     f"{stored.name!r} with a different spec; refusing to "
                     "mix campaigns (use a fresh directory)"
                 )
+            self.sweep_temporaries()
             return self
         os.makedirs(self.chunk_dir, exist_ok=True)
+        self.sweep_temporaries()
         manifest = {
             "format_version": FORMAT_VERSION,
             "campaign": spec.to_dict(),
@@ -109,6 +121,33 @@ class ArtifactStore:
             manifest["provenance"] = dict(provenance)
         self._write_json(self.manifest_path, manifest)
         return self
+
+    def sweep_temporaries(self):
+        """Remove stale ``*.tmp`` files leaked by killed writers.
+
+        Every atomic write goes through ``tempfile.mkstemp`` +
+        ``os.replace``; a process killed between the two leaves an
+        orphaned temp file that no later run will ever touch.  Sweeping
+        is safe against *concurrent* writers only at initialize/resume
+        time (when no other run should be writing this store), which is
+        exactly when this runs.  Returns the removed paths.
+        """
+        removed = []
+        for directory in (self.path, self.chunk_dir, self.telemetry_dir):
+            if not os.path.isdir(directory):
+                continue
+            for name in os.listdir(directory):
+                if not name.endswith(".tmp"):
+                    continue
+                path = os.path.join(directory, name)
+                if not os.path.isfile(path):
+                    continue
+                try:
+                    os.remove(path)
+                except OSError:
+                    continue
+                removed.append(path)
+        return removed
 
     def read_provenance(self):
         """The manifest's provenance record (``None`` for stores created
@@ -136,8 +175,19 @@ class ArtifactStore:
             self.chunk_dir, f"chunk_{int(chunk_index):06d}.npz"
         )
 
-    def completed_chunks(self):
-        """Sorted indices of every fully written chunk."""
+    def completed_chunks(self, validate=False):
+        """Sorted indices of every fully written chunk.
+
+        The default is a name-based scan (cheap, and atomic writes make
+        a present file a complete file in normal operation).  With
+        ``validate=True`` every chunk file gets a structural check --
+        the zip central directory parses and the three expected arrays
+        are present -- so files truncated by a full disk or torn by a
+        partial copy are dropped from the result and resume recomputes
+        them instead of crashing on the corrupt bytes later.  The check
+        reads only the archive directory, not the array data, so it
+        stays cheap next to the reducer-snapshot fast path.
+        """
         if not os.path.isdir(self.chunk_dir):
             return []
         indices = []
@@ -147,7 +197,22 @@ class ArtifactStore:
                     indices.append(int(name[len("chunk_"):-len(".npz")]))
                 except ValueError:
                     continue
-        return sorted(indices)
+        indices.sort()
+        if not validate:
+            return indices
+        return [index for index in indices
+                if self._chunk_intact(self.chunk_path(index))]
+
+    @staticmethod
+    def _chunk_intact(path):
+        """Structural validity of one chunk ``.npz`` (directory parses,
+        expected members present) without loading the arrays."""
+        try:
+            with zipfile.ZipFile(path) as archive:
+                names = set(archive.namelist())
+        except (OSError, ValueError, zipfile.BadZipFile):
+            return False
+        return {"indices.npy", "parameters.npy", "outputs.npy"} <= names
 
     def write_chunk(self, result):
         """Persist one :class:`~repro.campaign.executor.ChunkResult`.
@@ -174,18 +239,32 @@ class ArtifactStore:
         return path
 
     def read_chunk(self, chunk_index):
-        """``(indices, parameters, outputs)`` arrays of one chunk."""
+        """``(indices, parameters, outputs)`` arrays of one chunk.
+
+        A chunk file that exists but cannot be read (truncated archive,
+        torn copy, missing arrays) raises :class:`CampaignError` naming
+        the file -- never a bare ``zipfile.BadZipFile`` -- so callers
+        can uniformly treat unreadable as recomputable.
+        """
         path = self.chunk_path(chunk_index)
         if not os.path.isfile(path):
             raise CampaignError(
                 f"chunk {chunk_index} is not present in {self.path!r}"
             )
-        with np.load(path) as data:
-            return (
-                data["indices"].copy(),
-                data["parameters"].copy(),
-                data["outputs"].copy(),
-            )
+        try:
+            with np.load(path) as data:
+                return (
+                    data["indices"].copy(),
+                    data["parameters"].copy(),
+                    data["outputs"].copy(),
+                )
+        except (OSError, ValueError, KeyError, EOFError,
+                zipfile.BadZipFile) as exc:
+            raise CampaignError(
+                f"chunk file {path!r} is corrupt or truncated "
+                f"({type(exc).__name__}: {exc}); delete it or resume to "
+                "recompute the chunk"
+            ) from exc
 
     # ------------------------------------------------------------------
     # Reducer state
@@ -242,6 +321,58 @@ class ArtifactStore:
         except (OSError, ValueError, KeyError, json.JSONDecodeError):
             return None
         return meta, arrays
+
+    # ------------------------------------------------------------------
+    # Quarantine
+    # ------------------------------------------------------------------
+    @property
+    def quarantine_path(self):
+        return os.path.join(self.path, "quarantine.json")
+
+    def read_quarantine(self):
+        """``{chunk_index: record}`` of quarantined chunks (``{}`` when
+        the campaign never quarantined anything)."""
+        if not os.path.isfile(self.quarantine_path):
+            return {}
+        payload = self._read_json(self.quarantine_path)
+        chunks = payload.get("chunks", {})
+        return {int(index): dict(record)
+                for index, record in chunks.items()}
+
+    def quarantine_chunk(self, chunk_index, record):
+        """Append one chunk's failure record to ``quarantine.json``.
+
+        Read-modify-replace under the atomic ``_write_json`` discipline:
+        each append publishes a complete file, so a kill mid-campaign
+        leaves every previously quarantined chunk on record.
+        """
+        chunks = self.read_quarantine()
+        chunks[int(chunk_index)] = dict(record)
+        self._write_json(self.quarantine_path, {
+            "chunks": {
+                str(index): chunks[index] for index in sorted(chunks)
+            },
+        })
+        return self.quarantine_path
+
+    def discard_quarantined(self, chunk_indices):
+        """Drop chunks from the quarantine (they succeeded on a retry).
+
+        Removes ``quarantine.json`` entirely once empty, so a fully
+        healed store is indistinguishable from a failure-free one.
+        """
+        chunks = self.read_quarantine()
+        for chunk_index in chunk_indices:
+            chunks.pop(int(chunk_index), None)
+        if chunks:
+            self._write_json(self.quarantine_path, {
+                "chunks": {
+                    str(index): chunks[index] for index in sorted(chunks)
+                },
+            })
+        elif os.path.isfile(self.quarantine_path):
+            os.remove(self.quarantine_path)
+        return self.quarantine_path
 
     # ------------------------------------------------------------------
     # Telemetry

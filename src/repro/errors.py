@@ -69,5 +69,36 @@ class CampaignError(ReproError):
     """Invalid campaign specification, store state or executor failure."""
 
 
+class ChunkEvaluationError(CampaignError):
+    """A chunk's model evaluation raised, with full campaign context.
+
+    Wraps whatever the model raised so the surfaced message names the
+    chunk index, the global sample indices and the worker label instead
+    of a bare model traceback.  Crosses process boundaries intact: the
+    extra context rides in :meth:`__reduce__`, so a failure raised in a
+    pool worker reaches the parent with ``chunk_index`` /
+    ``sample_indices`` / ``worker`` / ``cause_repr`` /
+    ``cause_traceback`` attributes populated.
+    """
+
+    def __init__(self, message, chunk_index=None, sample_indices=None,
+                 worker=None, cause_repr=None, cause_traceback=None):
+        super().__init__(message)
+        self.chunk_index = chunk_index
+        self.sample_indices = (
+            None if sample_indices is None else tuple(sample_indices)
+        )
+        self.worker = worker
+        self.cause_repr = cause_repr
+        self.cause_traceback = cause_traceback
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (str(self), self.chunk_index, self.sample_indices,
+             self.worker, self.cause_repr, self.cause_traceback),
+        )
+
+
 class TelemetryError(ReproError):
     """Invalid telemetry event, metric operation or event-log state."""

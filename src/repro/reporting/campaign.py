@@ -16,6 +16,8 @@ _SUMMARY_ROWS = (
     ("std_max", "max sigma_MC [K]"),
     ("error_mc_max", "max sigma_MC/sqrt(M) [K]"),
     ("argmax_output", "Hottest output index"),
+    ("num_quarantined_chunks", "Quarantined chunks"),
+    ("num_quarantined_samples", "Quarantined samples"),
 )
 
 

@@ -113,7 +113,32 @@ def format_timings_report(telemetry, top=None):
     if blocked_line:
         lines.append("")
         lines.append(blocked_line)
+    fault_line = _fault_tolerance_line(telemetry)
+    if fault_line:
+        lines.append("")
+        lines.append(fault_line)
     return "\n".join(lines)
+
+
+def _fault_tolerance_line(telemetry):
+    """Retry/quarantine counters, or ``None`` on fail-fast campaigns.
+
+    ``campaign.chunk_retries`` counts re-submissions of failed chunks
+    in the most recent run; ``campaign.chunks_quarantined`` counts
+    chunks that exhausted their retries and were excluded from the
+    reduction.
+    """
+    metrics = telemetry.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    if ("campaign.chunk_retries" not in counters
+            and "campaign.chunks_quarantined" not in counters):
+        return None
+    retries = counters.get("campaign.chunk_retries", 0)
+    quarantined = counters.get("campaign.chunks_quarantined", 0)
+    return (
+        f"Fault tolerance: {int(retries)} chunk retries, "
+        f"{int(quarantined)} chunk(s) quarantined"
+    )
 
 
 def _cache_hit_rate_line(telemetry):

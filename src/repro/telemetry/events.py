@@ -19,6 +19,10 @@ and their required fields (see DESIGN.md "Telemetry"):
 ``chunk_complete``
     ``chunk`` (int), ``done`` (int), ``total`` (int); optional
     ``wall_s``, ``queue_wait_s``, ``worker``.
+``chunk_failed``
+    One per chunk that exhausted its retries and was quarantined:
+    ``chunk`` (int), ``attempts`` (int), ``error`` (str); optional
+    ``samples`` (int) and ``worker``.
 ``fold``
     ``chunk`` (int), ``wall_s`` (number).
 ``heartbeat``
@@ -56,6 +60,7 @@ EVENT_SCHEMA = {
         "total_chunks": int, "completed_chunks": int, "walltime": _NUMBER,
     },
     "chunk_complete": {"chunk": int, "done": int, "total": int},
+    "chunk_failed": {"chunk": int, "attempts": int, "error": str},
     "fold": {"chunk": int, "wall_s": _NUMBER},
     "heartbeat": {"done": int, "total": int, "rate_per_s": _NUMBER},
     "run_complete": {

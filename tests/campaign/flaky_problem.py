@@ -1,0 +1,126 @@
+"""A deterministically failing registered problem for fault-injection
+tests.
+
+Importing this module registers ``"test-flaky"``.  The model computes
+the same outputs as a clean run of itself without failure options, so a
+campaign that retries/quarantines around the injected failures can be
+compared bitwise against a failure-free reference campaign.
+
+Failure injection is driven by scenario options:
+
+``poison_sample``
+    Global sample index whose evaluation *always* raises -- the
+    permanently poisoned row that must end up quarantined.
+``transient_sample``
+    Global sample index that fails the first ``fail_attempts`` times it
+    is evaluated, then succeeds -- the transient failure that a retry
+    policy must heal.  Attempt counts are marker files under
+    ``state_dir`` so they survive worker death and process boundaries.
+``fail_attempts``
+    How many evaluations of the transient sample fail (default 1).
+``mode``
+    ``"raise"`` (default) raises from the model; ``"kill"`` terminates
+    the whole worker process with ``os._exit(1)`` -- the
+    ``BrokenProcessPool`` path that forces a pool rebuild.
+``slow_sample`` / ``slow_s``
+    Global sample index whose first ``fail_attempts`` evaluations sleep
+    ``slow_s`` seconds before answering -- the straggler that a chunk
+    timeout must speculatively re-submit.
+``state_dir``
+    Directory for the attempt marker files (required with
+    ``transient_sample`` / ``slow_sample``).
+
+The model never sees global sample indices, only parameter rows, so the
+target samples are identified by *recomputing* their deterministic
+parameter rows (same counter-based seeding as the runner) and matching
+exactly.  Options must therefore carry the campaign's ``seed`` and
+``dimension`` (and the normal distribution's ``mu``/``sigma`` when not
+standard).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.campaign.registry import build_distribution, register_problem
+from repro.campaign.runner import unit_sample
+from repro.uq.sampling import map_to_distributions
+
+PROBLEM_NAME = "test-flaky"
+MODULE = "tests.campaign.flaky_problem"
+
+
+def target_row(options, sample_index):
+    """The exact parameter row of one global sample index."""
+    distribution = build_distribution({
+        "kind": "normal",
+        "mu": float(options.get("mu", 0.0)),
+        "sigma": float(options.get("sigma", 1.0)),
+    })
+    unit = unit_sample(
+        int(options["seed"]), int(sample_index), int(options["dimension"])
+    )
+    return map_to_distributions(unit[None, :], distribution)[0]
+
+
+def _count_attempt(state_dir, tag):
+    """Persistently count one more evaluation attempt of ``tag``.
+
+    One marker file per attempt, created with ``O_EXCL`` so concurrent
+    attempts never collide; the count survives worker death because the
+    marker lands on disk *before* the failure is raised.
+    """
+    attempt = 1
+    while True:
+        path = os.path.join(state_dir, f"{tag}.{attempt}")
+        try:
+            os.close(os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        except FileExistsError:
+            attempt += 1
+            continue
+        return attempt
+
+
+def build_flaky(scenario):
+    options = scenario.options
+    poison = options.get("poison_sample")
+    transient = options.get("transient_sample")
+    fail_attempts = int(options.get("fail_attempts", 1))
+    mode = options.get("mode", "raise")
+    state_dir = options.get("state_dir")
+    slow = options.get("slow_sample")
+    slow_s = float(options.get("slow_s", 0.0))
+    poison_row = (
+        None if poison is None else target_row(options, int(poison))
+    )
+    transient_row = (
+        None if transient is None else target_row(options, int(transient))
+    )
+    slow_row = None if slow is None else target_row(options, int(slow))
+
+    def model(parameters):
+        p = np.asarray(parameters, dtype=float)
+        if poison_row is not None and np.array_equal(p, poison_row):
+            raise ValueError(f"poisoned sample {int(poison)}")
+        if slow_row is not None and np.array_equal(p, slow_row):
+            attempt = _count_attempt(state_dir, f"slow_{int(slow)}")
+            if attempt <= fail_attempts:
+                time.sleep(slow_s)
+        if transient_row is not None and np.array_equal(p, transient_row):
+            attempt = _count_attempt(
+                state_dir, f"transient_{int(transient)}"
+            )
+            if attempt <= fail_attempts:
+                if mode == "kill":
+                    os._exit(1)
+                raise RuntimeError(
+                    f"transient failure of sample {int(transient)} "
+                    f"(attempt {attempt})"
+                )
+        return np.array([p.sum(), p.max(), (p * p).sum()])
+
+    return model
+
+
+register_problem(PROBLEM_NAME, build_flaky)

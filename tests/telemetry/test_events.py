@@ -24,6 +24,8 @@ GOOD_EVENTS = [
     {"event": "run_start", "total_chunks": 3, "completed_chunks": 0,
      "walltime": 1.7e9},
     {"event": "chunk_complete", "chunk": 0, "done": 1, "total": 3},
+    {"event": "chunk_failed", "chunk": 1, "attempts": 3,
+     "error": "ValueError('poisoned sample 9')"},
     {"event": "fold", "chunk": 0, "wall_s": 0.001},
     {"event": "heartbeat", "done": 1, "total": 3, "rate_per_s": 2.0,
      "eta_s": 1.0},
