@@ -1,0 +1,143 @@
+"""Service-layer throughput: N tiny concurrent campaigns over HTTP.
+
+Measures the overhead the service layer adds around the campaign
+runner: N small campaigns are submitted through the HTTP front end of
+an in-process :class:`repro.service.CampaignService` and run
+concurrently under the manager's worker budget.  Reported per job is
+the submit -> complete latency (queue wait + run + bookkeeping), plus
+aggregate jobs/min -- the number a nightly trend can watch for service
+regressions (lock contention, queue persistence, status polling).
+
+Writes ``benchmarks/artifacts/BENCH_service_throughput.json``.
+
+Run standalone (``--smoke`` is the CI mode; identical workload, just
+asserts completion instead of timing stability)::
+
+    python benchmarks/bench_service_throughput.py [--smoke]
+"""
+
+import argparse
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+# Repo root for the tests.service fixture problems, src/ for running
+# against the tree without an installed package.
+for entry in (REPO_ROOT, os.path.join(REPO_ROOT, "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.campaign import CampaignSpec, ScenarioSpec  # noqa: E402
+from repro.service import CampaignService, job_status, submit_job  # noqa: E402
+
+from tests.service.problems import MODULE, SLEEPY_PROBLEM  # noqa: E402
+
+NUM_JOBS = 8
+MAX_WORKERS = 4
+
+
+def tiny_spec(index):
+    """A distinct-but-cheap campaign per job (seed varies)."""
+    return CampaignSpec(
+        name=f"throughput-{index}",
+        scenario=ScenarioSpec(
+            problem=SLEEPY_PROBLEM,
+            qoi="identity",
+            options={"sleep_s": 0.0},
+            module=MODULE,
+        ),
+        distribution={"kind": "normal", "mu": 0.0, "sigma": 1.0},
+        dimension=3,
+        num_samples=12,
+        seed=100 + index,
+        chunk_size=4,
+    )
+
+
+def run_bench(root, num_jobs=NUM_JOBS, max_workers=MAX_WORKERS):
+    """Submit ``num_jobs`` campaigns, wait for all; returns metrics."""
+    with CampaignService(root, max_workers=max_workers) as service:
+        start = time.perf_counter()
+        jobs = [
+            submit_job(service.url, tiny_spec(index))
+            for index in range(num_jobs)
+        ]
+        pending = {job["job_id"] for job in jobs}
+        deadline = time.monotonic() + 300.0
+        while pending and time.monotonic() < deadline:
+            for job_id in sorted(pending):
+                status = job_status(service.url, job_id)
+                if status["state"] in ("completed", "failed"):
+                    if status["state"] != "completed":
+                        raise SystemExit(
+                            f"FAIL: {job_id} failed: "
+                            f"{status.get('error')}"
+                        )
+                    pending.discard(job_id)
+            time.sleep(0.02)
+        if pending:
+            raise SystemExit(f"FAIL: jobs never finished: {pending}")
+        wall_s = time.perf_counter() - start
+        latencies = [
+            record.finished_walltime - record.submitted_walltime
+            for record in service.manager.jobs(states=("completed",))
+        ]
+    return {
+        "num_jobs": num_jobs,
+        "max_workers": max_workers,
+        "wall_s": wall_s,
+        "latencies_s": latencies,
+        "jobs_per_min": 60.0 * num_jobs / wall_s,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: same workload, prints and asserts completion",
+    )
+    parser.add_argument("--jobs", type=int, default=NUM_JOBS)
+    parser.add_argument("--max-workers", type=int, default=MAX_WORKERS)
+    arguments = parser.parse_args(argv)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as root:
+        metrics = run_bench(
+            root, num_jobs=arguments.jobs,
+            max_workers=arguments.max_workers,
+        )
+
+    latencies = metrics["latencies_s"]
+    print(f"{metrics['num_jobs']} jobs over {metrics['max_workers']} "
+          f"workers in {metrics['wall_s']:.2f}s "
+          f"({metrics['jobs_per_min']:.0f} jobs/min)")
+    print(f"submit->complete latency: min {min(latencies):.3f}s  "
+          f"mean {sum(latencies) / len(latencies):.3f}s  "
+          f"max {max(latencies):.3f}s")
+
+    try:
+        from .conftest import write_bench_json
+    except ImportError:
+        from conftest import write_bench_json
+    path = write_bench_json(
+        "service_throughput",
+        timings={
+            "submit_to_complete": latencies,
+            "campaign_wall": metrics["wall_s"],
+        },
+        counters={
+            "jobs": metrics["num_jobs"],
+            "max_workers": metrics["max_workers"],
+        },
+        jobs_per_min=metrics["jobs_per_min"],
+        smoke=bool(arguments.smoke),
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI smoke
+    raise SystemExit(main())

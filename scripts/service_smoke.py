@@ -1,0 +1,180 @@
+"""Kill/restart smoke of the campaign service -- the CI examples gate.
+
+Drives the real ``repro-campaign serve`` subprocess end to end:
+
+* two campaigns are submitted over HTTP to a ``--max-workers 1``
+  service, so they run FIFO;
+* the status endpoint must report monotone folded-chunk frontier
+  progress for the in-flight job;
+* the service is SIGKILLed mid-run; ``repro-campaign report --partial``
+  must render the interrupted store;
+* a restarted service over the same root must recover the queue,
+  resume the in-flight job from its checkpoints and complete both;
+* the resumed summary must equal a direct ``run_campaign`` of the same
+  spec (the bit-identical kill/resume contract, through the service).
+
+This is the DESIGN.md "Service layer" contract exercised with a real
+process kill, which the in-process unit tests cannot fully stand in
+for.  Run from the repository root::
+
+    python scripts/service_smoke.py
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+# Repo root for the tests.service fixture problems, src/ for running
+# against the tree without an installed package.
+for entry in (REPO_ROOT, os.path.join(REPO_ROOT, "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.campaign import CampaignSpec, ScenarioSpec, run_campaign  # noqa: E402
+from repro.campaign.cli import main  # noqa: E402
+from repro.service import job_status, submit_job  # noqa: E402
+
+from tests.service.problems import MODULE, SLEEPY_PROBLEM  # noqa: E402
+
+
+def sleepy_spec(name, num_samples, sleep_s):
+    return CampaignSpec(
+        name=name,
+        scenario=ScenarioSpec(
+            problem=SLEEPY_PROBLEM,
+            qoi="identity",
+            options={"sleep_s": sleep_s},
+            module=MODULE,
+        ),
+        distribution={"kind": "normal", "mu": 0.0, "sigma": 1.0},
+        dimension=3,
+        num_samples=num_samples,
+        seed=19,
+        chunk_size=3,
+    )
+
+
+def check(condition, message):
+    if not condition:
+        print(f"FAIL: {message}")
+        raise SystemExit(1)
+    print(f"ok: {message}")
+
+
+def start_service(root):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(REPO_ROOT, "src"), REPO_ROOT]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.campaign", "serve", str(root),
+         "--max-workers", "1"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        cwd=REPO_ROOT,
+        text=True,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise SystemExit(
+                f"FAIL: serve exited early (rc {process.poll()})"
+            )
+        if line.startswith("serving at "):
+            return process, line.split("serving at ", 1)[1].strip()
+    process.kill()
+    raise SystemExit("FAIL: serve never announced its address")
+
+
+def wait_completed(url, job_id, timeout_s=120.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status = job_status(url, job_id)
+        if status["state"] in ("completed", "failed", "cancelled"):
+            return status
+        time.sleep(0.05)
+    raise SystemExit(f"FAIL: job {job_id} never finished")
+
+
+def run_smoke(workdir):
+    root = os.path.join(workdir, "service-root")
+    slow = sleepy_spec("smoke-slow", num_samples=30, sleep_s=0.05)
+    fast = sleepy_spec("smoke-fast", num_samples=9, sleep_s=0.0)
+
+    process, url = start_service(root)
+    try:
+        job_a = submit_job(url, slow)
+        job_b = submit_job(url, fast, tenant="bob")
+        print(f"submitted {job_a['job_id']}, {job_b['job_id']} at {url}")
+
+        frontiers = []
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            status = job_status(url, job_a["job_id"])
+            if status["state"] == "running":
+                frontiers.append(status.get("chunks_folded", 0))
+                if frontiers[-1] >= 2:
+                    break
+            time.sleep(0.02)
+        check(
+            frontiers and frontiers == sorted(frontiers)
+            and frontiers[-1] >= 2,
+            "status streams monotone frontier progress "
+            f"(saw {frontiers})",
+        )
+
+        os.kill(process.pid, signal.SIGKILL)
+        process.wait(timeout=30)
+        print("ok: service killed mid-run")
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+
+    store_a = os.path.join(root, "stores", "default", job_a["job_id"])
+    check(
+        main(["report", store_a, "--partial"]) == 0,
+        "report --partial renders the interrupted store",
+    )
+
+    process, url = start_service(root)
+    try:
+        status_a = wait_completed(url, job_a["job_id"])
+        status_b = wait_completed(url, job_b["job_id"])
+        check(
+            status_a["state"] == "completed" and status_a["resumes"] == 1,
+            "killed in-flight job resumed and completed "
+            f"(resumes={status_a['resumes']})",
+        )
+        check(
+            status_b["state"] == "completed",
+            "queued job survived the restart and completed",
+        )
+        resumed_summary = status_a["summary"]
+    finally:
+        process.kill()
+        process.wait(timeout=30)
+
+    reference = run_campaign(slow, store=os.path.join(workdir, "ref"))
+    check(
+        resumed_summary == reference.summary(),
+        "resumed summary equals a direct run_campaign of the same spec",
+    )
+
+
+def run():
+    with tempfile.TemporaryDirectory(prefix="service-smoke-") as workdir:
+        run_smoke(workdir)
+    print("service smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(run())

@@ -88,7 +88,7 @@ from .sensitivity import (
     run_sensitivity_campaign,
 )
 from .spec import CampaignSpec, ScenarioSpec
-from .store import ArtifactStore
+from .store import ArtifactStore, StoreLock
 
 __all__ = [
     "ScenarioSpec",
@@ -119,6 +119,7 @@ __all__ = [
     "registered_reducers",
     "resolve_reducer",
     "ArtifactStore",
+    "StoreLock",
     "CampaignResult",
     "run_campaign",
     "resume_campaign",

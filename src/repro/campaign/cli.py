@@ -11,6 +11,13 @@ Subcommands::
     trace   inspect the raw telemetry of a store (event inventory and
             span statistics; --dump prints JSONL, --validate checks
             every event against the documented schema)
+    serve   run the campaign service (queued jobs over HTTP; see
+            repro.service)
+    submit  POST a campaign spec to a running service -> job id
+    status  one JSON status snapshot of a job (service URL) or store
+            directory -- frontier, quarantine, heartbeat, partial
+            moments, all without reading chunk data
+    watch   stream JSONL status lines until the job/store completes
     sobol   thin aliases kept for sensitivity-campaign muscle memory
 
 Quickstart (the paper's Monte Carlo study, distributed over 4 workers)::
@@ -22,6 +29,16 @@ Quickstart (the paper's Monte Carlo study, distributed over 4 workers)::
 
 Kill the ``run`` at any point and ``repro-campaign resume out/`` finishes
 only the missing chunks, reproducing the uninterrupted result exactly.
+``report out/ --partial`` meanwhile summarizes whatever is checkpointed
+so far (partial moments, frontier, quarantine) instead of erroring.
+
+The service turns campaigns into queued jobs (multi-tenant stores under
+one root, bounded concurrency, restart recovery)::
+
+    repro-campaign serve /var/lib/repro --port 8080 --max-workers 2 &
+    repro-campaign submit http://127.0.0.1:8080 campaign.json \\
+        --tenant alice
+    repro-campaign watch http://127.0.0.1:8080 job-0001-abcdef12
 
 ``run``/``resume``/``report`` dispatch on the campaign kind, so the same
 three commands serve the Sobol sensitivity study (which wire's geometric
@@ -259,6 +276,12 @@ def _build_parser():
         help="append the telemetry timing report (ranked per-chunk "
              "wall/queue times, worker utilization, cache hit rate)",
     )
+    report.add_argument(
+        "--partial", action="store_true",
+        help="summarize an in-progress or killed store from its "
+             "checkpointed reducer state instead of erroring when "
+             "summary.json is absent",
+    )
 
     trace = commands.add_parser(
         "trace", help="inspect the telemetry recorded in a store"
@@ -274,6 +297,71 @@ def _build_parser():
         help="validate every recorded event against the documented "
              "schema; fails when the store holds no telemetry",
     )
+
+    serve = commands.add_parser(
+        "serve", help="run the campaign service (HTTP job queue)"
+    )
+    serve.add_argument("root",
+                       help="service root directory (queue.json + "
+                            "stores/<tenant>/<job-id>/)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0: pick a free port; the "
+                            "bound address is printed on startup)")
+    serve.add_argument("--max-workers", type=int, default=2,
+                       help="concurrent campaign budget (default 2)")
+    serve.add_argument("--executor", default=None, metavar="NAME",
+                       help="default executor backend for jobs that do "
+                            "not name one (default: serial)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="default per-job worker count for parallel "
+                            "backends")
+    serve.add_argument("--no-recover", action="store_true",
+                       help="do not requeue jobs left running by a "
+                            "previous service process")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per HTTP request")
+
+    submit = commands.add_parser(
+        "submit", help="submit a campaign spec to a running service"
+    )
+    submit.add_argument("url", help="service base URL, e.g. "
+                                    "http://127.0.0.1:8080")
+    submit.add_argument("spec", help="path of the JSON campaign spec")
+    submit.add_argument("--tenant", default="default",
+                        help="namespace the job's store under this "
+                             "tenant (default: 'default')")
+    submit.add_argument("--executor", default=None, metavar="NAME",
+                        help="executor backend for this job")
+    submit.add_argument("--workers", type=int, default=None,
+                        help="worker count for this job's backend")
+    submit.add_argument("--max-retries", type=int, default=None,
+                        metavar="N",
+                        help="per-chunk retry budget for this job")
+
+    status = commands.add_parser(
+        "status", help="one JSON status snapshot of a job or store"
+    )
+    status.add_argument("target",
+                        help="service base URL (with JOB_ID) or a store "
+                             "directory")
+    status.add_argument("job_id", nargs="?", default=None,
+                        help="job id (required with a service URL)")
+
+    watch = commands.add_parser(
+        "watch", help="stream JSONL status lines until completion"
+    )
+    watch.add_argument("target",
+                       help="service base URL (with JOB_ID) or a store "
+                            "directory")
+    watch.add_argument("job_id", nargs="?", default=None,
+                       help="job id (required with a service URL)")
+    watch.add_argument("--interval", type=float, default=0.5,
+                       help="poll/stream interval in seconds "
+                            "(default 0.5)")
+    watch.add_argument("--timeout", type=float, default=None,
+                       help="give up after this many seconds (default: "
+                            "wait forever)")
 
     sobol = commands.add_parser(
         "sobol", help="sensitivity-campaign aliases (spec is the only "
@@ -494,11 +582,39 @@ def _resume_command(arguments, out):
     return 0
 
 
-def _report_command(store_path, out, timings=False):
+def _report_command(store_path, out, timings=False, partial=False):
     store = ArtifactStore(store_path)
+    if partial:
+        from ..service.status import partial_summary
+
+        summary = partial_summary(store)
+        if summary.get("partial"):
+            from ..reporting.campaign import format_partial_summary
+
+            _print_provenance(store, out)
+            print(format_partial_summary(summary), file=out)
+            _print_quarantine(store, out)
+            if timings:
+                from ..reporting.telemetry import format_timings_report
+
+                print("", file=out)
+                print(format_timings_report(store.read_telemetry()),
+                      file=out)
+            return 0
+        # Fall through: the campaign did complete; print the real thing.
     summary = store.read_summary()
     _print_provenance(store, out)
     _print_summary(summary, out)
+    _print_quarantine(store, out)
+    if timings:
+        from ..reporting.telemetry import format_timings_report
+
+        print("", file=out)
+        print(format_timings_report(store.read_telemetry()), file=out)
+    return 0
+
+
+def _print_quarantine(store, out):
     quarantine = store.read_quarantine()
     if quarantine:
         samples = sum(
@@ -511,12 +627,132 @@ def _report_command(store_path, out, timings=False):
             "quarantine.json; 'resume' retries them)",
             file=out,
         )
-    if timings:
-        from ..reporting.telemetry import format_timings_report
 
-        print("", file=out)
-        print(format_timings_report(store.read_telemetry()), file=out)
+
+def _serve_command(arguments, out):
+    from ..service import CampaignService
+
+    service = CampaignService(
+        arguments.root,
+        host=arguments.host,
+        port=arguments.port,
+        verbose=arguments.verbose,
+        max_workers=arguments.max_workers,
+        executor=arguments.executor,
+        workers=arguments.workers,
+    )
+    recovered = service.start(recover=not arguments.no_recover)
+    # The parsable address line comes first: subprocess harnesses bind
+    # port 0 and read the actual port from here.
+    print(f"serving at {service.url}", file=out, flush=True)
+    print(
+        f"root {service.manager.root} "
+        f"(max_workers={service.manager.max_workers}, "
+        f"{len(service.manager.queue)} known jobs, "
+        f"{len(recovered)} recovered)",
+        file=out, flush=True,
+    )
+    try:
+        service._thread.join()
+    except KeyboardInterrupt:
+        print("shutting down...", file=sys.stderr)
+    finally:
+        service.stop(wait=True)
     return 0
+
+
+def _submit_command(arguments, out):
+    import json
+
+    from ..service.http import submit_job
+
+    spec = CampaignSpec.load(arguments.spec)
+    options = {}
+    if arguments.executor is not None:
+        options["executor"] = arguments.executor
+    if arguments.workers is not None:
+        options["workers"] = arguments.workers
+    if arguments.max_retries is not None:
+        options["retry"] = arguments.max_retries
+    job = submit_job(
+        arguments.url, spec, tenant=arguments.tenant,
+        options=options or None,
+    )
+    print(json.dumps(job, sort_keys=True), file=out)
+    return 0
+
+
+def _status_target(arguments):
+    """Resolve the status/watch target: (url, job_id) or (None, store)."""
+    target = arguments.target
+    if target.startswith(("http://", "https://")):
+        if not arguments.job_id:
+            raise CampaignError(
+                "status/watch on a service URL needs the job id: "
+                "repro-campaign status URL JOB_ID"
+            )
+        return target, arguments.job_id
+    if arguments.job_id:
+        raise CampaignError(
+            f"{target!r} is a store directory; a job id only applies "
+            "to a service URL"
+        )
+    return None, target
+
+
+def _status_command(arguments, out):
+    import json
+
+    url, target = _status_target(arguments)
+    if url is not None:
+        from ..service.http import job_status
+
+        status = job_status(url, target)
+    else:
+        from ..service.status import store_status
+
+        status = store_status(target)
+    print(json.dumps(status, sort_keys=True), file=out)
+    return 0
+
+
+def _watch_command(arguments, out):
+    import json
+
+    url, target = _status_target(arguments)
+    if url is not None:
+        from ..service.http import watch_job
+
+        for status in watch_job(
+                url, target, interval_s=arguments.interval,
+                timeout=arguments.timeout):
+            print(json.dumps(status, sort_keys=True), file=out, flush=True)
+        return 0
+    # Local store: poll store_status until the campaign completes.
+    import time as _time
+
+    from ..service.status import store_status
+
+    deadline = (
+        None if arguments.timeout is None
+        else _time.monotonic() + arguments.timeout
+    )
+    previous = None
+    while True:
+        status = store_status(target)
+        if status != previous:
+            previous = status
+            print(json.dumps(status, sort_keys=True), file=out, flush=True)
+        if status["state"] == "complete":
+            return 0
+        if deadline is not None and _time.monotonic() > deadline:
+            print(
+                f"error: watch of {target!r} timed out after "
+                f"{arguments.timeout} s (state {status['state']!r})",
+                file=sys.stderr,
+            )
+            return 1
+        _time.sleep(arguments.interval)
 
 
 def _trace_command(arguments, out):
@@ -609,10 +845,23 @@ def _dispatch(arguments):
 
     if arguments.command == "report":
         return _report_command(arguments.store, out,
-                               timings=arguments.timings)
+                               timings=arguments.timings,
+                               partial=arguments.partial)
 
     if arguments.command == "trace":
         return _trace_command(arguments, out)
+
+    if arguments.command == "serve":
+        return _serve_command(arguments, out)
+
+    if arguments.command == "submit":
+        return _submit_command(arguments, out)
+
+    if arguments.command == "status":
+        return _status_command(arguments, out)
+
+    if arguments.command == "watch":
+        return _watch_command(arguments, out)
 
     if arguments.command == "sobol":
         return _dispatch_sobol(arguments, out)

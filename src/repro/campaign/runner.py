@@ -411,19 +411,44 @@ def run_campaign(spec, store=None, executor=None, progress=None,
         Whether chunks quarantined by a *previous* run of this store
         are re-evaluated (default) or left quarantined and folded
         around.  Only meaningful on the resume path.
+
+    With a store, the runner first takes the store's exclusive lock
+    (``lock.json``) and heartbeats it per completed chunk, so a second
+    concurrent ``run_campaign`` on the same path raises
+    :class:`CampaignError` instead of interleaving chunk writes; a lock
+    left behind by a killed runner is detected as stale and broken.
     """
     if not isinstance(spec, CampaignSpec):
         raise CampaignError(
             f"expected a CampaignSpec, got {type(spec).__name__}"
         )
+    if store is not None and not isinstance(store, ArtifactStore):
+        store = ArtifactStore(store)
+    if store is None:
+        return _run_campaign_locked(
+            spec, store, executor, progress, reducer, telemetry, retry,
+            retry_quarantined, lock=None,
+        )
+    lock = store.acquire_lock()
+    try:
+        return _run_campaign_locked(
+            spec, store, executor, progress, reducer, telemetry, retry,
+            retry_quarantined, lock=lock,
+        )
+    finally:
+        lock.release()
+
+
+def _run_campaign_locked(spec, store, executor, progress, reducer,
+                         telemetry, retry, retry_quarantined, lock):
+    """The body of :func:`run_campaign`, with the store lock (when any)
+    already held by the caller."""
     reducer = resolve_reducer(spec, reducer)
     executor = make_executor(executor)
     policy = RetryPolicy.normalize(retry)
     if policy is not None and policy.seed is None:
         policy = policy.replace(seed=spec.seed)
     capture = tracing.enabled() if telemetry is None else bool(telemetry)
-    if store is not None and not isinstance(store, ArtifactStore):
-        store = ArtifactStore(store)
     if store is not None:
         store.initialize(
             spec, provenance=_provenance_record(reducer, executor)
@@ -574,6 +599,34 @@ def run_campaign(spec, store=None, executor=None, progress=None,
     done = len(completed) + len(quarantined)
     notify = _progress_adapter(progress)
     heartbeat = _Heartbeat(total)
+
+    def pulse(done_chunks):
+        """One chunk-completion tick: EWMA heartbeat for the in-process
+        callback, ``telemetry/progress.json`` for out-of-process status
+        readers, and the store lock's liveness mtime."""
+        event = heartbeat.beat(done_chunks)
+        if store is not None:
+            store.write_progress({
+                **event, "event": "progress", "walltime": time.time(),
+            })
+        if lock is not None:
+            lock.heartbeat()
+        if notify is not None:
+            notify(event)
+
+    if store is not None:
+        # Initial snapshot: a pure re-reduce (everything checkpointed,
+        # no pending chunks) never beats, but status readers still get
+        # an accurate done/total immediately.
+        store.write_progress({
+            "event": "progress",
+            "done": int(done),
+            "total": int(total),
+            "rate_per_s": 0.0,
+            "eta_s": None,
+            "wall_s": 0.0,
+            "walltime": time.time(),
+        })
     telemetry_records = {}
     pending = [
         index for index in range(total)
@@ -609,8 +662,7 @@ def run_campaign(spec, store=None, executor=None, progress=None,
                     }])
                 check_reducer_tolerates()
                 done += 1
-                if notify is not None:
-                    notify(heartbeat.beat(done))
+                pulse(done)
                 fold_frontier()
                 continue
             num_evaluated += result.indices.size
@@ -655,8 +707,7 @@ def run_campaign(spec, store=None, executor=None, progress=None,
                     if "queue_wait_s" in record:
                         complete["queue_wait_s"] = record["queue_wait_s"]
                 store.append_run_events([complete])
-            if notify is not None:
-                notify(heartbeat.beat(done))
+            pulse(done)
             fold_frontier()
     if next_fold != total:
         raise CampaignError(

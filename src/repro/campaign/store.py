@@ -5,6 +5,8 @@ Layout of a store directory::
     <store>/
         manifest.json          # format version + full campaign spec
                                # (+ optional reducer/backend provenance)
+        lock.json              # owner record while a runner holds the
+                               # store (absent on idle stores)
         chunks/
             chunk_000000.npz   # indices, parameters, outputs of chunk 0
             chunk_000001.npz
@@ -17,6 +19,7 @@ Layout of a store directory::
             chunk_000000.jsonl # per-chunk spans + metrics (atomic)
             run.jsonl          # run-scoped events (append-only)
             metrics.json       # merged campaign MetricsRegistry
+            progress.json      # latest heartbeat (atomically replaced)
 
 Chunk files are written atomically (temp file + ``os.replace``), so a
 killed process can never leave a half-written chunk behind: on resume a
@@ -41,11 +44,24 @@ the chunk ``.npz``, so a completed chunk always has its telemetry),
 ``run.jsonl`` is append-only across resumes, and a store without any of
 it remains fully usable -- telemetry readers return empty results
 instead of raising.
+
+``lock.json`` serializes *ownership*: a runner acquires the store lock
+(:class:`StoreLock`, ``O_CREAT | O_EXCL``) before touching the
+directory and heartbeats it per completed chunk, so two concurrent
+``run_campaign`` calls on one path fail fast with a
+:class:`~repro.errors.CampaignError` instead of silently interleaving
+chunk writes.  A lock left by a killed runner is detected as stale (its
+pid is dead on this host, or its heartbeat mtime is older than the
+stale threshold for foreign hosts) and broken on the next acquire, so
+crash recovery needs no manual cleanup.
 """
 
 import json
 import os
+import socket
 import tempfile
+import threading
+import time
 import zipfile
 
 import numpy as np
@@ -59,6 +75,161 @@ _CHUNK_DIR = "chunks"
 _REDUCER_STATE = "reducer_state.npz"
 _STATE_META_KEY = "__meta__"
 _TELEMETRY_DIR = "telemetry"
+_LOCK_NAME = "lock.json"
+_PROGRESS_NAME = "progress.json"
+
+#: Absolute lock-file paths held by this process (threads of one
+#: process share a pid, so the file protocol alone cannot arbitrate
+#: between them -- this registry does).
+_HELD_LOCKS = set()
+_HELD_LOCKS_GUARD = threading.Lock()
+
+
+def _pid_alive(pid):
+    """Whether ``pid`` names a live process on this host."""
+    try:
+        os.kill(int(pid), 0)
+    except (ProcessLookupError, ValueError, TypeError, OverflowError):
+        return False
+    except PermissionError:
+        return True  # alive, owned by someone else
+    return True
+
+
+class StoreLock:
+    """Exclusive ownership of one store directory via ``lock.json``.
+
+    The lock file is created with ``O_CREAT | O_EXCL`` (atomic on every
+    POSIX filesystem) and holds the owner's pid/host/thread plus its
+    creation wall clock; the file's *mtime* is the heartbeat, refreshed
+    by :meth:`heartbeat` (the runner beats once per completed chunk).
+    A second acquire attempt fails with a :class:`CampaignError` naming
+    the live owner.  Stale locks -- a dead pid on this host, or (for
+    locks from another host, where pids are meaningless) a heartbeat
+    older than ``stale_after_s`` -- are broken and re-acquired, so a
+    SIGKILLed runner never wedges its store.
+
+    Threads of one process share a pid, so same-process contention is
+    arbitrated by an in-process registry of held lock paths on top of
+    the file protocol.
+    """
+
+    def __init__(self, path, stale_after_s=300.0):
+        self.path = os.path.abspath(str(path))
+        self.stale_after_s = float(stale_after_s)
+        self._acquired = False
+
+    @property
+    def held(self):
+        """Whether *this* lock object currently owns the file."""
+        return self._acquired
+
+    def owner(self):
+        """The current lock file's owner record, or ``None``.
+
+        ``None`` means the file is absent *or* unreadable (a torn write
+        by a dying owner); callers distinguish via ``os.path.exists``.
+        """
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _is_stale(self, info):
+        """Whether the existing lock can safely be broken."""
+        try:
+            age = time.time() - os.path.getmtime(self.path)
+        except OSError:
+            return True  # vanished under us: retry the acquire
+        if info is None:
+            # Unreadable owner record: only a torn write of a dying
+            # process leaves one.  Give the writer a grace period, then
+            # treat it as dead.
+            return age > max(5.0, self.stale_after_s)
+        if info.get("host") == socket.gethostname():
+            return not _pid_alive(info.get("pid"))
+        return age > self.stale_after_s
+
+    def acquire(self):
+        """Take the lock or raise :class:`CampaignError` (never blocks)."""
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with _HELD_LOCKS_GUARD:
+            held_here = self.path in _HELD_LOCKS
+        for attempt in (0, 1):
+            if held_here:
+                break
+            try:
+                descriptor = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                info = self.owner()
+                if attempt == 0 and self._is_stale(info):
+                    try:
+                        os.remove(self.path)
+                    except FileNotFoundError:
+                        pass
+                    continue
+                break
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {
+                        "pid": os.getpid(),
+                        "host": socket.gethostname(),
+                        "thread": threading.current_thread().name,
+                        "created_walltime": time.time(),
+                    },
+                    handle,
+                )
+            with _HELD_LOCKS_GUARD:
+                _HELD_LOCKS.add(self.path)
+            self._acquired = True
+            return self
+        info = self.owner() or {}
+        owner = (
+            f"pid {info.get('pid', '?')} on {info.get('host', '?')} "
+            f"(thread {info.get('thread', '?')})"
+        )
+        raise CampaignError(
+            f"store {os.path.dirname(self.path)!r} is locked by {owner}; "
+            "a campaign is already running there -- wait for it, or "
+            "remove the stale lock.json if you are certain it is dead"
+        )
+
+    def heartbeat(self):
+        """Refresh the lock's mtime (the liveness signal for foreign
+        hosts); a no-op when the lock is not held."""
+        if not self._acquired:
+            return
+        try:
+            os.utime(self.path)
+        except OSError:
+            pass
+
+    def release(self):
+        """Drop the lock (idempotent; removing the file is best-effort)."""
+        if not self._acquired:
+            return
+        self._acquired = False
+        with _HELD_LOCKS_GUARD:
+            _HELD_LOCKS.discard(self.path)
+        try:
+            os.remove(self.path)
+        except OSError:
+            pass
+
+    def __enter__(self):
+        return self.acquire()
+
+    def __exit__(self, *exc_info):
+        self.release()
+
+    def __repr__(self):
+        state = "held" if self._acquired else "free"
+        return f"StoreLock({self.path!r}, {state})"
 
 
 class ArtifactStore:
@@ -85,6 +256,38 @@ class ArtifactStore:
     def exists(self):
         """Whether this directory holds an initialized store."""
         return os.path.isfile(self.manifest_path)
+
+    # ------------------------------------------------------------------
+    # Locking
+    # ------------------------------------------------------------------
+    @property
+    def lock_path(self):
+        return os.path.join(self.path, _LOCK_NAME)
+
+    def acquire_lock(self, stale_after_s=300.0):
+        """Take exclusive ownership of this store (see :class:`StoreLock`).
+
+        Raises :class:`CampaignError` when another live runner holds the
+        store; breaks and re-acquires stale locks.  The caller must
+        ``release()`` (or use the returned lock as a context manager).
+        """
+        return StoreLock(self.lock_path, stale_after_s=stale_after_s).acquire()
+
+    def lock_owner(self):
+        """The owner record of the current lock file, or ``None`` when
+        the store is unlocked (or the record is unreadable)."""
+        return StoreLock(self.lock_path).owner()
+
+    def _locked_by_other(self):
+        """Whether a *live* lock held outside this process (or by another
+        thread of it) protects the store."""
+        lock = StoreLock(self.lock_path)
+        if not os.path.exists(lock.path):
+            return False
+        with _HELD_LOCKS_GUARD:
+            if lock.path in _HELD_LOCKS:
+                return False  # our own lock
+        return not lock._is_stale(lock.owner())
 
     def initialize(self, spec, provenance=None):
         """Create the store for ``spec`` or validate an existing one.
@@ -130,8 +333,17 @@ class ArtifactStore:
         orphaned temp file that no later run will ever touch.  Sweeping
         is safe against *concurrent* writers only at initialize/resume
         time (when no other run should be writing this store), which is
-        exactly when this runs.  Returns the removed paths.
+        exactly when this runs -- so it refuses outright when a live
+        lock held by someone else protects the store.  Returns the
+        removed paths.
         """
+        if self._locked_by_other():
+            owner = self.lock_owner() or {}
+            raise CampaignError(
+                f"refusing to sweep store {self.path!r}: it is locked by "
+                f"pid {owner.get('pid', '?')} on {owner.get('host', '?')} "
+                "(a campaign is running there)"
+            )
         removed = []
         for directory in (self.path, self.chunk_dir, self.telemetry_dir):
             if not os.path.isdir(directory):
@@ -449,6 +661,32 @@ class ArtifactStore:
         if not os.path.isfile(self.telemetry_metrics_path):
             return None
         return self._read_json(self.telemetry_metrics_path)
+
+    @property
+    def progress_path(self):
+        return os.path.join(self.telemetry_dir, _PROGRESS_NAME)
+
+    def write_progress(self, progress):
+        """Atomically replace ``telemetry/progress.json``.
+
+        ``progress`` is the latest heartbeat snapshot (done/total/rate);
+        status readers in other processes poll this single small file
+        instead of tailing ``run.jsonl``.
+        """
+        self._write_json(self.progress_path, progress)
+        return self.progress_path
+
+    def read_progress(self):
+        """The latest progress snapshot, or ``None``.
+
+        Tolerates a missing or torn file (a reader can race the atomic
+        replace only across filesystems that lack atomic rename, and a
+        store may simply predate progress tracking).
+        """
+        try:
+            return self._read_json(self.progress_path)
+        except CampaignError:
+            return None
 
     def read_telemetry(self):
         """Everything the telemetry layer persisted, in chunk order.

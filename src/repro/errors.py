@@ -102,3 +102,7 @@ class ChunkEvaluationError(CampaignError):
 
 class TelemetryError(ReproError):
     """Invalid telemetry event, metric operation or event-log state."""
+
+
+class ServiceError(ReproError):
+    """Invalid service request, job state or queue operation."""

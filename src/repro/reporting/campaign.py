@@ -45,6 +45,38 @@ def format_campaign_summary(summary, title=None):
     return format_table(("Quantity", "Value"), rows, title=title)
 
 
+#: Extra rows a partial (in-progress / killed) summary carries on top
+#: of the well-known scalars; keys match
+#: :func:`repro.service.status.partial_summary`.
+_PARTIAL_ROWS = (
+    ("chunks_completed", "Chunks completed"),
+    ("chunks_folded", "Chunks folded (frontier)"),
+    ("rate_chunks_per_s", "Chunk rate [1/s]"),
+)
+
+
+def format_partial_summary(summary, title=None):
+    """ASCII table of a partial campaign summary.
+
+    The ``report --partial`` rendering: same table as
+    :func:`format_campaign_summary` (the synthesized summary reuses the
+    well-known keys, so mean/std rows land in their usual places) plus
+    the progress rows, under a title that cannot be mistaken for a
+    completed campaign.
+    """
+    summary = dict(summary)
+    summary.pop("partial", None)
+    rows = []
+    for key, label in _SUMMARY_ROWS + _PARTIAL_ROWS:
+        if key in summary:
+            rows.append((label, _format_value(summary.pop(key))))
+    for key in sorted(summary):
+        rows.append((key, _format_value(summary[key])))
+    if title is None:
+        title = "Campaign summary (PARTIAL -- in progress)"
+    return format_table(("Quantity", "Value"), rows, title=title)
+
+
 #: Row order and labels of the adaptive-stepping table; keys match
 #: :meth:`repro.solvers.adaptive.AdaptiveStepResult.statistics` merged
 #: with :meth:`repro.coupled.electrothermal.CoupledSolver

@@ -1,0 +1,62 @@
+"""Campaign service layer: queued jobs, multi-tenant stores, live status.
+
+The long-running front end over the campaign engine (the ROADMAP's
+"serve heavy traffic from many users" direction): campaigns stop being
+one CLI invocation owning one directory and become *jobs* -- submitted
+programmatically or over a stdlib-only HTTP API, queued, scheduled
+concurrently under a bounded worker budget, namespaced per tenant, and
+observable while they run.
+
+* :mod:`~repro.service.jobs` -- :class:`JobQueue` / :class:`JobRecord`:
+  the persistent, crash-safe job queue and its lifecycle state machine
+  (``queued -> running -> completed/failed``, with killed services
+  recovering ``running`` jobs back to the queue);
+* :mod:`~repro.service.namespace` -- :class:`Namespace`: the
+  ``stores/<tenant>/<job-id>/`` layout with path-safe name validation
+  and ``job.json`` provenance links (job id -> spec hash -> store);
+* :mod:`~repro.service.manager` -- :class:`JobManager`: the dispatcher
+  that runs claimed jobs through the normal
+  :func:`~repro.campaign.runner.run_campaign` /
+  :func:`~repro.campaign.runner.resume_campaign` path, so jobs inherit
+  checkpointing, retry/quarantine and bit-identical kill/resume, and
+  in-process jobs share the process-level factorization cache;
+* :mod:`~repro.service.status` -- :func:`store_status` /
+  :func:`partial_summary`: machine-readable progress from the store's
+  small checkpoint files (frontier, quarantine, heartbeat, partial
+  moments) -- never from chunk data;
+* :mod:`~repro.service.http` -- :class:`CampaignService`: the
+  ``http.server``-based JSON API (submit / status / result / JSONL
+  streaming watch) plus its urllib client helpers.
+
+Everything here is stdlib-only on top of the existing engine; the
+runner itself gained nothing service-specific beyond the store lock
+and the ``telemetry/progress.json`` heartbeat file.
+"""
+
+from .http import (
+    CampaignService,
+    job_result,
+    job_status,
+    submit_job,
+    watch_job,
+)
+from .jobs import JobQueue, JobRecord, spec_hash
+from .manager import JobManager
+from .namespace import Namespace
+from .status import partial_moments, partial_summary, store_status
+
+__all__ = [
+    "CampaignService",
+    "JobManager",
+    "JobQueue",
+    "JobRecord",
+    "Namespace",
+    "job_result",
+    "job_status",
+    "partial_moments",
+    "partial_summary",
+    "spec_hash",
+    "store_status",
+    "submit_job",
+    "watch_job",
+]

@@ -1,0 +1,377 @@
+"""Stdlib-only HTTP front end over :class:`JobManager`.
+
+Built on ``http.server.ThreadingHTTPServer`` -- no new runtime
+dependency -- with a deliberately small JSON API:
+
+====================  ==================================================
+``POST /jobs``        Submit ``{"spec": {...}, "tenant": ..,
+                      "options": {..}}`` -> ``201`` + the job record.
+``GET /jobs``         List job records (``?tenant=``, ``?state=``).
+``GET /jobs/<id>``    One status snapshot (queue + store view).
+``GET /jobs/<id>/result``  The summary once completed (else ``409``).
+``GET /jobs/<id>/watch``   Server-sent JSONL stream
+                      (``application/x-ndjson``): one status object per
+                      line on every change, closing after the terminal
+                      one.
+``DELETE /jobs/<id>`` Cancel a queued job.
+``GET /healthz``      Liveness + service stats.
+====================  ==================================================
+
+Streaming uses newline-delimited JSON rather than SSE framing: every
+line is a complete status object, so ``curl -N``-style consumers and
+the ``repro-campaign watch`` client need no event-stream parser.
+
+:class:`CampaignService` bundles a manager with a server, binds
+(``port=0`` picks a free port -- the resolved address is in
+``service.address``) and serves on daemon threads; it is both the
+programmatic embedding point and what ``repro-campaign serve`` runs.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from .. import __version__
+from ..errors import ReproError, ServiceError
+from .manager import JobManager
+
+_MAX_BODY = 8 * 1024 * 1024  # a campaign spec is small; 8 MiB is generous
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one request to the shared :class:`JobManager`."""
+
+    #: Quiet by default; ``CampaignService(verbose=True)`` restores the
+    #: stdlib per-request log lines.
+    verbose = False
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def manager(self):
+        return self.server.manager
+
+    def log_message(self, format, *args):  # noqa: A002 (stdlib signature)
+        if self.verbose:
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _send_json(self, payload, code=200):
+        body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, message, code):
+        self._send_json({"error": str(message)}, code=code)
+
+    def _read_body_json(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ServiceError("request body must be a JSON object")
+        if length > _MAX_BODY:
+            raise ServiceError(
+                f"request body of {length} bytes exceeds the "
+                f"{_MAX_BODY}-byte limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ServiceError(
+                f"request body must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        return payload
+
+    def _route(self):
+        """Split the request path -> (segments, query dict)."""
+        parts = urlsplit(self.path)
+        segments = [s for s in parts.path.split("/") if s]
+        query = {
+            key: values[-1]
+            for key, values in parse_qs(parts.query).items()
+        }
+        return segments, query
+
+    # ------------------------------------------------------------------
+    # Methods
+    # ------------------------------------------------------------------
+    def do_GET(self):  # noqa: N802 (stdlib naming)
+        segments, query = self._route()
+        try:
+            if segments == ["healthz"]:
+                self._send_json({
+                    "status": "ok",
+                    "version": __version__,
+                    **self.manager.stats(),
+                })
+            elif segments == ["jobs"]:
+                jobs = self.manager.jobs(
+                    tenant=query.get("tenant"),
+                    states=(
+                        [query["state"]] if "state" in query else None
+                    ),
+                )
+                self._send_json({"jobs": [job.to_dict() for job in jobs]})
+            elif len(segments) == 2 and segments[0] == "jobs":
+                self._send_json(self.manager.status(segments[1]))
+            elif (len(segments) == 3 and segments[0] == "jobs"
+                    and segments[2] == "result"):
+                job_id = segments[1]
+                job = self.manager.job(job_id)
+                if job.state != "completed":
+                    self._send_error_json(
+                        f"job {job_id!r} is {job.state!r}; no result yet",
+                        409,
+                    )
+                    return
+                self._send_json(self.manager.result(job_id))
+            elif (len(segments) == 3 and segments[0] == "jobs"
+                    and segments[2] == "watch"):
+                self._watch(segments[1], query)
+            else:
+                self._send_error_json(f"no route for {self.path!r}", 404)
+        except ServiceError as exc:
+            self._send_error_json(exc, 404 if "unknown job" in str(exc)
+                                  else 400)
+        except ReproError as exc:
+            self._send_error_json(exc, 400)
+
+    def do_POST(self):  # noqa: N802
+        segments, _ = self._route()
+        try:
+            if segments == ["jobs"]:
+                payload = self._read_body_json()
+                spec = payload.get("spec")
+                if not isinstance(spec, dict):
+                    raise ServiceError(
+                        "submission needs a 'spec' object (the campaign "
+                        "spec dict)"
+                    )
+                job = self.manager.submit(
+                    spec,
+                    tenant=payload.get("tenant", "default"),
+                    options=payload.get("options"),
+                )
+                self._send_json(job.to_dict(), code=201)
+            else:
+                self._send_error_json(f"no route for {self.path!r}", 404)
+        except ReproError as exc:
+            self._send_error_json(exc, 400)
+
+    def do_DELETE(self):  # noqa: N802
+        segments, _ = self._route()
+        try:
+            if len(segments) == 2 and segments[0] == "jobs":
+                job = self.manager.cancel(segments[1])
+                self._send_json(job.to_dict())
+            else:
+                self._send_error_json(f"no route for {self.path!r}", 404)
+        except ServiceError as exc:
+            self._send_error_json(exc, 404 if "unknown job" in str(exc)
+                                  else 409)
+        except ReproError as exc:
+            self._send_error_json(exc, 400)
+
+    # ------------------------------------------------------------------
+    # Streaming watch
+    # ------------------------------------------------------------------
+    def _watch(self, job_id, query):
+        try:
+            interval = float(query.get("interval", 0.2))
+            timeout = query.get("timeout")
+            timeout = float(timeout) if timeout is not None else None
+        except ValueError as exc:
+            raise ServiceError(f"bad watch query parameter: {exc}")
+        self.manager.job(job_id)  # 404 before committing to a stream
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Cache-Control", "no-store")
+        # Chunked would need framing; closing the connection delimits
+        # the stream instead, exactly like a JSONL file ends.
+        self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            for status in self.manager.watch(
+                    job_id, interval_s=interval, timeout_s=timeout):
+                line = json.dumps(status, sort_keys=True) + "\n"
+                self.wfile.write(line.encode("utf-8"))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client hung up; the job keeps running
+        except ServiceError:
+            pass  # watch timeout: the stream just ends
+        self.close_connection = True
+
+
+class CampaignService:
+    """A :class:`JobManager` plus its HTTP server, ready to serve.
+
+    ``port=0`` (default) binds any free port; the resolved ``(host,
+    port)`` is available as :attr:`address` immediately after
+    construction -- subprocess harnesses print/parse it instead of
+    racing for a fixed port.
+    """
+
+    def __init__(self, root, host="127.0.0.1", port=0, manager=None,
+                 verbose=False, **manager_options):
+        self.manager = (
+            manager if manager is not None
+            else JobManager(root, **manager_options)
+        )
+        handler = type("_BoundHandler", (_Handler,), {"verbose": verbose})
+        self.httpd = ThreadingHTTPServer((host, int(port)), handler)
+        self.httpd.daemon_threads = True
+        self.httpd.manager = self.manager
+        self._thread = None
+
+    @property
+    def address(self):
+        host, port = self.httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self):
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self, recover=True):
+        """Start manager + server threads; returns recovered jobs."""
+        recovered = self.manager.start(recover=recover)
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self.httpd.serve_forever,
+                kwargs={"poll_interval": 0.1},
+                name="repro-service-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return recovered
+
+    def stop(self, wait=True):
+        """Shut the server down, then the manager (waiting for jobs)."""
+        self.httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.httpd.server_close()
+        self.manager.stop(wait=wait)
+
+    def serve_forever(self):
+        """Blocking convenience for ``repro-campaign serve``."""
+        self.start()
+        try:
+            self._thread.join()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop(wait=True)
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop(wait=True)
+        return False
+
+    def __repr__(self):
+        return f"CampaignService({self.url!r}, {self.manager!r})"
+
+
+# ----------------------------------------------------------------------
+# Client helpers (urllib, shared by the CLI / smoke / tests)
+# ----------------------------------------------------------------------
+def _request(url, method="GET", payload=None, timeout=30.0):
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(
+        url, data=data, method=method, headers=headers
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace").strip()
+        try:
+            detail = json.loads(detail).get("error", detail)
+        except json.JSONDecodeError:
+            pass
+        raise ServiceError(
+            f"{method} {url} failed with HTTP {exc.code}: {detail}"
+        ) from exc
+    except urllib.error.URLError as exc:
+        raise ServiceError(f"cannot reach service at {url}: {exc.reason}") \
+            from exc
+
+
+def submit_job(url, spec, tenant="default", options=None, timeout=30.0):
+    """POST a campaign spec to a running service; returns the job dict."""
+    from ..campaign.spec import CampaignSpec
+
+    if isinstance(spec, CampaignSpec):
+        spec = spec.to_dict()
+    payload = {"spec": spec, "tenant": tenant}
+    if options:
+        payload["options"] = dict(options)
+    return _request(
+        url.rstrip("/") + "/jobs", "POST", payload, timeout=timeout
+    )
+
+
+def job_status(url, job_id, timeout=30.0):
+    """GET one status snapshot of a job."""
+    return _request(
+        f"{url.rstrip('/')}/jobs/{job_id}", timeout=timeout
+    )
+
+
+def job_result(url, job_id, timeout=30.0):
+    """GET the summary of a completed job (raises while incomplete)."""
+    return _request(
+        f"{url.rstrip('/')}/jobs/{job_id}/result", timeout=timeout
+    )
+
+
+def watch_job(url, job_id, interval_s=0.2, timeout=None):
+    """Iterate the server-sent JSONL status stream of one job.
+
+    Yields status dicts as the server emits them; the generator ends
+    when the job reaches a terminal state (the server closes the
+    stream).  ``timeout`` bounds the *total* watch via the server-side
+    parameter, and the socket read timeout is set slightly above it.
+    """
+    query = f"?interval={float(interval_s)}"
+    if timeout is not None:
+        query += f"&timeout={float(timeout)}"
+    request = urllib.request.Request(
+        f"{url.rstrip('/')}/jobs/{job_id}/watch{query}"
+    )
+    socket_timeout = None if timeout is None else float(timeout) + 10.0
+    try:
+        with urllib.request.urlopen(
+                request, timeout=socket_timeout) as response:
+            for raw in response:
+                line = raw.decode("utf-8").strip()
+                if line:
+                    yield json.loads(line)
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace").strip()
+        raise ServiceError(
+            f"watch of {job_id!r} failed with HTTP {exc.code}: {detail}"
+        ) from exc
+    except urllib.error.URLError as exc:
+        raise ServiceError(f"cannot reach service at {url}: {exc.reason}") \
+            from exc

@@ -1,0 +1,128 @@
+"""Multi-tenant store layout: ``<root>/stores/<tenant>/<job-id>/``.
+
+Each tenant owns a subtree of campaign stores, one per job, so
+concurrent users of one service never collide on disk; the per-store
+``lock.json`` (see :class:`~repro.campaign.store.StoreLock`) then
+guarantees that even two runners pointed at the *same* job directory
+cannot interleave writes.
+
+Names are validated against a conservative path-safe alphabet before
+ever touching the filesystem -- a tenant or job id can never traverse
+out of the root (``..``, separators, drive prefixes are all rejected).
+
+Every store created through a namespace gets a ``job.json`` provenance
+link next to its manifest recording job id -> tenant -> spec hash, so a
+store directory found on disk can always be traced back to the job that
+produced it.
+"""
+
+import os
+import re
+import time
+
+from ..campaign.store import ArtifactStore
+from ..errors import ServiceError
+
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_MAX_NAME = 128
+
+#: Default tenant for submissions that do not name one.
+DEFAULT_TENANT = "default"
+
+_LINK_NAME = "job.json"
+
+
+def validate_name(name, what="name"):
+    """Path-safe tenant / job-id validation; returns the name.
+
+    Accepts ``[A-Za-z0-9][A-Za-z0-9._-]*`` up to 128 characters --
+    enough for readable ids, too little for traversal (no separators,
+    no leading dot, so ``..`` and hidden files are impossible).
+    """
+    if not isinstance(name, str) or not name:
+        raise ServiceError(f"{what} must be a non-empty string, got {name!r}")
+    if len(name) > _MAX_NAME:
+        raise ServiceError(
+            f"{what} {name[:32]!r}... is longer than {_MAX_NAME} characters"
+        )
+    if not _NAME_PATTERN.match(name):
+        raise ServiceError(
+            f"{what} {name!r} is not path-safe; use letters, digits, "
+            "'.', '_' or '-' (must start with a letter or digit)"
+        )
+    return name
+
+
+class Namespace:
+    """Tenant-scoped store directories under one service root."""
+
+    def __init__(self, root):
+        self.root = os.path.abspath(str(root))
+
+    @property
+    def stores_root(self):
+        return os.path.join(self.root, "stores")
+
+    def store_path(self, tenant, job_id):
+        """The store directory of one job (validated, not created)."""
+        validate_name(tenant, "tenant")
+        validate_name(job_id, "job id")
+        return os.path.join(self.stores_root, tenant, job_id)
+
+    def store(self, tenant, job_id):
+        """The :class:`ArtifactStore` of one job (directory not created
+        until the runner initializes it)."""
+        return ArtifactStore(self.store_path(tenant, job_id))
+
+    def relative_path(self, path):
+        """A store path relative to the service root (for queue records
+        that must survive the root being moved)."""
+        return os.path.relpath(os.path.abspath(str(path)), self.root)
+
+    def resolve(self, relative):
+        """Inverse of :meth:`relative_path`."""
+        return os.path.normpath(os.path.join(self.root, relative))
+
+    def tenants(self):
+        """Sorted tenant names that currently have at least one store."""
+        if not os.path.isdir(self.stores_root):
+            return []
+        return sorted(
+            name for name in os.listdir(self.stores_root)
+            if os.path.isdir(os.path.join(self.stores_root, name))
+        )
+
+    def jobs(self, tenant):
+        """Sorted job ids with a store directory under ``tenant``."""
+        directory = os.path.join(self.stores_root, tenant)
+        if not os.path.isdir(directory):
+            return []
+        return sorted(
+            name for name in os.listdir(directory)
+            if os.path.isdir(os.path.join(directory, name))
+        )
+
+    # ------------------------------------------------------------------
+    # Provenance link: job id -> spec hash -> store
+    # ------------------------------------------------------------------
+    def write_link(self, store, job):
+        """Record the job -> store provenance link in the store dir."""
+        payload = {
+            "job_id": job.job_id,
+            "tenant": job.tenant,
+            "spec_hash": job.spec_hash,
+            "created_walltime": time.time(),
+        }
+        os.makedirs(store.path, exist_ok=True)
+        ArtifactStore._write_json(
+            os.path.join(store.path, _LINK_NAME), payload
+        )
+        return payload
+
+    @staticmethod
+    def read_link(store):
+        """The store's ``job.json`` provenance link, or ``None``."""
+        path = os.path.join(store.path, _LINK_NAME)
+        if not os.path.isfile(path):
+            return None
+        return ArtifactStore._read_json(path)

@@ -28,6 +28,15 @@ and their required fields (see DESIGN.md "Telemetry"):
 ``heartbeat``
     ``done`` (int), ``total`` (int), ``rate_per_s`` (number);
     optional ``eta_s`` (number or null), ``wall_s``.
+``progress``
+    The persisted twin of ``heartbeat`` (atomically replaced in
+    ``telemetry/progress.json`` for out-of-process status readers):
+    ``done`` (int), ``total`` (int), ``rate_per_s`` (number);
+    optional ``eta_s``, ``wall_s``, ``walltime``.
+``status``
+    One machine-readable store/job status snapshot, as streamed by the
+    service layer's ``watch``: ``state`` (str); everything else
+    optional (see DESIGN.md "Service layer" for the full payload).
 ``run_complete``
     ``total_chunks`` (int), ``num_evaluated`` (int), ``wall_s``
     (number); optional ``metrics``.
@@ -63,6 +72,8 @@ EVENT_SCHEMA = {
     "chunk_failed": {"chunk": int, "attempts": int, "error": str},
     "fold": {"chunk": int, "wall_s": _NUMBER},
     "heartbeat": {"done": int, "total": int, "rate_per_s": _NUMBER},
+    "progress": {"done": int, "total": int, "rate_per_s": _NUMBER},
+    "status": {"state": str},
     "run_complete": {
         "total_chunks": int, "num_evaluated": int, "wall_s": _NUMBER,
     },

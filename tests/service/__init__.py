@@ -1,0 +1,1 @@
+"""Service-layer tests: locks, queue, manager, HTTP, restart recovery."""

@@ -1,0 +1,163 @@
+"""HTTP front end: routes, status codes, JSONL watch streaming."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro
+from repro.errors import ServiceError
+from repro.service import (
+    CampaignService,
+    job_result,
+    job_status,
+    submit_job,
+    watch_job,
+)
+from repro.service.http import _request
+
+from tests.campaign.conftest import make_toy_spec
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A fully running service (manager dispatcher + HTTP server)."""
+    with CampaignService(tmp_path / "svc") as running:
+        yield running
+
+
+@pytest.fixture
+def frozen_service(tmp_path):
+    """HTTP server only -- the dispatcher never runs, jobs stay queued."""
+    service = CampaignService(tmp_path / "svc")
+    thread = threading.Thread(
+        target=service.httpd.serve_forever,
+        kwargs={"poll_interval": 0.05},
+        daemon=True,
+    )
+    thread.start()
+    yield service
+    service.httpd.shutdown()
+    thread.join()
+    service.httpd.server_close()
+
+
+class TestRoutes:
+    def test_healthz(self, service):
+        payload = _request(service.url + "/healthz")
+        assert payload["status"] == "ok"
+        assert payload["version"] == repro.__version__
+        assert "jobs" in payload
+        assert "factorization_cache" in payload
+
+    def test_submit_watch_result_roundtrip(self, service):
+        spec = make_toy_spec()
+        job = submit_job(service.url, spec, tenant="alice")
+        assert job["job_id"].startswith("job-0001-")
+        assert job["tenant"] == "alice"
+
+        snapshots = list(watch_job(
+            service.url, job["job_id"], interval_s=0.02, timeout=60
+        ))
+        assert snapshots[-1]["state"] == "completed"
+
+        summary = job_result(service.url, job["job_id"])
+        assert summary["campaign"] == spec.name
+        assert summary["num_samples"] == spec.num_samples
+
+    def test_status_snapshot(self, service):
+        job = submit_job(service.url, make_toy_spec())
+        for _ in watch_job(service.url, job["job_id"], interval_s=0.02,
+                           timeout=60):
+            pass
+        status = job_status(service.url, job["job_id"])
+        assert status["state"] == "completed"
+        assert status["store_state"] == "complete"
+        assert status["chunks_folded"] == status["total_chunks"]
+        assert status["spec_hash"] == job["spec_hash"]
+
+    def test_job_listing_filters(self, service):
+        job = submit_job(service.url, make_toy_spec(), tenant="alice")
+        for _ in watch_job(service.url, job["job_id"], interval_s=0.02,
+                           timeout=60):
+            pass
+        listing = _request(service.url + "/jobs?tenant=alice")
+        assert [record["job_id"] for record in listing["jobs"]] == [
+            job["job_id"]
+        ]
+        assert _request(service.url + "/jobs?tenant=bob")["jobs"] == []
+        by_state = _request(service.url + "/jobs?state=completed")
+        assert len(by_state["jobs"]) == 1
+
+
+class TestErrorCodes:
+    def test_result_while_queued_is_409(self, frozen_service):
+        job = submit_job(frozen_service.url, make_toy_spec())
+        with pytest.raises(ServiceError, match="HTTP 409"):
+            job_result(frozen_service.url, job["job_id"])
+
+    def test_cancel_queued_job(self, frozen_service):
+        job = submit_job(frozen_service.url, make_toy_spec())
+        cancelled = _request(
+            f"{frozen_service.url}/jobs/{job['job_id']}", method="DELETE"
+        )
+        assert cancelled["state"] == "cancelled"
+        with pytest.raises(ServiceError, match="HTTP 409"):
+            _request(
+                f"{frozen_service.url}/jobs/{job['job_id']}",
+                method="DELETE",
+            )
+
+    def test_unknown_job_is_404(self, service):
+        with pytest.raises(ServiceError, match="HTTP 404"):
+            job_status(service.url, "job-9999-deadbeef")
+
+    def test_unknown_route_is_404(self, service):
+        with pytest.raises(ServiceError, match="HTTP 404"):
+            _request(service.url + "/nope")
+
+    def test_bad_submission_body_is_400(self, service):
+        request = urllib.request.Request(
+            service.url + "/jobs",
+            data=b"this is not json",
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        detail = json.loads(excinfo.value.read().decode("utf-8"))
+        assert "not valid JSON" in detail["error"]
+
+    def test_submission_without_spec_is_400(self, service):
+        with pytest.raises(ServiceError, match="HTTP 400"):
+            _request(service.url + "/jobs", method="POST",
+                     payload={"tenant": "alice"})
+
+    def test_bad_option_is_400(self, service):
+        with pytest.raises(ServiceError, match="unknown job option"):
+            submit_job(service.url, make_toy_spec(),
+                       options={"bogus": 1})
+
+
+class TestWatchStream:
+    def test_watch_is_ndjson_and_monotone(self, service):
+        spec = make_toy_spec(num_samples=40, chunk_size=4)
+        job = submit_job(service.url, spec)
+        request = urllib.request.Request(
+            f"{service.url}/jobs/{job['job_id']}/watch?interval=0.02"
+        )
+        with urllib.request.urlopen(request, timeout=60) as response:
+            assert response.headers["Content-Type"] == (
+                "application/x-ndjson"
+            )
+            lines = [json.loads(line) for line in response if line.strip()]
+        assert lines[-1]["state"] == "completed"
+        frontiers = [line.get("chunks_folded", 0) for line in lines]
+        assert frontiers == sorted(frontiers)
+
+    def test_watch_unknown_job_is_404_before_streaming(self, service):
+        with pytest.raises(ServiceError, match="HTTP 404"):
+            list(watch_job(service.url, "job-9999-deadbeef", timeout=5))

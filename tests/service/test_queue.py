@@ -1,0 +1,181 @@
+"""Job queue: persistence, lifecycle transitions, restart recovery."""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import JobQueue, Namespace, spec_hash
+
+from tests.campaign.conftest import make_toy_spec
+
+
+class TestSubmission:
+    def test_submit_assigns_serial_and_hash(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        spec = make_toy_spec()
+        job = queue.submit(spec, tenant="alice")
+        digest = spec_hash(spec)
+        assert job.job_id == f"job-0001-{digest[:8]}"
+        assert job.state == "queued"
+        assert job.tenant == "alice"
+        assert job.spec_hash == digest
+        assert job.spec == spec.to_dict()
+
+    def test_spec_hash_is_canonical(self):
+        spec = make_toy_spec()
+        as_dict = spec.to_dict()
+        shuffled = dict(reversed(list(as_dict.items())))
+        assert spec_hash(as_dict) == spec_hash(shuffled)
+        assert spec_hash(spec) == spec_hash(as_dict)
+
+    def test_submit_validates_spec(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        with pytest.raises(Exception):
+            queue.submit({"name": "broken"})
+        assert len(queue) == 0
+
+    def test_submit_rejects_bad_tenant(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        with pytest.raises(ServiceError, match="path-safe"):
+            queue.submit(make_toy_spec(), tenant="../escape")
+
+    def test_serials_increase_across_restart(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        first = queue.submit(make_toy_spec())
+        reloaded = JobQueue(tmp_path)
+        second = reloaded.submit(make_toy_spec())
+        assert first.job_id.split("-")[1] == "0001"
+        assert second.job_id.split("-")[1] == "0002"
+
+
+class TestPersistence:
+    def test_queue_json_is_consistent_snapshot(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(make_toy_spec(), tenant="alice")
+        queue.submit(make_toy_spec(seed=8), tenant="bob")
+        payload = json.loads((tmp_path / "queue.json").read_text())
+        assert payload["format_version"] == 1
+        assert len(payload["jobs"]) == 2
+        states = [job["state"] for job in payload["jobs"]]
+        assert states == ["queued", "queued"]
+
+    def test_reload_preserves_records(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job = queue.submit(make_toy_spec(), tenant="alice",
+                           options={"executor": "thread"})
+        reloaded = JobQueue(tmp_path)
+        copy = reloaded.get(job.job_id)
+        assert copy.to_dict() == job.to_dict()
+
+
+class TestLifecycle:
+    def test_claim_is_fifo(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        first = queue.submit(make_toy_spec())
+        queue.submit(make_toy_spec(seed=8))
+        claimed = queue.claim_next()
+        assert claimed.job_id == first.job_id
+        assert claimed.state == "running"
+        assert claimed.started_walltime is not None
+
+    def test_claim_empty_queue_returns_none(self, tmp_path):
+        assert JobQueue(tmp_path).claim_next() is None
+
+    def test_complete_and_fail_transitions(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job_a = queue.submit(make_toy_spec())
+        job_b = queue.submit(make_toy_spec(seed=8))
+        queue.claim_next()
+        queue.claim_next()
+        queue.complete(job_a.job_id)
+        queue.fail(job_b.job_id, "boom")
+        assert queue.get(job_a.job_id).state == "completed"
+        failed = queue.get(job_b.job_id)
+        assert failed.state == "failed"
+        assert failed.error == "boom"
+        assert failed.terminal
+
+    def test_bad_transition_raises(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job = queue.submit(make_toy_spec())
+        with pytest.raises(ServiceError, match="cannot move"):
+            queue.complete(job.job_id)
+
+    def test_cancel_only_queued(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job = queue.submit(make_toy_spec())
+        queue.cancel(job.job_id)
+        assert queue.get(job.job_id).state == "cancelled"
+        other = queue.submit(make_toy_spec(seed=8))
+        queue.claim_next()
+        with pytest.raises(ServiceError, match="cannot move"):
+            queue.cancel(other.job_id)
+
+    def test_unknown_job_raises(self, tmp_path):
+        with pytest.raises(ServiceError, match="unknown job"):
+            JobQueue(tmp_path).get("job-9999-deadbeef")
+
+
+class TestRecovery:
+    def test_recover_running_requeues_with_resume_count(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job = queue.submit(make_toy_spec())
+        queue.submit(make_toy_spec(seed=8))
+        queue.claim_next()
+        # a "killed" service: reload from disk with the job still running
+        revived = JobQueue(tmp_path)
+        recovered = revived.recover_running()
+        assert [record.job_id for record in recovered] == [job.job_id]
+        record = revived.get(job.job_id)
+        assert record.state == "queued"
+        assert record.resumes == 1
+        # recovery is idempotent when nothing is running
+        assert revived.recover_running() == []
+
+
+class TestNamespace:
+    def test_store_layout(self, tmp_path):
+        namespace = Namespace(tmp_path)
+        path = namespace.store_path("alice", "job-0001-abcd1234")
+        assert path == str(
+            tmp_path / "stores" / "alice" / "job-0001-abcd1234"
+        )
+
+    @pytest.mark.parametrize("bad", [
+        "", "..", "../x", "a/b", "a\\b", ".hidden", "-flag", "x" * 200,
+        None, 7,
+    ])
+    def test_rejects_unsafe_names(self, tmp_path, bad):
+        namespace = Namespace(tmp_path)
+        with pytest.raises(ServiceError):
+            namespace.store_path(bad, "job-0001-abcd1234")
+
+    def test_relative_path_roundtrip(self, tmp_path):
+        namespace = Namespace(tmp_path)
+        path = namespace.store_path("alice", "job-0001-abcd1234")
+        relative = namespace.relative_path(path)
+        assert namespace.resolve(relative) == path
+
+    def test_link_roundtrip(self, tmp_path):
+        namespace = Namespace(tmp_path)
+        queue = JobQueue(tmp_path)
+        job = queue.submit(make_toy_spec(), tenant="alice")
+        store = namespace.store(job.tenant, job.job_id)
+        namespace.write_link(store, job)
+        link = Namespace.read_link(store)
+        assert link["job_id"] == job.job_id
+        assert link["tenant"] == "alice"
+        assert link["spec_hash"] == job.spec_hash
+
+    def test_listing(self, tmp_path):
+        namespace = Namespace(tmp_path)
+        queue = JobQueue(tmp_path)
+        for tenant in ("alice", "bob"):
+            job = queue.submit(make_toy_spec(), tenant=tenant)
+            namespace.write_link(
+                namespace.store(tenant, job.job_id), job
+            )
+        assert namespace.tenants() == ["alice", "bob"]
+        assert len(namespace.jobs("alice")) == 1
+        assert namespace.jobs("nobody") == []

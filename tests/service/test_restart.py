@@ -1,0 +1,191 @@
+"""End-to-end service acceptance: submit over HTTP, SIGKILL, resume.
+
+The ISSUE acceptance scenario: three campaigns (one flaky through the
+fault-injection fixture) submitted through the HTTP front end of a
+``repro-campaign serve`` subprocess; the service is SIGKILLed mid-run;
+a restarted service over the same root recovers the queue, resumes the
+in-flight job from its checkpoints and completes everything -- each
+store bitwise-identical to the same spec run directly through
+``run_campaign``.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+from repro.campaign import CampaignSpec, ScenarioSpec, run_campaign
+from repro.service import job_status, submit_job
+
+from tests.campaign.conftest import make_toy_spec
+from tests.campaign.flaky_problem import (
+    MODULE as FLAKY_MODULE,
+    PROBLEM_NAME as FLAKY_PROBLEM,
+)
+
+from .conftest import assert_stores_bitwise_equal, make_sleepy_spec
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__)
+)))
+
+
+def make_flaky_spec(state_dir, num_samples=24, chunk_size=4, seed=13):
+    """A campaign whose sample 7 fails twice before succeeding."""
+    return CampaignSpec(
+        name="flaky-restart",
+        scenario=ScenarioSpec(
+            problem=FLAKY_PROBLEM,
+            qoi="identity",
+            options={
+                "transient_sample": 7,
+                "fail_attempts": 2,
+                "state_dir": str(state_dir),
+                "seed": seed,
+                "dimension": 4,
+            },
+            module=FLAKY_MODULE,
+        ),
+        distribution={"kind": "normal", "mu": 0.0, "sigma": 1.0},
+        dimension=4,
+        num_samples=num_samples,
+        seed=seed,
+        chunk_size=chunk_size,
+    )
+
+
+def start_service(root):
+    """Launch ``repro-campaign serve`` as a subprocess; returns
+    ``(process, url)`` once the server announces its address."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(REPO_ROOT, "src"), REPO_ROOT]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.campaign", "serve", str(root),
+         "--max-workers", "1"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        cwd=REPO_ROOT,
+        text=True,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise AssertionError(
+                f"serve exited early (rc {process.poll()})"
+            )
+        if line.startswith("serving at "):
+            return process, line.split("serving at ", 1)[1].strip()
+    process.kill()
+    raise AssertionError("serve never announced its address")
+
+
+def wait_state(url, job_id, states, timeout_s=120.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status = job_status(url, job_id)
+        if status["state"] in states:
+            return status
+        time.sleep(0.05)
+    raise AssertionError(
+        f"job {job_id} stuck in "
+        f"{job_status(url, job_id)['state']!r} after {timeout_s}s"
+    )
+
+
+def test_kill_restart_resume_all_jobs_bitwise_identical(tmp_path):
+    root = tmp_path / "svc"
+    flaky_state = tmp_path / "flaky-state"
+    flaky_state.mkdir()
+
+    # Slow enough that the kill lands mid-campaign; pure functions of
+    # the parameter row, so the resumed store must match a direct run.
+    sleepy = make_sleepy_spec(num_samples=30, chunk_size=3, sleep_s=0.05)
+    flaky = make_flaky_spec(flaky_state)
+    toy = make_toy_spec(num_samples=20, chunk_size=5)
+
+    process, url = start_service(root)
+    try:
+        job_a = submit_job(url, sleepy)
+        job_b = submit_job(url, flaky, tenant="bob",
+                           options={"retry": 2})
+        job_c = submit_job(url, toy, tenant="bob")
+
+        # max_workers=1 => FIFO: job A runs first.  Watch its frontier
+        # advance monotonically through the status endpoint, then kill
+        # the service mid-run.
+        frontiers = []
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            status = job_status(url, job_a["job_id"])
+            if status["state"] == "running":
+                frontiers.append(status.get("chunks_folded", 0))
+                if frontiers[-1] >= 2:
+                    break
+            time.sleep(0.02)
+        assert frontiers, "job A never reported running progress"
+        assert frontiers == sorted(frontiers), "frontier went backwards"
+        assert frontiers[-1] >= 2
+
+        os.kill(process.pid, signal.SIGKILL)
+        process.wait(timeout=30)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+
+    # The killed run left real progress behind (resume, not restart).
+    from repro.campaign import ArtifactStore
+
+    store_a_path = os.path.join(
+        str(root), "stores", "default", job_a["job_id"]
+    )
+    partial = len(ArtifactStore(store_a_path).completed_chunks())
+    assert 0 < partial < sleepy.num_chunks
+
+    # Restart over the same root: recovery requeues the in-flight job,
+    # the queued ones are still there, everything completes.
+    process, url = start_service(root)
+    try:
+        status_a = wait_state(
+            url, job_a["job_id"], ("completed", "failed")
+        )
+        status_b = wait_state(
+            url, job_b["job_id"], ("completed", "failed")
+        )
+        status_c = wait_state(
+            url, job_c["job_id"], ("completed", "failed")
+        )
+        assert status_a["state"] == "completed", status_a.get("error")
+        assert status_b["state"] == "completed", status_b.get("error")
+        assert status_c["state"] == "completed", status_c.get("error")
+        assert status_a["resumes"] == 1
+    finally:
+        process.kill()
+        process.wait(timeout=30)
+
+    # Every store must be bitwise-identical to a direct run_campaign of
+    # the same spec.  The flaky reference uses a fresh failure-state
+    # dir and the same retry policy: injected failures never change the
+    # model's outputs, only how often they are attempted.
+    run_campaign(sleepy, store=tmp_path / "ref-a")
+    assert_stores_bitwise_equal(store_a_path, tmp_path / "ref-a")
+
+    reference_flaky = make_flaky_spec(tmp_path / "flaky-state-ref")
+    (tmp_path / "flaky-state-ref").mkdir()
+    run_campaign(reference_flaky, store=tmp_path / "ref-b", retry=2)
+    store_b_path = os.path.join(
+        str(root), "stores", "bob", job_b["job_id"]
+    )
+    assert_stores_bitwise_equal(store_b_path, tmp_path / "ref-b")
+
+    run_campaign(toy, store=tmp_path / "ref-c")
+    store_c_path = os.path.join(
+        str(root), "stores", "bob", job_c["job_id"]
+    )
+    assert_stores_bitwise_equal(store_c_path, tmp_path / "ref-c")

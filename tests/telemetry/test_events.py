@@ -31,6 +31,9 @@ GOOD_EVENTS = [
      "eta_s": 1.0},
     {"event": "run_complete", "total_chunks": 3, "num_evaluated": 12,
      "wall_s": 1.5},
+    {"event": "progress", "done": 2, "total": 3, "rate_per_s": 2.0,
+     "eta_s": 0.5, "walltime": 1.7e9},
+    {"event": "status", "state": "in_progress", "chunks_folded": 2},
 ]
 
 
