@@ -20,9 +20,16 @@ cost).  The acceptance gate asserts the blocked path >= 2x the loop's
 warm wall-clock, and that the blocked traces match the loop to the
 multi-RHS reorder floor (rtol 1e-12).
 
+``--backend <name>`` runs the blocked configuration on a registered
+array backend (``numpy``, ``devicesim``, ``cupy``) while the per-sample
+loop stays on the host reference; the equivalence gate then relaxes to
+the backend's declared tier, and the ``BENCH_batched_solves.json``
+artifact records the backend name plus its cold/warm device-transfer
+counts.
+
 Run standalone (``--smoke`` shrinks mesh and horizon for CI)::
 
-    python benchmarks/bench_batched_solves.py [--smoke]
+    python benchmarks/bench_batched_solves.py [--smoke] [--backend NAME]
 
     REPRO_BATCHED_REPEATS      timing repeats per config (default 3)
     REPRO_BATCHED_MIN_SPEEDUP  warm-cache gate (default 2.0; noisy
@@ -43,7 +50,7 @@ import numpy as np
 _SEED = 0
 
 
-def _build_study(resolution, parameters):
+def _build_study(resolution, parameters, backend=None):
     from repro.package3d.uq_study import Date16UncertaintyStudy
     from repro.solvers.cache import FactorizationCache
 
@@ -51,6 +58,7 @@ def _build_study(resolution, parameters):
         resolution=resolution,
         parameters=parameters,
         factorization_cache=FactorizationCache(max_entries=16),
+        array_backend=backend,
     )
 
 
@@ -66,12 +74,16 @@ def _sample_chunk(study, num_samples):
     ])
 
 
-def _time_configurations(resolution, parameters, num_samples, repeats):
+def _time_configurations(resolution, parameters, num_samples, repeats,
+                         backend):
     """Best-of-``repeats`` cold/warm seconds per configuration.
 
     Rounds are interleaved across configurations (so load drift on a
     shared machine hits every configuration alike) and aggregated with
-    ``min`` -- scheduling noise only ever adds time.
+    ``min`` -- scheduling noise only ever adds time.  The blocked
+    configuration runs on ``backend``; the per-sample loop always runs
+    the host reference, so the deviation column measures the selected
+    backend against the scalar golden.
     """
     results = {
         name: {"name": name, "cold": [], "warm": []}
@@ -91,13 +103,21 @@ def _time_configurations(resolution, parameters, num_samples, repeats):
         results["per-sample"]["warm"].append(time.perf_counter() - start)
         results["per-sample"]["traces"] = loop_traces
 
-        study = _build_study(resolution, parameters)
+        study = _build_study(resolution, parameters, backend=backend)
+        transfers = backend.transfer_count
         start = time.perf_counter()
         block_traces = study.evaluate_traces_block(deltas)
         results["blocked"]["cold"].append(time.perf_counter() - start)
+        results["blocked"]["transfers_cold"] = (
+            backend.transfer_count - transfers
+        )
+        transfers = backend.transfer_count
         start = time.perf_counter()
         study.evaluate_traces_block(deltas)
         results["blocked"]["warm"].append(time.perf_counter() - start)
+        results["blocked"]["transfers_warm"] = (
+            backend.transfer_count - transfers
+        )
         results["blocked"]["traces"] = block_traces
 
     for entry in results.values():
@@ -107,18 +127,26 @@ def _time_configurations(resolution, parameters, num_samples, repeats):
 
 
 def run_comparison(resolution="coarse", parameters=None, num_samples=64,
-                   repeats=3, min_speedup=None, out=sys.stdout):
-    """Blocked vs per-sample on one chunk; returns the artifact table.
+                   repeats=3, min_speedup=None, backend=None,
+                   out=sys.stdout):
+    """Blocked vs per-sample on one chunk; returns the result record.
 
     ``min_speedup`` (full runs) asserts the blocked warm speedup;
     ``None`` (smoke) only checks the equivalence and structure.
+    ``backend`` selects the array backend for the blocked run (name or
+    instance; default resolution rules apply).  Returns a dict with the
+    artifact ``table``, the resolved ``array_backend`` name, and the
+    blocked path's cold/warm device-``transfers``.
     """
+    from repro.backends import get_array_backend
     from repro.reporting.tables import format_table
 
+    backend = get_array_backend(backend)
     print(f"timing 2 configurations x {repeats} interleaved rounds "
-          f"({num_samples}-sample chunk) ...", file=out, flush=True)
+          f"({num_samples}-sample chunk, blocked on '{backend.name}') ...",
+          file=out, flush=True)
     results = _time_configurations(
-        resolution, parameters, num_samples, repeats
+        resolution, parameters, num_samples, repeats, backend
     )
 
     loop = results["per-sample"]
@@ -139,18 +167,22 @@ def run_comparison(resolution="coarse", parameters=None, num_samples=64,
          "warm speedup", "amortized [ms/sample]", "max |dT| [K]"),
         rows,
         title=f"BATCHED SOLVES ({resolution} mesh, "
-              f"S={num_samples}, best of {repeats})",
+              f"S={num_samples}, backend={backend.name}, "
+              f"best of {repeats})",
     )
     print("\n" + table, file=out)
 
     # Equivalence gate: the blocked chunk reproduces the loop to the
-    # multi-RHS backsolve's reorder floor.
+    # multi-RHS backsolve's reorder floor on the bitwise tier, and to
+    # the backend's declared rtol tier on a device backend.
     blocked = results["blocked"]
+    tier = backend.equivalence
+    floor = max(1.0e-12, tier.rtol)
     scale = float(np.max(np.abs(loop["traces"])))
     deviation = float(np.max(np.abs(blocked["traces"] - loop["traces"])))
-    assert deviation <= 1.0e-12 * scale, (
+    assert deviation <= floor * scale, (
         f"blocked traces deviate {deviation:.3e} K from the per-sample "
-        f"loop (allowed {1.0e-12 * scale:.3e})"
+        f"loop (allowed {floor * scale:.3e} on the '{tier.kind}' tier)"
     )
     if min_speedup is not None:
         speedup = loop["warm"] / blocked["warm"]
@@ -160,7 +192,20 @@ def run_comparison(resolution="coarse", parameters=None, num_samples=64,
         )
         print(f"\nwarm-cache speedup {speedup:.2f}x "
               f"(gate: >= {min_speedup:.2f}x)", file=out)
-    return table
+    return {
+        "table": table,
+        "array_backend": backend.name,
+        "transfers": {
+            "cold": int(blocked["transfers_cold"]),
+            "warm": int(blocked["transfers_warm"]),
+        },
+        "timings": {
+            "per_sample_cold": loop["cold"],
+            "per_sample_warm": loop["warm"],
+            "blocked_cold": blocked["cold"],
+            "blocked_warm": blocked["warm"],
+        },
+    }
 
 
 def _smoke_parameters():
@@ -177,37 +222,55 @@ def main(argv=None):
         help="tiny mesh + short horizon, equivalence checks only "
              "(the CI rot gate; no wall-clock assertion)",
     )
+    parser.add_argument(
+        "--backend", default=None,
+        help="array backend for the blocked configuration (a registered "
+             "name: numpy, devicesim, cupy); default resolution rules "
+             "apply when omitted",
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.smoke:
-        table = run_comparison(
+        run_comparison(
             resolution=(0.9e-3, 0.4e-3),  # tiny custom mesh spacing
             parameters=_smoke_parameters(),
             num_samples=8,
             repeats=1,
             min_speedup=None,
+            backend=arguments.backend,
         )
     else:
-        table = run_comparison(
+        result = run_comparison(
             resolution=os.environ.get("REPRO_BENCH_RESOLUTION", "coarse"),
             num_samples=int(os.environ.get("REPRO_BATCHED_SAMPLES", "64")),
             repeats=int(os.environ.get("REPRO_BATCHED_REPEATS", "3")),
             min_speedup=float(
                 os.environ.get("REPRO_BATCHED_MIN_SPEEDUP", "2.0")
             ),
+            backend=arguments.backend,
         )
         try:
-            from .conftest import write_artifact
+            from .conftest import write_artifact, write_bench_json
         except ImportError:
-            from conftest import write_artifact
-        path = write_artifact("batched_solves.txt", table)
+            from conftest import write_artifact, write_bench_json
+        path = write_artifact("batched_solves.txt", result["table"])
+        json_path = write_bench_json(
+            "batched_solves",
+            timings=result["timings"],
+            counters={
+                "device_transfers_cold": result["transfers"]["cold"],
+                "device_transfers_warm": result["transfers"]["warm"],
+            },
+            array_backend=result["array_backend"],
+        )
         print(f"\n[artifact] {path}")
+        print(f"[artifact] {json_path}")
     return 0
 
 
 def test_batched_solves_benchmark(benchmark):
     """Nightly harness entry: the full comparison incl. the 2x gate."""
-    table = benchmark.pedantic(
+    result = benchmark.pedantic(
         lambda: run_comparison(
             resolution=os.environ.get("REPRO_BENCH_RESOLUTION", "coarse"),
             num_samples=int(os.environ.get("REPRO_BATCHED_SAMPLES", "64")),
@@ -220,9 +283,15 @@ def test_batched_solves_benchmark(benchmark):
     )
     from .conftest import bench_timings, write_artifact, write_bench_json
 
-    path = write_artifact("batched_solves.txt", table)
+    path = write_artifact("batched_solves.txt", result["table"])
     write_bench_json(
-        "batched_solves", timings=bench_timings(benchmark)
+        "batched_solves",
+        timings={**bench_timings(benchmark), **result["timings"]},
+        counters={
+            "device_transfers_cold": result["transfers"]["cold"],
+            "device_transfers_warm": result["transfers"]["warm"],
+        },
+        array_backend=result["array_backend"],
     )
     print(f"\n[artifact] {path}")
 

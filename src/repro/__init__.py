@@ -26,6 +26,11 @@ from .bondwire import (
     WireLengthModel,
     assess_failure,
 )
+from .backends import (
+    get_array_backend,
+    register_array_backend,
+    registered_array_backends,
+)
 from .bondwire.degradation import ArrheniusDegradationModel, CycleCountingModel
 from .constants import (
     EMISSIVITY_DEFAULT,
@@ -141,6 +146,10 @@ __all__ = [
     "FuturesExecutor",
     "register_backend",
     "register_reducer",
+    # array backends
+    "get_array_backend",
+    "register_array_backend",
+    "registered_array_backends",
     "ArtifactStore",
     "CampaignResult",
     "SurrogateResult",

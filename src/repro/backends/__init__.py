@@ -1,0 +1,52 @@
+"""Pluggable array backends for the solver stack.
+
+See :mod:`repro.backends.base` for the protocol and DESIGN.md "Array
+backends" for the architecture.  Three backends ship built in:
+
+* ``numpy`` -- the scipy ``splu`` + numpy reference path, bitwise
+  identical to the pre-backend solver stack (the default);
+* ``cupy`` -- GPU execution behind the ``[gpu]`` optional extra,
+  import-guarded with a clear error naming the extra when absent;
+* ``devicesim`` -- a CPU test double enforcing device semantics
+  (separate memory space, accounted transfers, gemm corrections) so CI
+  exercises the device seams without GPU hardware.
+
+Importing this package registers all three (the CuPy import guard fires
+at *construction*, not registration, so listing backends never requires
+a GPU).
+"""
+
+from .base import (
+    BITWISE,
+    ArrayBackend,
+    EquivalenceTier,
+    FactorizationHandle,
+)
+from .registry import (
+    default_array_backend_name,
+    get_array_backend,
+    register_array_backend,
+    registered_array_backends,
+)
+
+# Register the built-in backends (import order matters only for the
+# registry side effect).
+from . import cupy_backend  # noqa: E402,F401
+from . import devicesim  # noqa: E402,F401
+from . import numpy_backend  # noqa: E402,F401
+from .devicesim import DeviceArray, DeviceSimBackend
+from .numpy_backend import NumpyBackend
+
+__all__ = [
+    "ArrayBackend",
+    "BITWISE",
+    "DeviceArray",
+    "DeviceSimBackend",
+    "EquivalenceTier",
+    "FactorizationHandle",
+    "NumpyBackend",
+    "default_array_backend_name",
+    "get_array_backend",
+    "register_array_backend",
+    "registered_array_backends",
+]

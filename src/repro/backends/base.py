@@ -1,0 +1,153 @@
+"""The :class:`ArrayBackend` protocol: the solver stack's linear-algebra
+substrate as a declared, swappable dependency.
+
+PR 7 reduced the Monte Carlo hot path to exactly two numerical seams --
+the sparse base factorization behind :class:`~repro.solvers.woodbury.
+WoodburySolver` (one multi-RHS backsolve per time step) and the stacked
+``(S, k, k)`` batched core solve.  An :class:`ArrayBackend` owns both
+seams plus the host/device memory boundary around them, so a device
+runtime (CuPy) or a test double (``devicesim``) slots in without the
+solver layer knowing which substrate it runs on.
+
+Every backend *declares* its numerical contract instead of implying it:
+
+``equivalence``
+    An :class:`EquivalenceTier`.  The reference ``numpy`` backend is
+    ``bitwise`` (blocked results equal the per-sample path bit for bit,
+    the PR 7 contract); device backends declare an explicit ``rtol``
+    tier because batched gemm corrections reorder floating-point sums
+    (see DESIGN.md "Array backends" for the conditioning argument).
+
+``correction_mode``
+    ``"columns"`` applies the rank-k Woodbury corrections column by
+    column (per-sample gemvs -- order-preserving, required for the
+    bitwise tier); ``"gemm"`` applies them as one BLAS-3 product, the
+    natural shape on devices where kernel-launch overhead dominates.
+    The per-column-vs-gemm decision used to be a hard-coded loop in
+    ``solve_batch``; it is a backend capability now, which turns the
+    DESIGN.md conditioning argument into checked code.
+
+Transfers between the host and the device memory space go through
+:meth:`~ArrayBackend.to_device` / :meth:`~ArrayBackend.from_device`
+*only*.  Each call increments the backend's :attr:`transfer_count` and
+the ``solver.device_transfers`` telemetry counter together, so a test
+(or an operator reading a campaign's metrics) can prove that zero
+transfers happened outside the accounted seams.
+"""
+
+from collections import namedtuple
+
+import numpy as np
+
+from ..telemetry import tracing as telemetry
+
+#: Declared numerical equivalence of a backend's blocked path against
+#: the per-sample reference: ``kind`` is ``"bitwise"`` (``rtol == 0``)
+#: or ``"rtol"`` with the guaranteed relative tolerance.
+EquivalenceTier = namedtuple("EquivalenceTier", ("kind", "rtol"))
+
+#: The bitwise tier of the CPU reference backend.
+BITWISE = EquivalenceTier("bitwise", 0.0)
+
+
+class FactorizationHandle:
+    """A factorized base matrix with host and device solve entry points.
+
+    ``lu`` is the underlying SuperLU object (exposed so the cache's
+    legacy ``splu()`` accessor and identity-based tests keep working).
+    ``solve_host`` takes and returns host ndarrays -- the scalar
+    :meth:`~repro.solvers.woodbury.WoodburySolver.solve` path stays on
+    the host under every backend.  ``backsolve`` takes and returns
+    *device* arrays and is the blocked path's multi-RHS seam.
+    """
+
+    def __init__(self, lu):
+        self.lu = lu
+
+    def solve_host(self, rhs):
+        """Solve on the host: ndarray in, ndarray out."""
+        return self.lu.solve(rhs)
+
+    def backsolve(self, rhs):
+        """Multi-RHS solve in the backend's memory space."""
+        raise NotImplementedError
+
+
+class ArrayBackend:
+    """Base class for array backends (see the module docstring).
+
+    Concrete backends set :attr:`name`, :attr:`equivalence` and
+    :attr:`correction_mode` and implement the factorization and
+    transfer methods.  Device arrays only need ``.T``, ``@`` and ``-``
+    (the blocked Woodbury algebra), so raw ndarrays qualify for CPU
+    backends and wrapped/device arrays for the rest.
+    """
+
+    #: Registry name (also the cache-key component; see
+    #: :meth:`repro.solvers.cache.FactorizationCache.factorize`).
+    name = None
+    #: Declared :class:`EquivalenceTier` against the per-sample path.
+    equivalence = BITWISE
+    #: ``"columns"`` (order-preserving gemvs) or ``"gemm"`` (BLAS-3).
+    correction_mode = "columns"
+
+    def __init__(self):
+        self._transfer_count = 0
+
+    @property
+    def transfer_count(self):
+        """Lifetime host<->device transfers through this backend."""
+        return self._transfer_count
+
+    def _count_transfer(self):
+        # The backend-local count and the telemetry counter move in
+        # lockstep; comparing them is how tests prove zero unaccounted
+        # transfers.
+        self._transfer_count += 1
+        telemetry.increment("solver.device_transfers")
+
+    # -- memory boundary ------------------------------------------------
+    def to_device(self, array):
+        """Copy a host ndarray into the backend's memory space."""
+        raise NotImplementedError
+
+    def from_device(self, array):
+        """Copy a backend array back to a host ndarray."""
+        raise NotImplementedError
+
+    # -- the two numerical seams ---------------------------------------
+    def factorize(self, base_matrix, symmetric=False):
+        """Factorize a sparse base matrix into a
+        :class:`FactorizationHandle`.  Prefer
+        :meth:`repro.solvers.cache.FactorizationCache.factorize`, which
+        memoizes per ``(fingerprint, symmetric, backend.name)``."""
+        raise NotImplementedError
+
+    def batched_core_solve(self, cores, rhs):
+        """Solve the stacked ``(S, k, k)`` cores against ``(S, k)``
+        right-hand sides.  ``cores`` is a host ndarray (assembled on the
+        host either way); ``rhs`` lives in the backend's memory space
+        and so does the ``(S, k)`` result."""
+        raise NotImplementedError
+
+    # -- broadcast helpers (shared-RHS fast path) -----------------------
+    def broadcast_columns(self, vector, num_columns):
+        """View an ``(n,)`` device vector as ``(n, num_columns)``."""
+        raise NotImplementedError
+
+    def broadcast_rows(self, vector, num_rows):
+        """View a ``(k,)`` device vector as ``(num_rows, k)``."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        tier = self.equivalence
+        return (
+            f"<{type(self).__name__} name={self.name!r} "
+            f"equivalence={tier.kind}:{tier.rtol:g} "
+            f"correction_mode={self.correction_mode!r}>"
+        )
+
+
+def as_host_array(array):
+    """Coerce to a host float ndarray (identity for ndarrays)."""
+    return np.asarray(array, dtype=float)

@@ -1,0 +1,167 @@
+"""``devicesim``: a CPU test double that enforces device semantics.
+
+CI has no GPU, but the seams a GPU backend must honor -- a separate
+memory space, explicit accounted transfers, gemm-ordered corrections
+with a relaxed equivalence tier -- are all checkable on a CPU.  This
+backend simulates a device with three rules:
+
+* **Separate memory space.**  Device data lives in :class:`DeviceArray`
+  wrappers.  Mixing one with a host ndarray in ``@`` or ``-`` raises
+  :class:`SolverError` instead of silently computing, and so does any
+  implicit ``numpy`` coercion (``__array__``): code that would crash on
+  a real device (or, worse, silently round-trip through the host)
+  crashes here, in tests.
+* **Accounted transfers.**  Every host->device and device->host copy
+  goes through :meth:`to_device` / :meth:`from_device`, incrementing
+  both the backend's ``transfer_count`` and the
+  ``solver.device_transfers`` telemetry counter.  "Zero unaccounted
+  transfers" is then a checkable equality between the two.
+* **Device cost model.**  ``correction_mode = "gemm"``: the rank-k
+  corrections are one BLAS-3 product, not per-column gemvs, which is
+  why the declared equivalence tier is ``rtol`` (1e-6) rather than
+  bitwise -- the gemm summation reorder is amplified by the Woodbury
+  cancellation (DESIGN.md "Array backends").  The measured agreement on
+  the paper's systems is far tighter; the declared tier is the
+  *contract*, not the typical error.
+"""
+
+import numpy as np
+
+from ..errors import SolverError
+from .base import ArrayBackend, EquivalenceTier, FactorizationHandle
+from .registry import register_array_backend
+
+
+def _unwrap(array, context):
+    if not isinstance(array, DeviceArray):
+        raise SolverError(
+            f"devicesim: {context} expected a device array, got "
+            f"{type(array).__name__}; move host data across with "
+            f"backend.to_device(...)"
+        )
+    return array._data
+
+
+class DeviceArray:
+    """An array in the simulated device memory space.
+
+    Supports exactly the algebra the blocked Woodbury path needs
+    (``.T``, ``@``, ``-``) between device arrays; any operation that
+    would silently mix in a host ndarray raises :class:`SolverError`.
+    """
+
+    # Tell numpy to stand down so our reflected operators (and their
+    # mixing errors) run instead of silent ndarray coercion.
+    __array_ufunc__ = None
+
+    def __init__(self, data):
+        self._data = data
+
+    @property
+    def shape(self):
+        return self._data.shape
+
+    @property
+    def ndim(self):
+        return self._data.ndim
+
+    @property
+    def dtype(self):
+        return self._data.dtype
+
+    @property
+    def T(self):  # noqa: N802 - mirrors the ndarray property
+        return DeviceArray(self._data.T)
+
+    def _coerce(self, other, op):
+        if isinstance(other, DeviceArray):
+            return other._data
+        raise SolverError(
+            f"devicesim: refusing to mix a device array with host data "
+            f"({type(other).__name__}) in '{op}'; transfer explicitly "
+            f"with backend.to_device(...) / backend.from_device(...)"
+        )
+
+    def __matmul__(self, other):
+        return DeviceArray(self._data @ self._coerce(other, "@"))
+
+    def __rmatmul__(self, other):
+        return DeviceArray(self._coerce(other, "@") @ self._data)
+
+    def __sub__(self, other):
+        return DeviceArray(self._data - self._coerce(other, "-"))
+
+    def __rsub__(self, other):
+        return DeviceArray(self._coerce(other, "-") - self._data)
+
+    def __array__(self, *args, **kwargs):
+        raise SolverError(
+            "devicesim: implicit device->host conversion; use "
+            "backend.from_device(...) so the transfer is accounted"
+        )
+
+    def __repr__(self):
+        return f"DeviceArray(shape={self.shape}, dtype={self.dtype})"
+
+
+class DeviceSimFactorization(FactorizationHandle):
+    """Host SuperLU factorization with a device-facing backsolve."""
+
+    def backsolve(self, rhs):
+        # The simulated device "owns" a copy of the factorization, so a
+        # backsolve is a device-side operation: device in, device out,
+        # no transfer.
+        return DeviceArray(self.lu.solve(
+            np.ascontiguousarray(_unwrap(rhs, "backsolve"))
+        ))
+
+
+class DeviceSimBackend(ArrayBackend):
+    """The device-semantics test double (see the module docstring)."""
+
+    name = "devicesim"
+    equivalence = EquivalenceTier("rtol", 1e-6)
+    correction_mode = "gemm"
+
+    def to_device(self, array):
+        self._count_transfer()
+        # np.array copies: the "device" never aliases host memory.
+        return DeviceArray(np.array(array, dtype=float))
+
+    def from_device(self, array):
+        self._count_transfer()
+        return np.array(_unwrap(array, "from_device"))
+
+    def factorize(self, base_matrix, symmetric=False):
+        from ..solvers.cache import checked_splu
+
+        return DeviceSimFactorization(
+            checked_splu(base_matrix, symmetric=symmetric)
+        )
+
+    def batched_core_solve(self, cores, rhs):
+        # The (S, k, k) cores are assembled on the host (cheap, data-
+        # dependent) and uploaded here -- a counted transfer, exactly
+        # like the cores upload a CuPy backend pays.
+        cores_device = self.to_device(cores)
+        rhs_data = _unwrap(rhs, "batched_core_solve")
+        return DeviceArray(
+            np.linalg.solve(cores_device._data, rhs_data[..., None])[..., 0]
+        )
+
+    def broadcast_columns(self, vector, num_columns):
+        data = _unwrap(vector, "broadcast_columns")
+        return DeviceArray(
+            np.broadcast_to(data[:, None], (data.shape[0], num_columns))
+        )
+
+    def broadcast_rows(self, vector, num_rows):
+        data = _unwrap(vector, "broadcast_rows")
+        return DeviceArray(
+            np.broadcast_to(data, (num_rows, data.shape[0]))
+        )
+
+
+@register_array_backend("devicesim")
+def _devicesim_backend():
+    return DeviceSimBackend()

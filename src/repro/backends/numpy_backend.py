@@ -1,0 +1,64 @@
+"""The reference CPU backend: scipy ``splu`` + numpy, bitwise tier.
+
+This is the pre-refactor solver stack verbatim behind the protocol:
+"device" arrays are host ndarrays, transfers are identities (and are
+*not* counted -- there is no memory boundary to account for), the
+batched core solve is ``numpy.linalg.solve`` over the stacked cores,
+and ``correction_mode = "columns"`` keeps the order-preserving
+per-column corrections that make blocked results bitwise identical to
+the per-sample path (the PR 7 contract).
+"""
+
+import numpy as np
+
+from .base import BITWISE, ArrayBackend, FactorizationHandle
+from .registry import register_array_backend
+
+
+class NumpyFactorization(FactorizationHandle):
+    """Host SuperLU handle; host and "device" solves coincide."""
+
+    def backsolve(self, rhs):
+        return self.lu.solve(rhs)
+
+
+class NumpyBackend(ArrayBackend):
+    """scipy/numpy reference backend (the default)."""
+
+    name = "numpy"
+    equivalence = BITWISE
+    correction_mode = "columns"
+
+    def to_device(self, array):
+        # No memory boundary: the host array *is* the device array.
+        # Deliberately not counted as a transfer.
+        return np.asarray(array, dtype=float)
+
+    def from_device(self, array):
+        return np.asarray(array, dtype=float)
+
+    def factorize(self, base_matrix, symmetric=False):
+        from ..solvers.cache import checked_splu
+
+        return NumpyFactorization(
+            checked_splu(base_matrix, symmetric=symmetric)
+        )
+
+    def batched_core_solve(self, cores, rhs):
+        # Batched per-matrix-exact solves: numpy broadcasts the (S,k,k)
+        # stack and solves each kxk system independently, so sample s
+        # matches a standalone solve of its core bit for bit.
+        return np.linalg.solve(cores, rhs[..., None])[..., 0]
+
+    def broadcast_columns(self, vector, num_columns):
+        return np.broadcast_to(
+            vector[:, None], (vector.shape[0], num_columns)
+        )
+
+    def broadcast_rows(self, vector, num_rows):
+        return np.broadcast_to(vector, (num_rows, vector.shape[0]))
+
+
+@register_array_backend("numpy")
+def _numpy_backend():
+    return NumpyBackend()

@@ -168,8 +168,12 @@ def _chunk_outputs(model, chunk):
     num_samples = chunk.parameters.shape[0]
     block = getattr(model, "evaluate_block", None)
     if callable(block):
+        # The backend label rides the block span (the batch-size gauge
+        # name itself is stable; tests and dashboards key on it).
+        backend_name = getattr(model, "array_backend", None) or "numpy"
         start = time.perf_counter()
-        with telemetry.span("block", samples=num_samples):
+        with telemetry.span("block", samples=num_samples,
+                            array_backend=backend_name):
             outputs = np.asarray(block(chunk.parameters), dtype=float)
         wall_s = time.perf_counter() - start
         if outputs.shape[0] != num_samples:
@@ -178,6 +182,11 @@ def _chunk_outputs(model, chunk):
                 f"{num_samples} samples"
             )
         telemetry.gauge("campaign.batch_size", num_samples)
+        # Gauges carry no label dimension, so the backend label is a
+        # name-suffixed companion gauge (plus the span attribute above).
+        telemetry.gauge(
+            f"campaign.batch_size.{backend_name}", num_samples
+        )
         telemetry.increment("campaign.blocked_solves", num_samples)
         if num_samples:
             telemetry.observe(

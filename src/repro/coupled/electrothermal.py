@@ -31,6 +31,7 @@ from collections import OrderedDict
 import numpy as np
 import scipy.sparse as sp
 
+from ..backends import get_array_backend
 from ..errors import AssemblyError, ConvergenceError, SolverError
 from ..fit.assembly import FITDiscretization
 from ..fit.boundary import apply_dirichlet, combine_dirichlet
@@ -75,6 +76,13 @@ class CoupledSolver:
         attempt, so the map must hold at least the handful of distinct
         step sizes in flight (a quantized-dt ladder fits comfortably in
         the default 8); the least recently used solver is evicted first.
+    array_backend:
+        :class:`~repro.backends.ArrayBackend` (or registered name) the
+        fast-mode Woodbury solvers resolve their linear algebra
+        through; ``None`` picks the process default (``numpy``).  Only
+        the blocked :class:`BlockedCoupledSolver` path crosses the
+        device boundary -- assembly and the full-mode path stay on the
+        host regardless.
     """
 
     def __init__(
@@ -86,6 +94,7 @@ class CoupledSolver:
         damping=1.0,
         factorization_cache=None,
         max_thermal_solvers=8,
+        array_backend=None,
     ):
         if mode not in _MODES:
             raise SolverError(f"unknown mode {mode!r}; expected one of {_MODES}")
@@ -95,6 +104,7 @@ class CoupledSolver:
         self.max_iterations = int(max_iterations)
         self.damping = float(damping)
         self.factorization_cache = factorization_cache
+        self.array_backend = get_array_backend(array_backend)
 
         self.discretization = FITDiscretization(problem.grid, problem.materials)
         self.topology = problem.topology
@@ -294,7 +304,8 @@ class CoupledSolver:
         # cheaper symmetric factorization mode applies.
         self._fast_el = WoodburySolver(a_el, u_el,
                                        cache=self.factorization_cache,
-                                       symmetric=True)
+                                       symmetric=True,
+                                       backend=self.array_backend)
         self._fast_el_rhs = rhs_el
 
         k_th = embed_grid_matrix(
@@ -326,7 +337,8 @@ class CoupledSolver:
         ).tocsc()
         solver = WoodburySolver(base, self._fast_u,
                                 cache=self.factorization_cache,
-                                symmetric=True)
+                                symmetric=True,
+                                backend=self.array_backend)
         self.metrics.increment("thermal_solver_builds")
         telemetry.increment("solver.thermal_builds")
         self._fast_th_solvers[key] = solver

@@ -33,7 +33,7 @@ from .status import store_status
 
 #: Job-option keys a submission may set (runner keyword overrides).
 JOB_OPTIONS = ("executor", "workers", "retry", "retry_quarantined",
-               "telemetry")
+               "telemetry", "array_backend")
 
 
 class JobManager:
@@ -48,15 +48,19 @@ class JobManager:
         Concurrent job budget (default 2): how many campaigns run at
         once.  Each job's own executor parallelism multiplies on top,
         so the total worker budget is ``max_workers x workers``.
-    executor / workers / retry / telemetry:
+    executor / workers / retry / telemetry / array_backend:
         Default runner arguments for every job; a job's submitted
-        ``options`` override them per job.
+        ``options`` override them per job.  ``array_backend`` names the
+        :mod:`repro.backends` substrate the job's solvers run on; the
+        runner validates it before any worker spawns and pins it into
+        the job's spec.
     poll_s:
         Dispatcher idle poll interval.
     """
 
     def __init__(self, root, max_workers=2, executor=None, workers=None,
-                 retry=None, telemetry=None, poll_s=0.05):
+                 retry=None, telemetry=None, array_backend=None,
+                 poll_s=0.05):
         self.root = os.path.abspath(str(root))
         os.makedirs(self.root, exist_ok=True)
         self.namespace = Namespace(self.root)
@@ -71,6 +75,7 @@ class JobManager:
             "workers": workers,
             "retry": retry,
             "telemetry": telemetry,
+            "array_backend": array_backend,
         }
         self.poll_s = float(poll_s)
         self._dispatcher = None

@@ -110,14 +110,21 @@ class FactorizationCache:
         """Lifetime cache misses (view over the metrics registry)."""
         return int(self.metrics.counter_value("misses"))
 
-    def splu(self, matrix, symmetric=False):
-        """``scipy.sparse.linalg.splu`` with content-addressed memoization.
+    def factorize(self, matrix, symmetric=False, backend=None):
+        """Backend factorization handle with content-addressed memoization.
 
-        The ``symmetric`` factorization mode is part of the key: the
-        same matrix factorized both ways yields two (numerically
-        different) factor objects.
+        The key is ``(fingerprint, symmetric, backend.name)``: the
+        ``symmetric`` factorization mode is part of it (the same matrix
+        factorized both ways yields two numerically different factor
+        objects), and so is the array backend -- a handle holds
+        backend-specific state (device factor mirrors, memory-space
+        conventions), so the same fingerprint under two backends yields
+        two independent handles, never a cross-backend reuse.
         """
-        key = (matrix_fingerprint(matrix), bool(symmetric))
+        from ..backends import get_array_backend
+
+        backend = get_array_backend(backend)
+        key = (matrix_fingerprint(matrix), bool(symmetric), backend.name)
         if key in self._entries:
             self._entries.move_to_end(key)
             self.metrics.increment("hits")
@@ -125,11 +132,22 @@ class FactorizationCache:
             return self._entries[key]
         self.metrics.increment("misses")
         telemetry.increment("cache.misses")
-        lu = checked_splu(matrix, symmetric=symmetric)
-        self._entries[key] = lu
+        handle = backend.factorize(matrix, symmetric=symmetric)
+        self._entries[key] = handle
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
-        return lu
+        return handle
+
+    def splu(self, matrix, symmetric=False):
+        """``scipy.sparse.linalg.splu`` with content-addressed memoization.
+
+        Back-compat accessor over :meth:`factorize` under the ``numpy``
+        backend: returns the raw SuperLU object, with the same identity
+        semantics as before (two calls with the same matrix return the
+        same object).
+        """
+        return self.factorize(matrix, symmetric=symmetric,
+                              backend="numpy").lu
 
     def clear(self):
         """Drop every cached factorization (counters are kept)."""

@@ -13,9 +13,9 @@ This is the fast path benchmarked by ``bench_ablation_woodbury``.
 
 import numpy as np
 
+from ..backends import get_array_backend
 from ..errors import SolverError
 from ..telemetry import tracing as telemetry
-from .cache import checked_splu
 
 
 class WoodburySolver:
@@ -38,10 +38,20 @@ class WoodburySolver:
         Factorize the base in SuperLU's symmetric mode (see
         :func:`~repro.solvers.cache.checked_splu`); only for bases known
         to be symmetric positive definite.
+    backend:
+        :class:`~repro.backends.ArrayBackend` (or registered name)
+        carrying the blocked path's linear algebra: the base
+        factorization/backsolve seam, the batched core solve, and the
+        ``correction_mode`` / ``equivalence`` contract.  ``None``
+        resolves the process default (``numpy`` -- the bitwise CPU
+        reference -- unless ``REPRO_ARRAY_BACKEND`` overrides it).  The
+        scalar :meth:`solve` path stays on the host under every
+        backend; only :meth:`solve_batch` crosses the device boundary.
     """
 
     def __init__(self, base_matrix, update_vectors, cache=None,
-                 symmetric=False):
+                 symmetric=False, backend=None):
+        self.backend = get_array_backend(backend)
         base_matrix = base_matrix.tocsc()
         update_vectors = np.asarray(update_vectors, dtype=float)
         if update_vectors.ndim != 2:
@@ -54,9 +64,14 @@ class WoodburySolver:
         self.rank = update_vectors.shape[1]
         self.update_vectors = update_vectors
         if cache is not None:
-            self._lu = cache.splu(base_matrix, symmetric=symmetric)
+            self._handle = cache.factorize(
+                base_matrix, symmetric=symmetric, backend=self.backend
+            )
         else:
-            self._lu = checked_splu(base_matrix, symmetric=symmetric)
+            self._handle = self.backend.factorize(
+                base_matrix, symmetric=symmetric
+            )
+        self._lu = self._handle.lu
         # Precompute A0^-1 U and the capacitance-free core U^T A0^-1 U.
         # A rank-0 update (no wires) is a valid degenerate case: every
         # solve is then just the base LU solve.
@@ -68,6 +83,9 @@ class WoodburySolver:
         else:
             self._base_inverse_u = np.zeros((base_matrix.shape[0], 0))
         self._core = update_vectors.T @ self._base_inverse_u
+        # Device mirrors of U and A0^-1 U, uploaded (and transfer-
+        # counted) lazily on the first device-path blocked solve.
+        self._device_ops = None
 
     @property
     def size(self):
@@ -175,9 +193,30 @@ class WoodburySolver:
         rhs = self._check_rhs(rhs)
         shared_rhs = rhs.ndim == 1
         if not shared_rhs and rhs.shape[1] != num_samples:
+            if rhs.shape[1] == 1:
+                # A single column where a shared vector is meant is a
+                # classic silent-broadcast hazard; name the fix.
+                raise SolverError(
+                    f"rhs block has 1 column for {num_samples} samples; "
+                    f"pass a 1D (n,) vector to share one right-hand "
+                    f"side across the block, or an (n, {num_samples}) "
+                    f"block with one column per sample"
+                )
             raise SolverError(
                 f"rhs block has {rhs.shape[1]} columns for "
                 f"{num_samples} samples"
+            )
+        homogeneous = (
+            self.rank > 0
+            and num_samples > 0
+            and bool(np.all(conductances > 0.0))
+        )
+        if homogeneous and self.backend.correction_mode == "gemm":
+            # Device backends (cupy, devicesim) take the gemm-ordered
+            # path within their declared rtol equivalence tier; the
+            # heterogeneous fallback below stays on the host.
+            return self._solve_batch_device(
+                conductances, rhs, shared_rhs, num_samples
             )
         base = self._lu.solve(np.ascontiguousarray(rhs))
         if shared_rhs:
@@ -250,6 +289,55 @@ class WoodburySolver:
                         self._base_inverse_u[:, active] @ coefficients
                     )
                 solution[:, s] = column
+        if not np.all(np.isfinite(solution)):
+            raise SolverError("Woodbury solve produced non-finite values")
+        return solution
+
+    def _device_operators(self):
+        """Upload U and A0^-1 U to the device once (counted transfers)."""
+        if self._device_ops is None:
+            self._device_ops = (
+                self.backend.to_device(self.update_vectors),
+                self.backend.to_device(self._base_inverse_u),
+            )
+        return self._device_ops
+
+    def _solve_batch_device(self, conductances, rhs, shared_rhs,
+                            num_samples):
+        """The gemm-ordered blocked solve in the backend's memory space.
+
+        Exactly the same algebra as the host path, but the corrections
+        are one BLAS-3 product instead of per-column gemvs -- the
+        natural device shape -- so results match the per-sample path
+        within the backend's declared ``equivalence`` tier rather than
+        bitwise.  Per call: one RHS upload, one cores upload (inside
+        ``batched_core_solve``), one solution download, plus the
+        one-time operator uploads -- every one accounted in
+        ``solver.device_transfers``.
+        """
+        backend = self.backend
+        rhs_device = backend.to_device(np.ascontiguousarray(rhs))
+        base = self._handle.backsolve(rhs_device)
+        telemetry.increment("solver.blocked_solves")
+        u_device, base_inverse_u_device = self._device_operators()
+        cores = np.repeat(self._core[None, :, :], num_samples, axis=0)
+        diag = np.arange(self.rank)
+        cores[:, diag, diag] += 1.0 / conductances
+        if shared_rhs:
+            rhs_core = backend.broadcast_rows(
+                u_device.T @ base, num_samples
+            )
+            base_block = backend.broadcast_columns(base, num_samples)
+        else:
+            rhs_core = (u_device.T @ base).T
+            base_block = base
+        try:
+            coefficients = backend.batched_core_solve(cores, rhs_core)
+        except np.linalg.LinAlgError as exc:
+            raise SolverError(f"Woodbury core solve failed: {exc}") from exc
+        solution = backend.from_device(
+            base_block - base_inverse_u_device @ coefficients.T
+        )
         if not np.all(np.isfinite(solution)):
             raise SolverError("Woodbury solve produced non-finite values")
         return solution

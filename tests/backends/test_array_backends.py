@@ -1,0 +1,150 @@
+"""Array-backend protocol, registry and numpy-reference behavior."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.backends import (
+    ArrayBackend,
+    EquivalenceTier,
+    get_array_backend,
+    register_array_backend,
+    registered_array_backends,
+)
+from repro.backends.registry import ENV_DEFAULT, default_array_backend_name
+from repro.errors import SolverError
+from repro.solvers.woodbury import WoodburySolver
+
+
+def _base(n, seed=0):
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((n, n)) * 0.1
+    matrix = sp.csc_matrix(dense + dense.T + 10.0 * np.eye(n))
+    return matrix
+
+
+def _stamps(n, k):
+    u = np.zeros((n, k))
+    for j in range(k):
+        u[2 * j, j] = 1.0
+        u[2 * j + 1, j] = -1.0
+    return u
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = registered_array_backends()
+        assert {"numpy", "cupy", "devicesim"} <= set(names)
+        assert names == sorted(names)
+
+    def test_default_is_numpy(self, monkeypatch):
+        # The out-of-the-box default, with no environment override.
+        monkeypatch.delenv(ENV_DEFAULT, raising=False)
+        backend = get_array_backend(None)
+        assert backend.name == "numpy"
+        assert get_array_backend() is backend  # process singleton
+
+    def test_instance_passthrough(self):
+        backend = get_array_backend("numpy")
+        assert get_array_backend(backend) is backend
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(SolverError, match="unknown array backend"):
+            get_array_backend("tpu")
+        with pytest.raises(SolverError, match="numpy"):
+            get_array_backend("tpu")
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_DEFAULT, "devicesim")
+        assert default_array_backend_name() == "devicesim"
+        assert get_array_backend(None).name == "devicesim"
+        # Explicit selection still wins over the environment.
+        assert get_array_backend("numpy").name == "numpy"
+
+    def test_decorator_registration(self):
+        @register_array_backend("_test_backend")
+        def _factory():
+            backend = ArrayBackend()
+            backend.name = "_test_backend"
+            return backend
+
+        try:
+            assert "_test_backend" in registered_array_backends()
+            assert get_array_backend("_test_backend").name == "_test_backend"
+        finally:
+            from repro.backends import registry
+
+            registry._FACTORIES.pop("_test_backend", None)
+            registry._INSTANCES.pop("_test_backend", None)
+
+
+class TestCupyGuard:
+    def test_missing_extra_is_a_clear_solver_error(self):
+        # The container has no GPU stack; selecting cupy must name the
+        # missing [gpu] extra, not die with a raw ImportError.
+        try:
+            import cupy  # noqa: F401
+        except ImportError:
+            with pytest.raises(SolverError, match=r"\[gpu\]"):
+                get_array_backend("cupy")
+            with pytest.raises(SolverError, match="cupy"):
+                get_array_backend("cupy")
+        else:
+            pytest.skip("cupy installed; the guard does not fire")
+
+    def test_registration_never_requires_cupy(self):
+        # Listing backends is import-safe without the extra.
+        assert "cupy" in registered_array_backends()
+
+
+class TestDeclaredContracts:
+    def test_numpy_is_bitwise_columns(self):
+        backend = get_array_backend("numpy")
+        assert backend.equivalence.kind == "bitwise"
+        assert backend.equivalence.rtol == 0.0
+        assert backend.correction_mode == "columns"
+
+    def test_devicesim_declares_rtol_gemm(self):
+        backend = get_array_backend("devicesim")
+        assert backend.equivalence.kind == "rtol"
+        assert backend.equivalence.rtol > 0.0
+        assert backend.correction_mode == "gemm"
+
+    def test_equivalence_tier_shape(self):
+        tier = EquivalenceTier("rtol", 1e-6)
+        assert tier.kind == "rtol"
+        assert tier.rtol == 1e-6
+
+
+class TestNumpyBackendIsTheReferencePath:
+    def test_solver_default_backend_bitwise_unchanged(self, monkeypatch):
+        # The refactor's acceptance bar: the default backend reproduces
+        # the historic blocked path bit for bit.
+        monkeypatch.delenv(ENV_DEFAULT, raising=False)
+        rng = np.random.default_rng(7)
+        n, k, samples = 30, 3, 9
+        solver = WoodburySolver(_base(n), _stamps(n, k))
+        assert solver.backend.name == "numpy"
+        g = rng.uniform(0.5, 5.0, (samples, k))
+        rhs = rng.standard_normal(n)
+        blocked = solver.solve_batch(g, rhs)
+        for s in range(samples):
+            assert np.array_equal(blocked[:, s], solver.solve(g[s], rhs))
+
+    def test_batched_core_solve_matches_per_matrix(self):
+        backend = get_array_backend("numpy")
+        rng = np.random.default_rng(3)
+        cores = rng.standard_normal((5, 4, 4)) + 4.0 * np.eye(4)
+        rhs = rng.standard_normal((5, 4))
+        batched = backend.batched_core_solve(cores, rhs)
+        for s in range(5):
+            assert np.array_equal(
+                batched[s], np.linalg.solve(cores[s], rhs[s])
+            )
+
+    def test_transfers_are_identity_and_uncounted(self):
+        backend = get_array_backend("numpy")
+        before = backend.transfer_count
+        array = np.arange(3.0)
+        assert backend.from_device(backend.to_device(array)) is not None
+        assert backend.transfer_count == before

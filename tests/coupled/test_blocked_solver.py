@@ -1,8 +1,15 @@
-"""Tests for the sample-blocked coupled transient solver."""
+"""Tests for the sample-blocked coupled transient solver.
+
+The equivalence assertions are tier-aware: under the default ``numpy``
+backend they are bitwise (the PR 7 contract); when CI re-runs this
+suite under ``REPRO_ARRAY_BACKEND=devicesim`` they assert the declared
+``rtol`` tier of the device double's gemm-ordered path instead.
+"""
 
 import numpy as np
 import pytest
 
+from repro.backends import get_array_backend
 from repro.coupled.electrothermal import (
     BlockedCoupledSolver,
     BlockedTransientResult,
@@ -12,6 +19,20 @@ from repro.errors import SolverError
 from repro.solvers.time_integration import TimeGrid
 
 from .conftest import MM, build_wire_bridge_problem
+
+
+def _assert_tier_equal(actual, expected):
+    """Blocked == per-sample per the active backend's declared tier."""
+    tier = get_array_backend(None).equivalence
+    if tier.kind == "bitwise":
+        assert np.array_equal(actual, expected)
+        return
+    expected = np.asarray(expected, dtype=float)
+    scale = float(np.max(np.abs(expected))) if expected.size else 1.0
+    np.testing.assert_allclose(
+        np.asarray(actual, dtype=float), expected,
+        rtol=tier.rtol, atol=tier.rtol * max(scale, 1.0),
+    )
 
 
 def _solver(problem=None, **kwargs):
@@ -74,30 +95,35 @@ class TestAgainstPerSample:
         block = blocked.solve_transient_block(grid, waveform=waveform)
         assert isinstance(block, BlockedTransientResult)
         assert block.num_samples == lengths.shape[0]
+        bitwise = get_array_backend(None).equivalence.kind == "bitwise"
         for s, row in enumerate(lengths):
             solver.set_wire_lengths(row)
             reference = solver.solve_transient(grid, waveform=waveform)
-            assert np.array_equal(
+            _assert_tier_equal(
                 block.wire_temperatures[s],
                 np.asarray(reference.wire_temperatures),
             )
-            assert np.array_equal(
+            _assert_tier_equal(
                 block.wire_peak_temperatures[s],
                 np.asarray(reference.wire_peak_temperatures),
             )
-            assert np.array_equal(
+            _assert_tier_equal(
                 block.wire_powers[s], np.asarray(reference.wire_powers)
             )
-            assert np.array_equal(
+            _assert_tier_equal(
                 block.field_joule_power[s],
                 np.asarray(reference.field_joule_power),
             )
-            assert np.array_equal(
+            _assert_tier_equal(
                 block.final_temperatures[s], reference.final_temperatures
             )
-            assert list(block.iterations_per_step[s]) == list(
-                reference.iterations_per_step
-            )
+            if bitwise:
+                # Device tiers may converge a fixed point one iterate
+                # earlier/later; the iteration trace is only pinned on
+                # the bitwise tier.
+                assert list(block.iterations_per_step[s]) == list(
+                    reference.iterations_per_step
+                )
 
     def test_bitwise_equivalence_wire_bridge(self):
         self._compare(

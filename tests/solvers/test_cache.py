@@ -96,3 +96,59 @@ class TestCacheBehavior:
     def test_invalid_max_entries(self):
         with pytest.raises(SolverError):
             FactorizationCache(max_entries=0)
+
+
+class TestBackendKeyedIsolation:
+    """The backend name is part of the cache key: handles carry
+    backend-specific state, so the same fingerprint under two backends
+    must yield two independent handles (never cross-backend reuse)."""
+
+    def test_same_fingerprint_two_backends_two_handles(self):
+        cache = FactorizationCache()
+        matrix = _spd()
+        numpy_handle = cache.factorize(matrix, backend="numpy")
+        devicesim_handle = cache.factorize(matrix, backend="devicesim")
+        assert numpy_handle is not devicesim_handle
+        assert numpy_handle.lu is not devicesim_handle.lu
+        assert cache.stats() == {"entries": 2, "hits": 0, "misses": 2}
+
+    def test_hit_miss_counters_correct_per_backend(self):
+        cache = FactorizationCache()
+        matrix = _spd()
+        cache.factorize(matrix, backend="numpy")       # miss
+        cache.factorize(matrix, backend="numpy")       # hit
+        cache.factorize(matrix, backend="devicesim")   # miss: new backend
+        cache.factorize(matrix, backend="devicesim")   # hit
+        assert cache.stats() == {"entries": 2, "hits": 2, "misses": 2}
+
+    def test_shared_cache_counters_stay_correct_per_backend(self):
+        from repro.solvers.cache import shared_cache
+
+        cache = shared_cache()
+        matrix = _spd(seed=41)
+        before = cache.stats()
+        cache.factorize(matrix, backend="numpy")
+        cache.factorize(matrix, backend="devicesim")
+        middle = cache.stats()
+        assert middle["misses"] == before["misses"] + 2
+        assert middle["hits"] == before["hits"]
+        cache.factorize(matrix, backend="numpy")
+        cache.factorize(matrix, backend="devicesim")
+        after = cache.stats()
+        assert after["hits"] == middle["hits"] + 2
+        assert after["misses"] == middle["misses"]
+
+    def test_splu_accessor_is_the_numpy_backend_view(self):
+        cache = FactorizationCache()
+        matrix = _spd()
+        handle = cache.factorize(matrix, backend="numpy")
+        # The legacy accessor returns the same underlying SuperLU
+        # object -- one factorization, two views.
+        assert cache.splu(matrix) is handle.lu
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_default_backend_resolution(self):
+        cache = FactorizationCache()
+        matrix = _spd()
+        default_handle = cache.factorize(matrix)
+        assert cache.factorize(matrix, backend="numpy") is default_handle

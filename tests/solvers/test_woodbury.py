@@ -350,6 +350,23 @@ class TestSolveBatch:
         with pytest.raises(SolverError, match="columns"):
             solver.solve_batch(np.ones((3, 2)), np.ones((6, 4)))
 
+    def test_rejects_single_column_where_shared_vector_meant(self):
+        # An (n, 1) column for an S>1 block is the classic shared-RHS
+        # mistake; the error must point at the 1D (n,) alternative.
+        solver = WoodburySolver(_base(6), _stamp_vectors(6, 2))
+        with pytest.raises(SolverError, match=r"pass a 1D \(n,\) vector"):
+            solver.solve_batch(np.ones((3, 2)), np.ones((6, 1)))
+
+    def test_single_column_valid_for_single_sample_block(self, rng):
+        # With exactly one sample an (n, 1) rhs IS a legitimate block.
+        n = 10
+        solver = WoodburySolver(_base(n), _stamp_vectors(n, 2))
+        g = rng.uniform(0.5, 2.0, (1, 2))
+        rhs = rng.standard_normal((n, 1))
+        solution = solver.solve_batch(g, rhs)
+        assert solution.shape == (n, 1)
+        assert np.array_equal(solution[:, 0], solver.solve(g[0], rhs[:, 0]))
+
     def test_counts_blocked_solves(self, rng):
         from repro.telemetry.tracing import capture
 
